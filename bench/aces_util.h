@@ -1,0 +1,66 @@
+// Helpers for the ACES-comparison benches (Figures 10/11, Table 2).
+
+#ifndef BENCH_ACES_UTIL_H_
+#define BENCH_ACES_UTIL_H_
+
+#include <memory>
+
+#include "src/aces/aces.h"
+#include "src/apps/runner.h"
+#include "src/compiler/image.h"
+#include "src/support/check.h"
+
+namespace opec_bench {
+
+// Builds the ACES partitioning for an application module. `resources` must be
+// the pre-instrumentation summaries (from CompileResult) when the module has
+// been OPEC-instrumented; the call graph is rebuilt on the module as-is (call
+// edges are unaffected by instrumentation).
+inline opec_aces::AcesResult PartitionAcesFor(
+    const opec_ir::Module& module, const opec_hw::SocDescription& soc,
+    const std::map<const opec_ir::Function*, opec_analysis::FunctionResources>& resources,
+    opec_aces::AcesStrategy strategy) {
+  opec_analysis::PointsToAnalysis pta(module);
+  opec_analysis::CallGraph cg = opec_analysis::CallGraph::Build(module, pta);
+  return opec_aces::PartitionAces(module, cg, resources, soc, strategy);
+}
+
+// Runs the application on a vanilla image under the ACES runtime model and
+// returns the cycle count (for Table 2's RO column).
+struct AcesRunResult {
+  uint64_t cycles = 0;
+  uint64_t switches = 0;
+  opec_aces::AcesResult partition;
+};
+
+inline AcesRunResult RunUnderAces(const opec_apps::Application& app,
+                                  opec_aces::AcesStrategy strategy) {
+  opec_hw::SocDescription soc = app.Soc();
+  std::unique_ptr<opec_ir::Module> module = app.BuildModule();
+  opec_analysis::PointsToAnalysis pta(*module);
+  opec_analysis::CallGraph cg = opec_analysis::CallGraph::Build(*module, pta);
+  auto resources = opec_analysis::ResourceAnalysis::Run(*module, pta, soc);
+
+  AcesRunResult out;
+  out.partition = opec_aces::PartitionAces(*module, cg, resources, soc, strategy);
+
+  opec_hw::Machine machine(app.board());
+  std::unique_ptr<opec_apps::AppDevices> devices = app.CreateDevices(machine);
+  opec_compiler::VanillaImage image = opec_compiler::BuildVanillaImage(*module, app.board());
+  opec_compiler::LoadGlobals(machine, *module, image.layout);
+
+  opec_aces::AcesRuntime runtime(machine, out.partition);
+  opec_rt::ExecutionEngine engine(machine, *module, image.layout, &runtime);
+  app.PrepareScenario(*devices);
+  opec_rt::RunResult result = engine.Run("main");
+  OPEC_CHECK_MSG(result.ok, app.name() + " under ACES failed: " + result.violation);
+  OPEC_CHECK_MSG(app.CheckScenario(*devices, result).empty(),
+                 app.name() + " under ACES: " + app.CheckScenario(*devices, result));
+  out.cycles = result.cycles;
+  out.switches = runtime.compartment_switches();
+  return out;
+}
+
+}  // namespace opec_bench
+
+#endif  // BENCH_ACES_UTIL_H_

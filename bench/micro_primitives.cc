@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) for the system's primitives: MPU
+// checks, bus accesses, interpreter throughput, points-to solving, and the
+// end-to-end operation switch.
+
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/points_to.h"
+#include "src/apps/pinlock.h"
+#include "src/apps/runner.h"
+#include "src/hw/machine.h"
+#include "src/ir/builder.h"
+
+namespace {
+
+using opec_ir::FunctionBuilder;
+using opec_ir::Type;
+using opec_ir::Val;
+
+void BM_MpuCheckHit(benchmark::State& state) {
+  opec_hw::Mpu mpu;
+  mpu.set_enabled(true);
+  opec_hw::MpuRegionConfig r;
+  r.enabled = true;
+  r.base = 0x20000000;
+  r.size_log2 = 14;
+  r.ap = opec_hw::AccessPerm::kFullAccess;
+  mpu.ConfigureRegion(3, r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mpu.CheckAccess(0x20001000, 4, opec_hw::AccessKind::kWrite, false));
+  }
+}
+BENCHMARK(BM_MpuCheckHit);
+
+void BM_MpuCheckBackgroundMiss(benchmark::State& state) {
+  opec_hw::Mpu mpu;
+  mpu.set_enabled(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mpu.CheckAccess(0x20001000, 4, opec_hw::AccessKind::kWrite, false));
+  }
+}
+BENCHMARK(BM_MpuCheckBackgroundMiss);
+
+void BM_BusSramAccess(benchmark::State& state) {
+  opec_hw::Machine machine(opec_hw::Board::kStm32F4Discovery);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.bus().Read(0x20000100, 4, true));
+  }
+}
+BENCHMARK(BM_BusSramAccess);
+
+// Interpreter throughput: guest statements per second on an arithmetic loop.
+void BM_EngineArithmeticLoop(benchmark::State& state) {
+  opec_ir::Module m("bench");
+  auto& tt = m.types();
+  auto* fn = m.AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(m, fn);
+  Val i = b.Local("i", tt.U32());
+  Val acc = b.Local("acc", tt.U32());
+  b.Assign(i, b.U32(0));
+  b.Assign(acc, b.U32(0));
+  b.While(i < b.U32(static_cast<uint32_t>(state.range(0))));
+  {
+    b.Assign(acc, acc * b.U32(3) + i);
+    b.Assign(i, i + b.U32(1));
+  }
+  b.End();
+  b.Ret(acc);
+  b.Finish();
+  opec_compiler::VanillaImage image =
+      opec_compiler::BuildVanillaImage(m, opec_hw::Board::kStm32F4Discovery);
+  uint64_t statements = 0;
+  for (auto _ : state) {
+    opec_hw::Machine machine(opec_hw::Board::kStm32F4Discovery);
+    opec_compiler::LoadGlobals(machine, m, image.layout);
+    opec_rt::ExecutionEngine engine(machine, m, image.layout);
+    opec_rt::RunResult r = engine.Run("main");
+    benchmark::DoNotOptimize(r.return_value);
+    statements += r.statements;
+  }
+  state.counters["guest_stmts/s"] =
+      benchmark::Counter(static_cast<double>(statements), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineArithmeticLoop)->Arg(1000)->Arg(10000);
+
+void BM_PointsToSolveChain(benchmark::State& state) {
+  opec_ir::Module m("pta");
+  auto& tt = m.types();
+  const Type* p_u32 = tt.PointerTo(tt.U32());
+  m.AddGlobal("target", tt.U32());
+  int n = static_cast<int>(state.range(0));
+  // Declare all functions first, then fill bodies (so forward calls resolve).
+  for (int i = 0; i < n; ++i) {
+    m.AddFunction("f" + std::to_string(i), tt.FunctionTy(tt.U32(), {p_u32}), {"p"});
+  }
+  for (int i = 0; i < n; ++i) {
+    FunctionBuilder b(m, m.FindFunction("f" + std::to_string(i)));
+    if (i + 1 < n) {
+      b.Ret(b.CallV("f" + std::to_string(i + 1), {b.L("p")}));
+    } else {
+      b.Ret(b.Deref(b.L("p")));
+    }
+    b.Finish();
+  }
+  for (auto _ : state) {
+    opec_analysis::PointsToAnalysis pta(m);
+    pta.Run();
+    benchmark::DoNotOptimize(pta.constraint_count());
+  }
+}
+BENCHMARK(BM_PointsToSolveChain)->Arg(16)->Arg(64)->Arg(256);
+
+// End-to-end operation switch cost in guest cycles, measured on PinLock.
+void BM_OperationSwitchGuestCycles(benchmark::State& state) {
+  uint64_t switches = 0;
+  uint64_t extra_cycles = 0;
+  for (auto _ : state) {
+    opec_apps::PinLockApp app(5);
+    opec_apps::AppRun vanilla(app, opec_apps::BuildMode::kVanilla);
+    opec_rt::RunResult rv = vanilla.Execute();
+    opec_apps::AppRun opec(app, opec_apps::BuildMode::kOpec);
+    opec_rt::RunResult ro = opec.Execute();
+    switches += opec.monitor()->stats().operation_switches;
+    extra_cycles += ro.cycles - rv.cycles;
+  }
+  state.counters["guest_cycles/switch"] =
+      switches == 0 ? 0 : static_cast<double>(extra_cycles) / static_cast<double>(switches);
+}
+BENCHMARK(BM_OperationSwitchGuestCycles)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

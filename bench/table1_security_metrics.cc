@@ -1,0 +1,77 @@
+// Regenerates Table 1: the security-evaluation metrics for every application
+// under OPEC — number of operations, average functions per operation,
+// privileged code size (vs the all-privileged baseline), and the average
+// accessible global-variable bytes per operation (vs the baseline where every
+// global is accessible everywhere).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/metrics/report.h"
+#include "src/support/text.h"
+
+int main() {
+  using opec_metrics::Num;
+  opec_metrics::Table table(
+      {"Application", "#OPs", "#Avg. Funcs", "#Pri. Code(%)", "#Avg. GVars(%)"});
+
+  double sum_ops = 0;
+  double sum_funcs = 0;
+  double sum_pri = 0;
+  double sum_pri_pct = 0;
+  double sum_gvars = 0;
+  double sum_gvars_pct = 0;
+  int n = 0;
+
+  for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
+    std::unique_ptr<opec_apps::Application> app = factory.make();
+    opec_apps::AppRun run(*app, opec_apps::BuildMode::kOpec);
+    const opec_compiler::Policy& policy = run.compile()->policy;
+
+    size_t ops = policy.operations.size();
+    double avg_funcs = 0;
+    double avg_gvar_bytes = 0;
+    for (const opec_compiler::OperationPolicy& op : policy.operations) {
+      avg_funcs += static_cast<double>(op.members.size());
+      for (const opec_ir::GlobalVariable* gv : op.needed_globals) {
+        avg_gvar_bytes += gv->size();
+      }
+    }
+    avg_funcs /= static_cast<double>(ops);
+    avg_gvar_bytes /= static_cast<double>(ops);
+
+    // Baseline: all code privileged, all writable globals accessible.
+    uint32_t total_gvar_bytes = 0;
+    for (const auto& gv : run.module().globals()) {
+      if (!gv->is_const()) {
+        total_gvar_bytes += gv->size();
+      }
+    }
+    uint32_t pri_code = policy.accounting.flash_monitor_code;
+    uint32_t baseline_code =
+        policy.accounting.flash_app_code + policy.accounting.flash_monitor_code;
+    double pri_pct = 100.0 * pri_code / baseline_code;
+    double gvar_pct =
+        total_gvar_bytes == 0 ? 0.0 : 100.0 * avg_gvar_bytes / total_gvar_bytes;
+
+    table.AddRow({app->name(), std::to_string(ops), Num(avg_funcs),
+                  opec_support::StrPrintf("%u(%.2f)", pri_code, pri_pct),
+                  opec_support::StrPrintf("%.2f(%.2f)", avg_gvar_bytes, gvar_pct)});
+    sum_ops += static_cast<double>(ops);
+    sum_funcs += avg_funcs;
+    sum_pri += pri_code;
+    sum_pri_pct += pri_pct;
+    sum_gvars += avg_gvar_bytes;
+    sum_gvars_pct += gvar_pct;
+    ++n;
+  }
+  table.AddRow({"Average", Num(sum_ops / n), Num(sum_funcs / n),
+                opec_support::StrPrintf("%.2f(%.2f)", sum_pri / n, sum_pri_pct / n),
+                opec_support::StrPrintf("%.2f(%.2f)", sum_gvars / n, sum_gvars_pct / n)});
+
+  std::printf("Table 1: security evaluation metrics (OPEC)\n%s", table.ToString().c_str());
+  std::printf("\nPaper reference (Table 1): PinLock 6 ops, Animation 8, FatFs-uSD 10,\n"
+              "LCD-uSD 11, TCP-Echo 9, Camera 9, CoreMark 9; avg priv code ~6.9%%;\n"
+              "avg accessible globals ~41%% of baseline.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Regenerates Table 3: efficiency of the indirect-call analysis — number of
+// icalls, how many the points-to analysis (the SVF stand-in) resolves, solve
+// time, how many fall back to type-based matching, and the average/maximum
+// target counts.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/analysis/call_graph.h"
+#include "src/metrics/report.h"
+#include "src/support/text.h"
+
+int main() {
+  using opec_metrics::Num;
+  opec_metrics::Table table(
+      {"Application", "#Icall", "#SVF", "Time(s)", "#Type", "#Avg.", "#Max"});
+
+  for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
+    std::unique_ptr<opec_apps::Application> app = factory.make();
+    std::unique_ptr<opec_ir::Module> module = app->BuildModule();
+    opec_analysis::PointsToAnalysis pta(*module);
+    opec_analysis::CallGraph cg = opec_analysis::CallGraph::Build(*module, pta);
+    opec_analysis::ICallStats stats = cg.Stats();
+    table.AddRow({app->name(), std::to_string(stats.num_icalls),
+                  std::to_string(stats.resolved_by_pta),
+                  opec_support::StrPrintf("%.4f", stats.pta_seconds),
+                  std::to_string(stats.resolved_by_type), Num(stats.avg_targets),
+                  std::to_string(stats.max_targets)});
+  }
+
+  std::printf("Table 3: efficiency of the icall analysis\n%s", table.ToString().c_str());
+  std::printf("\nPaper reference (Table 3): most icalls resolved by the points-to\n"
+              "analysis, the rest by type matching; small average target counts\n"
+              "(<= 2) and small maxima (<= 5). This reproduction's applications carry\n"
+              "fewer icall sites than the vendor HAL code, but exercise both\n"
+              "resolution paths (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Dumps the generated operation policy (the OPEC-Compiler artifact) for every
+// bundled application — the equivalent of inspecting the policy files the
+// original toolchain emits.
+//
+//   $ ./build/examples/policy_explorer [AppName]
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/apps/all_apps.h"
+#include "src/apps/runner.h"
+
+int main(int argc, char** argv) {
+  for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
+    if (argc > 1 && factory.name != argv[1]) {
+      continue;
+    }
+    std::unique_ptr<opec_apps::Application> app = factory.make();
+    opec_apps::AppRun run(*app, opec_apps::BuildMode::kOpec);
+    std::printf("################ %s ################\n%s\n", factory.name.c_str(),
+                run.compile()->policy.ToText().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+// A from-scratch domain application built on the public API: an industrial
+// sensor node with three operations — Sample (reads an ADC-like GPIO),
+// Control (drives an actuator with a sanitized speed setpoint), and Report
+// (sends telemetry over UART). Demonstrates how a downstream user would adopt
+// the library for their own firmware.
+//
+//   $ ./build/examples/sensor_node
+
+#include <cstdio>
+
+#include "src/compiler/opec_compiler.h"
+#include "src/hw/devices/gpio.h"
+#include "src/hw/devices/uart.h"
+#include "src/ir/builder.h"
+#include "src/monitor/monitor.h"
+#include "src/rt/engine.h"
+
+using opec_ir::FunctionBuilder;
+using opec_ir::Val;
+
+namespace {
+constexpr uint32_t kAdcBase = opec_hw::kGpioABase;   // sensor on GPIOA.IDR
+constexpr uint32_t kMotorBase = opec_hw::kGpioDBase;  // actuator on GPIOD.ODR
+}  // namespace
+
+int main() {
+  opec_ir::Module m("sensor_node");
+  auto& tt = m.types();
+  m.AddGlobal("samples", tt.ArrayOf(tt.U32(), 8));  // shared ring
+  m.AddGlobal("sample_idx", tt.U32());
+  m.AddGlobal("setpoint", tt.U32());  // safety-critical: sanitized [0,100]
+  m.AddGlobal("telemetry_sent", tt.U32());
+
+  {
+    auto* fn = m.AddFunction("Sample_Task", tt.FunctionTy(tt.VoidTy(), {}), {});
+    fn->set_source_file("sample.c");
+    FunctionBuilder b(m, fn);
+    Val raw = b.Local("raw", tt.U32());
+    b.Assign(raw, b.Mmio32(kAdcBase + 0x10));  // read the sensor
+    b.Assign(b.Idx(b.G("samples"), b.G("sample_idx") % b.U32(8)), raw);
+    b.Assign(b.G("sample_idx"), b.G("sample_idx") + b.U32(1));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m.AddFunction("Control_Task", tt.FunctionTy(tt.VoidTy(), {}), {});
+    fn->set_source_file("control.c");
+    FunctionBuilder b(m, fn);
+    // Average the ring and derive a motor setpoint, clamped to [0, 100].
+    Val sum = b.Local("sum", tt.U32());
+    Val i = b.Local("i", tt.U32());
+    b.Assign(sum, b.U32(0));
+    b.Assign(i, b.U32(0));
+    b.While(i < b.U32(8));
+    {
+      b.Assign(sum, sum + b.Idx(b.G("samples"), i));
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.Assign(b.G("setpoint"), (sum / b.U32(8)) % b.U32(101));
+    b.Assign(b.Mmio32(kMotorBase + 0x14), b.G("setpoint"));  // drive the motor
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m.AddFunction("Report_Task", tt.FunctionTy(tt.VoidTy(), {}), {});
+    fn->set_source_file("report.c");
+    FunctionBuilder b(m, fn);
+    b.Assign(b.Mmio32(opec_hw::kUsart2Base + 0x04), b.U32('S'));
+    b.Assign(b.Mmio32(opec_hw::kUsart2Base + 0x04), b.G("setpoint"));
+    b.Assign(b.G("telemetry_sent"), b.G("telemetry_sent") + b.U32(1));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m.AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+    fn->set_source_file("main.c");
+    FunctionBuilder b(m, fn);
+    Val round = b.Local("round", tt.U32());
+    b.Assign(round, b.U32(0));
+    b.While(round < b.U32(5));
+    {
+      b.Call("Sample_Task");
+      b.Call("Control_Task");
+      b.Call("Report_Task");
+      b.Assign(round, round + b.U32(1));
+    }
+    b.End();
+    b.Ret(b.G("telemetry_sent"));
+    b.Finish();
+  }
+
+  opec_compiler::PartitionConfig config;
+  config.entries.push_back({"Sample_Task", {}});
+  config.entries.push_back({"Control_Task", {}});
+  config.entries.push_back({"Report_Task", {}});
+  // The robot-arm-speed rule from the paper: the actuator setpoint must stay
+  // in a safe range no matter which operation gets compromised.
+  config.sanitize.push_back({"setpoint", 0, 100});
+
+  opec_hw::SocDescription soc = opec_hw::SocDescription::WithCorePeripherals();
+  soc.AddPeripheral({"ADC", kAdcBase, 0x400, false});
+  soc.AddPeripheral({"MOTOR", kMotorBase, 0x400, false});
+  soc.AddPeripheral({"USART2", opec_hw::kUsart2Base, 0x400, false});
+
+  opec_hw::Machine machine(opec_hw::Board::kStm32F4Discovery);
+  opec_hw::Gpio adc("ADC", kAdcBase);
+  opec_hw::Gpio motor("MOTOR", kMotorBase);
+  opec_hw::Uart uart("USART2", opec_hw::kUsart2Base);
+  machine.bus().AttachDevice(&adc);
+  machine.bus().AttachDevice(&motor);
+  machine.bus().AttachDevice(&uart);
+  adc.SetInput(400);  // the sensor reads 400 -> setpoint 400%101 = 97
+
+  opec_compiler::CompileResult compile =
+      opec_compiler::CompileOpec(m, soc, config, machine.board().board);
+  opec_monitor::Monitor monitor(machine, compile.policy, soc);
+  opec_compiler::LoadGlobals(machine, m, compile.layout);
+  opec_rt::ExecutionEngine engine(machine, m, compile.layout, &monitor);
+
+  // Attack 1: the compromised Report task tries to slam the motor peripheral
+  // directly — MOTOR is not in Report's peripheral allowlist.
+  opec_rt::AttackSpec motor_attack;
+  motor_attack.function = "Report_Task";
+  motor_attack.addr = kMotorBase + 0x14;
+  motor_attack.value = 9999;
+  engine.AddAttack(motor_attack);
+
+  opec_rt::RunResult r = engine.Run("main");
+  std::printf("sensor node: ok=%d telemetry=%u motor_setpoint=%u\n", r.ok, r.return_value,
+              motor.output());
+  std::printf("motor-slam attack from Report_Task: fired=%d blocked=%d\n",
+              engine.attacks()[0].fired, engine.attacks()[0].blocked);
+  std::printf("monitor: %llu switches, %llu virtualization faults\n",
+              static_cast<unsigned long long>(monitor.stats().operation_switches),
+              static_cast<unsigned long long>(monitor.stats().virtualization_faults));
+  bool good = r.ok && r.return_value == 5 && engine.attacks()[0].blocked &&
+              motor.output() <= 100;
+  std::printf("%s\n", good ? "OK: actuator stayed in the safe range" : "FAILED");
+  return good ? 0 : 1;
+}

@@ -1,0 +1,168 @@
+#include "src/analysis/call_graph.h"
+
+#include "src/support/check.h"
+
+namespace opec_analysis {
+
+using opec_ir::Expr;
+using opec_ir::ExprKind;
+using opec_ir::Function;
+using opec_ir::Module;
+using opec_ir::Stmt;
+using opec_ir::StmtPtr;
+using opec_ir::Type;
+
+bool TypesCompatibleForICall(const Type* signature, const Type* candidate) {
+  OPEC_CHECK(signature->IsFunction() && candidate->IsFunction());
+  if (signature->params().size() != candidate->params().size()) {
+    return false;
+  }
+  if (signature->return_type() != candidate->return_type()) {
+    // Ints of different widths still "return a value"; require exact match
+    // only when either side is a pointer/struct/void.
+    const Type* a = signature->return_type();
+    const Type* b = candidate->return_type();
+    if (!(a->IsInt() && b->IsInt())) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < signature->params().size(); ++i) {
+    const Type* a = signature->params()[i];
+    const Type* b = candidate->params()[i];
+    if (a == b) {
+      continue;
+    }
+    // Pointer and struct parameters must match exactly (the paper's rule);
+    // integer parameters match any integer.
+    if (a->IsInt() && b->IsInt()) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+void CollectCalls(const Function* caller, const Expr& e,
+                  std::map<const Function*, std::set<const Function*>>& edges,
+                  std::vector<std::pair<const Function*, const Expr*>>& icalls) {
+  if (e.kind == ExprKind::kCall) {
+    edges[caller].insert(e.func);
+  } else if (e.kind == ExprKind::kICall) {
+    icalls.emplace_back(caller, &e);
+  }
+  for (const opec_ir::ExprPtr& op : e.operands) {
+    CollectCalls(caller, *op, edges, icalls);
+  }
+}
+
+void CollectStmt(const Function* caller, const Stmt& s,
+                 std::map<const Function*, std::set<const Function*>>& edges,
+                 std::vector<std::pair<const Function*, const Expr*>>& icalls) {
+  if (s.lhs != nullptr) {
+    CollectCalls(caller, *s.lhs, edges, icalls);
+  }
+  if (s.expr != nullptr) {
+    CollectCalls(caller, *s.expr, edges, icalls);
+  }
+  for (const StmtPtr& t : s.body) {
+    CollectStmt(caller, *t, edges, icalls);
+  }
+  for (const StmtPtr& t : s.orelse) {
+    CollectStmt(caller, *t, edges, icalls);
+  }
+}
+
+}  // namespace
+
+CallGraph CallGraph::Build(const Module& module, PointsToAnalysis& pta) {
+  pta.Run();
+  CallGraph cg;
+  cg.pta_seconds_ = pta.solve_seconds();
+
+  std::vector<std::pair<const Function*, const Expr*>> icalls;
+  for (const auto& fn : module.functions()) {
+    cg.edges_[fn.get()];  // ensure every function has a node
+    for (const StmtPtr& s : fn->body()) {
+      CollectStmt(fn.get(), *s, cg.edges_, icalls);
+    }
+  }
+
+  for (const auto& [caller, expr] : icalls) {
+    ICallSite site;
+    site.caller = caller;
+    site.expr = expr;
+    site.targets = pta.ICallTargets(expr);
+    if (!site.targets.empty()) {
+      site.resolved_by_pta = true;
+    } else {
+      // Type-based fallback (Section 4.1): all functions with an identical
+      // type are potential targets.
+      for (const auto& fn : module.functions()) {
+        if (TypesCompatibleForICall(expr->signature, fn->type())) {
+          site.targets.insert(fn.get());
+        }
+      }
+      site.resolved_by_type = !site.targets.empty();
+    }
+    for (const Function* target : site.targets) {
+      cg.edges_[caller].insert(target);
+    }
+    cg.icall_sites_.push_back(std::move(site));
+  }
+  return cg;
+}
+
+const std::set<const Function*>& CallGraph::Callees(const Function* fn) const {
+  auto it = edges_.find(fn);
+  return it == edges_.end() ? empty_ : it->second;
+}
+
+ICallStats CallGraph::Stats() const {
+  ICallStats stats;
+  stats.num_icalls = static_cast<int>(icall_sites_.size());
+  stats.pta_seconds = pta_seconds_;
+  int total_targets = 0;
+  int resolved = 0;
+  for (const ICallSite& site : icall_sites_) {
+    if (site.resolved_by_pta) {
+      ++stats.resolved_by_pta;
+    } else if (site.resolved_by_type) {
+      ++stats.resolved_by_type;
+    } else {
+      ++stats.unresolved;
+    }
+    if (!site.targets.empty()) {
+      ++resolved;
+      total_targets += static_cast<int>(site.targets.size());
+      stats.max_targets = std::max(stats.max_targets, static_cast<int>(site.targets.size()));
+    }
+  }
+  stats.avg_targets = resolved == 0 ? 0.0 : static_cast<double>(total_targets) / resolved;
+  return stats;
+}
+
+std::set<const Function*> CallGraph::Reachable(
+    const Function* root, const std::set<const Function*>& stop_at) const {
+  std::set<const Function*> visited;
+  std::vector<const Function*> stack{root};
+  visited.insert(root);
+  while (!stack.empty()) {
+    const Function* fn = stack.back();
+    stack.pop_back();
+    for (const Function* callee : Callees(fn)) {
+      if (visited.count(callee) > 0) {
+        continue;
+      }
+      if (stop_at.count(callee) > 0) {
+        continue;  // backtrack at other operation entries (Section 4.3)
+      }
+      visited.insert(callee);
+      stack.push_back(callee);
+    }
+  }
+  return visited;
+}
+
+}  // namespace opec_analysis

@@ -1,0 +1,429 @@
+#include "src/analysis/points_to.h"
+
+#include <chrono>
+
+#include "src/support/check.h"
+
+namespace opec_analysis {
+
+using opec_ir::Expr;
+using opec_ir::ExprKind;
+using opec_ir::Function;
+using opec_ir::GlobalVariable;
+using opec_ir::Module;
+using opec_ir::Stmt;
+using opec_ir::StmtKind;
+using opec_ir::StmtPtr;
+
+PointsToAnalysis::PointsToAnalysis(const Module& module) : module_(module) {}
+
+int PointsToAnalysis::NewNode(PtaNode node) {
+  nodes_.push_back(node);
+  pts_.emplace_back();
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int PointsToAnalysis::GlobalNode(const GlobalVariable* gv) {
+  auto it = global_nodes_.find(gv);
+  if (it != global_nodes_.end()) {
+    return it->second;
+  }
+  PtaNode n;
+  n.kind = PtaNode::Kind::kGlobal;
+  n.global = gv;
+  return global_nodes_[gv] = NewNode(n);
+}
+
+int PointsToAnalysis::LocalNode(const Function* fn, int slot) {
+  auto key = std::make_pair(fn, slot);
+  auto it = local_nodes_.find(key);
+  if (it != local_nodes_.end()) {
+    return it->second;
+  }
+  PtaNode n;
+  n.kind = PtaNode::Kind::kLocal;
+  n.func = fn;
+  n.local_slot = slot;
+  return local_nodes_[key] = NewNode(n);
+}
+
+int PointsToAnalysis::FuncNode(const Function* fn) {
+  auto it = func_nodes_.find(fn);
+  if (it != func_nodes_.end()) {
+    return it->second;
+  }
+  PtaNode n;
+  n.kind = PtaNode::Kind::kFunc;
+  n.func = fn;
+  return func_nodes_[fn] = NewNode(n);
+}
+
+int PointsToAnalysis::MemConstNode(uint32_t addr) {
+  auto it = memconst_nodes_.find(addr);
+  if (it != memconst_nodes_.end()) {
+    return it->second;
+  }
+  PtaNode n;
+  n.kind = PtaNode::Kind::kMemConst;
+  n.const_addr = addr;
+  return memconst_nodes_[addr] = NewNode(n);
+}
+
+int PointsToAnalysis::RetNode(const Function* fn) {
+  auto it = ret_nodes_.find(fn);
+  if (it != ret_nodes_.end()) {
+    return it->second;
+  }
+  PtaNode n;
+  n.kind = PtaNode::Kind::kRet;
+  n.func = fn;
+  return ret_nodes_[fn] = NewNode(n);
+}
+
+int PointsToAnalysis::TempNode(const Expr* e) {
+  auto it = temp_nodes_.find(e);
+  if (it != temp_nodes_.end()) {
+    return it->second;
+  }
+  PtaNode n;
+  n.kind = PtaNode::Kind::kTemp;
+  n.expr = e;
+  return temp_nodes_[e] = NewNode(n);
+}
+
+void PointsToAnalysis::AddBase(int node, int loc) { pts_[static_cast<size_t>(node)].insert(loc); }
+void PointsToAnalysis::AddCopy(int from, int to) { copy_edges_.emplace_back(from, to); }
+void PointsToAnalysis::AddLoad(int ptr, int dst) { loads_.emplace_back(ptr, dst); }
+void PointsToAnalysis::AddStore(int ptr, int src) { stores_.emplace_back(ptr, src); }
+
+int PointsToAnalysis::LocationOf(const Function& fn, const Expr& lvalue) {
+  switch (lvalue.kind) {
+    case ExprKind::kGlobal:
+      return GlobalNode(lvalue.global);
+    case ExprKind::kLocal:
+      return LocalNode(&fn, lvalue.local_slot);
+    case ExprKind::kField:
+      // Field-insensitive: collapse onto the base aggregate.
+      return LocationOf(fn, *lvalue.operands[0]);
+    case ExprKind::kIndex: {
+      const Expr& base = *lvalue.operands[0];
+      ProcessExpr(fn, *lvalue.operands[1]);
+      if (base.type->IsPointer()) {
+        // p[i]: the location is whatever p points to — handled by the caller
+        // through the pointer temp node (returns -1 here; callers use
+        // load/store through the pointer).
+        return -1;
+      }
+      return LocationOf(fn, base);
+    }
+    case ExprKind::kDeref:
+      return -1;  // location(s) = pts(ptr); handled via load/store constraints
+    default:
+      return -1;
+  }
+}
+
+int PointsToAnalysis::ProcessExpr(const Function& fn, const Expr& e) {
+  int temp = TempNode(&e);
+  switch (e.kind) {
+    case ExprKind::kIntConst:
+      if (e.type->IsPointer() && e.int_value != 0) {
+        AddBase(temp, MemConstNode(static_cast<uint32_t>(e.int_value)));
+      }
+      break;
+    case ExprKind::kFuncAddr:
+      AddBase(temp, FuncNode(e.func));
+      break;
+    case ExprKind::kLocal:
+      AddCopy(LocalNode(&fn, e.local_slot), temp);
+      break;
+    case ExprKind::kGlobal:
+      AddCopy(GlobalNode(e.global), temp);
+      break;
+    case ExprKind::kAddrOf: {
+      const Expr& lv = *e.operands[0];
+      int loc = LocationOf(fn, lv);
+      if (loc >= 0) {
+        AddBase(temp, loc);
+      } else if (lv.kind == ExprKind::kDeref ||
+                 (lv.kind == ExprKind::kIndex && lv.operands[0]->type->IsPointer())) {
+        // &(*p) or &p[i]: aliases p itself.
+        int p = ProcessExpr(fn, *lv.operands[0]);
+        if (lv.kind == ExprKind::kIndex) {
+          ProcessExpr(fn, *lv.operands[1]);
+        }
+        AddCopy(p, temp);
+      }
+      break;
+    }
+    case ExprKind::kDeref: {
+      int p = ProcessExpr(fn, *e.operands[0]);
+      AddLoad(p, temp);
+      break;
+    }
+    case ExprKind::kIndex: {
+      const Expr& base = *e.operands[0];
+      ProcessExpr(fn, *e.operands[1]);
+      if (base.type->IsPointer()) {
+        int p = ProcessExpr(fn, base);
+        AddLoad(p, temp);
+      } else {
+        int loc = LocationOf(fn, base);
+        if (loc >= 0) {
+          AddCopy(loc, temp);
+        }
+      }
+      break;
+    }
+    case ExprKind::kField: {
+      int loc = LocationOf(fn, e);
+      if (loc >= 0) {
+        AddCopy(loc, temp);
+      }
+      break;
+    }
+    case ExprKind::kUnary:
+    case ExprKind::kBinary:
+      for (const opec_ir::ExprPtr& op : e.operands) {
+        int t = ProcessExpr(fn, *op);
+        // Pointer arithmetic (ptr + k) keeps pointing at the same object.
+        if (op->type->IsPointer()) {
+          AddCopy(t, temp);
+        }
+      }
+      break;
+    case ExprKind::kCast: {
+      int t = ProcessExpr(fn, *e.operands[0]);
+      AddCopy(t, temp);
+      // Integer literal cast to pointer: a constant memory address.
+      if (e.type->IsPointer() && e.operands[0]->kind == ExprKind::kIntConst &&
+          e.operands[0]->int_value != 0) {
+        AddBase(temp, MemConstNode(static_cast<uint32_t>(e.operands[0]->int_value)));
+      }
+      break;
+    }
+    case ExprKind::kCall:
+      WireCall(fn, e, temp);
+      break;
+    case ExprKind::kICall: {
+      int p = ProcessExpr(fn, *e.operands[0]);
+      for (size_t i = 1; i < e.operands.size(); ++i) {
+        ProcessExpr(fn, *e.operands[i]);
+      }
+      icall_sites_.emplace_back(p, &e);
+      break;
+    }
+  }
+  return temp;
+}
+
+void PointsToAnalysis::WireCall(const Function& fn, const Expr& call, int temp) {
+  for (const opec_ir::ExprPtr& arg : call.operands) {
+    ProcessExpr(fn, *arg);
+  }
+  const Function* callee = call.func;
+  for (size_t i = 0; i < call.operands.size(); ++i) {
+    AddCopy(TempNode(call.operands[i].get()), LocalNode(callee, static_cast<int>(i)));
+  }
+  AddCopy(RetNode(callee), temp);
+}
+
+void PointsToAnalysis::WireCallee(const Expr& call, const Function* callee) {
+  // Wire an icall site to a resolved callee: args (operands[1..]) to params,
+  // return node to the call temp.
+  size_t num_args = call.operands.size() - 1;
+  if (static_cast<size_t>(callee->param_count()) != num_args) {
+    return;  // arity mismatch: not a feasible target
+  }
+  for (size_t i = 0; i < num_args; ++i) {
+    AddCopy(TempNode(call.operands[i + 1].get()), LocalNode(callee, static_cast<int>(i)));
+  }
+  AddCopy(RetNode(callee), TempNode(&call));
+}
+
+void PointsToAnalysis::ProcessStmt(const Function& fn, const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::kAssign: {
+      int rhs = ProcessExpr(fn, *s.expr);
+      const Expr& lhs = *s.lhs;
+      int loc = LocationOf(fn, lhs);
+      if (loc >= 0) {
+        AddCopy(rhs, loc);
+      } else if (lhs.kind == ExprKind::kDeref) {
+        int p = ProcessExpr(fn, *lhs.operands[0]);
+        AddStore(p, rhs);
+      } else if (lhs.kind == ExprKind::kIndex && lhs.operands[0]->type->IsPointer()) {
+        int p = ProcessExpr(fn, *lhs.operands[0]);
+        ProcessExpr(fn, *lhs.operands[1]);
+        AddStore(p, rhs);
+      } else if (lhs.kind == ExprKind::kField || lhs.kind == ExprKind::kIndex) {
+        // Field/index of a deref chain: find the innermost pointer.
+        const Expr* base = &lhs;
+        while (base->kind == ExprKind::kField || base->kind == ExprKind::kIndex) {
+          base = base->operands[0].get();
+        }
+        if (base->kind == ExprKind::kDeref) {
+          int p = ProcessExpr(fn, *base->operands[0]);
+          AddStore(p, rhs);
+        }
+      }
+      break;
+    }
+    case StmtKind::kExpr:
+      ProcessExpr(fn, *s.expr);
+      break;
+    case StmtKind::kIf:
+      ProcessExpr(fn, *s.expr);
+      for (const StmtPtr& t : s.body) {
+        ProcessStmt(fn, *t);
+      }
+      for (const StmtPtr& t : s.orelse) {
+        ProcessStmt(fn, *t);
+      }
+      break;
+    case StmtKind::kWhile:
+      ProcessExpr(fn, *s.expr);
+      for (const StmtPtr& t : s.body) {
+        ProcessStmt(fn, *t);
+      }
+      break;
+    case StmtKind::kReturn:
+      if (s.expr != nullptr) {
+        AddCopy(ProcessExpr(fn, *s.expr), RetNode(&fn));
+      }
+      break;
+    case StmtKind::kBreak:
+    case StmtKind::kContinue:
+      break;
+  }
+}
+
+void PointsToAnalysis::ProcessFunction(const Function& fn) {
+  for (const StmtPtr& s : fn.body()) {
+    ProcessStmt(fn, *s);
+  }
+}
+
+void PointsToAnalysis::Run() {
+  if (solved_) {
+    return;
+  }
+  auto start = std::chrono::steady_clock::now();
+  for (const auto& fn : module_.functions()) {
+    ProcessFunction(*fn);
+  }
+  Solve();
+  solved_ = true;
+  solve_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+void PointsToAnalysis::Solve() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Copy edges.
+    for (const auto& [from, to] : copy_edges_) {
+      auto& dst = pts_[static_cast<size_t>(to)];
+      size_t before = dst.size();
+      const auto& src = pts_[static_cast<size_t>(from)];
+      dst.insert(src.begin(), src.end());
+      changed |= dst.size() != before;
+    }
+    // Loads: dst ⊇ pts(l) for each l ∈ pts(ptr).
+    for (const auto& [ptr, dst] : loads_) {
+      auto& out = pts_[static_cast<size_t>(dst)];
+      size_t before = out.size();
+      for (int l : pts_[static_cast<size_t>(ptr)]) {
+        const auto& src = pts_[static_cast<size_t>(l)];
+        out.insert(src.begin(), src.end());
+      }
+      changed |= out.size() != before;
+    }
+    // Stores: pts(l) ⊇ pts(src) for each l ∈ pts(ptr).
+    for (const auto& [ptr, src] : stores_) {
+      const auto& in = pts_[static_cast<size_t>(src)];
+      for (int l : pts_[static_cast<size_t>(ptr)]) {
+        auto& out = pts_[static_cast<size_t>(l)];
+        size_t before = out.size();
+        out.insert(in.begin(), in.end());
+        changed |= out.size() != before;
+      }
+    }
+    // On-the-fly icall resolution.
+    for (const auto& [ptr, call] : icall_sites_) {
+      for (int t : pts_[static_cast<size_t>(ptr)]) {
+        const PtaNode& n = nodes_[static_cast<size_t>(t)];
+        if (n.kind != PtaNode::Kind::kFunc) {
+          continue;
+        }
+        auto key = std::make_pair(call, n.func);
+        if (wired_.insert(key).second) {
+          WireCallee(*call, n.func);
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+std::set<const Function*> PointsToAnalysis::ICallTargets(const Expr* icall) const {
+  OPEC_CHECK(icall->kind == ExprKind::kICall);
+  std::set<const Function*> out;
+  auto it = temp_nodes_.find(icall->operands[0].get());
+  if (it == temp_nodes_.end()) {
+    return out;
+  }
+  for (int t : pts_[static_cast<size_t>(it->second)]) {
+    const PtaNode& n = nodes_[static_cast<size_t>(t)];
+    if (n.kind == PtaNode::Kind::kFunc &&
+        n.func->param_count() == static_cast<int>(icall->operands.size()) - 1) {
+      out.insert(n.func);
+    }
+  }
+  return out;
+}
+
+std::set<const GlobalVariable*> PointsToAnalysis::PointeeGlobals(const Expr* e) const {
+  std::set<const GlobalVariable*> out;
+  auto it = temp_nodes_.find(e);
+  if (it == temp_nodes_.end()) {
+    return out;
+  }
+  for (int t : pts_[static_cast<size_t>(it->second)]) {
+    const PtaNode& n = nodes_[static_cast<size_t>(t)];
+    if (n.kind == PtaNode::Kind::kGlobal) {
+      out.insert(n.global);
+    }
+  }
+  return out;
+}
+
+std::set<uint32_t> PointsToAnalysis::PointeeConstAddrs(const Expr* e) const {
+  std::set<uint32_t> out;
+  auto it = temp_nodes_.find(e);
+  if (it == temp_nodes_.end()) {
+    return out;
+  }
+  for (int t : pts_[static_cast<size_t>(it->second)]) {
+    const PtaNode& n = nodes_[static_cast<size_t>(t)];
+    if (n.kind == PtaNode::Kind::kMemConst) {
+      out.insert(n.const_addr);
+    }
+  }
+  return out;
+}
+
+bool PointsToAnalysis::MayPointToLocal(const Expr* e) const {
+  auto it = temp_nodes_.find(e);
+  if (it == temp_nodes_.end()) {
+    return false;
+  }
+  for (int t : pts_[static_cast<size_t>(it->second)]) {
+    if (nodes_[static_cast<size_t>(t)].kind == PtaNode::Kind::kLocal) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace opec_analysis

@@ -1,0 +1,173 @@
+#include "src/analysis/resource_analysis.h"
+
+#include "src/support/check.h"
+
+namespace opec_analysis {
+
+using opec_hw::PeripheralInfo;
+using opec_hw::SocDescription;
+using opec_ir::Expr;
+using opec_ir::ExprKind;
+using opec_ir::Function;
+using opec_ir::GlobalVariable;
+using opec_ir::Module;
+using opec_ir::Stmt;
+using opec_ir::StmtKind;
+using opec_ir::StmtPtr;
+
+namespace {
+
+class Collector {
+ public:
+  Collector(const Function& fn, PointsToAnalysis& pta, const SocDescription& soc,
+            FunctionResources& out)
+      : fn_(fn), pta_(pta), soc_(soc), out_(out) {}
+
+  void Stmt(const opec_ir::Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kAssign:
+        Lvalue(*s.lhs, /*is_write=*/true);
+        Rvalue(*s.expr);
+        break;
+      case StmtKind::kExpr:
+      case StmtKind::kReturn:
+        if (s.expr != nullptr) {
+          Rvalue(*s.expr);
+        }
+        break;
+      case StmtKind::kIf:
+      case StmtKind::kWhile:
+        Rvalue(*s.expr);
+        break;
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+        break;
+    }
+    for (const StmtPtr& t : s.body) {
+      Stmt(*t);
+    }
+    for (const StmtPtr& t : s.orelse) {
+      Stmt(*t);
+    }
+  }
+
+ private:
+  void RecordGlobal(const GlobalVariable* gv, bool is_write) {
+    if (is_write) {
+      out_.writes.insert(gv);
+    } else {
+      out_.reads.insert(gv);
+    }
+  }
+
+  void RecordConstAddr(uint32_t addr) {
+    const PeripheralInfo* p = soc_.Find(addr);
+    if (p == nullptr) {
+      return;  // a constant RAM/flash address, not a peripheral
+    }
+    if (p->is_core) {
+      out_.core_peripherals.insert(p->name);
+    } else {
+      out_.peripherals.insert(p->name);
+    }
+  }
+
+  // Record the memory objects an lvalue designates. `is_write` marks stores.
+  void Lvalue(const Expr& e, bool is_write) {
+    switch (e.kind) {
+      case ExprKind::kGlobal:
+        RecordGlobal(e.global, is_write);
+        return;
+      case ExprKind::kLocal:
+        return;
+      case ExprKind::kField:
+        Lvalue(*e.operands[0], is_write);
+        return;
+      case ExprKind::kIndex:
+        Rvalue(*e.operands[1]);
+        if (e.operands[0]->type->IsPointer()) {
+          ThroughPointer(*e.operands[0], is_write);
+        } else {
+          Lvalue(*e.operands[0], is_write);
+        }
+        return;
+      case ExprKind::kDeref:
+        ThroughPointer(*e.operands[0], is_write);
+        return;
+      default:
+        OPEC_UNREACHABLE("non-lvalue in Lvalue()");
+    }
+  }
+
+  // An access through a pointer expression: resolve via points-to (indirect
+  // global access) and via constant addresses (peripheral access — the
+  // backward-slicing equivalent of Section 4.2).
+  void ThroughPointer(const Expr& ptr, bool is_write) {
+    Rvalue(ptr);  // evaluating the pointer itself may touch memory
+    for (const GlobalVariable* gv : pta_.PointeeGlobals(&ptr)) {
+      RecordGlobal(gv, is_write);
+    }
+    for (uint32_t addr : pta_.PointeeConstAddrs(&ptr)) {
+      RecordConstAddr(addr);
+    }
+  }
+
+  void Rvalue(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kGlobal:
+        RecordGlobal(e.global, /*is_write=*/false);
+        return;
+      case ExprKind::kDeref:
+        ThroughPointer(*e.operands[0], /*is_write=*/false);
+        return;
+      case ExprKind::kIndex:
+        Rvalue(*e.operands[1]);
+        if (e.operands[0]->type->IsPointer()) {
+          ThroughPointer(*e.operands[0], /*is_write=*/false);
+        } else {
+          Lvalue(*e.operands[0], /*is_write=*/false);
+        }
+        return;
+      case ExprKind::kField:
+        Lvalue(*e.operands[0], /*is_write=*/false);
+        return;
+      case ExprKind::kAddrOf:
+        // Taking an address does not access memory; the use through the
+        // pointer is attributed wherever the dereference happens.
+        // Still walk operands of compound lvalues (e.g. index expressions).
+        if (e.operands[0]->kind == ExprKind::kIndex) {
+          Rvalue(*e.operands[0]->operands[1]);
+        }
+        return;
+      default:
+        for (const opec_ir::ExprPtr& op : e.operands) {
+          Rvalue(*op);
+        }
+        return;
+    }
+  }
+
+  const Function& fn_;
+  PointsToAnalysis& pta_;
+  const SocDescription& soc_;
+  FunctionResources& out_;
+};
+
+}  // namespace
+
+std::map<const Function*, FunctionResources> ResourceAnalysis::Run(const Module& module,
+                                                                   PointsToAnalysis& pta,
+                                                                   const SocDescription& soc) {
+  pta.Run();
+  std::map<const Function*, FunctionResources> out;
+  for (const auto& fn : module.functions()) {
+    FunctionResources& res = out[fn.get()];
+    Collector collector(*fn, pta, soc, res);
+    for (const StmtPtr& s : fn->body()) {
+      collector.Stmt(*s);
+    }
+  }
+  return out;
+}
+
+}  // namespace opec_analysis

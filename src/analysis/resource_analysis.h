@@ -1,0 +1,44 @@
+// Resource-dependency analysis (Section 4.2): for every function, the global
+// variables it may read/write (directly via def-use, indirectly via the
+// points-to analysis) and the peripherals it may access (via constant memory
+// addresses checked against the SoC datasheet, split into general and core
+// peripherals).
+
+#ifndef SRC_ANALYSIS_RESOURCE_ANALYSIS_H_
+#define SRC_ANALYSIS_RESOURCE_ANALYSIS_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/analysis/points_to.h"
+#include "src/hw/soc.h"
+#include "src/ir/module.h"
+
+namespace opec_analysis {
+
+struct FunctionResources {
+  std::set<const opec_ir::GlobalVariable*> reads;
+  std::set<const opec_ir::GlobalVariable*> writes;
+  // Names of general peripherals (from the datasheet) the function accesses.
+  std::set<std::string> peripherals;
+  // Core peripherals (on the PPB), which need privileged access.
+  std::set<std::string> core_peripherals;
+
+  std::set<const opec_ir::GlobalVariable*> AllGlobals() const {
+    std::set<const opec_ir::GlobalVariable*> all = reads;
+    all.insert(writes.begin(), writes.end());
+    return all;
+  }
+};
+
+class ResourceAnalysis {
+ public:
+  // Computes summaries for every function. `pta` is Run() if needed.
+  static std::map<const opec_ir::Function*, FunctionResources> Run(
+      const opec_ir::Module& module, PointsToAnalysis& pta, const opec_hw::SocDescription& soc);
+};
+
+}  // namespace opec_analysis
+
+#endif  // SRC_ANALYSIS_RESOURCE_ANALYSIS_H_

@@ -1,0 +1,25 @@
+#include "src/apps/all_apps.h"
+
+#include "src/apps/animation.h"
+#include "src/apps/camera.h"
+#include "src/apps/coremark.h"
+#include "src/apps/fatfs_usd.h"
+#include "src/apps/lcd_usd.h"
+#include "src/apps/pinlock.h"
+#include "src/apps/tcp_echo.h"
+
+namespace opec_apps {
+
+std::vector<AppFactory> AllApps() {
+  return {
+      {"PinLock", [] { return std::unique_ptr<Application>(new PinLockApp()); }, true},
+      {"Animation", [] { return std::unique_ptr<Application>(new AnimationApp()); }, true},
+      {"FatFs-uSD", [] { return std::unique_ptr<Application>(new FatFsUsdApp()); }, true},
+      {"LCD-uSD", [] { return std::unique_ptr<Application>(new LcdUsdApp()); }, true},
+      {"TCP-Echo", [] { return std::unique_ptr<Application>(new TcpEchoApp()); }, true},
+      {"Camera", [] { return std::unique_ptr<Application>(new CameraApp()); }, false},
+      {"CoreMark", [] { return std::unique_ptr<Application>(new CoreMarkApp()); }, false},
+  };
+}
+
+}  // namespace opec_apps

@@ -1,0 +1,28 @@
+// Registry of every evaluated workload (the paper's Section 6 line-up).
+
+#ifndef SRC_APPS_ALL_APPS_H_
+#define SRC_APPS_ALL_APPS_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/apps/app.h"
+
+namespace opec_apps {
+
+struct AppFactory {
+  std::string name;
+  std::function<std::unique_ptr<Application>()> make;
+  // The five applications ACES also evaluated (used by Figures 10/11 and
+  // Table 2's comparison).
+  bool in_aces_comparison = false;
+};
+
+// All seven workloads, in the paper's order: PinLock, Animation, FatFs-uSD,
+// LCD-uSD, TCP-Echo, Camera, CoreMark.
+std::vector<AppFactory> AllApps();
+
+}  // namespace opec_apps
+
+#endif  // SRC_APPS_ALL_APPS_H_

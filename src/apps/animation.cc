@@ -1,0 +1,238 @@
+#include "src/apps/animation.h"
+
+#include "src/apps/guest/lcd_driver.h"
+#include "src/apps/guest/sd_driver.h"
+#include "src/hw/address_map.h"
+#include "src/ir/builder.h"
+#include "src/support/text.h"
+
+namespace opec_apps {
+
+using opec_hw::kDcmiBase;
+using opec_hw::kDwtCyccnt;
+using opec_hw::kLcdBase;
+using opec_hw::kRccBase;
+using opec_hw::kSdioBase;
+using opec_ir::FunctionBuilder;
+using opec_ir::Module;
+using opec_ir::Type;
+using opec_ir::Val;
+
+uint8_t AnimationApp::PictureByte(int index, uint32_t offset) {
+  return static_cast<uint8_t>((static_cast<uint32_t>(index) * 37 + offset * 11 + 5) & 0xFF);
+}
+
+std::unique_ptr<Module> AnimationApp::BuildModule() const {
+  auto m = std::make_unique<Module>("animation");
+  auto& tt = m->types();
+  const Type* u8 = tt.U8();
+  const Type* u32 = tt.U32();
+  const Type* void_ty = tt.VoidTy();
+
+  const Type* p_u8 = tt.PointerTo(u8);
+  const Type* brightness_sig = tt.FunctionTy(void_ty, {u32});
+  const Type* draw_sig = tt.FunctionTy(void_ty, {p_u8, u32});
+  m->AddGlobal("brightness_fn", tt.PointerTo(brightness_sig));
+  m->AddGlobal("draw_fn", tt.PointerTo(draw_sig));
+
+  m->AddGlobal("pic_buf", tt.ArrayOf(u8, kPictureBytes));
+  m->AddGlobal("frame_count", u32);
+  m->AddGlobal("brightness", u32);
+  m->AddGlobal("sys_clock", u32);
+  m->AddGlobal("profile_cycles", u32);
+
+  EmitSdDriver(*m, kSdioBase);
+  EmitLcdDriver(*m, kLcdBase);
+
+  {
+    auto* fn = m->AddFunction("System_Init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("system.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Mmio32(kRccBase + 0x00), b.U32(1u << 24));
+    b.While((b.Mmio32(kRccBase + 0x00) & b.U32(1u << 25)) == b.U32(0));
+    b.End();
+    b.Assign(b.Mmio32(kRccBase + 0x30), b.U32(0xFF));
+    b.Assign(b.G("sys_clock"), b.U32(180000000));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Sd_Init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("bsp_sd.c");
+    FunctionBuilder b(*m, fn);
+    b.Call("sd_init", {});
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Lcd_Init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("bsp_lcd.c");
+    FunctionBuilder b(*m, fn);
+    b.Call("lcd_init", {});
+    b.Assign(b.G("brightness"), b.U32(0));
+    // HAL-style callback registration (the app's indirect-call sites).
+    b.Assign(b.G("brightness_fn"), b.FnPtr("lcd_set_brightness"));
+    b.Assign(b.G("draw_fn"), b.FnPtr("lcd_draw"));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Load_Picture", tt.FunctionTy(void_ty, {u32}), {"index"});
+    fn->set_source_file("animation.c");
+    FunctionBuilder b(*m, fn);
+    Val s = b.Local("s", u32);
+    b.Assign(s, b.U32(0));
+    b.While(s < b.U32(kPictureBytes / 512));
+    {
+      b.Call("sd_read_sector", {b.L("index") * b.U32(kPictureBytes / 512) + s,
+                                b.Addr(b.Idx(b.G("pic_buf"), s * b.U32(512)))});
+      b.Assign(s, s + b.U32(1));
+    }
+    b.End();
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Display_Picture", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("animation.c");
+    FunctionBuilder b(*m, fn);
+    b.ICall(draw_sig, b.G("draw_fn"),
+            {b.Addr(b.Idx(b.G("pic_buf"), 0u)), b.U32(kPictureBytes)});
+    b.Assign(b.G("frame_count"), b.G("frame_count") + b.U32(1));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Fade_In", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("animation.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.G("brightness"), b.U32(0));
+    b.While(b.G("brightness") < b.U32(255));
+    {
+      b.Assign(b.G("brightness"), b.G("brightness") + b.U32(51));
+      b.ICall(brightness_sig, b.G("brightness_fn"), {b.G("brightness")});
+    }
+    b.End();
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Fade_Out", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("animation.c");
+    FunctionBuilder b(*m, fn);
+    b.While(b.G("brightness") > b.U32(0));
+    {
+      b.Assign(b.G("brightness"), b.G("brightness") - b.U32(51));
+      b.ICall(brightness_sig, b.G("brightness_fn"), {b.G("brightness")});
+    }
+    b.End();
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("main", tt.FunctionTy(u32, {}), {});
+    fn->set_source_file("main.c");
+    FunctionBuilder b(*m, fn);
+    Val start = b.Local("start", u32);
+    b.Assign(start, b.Mmio32(kDwtCyccnt));
+    b.Call("System_Init", {});
+    b.Call("Sd_Init", {});
+    b.Call("Lcd_Init", {});
+    Val i = b.Local("i", u32);
+    b.Assign(i, b.U32(0));
+    b.While(i < b.U32(kPictures));
+    {
+      b.Call("Fade_Out", {});
+      b.Call("Load_Picture", {i});
+      b.Call("Display_Picture", {});
+      b.Call("Fade_In", {});
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.Assign(b.G("profile_cycles"), b.Mmio32(kDwtCyccnt) - start);
+    b.Ret(b.G("frame_count"));
+    b.Finish();
+  }
+  return m;
+}
+
+opec_compiler::PartitionConfig AnimationApp::Partition() const {
+  opec_compiler::PartitionConfig config;
+  config.entries.push_back({"System_Init", {}});
+  config.entries.push_back({"Sd_Init", {}});
+  config.entries.push_back({"Lcd_Init", {}});
+  config.entries.push_back({"Load_Picture", {}});
+  config.entries.push_back({"Display_Picture", {}});
+  config.entries.push_back({"Fade_In", {}});
+  config.entries.push_back({"Fade_Out", {}});
+  config.sanitize.push_back({"brightness", 0, 255});
+  return config;
+}
+
+opec_hw::SocDescription AnimationApp::Soc() const {
+  opec_hw::SocDescription soc = opec_hw::SocDescription::WithCorePeripherals();
+  soc.AddPeripheral({"RCC", kRccBase, 0x400, false});
+  soc.AddPeripheral({"SDIO", kSdioBase, 0x400, false});
+  soc.AddPeripheral({"LCD", kLcdBase, 0x400, false});
+  return soc;
+}
+
+std::unique_ptr<AppDevices> AnimationApp::CreateDevices(opec_hw::Machine& machine) const {
+  auto devices = std::make_unique<AnimationDevices>();
+  auto sd = std::make_unique<opec_hw::BlockDevice>("SDIO", kSdioBase, 256);
+  auto lcd = std::make_unique<opec_hw::Lcd>("LCD", kLcdBase);
+  auto rcc = std::make_unique<opec_hw::Rcc>("RCC", kRccBase);
+  devices->sd = sd.get();
+  devices->lcd = lcd.get();
+  devices->rcc = rcc.get();
+  machine.bus().AttachDevice(sd.get());
+  machine.bus().AttachDevice(lcd.get());
+  machine.bus().AttachDevice(rcc.get());
+  devices->owned.push_back(std::move(sd));
+  devices->owned.push_back(std::move(lcd));
+  devices->owned.push_back(std::move(rcc));
+  return devices;
+}
+
+void AnimationApp::PrepareScenario(AppDevices& devices) const {
+  auto& d = static_cast<AnimationDevices&>(devices);
+  for (int pic = 0; pic < kPictures; ++pic) {
+    for (uint32_t s = 0; s < kPictureBytes / 512; ++s) {
+      std::vector<uint8_t> sector(512);
+      for (uint32_t i = 0; i < 512; ++i) {
+        sector[i] = PictureByte(pic, s * 512 + i);
+      }
+      d.sd->WriteSectorDirect(static_cast<uint32_t>(pic) * (kPictureBytes / 512) + s, sector);
+    }
+  }
+}
+
+std::string AnimationApp::CheckScenario(const AppDevices& devices,
+                                        const opec_rt::RunResult& result) const {
+  const auto& d = static_cast<const AnimationDevices&>(devices);
+  if (!result.ok) {
+    return "run failed: " + result.violation;
+  }
+  if (result.return_value != kPictures) {
+    return opec_support::StrPrintf("expected %d frames displayed, got %u", kPictures,
+                                   result.return_value);
+  }
+  if (d.lcd->pixels_written() != static_cast<uint64_t>(kPictures) * kPictureBytes) {
+    return "wrong number of pixels drawn";
+  }
+  // The framebuffer must hold the last picture.
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t expected = PictureByte(kPictures - 1, i);
+    if (d.lcd->PixelAt(i % opec_hw::Lcd::kWidth, i / opec_hw::Lcd::kWidth) != expected) {
+      return opec_support::StrPrintf("pixel %u mismatch", i);
+    }
+  }
+  // Fades happened: 5 brightness steps up per frame + 5 down between frames
+  // (the first Fade_Out is a no-op at brightness 0).
+  if (d.lcd->brightness_history().size() < static_cast<size_t>(kPictures) * 10 - 5) {
+    return "missing fade transitions";
+  }
+  return "";
+}
+
+}  // namespace opec_apps

@@ -1,0 +1,44 @@
+// Animation (STM32479I-EVAL): reads 11 picture frames from the SD card and
+// displays them on the LCD with fade-in/fade-out — a moving butterfly in the
+// original. Eight operations: System_Init, Sd_Init, Lcd_Init, Load_Picture,
+// Display_Picture, Fade_In, Fade_Out + the default main operation.
+
+#ifndef SRC_APPS_ANIMATION_H_
+#define SRC_APPS_ANIMATION_H_
+
+#include "src/apps/app.h"
+#include "src/hw/devices/block_device.h"
+#include "src/hw/devices/lcd.h"
+#include "src/hw/devices/rcc.h"
+
+namespace opec_apps {
+
+struct AnimationDevices : AppDevices {
+  opec_hw::BlockDevice* sd = nullptr;
+  opec_hw::Lcd* lcd = nullptr;
+  opec_hw::Rcc* rcc = nullptr;
+  std::vector<std::unique_ptr<opec_hw::MmioDevice>> owned;
+};
+
+class AnimationApp : public Application {
+ public:
+  static constexpr int kPictures = 11;
+  static constexpr uint32_t kPictureBytes = 2048;  // 4 sectors per frame
+
+  std::string name() const override { return "Animation"; }
+  opec_hw::Board board() const override { return opec_hw::Board::kStm32479iEval; }
+  std::unique_ptr<opec_ir::Module> BuildModule() const override;
+  opec_compiler::PartitionConfig Partition() const override;
+  opec_hw::SocDescription Soc() const override;
+  std::unique_ptr<AppDevices> CreateDevices(opec_hw::Machine& machine) const override;
+  void PrepareScenario(AppDevices& devices) const override;
+  std::string CheckScenario(const AppDevices& devices,
+                            const opec_rt::RunResult& result) const override;
+
+  // Deterministic pixel pattern of frame `index` at byte `offset`.
+  static uint8_t PictureByte(int index, uint32_t offset);
+};
+
+}  // namespace opec_apps
+
+#endif  // SRC_APPS_ANIMATION_H_

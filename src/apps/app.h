@@ -1,0 +1,61 @@
+// Application interface: one implementation per tested workload (the paper's
+// six IoT applications + CoreMark, Section 6). An Application supplies
+//   * a fresh guest IR module (the "source code"),
+//   * the developer inputs (operation entries, stack info, sanitize ranges),
+//   * the SoC datasheet and device models,
+//   * a scenario: the I/O the testbench feeds in, and the expected outputs.
+
+#ifndef SRC_APPS_APP_H_
+#define SRC_APPS_APP_H_
+
+#include <memory>
+#include <string>
+
+#include "src/compiler/partition_config.h"
+#include "src/hw/machine.h"
+#include "src/hw/soc.h"
+#include "src/ir/module.h"
+#include "src/rt/engine.h"
+
+namespace opec_apps {
+
+// Typed handle to the device models attached to a machine; each application
+// defines a subclass with its own devices.
+struct AppDevices {
+  virtual ~AppDevices() = default;
+};
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  virtual std::string name() const = 0;
+  virtual opec_hw::Board board() const = 0;
+
+  // Builds a pristine guest module. Called fresh for every image build (the
+  // OPEC compile mutates the module).
+  virtual std::unique_ptr<opec_ir::Module> BuildModule() const = 0;
+
+  // Developer inputs to OPEC-Compiler (entries, stack info, sanitization).
+  virtual opec_compiler::PartitionConfig Partition() const = 0;
+
+  // The SoC datasheet (always includes the ARMv7-M core peripherals).
+  virtual opec_hw::SocDescription Soc() const = 0;
+
+  // Creates the device models and attaches them to the machine's bus. The
+  // returned handle owns the devices.
+  virtual std::unique_ptr<AppDevices> CreateDevices(opec_hw::Machine& machine) const = 0;
+
+  // Feeds the scenario's external inputs (UART bytes, frames, SD content...)
+  // before the run.
+  virtual void PrepareScenario(AppDevices& devices) const = 0;
+
+  // Verifies the scenario's outputs after the run; returns an empty string on
+  // success, a diagnostic otherwise.
+  virtual std::string CheckScenario(const AppDevices& devices,
+                                    const opec_rt::RunResult& result) const = 0;
+};
+
+}  // namespace opec_apps
+
+#endif  // SRC_APPS_APP_H_

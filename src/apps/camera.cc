@@ -1,0 +1,312 @@
+#include "src/apps/camera.h"
+
+#include "src/hw/address_map.h"
+#include "src/ir/builder.h"
+#include "src/support/text.h"
+
+namespace opec_apps {
+
+using opec_hw::kDcmiBase;
+using opec_hw::kDwtCyccnt;
+using opec_hw::kGpioABase;
+using opec_hw::kRccBase;
+using opec_hw::kUsart1Base;
+using opec_hw::kUsbOtgBase;
+using opec_ir::FunctionBuilder;
+using opec_ir::Module;
+using opec_ir::Type;
+using opec_ir::Val;
+
+namespace {
+constexpr uint32_t kUsbCmd = kUsbOtgBase + 0x00;
+constexpr uint32_t kUsbArg = kUsbOtgBase + 0x04;
+constexpr uint32_t kUsbData = kUsbOtgBase + 0x0C;
+constexpr uint32_t kDcmiCtrl = kDcmiBase + 0x00;
+constexpr uint32_t kDcmiStatus = kDcmiBase + 0x04;
+constexpr uint32_t kDcmiData = kDcmiBase + 0x08;
+constexpr uint32_t kDcmiLen = kDcmiBase + 0x0C;
+constexpr uint32_t kButtonIdr = kGpioABase + 0x10;
+}  // namespace
+
+std::unique_ptr<Module> CameraApp::BuildModule() const {
+  auto m = std::make_unique<Module>("camera");
+  auto& tt = m->types();
+  const Type* u8 = tt.U8();
+  const Type* u32 = tt.U32();
+  const Type* p_u32 = tt.PointerTo(u32);
+  const Type* void_ty = tt.VoidTy();
+
+  const Type* notify_sig = tt.FunctionTy(void_ty, {});
+  // HAL-style completion callbacks, registered during init.
+  m->AddGlobal("capture_done_fn", tt.PointerTo(notify_sig));
+  m->AddGlobal("save_done_fn", tt.PointerTo(notify_sig));
+
+  m->AddGlobal("photo_buf", tt.ArrayOf(u8, kFrameBytes));
+  m->AddGlobal("photo_len", u32);
+  m->AddGlobal("save_status", u32);
+  m->AddGlobal("button_pressed", u32);
+  m->AddGlobal("sys_clock", u32);
+  m->AddGlobal("profile_cycles", u32);
+
+  {
+    auto* fn = m->AddFunction("System_Init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("system.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Mmio32(kRccBase + 0x00), b.U32(1u << 24));
+    b.While((b.Mmio32(kRccBase + 0x00) & b.U32(1u << 25)) == b.U32(0));
+    b.End();
+    b.Assign(b.G("sys_clock"), b.U32(180000000));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Button_Init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("bsp_button.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Mmio32(kGpioABase + 0x00), b.U32(0));  // PA0 input
+    b.Assign(b.G("button_pressed"), b.U32(0));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("on_capture_done", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("bsp_camera.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.G("button_pressed"), b.U32(0));  // re-arm the trigger
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("on_save_done", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("usbh_msc.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.G("save_status"), b.U32(1));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Camera_Init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("bsp_camera.c");
+    FunctionBuilder b(*m, fn);
+    Val len = b.Local("len", u32);
+    b.Assign(len, b.Mmio32(kDcmiLen));  // probe the sensor
+    b.Assign(b.G("capture_done_fn"), b.FnPtr("on_capture_done"));
+    b.Assign(b.G("save_done_fn"), b.FnPtr("on_save_done"));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Usb_Init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("usbh_msc.c");
+    FunctionBuilder b(*m, fn);
+    b.While((b.Mmio32(kUsbOtgBase + 0x08) & b.U32(1)) == b.U32(0));
+    b.End();
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Wait_Button", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("main.c");
+    FunctionBuilder b(*m, fn);
+    b.While((b.Mmio32(kButtonIdr) & b.U32(1)) == b.U32(0));
+    b.End();
+    b.Assign(b.G("button_pressed"), b.U32(1));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Capture_Photo", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("bsp_camera.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Mmio32(kDcmiCtrl), b.U32(1));  // start capture
+    b.While((b.Mmio32(kDcmiStatus) & b.U32(1)) == b.U32(0));
+    b.End();
+    Val len = b.Local("len", u32);
+    b.Assign(len, b.Mmio32(kDcmiLen));
+    b.If(len > b.U32(kFrameBytes));
+    b.Assign(len, b.U32(kFrameBytes));
+    b.End();
+    Val w = b.Local("w", p_u32);
+    Val i = b.Local("i", u32);
+    b.Assign(w, b.CastTo(p_u32, b.Addr(b.Idx(b.G("photo_buf"), 0u))));
+    b.Assign(i, b.U32(0));
+    b.While(i * b.U32(4) < len);
+    {
+      b.Assign(b.Idx(w, i), b.Mmio32(kDcmiData));
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.Assign(b.G("photo_len"), len);
+    b.ICall(notify_sig, b.G("capture_done_fn"), {});
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Save_Photo", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("usbh_msc.c");
+    FunctionBuilder b(*m, fn);
+    // Header sector 0: magic + length; data from sector 1 on.
+    Val w = b.Local("w", p_u32);
+    Val i = b.Local("i", u32);
+    Val s = b.Local("s", u32);
+    b.Assign(b.Mmio32(kUsbArg), b.U32(0));
+    b.Assign(b.Mmio32(kUsbCmd), b.U32(0));
+    b.Assign(b.Mmio32(kUsbData), b.U32(0x50484F54));  // "PHOT"
+    b.Assign(b.Mmio32(kUsbData), b.G("photo_len"));
+    b.Assign(i, b.U32(2));
+    b.While(i < b.U32(128));
+    {
+      b.Assign(b.Mmio32(kUsbData), b.U32(0));
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.Assign(b.Mmio32(kUsbCmd), b.U32(2));
+    // Data sectors.
+    b.Assign(w, b.CastTo(p_u32, b.Addr(b.Idx(b.G("photo_buf"), 0u))));
+    b.Assign(s, b.U32(0));
+    b.While(s * b.U32(512) < b.G("photo_len"));
+    {
+      b.Assign(b.Mmio32(kUsbArg), s + b.U32(1));
+      b.Assign(b.Mmio32(kUsbCmd), b.U32(0));
+      b.Assign(i, b.U32(0));
+      b.While(i < b.U32(128));
+      {
+        b.Assign(b.Mmio32(kUsbData), b.Idx(w, s * b.U32(128) + i));
+        b.Assign(i, i + b.U32(1));
+      }
+      b.End();
+      b.Assign(b.Mmio32(kUsbCmd), b.U32(2));
+      b.Assign(s, s + b.U32(1));
+    }
+    b.End();
+    b.ICall(notify_sig, b.G("save_done_fn"), {});
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Report_Status", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("report.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Mmio32(kUsart1Base + 0x08), b.U32(0x16D));
+    b.If(b.G("save_status") != b.U32(0));
+    {
+      b.Assign(b.Mmio32(kUsart1Base + 0x04), b.U32('P'));
+      b.Assign(b.Mmio32(kUsart1Base + 0x04), b.U32('H'));
+      b.Assign(b.Mmio32(kUsart1Base + 0x04), b.U32('O'));
+      b.Assign(b.Mmio32(kUsart1Base + 0x04), b.U32('K'));
+    }
+    b.End();
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("main", tt.FunctionTy(u32, {}), {});
+    fn->set_source_file("main.c");
+    FunctionBuilder b(*m, fn);
+    Val start = b.Local("start", u32);
+    b.Assign(start, b.Mmio32(kDwtCyccnt));
+    b.Call("System_Init", {});
+    b.Call("Button_Init", {});
+    b.Call("Camera_Init", {});
+    b.Call("Usb_Init", {});
+    b.Call("Wait_Button", {});
+    b.Call("Capture_Photo", {});
+    b.Call("Save_Photo", {});
+    b.Call("Report_Status", {});
+    b.Assign(b.G("profile_cycles"), b.Mmio32(kDwtCyccnt) - start);
+    b.Ret(b.G("save_status"));
+    b.Finish();
+  }
+  return m;
+}
+
+opec_compiler::PartitionConfig CameraApp::Partition() const {
+  opec_compiler::PartitionConfig config;
+  for (const char* entry : {"System_Init", "Button_Init", "Camera_Init", "Usb_Init",
+                            "Wait_Button", "Capture_Photo", "Save_Photo", "Report_Status"}) {
+    config.entries.push_back({entry, {}});
+  }
+  config.sanitize.push_back({"save_status", 0, 1});
+  config.sanitize.push_back({"photo_len", 0, kFrameBytes});
+  return config;
+}
+
+opec_hw::SocDescription CameraApp::Soc() const {
+  opec_hw::SocDescription soc = opec_hw::SocDescription::WithCorePeripherals();
+  soc.AddPeripheral({"RCC", kRccBase, 0x400, false});
+  soc.AddPeripheral({"GPIOA", kGpioABase, 0x400, false});
+  soc.AddPeripheral({"DCMI", kDcmiBase, 0x400, false});
+  soc.AddPeripheral({"USB_OTG", kUsbOtgBase, 0x400, false});
+  soc.AddPeripheral({"USART1", kUsart1Base, 0x400, false});
+  return soc;
+}
+
+std::unique_ptr<AppDevices> CameraApp::CreateDevices(opec_hw::Machine& machine) const {
+  auto devices = std::make_unique<CameraDevices>();
+  auto camera = std::make_unique<opec_hw::Camera>("DCMI", kDcmiBase);
+  auto button = std::make_unique<opec_hw::Gpio>("GPIOA", kGpioABase);
+  auto usb = std::make_unique<opec_hw::BlockDevice>("USB_OTG", kUsbOtgBase, 64);
+  auto uart = std::make_unique<opec_hw::Uart>("USART1", kUsart1Base);
+  auto rcc = std::make_unique<opec_hw::Rcc>("RCC", kRccBase);
+  devices->camera = camera.get();
+  devices->button = button.get();
+  devices->usb = usb.get();
+  devices->uart = uart.get();
+  devices->rcc = rcc.get();
+  for (opec_hw::MmioDevice* d : {static_cast<opec_hw::MmioDevice*>(camera.get()),
+                                 static_cast<opec_hw::MmioDevice*>(button.get()),
+                                 static_cast<opec_hw::MmioDevice*>(usb.get()),
+                                 static_cast<opec_hw::MmioDevice*>(uart.get()),
+                                 static_cast<opec_hw::MmioDevice*>(rcc.get())}) {
+    machine.bus().AttachDevice(d);
+  }
+  devices->owned.push_back(std::move(camera));
+  devices->owned.push_back(std::move(button));
+  devices->owned.push_back(std::move(usb));
+  devices->owned.push_back(std::move(uart));
+  devices->owned.push_back(std::move(rcc));
+  return devices;
+}
+
+void CameraApp::PrepareScenario(AppDevices& devices) const {
+  auto& d = static_cast<CameraDevices&>(devices);
+  std::vector<uint8_t> frame(kFrameBytes);
+  for (uint32_t i = 0; i < kFrameBytes; ++i) {
+    frame[i] = FrameByte(i);
+  }
+  d.camera->SetFrame(std::move(frame));
+  d.button->SetInput(1);  // the user presses the button before the poll
+}
+
+std::string CameraApp::CheckScenario(const AppDevices& devices,
+                                     const opec_rt::RunResult& result) const {
+  const auto& d = static_cast<const CameraDevices&>(devices);
+  if (!result.ok) {
+    return "run failed: " + result.violation;
+  }
+  if (result.return_value != 1 || d.uart->TxString() != "PHOK") {
+    return "save did not complete";
+  }
+  if (d.camera->captures() == 0) {
+    return "no capture was triggered";
+  }
+  std::vector<uint8_t> header = d.usb->ReadSectorDirect(0);
+  uint32_t magic = header[0] | (header[1] << 8) | (header[2] << 16) |
+                   (static_cast<uint32_t>(header[3]) << 24);
+  uint32_t len = header[4] | (header[5] << 8) | (header[6] << 16) |
+                 (static_cast<uint32_t>(header[7]) << 24);
+  if (magic != 0x50484F54 || len != kFrameBytes) {
+    return "bad photo header on the USB disk";
+  }
+  for (uint32_t s = 0; s * 512 < kFrameBytes; ++s) {
+    std::vector<uint8_t> sector = d.usb->ReadSectorDirect(s + 1);
+    for (uint32_t i = 0; i < 512; ++i) {
+      if (sector[i] != FrameByte(s * 512 + i)) {
+        return opec_support::StrPrintf("photo byte %u mismatch", s * 512 + i);
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace opec_apps

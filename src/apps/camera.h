@@ -1,0 +1,48 @@
+// Camera (STM32479I-EVAL): waits for a button press, captures a photo from
+// the camera interface and saves it to a USB mass-storage disk. Nine
+// operations: System_Init, Button_Init, Camera_Init, Usb_Init, Wait_Button,
+// Capture_Photo, Save_Photo, Report_Status + main.
+
+#ifndef SRC_APPS_CAMERA_H_
+#define SRC_APPS_CAMERA_H_
+
+#include "src/apps/app.h"
+#include "src/hw/devices/block_device.h"
+#include "src/hw/devices/camera.h"
+#include "src/hw/devices/gpio.h"
+#include "src/hw/devices/rcc.h"
+#include "src/hw/devices/uart.h"
+
+namespace opec_apps {
+
+struct CameraDevices : AppDevices {
+  opec_hw::Camera* camera = nullptr;
+  opec_hw::Gpio* button = nullptr;
+  opec_hw::BlockDevice* usb = nullptr;
+  opec_hw::Uart* uart = nullptr;
+  opec_hw::Rcc* rcc = nullptr;
+  std::vector<std::unique_ptr<opec_hw::MmioDevice>> owned;
+};
+
+class CameraApp : public Application {
+ public:
+  static constexpr uint32_t kFrameBytes = 2048;
+
+  std::string name() const override { return "Camera"; }
+  opec_hw::Board board() const override { return opec_hw::Board::kStm32479iEval; }
+  std::unique_ptr<opec_ir::Module> BuildModule() const override;
+  opec_compiler::PartitionConfig Partition() const override;
+  opec_hw::SocDescription Soc() const override;
+  std::unique_ptr<AppDevices> CreateDevices(opec_hw::Machine& machine) const override;
+  void PrepareScenario(AppDevices& devices) const override;
+  std::string CheckScenario(const AppDevices& devices,
+                            const opec_rt::RunResult& result) const override;
+
+  static uint8_t FrameByte(uint32_t offset) {
+    return static_cast<uint8_t>((offset * 31 + 17) & 0xFF);
+  }
+};
+
+}  // namespace opec_apps
+
+#endif  // SRC_APPS_CAMERA_H_

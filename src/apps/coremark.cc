@@ -1,0 +1,390 @@
+#include "src/apps/coremark.h"
+
+#include "src/hw/address_map.h"
+#include "src/ir/builder.h"
+#include "src/support/text.h"
+
+namespace opec_apps {
+
+using opec_hw::kDwtCyccnt;
+using opec_hw::kRccBase;
+using opec_hw::kUsart2Base;
+using opec_ir::FunctionBuilder;
+using opec_ir::Module;
+using opec_ir::Type;
+using opec_ir::Val;
+
+namespace {
+constexpr uint32_t kListLen = 36;
+constexpr uint32_t kMatrixDim = 8;
+}  // namespace
+
+std::unique_ptr<Module> CoreMarkApp::BuildModule() const {
+  auto m = std::make_unique<Module>("coremark");
+  auto& tt = m->types();
+  const Type* u8 = tt.U8();
+  const Type* u32 = tt.U32();
+  const Type* void_ty = tt.VoidTy();
+
+  const Type* mix_sig = tt.FunctionTy(u32, {u32, u32});
+  // Mixer function table: classic CoreMark drives its list comparisons
+  // through function pointers; both entries are feasible icall targets.
+  m->AddGlobal("mix_fns", tt.ArrayOf(tt.PointerTo(mix_sig), 2));
+
+  // The two large shared buffers the paper mentions for CoreMark.
+  m->AddGlobal("list_data", tt.ArrayOf(u32, kListLen));
+  m->AddGlobal("list_next", tt.ArrayOf(u32, kListLen));
+  m->AddGlobal("matrix_a", tt.ArrayOf(u32, kMatrixDim * kMatrixDim));
+  m->AddGlobal("matrix_b", tt.ArrayOf(u32, kMatrixDim * kMatrixDim));
+  m->AddGlobal("matrix_c", tt.ArrayOf(u32, kMatrixDim * kMatrixDim));
+  m->AddGlobal("state_input", tt.ArrayOf(u8, 64));
+  m->AddGlobal("list_result", u32);
+  m->AddGlobal("matrix_result", u32);
+  m->AddGlobal("state_result", u32);
+  m->AddGlobal("crc_result", u32);
+  m->AddGlobal("crc_check", u32);
+  m->AddGlobal("bench_ok", u32);
+  auto* iters = m->AddGlobal("iterations", u32);
+  uint32_t n = static_cast<uint32_t>(iterations_);
+  iters->set_initial_data({static_cast<uint8_t>(n), static_cast<uint8_t>(n >> 8),
+                           static_cast<uint8_t>(n >> 16), static_cast<uint8_t>(n >> 24)});
+  m->AddGlobal("sys_clock", u32);
+  m->AddGlobal("profile_cycles", u32);
+
+  // --- core_util.c: crc16 step ---
+  {
+    auto* fn = m->AddFunction("crc16_step", tt.FunctionTy(u32, {u32, u32}), {"crc", "value"});
+    fn->set_source_file("core_util.c");
+    FunctionBuilder b(*m, fn);
+    Val crc = b.Local("c", u32);
+    Val i = b.Local("i", u32);
+    b.Assign(crc, b.L("crc") ^ (b.L("value") & b.U32(0xFFFF)));
+    b.Assign(i, b.U32(0));
+    b.While(i < b.U32(16));
+    {
+      b.If((crc & b.U32(1)) != b.U32(0));
+      b.Assign(crc, (crc >> b.U32(1)) ^ b.U32(0xA001));
+      b.Else();
+      b.Assign(crc, crc >> b.U32(1));
+      b.End();
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.Ret(crc & b.U32(0xFFFF));
+    b.Finish();
+  }
+
+  {
+    auto* fn = m->AddFunction("sum_step", tt.FunctionTy(u32, {u32, u32}), {"acc", "value"});
+    fn->set_source_file("core_util.c");
+    FunctionBuilder b(*m, fn);
+    b.Ret((b.L("acc") + b.L("value")) & b.U32(0xFFFF));
+    b.Finish();
+  }
+
+  {
+    auto* fn = m->AddFunction("System_Init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("system.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Mmio32(kRccBase + 0x00), b.U32(1u << 24));
+    b.While((b.Mmio32(kRccBase + 0x00) & b.U32(1u << 25)) == b.U32(0));
+    b.End();
+    b.Assign(b.G("sys_clock"), b.U32(168000000));
+    b.RetVoid();
+    b.Finish();
+  }
+
+  // --- core_main.c: Bench_Init ---
+  {
+    auto* fn = m->AddFunction("Bench_Init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("core_main.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Idx(b.G("mix_fns"), 0u), b.FnPtr("crc16_step"));
+    b.Assign(b.Idx(b.G("mix_fns"), 1u), b.FnPtr("sum_step"));
+    Val i = b.Local("i", u32);
+    b.Assign(i, b.U32(0));
+    b.While(i < b.U32(kListLen));
+    {
+      b.Assign(b.Idx(b.G("list_data"), i), (i * b.U32(2909) + b.U32(7)) & b.U32(0x7FFF));
+      b.Assign(b.Idx(b.G("list_next"), i), (i + b.U32(1)) % b.U32(kListLen));
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.Assign(i, b.U32(0));
+    b.While(i < b.U32(kMatrixDim * kMatrixDim));
+    {
+      b.Assign(b.Idx(b.G("matrix_a"), i), (i * b.U32(13) + b.U32(5)) & b.U32(0xFF));
+      b.Assign(b.Idx(b.G("matrix_b"), i), (i * b.U32(7) + b.U32(3)) & b.U32(0xFF));
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.Assign(i, b.U32(0));
+    b.While(i < b.U32(64));
+    {
+      // Cycle through digits, signs and separators for the state machine.
+      b.Assign(b.Idx(b.G("state_input"), i), b.U32('0') + (i % b.U32(12)));
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.RetVoid();
+    b.Finish();
+  }
+
+  // --- core_list_join.c: List_Bench ---
+  {
+    auto* fn = m->AddFunction("List_Bench", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("core_list_join.c");
+    FunctionBuilder b(*m, fn);
+    const Type* p_u32 = tt.PointerTo(u32);
+    Val rep = b.Local("rep", u32);
+    Val node = b.Local("node", u32);
+    Val count = b.Local("count", u32);
+    Val sum = b.Local("sum", u32);
+    // Base pointers resolved once per call (real CoreMark passes list
+    // pointers; this also bounds the relocation-indirection cost).
+    Val data = b.Local("data", p_u32);
+    Val nxt = b.Local("nxt", p_u32);
+    b.Assign(data, b.Addr(b.Idx(b.G("list_data"), 0u)));
+    b.Assign(nxt, b.Addr(b.Idx(b.G("list_next"), 0u)));
+    b.Assign(sum, b.U32(0));
+    b.Assign(rep, b.U32(0));
+    b.While(rep < b.U32(64));
+    {
+      // Walk the ring list, rotating data values and accumulating.
+      b.Assign(node, b.U32(0));
+      b.Assign(count, b.U32(0));
+      b.While(count < b.U32(kListLen));
+      {
+        b.Assign(sum, sum + b.Idx(data, node));
+        b.Assign(b.Idx(data, node), (b.Idx(data, node) * b.U32(3) + b.U32(1)) & b.U32(0x7FFF));
+        b.Assign(node, b.Idx(nxt, node));
+        b.Assign(count, count + b.U32(1));
+      }
+      b.End();
+      b.Assign(rep, rep + b.U32(1));
+    }
+    b.End();
+    b.Assign(b.G("list_result"), sum);
+    b.RetVoid();
+    b.Finish();
+  }
+
+  // --- core_matrix.c: Matrix_Bench ---
+  {
+    auto* fn = m->AddFunction("Matrix_Bench", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("core_matrix.c");
+    FunctionBuilder b(*m, fn);
+    Val i = b.Local("i", u32);
+    Val j = b.Local("j", u32);
+    Val k = b.Local("k", u32);
+    const Type* p_u32 = tt.PointerTo(u32);
+    Val acc = b.Local("acc", u32);
+    Val total = b.Local("total", u32);
+    Val mrep = b.Local("mrep", u32);
+    Val ma = b.Local("ma", p_u32);
+    Val mb = b.Local("mb", p_u32);
+    Val mc = b.Local("mc", p_u32);
+    b.Assign(ma, b.Addr(b.Idx(b.G("matrix_a"), 0u)));
+    b.Assign(mb, b.Addr(b.Idx(b.G("matrix_b"), 0u)));
+    b.Assign(mc, b.Addr(b.Idx(b.G("matrix_c"), 0u)));
+    b.Assign(total, b.U32(0));
+    b.Assign(mrep, b.U32(0));
+    b.While(mrep < b.U32(16));
+    {
+    b.Assign(i, b.U32(0));
+    b.While(i < b.U32(kMatrixDim));
+    {
+      b.Assign(j, b.U32(0));
+      b.While(j < b.U32(kMatrixDim));
+      {
+        b.Assign(acc, b.U32(0));
+        b.Assign(k, b.U32(0));
+        b.While(k < b.U32(kMatrixDim));
+        {
+          b.Assign(acc, acc + b.Idx(ma, i * b.U32(kMatrixDim) + k) *
+                                  b.Idx(mb, k * b.U32(kMatrixDim) + j));
+          b.Assign(k, k + b.U32(1));
+        }
+        b.End();
+        b.Assign(b.Idx(mc, i * b.U32(kMatrixDim) + j), acc);
+        b.Assign(total, total + acc);
+        b.Assign(j, j + b.U32(1));
+      }
+      b.End();
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.Assign(mrep, mrep + b.U32(1));
+    }
+    b.End();
+    b.Assign(b.G("matrix_result"), total);
+    b.RetVoid();
+    b.Finish();
+  }
+
+  // --- core_state.c: State_Bench (number-format scanner) ---
+  {
+    auto* fn = m->AddFunction("State_Bench", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("core_state.c");
+    FunctionBuilder b(*m, fn);
+    Val i = b.Local("i", u32);
+    Val state = b.Local("state", u32);  // 0=start 1=int 2=other
+    Val transitions = b.Local("transitions", u32);
+    Val ch = b.Local("ch", u32);
+    b.Assign(state, b.U32(0));
+    b.Assign(transitions, b.U32(0));
+    b.Assign(i, b.U32(0));
+    b.While(i < b.U32(64));
+    {
+      b.Assign(ch, b.CastTo(u32, b.Idx(b.G("state_input"), i)));
+      b.If((ch >= b.U32('0')) && (ch <= b.U32('9')));
+      {
+        b.If(state != b.U32(1));
+        b.Assign(transitions, transitions + b.U32(1));
+        b.End();
+        b.Assign(state, b.U32(1));
+      }
+      b.Else();
+      {
+        b.If(state != b.U32(2));
+        b.Assign(transitions, transitions + b.U32(1));
+        b.End();
+        b.Assign(state, b.U32(2));
+      }
+      b.End();
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.Assign(b.G("state_result"), transitions);
+    b.RetVoid();
+    b.Finish();
+  }
+
+  // --- core_util.c: Crc_Bench ---
+  {
+    auto* fn = m->AddFunction("Crc_Bench", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("core_util.c");
+    FunctionBuilder b(*m, fn);
+    Val crc = b.Local("crc", u32);
+    b.Assign(crc, b.U32(0xFFFF));
+    // Mix through the function-pointer table (entry 0 is the CRC step).
+    b.Assign(crc, b.ICallV(mix_sig, b.Idx(b.G("mix_fns"), 0u), {crc, b.G("list_result")}));
+    b.Assign(crc, b.ICallV(mix_sig, b.Idx(b.G("mix_fns"), 0u), {crc, b.G("matrix_result")}));
+    b.Assign(crc, b.CallV("crc16_step", {crc, b.G("state_result")}));
+    b.Assign(b.G("crc_result"), crc);
+    b.RetVoid();
+    b.Finish();
+  }
+
+  // --- core_main.c: Validate — recompute the CRC independently ---
+  {
+    auto* fn = m->AddFunction("Validate", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("core_main.c");
+    FunctionBuilder b(*m, fn);
+    Val crc = b.Local("crc", u32);
+    b.Assign(crc, b.U32(0xFFFF));
+    b.Assign(crc, b.CallV("crc16_step", {crc, b.G("list_result")}));
+    b.Assign(crc, b.CallV("crc16_step", {crc, b.G("matrix_result")}));
+    b.Assign(crc, b.CallV("crc16_step", {crc, b.G("state_result")}));
+    b.Assign(b.G("crc_check"), crc);
+    b.If((b.G("crc_check") == b.G("crc_result")) && (b.G("crc_result") != b.U32(0)));
+    b.Assign(b.G("bench_ok"), b.U32(1));
+    b.Else();
+    b.Assign(b.G("bench_ok"), b.U32(0));
+    b.End();
+    b.RetVoid();
+    b.Finish();
+  }
+
+  // --- report.c: Report ---
+  {
+    auto* fn = m->AddFunction("Report", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("report.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Mmio32(kUsart2Base + 0x08), b.U32(0x16D));
+    b.If(b.G("bench_ok") != b.U32(0));
+    {
+      b.Assign(b.Mmio32(kUsart2Base + 0x04), b.U32('C'));
+      b.Assign(b.Mmio32(kUsart2Base + 0x04), b.U32('M'));
+      b.Assign(b.Mmio32(kUsart2Base + 0x04), b.U32('O'));
+      b.Assign(b.Mmio32(kUsart2Base + 0x04), b.U32('K'));
+    }
+    b.End();
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("main", tt.FunctionTy(u32, {}), {});
+    fn->set_source_file("core_main.c");
+    FunctionBuilder b(*m, fn);
+    Val start = b.Local("start", u32);
+    Val it = b.Local("it", u32);
+    b.Assign(start, b.Mmio32(kDwtCyccnt));
+    b.Call("System_Init", {});
+    b.Call("Bench_Init", {});
+    b.Assign(it, b.U32(0));
+    b.While(it < b.G("iterations"));
+    {
+      b.Call("List_Bench", {});
+      b.Call("Matrix_Bench", {});
+      b.Call("State_Bench", {});
+      b.Call("Crc_Bench", {});
+      b.Assign(it, it + b.U32(1));
+    }
+    b.End();
+    b.Call("Validate", {});
+    b.Call("Report", {});
+    b.Assign(b.G("profile_cycles"), b.Mmio32(kDwtCyccnt) - start);
+    b.Ret(b.G("bench_ok"));
+    b.Finish();
+  }
+  return m;
+}
+
+opec_compiler::PartitionConfig CoreMarkApp::Partition() const {
+  opec_compiler::PartitionConfig config;
+  for (const char* entry : {"System_Init", "Bench_Init", "List_Bench", "Matrix_Bench",
+                            "State_Bench", "Crc_Bench", "Validate", "Report"}) {
+    config.entries.push_back({entry, {}});
+  }
+  config.sanitize.push_back({"bench_ok", 0, 1});
+  return config;
+}
+
+opec_hw::SocDescription CoreMarkApp::Soc() const {
+  opec_hw::SocDescription soc = opec_hw::SocDescription::WithCorePeripherals();
+  soc.AddPeripheral({"RCC", kRccBase, 0x400, false});
+  soc.AddPeripheral({"USART2", kUsart2Base, 0x400, false});
+  return soc;
+}
+
+std::unique_ptr<AppDevices> CoreMarkApp::CreateDevices(opec_hw::Machine& machine) const {
+  auto devices = std::make_unique<CoreMarkDevices>();
+  auto uart = std::make_unique<opec_hw::Uart>("USART2", kUsart2Base);
+  auto rcc = std::make_unique<opec_hw::Rcc>("RCC", kRccBase);
+  devices->uart = uart.get();
+  devices->rcc = rcc.get();
+  machine.bus().AttachDevice(uart.get());
+  machine.bus().AttachDevice(rcc.get());
+  devices->owned.push_back(std::move(uart));
+  devices->owned.push_back(std::move(rcc));
+  return devices;
+}
+
+void CoreMarkApp::PrepareScenario(AppDevices& devices) const {
+  (void)devices;  // compute-bound: iterations come from the module image
+}
+
+std::string CoreMarkApp::CheckScenario(const AppDevices& devices,
+                                       const opec_rt::RunResult& result) const {
+  const auto& d = static_cast<const CoreMarkDevices&>(devices);
+  if (!result.ok) {
+    return "run failed: " + result.violation;
+  }
+  if (result.return_value != 1 || d.uart->TxString() != "CMOK") {
+    return "benchmark self-validation failed";
+  }
+  return "";
+}
+
+}  // namespace opec_apps

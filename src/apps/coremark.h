@@ -1,0 +1,42 @@
+// CoreMark-like benchmark: list processing, matrix manipulation, a finite
+// state machine and CRC-16, all in guest IR — the compute-bound workload with
+// the paper's highest runtime overhead (no I/O waits to hide monitor work).
+// Nine operations: System_Init, Bench_Init, List_Bench, Matrix_Bench,
+// State_Bench, Crc_Bench, Validate, Report + main.
+
+#ifndef SRC_APPS_COREMARK_H_
+#define SRC_APPS_COREMARK_H_
+
+#include "src/apps/app.h"
+#include "src/hw/devices/rcc.h"
+#include "src/hw/devices/uart.h"
+
+namespace opec_apps {
+
+struct CoreMarkDevices : AppDevices {
+  opec_hw::Uart* uart = nullptr;
+  opec_hw::Rcc* rcc = nullptr;
+  std::vector<std::unique_ptr<opec_hw::MmioDevice>> owned;
+};
+
+class CoreMarkApp : public Application {
+ public:
+  explicit CoreMarkApp(int iterations = 10) : iterations_(iterations) {}
+
+  std::string name() const override { return "CoreMark"; }
+  opec_hw::Board board() const override { return opec_hw::Board::kStm32F4Discovery; }
+  std::unique_ptr<opec_ir::Module> BuildModule() const override;
+  opec_compiler::PartitionConfig Partition() const override;
+  opec_hw::SocDescription Soc() const override;
+  std::unique_ptr<AppDevices> CreateDevices(opec_hw::Machine& machine) const override;
+  void PrepareScenario(AppDevices& devices) const override;
+  std::string CheckScenario(const AppDevices& devices,
+                            const opec_rt::RunResult& result) const override;
+
+ private:
+  int iterations_;
+};
+
+}  // namespace opec_apps
+
+#endif  // SRC_APPS_COREMARK_H_

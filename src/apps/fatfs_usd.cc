@@ -1,0 +1,268 @@
+#include "src/apps/fatfs_usd.h"
+
+#include "src/apps/guest/fat16_guest.h"
+#include "src/apps/guest/fat16_host.h"
+#include "src/apps/guest/sd_driver.h"
+#include "src/hw/address_map.h"
+#include "src/ir/builder.h"
+#include "src/support/text.h"
+
+namespace opec_apps {
+
+using opec_hw::kDwtCyccnt;
+using opec_hw::kRccBase;
+using opec_hw::kSdioBase;
+using opec_hw::kUsart1Base;
+using opec_ir::FunctionBuilder;
+using opec_ir::Module;
+using opec_ir::Type;
+using opec_ir::Val;
+
+namespace {
+constexpr uint32_t kFileName = 0x00474F4C;  // "LOG"
+}
+
+std::unique_ptr<Module> FatFsUsdApp::BuildModule() const {
+  auto m = std::make_unique<Module>("fatfs_usd");
+  auto& tt = m->types();
+  const Type* u8 = tt.U8();
+  const Type* u32 = tt.U32();
+  const Type* void_ty = tt.VoidTy();
+
+  m->AddGlobal("write_buf", tt.ArrayOf(u8, 512));
+  m->AddGlobal("read_buf", tt.ArrayOf(u8, 512));
+  m->AddGlobal("write_sum", u32);
+  m->AddGlobal("read_sum", u32);
+  m->AddGlobal("verify_ok", u32);
+  m->AddGlobal("sys_clock", u32);
+  m->AddGlobal("profile_cycles", u32);
+
+  EmitSdDriver(*m, kSdioBase);
+  EmitFat16Guest(*m);
+
+  {
+    auto* fn = m->AddFunction("System_Init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("system.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Mmio32(kRccBase + 0x00), b.U32(1u << 24));
+    b.While((b.Mmio32(kRccBase + 0x00) & b.U32(1u << 25)) == b.U32(0));
+    b.End();
+    b.Assign(b.Mmio32(kRccBase + 0x30), b.U32(0xFF));
+    b.Assign(b.G("sys_clock"), b.U32(180000000));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Sd_Init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("bsp_sd.c");
+    FunctionBuilder b(*m, fn);
+    b.Call("sd_init", {});
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Fs_Format", tt.FunctionTy(u32, {}), {});
+    fn->set_source_file("app_fatfs.c");
+    FunctionBuilder b(*m, fn);
+    b.Ret(b.CallV("f_format", {}));
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Fs_Mount", tt.FunctionTy(u32, {}), {});
+    fn->set_source_file("app_fatfs.c");
+    FunctionBuilder b(*m, fn);
+    b.Ret(b.CallV("f_mount", {}));
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Create_File", tt.FunctionTy(u32, {}), {});
+    fn->set_source_file("app_fatfs.c");
+    FunctionBuilder b(*m, fn);
+    b.Ret(b.CallV("f_create", {b.U32(kFileName)}));
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Write_File", tt.FunctionTy(u32, {}), {});
+    fn->set_source_file("app_fatfs.c");
+    FunctionBuilder b(*m, fn);
+    Val off = b.Local("off", u32);
+    Val j = b.Local("j", u32);
+    Val chunk = b.Local("chunk", u32);
+    b.Assign(b.G("write_sum"), b.U32(0));
+    b.Assign(off, b.U32(0));
+    b.While(off < b.U32(kFileBytes));
+    {
+      b.Assign(chunk, b.U32(kFileBytes) - off);
+      b.If(chunk > b.U32(512));
+      b.Assign(chunk, b.U32(512));
+      b.End();
+      b.Assign(j, b.U32(0));
+      b.While(j < chunk);
+      {
+        Val byte = (off + j) * b.U32(7) + b.U32(3);
+        b.Assign(b.Idx(b.G("write_buf"), j), byte);
+        b.Assign(b.G("write_sum"), b.G("write_sum") + (byte & b.U32(0xFF)));
+        b.Assign(j, j + b.U32(1));
+      }
+      b.End();
+      b.If(b.CallV("f_append", {b.Addr(b.Idx(b.G("write_buf"), 0u)), chunk}) != b.U32(0));
+      b.Ret(b.U32(1));
+      b.End();
+      b.Assign(off, off + chunk);
+    }
+    b.End();
+    b.Call("f_close", {});
+    b.Ret(b.U32(0));
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Read_File", tt.FunctionTy(u32, {}), {});
+    fn->set_source_file("app_fatfs.c");
+    FunctionBuilder b(*m, fn);
+    b.If(b.CallV("f_open", {b.U32(kFileName)}) != b.U32(0));
+    b.Ret(b.U32(1));
+    b.End();
+    b.Assign(b.G("read_sum"), b.U32(0));
+    Val n = b.Local("n", u32);
+    Val j = b.Local("j", u32);
+    b.Assign(n, b.CallV("f_read_next", {b.Addr(b.Idx(b.G("read_buf"), 0u))}));
+    b.While(n > b.U32(0));
+    {
+      b.Assign(j, b.U32(0));
+      b.While(j < n);
+      {
+        b.Assign(b.G("read_sum"), b.G("read_sum") + b.CastTo(u32, b.Idx(b.G("read_buf"), j)));
+        b.Assign(j, j + b.U32(1));
+      }
+      b.End();
+      b.Assign(n, b.CallV("f_read_next", {b.Addr(b.Idx(b.G("read_buf"), 0u))}));
+    }
+    b.End();
+    b.Ret(b.U32(0));
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Verify_File", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("app_fatfs.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.G("verify_ok"),
+             (b.G("read_sum") == b.G("write_sum")) &&
+                 (b.Fld(b.G("MyFile"), "size") == b.U32(kFileBytes)));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Report", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("report.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Mmio32(kUsart1Base + 0x08), b.U32(0x16D));  // BRR
+    b.If(b.G("verify_ok") != b.U32(0));
+    {
+      b.Assign(b.Mmio32(kUsart1Base + 0x04), b.U32('F'));
+      b.Assign(b.Mmio32(kUsart1Base + 0x04), b.U32('S'));
+      b.Assign(b.Mmio32(kUsart1Base + 0x04), b.U32('O'));
+      b.Assign(b.Mmio32(kUsart1Base + 0x04), b.U32('K'));
+    }
+    b.Else();
+    {
+      b.Assign(b.Mmio32(kUsart1Base + 0x04), b.U32('F'));
+      b.Assign(b.Mmio32(kUsart1Base + 0x04), b.U32('S'));
+      b.Assign(b.Mmio32(kUsart1Base + 0x04), b.U32('E'));
+      b.Assign(b.Mmio32(kUsart1Base + 0x04), b.U32('R'));
+    }
+    b.End();
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("main", tt.FunctionTy(u32, {}), {});
+    fn->set_source_file("main.c");
+    FunctionBuilder b(*m, fn);
+    Val start = b.Local("start", u32);
+    b.Assign(start, b.Mmio32(kDwtCyccnt));
+    b.Call("System_Init", {});
+    b.Call("Sd_Init", {});
+    b.Do(b.CallV("Fs_Format", {}));
+    b.Do(b.CallV("Fs_Mount", {}));
+    b.Do(b.CallV("Create_File", {}));
+    b.Do(b.CallV("Write_File", {}));
+    b.Do(b.CallV("Read_File", {}));
+    b.Call("Verify_File", {});
+    b.Call("Report", {});
+    b.Assign(b.G("profile_cycles"), b.Mmio32(kDwtCyccnt) - start);
+    b.Ret(b.G("verify_ok"));
+    b.Finish();
+  }
+  return m;
+}
+
+opec_compiler::PartitionConfig FatFsUsdApp::Partition() const {
+  opec_compiler::PartitionConfig config;
+  for (const char* entry : {"System_Init", "Sd_Init", "Fs_Format", "Fs_Mount", "Create_File",
+                            "Write_File", "Read_File", "Verify_File", "Report"}) {
+    config.entries.push_back({entry, {}});
+  }
+  config.sanitize.push_back({"verify_ok", 0, 1});
+  return config;
+}
+
+opec_hw::SocDescription FatFsUsdApp::Soc() const {
+  opec_hw::SocDescription soc = opec_hw::SocDescription::WithCorePeripherals();
+  soc.AddPeripheral({"RCC", kRccBase, 0x400, false});
+  soc.AddPeripheral({"SDIO", kSdioBase, 0x400, false});
+  soc.AddPeripheral({"USART1", kUsart1Base, 0x400, false});
+  return soc;
+}
+
+std::unique_ptr<AppDevices> FatFsUsdApp::CreateDevices(opec_hw::Machine& machine) const {
+  auto devices = std::make_unique<FatFsUsdDevices>();
+  auto sd = std::make_unique<opec_hw::BlockDevice>("SDIO", kSdioBase, 256);
+  auto uart = std::make_unique<opec_hw::Uart>("USART1", kUsart1Base);
+  auto rcc = std::make_unique<opec_hw::Rcc>("RCC", kRccBase);
+  devices->sd = sd.get();
+  devices->uart = uart.get();
+  devices->rcc = rcc.get();
+  machine.bus().AttachDevice(sd.get());
+  machine.bus().AttachDevice(uart.get());
+  machine.bus().AttachDevice(rcc.get());
+  devices->owned.push_back(std::move(sd));
+  devices->owned.push_back(std::move(uart));
+  devices->owned.push_back(std::move(rcc));
+  return devices;
+}
+
+void FatFsUsdApp::PrepareScenario(AppDevices& devices) const {
+  (void)devices;  // the guest formats the card itself
+}
+
+std::string FatFsUsdApp::CheckScenario(const AppDevices& devices,
+                                       const opec_rt::RunResult& result) const {
+  const auto& d = static_cast<const FatFsUsdDevices&>(devices);
+  if (!result.ok) {
+    return "run failed: " + result.violation;
+  }
+  if (d.uart->TxString() != "FSOK") {
+    return "guest verification failed: UART says '" + d.uart->TxString() + "'";
+  }
+  // Cross-validate: the guest-written volume must be readable by the host
+  // FAT16-lite implementation, byte for byte.
+  Fat16Host host(*d.sd);
+  if (!host.Mount()) {
+    return "host cannot mount the guest-formatted volume";
+  }
+  std::vector<uint8_t> content;
+  if (!host.ReadFile("LOG", &content)) {
+    return "host cannot find the guest-created file";
+  }
+  if (content.size() != kFileBytes) {
+    return opec_support::StrPrintf("file size %zu != %u", content.size(), kFileBytes);
+  }
+  for (uint32_t i = 0; i < kFileBytes; ++i) {
+    if (content[i] != FileByte(i)) {
+      return opec_support::StrPrintf("file byte %u mismatch", i);
+    }
+  }
+  return "";
+}
+
+}  // namespace opec_apps

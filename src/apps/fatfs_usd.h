@@ -1,0 +1,46 @@
+// FatFs-uSD (STM32479I-EVAL): formats a FAT16-lite volume on the SD card,
+// creates a file, writes fixed content, reads it back and verifies it
+// (Section 6's description). Ten operations: System_Init, Sd_Init, Fs_Format,
+// Fs_Mount, Create_File, Write_File, Read_File, Verify_File, Report + main.
+// The file object MyFile and filesystem object SDFatFs are the two large
+// shared structs the paper calls out for this application's Table 1 numbers.
+
+#ifndef SRC_APPS_FATFS_USD_H_
+#define SRC_APPS_FATFS_USD_H_
+
+#include "src/apps/app.h"
+#include "src/hw/devices/block_device.h"
+#include "src/hw/devices/rcc.h"
+#include "src/hw/devices/uart.h"
+
+namespace opec_apps {
+
+struct FatFsUsdDevices : AppDevices {
+  opec_hw::BlockDevice* sd = nullptr;
+  opec_hw::Uart* uart = nullptr;
+  opec_hw::Rcc* rcc = nullptr;
+  std::vector<std::unique_ptr<opec_hw::MmioDevice>> owned;
+};
+
+class FatFsUsdApp : public Application {
+ public:
+  static constexpr uint32_t kFileBytes = 1000;
+
+  std::string name() const override { return "FatFs-uSD"; }
+  opec_hw::Board board() const override { return opec_hw::Board::kStm32479iEval; }
+  std::unique_ptr<opec_ir::Module> BuildModule() const override;
+  opec_compiler::PartitionConfig Partition() const override;
+  opec_hw::SocDescription Soc() const override;
+  std::unique_ptr<AppDevices> CreateDevices(opec_hw::Machine& machine) const override;
+  void PrepareScenario(AppDevices& devices) const override;
+  std::string CheckScenario(const AppDevices& devices,
+                            const opec_rt::RunResult& result) const override;
+
+  static uint8_t FileByte(uint32_t offset) {
+    return static_cast<uint8_t>((offset * 7 + 3) & 0xFF);
+  }
+};
+
+}  // namespace opec_apps
+
+#endif  // SRC_APPS_FATFS_USD_H_

@@ -1,0 +1,359 @@
+#include "src/apps/guest/fat16_guest.h"
+
+#include "src/apps/guest/fat16_host.h"  // shared format constants
+#include "src/ir/builder.h"
+
+namespace opec_apps {
+
+using opec_ir::FunctionBuilder;
+using opec_ir::Module;
+using opec_ir::StructField;
+using opec_ir::Type;
+using opec_ir::Val;
+
+void EmitFat16Guest(Module& m) {
+  auto& tt = m.types();
+  const Type* u8 = tt.U8();
+  const Type* u16 = tt.U16();
+  const Type* u32 = tt.U32();
+  const Type* p_u8 = tt.PointerTo(u8);
+  const Type* p_u16 = tt.PointerTo(u16);
+  const Type* p_u32 = tt.PointerTo(u32);
+  const Type* void_ty = tt.VoidTy();
+
+  const Type* fatfs_ty = tt.StructTy("FatFs", {{"magic", u32, 0},
+                                               {"fat_start", u32, 0},
+                                               {"fat_sectors", u32, 0},
+                                               {"root_start", u32, 0},
+                                               {"data_start", u32, 0},
+                                               {"total_sectors", u32, 0},
+                                               {"mounted", u32, 0}});
+  const Type* file_ty = tt.StructTy("FatFile", {{"name", u32, 0},
+                                                {"size", u32, 0},
+                                                {"first_cluster", u32, 0},
+                                                {"cur_cluster", u32, 0},
+                                                {"last_cluster", u32, 0},
+                                                {"pos", u32, 0},
+                                                {"entry_idx", u32, 0},
+                                                {"open", u32, 0}});
+
+  m.AddGlobal("SDFatFs", fatfs_ty);
+  m.AddGlobal("MyFile", file_ty);
+  m.AddGlobal("fat_buf", tt.ArrayOf(u8, 512));
+  m.AddGlobal("dir_buf", tt.ArrayOf(u8, 512));
+
+  // Error bookkeeping: the handler only runs on I/O failures, which the
+  // normal scenarios never hit — an "untaken branch" that contributes
+  // execution-time over-privilege to the operations containing it (Fig. 11).
+  m.AddGlobal("fs_err_count", u32);
+  m.AddGlobal("fs_err_code", u32);
+
+  // Disk-I/O dispatch table (FatFs's diskio layer): [0]=read, [1]=write.
+  const Type* diskio_sig = tt.FunctionTy(void_ty, {u32, p_u8});
+  m.AddGlobal("disk_io", tt.ArrayOf(tt.PointerTo(diskio_sig), 2));
+
+  {
+    auto* fn = m.AddFunction("fs_panic", tt.FunctionTy(void_ty, {u32}), {"code"});
+    fn->set_source_file("ff.c");
+    FunctionBuilder b(m, fn);
+    b.Assign(b.G("fs_err_count"), b.G("fs_err_count") + b.U32(1));
+    b.Assign(b.G("fs_err_code"), b.L("code"));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m.AddFunction("disk_init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("diskio.c");
+    FunctionBuilder b(m, fn);
+    b.Assign(b.Idx(b.G("disk_io"), 0u), b.FnPtr("sd_read_sector"));
+    b.Assign(b.Idx(b.G("disk_io"), 1u), b.FnPtr("sd_write_sector"));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m.AddFunction("disk_read", tt.FunctionTy(void_ty, {u32, p_u8}),
+                             {"sector", "buf"});
+    fn->set_source_file("diskio.c");
+    FunctionBuilder b(m, fn);
+    b.ICall(diskio_sig, b.Idx(b.G("disk_io"), 0u), {b.L("sector"), b.L("buf")});
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m.AddFunction("disk_write", tt.FunctionTy(void_ty, {u32, p_u8}),
+                             {"sector", "buf"});
+    fn->set_source_file("diskio.c");
+    FunctionBuilder b(m, fn);
+    b.ICall(diskio_sig, b.Idx(b.G("disk_io"), 1u), {b.L("sector"), b.L("buf")});
+    b.RetVoid();
+    b.Finish();
+  }
+
+  auto fs = [&](FunctionBuilder& b, const char* field) { return b.Fld(b.G("SDFatFs"), field); };
+  auto file = [&](FunctionBuilder& b, const char* field) { return b.Fld(b.G("MyFile"), field); };
+  auto fat_words = [&](FunctionBuilder& b) {
+    return b.CastTo(p_u16, b.Addr(b.Idx(b.G("fat_buf"), 0u)));
+  };
+  auto dir_words = [&](FunctionBuilder& b) {
+    return b.CastTo(p_u32, b.Addr(b.Idx(b.G("dir_buf"), 0u)));
+  };
+
+  // --- u32 f_format() ---
+  {
+    auto* fn = m.AddFunction("f_format", tt.FunctionTy(u32, {}), {});
+    fn->set_source_file("ff.c");
+    FunctionBuilder b(m, fn);
+    b.Call("disk_init", {});
+    Val w = b.Local("w", p_u32);
+    Val i = b.Local("i", u32);
+    // Build the boot sector in dir_buf.
+    b.Assign(w, dir_words(b));
+    b.Assign(i, b.U32(0));
+    b.While(i < b.U32(128));
+    {
+      b.Assign(b.Idx(w, i), b.U32(0));
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.Assign(b.Idx(w, 0u), b.U32(kFat16Magic));
+    b.Assign(b.Idx(w, 1u), b.U32(1));    // fat_start
+    b.Assign(b.Idx(w, 2u), b.U32(2));    // fat_sectors
+    b.Assign(b.Idx(w, 3u), b.U32(3));    // root_start
+    b.Assign(b.Idx(w, 4u), b.U32(4));    // data_start
+    b.Assign(b.Idx(w, 5u), b.U32(256));  // total_sectors
+    b.Call("disk_write", {b.U32(0), b.Addr(b.Idx(b.G("dir_buf"), 0u))});
+    // Zero the FAT sectors, reserving cluster 0 in the first.
+    b.Assign(i, b.U32(0));
+    b.While(i < b.U32(128));
+    {
+      b.Assign(b.Idx(w, i), b.U32(0));
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.Call("disk_write", {b.U32(2), b.Addr(b.Idx(b.G("dir_buf"), 0u))});
+    b.Call("disk_write", {b.U32(3), b.Addr(b.Idx(b.G("dir_buf"), 0u))});  // root
+    b.Assign(b.Idx(w, 0u), b.U32(0x0000FFFF));  // cluster 0 reserved
+    b.Call("disk_write", {b.U32(1), b.Addr(b.Idx(b.G("dir_buf"), 0u))});
+    b.Ret(b.U32(0));
+    b.Finish();
+  }
+
+  // --- u32 f_mount() ---
+  {
+    auto* fn = m.AddFunction("f_mount", tt.FunctionTy(u32, {}), {});
+    fn->set_source_file("ff.c");
+    FunctionBuilder b(m, fn);
+    b.Call("disk_init", {});
+    b.Call("disk_read", {b.U32(0), b.Addr(b.Idx(b.G("dir_buf"), 0u))});
+    Val w = b.Local("w", p_u32);
+    b.Assign(w, dir_words(b));
+    b.If(b.Idx(w, 0u) != b.U32(kFat16Magic));
+    {
+      b.Call("fs_panic", {b.U32(1)});  // corrupt volume: never hit in scenarios
+      b.Ret(b.U32(1));
+    }
+    b.End();
+    b.Assign(fs(b, "magic"), b.Idx(w, 0u));
+    b.Assign(fs(b, "fat_start"), b.Idx(w, 1u));
+    b.Assign(fs(b, "fat_sectors"), b.Idx(w, 2u));
+    b.Assign(fs(b, "root_start"), b.Idx(w, 3u));
+    b.Assign(fs(b, "data_start"), b.Idx(w, 4u));
+    b.Assign(fs(b, "total_sectors"), b.Idx(w, 5u));
+    b.Assign(fs(b, "mounted"), b.U32(1));
+    b.Ret(b.U32(0));
+    b.Finish();
+  }
+
+  // --- u32 fat_get(u32 c) ---
+  {
+    auto* fn = m.AddFunction("fat_get", tt.FunctionTy(u32, {u32}), {"c"});
+    fn->set_source_file("ff.c");
+    FunctionBuilder b(m, fn);
+    b.Call("disk_read",
+           {fs(b, "fat_start") + b.L("c") / b.U32(256), b.Addr(b.Idx(b.G("fat_buf"), 0u))});
+    b.Ret(b.CastTo(u32, b.Idx(fat_words(b), b.L("c") % b.U32(256))));
+    b.Finish();
+  }
+
+  // --- void fat_set(u32 c, u32 v) ---
+  {
+    auto* fn = m.AddFunction("fat_set", tt.FunctionTy(void_ty, {u32, u32}), {"c", "v"});
+    fn->set_source_file("ff.c");
+    FunctionBuilder b(m, fn);
+    Val sector = b.Local("sector", u32);
+    b.Assign(sector, fs(b, "fat_start") + b.L("c") / b.U32(256));
+    b.Call("disk_read", {sector, b.Addr(b.Idx(b.G("fat_buf"), 0u))});
+    b.Assign(b.Idx(fat_words(b), b.L("c") % b.U32(256)), b.CastTo(u16, b.L("v")));
+    b.Call("disk_write", {sector, b.Addr(b.Idx(b.G("fat_buf"), 0u))});
+    b.RetVoid();
+    b.Finish();
+  }
+
+  // --- u32 fat_alloc() ---
+  {
+    auto* fn = m.AddFunction("fat_alloc", tt.FunctionTy(u32, {}), {});
+    fn->set_source_file("ff.c");
+    FunctionBuilder b(m, fn);
+    Val max = b.Local("max", u32);
+    Val c = b.Local("c", u32);
+    b.Assign(max, fs(b, "fat_sectors") * b.U32(256));
+    Val avail = b.Local("avail", u32);
+    b.Assign(avail, fs(b, "total_sectors") - fs(b, "data_start") + b.U32(1));
+    b.If(avail < max);
+    b.Assign(max, avail);
+    b.End();
+    b.Assign(c, b.U32(1));
+    b.While(c < max);
+    {
+      b.If(b.CallV("fat_get", {c}) == b.U32(0));
+      {
+        b.Call("fat_set", {c, b.U32(kFatEof)});
+        b.Ret(c);
+      }
+      b.End();
+      b.Assign(c, c + b.U32(1));
+    }
+    b.End();
+    b.Ret(b.U32(0));  // volume full
+    b.Finish();
+  }
+
+  // --- u32 f_create(u32 name) ---
+  {
+    auto* fn = m.AddFunction("f_create", tt.FunctionTy(u32, {u32}), {"name"});
+    fn->set_source_file("ff.c");
+    FunctionBuilder b(m, fn);
+    b.Call("disk_read", {fs(b, "root_start"), b.Addr(b.Idx(b.G("dir_buf"), 0u))});
+    Val w = b.Local("w", p_u32);
+    Val e = b.Local("e", u32);
+    b.Assign(w, dir_words(b));
+    b.Assign(e, b.U32(0));
+    b.While(e < b.U32(kRootEntries));
+    {
+      b.If(b.Idx(w, e * b.U32(4) + b.U32(3)) == b.U32(0));  // unused slot
+      {
+        b.Assign(b.Idx(w, e * b.U32(4) + b.U32(0)), b.L("name"));
+        b.Assign(b.Idx(w, e * b.U32(4) + b.U32(1)), b.U32(0));
+        b.Assign(b.Idx(w, e * b.U32(4) + b.U32(2)), b.U32(0));
+        b.Assign(b.Idx(w, e * b.U32(4) + b.U32(3)), b.U32(1));
+        b.Call("disk_write", {fs(b, "root_start"), b.Addr(b.Idx(b.G("dir_buf"), 0u))});
+        b.Assign(file(b, "name"), b.L("name"));
+        b.Assign(file(b, "size"), b.U32(0));
+        b.Assign(file(b, "first_cluster"), b.U32(0));
+        b.Assign(file(b, "cur_cluster"), b.U32(0));
+        b.Assign(file(b, "last_cluster"), b.U32(0));
+        b.Assign(file(b, "pos"), b.U32(0));
+        b.Assign(file(b, "entry_idx"), e);
+        b.Assign(file(b, "open"), b.U32(1));
+        b.Ret(b.U32(0));
+      }
+      b.End();
+      b.Assign(e, e + b.U32(1));
+    }
+    b.End();
+    b.Ret(b.U32(1));  // root directory full
+    b.Finish();
+  }
+
+  // --- u32 f_open(u32 name) ---
+  {
+    auto* fn = m.AddFunction("f_open", tt.FunctionTy(u32, {u32}), {"name"});
+    fn->set_source_file("ff.c");
+    FunctionBuilder b(m, fn);
+    b.Call("disk_read", {fs(b, "root_start"), b.Addr(b.Idx(b.G("dir_buf"), 0u))});
+    Val w = b.Local("w", p_u32);
+    Val e = b.Local("e", u32);
+    b.Assign(w, dir_words(b));
+    b.Assign(e, b.U32(0));
+    b.While(e < b.U32(kRootEntries));
+    {
+      b.If((b.Idx(w, e * b.U32(4) + b.U32(3)) != b.U32(0)) &&
+           (b.Idx(w, e * b.U32(4) + b.U32(0)) == b.L("name")));
+      {
+        b.Assign(file(b, "name"), b.L("name"));
+        b.Assign(file(b, "size"), b.Idx(w, e * b.U32(4) + b.U32(1)));
+        b.Assign(file(b, "first_cluster"), b.Idx(w, e * b.U32(4) + b.U32(2)));
+        b.Assign(file(b, "cur_cluster"), file(b, "first_cluster"));
+        b.Assign(file(b, "last_cluster"), b.U32(0));
+        b.Assign(file(b, "pos"), b.U32(0));
+        b.Assign(file(b, "entry_idx"), e);
+        b.Assign(file(b, "open"), b.U32(1));
+        b.Ret(b.U32(0));
+      }
+      b.End();
+      b.Assign(e, e + b.U32(1));
+    }
+    b.End();
+    b.Ret(b.U32(1));  // not found
+    b.Finish();
+  }
+
+  // --- u32 f_append(u8* src, u32 len) ---
+  {
+    auto* fn = m.AddFunction("f_append", tt.FunctionTy(u32, {p_u8, u32}), {"src", "len"});
+    fn->set_source_file("ff.c");
+    FunctionBuilder b(m, fn);
+    Val c = b.Local("c", u32);
+    b.Assign(c, b.CallV("fat_alloc", {}));
+    b.If(c == b.U32(0));
+    {
+      b.Call("fs_panic", {b.U32(2)});  // volume full: never hit in scenarios
+      b.Ret(b.U32(1));
+    }
+    b.End();
+    b.If(file(b, "first_cluster") == b.U32(0));
+    b.Assign(file(b, "first_cluster"), c);
+    b.Else();
+    b.Call("fat_set", {file(b, "last_cluster"), c});
+    b.End();
+    b.Assign(file(b, "last_cluster"), c);
+    b.Call("disk_write", {fs(b, "data_start") + c - b.U32(1), b.L("src")});
+    b.Assign(file(b, "size"), file(b, "size") + b.L("len"));
+    b.Ret(b.U32(0));
+    b.Finish();
+  }
+
+  // --- u32 f_read_next(u8* dst) ---
+  {
+    auto* fn = m.AddFunction("f_read_next", tt.FunctionTy(u32, {p_u8}), {"dst"});
+    fn->set_source_file("ff.c");
+    FunctionBuilder b(m, fn);
+    Val c = b.Local("c", u32);
+    b.Assign(c, file(b, "cur_cluster"));
+    b.If((c == b.U32(0)) || (c == b.U32(kFatEof)) || (file(b, "pos") >= file(b, "size")));
+    b.Ret(b.U32(0));
+    b.End();
+    b.Call("disk_read", {fs(b, "data_start") + c - b.U32(1), b.L("dst")});
+    Val n = b.Local("n", u32);
+    b.Assign(n, file(b, "size") - file(b, "pos"));
+    b.If(n > b.U32(512));
+    b.Assign(n, b.U32(512));
+    b.End();
+    b.Assign(file(b, "pos"), file(b, "pos") + n);
+    b.Assign(file(b, "cur_cluster"), b.CallV("fat_get", {c}));
+    b.Ret(n);
+    b.Finish();
+  }
+
+  // --- void f_close() ---
+  {
+    auto* fn = m.AddFunction("f_close", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("ff.c");
+    FunctionBuilder b(m, fn);
+    b.Call("disk_read", {fs(b, "root_start"), b.Addr(b.Idx(b.G("dir_buf"), 0u))});
+    Val w = b.Local("w", p_u32);
+    Val e = b.Local("e", u32);
+    b.Assign(w, dir_words(b));
+    b.Assign(e, file(b, "entry_idx"));
+    b.Assign(b.Idx(w, e * b.U32(4) + b.U32(0)), file(b, "name"));
+    b.Assign(b.Idx(w, e * b.U32(4) + b.U32(1)), file(b, "size"));
+    b.Assign(b.Idx(w, e * b.U32(4) + b.U32(2)), file(b, "first_cluster"));
+    b.Assign(b.Idx(w, e * b.U32(4) + b.U32(3)), b.U32(1));
+    b.Call("disk_write", {fs(b, "root_start"), b.Addr(b.Idx(b.G("dir_buf"), 0u))});
+    b.Assign(file(b, "open"), b.U32(0));
+    b.RetVoid();
+    b.Finish();
+  }
+}
+
+}  // namespace opec_apps

@@ -1,0 +1,30 @@
+// Guest-side FAT16-lite filesystem driver (the paper's FatFs stand-in),
+// emitted into an application module. Operates on the shared global file
+// object `MyFile` and filesystem object `SDFatFs` — the two large structs
+// that drive FatFs-uSD's high shared-variable ratio in Table 1.
+//
+// Requires the SD driver (EmitSdDriver) to be emitted into the same module
+// first. On-disk format: see fat16_host.h.
+
+#ifndef SRC_APPS_GUEST_FAT16_GUEST_H_
+#define SRC_APPS_GUEST_FAT16_GUEST_H_
+
+#include "src/ir/module.h"
+
+namespace opec_apps {
+
+// Emits (source file "ff.c"):
+//   globals: SDFatFs, MyFile, fat_buf[512], dir_buf[512]
+//   u32 f_format()            — writes a fresh volume
+//   u32 f_mount()             — 0 on success
+//   u32 fat_get(u32 c) / void fat_set(u32 c, u32 v) / u32 fat_alloc()
+//   u32 f_create(u32 name)    — creates + opens MyFile for writing
+//   u32 f_open(u32 name)      — opens MyFile for reading; 0 on success
+//   u32 f_append(u8* src, u32 len)  — appends one cluster (len <= 512)
+//   u32 f_read_next(u8* dst)  — reads the next cluster; returns bytes or 0
+//   void f_close()            — flushes MyFile's directory entry
+void EmitFat16Guest(opec_ir::Module& m);
+
+}  // namespace opec_apps
+
+#endif  // SRC_APPS_GUEST_FAT16_GUEST_H_

@@ -1,0 +1,177 @@
+#include "src/apps/guest/fat16_host.h"
+
+#include <cstring>
+
+#include "src/support/check.h"
+
+namespace opec_apps {
+
+using opec_hw::BlockDevice;
+
+namespace {
+
+uint32_t ReadU32(const std::vector<uint8_t>& sector, uint32_t offset) {
+  uint32_t v = 0;
+  std::memcpy(&v, sector.data() + offset, 4);
+  return v;
+}
+
+void WriteU32(std::vector<uint8_t>& sector, uint32_t offset, uint32_t value) {
+  std::memcpy(sector.data() + offset, &value, 4);
+}
+
+}  // namespace
+
+uint32_t PackFatName(const std::string& name) {
+  uint32_t packed = 0;
+  for (size_t i = 0; i < 4 && i < name.size(); ++i) {
+    packed |= static_cast<uint32_t>(static_cast<uint8_t>(name[i])) << (8 * i);
+  }
+  return packed;
+}
+
+void Fat16Host::Format(const Fat16Geometry& geometry) {
+  geometry_ = geometry;
+  std::vector<uint8_t> boot(BlockDevice::kSectorSize, 0);
+  WriteU32(boot, 0, kFat16Magic);
+  WriteU32(boot, 4, geometry.fat_start);
+  WriteU32(boot, 8, geometry.fat_sectors);
+  WriteU32(boot, 12, geometry.root_start);
+  WriteU32(boot, 16, geometry.data_start);
+  WriteU32(boot, 20, geometry.total_sectors);
+  disk_.WriteSectorDirect(0, boot);
+
+  std::vector<uint8_t> zero(BlockDevice::kSectorSize, 0);
+  for (uint32_t s = 0; s < geometry.fat_sectors; ++s) {
+    disk_.WriteSectorDirect(geometry.fat_start + s, zero);
+  }
+  // Reserve cluster 0.
+  std::vector<uint8_t> fat0 = disk_.ReadSectorDirect(geometry.fat_start);
+  fat0[0] = 0xFF;
+  fat0[1] = 0xFF;
+  disk_.WriteSectorDirect(geometry.fat_start, fat0);
+  disk_.WriteSectorDirect(geometry.root_start, zero);
+}
+
+bool Fat16Host::Mount() {
+  std::vector<uint8_t> boot = disk_.ReadSectorDirect(0);
+  if (ReadU32(boot, 0) != kFat16Magic) {
+    return false;
+  }
+  geometry_.fat_start = ReadU32(boot, 4);
+  geometry_.fat_sectors = ReadU32(boot, 8);
+  geometry_.root_start = ReadU32(boot, 12);
+  geometry_.data_start = ReadU32(boot, 16);
+  geometry_.total_sectors = ReadU32(boot, 20);
+  return true;
+}
+
+uint32_t Fat16Host::FatGet(uint32_t cluster) {
+  uint32_t sector = geometry_.fat_start + cluster / 256;
+  std::vector<uint8_t> fat = disk_.ReadSectorDirect(sector);
+  uint32_t off = (cluster % 256) * 2;
+  return fat[off] | (static_cast<uint32_t>(fat[off + 1]) << 8);
+}
+
+void Fat16Host::FatSet(uint32_t cluster, uint32_t value) {
+  uint32_t sector = geometry_.fat_start + cluster / 256;
+  std::vector<uint8_t> fat = disk_.ReadSectorDirect(sector);
+  uint32_t off = (cluster % 256) * 2;
+  fat[off] = static_cast<uint8_t>(value);
+  fat[off + 1] = static_cast<uint8_t>(value >> 8);
+  disk_.WriteSectorDirect(sector, fat);
+}
+
+uint32_t Fat16Host::FatAlloc() {
+  uint32_t max_cluster =
+      std::min(geometry_.fat_sectors * 256, geometry_.total_sectors - geometry_.data_start + 1);
+  for (uint32_t c = 1; c < max_cluster; ++c) {
+    if (FatGet(c) == 0) {
+      FatSet(c, kFatEof);
+      return c;
+    }
+  }
+  OPEC_UNREACHABLE("FAT16-lite volume full");
+}
+
+void Fat16Host::AddFile(const std::string& name, const std::vector<uint8_t>& content) {
+  std::vector<uint8_t> root = disk_.ReadSectorDirect(geometry_.root_start);
+  int slot = -1;
+  for (uint32_t e = 0; e < kRootEntries; ++e) {
+    if (ReadU32(root, e * 16 + 12) == 0) {
+      slot = static_cast<int>(e);
+      break;
+    }
+  }
+  OPEC_CHECK_MSG(slot >= 0, "root directory full");
+
+  uint32_t first = 0;
+  uint32_t prev = 0;
+  for (size_t off = 0; off < content.size() || (off == 0 && content.empty()); off += 512) {
+    uint32_t c = FatAlloc();
+    if (first == 0) {
+      first = c;
+    } else {
+      FatSet(prev, c);
+    }
+    prev = c;
+    std::vector<uint8_t> sector(BlockDevice::kSectorSize, 0);
+    size_t n = std::min<size_t>(512, content.size() - off);
+    std::memcpy(sector.data(), content.data() + off, n);
+    disk_.WriteSectorDirect(geometry_.data_start + c - 1, sector);
+    if (content.empty()) {
+      break;
+    }
+  }
+  uint32_t base = static_cast<uint32_t>(slot) * 16;
+  WriteU32(root, base + 0, PackFatName(name));
+  WriteU32(root, base + 4, static_cast<uint32_t>(content.size()));
+  WriteU32(root, base + 8, first);
+  WriteU32(root, base + 12, 1);
+  disk_.WriteSectorDirect(geometry_.root_start, root);
+}
+
+bool Fat16Host::ReadFile(const std::string& name, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> root = disk_.ReadSectorDirect(geometry_.root_start);
+  uint32_t want = PackFatName(name);
+  for (uint32_t e = 0; e < kRootEntries; ++e) {
+    uint32_t base = e * 16;
+    if (ReadU32(root, base + 12) == 0 || ReadU32(root, base + 0) != want) {
+      continue;
+    }
+    uint32_t size = ReadU32(root, base + 4);
+    uint32_t cluster = ReadU32(root, base + 8);
+    out->clear();
+    while (cluster != 0 && cluster != kFatEof && out->size() < size) {
+      std::vector<uint8_t> sector = disk_.ReadSectorDirect(geometry_.data_start + cluster - 1);
+      size_t n = std::min<size_t>(512, size - out->size());
+      out->insert(out->end(), sector.begin(), sector.begin() + static_cast<long>(n));
+      cluster = FatGet(cluster);
+    }
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Fat16Host::ListFiles() {
+  std::vector<std::string> names;
+  std::vector<uint8_t> root = disk_.ReadSectorDirect(geometry_.root_start);
+  for (uint32_t e = 0; e < kRootEntries; ++e) {
+    uint32_t base = e * 16;
+    if (ReadU32(root, base + 12) == 0) {
+      continue;
+    }
+    uint32_t packed = ReadU32(root, base + 0);
+    std::string name;
+    for (int i = 0; i < 4; ++i) {
+      char ch = static_cast<char>((packed >> (8 * i)) & 0xFF);
+      if (ch != 0) {
+        name += ch;
+      }
+    }
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace opec_apps

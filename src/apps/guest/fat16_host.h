@@ -1,0 +1,72 @@
+// Host-side tooling for the FAT16-lite on-disk format used by FatFs-uSD and
+// LCD-uSD. The format is implemented twice — here in host C++ (to preload SD
+// cards and to verify guest-written volumes) and in guest IR
+// (fat16_guest.h) — and the two are cross-validated by tests.
+//
+// On-disk format ("F16L"):
+//   Sector 0 (boot):  u32[0]=0x4631364C magic, [1]=fat_start, [2]=fat_sectors,
+//                     [3]=root_start, [4]=data_start, [5]=total_sectors
+//   FAT:              u16 per cluster: 0 = free, 0xFFFE = end-of-chain,
+//                     otherwise next cluster index; cluster 0 is reserved
+//   Root directory:   1 sector of 32 entries x 16 bytes:
+//                     {u32 name, u32 size, u32 first_cluster, u32 used}
+//   Data:             cluster c (c >= 1) occupies sector data_start + c - 1
+
+#ifndef SRC_APPS_GUEST_FAT16_HOST_H_
+#define SRC_APPS_GUEST_FAT16_HOST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hw/devices/block_device.h"
+
+namespace opec_apps {
+
+struct Fat16Geometry {
+  uint32_t fat_start = 1;
+  uint32_t fat_sectors = 2;
+  uint32_t root_start = 3;
+  uint32_t data_start = 4;
+  uint32_t total_sectors = 256;
+};
+
+inline constexpr uint32_t kFat16Magic = 0x4631364C;  // "L61F" little-endian
+inline constexpr uint32_t kFatEof = 0xFFFE;
+inline constexpr uint32_t kRootEntries = 32;
+
+// Packs up to 4 characters into the u32 directory-entry name.
+uint32_t PackFatName(const std::string& name);
+
+class Fat16Host {
+ public:
+  explicit Fat16Host(opec_hw::BlockDevice& disk) : disk_(disk) {}
+
+  // Writes a fresh volume.
+  void Format(const Fat16Geometry& geometry = {});
+
+  // Reads and validates the boot sector; returns false if not a volume.
+  bool Mount();
+
+  // Creates a file with the given content. Requires Mount() (or Format()).
+  void AddFile(const std::string& name, const std::vector<uint8_t>& content);
+
+  // Reads a file's full content; empty optional-style: ok=false if missing.
+  bool ReadFile(const std::string& name, std::vector<uint8_t>* out);
+
+  std::vector<std::string> ListFiles();
+
+  const Fat16Geometry& geometry() const { return geometry_; }
+
+ private:
+  uint32_t FatGet(uint32_t cluster);
+  void FatSet(uint32_t cluster, uint32_t value);
+  uint32_t FatAlloc();
+
+  opec_hw::BlockDevice& disk_;
+  Fat16Geometry geometry_;
+};
+
+}  // namespace opec_apps
+
+#endif  // SRC_APPS_GUEST_FAT16_HOST_H_

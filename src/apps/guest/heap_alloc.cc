@@ -1,0 +1,108 @@
+#include "src/apps/guest/heap_alloc.h"
+
+#include "src/ir/builder.h"
+
+namespace opec_apps {
+
+using opec_ir::FunctionBuilder;
+using opec_ir::Module;
+using opec_ir::Type;
+using opec_ir::Val;
+
+void EmitHeapAllocator(Module& m, uint32_t heap_base, uint32_t heap_size) {
+  auto& tt = m.types();
+  const Type* u32 = tt.U32();
+  const Type* p_u8 = tt.PointerTo(tt.U8());
+  const Type* p_u32 = tt.PointerTo(u32);
+  const Type* void_ty = tt.VoidTy();
+
+  m.AddGlobal("heap_free_head", u32);
+  m.AddGlobal("heap_initialized", u32);
+  m.AddGlobal("heap_allocs", u32);
+  m.AddGlobal("heap_frees", u32);
+
+  // Word access at a computed heap address.
+  auto mem32 = [&](FunctionBuilder& b, const Val& addr) {
+    return b.Deref(b.CastTo(p_u32, addr));
+  };
+
+  {
+    auto* fn = m.AddFunction("malloc", tt.FunctionTy(p_u8, {u32}), {"size"});
+    fn->set_source_file("heap.c");
+    FunctionBuilder b(m, fn);
+    Val size = b.Local("sz", u32);
+    Val prev = b.Local("prev", u32);
+    Val cur = b.Local("cur", u32);
+    Val csize = b.Local("csize", u32);
+    Val follow = b.Local("follow", u32);  // the free block replacing `cur`
+
+    // Lazy initialization: one big free block spanning the heap section.
+    b.If(b.G("heap_initialized") == b.U32(0));
+    {
+      b.Assign(mem32(b, b.U32(heap_base)), b.U32(heap_size - 8));
+      b.Assign(mem32(b, b.U32(heap_base + 4)), b.U32(0));
+      b.Assign(b.G("heap_free_head"), b.U32(heap_base));
+      b.Assign(b.G("heap_initialized"), b.U32(1));
+    }
+    b.End();
+
+    b.Assign(size, (b.L("size") + b.U32(7)) & ~b.U32(7));
+    b.If(size == b.U32(0));
+    b.Assign(size, b.U32(8));
+    b.End();
+
+    b.Assign(prev, b.U32(0));
+    b.Assign(cur, b.G("heap_free_head"));
+    b.While(cur != b.U32(0));
+    {
+      b.Assign(csize, mem32(b, cur));
+      b.If(csize >= size);
+      {
+        // Split when the remainder can hold a header + minimal payload.
+        b.If(csize - size >= b.U32(16));
+        {
+          Val nb = b.Local("nb", u32);
+          b.Assign(nb, cur + b.U32(8) + size);
+          b.Assign(mem32(b, nb), csize - size - b.U32(8));
+          b.Assign(mem32(b, nb + b.U32(4)), mem32(b, cur + b.U32(4)));
+          b.Assign(mem32(b, cur), size);
+          b.Assign(follow, nb);
+        }
+        b.Else();
+        b.Assign(follow, mem32(b, cur + b.U32(4)));
+        b.End();
+        // Unlink `cur` from the free list.
+        b.If(prev == b.U32(0));
+        b.Assign(b.G("heap_free_head"), follow);
+        b.Else();
+        b.Assign(mem32(b, prev + b.U32(4)), follow);
+        b.End();
+        b.Assign(b.G("heap_allocs"), b.G("heap_allocs") + b.U32(1));
+        b.Ret(b.CastTo(p_u8, cur + b.U32(8)));
+      }
+      b.End();
+      b.Assign(prev, cur);
+      b.Assign(cur, mem32(b, cur + b.U32(4)));
+    }
+    b.End();
+    b.Ret(b.Null(p_u8));  // exhausted
+    b.Finish();
+  }
+  {
+    auto* fn = m.AddFunction("free", tt.FunctionTy(void_ty, {p_u8}), {"p"});
+    fn->set_source_file("heap.c");
+    FunctionBuilder b(m, fn);
+    b.If(b.CastTo(u32, b.L("p")) == b.U32(0));
+    b.RetVoid();
+    b.End();
+    Val blk = b.Local("blk", u32);
+    b.Assign(blk, b.CastTo(u32, b.L("p")) - b.U32(8));
+    b.Assign(mem32(b, blk + b.U32(4)), b.G("heap_free_head"));
+    b.Assign(b.G("heap_free_head"), blk);
+    b.Assign(b.G("heap_frees"), b.G("heap_frees") + b.U32(1));
+    b.RetVoid();
+    b.Finish();
+  }
+}
+
+}  // namespace opec_apps

@@ -1,0 +1,26 @@
+// Guest-side heap allocator (first-fit free list), the paper's "secure heap
+// allocator" extension (Sections 5.2 and 7). The heap lives in its own
+// section (placed deterministically by ComputeHeapPlacement); the monitor
+// demand-maps it only for operations whose code uses the allocator.
+
+#ifndef SRC_APPS_GUEST_HEAP_ALLOC_H_
+#define SRC_APPS_GUEST_HEAP_ALLOC_H_
+
+#include <cstdint>
+
+#include "src/ir/module.h"
+
+namespace opec_apps {
+
+// Emits (source file "heap.c"):
+//   globals: heap_free_head, heap_initialized, heap_allocs, heap_frees
+//   u8* malloc(u32 size)  — 8-byte-aligned first-fit; null when exhausted
+//   void free(u8* p)      — push-front onto the free list (no coalescing)
+//
+// Block format: [size u32][next u32][payload...]; `size` excludes the header.
+// heap_base/heap_size must match the compiler's ComputeHeapPlacement result.
+void EmitHeapAllocator(opec_ir::Module& m, uint32_t heap_base, uint32_t heap_size);
+
+}  // namespace opec_apps
+
+#endif  // SRC_APPS_GUEST_HEAP_ALLOC_H_

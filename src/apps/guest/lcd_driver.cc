@@ -1,0 +1,62 @@
+#include "src/apps/guest/lcd_driver.h"
+
+#include "src/ir/builder.h"
+
+namespace opec_apps {
+
+using opec_ir::FunctionBuilder;
+using opec_ir::Module;
+using opec_ir::Type;
+using opec_ir::Val;
+
+void EmitLcdDriver(Module& m, uint32_t lcd_base) {
+  auto& tt = m.types();
+  const Type* u8 = tt.U8();
+  const Type* u32 = tt.U32();
+  const Type* p_u8 = tt.PointerTo(u8);
+  const Type* void_ty = tt.VoidTy();
+
+  const uint32_t kCtrl = lcd_base + 0x00;
+  const uint32_t kX = lcd_base + 0x04;
+  const uint32_t kY = lcd_base + 0x08;
+  const uint32_t kGram = lcd_base + 0x0C;
+  const uint32_t kBrightness = lcd_base + 0x10;
+
+  {
+    auto* fn = m.AddFunction("lcd_init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("lcd_driver.c");
+    FunctionBuilder b(m, fn);
+    b.Assign(b.Mmio32(kCtrl), b.U32(1));
+    b.Assign(b.Mmio32(kBrightness), b.U32(0));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m.AddFunction("lcd_set_brightness", tt.FunctionTy(void_ty, {u32}), {"level"});
+    fn->set_source_file("lcd_driver.c");
+    FunctionBuilder b(m, fn);
+    b.Assign(b.Mmio32(kBrightness), b.L("level"));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m.AddFunction("lcd_draw", tt.FunctionTy(void_ty, {p_u8, u32}),
+                             {"pixels", "count"});
+    fn->set_source_file("lcd_driver.c");
+    FunctionBuilder b(m, fn);
+    b.Assign(b.Mmio32(kX), b.U32(0));
+    b.Assign(b.Mmio32(kY), b.U32(0));
+    Val i = b.Local("i", u32);
+    b.Assign(i, b.U32(0));
+    b.While(i < b.L("count"));
+    {
+      b.Assign(b.Mmio32(kGram), b.Idx(b.L("pixels"), i));
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.RetVoid();
+    b.Finish();
+  }
+}
+
+}  // namespace opec_apps

@@ -1,0 +1,20 @@
+// Guest-side LCD driver routines, shared by Animation and LCD-uSD.
+
+#ifndef SRC_APPS_GUEST_LCD_DRIVER_H_
+#define SRC_APPS_GUEST_LCD_DRIVER_H_
+
+#include <cstdint>
+
+#include "src/ir/module.h"
+
+namespace opec_apps {
+
+// Emits (source file "lcd_driver.c"):
+//   void lcd_init()
+//   void lcd_set_brightness(u32 level)
+//   void lcd_draw(u8* pixels, u32 count)  — streams pixels to GRAM from (0,0)
+void EmitLcdDriver(opec_ir::Module& m, uint32_t lcd_base);
+
+}  // namespace opec_apps
+
+#endif  // SRC_APPS_GUEST_LCD_DRIVER_H_

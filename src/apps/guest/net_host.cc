@@ -1,0 +1,112 @@
+#include "src/apps/guest/net_host.h"
+
+namespace opec_apps {
+
+namespace {
+
+void PutBe16(std::vector<uint8_t>& buf, size_t off, uint16_t v) {
+  buf[off] = static_cast<uint8_t>(v >> 8);
+  buf[off + 1] = static_cast<uint8_t>(v);
+}
+
+void PutBe32(std::vector<uint8_t>& buf, size_t off, uint32_t v) {
+  buf[off] = static_cast<uint8_t>(v >> 24);
+  buf[off + 1] = static_cast<uint8_t>(v >> 16);
+  buf[off + 2] = static_cast<uint8_t>(v >> 8);
+  buf[off + 3] = static_cast<uint8_t>(v);
+}
+
+uint16_t GetBe16(const std::vector<uint8_t>& buf, size_t off) {
+  return static_cast<uint16_t>((buf[off] << 8) | buf[off + 1]);
+}
+
+uint32_t GetBe32(const std::vector<uint8_t>& buf, size_t off) {
+  return (static_cast<uint32_t>(buf[off]) << 24) | (static_cast<uint32_t>(buf[off + 1]) << 16) |
+         (static_cast<uint32_t>(buf[off + 2]) << 8) | buf[off + 3];
+}
+
+}  // namespace
+
+uint16_t IpChecksum(const uint8_t* data, size_t len) {
+  uint32_t sum = 0;
+  for (size_t i = 0; i + 1 < len; i += 2) {
+    sum += static_cast<uint32_t>(data[i] << 8) | data[i + 1];
+  }
+  if (len % 2 != 0) {
+    sum += static_cast<uint32_t>(data[len - 1]) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
+std::vector<uint8_t> BuildTcpFrame(const TcpSegment& segment,
+                                   const FrameCorruption& corruption) {
+  size_t payload_len = segment.payload.size();
+  std::vector<uint8_t> frame(14 + 20 + 20 + payload_len, 0);
+
+  // Ethernet header: fixed MACs + ethertype.
+  for (int i = 0; i < 6; ++i) {
+    frame[static_cast<size_t>(i)] = 0x02;        // dst: the device
+    frame[static_cast<size_t>(6 + i)] = 0x04;    // src: the desktop
+  }
+  frame[12] = 0x08;
+  frame[13] = corruption.bad_ethertype ? 0x06 : 0x00;  // IPv4 (or ARP if corrupt)
+
+  // IPv4 header.
+  size_t ip = 14;
+  frame[ip + 0] = 0x45;
+  PutBe16(frame, ip + 2, static_cast<uint16_t>(20 + 20 + payload_len));
+  frame[ip + 8] = 64;                                   // TTL
+  frame[ip + 9] = corruption.bad_protocol ? 17 : 6;     // TCP (or UDP if corrupt)
+  PutBe32(frame, ip + 12, 0xC0A80002);                  // 192.168.0.2
+  PutBe32(frame, ip + 16, 0xC0A80001);                  // 192.168.0.1
+  uint16_t checksum = IpChecksum(frame.data() + ip, 20);
+  if (corruption.bad_checksum) {
+    checksum = static_cast<uint16_t>(checksum + 1);
+  }
+  PutBe16(frame, ip + 10, checksum);
+
+  // TCP header.
+  size_t tcp = ip + 20;
+  PutBe16(frame, tcp + 0, segment.src_port);
+  PutBe16(frame, tcp + 2,
+          corruption.wrong_port ? static_cast<uint16_t>(segment.dst_port + 1)
+                                : segment.dst_port);
+  PutBe32(frame, tcp + 4, segment.seq);
+  PutBe32(frame, tcp + 8, segment.ack);
+  PutBe16(frame, tcp + 12, static_cast<uint16_t>((5u << 12) | segment.flags));
+  PutBe16(frame, tcp + 14, 0xFFFF);  // window
+
+  for (size_t i = 0; i < payload_len; ++i) {
+    frame[tcp + 20 + i] = segment.payload[i];
+  }
+  return frame;
+}
+
+bool ParseTcpFrame(const std::vector<uint8_t>& frame, TcpSegment* out) {
+  if (frame.size() < 54 || frame[12] != 0x08 || frame[13] != 0x00) {
+    return false;
+  }
+  size_t ip = 14;
+  if (frame[ip + 0] != 0x45 || frame[ip + 9] != 6) {
+    return false;
+  }
+  uint16_t total_len = GetBe16(frame, ip + 2);
+  if (total_len < 40 || 14u + total_len > frame.size()) {
+    return false;
+  }
+  size_t tcp = ip + 20;
+  out->src_port = GetBe16(frame, tcp + 0);
+  out->dst_port = GetBe16(frame, tcp + 2);
+  out->seq = GetBe32(frame, tcp + 4);
+  out->ack = GetBe32(frame, tcp + 8);
+  out->flags = GetBe16(frame, tcp + 12) & 0x3F;
+  size_t payload_len = static_cast<size_t>(total_len) - 40;
+  out->payload.assign(frame.begin() + static_cast<long>(tcp + 20),
+                      frame.begin() + static_cast<long>(tcp + 20 + payload_len));
+  return true;
+}
+
+}  // namespace opec_apps

@@ -1,0 +1,50 @@
+// Host-side Ethernet/IPv4/TCP frame construction and parsing for the TCP-Echo
+// scenario — the "desktop client" of Section 6. Mirrors the guest
+// netstack-lite's wire format (standard layouts, IP header checksum checked,
+// TCP checksum unused).
+
+#ifndef SRC_APPS_GUEST_NET_HOST_H_
+#define SRC_APPS_GUEST_NET_HOST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace opec_apps {
+
+inline constexpr uint16_t kTcpFlagFin = 0x01;
+inline constexpr uint16_t kTcpFlagSyn = 0x02;
+inline constexpr uint16_t kTcpFlagAck = 0x10;
+inline constexpr uint16_t kTcpFlagPsh = 0x08;
+inline constexpr uint16_t kEchoPort = 7;
+
+struct TcpSegment {
+  uint16_t src_port = 40000;
+  uint16_t dst_port = kEchoPort;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  uint16_t flags = 0;
+  std::vector<uint8_t> payload;
+};
+
+// 16-bit one's-complement sum over `len` bytes (IP header checksum).
+uint16_t IpChecksum(const uint8_t* data, size_t len);
+
+// Builds a full ethernet frame around the segment. Corruption knobs produce
+// the scenario's invalid packets.
+struct FrameCorruption {
+  bool bad_ethertype = false;
+  bool bad_protocol = false;   // not TCP
+  bool bad_checksum = false;   // IP header checksum off by one
+  bool wrong_port = false;     // not the echo port
+};
+std::vector<uint8_t> BuildTcpFrame(const TcpSegment& segment,
+                                   const FrameCorruption& corruption = {});
+
+// Parses a guest-emitted frame back into a segment; returns false if the
+// frame is not a valid TCP/IP frame.
+bool ParseTcpFrame(const std::vector<uint8_t>& frame, TcpSegment* out);
+
+}  // namespace opec_apps
+
+#endif  // SRC_APPS_GUEST_NET_HOST_H_

@@ -1,0 +1,80 @@
+#include "src/apps/guest/sd_driver.h"
+
+#include "src/ir/builder.h"
+
+namespace opec_apps {
+
+using opec_ir::FunctionBuilder;
+using opec_ir::Module;
+using opec_ir::Type;
+using opec_ir::Val;
+
+void EmitSdDriver(Module& m, uint32_t sdio_base) {
+  auto& tt = m.types();
+  const Type* u8 = tt.U8();
+  const Type* u32 = tt.U32();
+  const Type* p_u8 = tt.PointerTo(u8);
+  const Type* p_u32 = tt.PointerTo(u32);
+  const Type* void_ty = tt.VoidTy();
+
+  const uint32_t kCmd = sdio_base + 0x00;
+  const uint32_t kArg = sdio_base + 0x04;
+  const uint32_t kStatus = sdio_base + 0x08;
+  const uint32_t kData = sdio_base + 0x0C;
+
+  {
+    auto* fn = m.AddFunction("sd_init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("sd_driver.c");
+    FunctionBuilder b(m, fn);
+    // Wait until the controller reports ready.
+    b.While((b.Mmio32(kStatus) & b.U32(1)) == b.U32(0));
+    b.End();
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m.AddFunction("sd_read_sector", tt.FunctionTy(void_ty, {u32, p_u8}),
+                             {"sector", "dst"});
+    fn->set_source_file("sd_driver.c");
+    FunctionBuilder b(m, fn);
+    b.Assign(b.Mmio32(kArg), b.L("sector"));
+    b.Assign(b.Mmio32(kCmd), b.U32(1));
+    Val w = b.Local("w", p_u32);
+    Val i = b.Local("i", u32);
+    b.Assign(w, b.CastTo(p_u32, b.L("dst")));
+    b.Assign(i, b.U32(0));
+    b.While(i < b.U32(128));
+    {
+      b.Assign(b.Idx(w, i), b.Mmio32(kData));
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m.AddFunction("sd_write_sector", tt.FunctionTy(void_ty, {u32, p_u8}),
+                             {"sector", "src"});
+    fn->set_source_file("sd_driver.c");
+    FunctionBuilder b(m, fn);
+    b.Assign(b.Mmio32(kArg), b.L("sector"));
+    Val w = b.Local("w", p_u32);
+    Val i = b.Local("i", u32);
+    b.Assign(w, b.CastTo(p_u32, b.L("src")));
+    b.Assign(i, b.U32(0));
+    // CMD first resets the device's buffer cursor for writes, then data words
+    // stream in, then the commit command stores the sector.
+    b.Assign(b.Mmio32(kCmd), b.U32(0));
+    b.While(i < b.U32(128));
+    {
+      b.Assign(b.Mmio32(kData), b.Idx(w, i));
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.Assign(b.Mmio32(kCmd), b.U32(2));
+    b.RetVoid();
+    b.Finish();
+  }
+}
+
+}  // namespace opec_apps

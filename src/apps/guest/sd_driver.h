@@ -1,0 +1,21 @@
+// Guest-side SD-card (SDIO) driver: emits sector read/write routines into an
+// application module. Shared by Animation, FatFs-uSD and LCD-uSD.
+
+#ifndef SRC_APPS_GUEST_SD_DRIVER_H_
+#define SRC_APPS_GUEST_SD_DRIVER_H_
+
+#include <cstdint>
+
+#include "src/ir/module.h"
+
+namespace opec_apps {
+
+// Emits (source file "sd_driver.c"):
+//   void sd_init()                       — configures the controller
+//   void sd_read_sector(u32 sector, u8* dst)   — dst must hold 512 bytes
+//   void sd_write_sector(u32 sector, u8* src)
+void EmitSdDriver(opec_ir::Module& m, uint32_t sdio_base);
+
+}  // namespace opec_apps
+
+#endif  // SRC_APPS_GUEST_SD_DRIVER_H_

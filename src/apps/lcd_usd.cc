@@ -1,0 +1,254 @@
+#include "src/apps/lcd_usd.h"
+
+#include "src/apps/guest/fat16_guest.h"
+#include "src/apps/guest/fat16_host.h"
+#include "src/apps/guest/lcd_driver.h"
+#include "src/apps/guest/sd_driver.h"
+#include "src/hw/address_map.h"
+#include "src/ir/builder.h"
+#include "src/support/text.h"
+
+namespace opec_apps {
+
+using opec_hw::kDwtCyccnt;
+using opec_hw::kLcdBase;
+using opec_hw::kRccBase;
+using opec_hw::kSdioBase;
+using opec_ir::FunctionBuilder;
+using opec_ir::Module;
+using opec_ir::Type;
+using opec_ir::Val;
+
+std::unique_ptr<Module> LcdUsdApp::BuildModule() const {
+  auto m = std::make_unique<Module>("lcd_usd");
+  auto& tt = m->types();
+  const Type* u8 = tt.U8();
+  const Type* u32 = tt.U32();
+  const Type* void_ty = tt.VoidTy();
+
+  m->AddGlobal("chunk_buf", tt.ArrayOf(u8, 512));
+  m->AddGlobal("chunk_len", u32);
+  m->AddGlobal("brightness", u32);
+  m->AddGlobal("pictures_shown", u32);
+  m->AddGlobal("sys_clock", u32);
+  m->AddGlobal("profile_cycles", u32);
+
+  EmitSdDriver(*m, kSdioBase);
+  EmitLcdDriver(*m, kLcdBase);
+  EmitFat16Guest(*m);
+
+  {
+    auto* fn = m->AddFunction("System_Init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("system.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Mmio32(kRccBase + 0x00), b.U32(1u << 24));
+    b.While((b.Mmio32(kRccBase + 0x00) & b.U32(1u << 25)) == b.U32(0));
+    b.End();
+    b.Assign(b.G("sys_clock"), b.U32(180000000));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Sd_Init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("bsp_sd.c");
+    FunctionBuilder b(*m, fn);
+    b.Call("sd_init", {});
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Lcd_Init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("bsp_lcd.c");
+    FunctionBuilder b(*m, fn);
+    b.Call("lcd_init", {});
+    b.Assign(b.G("brightness"), b.U32(0));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Fs_Mount", tt.FunctionTy(u32, {}), {});
+    fn->set_source_file("app_fatfs.c");
+    FunctionBuilder b(*m, fn);
+    b.Ret(b.CallV("f_mount", {}));
+    b.Finish();
+  }
+  {
+    // Opens picture file "PICn" (names are "PIC0".."PIC5" packed into u32).
+    auto* fn = m->AddFunction("Open_Picture", tt.FunctionTy(u32, {u32}), {"index"});
+    fn->set_source_file("viewer.c");
+    FunctionBuilder b(*m, fn);
+    Val name = b.Local("pic_name", u32);
+    b.Assign(name, b.U32(0x00434950) | ((b.U32('0') + b.L("index")) << b.U32(24)));
+    b.Ret(b.CallV("f_open", {name}));
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Load_Chunk", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("viewer.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.G("chunk_len"), b.CallV("f_read_next", {b.Addr(b.Idx(b.G("chunk_buf"), 0u))}));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Display_Chunk", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("viewer.c");
+    FunctionBuilder b(*m, fn);
+    b.If(b.G("chunk_len") > b.U32(0));
+    b.Call("lcd_draw", {b.Addr(b.Idx(b.G("chunk_buf"), 0u)), b.G("chunk_len")});
+    b.End();
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Fade_In", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("viewer.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.G("brightness"), b.U32(0));
+    b.While(b.G("brightness") < b.U32(255));
+    {
+      b.Assign(b.G("brightness"), b.G("brightness") + b.U32(51));
+      b.Call("lcd_set_brightness", {b.G("brightness")});
+    }
+    b.End();
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Fade_Out", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("viewer.c");
+    FunctionBuilder b(*m, fn);
+    b.While(b.G("brightness") > b.U32(0));
+    {
+      b.Assign(b.G("brightness"), b.G("brightness") - b.U32(51));
+      b.Call("lcd_set_brightness", {b.G("brightness")});
+    }
+    b.End();
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Close_Picture", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("viewer.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Fld(b.G("MyFile"), "open"), b.U32(0));
+    b.Assign(b.G("pictures_shown"), b.G("pictures_shown") + b.U32(1));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("main", tt.FunctionTy(u32, {}), {});
+    fn->set_source_file("main.c");
+    FunctionBuilder b(*m, fn);
+    Val start = b.Local("start", u32);
+    b.Assign(start, b.Mmio32(kDwtCyccnt));
+    b.Call("System_Init", {});
+    b.Call("Sd_Init", {});
+    b.Call("Lcd_Init", {});
+    b.If(b.CallV("Fs_Mount", {}) != b.U32(0));
+    b.Ret(b.U32(0));
+    b.End();
+    Val i = b.Local("i", u32);
+    b.Assign(i, b.U32(0));
+    b.While(i < b.U32(kPictures));
+    {
+      b.Call("Fade_Out", {});
+      b.If(b.CallV("Open_Picture", {i}) == b.U32(0));
+      {
+        b.Call("Load_Chunk", {});
+        b.While(b.G("chunk_len") > b.U32(0));
+        {
+          b.Call("Display_Chunk", {});
+          b.Call("Load_Chunk", {});
+        }
+        b.End();
+        b.Call("Close_Picture", {});
+      }
+      b.End();
+      b.Call("Fade_In", {});
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.Assign(b.G("profile_cycles"), b.Mmio32(kDwtCyccnt) - start);
+    b.Ret(b.G("pictures_shown"));
+    b.Finish();
+  }
+  return m;
+}
+
+opec_compiler::PartitionConfig LcdUsdApp::Partition() const {
+  opec_compiler::PartitionConfig config;
+  for (const char* entry : {"System_Init", "Sd_Init", "Lcd_Init", "Fs_Mount", "Open_Picture",
+                            "Load_Chunk", "Display_Chunk", "Fade_In", "Fade_Out",
+                            "Close_Picture"}) {
+    config.entries.push_back({entry, {}});
+  }
+  config.sanitize.push_back({"brightness", 0, 255});
+  config.sanitize.push_back({"chunk_len", 0, 512});
+  return config;
+}
+
+opec_hw::SocDescription LcdUsdApp::Soc() const {
+  opec_hw::SocDescription soc = opec_hw::SocDescription::WithCorePeripherals();
+  soc.AddPeripheral({"RCC", kRccBase, 0x400, false});
+  soc.AddPeripheral({"SDIO", kSdioBase, 0x400, false});
+  soc.AddPeripheral({"LCD", kLcdBase, 0x400, false});
+  return soc;
+}
+
+std::unique_ptr<AppDevices> LcdUsdApp::CreateDevices(opec_hw::Machine& machine) const {
+  auto devices = std::make_unique<LcdUsdDevices>();
+  auto sd = std::make_unique<opec_hw::BlockDevice>("SDIO", kSdioBase, 256);
+  auto lcd = std::make_unique<opec_hw::Lcd>("LCD", kLcdBase);
+  auto rcc = std::make_unique<opec_hw::Rcc>("RCC", kRccBase);
+  devices->sd = sd.get();
+  devices->lcd = lcd.get();
+  devices->rcc = rcc.get();
+  machine.bus().AttachDevice(sd.get());
+  machine.bus().AttachDevice(lcd.get());
+  machine.bus().AttachDevice(rcc.get());
+  devices->owned.push_back(std::move(sd));
+  devices->owned.push_back(std::move(lcd));
+  devices->owned.push_back(std::move(rcc));
+  return devices;
+}
+
+void LcdUsdApp::PrepareScenario(AppDevices& devices) const {
+  auto& d = static_cast<LcdUsdDevices&>(devices);
+  // Pre-store the pictures on a freshly formatted FAT16-lite volume.
+  Fat16Host host(*d.sd);
+  host.Format();
+  for (int pic = 0; pic < kPictures; ++pic) {
+    std::vector<uint8_t> content(kPictureBytes);
+    for (uint32_t i = 0; i < kPictureBytes; ++i) {
+      content[i] = PictureByte(pic, i);
+    }
+    host.AddFile(opec_support::StrPrintf("PIC%d", pic), content);
+  }
+}
+
+std::string LcdUsdApp::CheckScenario(const AppDevices& devices,
+                                     const opec_rt::RunResult& result) const {
+  const auto& d = static_cast<const LcdUsdDevices&>(devices);
+  if (!result.ok) {
+    return "run failed: " + result.violation;
+  }
+  if (result.return_value != kPictures) {
+    return opec_support::StrPrintf("expected %d pictures shown, got %u", kPictures,
+                                   result.return_value);
+  }
+  if (d.lcd->pixels_written() != static_cast<uint64_t>(kPictures) * kPictureBytes) {
+    return "wrong number of pixels drawn";
+  }
+  // lcd_draw restarts at (0,0) per chunk, so the framebuffer holds the last
+  // picture's final 512-byte chunk.
+  for (uint32_t i = 0; i < 128; ++i) {
+    uint32_t expected = PictureByte(kPictures - 1, 512 + i);
+    if (d.lcd->PixelAt(i % opec_hw::Lcd::kWidth, i / opec_hw::Lcd::kWidth) != expected) {
+      return opec_support::StrPrintf("pixel %u mismatch", i);
+    }
+  }
+  return "";
+}
+
+}  // namespace opec_apps

@@ -1,0 +1,45 @@
+// LCD-uSD (STM32479I-EVAL): presents pictures pre-stored on a FAT16-lite SD
+// volume with fade-in/fade-out effects. Eleven operations: System_Init,
+// Sd_Init, Lcd_Init, Fs_Mount, Open_Picture, Load_Chunk, Display_Chunk,
+// Fade_In, Fade_Out, Close_Picture + main.
+
+#ifndef SRC_APPS_LCD_USD_H_
+#define SRC_APPS_LCD_USD_H_
+
+#include "src/apps/app.h"
+#include "src/hw/devices/block_device.h"
+#include "src/hw/devices/lcd.h"
+#include "src/hw/devices/rcc.h"
+
+namespace opec_apps {
+
+struct LcdUsdDevices : AppDevices {
+  opec_hw::BlockDevice* sd = nullptr;
+  opec_hw::Lcd* lcd = nullptr;
+  opec_hw::Rcc* rcc = nullptr;
+  std::vector<std::unique_ptr<opec_hw::MmioDevice>> owned;
+};
+
+class LcdUsdApp : public Application {
+ public:
+  static constexpr int kPictures = 6;
+  static constexpr uint32_t kPictureBytes = 1024;  // 2 clusters per picture
+
+  std::string name() const override { return "LCD-uSD"; }
+  opec_hw::Board board() const override { return opec_hw::Board::kStm32479iEval; }
+  std::unique_ptr<opec_ir::Module> BuildModule() const override;
+  opec_compiler::PartitionConfig Partition() const override;
+  opec_hw::SocDescription Soc() const override;
+  std::unique_ptr<AppDevices> CreateDevices(opec_hw::Machine& machine) const override;
+  void PrepareScenario(AppDevices& devices) const override;
+  std::string CheckScenario(const AppDevices& devices,
+                            const opec_rt::RunResult& result) const override;
+
+  static uint8_t PictureByte(int index, uint32_t offset) {
+    return static_cast<uint8_t>((static_cast<uint32_t>(index) * 53 + offset * 13 + 9) & 0xFF);
+  }
+};
+
+}  // namespace opec_apps
+
+#endif  // SRC_APPS_LCD_USD_H_

@@ -1,0 +1,367 @@
+#include "src/apps/pinlock.h"
+
+#include "src/hw/address_map.h"
+#include "src/ir/builder.h"
+#include "src/support/text.h"
+
+namespace opec_apps {
+
+using opec_hw::kDwtCyccnt;
+using opec_hw::kGpioABase;
+using opec_hw::kRccBase;
+using opec_hw::kUsart2Base;
+using opec_ir::FunctionBuilder;
+using opec_ir::Module;
+using opec_ir::StructField;
+using opec_ir::Type;
+using opec_ir::Val;
+
+namespace {
+constexpr uint32_t kUartSr = kUsart2Base + 0x00;
+constexpr uint32_t kUartDr = kUsart2Base + 0x04;
+constexpr uint32_t kUartBrr = kUsart2Base + 0x08;
+constexpr uint32_t kGpioModer = kGpioABase + 0x00;
+constexpr uint32_t kGpioOdr = kGpioABase + 0x14;
+}  // namespace
+
+std::unique_ptr<Module> PinLockApp::BuildModule() const {
+  auto m = std::make_unique<Module>("pinlock");
+  auto& tt = m->types();
+  const Type* u8 = tt.U8();
+  const Type* u32 = tt.U32();
+  const Type* p_u8 = tt.PointerTo(u8);
+  const Type* void_ty = tt.VoidTy();
+
+  // --- Types & globals ---
+  const Type* uart_handle = tt.StructTy(
+      "UartHandle", {{"rx_buf", p_u8, 0}, {"rx_len", u32, 0}, {"configured", u32, 0}});
+
+  const Type* verify_sig = tt.FunctionTy(u32, {u32, u32});
+  m->AddGlobal("verify_fn", tt.PointerTo(verify_sig));
+
+  m->AddGlobal("PinRxBuffer", tt.ArrayOf(u8, 16));
+  m->AddGlobal("KEY", u32);
+  m->AddGlobal("result", u32);
+  m->AddGlobal("lock_state", u32);
+  m->AddGlobal("huart2", uart_handle);
+  m->AddGlobal("sys_clock", u32);
+  m->AddGlobal("attempts", u32);
+  m->AddGlobal("alarm_count", u32);  // only written by the never-taken alarm path
+  m->AddGlobal("profile_cycles", u32);
+
+  auto* correct_pin = m->AddGlobal("CORRECT_PIN", tt.ArrayOf(u8, 4), /*is_const=*/true);
+  correct_pin->set_initial_data({'1', '2', '3', '4'});
+  auto* msg_ok = m->AddGlobal("MSG_OK", tt.ArrayOf(u8, 3), /*is_const=*/true);
+  msg_ok->set_initial_data({'O', 'K', '\n'});
+  auto* msg_err = m->AddGlobal("MSG_ERR", tt.ArrayOf(u8, 3), /*is_const=*/true);
+  msg_err->set_initial_data({'E', 'R', '\n'});
+  auto* msg_lk = m->AddGlobal("MSG_LK", tt.ArrayOf(u8, 3), /*is_const=*/true);
+  msg_lk->set_initial_data({'L', 'K', '\n'});
+
+  // --- system.c: System_Init ---
+  {
+    auto* fn = m->AddFunction("System_Init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("system.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Mmio32(kRccBase + 0x00), b.U32(1u << 24));  // PLL on
+    // Wait for PLL ready (bit 25).
+    b.While((b.Mmio32(kRccBase + 0x00) & b.U32(1u << 25)) == b.U32(0));
+    b.End();
+    b.Assign(b.Mmio32(kRccBase + 0x30), b.U32(0x7));  // enable GPIO/UART clocks
+    b.Assign(b.G("sys_clock"), b.U32(168000000));
+    b.RetVoid();
+    b.Finish();
+  }
+
+  // --- uart.c: Uart_Init, uart_send ---
+  {
+    auto* fn = m->AddFunction("Uart_Init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("uart.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Mmio32(kUartBrr), b.U32(0x16D));  // 115200 @ 42 MHz APB
+    b.Assign(b.Mmio32(kUsart2Base + 0x0C), b.U32(1));
+    b.Assign(b.Fld(b.G("huart2"), "rx_buf"), b.Addr(b.Idx(b.G("PinRxBuffer"), 0u)));
+    b.Assign(b.Fld(b.G("huart2"), "rx_len"), b.U32(0));
+    b.Assign(b.Fld(b.G("huart2"), "configured"), b.U32(1));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("uart_send", tt.FunctionTy(void_ty, {p_u8, u32}), {"s", "len"});
+    fn->set_source_file("uart.c");
+    FunctionBuilder b(*m, fn);
+    Val i = b.Local("i", u32);
+    b.Assign(i, b.U32(0));
+    b.While(i < b.L("len"));
+    {
+      // Wait for TXE, then write the data register.
+      b.While((b.Mmio32(kUartSr) & b.U32(2)) == b.U32(0));
+      b.End();
+      b.Assign(b.Mmio32(kUartDr), b.Idx(b.L("s"), i));
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.RetVoid();
+    b.Finish();
+  }
+
+  // --- hal_uart.c: HAL_UART_Receive_IT (the "buggy" HAL routine) ---
+  {
+    const Type* p_handle = tt.PointerTo(uart_handle);
+    auto* fn = m->AddFunction("HAL_UART_Receive_IT", tt.FunctionTy(u32, {p_handle, u32}),
+                              {"h", "maxlen"});
+    fn->set_source_file("hal_uart.c");
+    FunctionBuilder b(*m, fn);
+    Val h = b.Deref(b.L("h"));
+    b.Assign(b.Fld(h, "rx_len"), b.U32(0));
+    Val ch = b.Local("ch", u32);
+    b.While(b.U32(1));
+    {
+      b.If((b.Mmio32(kUartSr) & b.U32(1)) == b.U32(0));
+      b.Break();
+      b.End();
+      b.Assign(ch, b.Mmio32(kUartDr));
+      b.If(b.Fld(h, "rx_len") < b.L("maxlen"));
+      {
+        b.Assign(b.Idx(b.Fld(h, "rx_buf"), b.Fld(h, "rx_len")), ch);
+        b.Assign(b.Fld(h, "rx_len"), b.Fld(h, "rx_len") + b.U32(1));
+      }
+      b.End();
+      b.If(ch == b.U32('\n'));
+      b.Break();
+      b.End();
+    }
+    b.End();
+    b.Ret(b.Fld(h, "rx_len"));
+    b.Finish();
+  }
+
+  // --- hash.c: hash (FNV-1a), compare ---
+  {
+    auto* fn = m->AddFunction("hash", tt.FunctionTy(u32, {p_u8, u32}), {"buf", "len"});
+    fn->set_source_file("hash.c");
+    FunctionBuilder b(*m, fn);
+    Val h = b.Local("h", u32);
+    Val i = b.Local("i", u32);
+    b.Assign(h, b.U32(2166136261u));
+    b.Assign(i, b.U32(0));
+    b.While(i < b.L("len"));
+    {
+      b.Assign(h, (h ^ b.CastTo(u32, b.Idx(b.L("buf"), i))) * b.U32(16777619u));
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.Ret(h);
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("compare", tt.FunctionTy(u32, {u32, u32}), {"a", "b"});
+    fn->set_source_file("hash.c");
+    FunctionBuilder b(*m, fn);
+    b.Ret(b.L("a") == b.L("b"));
+    b.Finish();
+  }
+
+  // --- key.c: Key_Init ---
+  {
+    auto* fn = m->AddFunction("Key_Init", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("key.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.G("KEY"), b.CallV("hash", {b.Addr(b.Idx(b.G("CORRECT_PIN"), 0u)), b.U32(4)}));
+    // Register the verification callback (PinLock's one indirect call).
+    b.Assign(b.G("verify_fn"), b.FnPtr("compare"));
+    b.RetVoid();
+    b.Finish();
+  }
+
+  // --- lock.c: Init_Lock, do_lock, do_unlock ---
+  {
+    auto* fn = m->AddFunction("do_lock", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("lock.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Mmio32(kGpioOdr), b.U32(0));
+    b.Assign(b.G("lock_state"), b.U32(0));
+    b.Call("uart_send", {b.CastTo(p_u8, b.Addr(b.Idx(b.G("MSG_LK"), 0u))), b.U32(3)});
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("do_unlock", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("lock.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Mmio32(kGpioOdr), b.U32(1));
+    b.Assign(b.G("lock_state"), b.U32(1));
+    b.Call("uart_send", {b.CastTo(p_u8, b.Addr(b.Idx(b.G("MSG_OK"), 0u))), b.U32(3)});
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Init_Lock", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("lock.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Mmio32(kGpioModer), b.U32(0x1));  // PA0 output
+    b.Call("do_lock", {});
+    b.RetVoid();
+    b.Finish();
+  }
+
+  // --- alarm.c: brute-force alarm, never triggered in the scenarios ---
+  {
+    auto* fn = m->AddFunction("trigger_alarm", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("alarm.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.G("alarm_count"), b.G("alarm_count") + b.U32(1));
+    b.Assign(b.Mmio32(kGpioOdr), b.U32(0x80000000));  // sound the buzzer pin
+    b.RetVoid();
+    b.Finish();
+  }
+
+  // --- main.c: Unlock_Task, Lock_Task, main ---
+  {
+    auto* fn = m->AddFunction("Unlock_Task", tt.FunctionTy(void_ty, {p_u8, u32}),
+                              {"prompt", "plen"});
+    fn->set_source_file("main.c");
+    FunctionBuilder b(*m, fn);
+    b.Call("uart_send", {b.L("prompt"), b.L("plen")});
+    Val n = b.Local("n", u32);
+    b.Assign(n, b.CallV("HAL_UART_Receive_IT", {b.Addr(b.G("huart2")), b.U32(15)}));
+    b.If(n > b.U32(1));
+    {
+      b.Assign(b.G("attempts"), b.G("attempts") + b.U32(1));
+      b.If(b.G("attempts") > b.U32(100000));
+      b.Call("trigger_alarm", {});  // untaken branch (brute-force defense)
+      b.End();
+      b.Assign(b.G("result"),
+               b.CallV("hash", {b.Addr(b.Idx(b.G("PinRxBuffer"), 0u)), n - b.U32(1)}));
+      b.If(b.ICallV(verify_sig, b.G("verify_fn"), {b.G("result"), b.G("KEY")}) != b.U32(0));
+      b.Call("do_unlock", {});
+      b.Else();
+      b.Call("uart_send", {b.CastTo(p_u8, b.Addr(b.Idx(b.G("MSG_ERR"), 0u))), b.U32(3)});
+      b.End();
+    }
+    b.End();
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("Lock_Task", tt.FunctionTy(void_ty, {}), {});
+    fn->set_source_file("main.c");
+    FunctionBuilder b(*m, fn);
+    Val n = b.Local("n", u32);
+    b.Assign(n, b.CallV("HAL_UART_Receive_IT", {b.Addr(b.G("huart2")), b.U32(15)}));
+    b.If((n > b.U32(0)) && (b.CastTo(u32, b.Idx(b.G("PinRxBuffer"), 0u)) == b.U32('0')));
+    b.Call("do_lock", {});
+    b.End();
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("main", tt.FunctionTy(u32, {}), {});
+    fn->set_source_file("main.c");
+    FunctionBuilder b(*m, fn);
+    Val start = b.Local("start", u32);
+    b.Assign(start, b.Mmio32(kDwtCyccnt));  // DWT profiling: core peripheral
+    b.Call("System_Init", {});
+    b.Call("Uart_Init", {});
+    b.Call("Key_Init", {});
+    b.Call("Init_Lock", {});
+    Val prompt = b.Local("prompt", tt.ArrayOf(u8, 8));
+    b.Assign(b.Idx(prompt, 0u), b.U8('P'));
+    b.Assign(b.Idx(prompt, 1u), b.U8('I'));
+    b.Assign(b.Idx(prompt, 2u), b.U8('N'));
+    b.Assign(b.Idx(prompt, 3u), b.U8('?'));
+    // Process pairs of (pin attempt, lock command) while input is pending.
+    b.While((b.Mmio32(kUartSr) & b.U32(1)) != b.U32(0));
+    {
+      b.Call("Unlock_Task", {b.Addr(b.Idx(prompt, 0u)), b.U32(4)});
+      b.Call("Lock_Task", {});
+    }
+    b.End();
+    b.Assign(b.G("profile_cycles"), b.Mmio32(kDwtCyccnt) - start);
+    b.Ret(b.G("lock_state"));
+    b.Finish();
+  }
+
+  return m;
+}
+
+opec_compiler::PartitionConfig PinLockApp::Partition() const {
+  opec_compiler::PartitionConfig config;
+  config.entries.push_back({"System_Init", {}});
+  config.entries.push_back({"Uart_Init", {}});
+  config.entries.push_back({"Key_Init", {}});
+  config.entries.push_back({"Init_Lock", {}});
+  // Stack info: argument 0 of Unlock_Task points to an 8-byte buffer on the
+  // caller's stack (Figure 8 relocation).
+  config.entries.push_back({"Unlock_Task", {{0, 8}}});
+  config.entries.push_back({"Lock_Task", {}});
+  config.sanitize.push_back({"lock_state", 0, 1});
+  return config;
+}
+
+opec_hw::SocDescription PinLockApp::Soc() const {
+  opec_hw::SocDescription soc = opec_hw::SocDescription::WithCorePeripherals();
+  soc.AddPeripheral({"USART2", kUsart2Base, 0x400, false});
+  soc.AddPeripheral({"GPIOA", kGpioABase, 0x400, false});
+  soc.AddPeripheral({"RCC", kRccBase, 0x400, false});
+  return soc;
+}
+
+std::unique_ptr<AppDevices> PinLockApp::CreateDevices(opec_hw::Machine& machine) const {
+  auto devices = std::make_unique<PinLockDevices>();
+  auto uart = std::make_unique<opec_hw::Uart>("USART2", kUsart2Base);
+  auto gpio = std::make_unique<opec_hw::Gpio>("GPIOA", kGpioABase);
+  auto rcc = std::make_unique<opec_hw::Rcc>("RCC", kRccBase);
+  devices->uart = uart.get();
+  devices->lock_gpio = gpio.get();
+  devices->rcc = rcc.get();
+  machine.bus().AttachDevice(uart.get());
+  machine.bus().AttachDevice(gpio.get());
+  machine.bus().AttachDevice(rcc.get());
+  devices->owned.push_back(std::move(uart));
+  devices->owned.push_back(std::move(gpio));
+  devices->owned.push_back(std::move(rcc));
+  return devices;
+}
+
+void PinLockApp::PrepareScenario(AppDevices& devices) const {
+  auto& d = static_cast<PinLockDevices&>(devices);
+  for (int i = 0; i < rounds_; ++i) {
+    d.uart->PushRxString("1234\n");  // correct pin -> unlock
+    d.uart->PushRxString("0\n");     // lock command
+    d.uart->PushRxString("9999\n");  // wrong pin -> error
+    d.uart->PushRxString("0\n");     // lock command
+  }
+}
+
+std::string PinLockApp::CheckScenario(const AppDevices& devices,
+                                      const opec_rt::RunResult& result) const {
+  const auto& d = static_cast<const PinLockDevices&>(devices);
+  if (!result.ok) {
+    return "run failed: " + result.violation;
+  }
+  std::string tx = d.uart->TxString();
+  auto count = [&](const std::string& needle) {
+    int n = 0;
+    for (size_t pos = tx.find(needle); pos != std::string::npos; pos = tx.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  int oks = count("OK\n");
+  int errs = count("ER\n");
+  if (oks != rounds_ || errs != rounds_) {
+    return opec_support::StrPrintf("expected %d OK / %d ER, got %d / %d", rounds_, rounds_, oks,
+                                   errs);
+  }
+  if (!d.lock_gpio->configured()) {
+    return "lock GPIO was never configured";
+  }
+  // The scenario ends with a lock command: final state must be locked.
+  if (d.lock_gpio->output() != 0 || result.return_value != 0) {
+    return "lock did not end in the locked state";
+  }
+  return "";
+}
+
+}  // namespace opec_apps

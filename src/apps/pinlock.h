@@ -1,0 +1,54 @@
+// PinLock (Listing 1): a smart lock on the STM32F4-Discovery board. Six
+// developer-designated operations (System_Init, Uart_Init, Key_Init,
+// Init_Lock, Unlock_Task, Lock_Task) plus the default main operation.
+//
+// Guest structure mirrors the paper's case study:
+//   * PinRxBuffer (u8[16]) is shared: both Unlock_Task and Lock_Task receive
+//     input through HAL_UART_Receive_IT, which writes the buffer through the
+//     huart2 handle's pointer field.
+//   * KEY (u32) is written by Key_Init and read by Unlock_Task — and is NOT
+//     in Lock_Task's operation data section, which is what defeats the
+//     Section 6.1 attack.
+//   * lock_state is sanitized to [0, 1].
+//   * Unlock_Task takes a pointer argument (the prompt buffer on main's
+//     stack), exercising the Figure 8 stack relocation.
+
+#ifndef SRC_APPS_PINLOCK_H_
+#define SRC_APPS_PINLOCK_H_
+
+#include "src/apps/app.h"
+#include "src/hw/devices/gpio.h"
+#include "src/hw/devices/rcc.h"
+#include "src/hw/devices/uart.h"
+
+namespace opec_apps {
+
+struct PinLockDevices : AppDevices {
+  opec_hw::Uart* uart = nullptr;
+  opec_hw::Gpio* lock_gpio = nullptr;
+  opec_hw::Rcc* rcc = nullptr;
+  std::vector<std::unique_ptr<opec_hw::MmioDevice>> owned;
+};
+
+class PinLockApp : public Application {
+ public:
+  // Number of (correct pin, lock, wrong pin, lock) rounds in the scenario.
+  explicit PinLockApp(int rounds = 100) : rounds_(rounds) {}
+
+  std::string name() const override { return "PinLock"; }
+  opec_hw::Board board() const override { return opec_hw::Board::kStm32F4Discovery; }
+  std::unique_ptr<opec_ir::Module> BuildModule() const override;
+  opec_compiler::PartitionConfig Partition() const override;
+  opec_hw::SocDescription Soc() const override;
+  std::unique_ptr<AppDevices> CreateDevices(opec_hw::Machine& machine) const override;
+  void PrepareScenario(AppDevices& devices) const override;
+  std::string CheckScenario(const AppDevices& devices,
+                            const opec_rt::RunResult& result) const override;
+
+ private:
+  int rounds_;
+};
+
+}  // namespace opec_apps
+
+#endif  // SRC_APPS_PINLOCK_H_

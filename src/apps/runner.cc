@@ -1,0 +1,47 @@
+#include "src/apps/runner.h"
+
+#include "src/compiler/image.h"
+#include "src/support/check.h"
+
+namespace opec_apps {
+
+AppRun::AppRun(const Application& app, BuildMode mode) : app_(app), mode_(mode) {
+  soc_ = app.Soc();
+  module_ = app.BuildModule();
+  machine_ = std::make_unique<opec_hw::Machine>(app.board());
+  devices_ = app.CreateDevices(*machine_);
+
+  if (mode == BuildMode::kOpec) {
+    compile_ = std::make_unique<opec_compiler::CompileResult>(
+        opec_compiler::CompileOpec(*module_, soc_, app.Partition(), app.board()));
+    accounting_ = compile_->policy.accounting;
+    monitor_ = std::make_unique<opec_monitor::Monitor>(*machine_, compile_->policy, soc_);
+    opec_compiler::LoadGlobals(*machine_, *module_, compile_->layout);
+    engine_ = std::make_unique<opec_rt::ExecutionEngine>(*machine_, *module_, compile_->layout,
+                                                         monitor_.get());
+  } else {
+    opec_compiler::VanillaImage image = opec_compiler::BuildVanillaImage(*module_, app.board());
+    vanilla_layout_ = image.layout;
+    accounting_ = image.accounting;
+    opec_compiler::LoadGlobals(*machine_, *module_, vanilla_layout_);
+    engine_ = std::make_unique<opec_rt::ExecutionEngine>(*machine_, *module_, vanilla_layout_,
+                                                         nullptr);
+  }
+}
+
+AppRun::~AppRun() = default;
+
+void AppRun::AddAttack(const opec_rt::AttackSpec& attack) { engine_->AddAttack(attack); }
+
+opec_rt::RunResult AppRun::Execute() {
+  if (trace_enabled_) {
+    engine_->set_trace(&trace_);
+  }
+  app_.PrepareScenario(*devices_);
+  last_result_ = engine_->Run("main");
+  return last_result_;
+}
+
+std::string AppRun::Check() const { return app_.CheckScenario(*devices_, last_result_); }
+
+}  // namespace opec_apps

@@ -1,0 +1,73 @@
+// AppRun: builds an application image (vanilla or OPEC), loads it into a
+// machine, runs the scenario and exposes everything for inspection. This is
+// what the tests, examples and benches drive.
+
+#ifndef SRC_APPS_RUNNER_H_
+#define SRC_APPS_RUNNER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/apps/app.h"
+#include "src/compiler/opec_compiler.h"
+#include "src/monitor/monitor.h"
+#include "src/rt/engine.h"
+#include "src/rt/trace.h"
+
+namespace opec_apps {
+
+enum class BuildMode {
+  kVanilla,  // no isolation, everything privileged (the baseline binary)
+  kOpec,     // OPEC-compiled, monitor-enforced
+};
+
+class AppRun {
+ public:
+  AppRun(const Application& app, BuildMode mode);
+  ~AppRun();
+
+  AppRun(const AppRun&) = delete;
+  AppRun& operator=(const AppRun&) = delete;
+
+  // Optional instrumentation; call before Execute().
+  void AddAttack(const opec_rt::AttackSpec& attack);
+  void EnableTrace() { trace_enabled_ = true; }
+
+  // Loads the image, feeds the scenario and runs main.
+  opec_rt::RunResult Execute();
+
+  // Scenario output verification (valid after Execute()).
+  std::string Check() const;
+
+  // --- Inspection ---
+  opec_hw::Machine& machine() { return *machine_; }
+  AppDevices& devices() { return *devices_; }
+  opec_ir::Module& module() { return *module_; }
+  const opec_rt::ExecutionTrace& trace() const { return trace_; }
+  opec_rt::ExecutionEngine& engine() { return *engine_; }
+  // OPEC-only (null in vanilla mode).
+  const opec_compiler::CompileResult* compile() const { return compile_.get(); }
+  const opec_monitor::Monitor* monitor() const { return monitor_.get(); }
+
+  const opec_compiler::MemoryAccounting& accounting() const { return accounting_; }
+
+ private:
+  const Application& app_;
+  BuildMode mode_;
+  opec_hw::SocDescription soc_;
+  std::unique_ptr<opec_ir::Module> module_;
+  std::unique_ptr<opec_hw::Machine> machine_;
+  std::unique_ptr<AppDevices> devices_;
+  std::unique_ptr<opec_compiler::CompileResult> compile_;
+  std::unique_ptr<opec_monitor::Monitor> monitor_;
+  std::unique_ptr<opec_rt::ExecutionEngine> engine_;
+  opec_rt::AddressAssignment vanilla_layout_;
+  opec_compiler::MemoryAccounting accounting_;
+  opec_rt::ExecutionTrace trace_;
+  bool trace_enabled_ = false;
+  opec_rt::RunResult last_result_;
+};
+
+}  // namespace opec_apps
+
+#endif  // SRC_APPS_RUNNER_H_

@@ -1,0 +1,51 @@
+// TCP-Echo (STM32479I-EVAL): a TCP echo server over a netstack-lite (the
+// lwIP stand-in) written in guest IR — ethernet framing, IPv4 header
+// validation with checksum, and a minimal TCP state machine. Nine operations:
+// System_Init, Eth_Init, Net_Init, Rx_Task, Ip_Task, Tcp_Task, Timer_Task,
+// Stats_Task + main. The rx/tx frame buffers and the pbuf memory pool are
+// shared across the packet-path operations, mirroring the paper's note that
+// TCP-Echo's large packet buffers and memory pools are shared among several
+// operations.
+//
+// Scenario: a TCP handshake, then 5 valid payload segments interleaved with
+// 45 invalid frames (bad ethertype / protocol / IP checksum / port); the
+// server must emit a SYN-ACK plus 5 exact echoes.
+
+#ifndef SRC_APPS_TCP_ECHO_H_
+#define SRC_APPS_TCP_ECHO_H_
+
+#include "src/apps/app.h"
+#include "src/hw/devices/ethernet.h"
+#include "src/hw/devices/rcc.h"
+#include "src/hw/devices/uart.h"
+
+namespace opec_apps {
+
+struct TcpEchoDevices : AppDevices {
+  opec_hw::Ethernet* eth = nullptr;
+  opec_hw::Uart* uart = nullptr;
+  opec_hw::Rcc* rcc = nullptr;
+  std::vector<std::unique_ptr<opec_hw::MmioDevice>> owned;
+};
+
+class TcpEchoApp : public Application {
+ public:
+  static constexpr int kValidPayloads = 5;
+  static constexpr int kInvalidFrames = 45;
+
+  std::string name() const override { return "TCP-Echo"; }
+  opec_hw::Board board() const override { return opec_hw::Board::kStm32479iEval; }
+  std::unique_ptr<opec_ir::Module> BuildModule() const override;
+  opec_compiler::PartitionConfig Partition() const override;
+  opec_hw::SocDescription Soc() const override;
+  std::unique_ptr<AppDevices> CreateDevices(opec_hw::Machine& machine) const override;
+  void PrepareScenario(AppDevices& devices) const override;
+  std::string CheckScenario(const AppDevices& devices,
+                            const opec_rt::RunResult& result) const override;
+
+  static std::vector<uint8_t> PayloadFor(int index);
+};
+
+}  // namespace opec_apps
+
+#endif  // SRC_APPS_TCP_ECHO_H_

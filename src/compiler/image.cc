@@ -1,0 +1,167 @@
+#include "src/compiler/image.h"
+
+#include "src/hw/address_map.h"
+#include "src/support/check.h"
+
+namespace opec_compiler {
+
+using opec_hw::Board;
+using opec_hw::BoardSpec;
+using opec_hw::GetBoardSpec;
+using opec_hw::kFlashBase;
+using opec_hw::kSramBase;
+using opec_ir::Expr;
+using opec_ir::ExprPtr;
+using opec_ir::Function;
+using opec_ir::GlobalVariable;
+using opec_ir::Module;
+using opec_ir::Stmt;
+using opec_ir::StmtPtr;
+
+namespace {
+
+uint32_t AlignUp(uint32_t v, uint32_t a) { return (v + a - 1) & ~(a - 1); }
+
+uint32_t CountExprNodes(const Expr& e) {
+  uint32_t n = 1;
+  for (const ExprPtr& op : e.operands) {
+    n += CountExprNodes(*op);
+  }
+  return n;
+}
+
+uint32_t CountStmtNodes(const Stmt& s) {
+  uint32_t n = 1;
+  if (s.lhs != nullptr) {
+    n += CountExprNodes(*s.lhs);
+  }
+  if (s.expr != nullptr) {
+    n += CountExprNodes(*s.expr);
+  }
+  for (const StmtPtr& t : s.body) {
+    n += CountStmtNodes(*t);
+  }
+  for (const StmtPtr& t : s.orelse) {
+    n += CountStmtNodes(*t);
+  }
+  return n;
+}
+
+}  // namespace
+
+uint32_t FunctionCodeBytes(const Function& fn) {
+  uint32_t nodes = 0;
+  for (const StmtPtr& s : fn.body()) {
+    nodes += CountStmtNodes(*s);
+  }
+  return 16 + 4 * nodes;
+}
+
+uint32_t ModuleCodeBytes(const Module& module) {
+  uint32_t total = 0;
+  for (const auto& fn : module.functions()) {
+    total += FunctionCodeBytes(*fn);
+  }
+  return total;
+}
+
+uint32_t MonitorCodeBytes(size_t num_operations) {
+  // Fixed monitor routines (~8 KB) plus small per-operation dispatch stubs,
+  // matching the 8.3-8.6 KB range in Table 1.
+  return 8192 + 32 * static_cast<uint32_t>(num_operations);
+}
+
+uint32_t PolicyMetadataBytes(const Policy& policy) {
+  uint32_t bytes = 0;
+  for (const OperationPolicy& op : policy.operations) {
+    bytes += 2 * 8;                                                 // fixed regions 0-1
+    bytes += 8;                                                     // stack region + SRD plan
+    bytes += op.has_section ? 8 : 0;                                // data-section region
+    bytes += static_cast<uint32_t>(op.periph_regions.size()) * 8;   // peripheral windows
+    bytes += static_cast<uint32_t>(op.periph_ranges.size()) * 8;    // allowlist ranges
+    bytes += static_cast<uint32_t>(op.core_periph_names.size()) * 8;
+    bytes += static_cast<uint32_t>(op.shadows.size()) * 8;          // sync lists
+    bytes += static_cast<uint32_t>(op.pointer_arg_sizes.size()) * 8;  // stack info
+  }
+  for (const ExternalVar& ev : policy.externals) {
+    bytes += 12;  // public addr, reloc slot, size
+    bytes += static_cast<uint32_t>(ev.pointer_field_offsets.size()) * 4;
+    if (ev.sanitized) {
+      bytes += 12;
+    }
+  }
+  return bytes;
+}
+
+VanillaImage BuildVanillaImage(const Module& module, Board board, uint32_t stack_size) {
+  const BoardSpec spec = GetBoardSpec(board);
+  VanillaImage image;
+
+  uint32_t code = ModuleCodeBytes(module);
+  image.accounting.flash_app_code = code;
+
+  uint32_t flash_cursor = AlignUp(kFlashBase + code, 64);
+  uint32_t sram_cursor = kSramBase;
+  for (const auto& g : module.globals()) {
+    if (g->is_const()) {
+      flash_cursor = AlignUp(flash_cursor, g->type()->alignment());
+      image.layout.global_addr[g.get()] = flash_cursor;
+      flash_cursor += g->size();
+      image.accounting.flash_rodata += g->size();
+    } else {
+      sram_cursor = AlignUp(sram_cursor, g->type()->alignment());
+      image.layout.global_addr[g.get()] = sram_cursor;
+      sram_cursor += g->size();
+      image.accounting.sram_public += g->size();  // .data/.bss
+    }
+  }
+  OPEC_CHECK_MSG(flash_cursor <= kFlashBase + spec.flash_size, "vanilla image exceeds flash");
+
+  uint32_t sram_end = kSramBase + spec.sram_size;
+  image.layout.stack_top = sram_end;
+  image.layout.stack_base = sram_end - stack_size;
+  image.accounting.sram_stack = stack_size;
+  OPEC_CHECK_MSG(image.layout.stack_base >= sram_cursor, "vanilla image exceeds SRAM");
+  return image;
+}
+
+void FinishOpecImage(const Module& module, const InstrumentStats& stats, Board board,
+                     Policy* policy, opec_rt::AddressAssignment* layout) {
+  const BoardSpec spec = GetBoardSpec(board);
+  // Code accounting on the instrumented module (relocation-table loads are
+  // extra instructions) plus the SVC pairs at instrumented call sites.
+  policy->accounting.flash_app_code =
+      ModuleCodeBytes(module) + 8 * static_cast<uint32_t>(stats.instrumented_call_sites);
+  policy->accounting.flash_monitor_code = MonitorCodeBytes(policy->operations.size());
+  policy->accounting.flash_metadata = PolicyMetadataBytes(*policy);
+
+  uint32_t flash_cursor = AlignUp(
+      kFlashBase + policy->accounting.flash_app_code + policy->accounting.flash_monitor_code +
+          policy->accounting.flash_metadata,
+      64);
+  for (const auto& g : module.globals()) {
+    if (!g->is_const()) {
+      continue;
+    }
+    flash_cursor = AlignUp(flash_cursor, g->type()->alignment());
+    layout->global_addr[g.get()] = flash_cursor;
+    flash_cursor += g->size();
+    policy->accounting.flash_rodata += g->size();
+  }
+  OPEC_CHECK_MSG(flash_cursor <= kFlashBase + spec.flash_size, "OPEC image exceeds flash");
+}
+
+void LoadGlobals(opec_hw::Machine& machine, const Module& module,
+                 const opec_rt::AddressAssignment& layout) {
+  for (const auto& g : module.globals()) {
+    uint32_t addr = layout.AddrOf(g.get());
+    if (addr == 0) {
+      continue;  // externals' shadows etc. are initialized by the monitor
+    }
+    std::vector<uint8_t> bytes = g->initial_data();
+    bytes.resize(g->size(), 0);
+    machine.bus().DebugWriteBytes(addr, bytes);
+  }
+}
+
+}  // namespace opec_compiler

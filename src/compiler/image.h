@@ -1,0 +1,50 @@
+// Program-image modeling: code-size accounting (the readelf stand-in for
+// Figure 9 / Tables 1-2), flash rodata placement, and the loader that writes
+// initial global data into the machine.
+
+#ifndef SRC_COMPILER_IMAGE_H_
+#define SRC_COMPILER_IMAGE_H_
+
+#include "src/compiler/instrument.h"
+#include "src/compiler/policy.h"
+#include "src/hw/machine.h"
+#include "src/ir/module.h"
+#include "src/rt/address_assignment.h"
+
+namespace opec_compiler {
+
+// Thumb-2 code-size model: ~4 bytes per IR node plus a 16-byte
+// prologue/epilogue per function.
+uint32_t FunctionCodeBytes(const opec_ir::Function& fn);
+uint32_t ModuleCodeBytes(const opec_ir::Module& module);
+
+// Monitor code footprint (Section 6.2 reports ~8.4 KB of privileged code).
+uint32_t MonitorCodeBytes(size_t num_operations);
+
+// Per-operation metadata flash footprint: MPU configs, peripheral lists,
+// sanitization values, stack info, relocation-table initializers.
+uint32_t PolicyMetadataBytes(const Policy& policy);
+
+// A vanilla (no isolation) image: every global laid out sequentially, full
+// stack at the top of SRAM, everything privileged.
+struct VanillaImage {
+  opec_rt::AddressAssignment layout;
+  MemoryAccounting accounting;
+};
+VanillaImage BuildVanillaImage(const opec_ir::Module& module, opec_hw::Board board,
+                               uint32_t stack_size = 16 * 1024);
+
+// Assigns flash addresses to const globals (after the code) and fills the
+// policy's code/metadata accounting. Called by the OPEC compile driver after
+// instrumentation.
+void FinishOpecImage(const opec_ir::Module& module, const InstrumentStats& stats,
+                     opec_hw::Board board, Policy* policy, opec_rt::AddressAssignment* layout);
+
+// Writes every placed global's initial bytes into the machine (flash for
+// const globals, SRAM otherwise). Unset initial bytes are zero.
+void LoadGlobals(opec_hw::Machine& machine, const opec_ir::Module& module,
+                 const opec_rt::AddressAssignment& layout);
+
+}  // namespace opec_compiler
+
+#endif  // SRC_COMPILER_IMAGE_H_

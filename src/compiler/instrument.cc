@@ -1,0 +1,136 @@
+#include "src/compiler/instrument.h"
+
+#include <map>
+
+#include "src/support/check.h"
+
+namespace opec_compiler {
+
+using opec_ir::Expr;
+using opec_ir::ExprKind;
+using opec_ir::ExprPtr;
+using opec_ir::Function;
+using opec_ir::GlobalVariable;
+using opec_ir::MakeCast;
+using opec_ir::MakeDeref;
+using opec_ir::MakeIntConst;
+using opec_ir::Module;
+using opec_ir::Stmt;
+using opec_ir::StmtPtr;
+using opec_ir::Type;
+
+namespace {
+
+class Rewriter {
+ public:
+  Rewriter(Module& module, const Policy& policy, InstrumentStats& stats)
+      : module_(module), stats_(stats) {
+    for (const ExternalVar& ev : policy.externals) {
+      reloc_addr_[ev.gv] = ev.reloc_entry_addr;
+    }
+    for (const OperationPolicy& op : policy.operations) {
+      if (op.id == policy.default_op_id) {
+        continue;  // main is not called from guest code
+      }
+      const Function* fn = module.FindFunction(op.entry);
+      OPEC_CHECK(fn != nullptr);
+      entry_ops_[fn] = op.id;
+    }
+  }
+
+  ExprPtr Rewrite(const ExprPtr& e) {
+    // Rewrite an external global reference into *(T*)(*(u32*)reloc_entry).
+    if (e->kind == ExprKind::kGlobal) {
+      auto it = reloc_addr_.find(e->global);
+      if (it != reloc_addr_.end()) {
+        ++stats_.rewritten_global_accesses;
+        const Type* u32 = module_.types().U32();
+        ExprPtr entry_ptr =
+            MakeCast(module_.types().PointerTo(u32), MakeIntConst(u32, it->second));
+        ExprPtr shadow_ptr = MakeCast(module_.types().PointerTo(e->global->type()),
+                                      MakeDeref(std::move(entry_ptr)));
+        return MakeDeref(std::move(shadow_ptr));
+      }
+      return e;
+    }
+    bool changed = false;
+    std::vector<ExprPtr> operands;
+    operands.reserve(e->operands.size());
+    for (const ExprPtr& op : e->operands) {
+      ExprPtr r = Rewrite(op);
+      changed |= r != op;
+      operands.push_back(std::move(r));
+    }
+    int op_id = -1;
+    if (e->kind == ExprKind::kCall) {
+      auto it = entry_ops_.find(e->func);
+      if (it != entry_ops_.end()) {
+        op_id = it->second;
+        ++stats_.instrumented_call_sites;
+      }
+    }
+    if (!changed && op_id < 0) {
+      return e;
+    }
+    auto copy = std::make_shared<Expr>(*e);
+    copy->operands = std::move(operands);
+    if (op_id >= 0) {
+      copy->operation_entry_id = op_id;
+    }
+    return copy;
+  }
+
+  StmtPtr Rewrite(const StmtPtr& s) {
+    auto copy = std::make_shared<Stmt>(*s);
+    bool changed = false;
+    if (copy->lhs != nullptr) {
+      ExprPtr r = Rewrite(copy->lhs);
+      changed |= r != copy->lhs;
+      copy->lhs = std::move(r);
+    }
+    if (copy->expr != nullptr) {
+      ExprPtr r = Rewrite(copy->expr);
+      changed |= r != copy->expr;
+      copy->expr = std::move(r);
+    }
+    std::vector<StmtPtr> body;
+    for (const StmtPtr& t : s->body) {
+      StmtPtr r = Rewrite(t);
+      changed |= r != t;
+      body.push_back(std::move(r));
+    }
+    copy->body = std::move(body);
+    std::vector<StmtPtr> orelse;
+    for (const StmtPtr& t : s->orelse) {
+      StmtPtr r = Rewrite(t);
+      changed |= r != t;
+      orelse.push_back(std::move(r));
+    }
+    copy->orelse = std::move(orelse);
+    return changed ? StmtPtr(copy) : s;
+  }
+
+ private:
+  Module& module_;
+  InstrumentStats& stats_;
+  std::map<const GlobalVariable*, uint32_t> reloc_addr_;
+  std::map<const Function*, int> entry_ops_;
+};
+
+}  // namespace
+
+InstrumentStats InstrumentModule(Module& module, const Policy& policy) {
+  InstrumentStats stats;
+  Rewriter rewriter(module, policy, stats);
+  for (const auto& fn : module.functions()) {
+    std::vector<StmtPtr> body;
+    body.reserve(fn->body().size());
+    for (const StmtPtr& s : fn->body()) {
+      body.push_back(rewriter.Rewrite(s));
+    }
+    fn->set_body(std::move(body));
+  }
+  return stats;
+}
+
+}  // namespace opec_compiler

@@ -1,0 +1,26 @@
+// Code instrumentation (Section 4.4): rewrites the module in place so that
+//   (1) every access to an external (shared) global goes through its
+//       relocation-table pointer, which the monitor repoints to the current
+//       operation's shadow copy at switch time, and
+//   (2) every call site of an operation entry function is marked with the
+//       operation id — the IR-level equivalent of the SVC instructions the
+//       paper inserts before and after the call site.
+
+#ifndef SRC_COMPILER_INSTRUMENT_H_
+#define SRC_COMPILER_INSTRUMENT_H_
+
+#include "src/compiler/policy.h"
+#include "src/ir/module.h"
+
+namespace opec_compiler {
+
+struct InstrumentStats {
+  int rewritten_global_accesses = 0;
+  int instrumented_call_sites = 0;
+};
+
+InstrumentStats InstrumentModule(opec_ir::Module& module, const Policy& policy);
+
+}  // namespace opec_compiler
+
+#endif  // SRC_COMPILER_INSTRUMENT_H_

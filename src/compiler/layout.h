@@ -1,0 +1,43 @@
+// Data layout (Section 4.4): classifies globals as internal/external, builds
+// the public data section, the relocation table, and the per-operation data
+// sections (internal variables + shadow copies), satisfying the MPU's
+// power-of-two size/alignment rules with minimal external fragmentation
+// (sections sorted by size, descending). Also generates the per-operation
+// peripheral MPU windows (adjacent peripherals merged, Section 4.3).
+
+#ifndef SRC_COMPILER_LAYOUT_H_
+#define SRC_COMPILER_LAYOUT_H_
+
+#include "src/compiler/partition_config.h"
+#include "src/compiler/partitioner.h"
+#include "src/compiler/policy.h"
+#include "src/hw/soc.h"
+#include "src/rt/address_assignment.h"
+
+namespace opec_compiler {
+
+// Rounds up to the next power of two, minimum `floor`.
+uint32_t NextPow2(uint32_t v, uint32_t floor = 32);
+uint8_t Log2Ceil(uint32_t v);
+
+// Covers [base, base+len) with MPU-legal windows (power-of-two size, size-
+// aligned base, >= 32 bytes). Greedy: the largest legal block at each step.
+std::vector<PeriphRegion> CoverRangeWithMpuWindows(uint32_t base, uint32_t len);
+
+// Deterministic heap placement: a power-of-two window directly below the
+// stack region at the top of SRAM. Guest code (the allocator, emitted at
+// authoring time) and the layout both compute the same address from the board
+// and the config sizes. Returns the heap base; *out_size is the rounded size.
+uint32_t ComputeHeapPlacement(opec_hw::Board board, uint32_t stack_size, uint32_t heap_size,
+                              uint32_t* out_size);
+
+// Builds the complete policy + address assignment for an OPEC image.
+// Populates everything in Policy except the accounting's code-size fields
+// (filled by the image builder).
+void BuildLayout(const opec_ir::Module& module, const PartitionResult& partition,
+                 const PartitionConfig& config, const opec_hw::SocDescription& soc,
+                 opec_hw::Board board, Policy* policy, opec_rt::AddressAssignment* layout);
+
+}  // namespace opec_compiler
+
+#endif  // SRC_COMPILER_LAYOUT_H_

@@ -1,0 +1,30 @@
+#include "src/compiler/opec_compiler.h"
+
+#include "src/compiler/layout.h"
+
+namespace opec_compiler {
+
+CompileResult CompileOpec(opec_ir::Module& module, const opec_hw::SocDescription& soc,
+                          const PartitionConfig& config, opec_hw::Board board) {
+  CompileResult result;
+
+  // Stage I, step 1-2: call graph + resource dependencies (Sections 4.1-4.2).
+  opec_analysis::PointsToAnalysis pta(module);
+  opec_analysis::CallGraph cg = opec_analysis::CallGraph::Build(module, pta);
+  result.resources = opec_analysis::ResourceAnalysis::Run(module, pta, soc);
+  result.icall_stats = cg.Stats();
+
+  // Step 3: operation partitioning (Section 4.3).
+  result.partition = PartitionOperations(module, cg, result.resources, config);
+
+  // Step 4: data layout + policy generation (Section 4.4).
+  BuildLayout(module, result.partition, config, soc, board, &result.policy, &result.layout);
+
+  // Step 5: instrumentation + image accounting.
+  result.instrument_stats = InstrumentModule(module, result.policy);
+  FinishOpecImage(module, result.instrument_stats, board, &result.policy, &result.layout);
+
+  return result;
+}
+
+}  // namespace opec_compiler

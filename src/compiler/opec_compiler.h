@@ -1,0 +1,40 @@
+// OPEC-Compiler driver (Figure 5, Stage I): call-graph generation, resource
+// dependency analysis, operation partitioning, data layout, instrumentation
+// and image accounting, in one call.
+
+#ifndef SRC_COMPILER_OPEC_COMPILER_H_
+#define SRC_COMPILER_OPEC_COMPILER_H_
+
+#include <memory>
+
+#include "src/analysis/call_graph.h"
+#include "src/analysis/points_to.h"
+#include "src/analysis/resource_analysis.h"
+#include "src/compiler/image.h"
+#include "src/compiler/partition_config.h"
+#include "src/compiler/partitioner.h"
+#include "src/compiler/policy.h"
+#include "src/hw/soc.h"
+#include "src/rt/address_assignment.h"
+
+namespace opec_compiler {
+
+struct CompileResult {
+  Policy policy;
+  opec_rt::AddressAssignment layout;
+  PartitionResult partition;
+  opec_analysis::ICallStats icall_stats;
+  InstrumentStats instrument_stats;
+  // Per-function resource summaries from before instrumentation (metrics use
+  // these for PT/ET).
+  std::map<const opec_ir::Function*, opec_analysis::FunctionResources> resources;
+};
+
+// Compiles `module` for OPEC. The module is mutated (relocation-table
+// rewriting + SVC call-site marking); analyses run on the pristine input.
+CompileResult CompileOpec(opec_ir::Module& module, const opec_hw::SocDescription& soc,
+                          const PartitionConfig& config, opec_hw::Board board);
+
+}  // namespace opec_compiler
+
+#endif  // SRC_COMPILER_OPEC_COMPILER_H_

@@ -1,0 +1,49 @@
+// Developer-provided inputs to OPEC-Compiler (Figure 5): the operation entry
+// function list, the stack information for entry arguments, and the
+// sanitization value ranges for safety-critical globals.
+
+#ifndef SRC_COMPILER_PARTITION_CONFIG_H_
+#define SRC_COMPILER_PARTITION_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace opec_compiler {
+
+// One operation entry function (a root of a call-graph subtree).
+struct EntrySpec {
+  std::string function;
+  // Stack information (Section 5.2): for each pointer-type parameter index,
+  // the byte size of the buffer it points to, so the monitor can relocate the
+  // buffer onto the new operation's stack portion. Nested pointers are not
+  // supported (matching the prototype's limitation).
+  std::map<int, uint32_t> pointer_arg_sizes;
+};
+
+// Developer-provided valid value range for a safety-critical global; the
+// monitor checks it element-wise before synchronizing shadow copies back
+// (Section 5.2, "Before synchronizing, OPEC-Monitor performs data
+// sanitization").
+struct SanitizeSpec {
+  std::string global;
+  uint32_t min = 0;
+  uint32_t max = 0xFFFFFFFF;
+};
+
+struct PartitionConfig {
+  std::vector<EntrySpec> entries;
+  std::vector<SanitizeSpec> sanitize;
+  // Application stack size; must be a power of two (one MPU region), split
+  // into 8 sub-regions.
+  uint32_t stack_size = 16 * 1024;
+  // Heap section size (0 = no heap). Per Section 5.2, the heap lives in a
+  // separate section (never copied at switches); an operation whose code uses
+  // the allocator is granted the whole heap, demand-mapped like a peripheral.
+  uint32_t heap_size = 0;
+};
+
+}  // namespace opec_compiler
+
+#endif  // SRC_COMPILER_PARTITION_CONFIG_H_

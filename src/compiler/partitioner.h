@@ -1,0 +1,47 @@
+// Operation partitioning (Section 4.3): each developer-listed entry function
+// roots an operation containing every function reachable from it in the call
+// graph, backtracking at other operation entries; `main` forms the default
+// operation. Operations may share functions. Per-operation resources are the
+// union of the member functions' resource summaries.
+
+#ifndef SRC_COMPILER_PARTITIONER_H_
+#define SRC_COMPILER_PARTITIONER_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/analysis/call_graph.h"
+#include "src/analysis/resource_analysis.h"
+#include "src/compiler/partition_config.h"
+#include "src/compiler/policy.h"
+#include "src/ir/module.h"
+
+namespace opec_compiler {
+
+struct PartitionedOperation {
+  int id = -1;
+  const opec_ir::Function* entry = nullptr;
+  std::set<const opec_ir::Function*> members;
+  std::set<const opec_ir::GlobalVariable*> globals;     // writable, needed
+  std::set<const opec_ir::GlobalVariable*> ro_globals;  // const, needed
+  std::set<std::string> peripherals;
+  std::set<std::string> core_peripherals;
+  EntrySpec spec;
+};
+
+struct PartitionResult {
+  std::vector<PartitionedOperation> operations;  // [0] is the default (main) op
+  std::map<const opec_ir::Function*, std::vector<int>> function_ops;
+};
+
+// Partitions the program. `main` must exist; entry functions must exist, must
+// not be variadic, and must not be interrupt handlers.
+PartitionResult PartitionOperations(
+    const opec_ir::Module& module, const opec_analysis::CallGraph& cg,
+    const std::map<const opec_ir::Function*, opec_analysis::FunctionResources>& resources,
+    const PartitionConfig& config);
+
+}  // namespace opec_compiler
+
+#endif  // SRC_COMPILER_PARTITIONER_H_

@@ -1,0 +1,69 @@
+#include "src/compiler/policy.h"
+
+#include "src/support/text.h"
+
+namespace opec_compiler {
+
+using opec_support::HexAddr;
+using opec_support::StrPrintf;
+
+std::string Policy::ToText() const {
+  std::string out = "# OPEC operation policy\n";
+  out += StrPrintf("stack: base=%s top=%s subregion=%u\n", HexAddr(stack.base).c_str(),
+                   HexAddr(stack.top).c_str(), stack.subregion_size());
+  out += StrPrintf("public_data: base=%s size=%u\n", HexAddr(public_base).c_str(), public_size);
+  out += StrPrintf("reloc_table: base=%s entries=%zu\n", HexAddr(reloc_table_base).c_str(),
+                   externals.size());
+
+  out += StrPrintf("\nexternals (%zu):\n", externals.size());
+  for (size_t i = 0; i < externals.size(); ++i) {
+    const ExternalVar& ev = externals[i];
+    out += StrPrintf("  [%zu] %-24s public=%s reloc=%s size=%u ptr_fields=%zu", i,
+                     ev.gv->name().c_str(), HexAddr(ev.public_addr).c_str(),
+                     HexAddr(ev.reloc_entry_addr).c_str(), ev.size,
+                     ev.pointer_field_offsets.size());
+    if (ev.sanitized) {
+      out += StrPrintf(" sanitize=[%u,%u]/%u", ev.san_min, ev.san_max, ev.elem_size);
+    }
+    out += "\n";
+  }
+
+  out += StrPrintf("\noperations (%zu):\n", operations.size());
+  for (const OperationPolicy& op : operations) {
+    out += StrPrintf("  op %d %s entry=%s members=%zu globals=%zu\n", op.id, op.name.c_str(),
+                     op.entry.c_str(), op.members.size(), op.needed_globals.size());
+    if (op.has_section) {
+      out += StrPrintf("    section: base=%s size=2^%u payload=%u shadows=%zu\n",
+                       HexAddr(op.section_base).c_str(), op.section_size_log2,
+                       op.section_payload, op.shadows.size());
+    }
+    for (const auto& [base, size] : op.periph_ranges) {
+      out += StrPrintf("    periph range: %s +%u\n", HexAddr(base).c_str(), size);
+    }
+    for (const PeriphRegion& r : op.periph_regions) {
+      out += StrPrintf("    periph MPU window: %s size=2^%u\n", HexAddr(r.base).c_str(),
+                       r.size_log2);
+    }
+    if (op.virtualized) {
+      out += "    (peripheral regions virtualized: demand-mapped round-robin)\n";
+    }
+    for (const std::string& name : op.core_periph_names) {
+      out += "    core peripheral (emulated): " + name + "\n";
+    }
+    for (const auto& [arg, size] : op.pointer_arg_sizes) {
+      out += StrPrintf("    stack info: arg %d points to %u bytes\n", arg, size);
+    }
+  }
+
+  out += "\naccounting:\n";
+  out += StrPrintf("  flash: app=%u monitor=%u metadata=%u rodata=%u total=%u\n",
+                   accounting.flash_app_code, accounting.flash_monitor_code,
+                   accounting.flash_metadata, accounting.flash_rodata,
+                   accounting.flash_total());
+  out += StrPrintf("  sram: public=%u sections=%u reloc=%u monitor=%u stack=%u total=%u\n",
+                   accounting.sram_public, accounting.sram_sections, accounting.sram_reloc,
+                   accounting.sram_monitor, accounting.sram_stack, accounting.sram_total());
+  return out;
+}
+
+}  // namespace opec_compiler

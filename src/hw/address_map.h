@@ -1,0 +1,46 @@
+// ARMv7-M address-space constants used by the machine model (Figure 2 of the
+// paper) and STM32-style peripheral base addresses used by the device models.
+
+#ifndef SRC_HW_ADDRESS_MAP_H_
+#define SRC_HW_ADDRESS_MAP_H_
+
+#include <cstdint>
+
+namespace opec_hw {
+
+// --- Architectural regions (ARMv7-M) ---
+inline constexpr uint32_t kFlashBase = 0x08000000;
+inline constexpr uint32_t kSramBase = 0x20000000;
+inline constexpr uint32_t kPeriphBase = 0x40000000;
+inline constexpr uint32_t kPeriphEnd = 0x5FFFFFFF;
+// Private Peripheral Bus: privileged-only by architecture; unprivileged access
+// raises a BusFault (Section 2.1) — the hook OPEC uses to emulate core-
+// peripheral loads/stores.
+inline constexpr uint32_t kPpbBase = 0xE0000000;
+inline constexpr uint32_t kPpbEnd = 0xE00FFFFF;
+
+// --- Core peripherals (on the PPB) ---
+inline constexpr uint32_t kDwtBase = 0xE0001000;  // Data Watchpoint and Trace
+inline constexpr uint32_t kDwtCtrl = kDwtBase + 0x0;
+inline constexpr uint32_t kDwtCyccnt = kDwtBase + 0x4;  // cycle counter
+inline constexpr uint32_t kSysTickBase = 0xE000E010;
+inline constexpr uint32_t kScbBase = 0xE000ED00;
+inline constexpr uint32_t kMpuRegsBase = 0xE000ED90;
+
+// --- STM32-style general peripherals ---
+inline constexpr uint32_t kUsart1Base = 0x40011000;
+inline constexpr uint32_t kUsart2Base = 0x40004400;
+inline constexpr uint32_t kGpioABase = 0x40020000;
+inline constexpr uint32_t kGpioDBase = 0x40020C00;
+inline constexpr uint32_t kRccBase = 0x40023800;
+inline constexpr uint32_t kSdioBase = 0x40012C00;
+inline constexpr uint32_t kLcdBase = 0x40016800;
+inline constexpr uint32_t kDma2dBase = 0x4002B000;
+inline constexpr uint32_t kEthBase = 0x40028000;
+inline constexpr uint32_t kDcmiBase = 0x50050000;  // camera interface
+inline constexpr uint32_t kUsbOtgBase = 0x50000000;
+inline constexpr uint32_t kPeriphBlockSize = 0x400;  // default register-bank size
+
+}  // namespace opec_hw
+
+#endif  // SRC_HW_ADDRESS_MAP_H_

@@ -1,0 +1,213 @@
+#include "src/hw/bus.h"
+
+#include "src/support/check.h"
+
+namespace opec_hw {
+
+Bus::Bus(const BoardSpec& board, Mpu* mpu, uint64_t* cycles)
+    : board_(board), mpu_(mpu), cycles_(cycles) {
+  OPEC_CHECK(mpu != nullptr && cycles != nullptr);
+  flash_.resize(board.flash_size, 0xFF);  // erased-flash pattern
+  sram_.resize(board.sram_size, 0x00);
+}
+
+void Bus::AttachDevice(MmioDevice* device) {
+  OPEC_CHECK(device != nullptr);
+  for (const MmioDevice* d : devices_) {
+    bool overlap = device->base() < d->base() + d->size() && d->base() < device->base() + device->size();
+    OPEC_CHECK_MSG(!overlap, "device range overlap: " + d->name() + " vs " + device->name());
+  }
+  devices_.push_back(device);
+}
+
+Bus::Target Bus::Route(uint32_t addr, MmioDevice** device) const {
+  if (addr >= kPpbBase && addr <= kPpbEnd) {
+    return Target::kPpb;
+  }
+  if (addr >= kFlashBase && addr < kFlashBase + board_.flash_size) {
+    return Target::kFlash;
+  }
+  if (addr >= kSramBase && addr < kSramBase + board_.sram_size) {
+    return Target::kSram;
+  }
+  for (MmioDevice* d : devices_) {
+    if (d->Contains(addr)) {
+      if (device != nullptr) {
+        *device = d;
+      }
+      return Target::kDevice;
+    }
+  }
+  return Target::kUnmapped;
+}
+
+uint32_t Bus::ReadBacking(const std::vector<uint8_t>& mem, uint32_t offset, uint32_t size) const {
+  uint32_t v = 0;
+  for (uint32_t i = 0; i < size; ++i) {
+    v |= static_cast<uint32_t>(mem[offset + i]) << (8 * i);
+  }
+  return v;
+}
+
+void Bus::WriteBacking(std::vector<uint8_t>& mem, uint32_t offset, uint32_t size, uint32_t value) {
+  for (uint32_t i = 0; i < size; ++i) {
+    mem[offset + i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+AccessResult Bus::PpbRead(uint32_t addr, uint32_t size, bool privileged) {
+  if (!privileged) {
+    return AccessResult::BusFault();
+  }
+  (void)size;
+  if (addr == kDwtCyccnt) {
+    return AccessResult::Ok(static_cast<uint32_t>(*cycles_));
+  }
+  if (addr == kDwtCtrl) {
+    return AccessResult::Ok(1);  // CYCCNTENA reads back as enabled
+  }
+  if (addr == kSysTickBase + 0x0) {
+    return AccessResult::Ok(systick_ctrl_);
+  }
+  if (addr == kSysTickBase + 0x4) {
+    return AccessResult::Ok(systick_load_);
+  }
+  if (addr == kSysTickBase + 0x8) {
+    // Free-running downcounter derived from the cycle counter.
+    uint32_t reload = systick_load_ == 0 ? 0x00FFFFFF : systick_load_;
+    return AccessResult::Ok(reload - static_cast<uint32_t>(*cycles_ % (reload + 1)));
+  }
+  if (addr >= kScbBase && addr < kScbBase + 0x90) {
+    return AccessResult::Ok(0);
+  }
+  if (addr >= kMpuRegsBase && addr < kMpuRegsBase + 0x20) {
+    return AccessResult::Ok(0);  // MPU state is driven through the Mpu object API
+  }
+  return AccessResult::Ok(0);  // other PPB space reads as zero
+}
+
+AccessResult Bus::PpbWrite(uint32_t addr, uint32_t size, uint32_t value, bool privileged) {
+  if (!privileged) {
+    return AccessResult::BusFault();
+  }
+  (void)size;
+  if (addr == kSysTickBase + 0x0) {
+    systick_ctrl_ = value;
+    return AccessResult::Ok();
+  }
+  if (addr == kSysTickBase + 0x4) {
+    systick_load_ = value & 0x00FFFFFF;
+    return AccessResult::Ok();
+  }
+  // DWT control, SCB, MPU alias: accepted, not decoded.
+  return AccessResult::Ok();
+}
+
+AccessResult Bus::Read(uint32_t addr, uint32_t size, bool privileged) {
+  MmioDevice* device = nullptr;
+  Target target = Route(addr, &device);
+  if (target == Target::kPpb) {
+    // The PPB is not governed by the MPU; it is privileged-only by
+    // architecture (Section 2.1).
+    return PpbRead(addr, size, privileged);
+  }
+  if (!mpu_->CheckAccess(addr, size, AccessKind::kRead, privileged)) {
+    return AccessResult::MemFault();
+  }
+  switch (target) {
+    case Target::kFlash:
+      return AccessResult::Ok(ReadBacking(flash_, addr - kFlashBase, size));
+    case Target::kSram:
+      return AccessResult::Ok(ReadBacking(sram_, addr - kSramBase, size));
+    case Target::kDevice: {
+      uint32_t value = 0;
+      uint64_t extra = 0;
+      if (!device->Read(addr - device->base(), &value, &extra)) {
+        return AccessResult::BusFault();
+      }
+      *cycles_ += extra;
+      return AccessResult::Ok(value);
+    }
+    case Target::kPpb:
+    case Target::kUnmapped:
+      return AccessResult::BusFault();
+  }
+  OPEC_UNREACHABLE("bad Target");
+}
+
+AccessResult Bus::Write(uint32_t addr, uint32_t size, uint32_t value, bool privileged) {
+  MmioDevice* device = nullptr;
+  Target target = Route(addr, &device);
+  if (target == Target::kPpb) {
+    return PpbWrite(addr, size, value, privileged);
+  }
+  if (!mpu_->CheckAccess(addr, size, AccessKind::kWrite, privileged)) {
+    return AccessResult::MemFault();
+  }
+  switch (target) {
+    case Target::kFlash:
+      // Flash is not writable at runtime (DEP: W^X). Surface as a bus fault,
+      // like a locked flash controller.
+      return AccessResult::BusFault();
+    case Target::kSram:
+      WriteBacking(sram_, addr - kSramBase, size, value);
+      return AccessResult::Ok();
+    case Target::kDevice: {
+      uint64_t extra = 0;
+      if (!device->Write(addr - device->base(), value, &extra)) {
+        return AccessResult::BusFault();
+      }
+      *cycles_ += extra;
+      return AccessResult::Ok();
+    }
+    case Target::kPpb:
+    case Target::kUnmapped:
+      return AccessResult::BusFault();
+  }
+  OPEC_UNREACHABLE("bad Target");
+}
+
+bool Bus::DebugRead(uint32_t addr, uint32_t size, uint32_t* value) {
+  Target target = Route(addr, nullptr);
+  if (target == Target::kFlash) {
+    *value = ReadBacking(flash_, addr - kFlashBase, size);
+    return true;
+  }
+  if (target == Target::kSram) {
+    *value = ReadBacking(sram_, addr - kSramBase, size);
+    return true;
+  }
+  return false;
+}
+
+bool Bus::DebugWrite(uint32_t addr, uint32_t size, uint32_t value) {
+  Target target = Route(addr, nullptr);
+  if (target == Target::kFlash) {
+    WriteBacking(flash_, addr - kFlashBase, size, value);
+    return true;
+  }
+  if (target == Target::kSram) {
+    WriteBacking(sram_, addr - kSramBase, size, value);
+    return true;
+  }
+  return false;
+}
+
+void Bus::DebugWriteBytes(uint32_t addr, const std::vector<uint8_t>& bytes) {
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    OPEC_CHECK_MSG(DebugWrite(addr + static_cast<uint32_t>(i), 1, bytes[i]),
+                   "DebugWriteBytes outside RAM/flash");
+  }
+}
+
+std::vector<uint8_t> Bus::DebugReadBytes(uint32_t addr, uint32_t size) {
+  std::vector<uint8_t> out(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    uint32_t v = 0;
+    OPEC_CHECK_MSG(DebugRead(addr + i, 1, &v), "DebugReadBytes outside RAM/flash");
+    out[i] = static_cast<uint8_t>(v);
+  }
+  return out;
+}
+
+}  // namespace opec_hw

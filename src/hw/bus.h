@@ -1,0 +1,65 @@
+// System bus: routes guest accesses to Flash, SRAM, memory-mapped devices and
+// the PPB, enforcing the MPU and privilege rules on every access.
+
+#ifndef SRC_HW_BUS_H_
+#define SRC_HW_BUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/address_map.h"
+#include "src/hw/device.h"
+#include "src/hw/fault.h"
+#include "src/hw/mpu.h"
+#include "src/hw/soc.h"
+
+namespace opec_hw {
+
+class Bus {
+ public:
+  Bus(const BoardSpec& board, Mpu* mpu, uint64_t* cycles);
+
+  // Registers a device (not owned). Ranges must not overlap.
+  void AttachDevice(MmioDevice* device);
+
+  // Guest accesses: subject to PPB privilege rules and the MPU.
+  // `size` is 1, 2 or 4 bytes.
+  AccessResult Read(uint32_t addr, uint32_t size, bool privileged);
+  AccessResult Write(uint32_t addr, uint32_t size, uint32_t value, bool privileged);
+
+  // Loader/debug access: bypasses the MPU and privilege checks. Used by the
+  // image loader, the monitor-internal bookkeeping tests, and assertions.
+  bool DebugRead(uint32_t addr, uint32_t size, uint32_t* value);
+  bool DebugWrite(uint32_t addr, uint32_t size, uint32_t value);
+  void DebugWriteBytes(uint32_t addr, const std::vector<uint8_t>& bytes);
+  std::vector<uint8_t> DebugReadBytes(uint32_t addr, uint32_t size);
+
+  const BoardSpec& board() const { return board_; }
+  uint32_t flash_end() const { return kFlashBase + board_.flash_size; }
+  uint32_t sram_end() const { return kSramBase + board_.sram_size; }
+
+ private:
+  enum class Target { kFlash, kSram, kDevice, kPpb, kUnmapped };
+  Target Route(uint32_t addr, MmioDevice** device) const;
+
+  uint32_t ReadBacking(const std::vector<uint8_t>& mem, uint32_t offset, uint32_t size) const;
+  void WriteBacking(std::vector<uint8_t>& mem, uint32_t offset, uint32_t size, uint32_t value);
+
+  AccessResult PpbRead(uint32_t addr, uint32_t size, bool privileged);
+  AccessResult PpbWrite(uint32_t addr, uint32_t size, uint32_t value, bool privileged);
+
+  BoardSpec board_;
+  Mpu* mpu_;
+  uint64_t* cycles_;
+  std::vector<uint8_t> flash_;
+  std::vector<uint8_t> sram_;
+  std::vector<MmioDevice*> devices_;
+  // Scratch registers for core peripherals we accept writes to but do not
+  // decode (SCB, memory-mapped MPU alias; the monitor uses the Mpu object API).
+  uint32_t systick_load_ = 0;
+  uint32_t systick_ctrl_ = 0;
+};
+
+}  // namespace opec_hw
+
+#endif  // SRC_HW_BUS_H_

@@ -1,0 +1,37 @@
+// Memory-mapped device interface.
+
+#ifndef SRC_HW_DEVICE_H_
+#define SRC_HW_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace opec_hw {
+
+// A memory-mapped peripheral occupying [base, base+size). Register accesses
+// are word-granular; devices may report extra cycles (modeling wait states and
+// transfer latency) via the `extra_cycles` out-parameter.
+class MmioDevice {
+ public:
+  MmioDevice(std::string name, uint32_t base, uint32_t size)
+      : name_(std::move(name)), base_(base), size_(size) {}
+  virtual ~MmioDevice() = default;
+
+  const std::string& name() const { return name_; }
+  uint32_t base() const { return base_; }
+  uint32_t size() const { return size_; }
+  bool Contains(uint32_t addr) const { return addr >= base_ && addr - base_ < size_; }
+
+  // Returns false on an invalid register access (surfaces as a bus fault).
+  virtual bool Read(uint32_t offset, uint32_t* value, uint64_t* extra_cycles) = 0;
+  virtual bool Write(uint32_t offset, uint32_t value, uint64_t* extra_cycles) = 0;
+
+ private:
+  std::string name_;
+  uint32_t base_;
+  uint32_t size_;
+};
+
+}  // namespace opec_hw
+
+#endif  // SRC_HW_DEVICE_H_

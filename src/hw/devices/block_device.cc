@@ -1,0 +1,78 @@
+#include "src/hw/devices/block_device.h"
+
+#include <cstring>
+
+#include "src/support/check.h"
+
+namespace opec_hw {
+
+bool BlockDevice::Read(uint32_t offset, uint32_t* value, uint64_t* extra_cycles) {
+  (void)extra_cycles;
+  switch (offset) {
+    case 0x04:
+      *value = arg_;
+      return true;
+    case 0x08:
+      *value = 1u | (error_ ? 2u : 0u);
+      return true;
+    case 0x0C: {
+      uint32_t v = 0;
+      for (int i = 0; i < 4; ++i) {
+        if (cursor_ < kSectorSize) {
+          v |= static_cast<uint32_t>(buffer_[cursor_++]) << (8 * i);
+        }
+      }
+      *value = v;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool BlockDevice::Write(uint32_t offset, uint32_t value, uint64_t* extra_cycles) {
+  switch (offset) {
+    case 0x00:  // CMD
+      error_ = arg_ >= num_sectors_;
+      cursor_ = 0;
+      if (error_) {
+        return true;
+      }
+      if (value == 1) {  // read sector into buffer
+        std::memcpy(buffer_.data(), storage_.data() + arg_ * kSectorSize, kSectorSize);
+        ++sectors_read_;
+        *extra_cycles += kSectorCycles;
+      } else if (value == 2) {  // commit buffer to sector
+        std::memcpy(storage_.data() + arg_ * kSectorSize, buffer_.data(), kSectorSize);
+        ++sectors_written_;
+        *extra_cycles += kSectorCycles;
+      }
+      return true;
+    case 0x04:
+      arg_ = value;
+      return true;
+    case 0x0C:
+      for (int i = 0; i < 4; ++i) {
+        if (cursor_ < kSectorSize) {
+          buffer_[cursor_++] = static_cast<uint8_t>(value >> (8 * i));
+        }
+      }
+      return true;
+    default:
+      return offset == 0x08;
+  }
+}
+
+void BlockDevice::WriteSectorDirect(uint32_t sector, const std::vector<uint8_t>& data) {
+  OPEC_CHECK(sector < num_sectors_);
+  OPEC_CHECK(data.size() <= kSectorSize);
+  std::memcpy(storage_.data() + sector * kSectorSize, data.data(), data.size());
+}
+
+std::vector<uint8_t> BlockDevice::ReadSectorDirect(uint32_t sector) const {
+  OPEC_CHECK(sector < num_sectors_);
+  return std::vector<uint8_t>(storage_.begin() + sector * kSectorSize,
+                              storage_.begin() + (sector + 1) * kSectorSize);
+}
+
+}  // namespace opec_hw

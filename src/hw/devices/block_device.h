@@ -1,0 +1,58 @@
+// Sector-addressed storage controller model, used for both the SD card (SDIO)
+// and the USB mass-storage disk. Programmed-I/O interface:
+//
+//   +0x00 CMD    — 1 = read sector ARG into the internal buffer,
+//                  2 = commit the internal buffer to sector ARG
+//   +0x04 ARG    — sector number
+//   +0x08 STATUS — bit0 ready (always, PIO model), bit1 error (bad sector)
+//   +0x0C DATA   — sequential word window over the 512-byte sector buffer;
+//                  reads pop, writes push; CMD resets the window cursor
+//
+// A sector transfer charges kSectorCycles once at CMD time, modeling the bus
+// transfer the paper's applications spend most of their time waiting on.
+
+#ifndef SRC_HW_DEVICES_BLOCK_DEVICE_H_
+#define SRC_HW_DEVICES_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/device.h"
+
+namespace opec_hw {
+
+class BlockDevice : public MmioDevice {
+ public:
+  static constexpr uint32_t kSectorSize = 512;
+  // ~0.9 ms per 512-byte sector at 168 MHz (≈570 KB/s SD card).
+  static constexpr uint64_t kSectorCycles = 150000;
+
+  BlockDevice(std::string name, uint32_t base, uint32_t num_sectors)
+      : MmioDevice(std::move(name), base, 0x400),
+        storage_(num_sectors * kSectorSize, 0),
+        num_sectors_(num_sectors) {}
+
+  bool Read(uint32_t offset, uint32_t* value, uint64_t* extra_cycles) override;
+  bool Write(uint32_t offset, uint32_t value, uint64_t* extra_cycles) override;
+
+  // --- Host/testbench interface ---
+  void WriteSectorDirect(uint32_t sector, const std::vector<uint8_t>& data);
+  std::vector<uint8_t> ReadSectorDirect(uint32_t sector) const;
+  uint32_t num_sectors() const { return num_sectors_; }
+  uint64_t sectors_read() const { return sectors_read_; }
+  uint64_t sectors_written() const { return sectors_written_; }
+
+ private:
+  std::vector<uint8_t> storage_;
+  uint32_t num_sectors_;
+  uint32_t arg_ = 0;
+  uint32_t cursor_ = 0;  // byte cursor into buffer_
+  bool error_ = false;
+  std::vector<uint8_t> buffer_ = std::vector<uint8_t>(kSectorSize, 0);
+  uint64_t sectors_read_ = 0;
+  uint64_t sectors_written_ = 0;
+};
+
+}  // namespace opec_hw
+
+#endif  // SRC_HW_DEVICES_BLOCK_DEVICE_H_

@@ -1,0 +1,40 @@
+#include "src/hw/devices/camera.h"
+
+namespace opec_hw {
+
+bool Camera::Read(uint32_t offset, uint32_t* value, uint64_t* extra_cycles) {
+  switch (offset) {
+    case 0x04:
+      *value = ready_ ? 1u : 0u;
+      return true;
+    case 0x08: {
+      uint32_t v = 0;
+      for (int i = 0; i < 4; ++i) {
+        if (cursor_ < frame_.size()) {
+          v |= static_cast<uint32_t>(frame_[cursor_++]) << (8 * i);
+        }
+      }
+      *extra_cycles += 4;
+      *value = v;
+      return true;
+    }
+    case 0x0C:
+      *value = static_cast<uint32_t>(frame_.size());
+      return true;
+    default:
+      return offset == 0x00;
+  }
+}
+
+bool Camera::Write(uint32_t offset, uint32_t value, uint64_t* extra_cycles) {
+  if (offset == 0x00 && value == 1) {
+    ready_ = !frame_.empty();
+    cursor_ = 0;
+    ++captures_;
+    *extra_cycles += kCaptureCycles;
+    return true;
+  }
+  return offset == 0x00 || offset == 0x04;
+}
+
+}  // namespace opec_hw

@@ -1,0 +1,41 @@
+// Camera interface model (DCMI-style).
+//
+// Register map:
+//   +0x00 CTRL   — write 1: capture the host-provided frame
+//   +0x04 STATUS — bit0 frame ready
+//   +0x08 DATA   — pops the next word of the captured frame
+//   +0x0C LEN    — byte length of the captured frame
+
+#ifndef SRC_HW_DEVICES_CAMERA_H_
+#define SRC_HW_DEVICES_CAMERA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/device.h"
+
+namespace opec_hw {
+
+class Camera : public MmioDevice {
+ public:
+  static constexpr uint64_t kCaptureCycles = 500000;  // exposure + sensor readout
+
+  Camera(std::string name, uint32_t base) : MmioDevice(std::move(name), base, 0x400) {}
+
+  bool Read(uint32_t offset, uint32_t* value, uint64_t* extra_cycles) override;
+  bool Write(uint32_t offset, uint32_t value, uint64_t* extra_cycles) override;
+
+  // --- Host/testbench interface ---
+  void SetFrame(std::vector<uint8_t> frame) { frame_ = std::move(frame); }
+  uint32_t captures() const { return captures_; }
+
+ private:
+  std::vector<uint8_t> frame_;
+  uint32_t cursor_ = 0;
+  bool ready_ = false;
+  uint32_t captures_ = 0;
+};
+
+}  // namespace opec_hw
+
+#endif  // SRC_HW_DEVICES_CAMERA_H_

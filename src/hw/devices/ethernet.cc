@@ -1,0 +1,70 @@
+#include "src/hw/devices/ethernet.h"
+
+namespace opec_hw {
+
+bool Ethernet::Read(uint32_t offset, uint32_t* value, uint64_t* extra_cycles) {
+  switch (offset) {
+    case 0x00:
+      *value = rx_queue_.empty() ? 0u : 1u;
+      return true;
+    case 0x04:
+      *value = rx_queue_.empty() ? 0u : static_cast<uint32_t>(rx_queue_.front().size());
+      return true;
+    case 0x08: {
+      uint32_t v = 0;
+      if (!rx_queue_.empty()) {
+        if (rx_cursor_ == 0) {
+          *extra_cycles += kInterFrameGapCycles;  // the frame "arrived" now
+        }
+        const std::vector<uint8_t>& frame = rx_queue_.front();
+        for (int i = 0; i < 4; ++i) {
+          if (rx_cursor_ < frame.size()) {
+            v |= static_cast<uint32_t>(frame[rx_cursor_++]) << (8 * i);
+          }
+        }
+        *extra_cycles += 4 * kCyclesPerByte;
+      }
+      *value = v;
+      return true;
+    }
+    default:
+      return offset == 0x0C || offset == 0x10 || offset == 0x14;
+  }
+}
+
+bool Ethernet::Write(uint32_t offset, uint32_t value, uint64_t* extra_cycles) {
+  switch (offset) {
+    case 0x0C:
+      tx_len_ = value;
+      tx_cursor_ = 0;
+      tx_buffer_.assign(tx_len_, 0);
+      return true;
+    case 0x10:
+      for (int i = 0; i < 4; ++i) {
+        if (tx_cursor_ < tx_buffer_.size()) {
+          tx_buffer_[tx_cursor_++] = static_cast<uint8_t>(value >> (8 * i));
+        }
+      }
+      *extra_cycles += 4 * kCyclesPerByte;
+      return true;
+    case 0x14:
+      if (value == 1 && !rx_queue_.empty()) {
+        rx_queue_.pop_front();
+        rx_cursor_ = 0;
+      } else if (value == 2) {
+        tx_frames_.push_back(tx_buffer_);
+        tx_buffer_.clear();
+        tx_len_ = 0;
+        tx_cursor_ = 0;
+      }
+      return true;
+    default:
+      return offset == 0x00 || offset == 0x04 || offset == 0x08;
+  }
+}
+
+void Ethernet::QueueRxFrame(std::vector<uint8_t> frame) {
+  rx_queue_.push_back(std::move(frame));
+}
+
+}  // namespace opec_hw

@@ -1,0 +1,52 @@
+// Ethernet MAC model with a programmed-I/O frame interface.
+//
+// Register map:
+//   +0x00 STATUS — bit0 rx frame available
+//   +0x04 RXLEN  — length in bytes of the current rx frame
+//   +0x08 RXDATA — pops the next word of the current rx frame
+//   +0x0C TXLEN  — write: begins a tx frame of that length
+//   +0x10 TXDATA — pushes the next word of the tx frame
+//   +0x14 CMD    — 1 = done with current rx frame (advance), 2 = commit tx
+
+#ifndef SRC_HW_DEVICES_ETHERNET_H_
+#define SRC_HW_DEVICES_ETHERNET_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/hw/device.h"
+
+namespace opec_hw {
+
+class Ethernet : public MmioDevice {
+ public:
+  // 100 Mbit/s wire vs 168 MHz core: ~13.4 cycles per byte.
+  static constexpr uint64_t kCyclesPerByte = 14;
+  // Inter-frame arrival gap: the desktop client sends a packet every few
+  // milliseconds, so the device (like the paper's testbed) spends most of its
+  // time waiting on I/O. Charged when the first word of a new frame is read.
+  static constexpr uint64_t kInterFrameGapCycles = 1'000'000;
+
+  Ethernet(std::string name, uint32_t base) : MmioDevice(std::move(name), base, 0x400) {}
+
+  bool Read(uint32_t offset, uint32_t* value, uint64_t* extra_cycles) override;
+  bool Write(uint32_t offset, uint32_t value, uint64_t* extra_cycles) override;
+
+  // --- Host/testbench interface ---
+  void QueueRxFrame(std::vector<uint8_t> frame);
+  const std::vector<std::vector<uint8_t>>& tx_frames() const { return tx_frames_; }
+  size_t rx_pending() const { return rx_queue_.size(); }
+
+ private:
+  std::deque<std::vector<uint8_t>> rx_queue_;
+  uint32_t rx_cursor_ = 0;
+  std::vector<uint8_t> tx_buffer_;
+  uint32_t tx_len_ = 0;
+  uint32_t tx_cursor_ = 0;
+  std::vector<std::vector<uint8_t>> tx_frames_;
+};
+
+}  // namespace opec_hw
+
+#endif  // SRC_HW_DEVICES_ETHERNET_H_

@@ -1,0 +1,38 @@
+#include "src/hw/devices/gpio.h"
+
+namespace opec_hw {
+
+bool Gpio::Read(uint32_t offset, uint32_t* value, uint64_t* extra_cycles) {
+  (void)extra_cycles;
+  switch (offset) {
+    case 0x00:
+      *value = moder_;
+      return true;
+    case 0x10:
+      *value = idr_;
+      return true;
+    case 0x14:
+      *value = odr_;
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Gpio::Write(uint32_t offset, uint32_t value, uint64_t* extra_cycles) {
+  (void)extra_cycles;
+  switch (offset) {
+    case 0x00:
+      moder_ = value;
+      configured_ = true;
+      return true;
+    case 0x14:
+      odr_ = value;
+      odr_history_.push_back(value);
+      return true;
+    default:
+      return offset == 0x10;  // IDR writes ignored
+  }
+}
+
+}  // namespace opec_hw

@@ -1,0 +1,63 @@
+#include "src/hw/devices/lcd.h"
+
+namespace opec_hw {
+
+bool Lcd::Read(uint32_t offset, uint32_t* value, uint64_t* extra_cycles) {
+  (void)extra_cycles;
+  switch (offset) {
+    case 0x00:
+      *value = configured_ ? 1u : 0u;
+      return true;
+    case 0x04:
+      *value = x_;
+      return true;
+    case 0x08:
+      *value = y_;
+      return true;
+    case 0x10:
+      *value = brightness_history_.empty() ? 0u : brightness_history_.back();
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Lcd::Write(uint32_t offset, uint32_t value, uint64_t* extra_cycles) {
+  switch (offset) {
+    case 0x00:
+      configured_ = (value & 1u) != 0;
+      return true;
+    case 0x04:
+      x_ = value % kWidth;
+      return true;
+    case 0x08:
+      y_ = value % kHeight;
+      return true;
+    case 0x0C:
+      framebuffer_[y_ * kWidth + x_] = value;
+      ++pixels_written_;
+      *extra_cycles += kPixelCycles;
+      x_ = (x_ + 1) % kWidth;
+      if (x_ == 0) {
+        y_ = (y_ + 1) % kHeight;
+      }
+      return true;
+    case 0x10:
+      brightness_history_.push_back(static_cast<uint8_t>(value));
+      return true;
+    default:
+      return false;
+  }
+}
+
+uint32_t Lcd::FrameChecksum() const {
+  uint32_t h = 2166136261u;
+  for (uint32_t px : framebuffer_) {
+    for (int i = 0; i < 4; ++i) {
+      h = (h ^ ((px >> (8 * i)) & 0xFF)) * 16777619u;
+    }
+  }
+  return h;
+}
+
+}  // namespace opec_hw

@@ -1,0 +1,54 @@
+// Reset and Clock Control model. System_Init-style code writes clock-enable
+// registers here; the model just stores them and reports back, which is
+// enough for both the peripheral-dependency analysis and the scenarios.
+//
+// Register map: 16 generic words (+0x00 .. +0x3C), read/write.
+
+#ifndef SRC_HW_DEVICES_RCC_H_
+#define SRC_HW_DEVICES_RCC_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/hw/device.h"
+
+namespace opec_hw {
+
+class Rcc : public MmioDevice {
+ public:
+  Rcc(std::string name, uint32_t base) : MmioDevice(std::move(name), base, 0x400) {}
+
+  bool Read(uint32_t offset, uint32_t* value, uint64_t* extra_cycles) override {
+    (void)extra_cycles;
+    if (offset % 4 != 0 || offset / 4 >= regs_.size()) {
+      return false;
+    }
+    // CR (+0x00): report PLL ready (bit25) whenever PLL on (bit24) was set.
+    uint32_t v = regs_[offset / 4];
+    if (offset == 0 && (v & (1u << 24))) {
+      v |= 1u << 25;
+    }
+    *value = v;
+    return true;
+  }
+
+  bool Write(uint32_t offset, uint32_t value, uint64_t* extra_cycles) override {
+    (void)extra_cycles;
+    if (offset % 4 != 0 || offset / 4 >= regs_.size()) {
+      return false;
+    }
+    regs_[offset / 4] = value;
+    configured_ = true;
+    return true;
+  }
+
+  bool configured() const { return configured_; }
+
+ private:
+  std::array<uint32_t, 16> regs_{};
+  bool configured_ = false;
+};
+
+}  // namespace opec_hw
+
+#endif  // SRC_HW_DEVICES_RCC_H_

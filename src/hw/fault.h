@@ -1,0 +1,35 @@
+// Access kinds and fault model shared by the bus, the MPU, and the runtime.
+
+#ifndef SRC_HW_FAULT_H_
+#define SRC_HW_FAULT_H_
+
+#include <cstdint>
+
+namespace opec_hw {
+
+enum class AccessKind { kRead, kWrite };
+
+enum class AccessStatus {
+  kOk,
+  // Memory management fault: the MPU denied the access (Section 2.2). The
+  // monitor's MemManage handler may resolve it (MPU-region virtualization for
+  // peripherals) and retry.
+  kMemFault,
+  // Bus fault: unprivileged access to the PPB, or an unmapped address. The
+  // monitor's BusFault handler may emulate core-peripheral loads/stores.
+  kBusFault,
+};
+
+struct AccessResult {
+  AccessStatus status = AccessStatus::kOk;
+  uint32_t value = 0;  // loaded value on successful reads
+
+  static AccessResult Ok(uint32_t value = 0) { return {AccessStatus::kOk, value}; }
+  static AccessResult MemFault() { return {AccessStatus::kMemFault, 0}; }
+  static AccessResult BusFault() { return {AccessStatus::kBusFault, 0}; }
+  bool ok() const { return status == AccessStatus::kOk; }
+};
+
+}  // namespace opec_hw
+
+#endif  // SRC_HW_FAULT_H_

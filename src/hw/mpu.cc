@@ -1,0 +1,141 @@
+#include "src/hw/mpu.h"
+
+#include "src/support/check.h"
+#include "src/support/text.h"
+
+namespace opec_hw {
+
+const char* AccessPermName(AccessPerm p) {
+  switch (p) {
+    case AccessPerm::kNoAccess:
+      return "NA";
+    case AccessPerm::kPrivRw:
+      return "priv-RW/unpriv-NA";
+    case AccessPerm::kPrivRwUnprivRo:
+      return "priv-RW/unpriv-RO";
+    case AccessPerm::kFullAccess:
+      return "RW";
+    case AccessPerm::kPrivRo:
+      return "priv-RO/unpriv-NA";
+    case AccessPerm::kReadOnly:
+      return "RO";
+  }
+  return "?";
+}
+
+bool MpuRegionConfig::Contains(uint32_t addr) const {
+  if (size_log2 >= 32) {
+    return true;
+  }
+  return (addr & ~(size() - 1)) == base;
+}
+
+std::string MpuRegionConfig::ToString() const {
+  if (!enabled) {
+    return "(disabled)";
+  }
+  return opec_support::StrPrintf("base=%s size=2^%u srd=0x%02X ap=%s%s",
+                                 opec_support::HexAddr(base).c_str(), size_log2, srd,
+                                 AccessPermName(ap), xn ? " XN" : "");
+}
+
+void Mpu::ConfigureRegion(int index, const MpuRegionConfig& config) {
+  OPEC_CHECK(index >= 0 && index < kNumRegions);
+  if (config.enabled) {
+    OPEC_CHECK_MSG(config.size_log2 >= kMinSizeLog2, "MPU region smaller than 32 bytes");
+    if (config.size_log2 < 32) {
+      OPEC_CHECK_MSG((config.base & (config.size() - 1)) == 0,
+                     "MPU region base not aligned to its size: " + config.ToString());
+    } else {
+      OPEC_CHECK_MSG(config.base == 0, "4GB MPU region must be based at 0");
+    }
+    OPEC_CHECK_MSG(config.srd == 0 || config.size_log2 >= 8,
+                   "sub-region disable requires a region of at least 256 bytes");
+  }
+  regions_[static_cast<size_t>(index)] = config;
+  ++config_writes_;
+}
+
+void Mpu::DisableRegion(int index) {
+  OPEC_CHECK(index >= 0 && index < kNumRegions);
+  regions_[static_cast<size_t>(index)].enabled = false;
+  ++config_writes_;
+}
+
+const MpuRegionConfig& Mpu::region(int index) const {
+  OPEC_CHECK(index >= 0 && index < kNumRegions);
+  return regions_[static_cast<size_t>(index)];
+}
+
+int Mpu::DecidingRegion(uint32_t addr) const {
+  for (int i = kNumRegions - 1; i >= 0; --i) {
+    const MpuRegionConfig& r = regions_[static_cast<size_t>(i)];
+    if (!r.enabled || !r.Contains(addr)) {
+      continue;
+    }
+    if (r.srd != 0 && r.size_log2 >= 8) {
+      uint32_t sub_size = r.size() / kNumSubRegions;
+      uint32_t sub = (addr - r.base) / sub_size;
+      if ((r.srd >> sub) & 1u) {
+        continue;  // disabled sub-region: fall through to lower regions
+      }
+    }
+    return i;
+  }
+  return -1;
+}
+
+bool Mpu::PermAllows(AccessPerm ap, AccessKind kind, bool privileged) const {
+  switch (ap) {
+    case AccessPerm::kNoAccess:
+      return false;
+    case AccessPerm::kPrivRw:
+      return privileged;
+    case AccessPerm::kPrivRwUnprivRo:
+      return privileged || kind == AccessKind::kRead;
+    case AccessPerm::kFullAccess:
+      return true;
+    case AccessPerm::kPrivRo:
+      return privileged && kind == AccessKind::kRead;
+    case AccessPerm::kReadOnly:
+      return kind == AccessKind::kRead;
+  }
+  return false;
+}
+
+bool Mpu::CheckAccess(uint32_t addr, uint32_t size, AccessKind kind, bool privileged) const {
+  if (!enabled_) {
+    return true;
+  }
+  // Check the first and last byte of the access (accesses are at most 4 bytes,
+  // so these two probes cover every byte's deciding region transition).
+  uint32_t last = addr + (size == 0 ? 0 : size - 1);
+  for (uint32_t probe : {addr, last}) {
+    int idx = DecidingRegion(probe);
+    if (idx < 0) {
+      // Background map: privileged-only (PRIVDEFENA).
+      if (!privileged) {
+        return false;
+      }
+      continue;
+    }
+    if (!PermAllows(regions_[static_cast<size_t>(idx)].ap, kind, privileged)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Mpu::CheckExec(uint32_t addr, bool privileged) const {
+  if (!enabled_) {
+    return true;
+  }
+  int idx = DecidingRegion(addr);
+  if (idx < 0) {
+    return privileged;
+  }
+  const MpuRegionConfig& r = regions_[static_cast<size_t>(idx)];
+  return !r.xn && PermAllows(r.ap, AccessKind::kRead, privileged);
+}
+
+}  // namespace opec_hw

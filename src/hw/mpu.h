@@ -1,0 +1,83 @@
+// ARMv7-M Memory Protection Unit model (Section 2.2 of the paper).
+//
+// Eight regions, each a power-of-two-sized, size-aligned window with access
+// permissions per privilege level, an execute-never bit, and eight sub-region
+// disable bits. When regions overlap, the highest-numbered region containing
+// the address wins; a disabled sub-region falls through to lower-numbered
+// regions. With no matching region, privileged access uses the default map
+// (PRIVDEFENA) and unprivileged access faults.
+
+#ifndef SRC_HW_MPU_H_
+#define SRC_HW_MPU_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/hw/fault.h"
+
+namespace opec_hw {
+
+// Access-permission encodings (subset of the ARM AP field).
+enum class AccessPerm : uint8_t {
+  kNoAccess,        // AP=000: no access at either level
+  kPrivRw,          // AP=001: privileged RW, unprivileged no access
+  kPrivRwUnprivRo,  // AP=010
+  kFullAccess,      // AP=011: RW at both levels
+  kPrivRo,          // AP=101
+  kReadOnly,        // AP=110/111: RO at both levels
+};
+
+const char* AccessPermName(AccessPerm p);
+
+struct MpuRegionConfig {
+  bool enabled = false;
+  uint32_t base = 0;
+  uint8_t size_log2 = 0;  // region size = 1 << size_log2; minimum 5 (32 bytes)
+  uint8_t srd = 0;        // sub-region disable bits (bit i disables sub-region i)
+  AccessPerm ap = AccessPerm::kNoAccess;
+  bool xn = true;  // execute never
+
+  uint32_t size() const { return size_log2 >= 32 ? 0xFFFFFFFFu : (1u << size_log2); }
+  bool Contains(uint32_t addr) const;
+  std::string ToString() const;
+};
+
+class Mpu {
+ public:
+  static constexpr int kNumRegions = 8;
+  static constexpr int kNumSubRegions = 8;
+  static constexpr uint8_t kMinSizeLog2 = 5;  // 32 bytes
+
+  // Validates the ARMv7-M constraints (power-of-two size >= 32 bytes, base
+  // aligned to size, sub-regions only for regions >= 256 bytes) and installs
+  // the region. Invalid configs are a host programming error (CHECK).
+  void ConfigureRegion(int index, const MpuRegionConfig& config);
+  void DisableRegion(int index);
+  const MpuRegionConfig& region(int index) const;
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // Returns true when the given access is permitted. Exec permission is
+  // checked separately via CheckExec.
+  bool CheckAccess(uint32_t addr, uint32_t size, AccessKind kind, bool privileged) const;
+  bool CheckExec(uint32_t addr, bool privileged) const;
+
+  // Counts MPU reconfigurations, for the cost model and the benches.
+  uint64_t config_writes() const { return config_writes_; }
+
+ private:
+  // Decides a single byte address. Returns the deciding region index, or -1
+  // for background.
+  int DecidingRegion(uint32_t addr) const;
+  bool PermAllows(AccessPerm ap, AccessKind kind, bool privileged) const;
+
+  std::array<MpuRegionConfig, kNumRegions> regions_{};
+  bool enabled_ = false;
+  uint64_t config_writes_ = 0;
+};
+
+}  // namespace opec_hw
+
+#endif  // SRC_HW_MPU_H_

@@ -1,0 +1,50 @@
+#include "src/hw/soc.h"
+
+#include "src/hw/address_map.h"
+#include "src/support/check.h"
+
+namespace opec_hw {
+
+BoardSpec GetBoardSpec(Board board) {
+  switch (board) {
+    case Board::kStm32F4Discovery:
+      return {board, "STM32F4-Discovery", 1u << 20, 192u << 10};
+    case Board::kStm32479iEval:
+      return {board, "STM32479I-EVAL", 2u << 20, 288u << 10};
+  }
+  OPEC_UNREACHABLE("bad Board");
+}
+
+void SocDescription::AddPeripheral(PeripheralInfo info) {
+  OPEC_CHECK(info.size > 0);
+  peripherals_.push_back(std::move(info));
+}
+
+const PeripheralInfo* SocDescription::Find(uint32_t addr) const {
+  for (const PeripheralInfo& p : peripherals_) {
+    if (p.Contains(addr)) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+const PeripheralInfo* SocDescription::FindByName(const std::string& name) const {
+  for (const PeripheralInfo& p : peripherals_) {
+    if (p.name == name) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+SocDescription SocDescription::WithCorePeripherals() {
+  SocDescription soc;
+  soc.AddPeripheral({"DWT", kDwtBase, 0x1000, /*is_core=*/true});
+  soc.AddPeripheral({"SysTick", kSysTickBase, 0x10, /*is_core=*/true});
+  soc.AddPeripheral({"SCB", kScbBase, 0x90, /*is_core=*/true});
+  soc.AddPeripheral({"MPU", kMpuRegsBase, 0x20, /*is_core=*/true});
+  return soc;
+}
+
+}  // namespace opec_hw

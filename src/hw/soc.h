@@ -1,0 +1,60 @@
+// SoC description: the "datasheet" the OPEC-Compiler consumes to recognize
+// peripheral accesses (Section 4.2), plus the board memory sizes.
+
+#ifndef SRC_HW_SOC_H_
+#define SRC_HW_SOC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace opec_hw {
+
+// One peripheral register bank from the datasheet.
+struct PeripheralInfo {
+  std::string name;
+  uint32_t base = 0;
+  uint32_t size = 0;
+  // Core peripherals live on the PPB and require privileged access; the
+  // monitor emulates unprivileged loads/stores to them (Section 5.2).
+  bool is_core = false;
+
+  bool Contains(uint32_t addr) const { return addr >= base && addr - base < size; }
+};
+
+enum class Board {
+  kStm32F4Discovery,  // 1 MB Flash, 192 KB SRAM
+  kStm32479iEval,     // 2 MB Flash, 288 KB SRAM
+};
+
+struct BoardSpec {
+  Board board;
+  std::string name;
+  uint32_t flash_size = 0;
+  uint32_t sram_size = 0;
+};
+
+BoardSpec GetBoardSpec(Board board);
+
+// The datasheet: a named peripheral address list for the chip, consulted by
+// the compiler's constant-address backward slicing.
+class SocDescription {
+ public:
+  void AddPeripheral(PeripheralInfo info);
+  const std::vector<PeripheralInfo>& peripherals() const { return peripherals_; }
+
+  // Returns the peripheral containing `addr`, or nullptr.
+  const PeripheralInfo* Find(uint32_t addr) const;
+  const PeripheralInfo* FindByName(const std::string& name) const;
+
+  // Standard core peripherals (DWT, SysTick, SCB, MPU) present on every
+  // ARMv7-M chip.
+  static SocDescription WithCorePeripherals();
+
+ private:
+  std::vector<PeripheralInfo> peripherals_;
+};
+
+}  // namespace opec_hw
+
+#endif  // SRC_HW_SOC_H_

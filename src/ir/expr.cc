@@ -1,0 +1,188 @@
+#include "src/ir/expr.h"
+
+#include "src/ir/module.h"
+#include "src/support/check.h"
+
+namespace opec_ir {
+
+namespace {
+std::shared_ptr<Expr> NewExpr(ExprKind kind, const Type* type) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  e->type = type;
+  return e;
+}
+}  // namespace
+
+ExprPtr MakeIntConst(const Type* type, int64_t value) {
+  OPEC_CHECK(type->IsInt() || type->IsPointer());
+  auto e = NewExpr(ExprKind::kIntConst, type);
+  e->int_value = value;
+  return e;
+}
+
+ExprPtr MakeLocal(const Type* type, int slot) {
+  OPEC_CHECK(slot >= 0);
+  auto e = NewExpr(ExprKind::kLocal, type);
+  e->local_slot = slot;
+  return e;
+}
+
+ExprPtr MakeGlobal(const GlobalVariable* gv) {
+  OPEC_CHECK(gv != nullptr);
+  auto e = NewExpr(ExprKind::kGlobal, gv->type());
+  e->global = gv;
+  return e;
+}
+
+ExprPtr MakeFuncAddr(const Type* ptr_type, const Function* fn) {
+  OPEC_CHECK(ptr_type->IsPointer() && ptr_type->pointee()->IsFunction());
+  auto e = NewExpr(ExprKind::kFuncAddr, ptr_type);
+  e->func = fn;
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr a) {
+  OPEC_CHECK(a != nullptr && a->type->IsInt());
+  auto e = NewExpr(ExprKind::kUnary, a->type);
+  e->unary_op = op;
+  e->operands.push_back(std::move(a));
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, const Type* type, ExprPtr a, ExprPtr b) {
+  OPEC_CHECK(a != nullptr && b != nullptr);
+  auto e = NewExpr(ExprKind::kBinary, type);
+  e->binary_op = op;
+  e->operands.push_back(std::move(a));
+  e->operands.push_back(std::move(b));
+  return e;
+}
+
+ExprPtr MakeDeref(ExprPtr ptr) {
+  OPEC_CHECK_MSG(ptr->type->IsPointer(), "Deref of non-pointer");
+  const Type* pointee = ptr->type->pointee();
+  OPEC_CHECK_MSG(!pointee->IsFunction(), "cannot Deref a function pointer; use ICall");
+  auto e = NewExpr(ExprKind::kDeref, pointee);
+  e->operands.push_back(std::move(ptr));
+  return e;
+}
+
+ExprPtr MakeAddrOf(const Type* ptr_type, ExprPtr lvalue) {
+  OPEC_CHECK_MSG(lvalue->IsLvalue(), "AddrOf of non-lvalue");
+  OPEC_CHECK(ptr_type->IsPointer());
+  auto e = NewExpr(ExprKind::kAddrOf, ptr_type);
+  e->operands.push_back(std::move(lvalue));
+  return e;
+}
+
+ExprPtr MakeIndex(ExprPtr base, ExprPtr index) {
+  const Type* elem = nullptr;
+  if (base->type->IsArray()) {
+    OPEC_CHECK_MSG(base->IsLvalue(), "array Index base must be an lvalue");
+    elem = base->type->element();
+  } else if (base->type->IsPointer()) {
+    elem = base->type->pointee();
+  } else {
+    OPEC_UNREACHABLE("Index base must be an array or a pointer");
+  }
+  auto e = NewExpr(ExprKind::kIndex, elem);
+  e->operands.push_back(std::move(base));
+  e->operands.push_back(std::move(index));
+  return e;
+}
+
+ExprPtr MakeField(ExprPtr base, int field_index) {
+  OPEC_CHECK_MSG(base->type->IsStruct(), "Field base must be a struct lvalue");
+  OPEC_CHECK_MSG(base->IsLvalue(), "Field base must be an lvalue");
+  OPEC_CHECK(field_index >= 0 &&
+             static_cast<size_t>(field_index) < base->type->fields().size());
+  const Type* ft = base->type->fields()[static_cast<size_t>(field_index)].type;
+  auto e = NewExpr(ExprKind::kField, ft);
+  e->field_index = field_index;
+  e->operands.push_back(std::move(base));
+  return e;
+}
+
+ExprPtr MakeCall(const Function* fn, std::vector<ExprPtr> args) {
+  OPEC_CHECK(fn != nullptr);
+  auto e = NewExpr(ExprKind::kCall, fn->type()->return_type());
+  e->func = fn;
+  e->operands = std::move(args);
+  return e;
+}
+
+ExprPtr MakeICall(const Type* signature, ExprPtr fn_ptr, std::vector<ExprPtr> args) {
+  OPEC_CHECK(signature->IsFunction());
+  OPEC_CHECK(fn_ptr->type->IsPointer() && fn_ptr->type->pointee()->IsFunction());
+  auto e = NewExpr(ExprKind::kICall, signature->return_type());
+  e->signature = signature;
+  e->operands.push_back(std::move(fn_ptr));
+  for (ExprPtr& a : args) {
+    e->operands.push_back(std::move(a));
+  }
+  return e;
+}
+
+ExprPtr MakeCast(const Type* to, ExprPtr value) {
+  OPEC_CHECK(to->IsInt() || to->IsPointer());
+  auto e = NewExpr(ExprKind::kCast, to);
+  e->operands.push_back(std::move(value));
+  return e;
+}
+
+const char* UnaryOpName(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNeg:
+      return "-";
+    case UnaryOp::kBitNot:
+      return "~";
+    case UnaryOp::kLogNot:
+      return "!";
+  }
+  return "?";
+}
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kRem:
+      return "%";
+    case BinaryOp::kAnd:
+      return "&";
+    case BinaryOp::kOr:
+      return "|";
+    case BinaryOp::kXor:
+      return "^";
+    case BinaryOp::kShl:
+      return "<<";
+    case BinaryOp::kShr:
+      return ">>";
+    case BinaryOp::kEq:
+      return "==";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kLogAnd:
+      return "&&";
+    case BinaryOp::kLogOr:
+      return "||";
+  }
+  return "?";
+}
+
+}  // namespace opec_ir

@@ -1,0 +1,120 @@
+// Expression nodes of the OPEC guest IR.
+//
+// The IR is an AST-level representation (the reproduction's stand-in for
+// LLVM IR): expressions are immutable trees shared via shared_ptr. Memory is
+// touched only by Load-context evaluation of lvalues and by Assign statements,
+// which is what makes the def-use / points-to analyses in src/analysis and the
+// MPU enforcement in src/rt well-defined.
+//
+// Lvalue expression kinds (designate a guest memory location):
+//   kLocal, kGlobal, kDeref, kIndex, kField
+// Everything else is rvalue-only.
+
+#ifndef SRC_IR_EXPR_H_
+#define SRC_IR_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/type.h"
+
+namespace opec_ir {
+
+class Function;
+class GlobalVariable;
+
+enum class ExprKind {
+  kIntConst,  // integer literal (also used for constant MMIO addresses)
+  kLocal,     // reference to a local variable / parameter slot
+  kGlobal,    // reference to a module-level global variable
+  kFuncAddr,  // address of a function (function-pointer constant)
+  kUnary,     // neg / bitnot / lognot
+  kBinary,    // arithmetic, bitwise, comparison, logical
+  kDeref,     // *ptr — lvalue
+  kAddrOf,    // &lvalue
+  kIndex,     // base[index]; base is an array lvalue or a pointer — lvalue
+  kField,     // base.field; base is a struct lvalue — lvalue
+  kCall,      // direct call
+  kICall,     // indirect call through a function pointer
+  kCast,      // value reinterpretation / truncation / extension
+};
+
+enum class UnaryOp { kNeg, kBitNot, kLogNot };
+
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kRem,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLogAnd,
+  kLogOr,
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+// A single IR expression node. One struct covers all kinds (payload fields are
+// meaningful only for the kinds documented next to them); this keeps the
+// interpreter and the analyses as flat switches.
+struct Expr {
+  ExprKind kind;
+  const Type* type = nullptr;  // result type (for lvalues: the value type at the location)
+
+  int64_t int_value = 0;                     // kIntConst
+  int local_slot = -1;                       // kLocal: index into Function::locals()
+  const GlobalVariable* global = nullptr;    // kGlobal
+  const Function* func = nullptr;            // kFuncAddr, kCall (callee)
+  UnaryOp unary_op = UnaryOp::kNeg;          // kUnary
+  BinaryOp binary_op = BinaryOp::kAdd;       // kBinary
+  int field_index = -1;                      // kField
+  const Type* signature = nullptr;           // kICall: callee function type
+  std::vector<ExprPtr> operands;             // children (args for calls; ICall: [ptr, args...])
+
+  // Set by OPEC-Compiler instrumentation on kCall/kICall expressions whose
+  // callee is an operation entry: the interpreter raises the SVC-based
+  // operation switch around such calls (the IR-level equivalent of the SVC
+  // instructions the paper inserts before/after the call site).
+  int operation_entry_id = -1;
+
+  bool IsLvalue() const {
+    return kind == ExprKind::kLocal || kind == ExprKind::kGlobal || kind == ExprKind::kDeref ||
+           kind == ExprKind::kIndex || kind == ExprKind::kField;
+  }
+};
+
+// --- Node factories (type checking happens in the verifier / builder) ---
+
+ExprPtr MakeIntConst(const Type* type, int64_t value);
+ExprPtr MakeLocal(const Type* type, int slot);
+ExprPtr MakeGlobal(const GlobalVariable* gv);
+ExprPtr MakeFuncAddr(const Type* ptr_type, const Function* fn);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr a);
+ExprPtr MakeBinary(BinaryOp op, const Type* type, ExprPtr a, ExprPtr b);
+ExprPtr MakeDeref(ExprPtr ptr);
+ExprPtr MakeAddrOf(const Type* ptr_type, ExprPtr lvalue);
+ExprPtr MakeIndex(ExprPtr base, ExprPtr index);
+ExprPtr MakeField(ExprPtr base, int field_index);
+ExprPtr MakeCall(const Function* fn, std::vector<ExprPtr> args);
+ExprPtr MakeICall(const Type* signature, ExprPtr fn_ptr, std::vector<ExprPtr> args);
+ExprPtr MakeCast(const Type* to, ExprPtr value);
+
+const char* UnaryOpName(UnaryOp op);
+const char* BinaryOpName(BinaryOp op);
+
+}  // namespace opec_ir
+
+#endif  // SRC_IR_EXPR_H_

@@ -1,0 +1,38 @@
+#include "src/ir/module.h"
+
+#include "src/support/check.h"
+
+namespace opec_ir {
+
+GlobalVariable* Module::AddGlobal(const std::string& name, const Type* type, bool is_const) {
+  OPEC_CHECK_MSG(global_index_.find(name) == global_index_.end(), "duplicate global: " + name);
+  OPEC_CHECK(type != nullptr && type->size() > 0);
+  globals_.push_back(std::make_unique<GlobalVariable>(name, type, is_const));
+  GlobalVariable* gv = globals_.back().get();
+  global_index_[name] = gv;
+  return gv;
+}
+
+Function* Module::AddFunction(const std::string& name, const Type* fn_type,
+                              std::vector<std::string> param_names) {
+  OPEC_CHECK_MSG(function_index_.find(name) == function_index_.end(),
+                 "duplicate function: " + name);
+  OPEC_CHECK(fn_type->IsFunction());
+  OPEC_CHECK(param_names.size() == fn_type->params().size());
+  functions_.push_back(std::make_unique<Function>(name, fn_type, std::move(param_names)));
+  Function* fn = functions_.back().get();
+  function_index_[name] = fn;
+  return fn;
+}
+
+GlobalVariable* Module::FindGlobal(const std::string& name) const {
+  auto it = global_index_.find(name);
+  return it == global_index_.end() ? nullptr : it->second;
+}
+
+Function* Module::FindFunction(const std::string& name) const {
+  auto it = function_index_.find(name);
+  return it == function_index_.end() ? nullptr : it->second;
+}
+
+}  // namespace opec_ir

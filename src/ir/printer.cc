@@ -1,0 +1,128 @@
+#include "src/ir/printer.h"
+
+#include "src/support/check.h"
+#include "src/support/text.h"
+
+namespace opec_ir {
+
+namespace {
+std::string Ind(int n) { return std::string(static_cast<size_t>(n) * 2, ' '); }
+}  // namespace
+
+std::string PrintExpr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIntConst:
+      if (e.type->IsPointer()) {
+        return e.int_value == 0 ? "null"
+                                : opec_support::HexAddr(static_cast<uint32_t>(e.int_value));
+      }
+      return std::to_string(e.int_value);
+    case ExprKind::kLocal:
+      return opec_support::StrPrintf("%%%d", e.local_slot);
+    case ExprKind::kGlobal:
+      return "@" + e.global->name();
+    case ExprKind::kFuncAddr:
+      return "&" + e.func->name();
+    case ExprKind::kUnary:
+      return opec_support::StrPrintf("%s(%s)", UnaryOpName(e.unary_op),
+                                     PrintExpr(*e.operands[0]).c_str());
+    case ExprKind::kBinary:
+      return opec_support::StrPrintf("(%s %s %s)", PrintExpr(*e.operands[0]).c_str(),
+                                     BinaryOpName(e.binary_op), PrintExpr(*e.operands[1]).c_str());
+    case ExprKind::kDeref:
+      return "*(" + PrintExpr(*e.operands[0]) + ")";
+    case ExprKind::kAddrOf:
+      return "&(" + PrintExpr(*e.operands[0]) + ")";
+    case ExprKind::kIndex:
+      return PrintExpr(*e.operands[0]) + "[" + PrintExpr(*e.operands[1]) + "]";
+    case ExprKind::kField:
+      return PrintExpr(*e.operands[0]) + "." +
+             e.operands[0]->type->fields()[static_cast<size_t>(e.field_index)].name;
+    case ExprKind::kCall: {
+      std::vector<std::string> args;
+      for (const ExprPtr& a : e.operands) {
+        args.push_back(PrintExpr(*a));
+      }
+      std::string svc = e.operation_entry_id >= 0
+                            ? opec_support::StrPrintf("svc<%d> ", e.operation_entry_id)
+                            : "";
+      return svc + e.func->name() + "(" + opec_support::Join(args, ", ") + ")";
+    }
+    case ExprKind::kICall: {
+      std::vector<std::string> args;
+      for (size_t i = 1; i < e.operands.size(); ++i) {
+        args.push_back(PrintExpr(*e.operands[i]));
+      }
+      return "(*" + PrintExpr(*e.operands[0]) + ")(" + opec_support::Join(args, ", ") + ")";
+    }
+    case ExprKind::kCast:
+      return "(" + e.type->ToString() + ")(" + PrintExpr(*e.operands[0]) + ")";
+  }
+  OPEC_UNREACHABLE("bad ExprKind");
+}
+
+namespace {
+std::string PrintBlock(const std::vector<StmtPtr>& body, int indent) {
+  std::string out;
+  for (const StmtPtr& s : body) {
+    out += PrintStmt(*s, indent);
+  }
+  return out;
+}
+}  // namespace
+
+std::string PrintStmt(const Stmt& s, int indent) {
+  switch (s.kind) {
+    case StmtKind::kAssign:
+      return Ind(indent) + PrintExpr(*s.lhs) + " = " + PrintExpr(*s.expr) + ";\n";
+    case StmtKind::kExpr:
+      return Ind(indent) + PrintExpr(*s.expr) + ";\n";
+    case StmtKind::kIf: {
+      std::string out = Ind(indent) + "if (" + PrintExpr(*s.expr) + ") {\n";
+      out += PrintBlock(s.body, indent + 1);
+      if (!s.orelse.empty()) {
+        out += Ind(indent) + "} else {\n" + PrintBlock(s.orelse, indent + 1);
+      }
+      return out + Ind(indent) + "}\n";
+    }
+    case StmtKind::kWhile:
+      return Ind(indent) + "while (" + PrintExpr(*s.expr) + ") {\n" +
+             PrintBlock(s.body, indent + 1) + Ind(indent) + "}\n";
+    case StmtKind::kBreak:
+      return Ind(indent) + "break;\n";
+    case StmtKind::kContinue:
+      return Ind(indent) + "continue;\n";
+    case StmtKind::kReturn:
+      return Ind(indent) + (s.expr ? "return " + PrintExpr(*s.expr) + ";\n" : "return;\n");
+  }
+  OPEC_UNREACHABLE("bad StmtKind");
+}
+
+std::string PrintFunction(const Function& fn) {
+  std::vector<std::string> params;
+  for (int i = 0; i < fn.param_count(); ++i) {
+    const LocalVariable& p = fn.locals()[static_cast<size_t>(i)];
+    params.push_back(p.type->ToString() + " " + p.name);
+  }
+  std::string out = fn.type()->return_type()->ToString() + " " + fn.name() + "(" +
+                    opec_support::Join(params, ", ") + ") {\n";
+  for (size_t i = static_cast<size_t>(fn.param_count()); i < fn.locals().size(); ++i) {
+    out += "  local " + fn.locals()[i].type->ToString() + " " + fn.locals()[i].name +
+           opec_support::StrPrintf("  ; %%%zu\n", i);
+  }
+  out += PrintBlock(fn.body(), 1);
+  return out + "}\n";
+}
+
+std::string PrintModule(const Module& m) {
+  std::string out = "; module " + m.name() + "\n";
+  for (const auto& g : m.globals()) {
+    out += (g->is_const() ? "const " : "") + g->type()->ToString() + " @" + g->name() + "\n";
+  }
+  for (const auto& fn : m.functions()) {
+    out += "\n" + PrintFunction(*fn);
+  }
+  return out;
+}
+
+}  // namespace opec_ir

@@ -1,0 +1,19 @@
+// Textual dump of guest IR, for debugging and for golden tests.
+
+#ifndef SRC_IR_PRINTER_H_
+#define SRC_IR_PRINTER_H_
+
+#include <string>
+
+#include "src/ir/module.h"
+
+namespace opec_ir {
+
+std::string PrintExpr(const Expr& e);
+std::string PrintStmt(const Stmt& s, int indent = 0);
+std::string PrintFunction(const Function& fn);
+std::string PrintModule(const Module& m);
+
+}  // namespace opec_ir
+
+#endif  // SRC_IR_PRINTER_H_

@@ -1,0 +1,60 @@
+#include "src/ir/stmt.h"
+
+#include "src/support/check.h"
+
+namespace opec_ir {
+
+StmtPtr MakeAssign(ExprPtr lhs, ExprPtr value) {
+  OPEC_CHECK_MSG(lhs->IsLvalue(), "Assign destination must be an lvalue");
+  OPEC_CHECK(value != nullptr);
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kAssign;
+  s->lhs = std::move(lhs);
+  s->expr = std::move(value);
+  return s;
+}
+
+StmtPtr MakeExprStmt(ExprPtr expr) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kExpr;
+  s->expr = std::move(expr);
+  return s;
+}
+
+StmtPtr MakeIf(ExprPtr cond, std::vector<StmtPtr> then_body, std::vector<StmtPtr> else_body) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kIf;
+  s->expr = std::move(cond);
+  s->body = std::move(then_body);
+  s->orelse = std::move(else_body);
+  return s;
+}
+
+StmtPtr MakeWhile(ExprPtr cond, std::vector<StmtPtr> body) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kWhile;
+  s->expr = std::move(cond);
+  s->body = std::move(body);
+  return s;
+}
+
+StmtPtr MakeBreak() {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kBreak;
+  return s;
+}
+
+StmtPtr MakeContinue() {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kContinue;
+  return s;
+}
+
+StmtPtr MakeReturn(ExprPtr value) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kReturn;
+  s->expr = std::move(value);
+  return s;
+}
+
+}  // namespace opec_ir

@@ -1,0 +1,44 @@
+// Statement nodes of the OPEC guest IR.
+
+#ifndef SRC_IR_STMT_H_
+#define SRC_IR_STMT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/ir/expr.h"
+
+namespace opec_ir {
+
+enum class StmtKind {
+  kAssign,    // lvalue = value  (the only memory-writing statement)
+  kExpr,      // expression evaluated for effect (typically a call)
+  kIf,        // if (cond) then_body else else_body
+  kWhile,     // while (cond) body
+  kBreak,     // break out of the innermost loop
+  kContinue,  // continue the innermost loop
+  kReturn,    // return [value]
+};
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+struct Stmt {
+  StmtKind kind;
+  ExprPtr lhs;                  // kAssign: destination lvalue
+  ExprPtr expr;                 // kAssign: value; kExpr / kIf / kWhile: expr or cond; kReturn: value
+  std::vector<StmtPtr> body;    // kIf: then; kWhile: loop body
+  std::vector<StmtPtr> orelse;  // kIf: else
+};
+
+StmtPtr MakeAssign(ExprPtr lhs, ExprPtr value);
+StmtPtr MakeExprStmt(ExprPtr expr);
+StmtPtr MakeIf(ExprPtr cond, std::vector<StmtPtr> then_body, std::vector<StmtPtr> else_body);
+StmtPtr MakeWhile(ExprPtr cond, std::vector<StmtPtr> body);
+StmtPtr MakeBreak();
+StmtPtr MakeContinue();
+StmtPtr MakeReturn(ExprPtr value);  // value may be null for `return;`
+
+}  // namespace opec_ir
+
+#endif  // SRC_IR_STMT_H_

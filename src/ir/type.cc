@@ -1,0 +1,171 @@
+#include "src/ir/type.h"
+
+#include "src/support/check.h"
+#include "src/support/text.h"
+
+namespace opec_ir {
+
+namespace {
+
+uint32_t AlignUp(uint32_t value, uint32_t align) { return (value + align - 1) & ~(align - 1); }
+
+std::string TypeKey(const Type& t);
+
+std::string KindKey(const Type& t) {
+  switch (t.kind()) {
+    case TypeKind::kVoid:
+      return "void";
+    case TypeKind::kInt:
+      return opec_support::StrPrintf("%c%u", t.is_signed() ? 'i' : 'u', t.bit_width());
+    case TypeKind::kPointer:
+      return TypeKey(*t.pointee()) + "*";
+    case TypeKind::kArray:
+      return opec_support::StrPrintf("%s[%u]", TypeKey(*t.element()).c_str(), t.count());
+    case TypeKind::kStruct:
+      return "struct " + t.struct_name();
+    case TypeKind::kFunction: {
+      std::string key = TypeKey(*t.return_type()) + "(";
+      for (size_t i = 0; i < t.params().size(); ++i) {
+        if (i != 0) {
+          key += ",";
+        }
+        key += TypeKey(*t.params()[i]);
+      }
+      if (t.is_variadic()) {
+        key += ",...";
+      }
+      key += ")";
+      return key;
+    }
+  }
+  OPEC_UNREACHABLE("bad TypeKind");
+}
+
+std::string TypeKey(const Type& t) { return KindKey(t); }
+
+}  // namespace
+
+int Type::FieldIndex(const std::string& name) const {
+  OPEC_CHECK(kind_ == TypeKind::kStruct);
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::string Type::ToString() const { return TypeKey(*this); }
+
+TypeTable::TypeTable() {
+  auto v = std::unique_ptr<Type>(new Type());
+  v->kind_ = TypeKind::kVoid;
+  void_ = Intern(std::move(v), "void");
+  i8_ = IntTy(8, true);
+  i16_ = IntTy(16, true);
+  i32_ = IntTy(32, true);
+  u8_ = IntTy(8, false);
+  u16_ = IntTy(16, false);
+  u32_ = IntTy(32, false);
+}
+
+const Type* TypeTable::Intern(std::unique_ptr<Type> t, const std::string& key) {
+  auto it = interned_.find(key);
+  if (it != interned_.end()) {
+    return it->second;
+  }
+  const Type* raw = t.get();
+  owned_.push_back(std::move(t));
+  interned_[key] = raw;
+  return raw;
+}
+
+const Type* TypeTable::IntTy(uint32_t bit_width, bool is_signed) {
+  OPEC_CHECK(bit_width == 8 || bit_width == 16 || bit_width == 32);
+  auto t = std::unique_ptr<Type>(new Type());
+  t->kind_ = TypeKind::kInt;
+  t->bit_width_ = bit_width;
+  t->is_signed_ = is_signed;
+  t->size_ = bit_width / 8;
+  t->align_ = t->size_;
+  std::string key = TypeKey(*t);
+  return Intern(std::move(t), key);
+}
+
+const Type* TypeTable::PointerTo(const Type* pointee) {
+  OPEC_CHECK(pointee != nullptr);
+  auto t = std::unique_ptr<Type>(new Type());
+  t->kind_ = TypeKind::kPointer;
+  t->pointee_ = pointee;
+  t->size_ = kPointerSize;
+  t->align_ = kPointerSize;
+  std::string key = TypeKey(*t);
+  return Intern(std::move(t), key);
+}
+
+const Type* TypeTable::ArrayOf(const Type* element, uint32_t count) {
+  OPEC_CHECK(element != nullptr && element->size() > 0);
+  OPEC_CHECK_MSG(count > 0, "arrays must have a statically known, nonzero size");
+  auto t = std::unique_ptr<Type>(new Type());
+  t->kind_ = TypeKind::kArray;
+  t->element_ = element;
+  t->count_ = count;
+  t->size_ = element->size() * count;
+  t->align_ = element->alignment();
+  std::string key = TypeKey(*t);
+  return Intern(std::move(t), key);
+}
+
+const Type* TypeTable::StructTy(const std::string& name, const std::vector<StructField>& fields) {
+  auto existing = structs_.find(name);
+  if (existing != structs_.end()) {
+    const Type* prior = existing->second;
+    OPEC_CHECK_MSG(prior->fields().size() == fields.size(),
+                   "struct redeclared with different fields: " + name);
+    for (size_t i = 0; i < fields.size(); ++i) {
+      OPEC_CHECK_MSG(prior->fields()[i].name == fields[i].name &&
+                         prior->fields()[i].type == fields[i].type,
+                     "struct redeclared with different fields: " + name);
+    }
+    return prior;
+  }
+  auto t = std::unique_ptr<Type>(new Type());
+  t->kind_ = TypeKind::kStruct;
+  t->struct_name_ = name;
+  uint32_t offset = 0;
+  uint32_t align = 1;
+  for (const StructField& f : fields) {
+    OPEC_CHECK(f.type != nullptr && f.type->size() > 0);
+    StructField placed = f;
+    offset = AlignUp(offset, f.type->alignment());
+    placed.offset = offset;
+    offset += f.type->size();
+    align = std::max(align, f.type->alignment());
+    t->fields_.push_back(placed);
+  }
+  t->size_ = AlignUp(offset, align);
+  t->align_ = align;
+  const Type* raw = t.get();
+  owned_.push_back(std::move(t));
+  structs_[name] = raw;
+  interned_["struct " + name] = raw;
+  return raw;
+}
+
+const Type* TypeTable::FindStruct(const std::string& name) const {
+  auto it = structs_.find(name);
+  return it == structs_.end() ? nullptr : it->second;
+}
+
+const Type* TypeTable::FunctionTy(const Type* ret, const std::vector<const Type*>& params,
+                                  bool variadic) {
+  auto t = std::unique_ptr<Type>(new Type());
+  t->kind_ = TypeKind::kFunction;
+  t->return_type_ = ret;
+  t->params_ = params;
+  t->variadic_ = variadic;
+  std::string key = TypeKey(*t);
+  return Intern(std::move(t), key);
+}
+
+}  // namespace opec_ir

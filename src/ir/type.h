@@ -1,0 +1,147 @@
+// Type system for the OPEC guest IR.
+//
+// The guest target is a 32-bit bare-metal machine (ARMv7-M-like): pointers are
+// 4 bytes, integers are 1/2/4 bytes, structs use natural alignment. Types are
+// interned in a TypeTable (owned by the ir::Module) so `const Type*` equality
+// is type equality.
+
+#ifndef SRC_IR_TYPE_H_
+#define SRC_IR_TYPE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace opec_ir {
+
+enum class TypeKind {
+  kVoid,
+  kInt,       // 8/16/32-bit, signed or unsigned
+  kPointer,   // 4-byte pointer to pointee type
+  kArray,     // fixed-size array (statically known, per the paper's assumption)
+  kStruct,    // named struct with natural field alignment
+  kFunction,  // function signature (only pointed to, never a value)
+};
+
+class Type;
+
+// A single named member of a struct type. Offsets are computed by the
+// TypeTable when the struct type is created.
+struct StructField {
+  std::string name;
+  const Type* type = nullptr;
+  uint32_t offset = 0;
+};
+
+class Type {
+ public:
+  TypeKind kind() const { return kind_; }
+
+  // Size in bytes as laid out in guest memory. Void and function types have
+  // size 0 (they are never stored).
+  uint32_t size() const { return size_; }
+  uint32_t alignment() const { return align_; }
+
+  // kInt accessors.
+  uint32_t bit_width() const { return bit_width_; }
+  bool is_signed() const { return is_signed_; }
+
+  // kPointer accessor: pointee type (may be a function type).
+  const Type* pointee() const { return pointee_; }
+
+  // kArray accessors.
+  const Type* element() const { return element_; }
+  uint32_t count() const { return count_; }
+
+  // kStruct accessors.
+  const std::string& struct_name() const { return struct_name_; }
+  const std::vector<StructField>& fields() const { return fields_; }
+  // Returns the field index for `name`, or -1 if absent.
+  int FieldIndex(const std::string& name) const;
+
+  // kFunction accessors.
+  const Type* return_type() const { return return_type_; }
+  const std::vector<const Type*>& params() const { return params_; }
+  bool is_variadic() const { return variadic_; }
+
+  bool IsVoid() const { return kind_ == TypeKind::kVoid; }
+  bool IsInt() const { return kind_ == TypeKind::kInt; }
+  bool IsPointer() const { return kind_ == TypeKind::kPointer; }
+  bool IsArray() const { return kind_ == TypeKind::kArray; }
+  bool IsStruct() const { return kind_ == TypeKind::kStruct; }
+  bool IsFunction() const { return kind_ == TypeKind::kFunction; }
+
+  // Human-readable spelling, e.g. "u32", "u8[16]", "struct Pkt*".
+  std::string ToString() const;
+
+ private:
+  friend class TypeTable;
+  Type() = default;
+
+  TypeKind kind_ = TypeKind::kVoid;
+  uint32_t size_ = 0;
+  uint32_t align_ = 1;
+  uint32_t bit_width_ = 0;
+  bool is_signed_ = false;
+  const Type* pointee_ = nullptr;
+  const Type* element_ = nullptr;
+  uint32_t count_ = 0;
+  std::string struct_name_;
+  std::vector<StructField> fields_;
+  const Type* return_type_ = nullptr;
+  std::vector<const Type*> params_;
+  bool variadic_ = false;
+};
+
+// Interns types. Equal type descriptions return pointer-identical types,
+// except structs, which are nominal (two structs with the same fields but
+// different names are distinct).
+class TypeTable {
+ public:
+  TypeTable();
+  TypeTable(const TypeTable&) = delete;
+  TypeTable& operator=(const TypeTable&) = delete;
+
+  const Type* VoidTy() const { return void_; }
+  const Type* I8() const { return i8_; }
+  const Type* I16() const { return i16_; }
+  const Type* I32() const { return i32_; }
+  const Type* U8() const { return u8_; }
+  const Type* U16() const { return u16_; }
+  const Type* U32() const { return u32_; }
+
+  const Type* IntTy(uint32_t bit_width, bool is_signed);
+  const Type* PointerTo(const Type* pointee);
+  const Type* ArrayOf(const Type* element, uint32_t count);
+  // Creates (or returns the previously created) nominal struct type. Field
+  // offsets are computed with natural alignment; total size is padded to the
+  // struct alignment. Calling again with the same name requires identical
+  // fields.
+  const Type* StructTy(const std::string& name, const std::vector<StructField>& fields);
+  // Looks up a previously declared struct, or nullptr.
+  const Type* FindStruct(const std::string& name) const;
+  const Type* FunctionTy(const Type* ret, const std::vector<const Type*>& params,
+                         bool variadic = false);
+
+  static constexpr uint32_t kPointerSize = 4;
+
+ private:
+  const Type* Intern(std::unique_ptr<Type> t, const std::string& key);
+
+  std::vector<std::unique_ptr<Type>> owned_;
+  std::map<std::string, const Type*> interned_;
+  std::map<std::string, const Type*> structs_;
+  const Type* void_ = nullptr;
+  const Type* i8_ = nullptr;
+  const Type* i16_ = nullptr;
+  const Type* i32_ = nullptr;
+  const Type* u8_ = nullptr;
+  const Type* u16_ = nullptr;
+  const Type* u32_ = nullptr;
+};
+
+}  // namespace opec_ir
+
+#endif  // SRC_IR_TYPE_H_

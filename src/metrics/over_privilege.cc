@@ -1,0 +1,157 @@
+#include "src/metrics/over_privilege.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace opec_metrics {
+
+using opec_aces::AcesResult;
+using opec_analysis::FunctionResources;
+using opec_compiler::Policy;
+using opec_ir::Function;
+using opec_ir::GlobalVariable;
+using opec_rt::ExecutionTrace;
+
+namespace {
+uint64_t BytesOf(const std::set<const GlobalVariable*>& vars) {
+  uint64_t n = 0;
+  for (const GlobalVariable* gv : vars) {
+    n += gv->size();
+  }
+  return n;
+}
+}  // namespace
+
+std::vector<DomainPt> ComputeAcesPt(const AcesResult& aces) {
+  std::vector<DomainPt> out;
+  for (const opec_aces::Compartment& c : aces.compartments) {
+    DomainPt d;
+    d.domain = c.name;
+    d.accessible_bytes = BytesOf(c.accessible_globals);
+    std::set<const GlobalVariable*> unneeded;
+    for (const GlobalVariable* gv : c.accessible_globals) {
+      if (c.needed_globals.count(gv) == 0) {
+        unneeded.insert(gv);
+      }
+    }
+    d.unneeded_bytes = BytesOf(unneeded);
+    out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<DomainPt> ComputeOpecPt(const Policy& policy) {
+  std::vector<DomainPt> out;
+  for (const opec_compiler::OperationPolicy& op : policy.operations) {
+    DomainPt d;
+    d.domain = op.name;
+    // An operation can access exactly its own data section: its internal
+    // variables plus its own shadow copies — i.e. precisely needed_globals.
+    d.accessible_bytes = BytesOf(op.needed_globals);
+    d.unneeded_bytes = 0;
+    out.push_back(d);
+  }
+  return out;
+}
+
+namespace {
+
+// Functions executed inside each operation's trace window.
+std::map<int, std::set<const Function*>> ExecutedByOperation(const ExecutionTrace& trace) {
+  std::map<int, std::set<const Function*>> out;
+  for (const opec_rt::TraceEvent& e : trace.events()) {
+    out[e.operation_id].insert(e.fn);
+  }
+  return out;
+}
+
+std::set<const GlobalVariable*> UsedVars(
+    const std::set<const Function*>& executed,
+    const std::map<const Function*, FunctionResources>& resources) {
+  std::set<const GlobalVariable*> used;
+  for (const Function* fn : executed) {
+    auto it = resources.find(fn);
+    if (it == resources.end()) {
+      continue;
+    }
+    for (const GlobalVariable* gv : it->second.AllGlobals()) {
+      if (!gv->is_const()) {
+        used.insert(gv);
+      }
+    }
+  }
+  return used;
+}
+
+}  // namespace
+
+std::vector<TaskEt> ComputeOpecEt(
+    const Policy& policy, const ExecutionTrace& trace,
+    const std::map<const Function*, FunctionResources>& resources) {
+  std::vector<TaskEt> out;
+  auto executed = ExecutedByOperation(trace);
+  for (const opec_compiler::OperationPolicy& op : policy.operations) {
+    auto it = executed.find(op.id);
+    // The default operation runs as id -1 before any entry; map it.
+    if (op.id == policy.default_op_id && it == executed.end()) {
+      it = executed.find(-1);
+    }
+    if (it == executed.end()) {
+      continue;  // task never ran in this scenario
+    }
+    TaskEt t;
+    t.operation_id = op.id;
+    t.task = op.entry;
+    t.used_bytes = BytesOf(UsedVars(it->second, resources));
+    t.needed_bytes = BytesOf(op.needed_globals);
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TaskEt> ComputeAcesEt(
+    const Policy& policy, const AcesResult& aces, const ExecutionTrace& trace,
+    const std::map<const Function*, FunctionResources>& resources) {
+  std::vector<TaskEt> out;
+  auto executed = ExecutedByOperation(trace);
+  for (const opec_compiler::OperationPolicy& op : policy.operations) {
+    auto it = executed.find(op.id);
+    if (op.id == policy.default_op_id && it == executed.end()) {
+      it = executed.find(-1);
+    }
+    if (it == executed.end()) {
+      continue;
+    }
+    TaskEt t;
+    t.operation_id = op.id;
+    t.task = op.entry;
+    t.used_bytes = BytesOf(UsedVars(it->second, resources));
+    // Needed under ACES: everything accessible to the compartments the task's
+    // execution flowed through (Section 6.4's Eq. 2 denominator).
+    std::set<const GlobalVariable*> needed;
+    for (const Function* fn : it->second) {
+      int cid = aces.CompartmentOf(fn);
+      if (cid < 0) {
+        continue;
+      }
+      const opec_aces::Compartment& c = aces.compartments[static_cast<size_t>(cid)];
+      needed.insert(c.accessible_globals.begin(), c.accessible_globals.end());
+    }
+    t.needed_bytes = BytesOf(needed);
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> Cdf(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  std::vector<std::pair<double, double>> out;
+  size_t n = values.size();
+  for (size_t i = 0; i < n; ++i) {
+    out.emplace_back(values[i], static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  return out;
+}
+
+}  // namespace opec_metrics

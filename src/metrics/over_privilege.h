@@ -1,0 +1,73 @@
+// Over-privilege metrics from Section 6.4:
+//
+//   PT (partition-time over-privilege, Eq. 1): per domain, the fraction of
+//   its accessible global-variable bytes that no function in the domain has a
+//   data dependency on. OPEC's shadowing makes PT identically 0; ACES's
+//   merged data regions make it positive.
+//
+//   ET (execution-time over-privilege, Eq. 2): per task, one minus the ratio
+//   of globals actually used during execution to the globals the domain(s)
+//   involved could access. Computed from execution traces (the paper's GDB
+//   single-stepping stand-in).
+
+#ifndef SRC_METRICS_OVER_PRIVILEGE_H_
+#define SRC_METRICS_OVER_PRIVILEGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/aces/aces.h"
+#include "src/analysis/resource_analysis.h"
+#include "src/compiler/policy.h"
+#include "src/rt/trace.h"
+
+namespace opec_metrics {
+
+struct DomainPt {
+  std::string domain;
+  uint64_t accessible_bytes = 0;
+  uint64_t unneeded_bytes = 0;
+  double pt() const {
+    return accessible_bytes == 0 ? 0.0
+                                 : static_cast<double>(unneeded_bytes) / accessible_bytes;
+  }
+};
+
+// PT per ACES compartment (Eq. 1).
+std::vector<DomainPt> ComputeAcesPt(const opec_aces::AcesResult& aces);
+// PT per OPEC operation — zero by construction, but computed, not assumed.
+std::vector<DomainPt> ComputeOpecPt(const opec_compiler::Policy& policy);
+
+struct TaskEt {
+  int operation_id = -1;
+  std::string task;  // the operation entry function name
+  uint64_t used_bytes = 0;
+  uint64_t needed_bytes = 0;
+  double et() const {
+    return needed_bytes == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(used_bytes) / static_cast<double>(needed_bytes);
+  }
+};
+
+// ET per task under OPEC: a task is an operation; needed = the operation's
+// resource dependency; used = globals of the functions that actually executed
+// inside the operation's trace window.
+std::vector<TaskEt> ComputeOpecEt(
+    const opec_compiler::Policy& policy, const opec_rt::ExecutionTrace& trace,
+    const std::map<const opec_ir::Function*, opec_analysis::FunctionResources>& resources);
+
+// ET for the same tasks under an ACES partitioning: needed = the union of the
+// accessible globals of every compartment entered while executing the task.
+std::vector<TaskEt> ComputeAcesEt(
+    const opec_compiler::Policy& policy, const opec_aces::AcesResult& aces,
+    const opec_rt::ExecutionTrace& trace,
+    const std::map<const opec_ir::Function*, opec_analysis::FunctionResources>& resources);
+
+// Cumulative-ratio points for a CDF plot (Figure 10): for each sorted value v,
+// the fraction of samples <= v.
+std::vector<std::pair<double, double>> Cdf(std::vector<double> values);
+
+}  // namespace opec_metrics
+
+#endif  // SRC_METRICS_OVER_PRIVILEGE_H_

@@ -1,0 +1,30 @@
+// Fixed-width table rendering for the bench binaries that regenerate the
+// paper's tables and figures on the console.
+
+#ifndef SRC_METRICS_REPORT_H_
+#define SRC_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace opec_metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row);
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "12.34" style formatting helpers.
+std::string Pct(double fraction, int decimals = 2);   // 0.0123 -> "1.23"
+std::string Num(double value, int decimals = 2);
+
+}  // namespace opec_metrics
+
+#endif  // SRC_METRICS_REPORT_H_

@@ -1,0 +1,39 @@
+// AddressAssignment: where the image builder placed every global variable and
+// the stack. The execution engine consumes this; the OPEC image builder
+// (src/compiler) and the vanilla image builder produce it.
+
+#ifndef SRC_RT_ADDRESS_ASSIGNMENT_H_
+#define SRC_RT_ADDRESS_ASSIGNMENT_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/ir/module.h"
+
+namespace opec_rt {
+
+struct AddressAssignment {
+  // Guest address of each global variable. For OPEC images, external
+  // (shared) globals map to their *public* copy; guest code reaches the
+  // per-operation shadow copies through the relocation table indirection the
+  // compiler rewrites into the IR, so the engine itself never needs to know
+  // about shadows.
+  std::map<const opec_ir::GlobalVariable*, uint32_t> global_addr;
+
+  // Application stack: grows down from stack_top (exclusive) to stack_base.
+  uint32_t stack_top = 0;
+  uint32_t stack_base = 0;
+
+  // Heap section (optional; 0 size when the program has no heap).
+  uint32_t heap_base = 0;
+  uint32_t heap_size = 0;
+
+  uint32_t AddrOf(const opec_ir::GlobalVariable* gv) const {
+    auto it = global_addr.find(gv);
+    return it == global_addr.end() ? 0 : it->second;
+  }
+};
+
+}  // namespace opec_rt
+
+#endif  // SRC_RT_ADDRESS_ASSIGNMENT_H_

@@ -1,0 +1,538 @@
+#include "src/rt/engine.h"
+
+#include "src/hw/address_map.h"
+#include "src/support/check.h"
+#include "src/support/text.h"
+
+namespace opec_rt {
+
+using opec_hw::AccessKind;
+using opec_hw::AccessResult;
+using opec_hw::AccessStatus;
+using opec_ir::BinaryOp;
+using opec_ir::Expr;
+using opec_ir::ExprKind;
+using opec_ir::Function;
+using opec_ir::Stmt;
+using opec_ir::StmtKind;
+using opec_ir::StmtPtr;
+using opec_ir::Type;
+using opec_ir::UnaryOp;
+
+namespace {
+
+// Internal unwinding for guest failures (faults, supervisor aborts, limits).
+struct ExecutionAborted {
+  std::string reason;
+};
+
+uint32_t AlignUp(uint32_t v, uint32_t a) { return (v + a - 1) & ~(a - 1); }
+
+}  // namespace
+
+ExecutionEngine::ExecutionEngine(opec_hw::Machine& machine, const opec_ir::Module& module,
+                                 const AddressAssignment& layout, Supervisor* supervisor)
+    : machine_(machine), module_(module), layout_(layout), supervisor_(supervisor) {
+  // Assign pseudo code addresses for functions inside the flash code region
+  // so function pointers are plausible code addresses.
+  uint32_t addr = opec_hw::kFlashBase + 0x1000;
+  for (const auto& fn : module.functions()) {
+    func_addr_[fn.get()] = addr;
+    addr_func_[addr] = fn.get();
+    addr += 0x40;
+  }
+}
+
+uint32_t ExecutionEngine::FuncAddr(const Function* fn) const {
+  auto it = func_addr_.find(fn);
+  OPEC_CHECK_MSG(it != func_addr_.end(), "function not in module: " + fn->name());
+  return it->second;
+}
+
+const Function* ExecutionEngine::FuncAt(uint32_t addr) const {
+  auto it = addr_func_.find(addr);
+  return it == addr_func_.end() ? nullptr : it->second;
+}
+
+const ExecutionEngine::FrameLayout& ExecutionEngine::LayoutOf(const Function* fn) {
+  auto it = frame_layouts_.find(fn);
+  if (it != frame_layouts_.end()) {
+    return it->second;
+  }
+  FrameLayout fl;
+  uint32_t offset = 0;
+  for (const opec_ir::LocalVariable& lv : fn->locals()) {
+    offset = AlignUp(offset, lv.type->alignment());
+    fl.offsets.push_back(offset);
+    offset += lv.type->size();
+  }
+  fl.size = AlignUp(offset, 8);
+  return frame_layouts_.emplace(fn, std::move(fl)).first->second;
+}
+
+uint32_t ExecutionEngine::MemRead(uint32_t addr, uint32_t size) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    AccessResult r = machine_.bus().Read(addr, size, machine_.privileged());
+    Charge(costs_.memory);
+    if (r.ok()) {
+      return r.value;
+    }
+    if (r.status == AccessStatus::kMemFault && supervisor_ != nullptr &&
+        supervisor_->OnMemFault(addr, AccessKind::kRead)) {
+      continue;  // resolved (e.g. peripheral region virtualized in); retry
+    }
+    if (r.status == AccessStatus::kBusFault && supervisor_ != nullptr) {
+      uint32_t value = 0;
+      if (supervisor_->OnBusFault(addr, size, AccessKind::kRead, 0, &value)) {
+        return value;  // emulated core-peripheral load
+      }
+    }
+    throw ExecutionAborted{opec_support::StrPrintf(
+        "%s on read of %u bytes at %s",
+        r.status == AccessStatus::kMemFault ? "MemManage fault" : "BusFault", size,
+        opec_support::HexAddr(addr).c_str())};
+  }
+  throw ExecutionAborted{"unresolvable fault loop on read at " + opec_support::HexAddr(addr)};
+}
+
+void ExecutionEngine::MemWrite(uint32_t addr, uint32_t size, uint32_t value) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    AccessResult r = machine_.bus().Write(addr, size, value, machine_.privileged());
+    Charge(costs_.memory);
+    if (r.ok()) {
+      return;
+    }
+    if (r.status == AccessStatus::kMemFault && supervisor_ != nullptr &&
+        supervisor_->OnMemFault(addr, AccessKind::kWrite)) {
+      continue;
+    }
+    if (r.status == AccessStatus::kBusFault && supervisor_ != nullptr) {
+      if (supervisor_->OnBusFault(addr, size, AccessKind::kWrite, value, nullptr)) {
+        return;  // emulated core-peripheral store
+      }
+    }
+    throw ExecutionAborted{opec_support::StrPrintf(
+        "%s on write of %u bytes at %s",
+        r.status == AccessStatus::kMemFault ? "MemManage fault" : "BusFault", size,
+        opec_support::HexAddr(addr).c_str())};
+  }
+  throw ExecutionAborted{"unresolvable fault loop on write at " + opec_support::HexAddr(addr)};
+}
+
+uint32_t ExecutionEngine::Truncate(const Type* type, uint32_t value) const {
+  if (type->IsPointer() || type->size() == 4) {
+    return value;
+  }
+  uint32_t bits = type->size() * 8;
+  return value & ((1u << bits) - 1);
+}
+
+uint32_t ExecutionEngine::EvalAddr(const Expr& e, const Frame& frame) {
+  Charge(costs_.op);
+  switch (e.kind) {
+    case ExprKind::kLocal: {
+      const FrameLayout& fl = LayoutOf(frame.fn);
+      return frame.base + fl.offsets[static_cast<size_t>(e.local_slot)];
+    }
+    case ExprKind::kGlobal: {
+      uint32_t addr = layout_.AddrOf(e.global);
+      if (addr == 0) {
+        throw ExecutionAborted{"global has no assigned address: " + e.global->name()};
+      }
+      return addr;
+    }
+    case ExprKind::kDeref:
+      return Eval(*e.operands[0], frame);
+    case ExprKind::kIndex: {
+      const Expr& base = *e.operands[0];
+      uint32_t base_addr = base.type->IsPointer() ? Eval(base, frame) : EvalAddr(base, frame);
+      uint32_t idx = Eval(*e.operands[1], frame);
+      return base_addr + idx * e.type->size();
+    }
+    case ExprKind::kField: {
+      uint32_t base_addr = EvalAddr(*e.operands[0], frame);
+      const auto& fields = e.operands[0]->type->fields();
+      return base_addr + fields[static_cast<size_t>(e.field_index)].offset;
+    }
+    default:
+      throw ExecutionAborted{"EvalAddr on non-lvalue expression"};
+  }
+}
+
+uint32_t ExecutionEngine::EvalBinary(const Expr& e, const Frame& frame) {
+  // Short-circuit logical operators.
+  if (e.binary_op == BinaryOp::kLogAnd) {
+    return (Eval(*e.operands[0], frame) != 0 && Eval(*e.operands[1], frame) != 0) ? 1 : 0;
+  }
+  if (e.binary_op == BinaryOp::kLogOr) {
+    return (Eval(*e.operands[0], frame) != 0 || Eval(*e.operands[1], frame) != 0) ? 1 : 0;
+  }
+  uint32_t a = Eval(*e.operands[0], frame);
+  uint32_t b = Eval(*e.operands[1], frame);
+  const Type* t = e.operands[0]->type;
+  bool sign = t->IsInt() && t->is_signed();
+  // Sign-extend sub-word signed operands to 32 bits for the operation.
+  auto sext = [&](uint32_t v) -> int32_t {
+    uint32_t bits = t->size() * 8;
+    if (bits == 32) {
+      return static_cast<int32_t>(v);
+    }
+    uint32_t m = 1u << (bits - 1);
+    return static_cast<int32_t>((v ^ m) - m);
+  };
+  int32_t sa = sign ? sext(a) : 0;
+  int32_t sb = sign ? sext(b) : 0;
+  uint32_t r = 0;
+  switch (e.binary_op) {
+    case BinaryOp::kAdd:
+      r = a + b;
+      break;
+    case BinaryOp::kSub:
+      r = a - b;
+      break;
+    case BinaryOp::kMul:
+      r = a * b;
+      break;
+    case BinaryOp::kDiv:
+      if (b == 0) {
+        throw ExecutionAborted{"division by zero"};
+      }
+      r = sign ? static_cast<uint32_t>(sa / sb) : a / b;
+      break;
+    case BinaryOp::kRem:
+      if (b == 0) {
+        throw ExecutionAborted{"remainder by zero"};
+      }
+      r = sign ? static_cast<uint32_t>(sa % sb) : a % b;
+      break;
+    case BinaryOp::kAnd:
+      r = a & b;
+      break;
+    case BinaryOp::kOr:
+      r = a | b;
+      break;
+    case BinaryOp::kXor:
+      r = a ^ b;
+      break;
+    case BinaryOp::kShl:
+      r = a << (b & 31);
+      break;
+    case BinaryOp::kShr:
+      r = sign ? static_cast<uint32_t>(sa >> (b & 31)) : a >> (b & 31);
+      break;
+    case BinaryOp::kEq:
+      r = a == b;
+      break;
+    case BinaryOp::kNe:
+      r = a != b;
+      break;
+    case BinaryOp::kLt:
+      r = sign ? (sa < sb) : (a < b);
+      break;
+    case BinaryOp::kLe:
+      r = sign ? (sa <= sb) : (a <= b);
+      break;
+    case BinaryOp::kGt:
+      r = sign ? (sa > sb) : (a > b);
+      break;
+    case BinaryOp::kGe:
+      r = sign ? (sa >= sb) : (a >= b);
+      break;
+    case BinaryOp::kLogAnd:
+    case BinaryOp::kLogOr:
+      OPEC_UNREACHABLE("handled above");
+  }
+  return Truncate(e.type, r);
+}
+
+uint32_t ExecutionEngine::Eval(const Expr& e, const Frame& frame) {
+  if (++statements_ > statement_limit_) {
+    throw ExecutionAborted{"statement limit exceeded (possible guest infinite loop)"};
+  }
+  // Immediates, casts and address-of fold into the consuming instruction on
+  // Thumb-2 (literal operands / addressing modes); only real operations and
+  // memory traffic cost cycles.
+  if (e.kind != ExprKind::kIntConst && e.kind != ExprKind::kCast &&
+      e.kind != ExprKind::kAddrOf) {
+    Charge(costs_.op);
+  }
+  switch (e.kind) {
+    case ExprKind::kIntConst:
+      return static_cast<uint32_t>(e.int_value);
+    case ExprKind::kFuncAddr:
+      return FuncAddr(e.func);
+    case ExprKind::kLocal:
+    case ExprKind::kGlobal:
+    case ExprKind::kDeref:
+    case ExprKind::kIndex:
+    case ExprKind::kField: {
+      if (!e.type->IsInt() && !e.type->IsPointer()) {
+        throw ExecutionAborted{"rvalue load of aggregate type " + e.type->ToString()};
+      }
+      uint32_t addr = EvalAddr(e, frame);
+      return MemRead(addr, e.type->size());
+    }
+    case ExprKind::kAddrOf:
+      return EvalAddr(*e.operands[0], frame);
+    case ExprKind::kUnary: {
+      uint32_t v = Eval(*e.operands[0], frame);
+      switch (e.unary_op) {
+        case UnaryOp::kNeg:
+          return Truncate(e.type, 0u - v);
+        case UnaryOp::kBitNot:
+          return Truncate(e.type, ~v);
+        case UnaryOp::kLogNot:
+          return v == 0 ? 1 : 0;
+      }
+      OPEC_UNREACHABLE("bad UnaryOp");
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(e, frame);
+    case ExprKind::kCast: {
+      uint32_t v = Eval(*e.operands[0], frame);
+      const Type* from = e.operands[0]->type;
+      // Sign-extend when widening a signed source.
+      if (from->IsInt() && from->is_signed() && from->size() < e.type->size()) {
+        uint32_t bits = from->size() * 8;
+        uint32_t m = 1u << (bits - 1);
+        v = static_cast<uint32_t>(static_cast<int32_t>((v ^ m) - m));
+      }
+      return Truncate(e.type, v);
+    }
+    case ExprKind::kCall: {
+      std::vector<uint32_t> args;
+      args.reserve(e.operands.size());
+      for (const opec_ir::ExprPtr& a : e.operands) {
+        args.push_back(Eval(*a, frame));
+      }
+      return CallFunction(e.func, std::move(args), e.operation_entry_id);
+    }
+    case ExprKind::kICall: {
+      uint32_t target = Eval(*e.operands[0], frame);
+      const Function* fn = FuncAt(target);
+      if (fn == nullptr) {
+        throw ExecutionAborted{"indirect call to non-function address " +
+                               opec_support::HexAddr(target)};
+      }
+      if (fn->type()->params().size() != e.signature->params().size()) {
+        throw ExecutionAborted{"indirect call signature mismatch calling " + fn->name()};
+      }
+      std::vector<uint32_t> args;
+      for (size_t i = 1; i < e.operands.size(); ++i) {
+        args.push_back(Eval(*e.operands[i], frame));
+      }
+      return CallFunction(fn, std::move(args), e.operation_entry_id);
+    }
+  }
+  OPEC_UNREACHABLE("bad ExprKind");
+}
+
+void ExecutionEngine::MaybeFireAttacks(const Function* fn) {
+  if (attacks_.empty()) {
+    return;
+  }
+  int count = ++entry_counts_[fn];
+  for (AttackSpec& a : attacks_) {
+    if (a.fired || a.function != fn->name() || a.occurrence != count) {
+      continue;
+    }
+    a.fired = true;
+    // The exploited code performs an arbitrary write at its own (unprivileged)
+    // level. The MPU decides whether it lands.
+    AccessResult r = machine_.bus().Write(a.addr, a.size, a.value, machine_.privileged());
+    if (!r.ok()) {
+      // If a supervisor is installed, give it the chance to (wrongly) resolve
+      // it — a correctly configured monitor only virtualizes allowlisted
+      // peripherals, so illegal writes stay blocked.
+      bool resolved = false;
+      if (r.status == AccessStatus::kMemFault && supervisor_ != nullptr &&
+          supervisor_->OnMemFault(a.addr, AccessKind::kWrite)) {
+        resolved = machine_.bus().Write(a.addr, a.size, a.value, machine_.privileged()).ok();
+      }
+      a.blocked = !resolved;
+    }
+  }
+}
+
+uint32_t ExecutionEngine::CallFunction(const Function* fn, std::vector<uint32_t> args,
+                                       int operation_entry_id) {
+  Charge(costs_.call + costs_.op * args.size());
+  bool is_operation_entry = operation_entry_id >= 0 && supervisor_ != nullptr;
+  int saved_operation = current_operation_;
+
+  if (is_operation_entry) {
+    Charge(costs_.svc);  // SVC before the call site
+    if (!supervisor_->OnOperationEnter(operation_entry_id, args)) {
+      throw ExecutionAborted{opec_support::StrPrintf(
+          "monitor rejected entry into operation %d (%s)", operation_entry_id,
+          fn->name().c_str())};
+    }
+    current_operation_ = operation_entry_id;
+  } else if (supervisor_ != nullptr) {
+    if (!supervisor_->OnFunctionCall(fn)) {
+      throw ExecutionAborted{"supervisor rejected call to " + fn->name()};
+    }
+  }
+
+  uint32_t ret = 0;
+  try {
+    ret = DoCall(fn, args);
+  } catch (...) {
+    current_operation_ = saved_operation;
+    throw;
+  }
+
+  if (is_operation_entry) {
+    Charge(costs_.svc);  // SVC after the call site
+    current_operation_ = saved_operation;
+    if (!supervisor_->OnOperationExit(operation_entry_id)) {
+      throw ExecutionAborted{opec_support::StrPrintf(
+          "monitor aborted at exit of operation %d (%s) — data sanitization failed",
+          operation_entry_id, fn->name().c_str())};
+    }
+  } else if (supervisor_ != nullptr) {
+    if (!supervisor_->OnFunctionReturn(fn)) {
+      throw ExecutionAborted{"supervisor rejected return from " + fn->name()};
+    }
+  }
+  return ret;
+}
+
+uint32_t ExecutionEngine::DoCall(const Function* fn, const std::vector<uint32_t>& args) {
+  if (++depth_ > kMaxDepth) {
+    --depth_;
+    throw ExecutionAborted{"call depth limit exceeded in " + fn->name()};
+  }
+  OPEC_CHECK_MSG(static_cast<int>(args.size()) == fn->param_count(),
+                 "arity mismatch calling " + fn->name());
+
+  const FrameLayout& fl = LayoutOf(fn);
+  uint32_t saved_sp = sp_;
+  uint32_t base = (sp_ - fl.size) & ~7u;
+  if (base < layout_.stack_base) {
+    --depth_;
+    throw ExecutionAborted{"guest stack overflow in " + fn->name()};
+  }
+  sp_ = base;
+  Frame frame{fn, base};
+
+  if (trace_ != nullptr) {
+    trace_->RecordEntry(fn, depth_, machine_.cycles(), current_operation_);
+  }
+  MaybeFireAttacks(fn);
+
+  uint32_t ret_value = 0;
+  try {
+    // Spill parameters into their stack slots (through the checked bus: a
+    // disabled stack sub-region faults here, which is the stack protection).
+    for (size_t i = 0; i < args.size(); ++i) {
+      const Type* pt = fn->locals()[i].type;
+      MemWrite(base + fl.offsets[i], pt->size(), Truncate(pt, args[i]));
+    }
+    ExecBlock(fn->body(), frame, &ret_value);
+  } catch (...) {
+    --depth_;
+    sp_ = saved_sp;
+    throw;
+  }
+  Charge(costs_.ret);
+  --depth_;
+  sp_ = saved_sp;
+  return ret_value;
+}
+
+ExecutionEngine::Flow ExecutionEngine::ExecBlock(const std::vector<StmtPtr>& body,
+                                                 const Frame& frame, uint32_t* ret_value) {
+  for (const StmtPtr& s : body) {
+    Flow flow = ExecStmt(*s, frame, ret_value);
+    if (flow != Flow::kNext) {
+      return flow;
+    }
+  }
+  return Flow::kNext;
+}
+
+ExecutionEngine::Flow ExecutionEngine::ExecStmt(const Stmt& s, const Frame& frame,
+                                                uint32_t* ret_value) {
+  if (++statements_ > statement_limit_) {
+    throw ExecutionAborted{"statement limit exceeded (possible guest infinite loop)"};
+  }
+  switch (s.kind) {
+    case StmtKind::kAssign: {
+      uint32_t value = Eval(*s.expr, frame);
+      uint32_t addr = EvalAddr(*s.lhs, frame);
+      MemWrite(addr, s.lhs->type->size(), Truncate(s.lhs->type, value));
+      return Flow::kNext;
+    }
+    case StmtKind::kExpr:
+      Eval(*s.expr, frame);
+      return Flow::kNext;
+    case StmtKind::kIf: {
+      Charge(costs_.branch);
+      if (Eval(*s.expr, frame) != 0) {
+        return ExecBlock(s.body, frame, ret_value);
+      }
+      return ExecBlock(s.orelse, frame, ret_value);
+    }
+    case StmtKind::kWhile: {
+      while (true) {
+        Charge(costs_.branch);
+        if (Eval(*s.expr, frame) == 0) {
+          return Flow::kNext;
+        }
+        Flow flow = ExecBlock(s.body, frame, ret_value);
+        if (flow == Flow::kBreak) {
+          return Flow::kNext;
+        }
+        if (flow == Flow::kReturn) {
+          return Flow::kReturn;
+        }
+        // kContinue and kNext both loop.
+      }
+    }
+    case StmtKind::kBreak:
+      return Flow::kBreak;
+    case StmtKind::kContinue:
+      return Flow::kContinue;
+    case StmtKind::kReturn:
+      if (s.expr != nullptr) {
+        *ret_value = Eval(*s.expr, frame);
+      }
+      return Flow::kReturn;
+  }
+  OPEC_UNREACHABLE("bad StmtKind");
+}
+
+RunResult ExecutionEngine::Run(const std::string& entry, const std::vector<uint32_t>& args) {
+  RunResult result;
+  const Function* fn = module_.FindFunction(entry);
+  if (fn == nullptr) {
+    result.violation = "no such entry function: " + entry;
+    return result;
+  }
+  sp_ = layout_.stack_top;
+  depth_ = 0;
+  statements_ = 0;
+  current_operation_ = -1;
+  entry_counts_.clear();
+
+  uint64_t start_cycles = machine_.cycles();
+  if (supervisor_ != nullptr) {
+    supervisor_->OnProgramStart(this);
+  }
+  try {
+    result.return_value = DoCall(fn, args);
+    result.ok = true;
+    if (supervisor_ != nullptr) {
+      supervisor_->OnProgramEnd();
+    }
+  } catch (const ExecutionAborted& aborted) {
+    result.ok = false;
+    result.violation = aborted.reason;
+  }
+  result.cycles = machine_.cycles() - start_cycles;
+  result.statements = statements_;
+  return result;
+}
+
+}  // namespace opec_rt

@@ -1,0 +1,165 @@
+// ExecutionEngine: runs guest IR on the machine model.
+//
+// This is the reproduction's stand-in for the Cortex-M4 executing Thumb-2
+// code. Fidelity properties that matter for OPEC:
+//   * Local variables live in frames on the emulated stack in guest SRAM; the
+//     frame layout is deterministic, so the monitor's stack sub-region
+//     protection and argument relocation act on real addresses.
+//   * Every load and store — locals, globals, MMIO — goes through the bus and
+//     therefore through the MPU at the machine's current privilege level.
+//   * MemManage/BusFaults are delivered to the installed Supervisor, which
+//     may resolve them (MPU virtualization, core-peripheral emulation); an
+//     unresolved fault aborts the run with a diagnosis.
+//   * Operation-entry call sites marked by OPEC-Compiler instrumentation
+//     raise the SVC-based operation switch around the call.
+//   * A calibrated cycle-cost model charges each construct, and devices add
+//     transfer latencies, which is what the DWT cycle counter reads.
+
+#ifndef SRC_RT_ENGINE_H_
+#define SRC_RT_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/hw/machine.h"
+#include "src/ir/module.h"
+#include "src/rt/address_assignment.h"
+#include "src/rt/supervisor.h"
+#include "src/rt/trace.h"
+
+namespace opec_rt {
+
+// Stack-pointer and machine control handed to the Supervisor.
+class EngineControl {
+ public:
+  virtual ~EngineControl() = default;
+  virtual uint32_t sp() const = 0;
+  virtual void set_sp(uint32_t sp) = 0;
+  virtual opec_hw::Machine& machine() = 0;
+  virtual const AddressAssignment& layout() const = 0;
+};
+
+// An injected exploit: when `fn` is entered for the `occurrence`-th time
+// (1-based), perform an arbitrary unprivileged write — the paper's threat
+// model primitive (Section 3.3). If the MPU/privilege rules block the write,
+// `blocked` is set and the write is discarded.
+struct AttackSpec {
+  std::string function;
+  int occurrence = 1;
+  uint32_t addr = 0;
+  uint32_t value = 0;
+  uint32_t size = 4;
+  // Outputs:
+  bool fired = false;
+  bool blocked = false;
+};
+
+struct RunResult {
+  bool ok = false;
+  std::string violation;        // diagnosis when !ok
+  uint32_t return_value = 0;    // entry function's return value
+  uint64_t cycles = 0;          // machine cycles consumed by the run
+  uint64_t statements = 0;      // interpreter statements executed
+};
+
+// Per-construct cycle costs (calibrated to Thumb-2 orders of magnitude).
+struct CostModel {
+  uint64_t op = 1;            // ALU op / operand fetch
+  uint64_t memory = 2;        // load/store
+  uint64_t branch = 2;        // taken branch
+  uint64_t call = 6;          // call + prologue
+  uint64_t ret = 4;           // epilogue + return
+  uint64_t svc = 40;          // exception entry + exit for one SVC
+};
+
+class ExecutionEngine : public EngineControl {
+ public:
+  ExecutionEngine(opec_hw::Machine& machine, const opec_ir::Module& module,
+                  const AddressAssignment& layout, Supervisor* supervisor = nullptr);
+
+  // Optional instrumentation.
+  void set_trace(ExecutionTrace* trace) { trace_ = trace; }
+  void AddAttack(const AttackSpec& attack) { attacks_.push_back(attack); }
+  const std::vector<AttackSpec>& attacks() const { return attacks_; }
+  void set_statement_limit(uint64_t limit) { statement_limit_ = limit; }
+  void set_cost_model(const CostModel& costs) { costs_ = costs; }
+
+  // Runs `entry` (default "main") to completion. Never throws; failures are
+  // reported in the result.
+  RunResult Run(const std::string& entry = "main", const std::vector<uint32_t>& args = {});
+
+  // --- EngineControl ---
+  uint32_t sp() const override { return sp_; }
+  void set_sp(uint32_t sp) override { sp_ = sp; }
+  opec_hw::Machine& machine() override { return machine_; }
+  const AddressAssignment& layout() const override { return layout_; }
+
+  // Pseudo code addresses for functions (for function pointers / icalls).
+  uint32_t FuncAddr(const opec_ir::Function* fn) const;
+  const opec_ir::Function* FuncAt(uint32_t addr) const;
+
+  // The operation id the engine is currently executing in (-1 = default /
+  // vanilla). Maintained around operation-entry calls; used by the tracer.
+  int current_operation() const { return current_operation_; }
+
+ private:
+  struct FrameLayout {
+    std::vector<uint32_t> offsets;  // per local slot, from frame base
+    uint32_t size = 0;              // total frame bytes (8-aligned)
+  };
+  struct Frame {
+    const opec_ir::Function* fn = nullptr;
+    uint32_t base = 0;  // lowest address of the frame
+  };
+
+  // Control-flow signal from statement execution.
+  enum class Flow { kNext, kBreak, kContinue, kReturn };
+
+  const FrameLayout& LayoutOf(const opec_ir::Function* fn);
+
+  uint32_t MemRead(uint32_t addr, uint32_t size);
+  void MemWrite(uint32_t addr, uint32_t size, uint32_t value);
+
+  uint32_t Eval(const opec_ir::Expr& e, const Frame& frame);
+  uint32_t EvalAddr(const opec_ir::Expr& e, const Frame& frame);
+  uint32_t EvalBinary(const opec_ir::Expr& e, const Frame& frame);
+  uint32_t Truncate(const opec_ir::Type* type, uint32_t value) const;
+
+  uint32_t CallFunction(const opec_ir::Function* fn, std::vector<uint32_t> args,
+                        int operation_entry_id);
+  uint32_t DoCall(const opec_ir::Function* fn, const std::vector<uint32_t>& args);
+
+  Flow ExecBlock(const std::vector<opec_ir::StmtPtr>& body, const Frame& frame,
+                 uint32_t* ret_value);
+  Flow ExecStmt(const opec_ir::Stmt& s, const Frame& frame, uint32_t* ret_value);
+
+  void MaybeFireAttacks(const opec_ir::Function* fn);
+  void Charge(uint64_t cycles) { machine_.AddCycles(cycles); }
+
+  opec_hw::Machine& machine_;
+  const opec_ir::Module& module_;
+  const AddressAssignment& layout_;
+  Supervisor* supervisor_;
+  ExecutionTrace* trace_ = nullptr;
+
+  std::map<const opec_ir::Function*, FrameLayout> frame_layouts_;
+  std::map<const opec_ir::Function*, uint32_t> func_addr_;
+  std::map<uint32_t, const opec_ir::Function*> addr_func_;
+  std::map<const opec_ir::Function*, int> entry_counts_;
+  std::vector<AttackSpec> attacks_;
+
+  uint32_t sp_ = 0;
+  int depth_ = 0;
+  int current_operation_ = -1;
+  uint64_t statements_ = 0;
+  uint64_t statement_limit_ = 200'000'000;
+  CostModel costs_;
+
+  static constexpr int kMaxDepth = 256;
+};
+
+}  // namespace opec_rt
+
+#endif  // SRC_RT_ENGINE_H_

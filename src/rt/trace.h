@@ -1,0 +1,48 @@
+// Execution tracing: the reproduction's replacement for the paper's GDB
+// single-stepping (Section 6.4). Records the sequence of executed functions,
+// which drives the execution-time over-privilege (ET) metric and the
+// compartment-switch counting of the ACES baseline.
+
+#ifndef SRC_RT_TRACE_H_
+#define SRC_RT_TRACE_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/ir/module.h"
+
+namespace opec_rt {
+
+struct TraceEvent {
+  const opec_ir::Function* fn = nullptr;
+  int depth = 0;
+  uint64_t cycle = 0;
+  // Operation id active when the function was entered (-1 before the first
+  // operation entry / in vanilla runs).
+  int operation_id = -1;
+};
+
+class ExecutionTrace {
+ public:
+  void RecordEntry(const opec_ir::Function* fn, int depth, uint64_t cycle, int operation_id) {
+    events_.push_back({fn, depth, cycle, operation_id});
+    executed_.insert(fn);
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::set<const opec_ir::Function*>& executed_functions() const { return executed_; }
+  bool WasExecuted(const opec_ir::Function* fn) const { return executed_.count(fn) > 0; }
+  void Clear() {
+    events_.clear();
+    executed_.clear();
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::set<const opec_ir::Function*> executed_;
+};
+
+}  // namespace opec_rt
+
+#endif  // SRC_RT_TRACE_H_

@@ -1,0 +1,14 @@
+#include "src/support/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace opec_support {
+
+void CheckFailed(const char* file, int line, const char* cond, const std::string& msg) {
+  std::fprintf(stderr, "OPEC_CHECK failed at %s:%d: %s%s%s\n", file, line, cond,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace opec_support

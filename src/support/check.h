@@ -1,0 +1,35 @@
+// Lightweight invariant-checking macros used across the OPEC reproduction.
+//
+// OPEC_CHECK fires in all build modes: these guard *host* logic errors
+// (misuse of the library API, corrupted internal state), never guest-program
+// faults. Guest faults are modeled values (see src/hw/fault.h), not aborts.
+
+#ifndef SRC_SUPPORT_CHECK_H_
+#define SRC_SUPPORT_CHECK_H_
+
+#include <string>
+
+namespace opec_support {
+
+// Prints the failure message and aborts the process. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* cond, const std::string& msg);
+
+}  // namespace opec_support
+
+#define OPEC_CHECK(cond)                                               \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::opec_support::CheckFailed(__FILE__, __LINE__, #cond, "");      \
+    }                                                                  \
+  } while (0)
+
+#define OPEC_CHECK_MSG(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::opec_support::CheckFailed(__FILE__, __LINE__, #cond, (msg));   \
+    }                                                                  \
+  } while (0)
+
+#define OPEC_UNREACHABLE(msg) ::opec_support::CheckFailed(__FILE__, __LINE__, "unreachable", (msg))
+
+#endif  // SRC_SUPPORT_CHECK_H_

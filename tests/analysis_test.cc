@@ -1,0 +1,319 @@
+// Static-analysis tests: Andersen points-to, call-graph construction with
+// icall resolution, and resource-dependency summaries.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/call_graph.h"
+#include "src/analysis/points_to.h"
+#include "src/analysis/resource_analysis.h"
+#include "src/hw/address_map.h"
+#include "src/ir/builder.h"
+
+namespace opec_analysis {
+namespace {
+
+using opec_ir::FunctionBuilder;
+using opec_ir::Function;
+using opec_ir::GlobalVariable;
+using opec_ir::Module;
+using opec_ir::Type;
+using opec_ir::Val;
+
+TEST(PointsTo, AddressOfGlobalFlowsThroughLocals) {
+  Module m("t");
+  auto& tt = m.types();
+  m.AddGlobal("g", tt.U32());
+  auto* fn = m.AddFunction("f", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(m, fn);
+  Val p = b.Local("p", tt.PointerTo(tt.U32()));
+  Val q = b.Local("q", tt.PointerTo(tt.U32()));
+  b.Assign(p, b.Addr(b.G("g")));
+  b.Assign(q, p);
+  b.Ret(b.Deref(q));
+  b.Finish();
+
+  PointsToAnalysis pta(m);
+  pta.Run();
+  // The deref site's pointer operand must point to g.
+  const opec_ir::Stmt& ret = *fn->body()[2];
+  const opec_ir::Expr* deref_ptr = ret.expr->operands[0].get();
+  auto globals = pta.PointeeGlobals(deref_ptr);
+  ASSERT_EQ(globals.size(), 1u);
+  EXPECT_EQ((*globals.begin())->name(), "g");
+}
+
+TEST(PointsTo, StoreThroughPointerPropagates) {
+  // *pp = &g; then p2 = *pp; deref(p2) -> g.
+  Module m("t");
+  auto& tt = m.types();
+  m.AddGlobal("g", tt.U32());
+  const Type* pu32 = tt.PointerTo(tt.U32());
+  m.AddGlobal("slot", pu32);
+  auto* fn = m.AddFunction("f", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(m, fn);
+  Val pp = b.Local("pp", tt.PointerTo(pu32));
+  b.Assign(pp, b.Addr(b.G("slot")));
+  b.Assign(b.Deref(pp), b.Addr(b.G("g")));
+  Val p2 = b.Local("p2", pu32);
+  b.Assign(p2, b.G("slot"));
+  b.Ret(b.Deref(p2));
+  b.Finish();
+
+  PointsToAnalysis pta(m);
+  pta.Run();
+  const opec_ir::Stmt& ret = *fn->body()[3];
+  auto globals = pta.PointeeGlobals(ret.expr->operands[0].get());
+  ASSERT_EQ(globals.size(), 1u);
+  EXPECT_EQ((*globals.begin())->name(), "g");
+}
+
+TEST(PointsTo, ParameterPassingIsInterprocedural) {
+  Module m("t");
+  auto& tt = m.types();
+  m.AddGlobal("buf", tt.ArrayOf(tt.U8(), 16));
+  const Type* pu8 = tt.PointerTo(tt.U8());
+  auto* callee = m.AddFunction("writer", tt.FunctionTy(tt.VoidTy(), {pu8}), {"p"});
+  {
+    FunctionBuilder b(m, callee);
+    b.Assign(b.Idx(b.L("p"), 0u), b.U8(1));
+    b.RetVoid();
+    b.Finish();
+  }
+  auto* caller = m.AddFunction("caller", tt.FunctionTy(tt.VoidTy(), {}), {});
+  {
+    FunctionBuilder b(m, caller);
+    b.Call("writer", {b.Addr(b.Idx(b.G("buf"), 0u))});
+    b.RetVoid();
+    b.Finish();
+  }
+  PointsToAnalysis pta(m);
+  opec_hw::SocDescription soc;
+  auto resources = ResourceAnalysis::Run(m, pta, soc);
+  // The callee writes buf *indirectly* through its parameter.
+  EXPECT_EQ(resources[callee].writes.count(m.FindGlobal("buf")), 1u);
+}
+
+TEST(PointsTo, ConstantAddressesBecomeMemConstTargets) {
+  Module m("t");
+  auto& tt = m.types();
+  auto* fn = m.AddFunction("f", tt.FunctionTy(tt.VoidTy(), {}), {});
+  FunctionBuilder b(m, fn);
+  b.Assign(b.Mmio32(0x40011000), b.U32(1));
+  b.RetVoid();
+  b.Finish();
+  PointsToAnalysis pta(m);
+  pta.Run();
+  const opec_ir::Stmt& s = *fn->body()[0];
+  auto addrs = pta.PointeeConstAddrs(s.lhs->operands[0].get());
+  ASSERT_EQ(addrs.size(), 1u);
+  EXPECT_EQ(*addrs.begin(), 0x40011000u);
+}
+
+TEST(CallGraph, DirectEdges) {
+  Module m("t");
+  auto& tt = m.types();
+  auto* leaf = m.AddFunction("leaf", tt.FunctionTy(tt.VoidTy(), {}), {});
+  {
+    FunctionBuilder b(m, leaf);
+    b.RetVoid();
+    b.Finish();
+  }
+  auto* mid = m.AddFunction("mid", tt.FunctionTy(tt.VoidTy(), {}), {});
+  {
+    FunctionBuilder b(m, mid);
+    b.Call("leaf");
+    b.RetVoid();
+    b.Finish();
+  }
+  auto* root = m.AddFunction("root", tt.FunctionTy(tt.VoidTy(), {}), {});
+  {
+    FunctionBuilder b(m, root);
+    b.Call("mid");
+    b.RetVoid();
+    b.Finish();
+  }
+  PointsToAnalysis pta(m);
+  CallGraph cg = CallGraph::Build(m, pta);
+  EXPECT_EQ(cg.Callees(root).count(mid), 1u);
+  EXPECT_EQ(cg.Callees(mid).count(leaf), 1u);
+  EXPECT_EQ(cg.Callees(root).count(leaf), 0u);
+}
+
+TEST(CallGraph, ReachableBacktracksAtOtherEntries) {
+  // root -> a -> entry2 -> b: the operation rooted at root includes a but
+  // stops at entry2 (Section 4.3).
+  Module m("t");
+  auto& tt = m.types();
+  auto add_fn = [&](const std::string& name, const std::string& callee) {
+    auto* fn = m.AddFunction(name, tt.FunctionTy(tt.VoidTy(), {}), {});
+    FunctionBuilder b(m, fn);
+    if (!callee.empty()) {
+      b.Call(callee);
+    }
+    b.RetVoid();
+    b.Finish();
+    return fn;
+  };
+  auto* b_fn = add_fn("b", "");
+  auto* entry2 = add_fn("entry2", "b");
+  auto* a = add_fn("a", "entry2");
+  auto* root = add_fn("root", "a");
+  PointsToAnalysis pta(m);
+  CallGraph cg = CallGraph::Build(m, pta);
+
+  auto members = cg.Reachable(root, {entry2});
+  EXPECT_EQ(members.count(root), 1u);
+  EXPECT_EQ(members.count(a), 1u);
+  EXPECT_EQ(members.count(entry2), 0u);
+  EXPECT_EQ(members.count(b_fn), 0u);
+  // entry2's own operation includes b.
+  auto members2 = cg.Reachable(entry2, {entry2});
+  EXPECT_EQ(members2.count(entry2), 1u);
+  EXPECT_EQ(members2.count(b_fn), 1u);
+}
+
+TEST(CallGraph, ICallResolvedByPointsTo) {
+  Module m("t");
+  auto& tt = m.types();
+  const Type* sig = tt.FunctionTy(tt.U32(), {tt.U32()});
+  m.AddGlobal("fp", tt.PointerTo(sig));
+  auto* target = m.AddFunction("target", sig, {"x"});
+  {
+    FunctionBuilder b(m, target);
+    b.Ret(b.L("x"));
+    b.Finish();
+  }
+  // A decoy with the same type but never address-taken: must NOT appear.
+  auto* decoy = m.AddFunction("decoy", sig, {"x"});
+  {
+    FunctionBuilder b(m, decoy);
+    b.Ret(b.L("x"));
+    b.Finish();
+  }
+  auto* fn = m.AddFunction("f", tt.FunctionTy(tt.U32(), {}), {});
+  {
+    FunctionBuilder b(m, fn);
+    b.Assign(b.G("fp"), b.FnPtr("target"));
+    b.Ret(b.ICallV(sig, b.G("fp"), {b.U32(1)}));
+    b.Finish();
+  }
+  PointsToAnalysis pta(m);
+  CallGraph cg = CallGraph::Build(m, pta);
+  ICallStats stats = cg.Stats();
+  EXPECT_EQ(stats.num_icalls, 1);
+  EXPECT_EQ(stats.resolved_by_pta, 1);
+  EXPECT_EQ(stats.resolved_by_type, 0);
+  EXPECT_EQ(cg.Callees(fn).count(target), 1u);
+  EXPECT_EQ(cg.Callees(fn).count(decoy), 0u);
+}
+
+TEST(CallGraph, UnresolvedICallFallsBackToTypeMatching) {
+  Module m("t");
+  auto& tt = m.types();
+  const Type* sig = tt.FunctionTy(tt.VoidTy(), {tt.U32()});
+  m.AddGlobal("fp", tt.PointerTo(sig));  // never assigned
+  auto* match1 = m.AddFunction("match1", sig, {"x"});
+  {
+    FunctionBuilder b(m, match1);
+    b.RetVoid();
+    b.Finish();
+  }
+  auto* match2 = m.AddFunction("match2", sig, {"x"});
+  {
+    FunctionBuilder b(m, match2);
+    b.RetVoid();
+    b.Finish();
+  }
+  // Different pointer param type: excluded by the paper's rule.
+  auto* other = m.AddFunction("other", tt.FunctionTy(tt.VoidTy(), {tt.PointerTo(tt.U8())}),
+                              {"p"});
+  {
+    FunctionBuilder b(m, other);
+    b.RetVoid();
+    b.Finish();
+  }
+  auto* fn = m.AddFunction("f", tt.FunctionTy(tt.VoidTy(), {}), {});
+  {
+    FunctionBuilder b(m, fn);
+    b.ICall(sig, b.G("fp"), {b.U32(1)});
+    b.RetVoid();
+    b.Finish();
+  }
+  PointsToAnalysis pta(m);
+  CallGraph cg = CallGraph::Build(m, pta);
+  ICallStats stats = cg.Stats();
+  EXPECT_EQ(stats.resolved_by_pta, 0);
+  EXPECT_EQ(stats.resolved_by_type, 1);
+  EXPECT_EQ(cg.Callees(fn).count(match1), 1u);
+  EXPECT_EQ(cg.Callees(fn).count(match2), 1u);
+  EXPECT_EQ(cg.Callees(fn).count(other), 0u);
+  EXPECT_EQ(stats.max_targets, 2);
+}
+
+TEST(TypeCompat, IntWidthsMatchButPointersMustBeExact) {
+  Module m("t");
+  auto& tt = m.types();
+  const Type* a = tt.FunctionTy(tt.U32(), {tt.U8(), tt.PointerTo(tt.U32())});
+  const Type* b = tt.FunctionTy(tt.I32(), {tt.U32(), tt.PointerTo(tt.U32())});
+  const Type* c = tt.FunctionTy(tt.U32(), {tt.U8(), tt.PointerTo(tt.U8())});
+  EXPECT_TRUE(TypesCompatibleForICall(a, b));   // int widths are flexible
+  EXPECT_FALSE(TypesCompatibleForICall(a, c));  // pointer types are not
+  const Type* d = tt.FunctionTy(tt.U32(), {tt.U8()});
+  EXPECT_FALSE(TypesCompatibleForICall(a, d));  // arity differs
+}
+
+TEST(Resources, DirectReadsAndWrites) {
+  Module m("t");
+  auto& tt = m.types();
+  m.AddGlobal("in", tt.U32());
+  m.AddGlobal("out", tt.U32());
+  m.AddGlobal("untouched", tt.U32());
+  auto* fn = m.AddFunction("f", tt.FunctionTy(tt.VoidTy(), {}), {});
+  FunctionBuilder b(m, fn);
+  b.Assign(b.G("out"), b.G("in") + b.U32(1));
+  b.RetVoid();
+  b.Finish();
+  PointsToAnalysis pta(m);
+  opec_hw::SocDescription soc;
+  auto resources = ResourceAnalysis::Run(m, pta, soc);
+  EXPECT_EQ(resources[fn].reads.count(m.FindGlobal("in")), 1u);
+  EXPECT_EQ(resources[fn].writes.count(m.FindGlobal("out")), 1u);
+  EXPECT_EQ(resources[fn].AllGlobals().count(m.FindGlobal("untouched")), 0u);
+}
+
+TEST(Resources, PeripheralDetectionSplitsCoreAndGeneral) {
+  Module m("t");
+  auto& tt = m.types();
+  auto* fn = m.AddFunction("f", tt.FunctionTy(tt.VoidTy(), {}), {});
+  FunctionBuilder b(m, fn);
+  b.Assign(b.Mmio32(opec_hw::kUsart2Base + 4), b.U32('x'));
+  Val t = b.Local("t", tt.U32());
+  b.Assign(t, b.Mmio32(opec_hw::kDwtCyccnt));
+  b.RetVoid();
+  b.Finish();
+  PointsToAnalysis pta(m);
+  opec_hw::SocDescription soc = opec_hw::SocDescription::WithCorePeripherals();
+  soc.AddPeripheral({"USART2", opec_hw::kUsart2Base, 0x400, false});
+  auto resources = ResourceAnalysis::Run(m, pta, soc);
+  EXPECT_EQ(resources[fn].peripherals.count("USART2"), 1u);
+  EXPECT_EQ(resources[fn].core_peripherals.count("DWT"), 1u);
+  EXPECT_EQ(resources[fn].peripherals.count("DWT"), 0u);
+}
+
+TEST(Resources, StructFieldAccessCollapsesToVariable) {
+  Module m("t");
+  auto& tt = m.types();
+  const Type* s = tt.StructTy("H", {{"a", tt.U32(), 0}, {"b", tt.U32(), 0}});
+  m.AddGlobal("handle", s);
+  auto* fn = m.AddFunction("f", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(m, fn);
+  b.Ret(b.Fld(b.G("handle"), "b"));
+  b.Finish();
+  PointsToAnalysis pta(m);
+  opec_hw::SocDescription soc;
+  auto resources = ResourceAnalysis::Run(m, pta, soc);
+  EXPECT_EQ(resources[fn].reads.count(m.FindGlobal("handle")), 1u);
+}
+
+}  // namespace
+}  // namespace opec_analysis

@@ -1,0 +1,199 @@
+// Tests for the bus (routing, PPB privilege rules, fault surfaces) and the
+// memory-mapped device models.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/address_map.h"
+#include "src/hw/devices/block_device.h"
+#include "src/hw/devices/camera.h"
+#include "src/hw/devices/ethernet.h"
+#include "src/hw/devices/gpio.h"
+#include "src/hw/devices/lcd.h"
+#include "src/hw/devices/rcc.h"
+#include "src/hw/devices/uart.h"
+#include "src/hw/machine.h"
+
+namespace opec_hw {
+namespace {
+
+TEST(Bus, SramReadWriteRoundTrip) {
+  Machine machine(Board::kStm32F4Discovery);
+  AccessResult w = machine.bus().Write(kSramBase + 0x100, 4, 0xDEADBEEF, true);
+  EXPECT_TRUE(w.ok());
+  AccessResult r = machine.bus().Read(kSramBase + 0x100, 4, true);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.value, 0xDEADBEEFu);
+  // Sub-word access sees little-endian bytes.
+  EXPECT_EQ(machine.bus().Read(kSramBase + 0x100, 1, true).value, 0xEFu);
+  EXPECT_EQ(machine.bus().Read(kSramBase + 0x103, 1, true).value, 0xDEu);
+}
+
+TEST(Bus, FlashIsNotWritableAtRuntime) {
+  Machine machine(Board::kStm32F4Discovery);
+  EXPECT_EQ(machine.bus().Write(kFlashBase + 0x10, 4, 1, true).status, AccessStatus::kBusFault);
+  // But readable (erased flash reads 0xFF).
+  EXPECT_EQ(machine.bus().Read(kFlashBase + 0x10, 1, true).value, 0xFFu);
+}
+
+TEST(Bus, UnmappedAddressFaults) {
+  Machine machine(Board::kStm32F4Discovery);
+  EXPECT_EQ(machine.bus().Read(0x70000000, 4, true).status, AccessStatus::kBusFault);
+  EXPECT_EQ(machine.bus().Read(0x00000000, 4, true).status, AccessStatus::kBusFault);
+}
+
+TEST(Bus, PpbIsPrivilegedOnlyRegardlessOfMpu) {
+  Machine machine(Board::kStm32F4Discovery);
+  machine.mpu().set_enabled(false);  // even with the MPU off
+  EXPECT_EQ(machine.bus().Read(kDwtCyccnt, 4, false).status, AccessStatus::kBusFault);
+  EXPECT_TRUE(machine.bus().Read(kDwtCyccnt, 4, true).ok());
+}
+
+TEST(Bus, DwtCyccntTracksMachineCycles) {
+  Machine machine(Board::kStm32F4Discovery);
+  machine.AddCycles(12345);
+  EXPECT_EQ(machine.bus().Read(kDwtCyccnt, 4, true).value, 12345u);
+}
+
+TEST(Bus, DebugAccessBypassesProtection) {
+  Machine machine(Board::kStm32F4Discovery);
+  machine.mpu().set_enabled(true);  // background map blocks unpriv everything
+  EXPECT_TRUE(machine.bus().DebugWrite(kSramBase, 4, 42));
+  uint32_t v = 0;
+  EXPECT_TRUE(machine.bus().DebugRead(kSramBase, 4, &v));
+  EXPECT_EQ(v, 42u);
+  machine.bus().DebugWriteBytes(kFlashBase, {1, 2, 3});
+  EXPECT_EQ(machine.bus().DebugReadBytes(kFlashBase, 3), (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(Bus, DeviceRangeOverlapIsRejected) {
+  Machine machine(Board::kStm32F4Discovery);
+  Uart a("U1", kUsart1Base);
+  Uart b("U2", kUsart1Base + 0x100);  // overlaps
+  machine.bus().AttachDevice(&a);
+  EXPECT_DEATH(machine.bus().AttachDevice(&b), "overlap");
+}
+
+TEST(Uart, RxFifoAndTxLog) {
+  Machine machine(Board::kStm32F4Discovery);
+  Uart uart("USART2", kUsart2Base);
+  machine.bus().AttachDevice(&uart);
+  // No data: SR.RXNE clear.
+  EXPECT_EQ(machine.bus().Read(kUsart2Base + 0x00, 4, true).value & 1u, 0u);
+  uart.PushRxString("hi");
+  EXPECT_EQ(machine.bus().Read(kUsart2Base + 0x00, 4, true).value & 1u, 1u);
+  EXPECT_EQ(machine.bus().Read(kUsart2Base + 0x04, 4, true).value, uint32_t('h'));
+  EXPECT_EQ(machine.bus().Read(kUsart2Base + 0x04, 4, true).value, uint32_t('i'));
+  EXPECT_EQ(machine.bus().Read(kUsart2Base + 0x00, 4, true).value & 1u, 0u);
+  // Transmit.
+  machine.bus().Write(kUsart2Base + 0x04, 4, 'o', true);
+  machine.bus().Write(kUsart2Base + 0x04, 4, 'k', true);
+  EXPECT_EQ(uart.TxString(), "ok");
+  // Byte latency was charged.
+  EXPECT_GT(machine.cycles(), 4 * Uart::kCyclesPerByte - 1);
+}
+
+TEST(Gpio, OutputHistoryAndInput) {
+  Machine machine(Board::kStm32F4Discovery);
+  Gpio gpio("GPIOA", kGpioABase);
+  machine.bus().AttachDevice(&gpio);
+  machine.bus().Write(kGpioABase + 0x00, 4, 1, true);  // MODER
+  EXPECT_TRUE(gpio.configured());
+  machine.bus().Write(kGpioABase + 0x14, 4, 1, true);
+  machine.bus().Write(kGpioABase + 0x14, 4, 0, true);
+  EXPECT_EQ(gpio.odr_history(), (std::vector<uint32_t>{1, 0}));
+  gpio.SetInput(0x5);
+  EXPECT_EQ(machine.bus().Read(kGpioABase + 0x10, 4, true).value, 0x5u);
+}
+
+TEST(BlockDevice, SectorReadWriteThroughPio) {
+  Machine machine(Board::kStm32479iEval);
+  BlockDevice sd("SDIO", kSdioBase, 8);
+  machine.bus().AttachDevice(&sd);
+  // Write sector 3 through the PIO window.
+  machine.bus().Write(kSdioBase + 0x04, 4, 3, true);  // ARG
+  machine.bus().Write(kSdioBase + 0x00, 4, 0, true);  // reset cursor
+  for (uint32_t i = 0; i < 128; ++i) {
+    machine.bus().Write(kSdioBase + 0x0C, 4, i * 3 + 1, true);
+  }
+  machine.bus().Write(kSdioBase + 0x00, 4, 2, true);  // commit
+  std::vector<uint8_t> sector = sd.ReadSectorDirect(3);
+  EXPECT_EQ(sector[0], 1u);
+  EXPECT_EQ(sector[4], 4u);
+  // Read it back through PIO.
+  machine.bus().Write(kSdioBase + 0x04, 4, 3, true);
+  machine.bus().Write(kSdioBase + 0x00, 4, 1, true);
+  EXPECT_EQ(machine.bus().Read(kSdioBase + 0x0C, 4, true).value, 1u);
+  EXPECT_EQ(machine.bus().Read(kSdioBase + 0x0C, 4, true).value, 4u);
+  EXPECT_EQ(sd.sectors_read(), 1u);
+  EXPECT_EQ(sd.sectors_written(), 1u);
+}
+
+TEST(BlockDevice, OutOfRangeSectorSetsErrorBit) {
+  Machine machine(Board::kStm32479iEval);
+  BlockDevice sd("SDIO", kSdioBase, 4);
+  machine.bus().AttachDevice(&sd);
+  machine.bus().Write(kSdioBase + 0x04, 4, 99, true);
+  machine.bus().Write(kSdioBase + 0x00, 4, 1, true);
+  EXPECT_EQ(machine.bus().Read(kSdioBase + 0x08, 4, true).value & 2u, 2u);
+}
+
+TEST(Lcd, PixelCursorAdvancesAndChecksums) {
+  Machine machine(Board::kStm32479iEval);
+  Lcd lcd("LCD", kLcdBase);
+  machine.bus().AttachDevice(&lcd);
+  machine.bus().Write(kLcdBase + 0x00, 4, 1, true);
+  machine.bus().Write(kLcdBase + 0x04, 4, 0, true);
+  machine.bus().Write(kLcdBase + 0x08, 4, 0, true);
+  machine.bus().Write(kLcdBase + 0x0C, 4, 0xAB, true);
+  machine.bus().Write(kLcdBase + 0x0C, 4, 0xCD, true);
+  EXPECT_EQ(lcd.PixelAt(0, 0), 0xABu);
+  EXPECT_EQ(lcd.PixelAt(1, 0), 0xCDu);
+  EXPECT_EQ(lcd.pixels_written(), 2u);
+  uint32_t c1 = lcd.FrameChecksum();
+  machine.bus().Write(kLcdBase + 0x0C, 4, 0xEF, true);
+  EXPECT_NE(lcd.FrameChecksum(), c1);
+}
+
+TEST(Ethernet, FrameQueueRoundTrip) {
+  Machine machine(Board::kStm32479iEval);
+  Ethernet eth("ETH", kEthBase);
+  machine.bus().AttachDevice(&eth);
+  eth.QueueRxFrame({1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_EQ(machine.bus().Read(kEthBase + 0x00, 4, true).value, 1u);
+  EXPECT_EQ(machine.bus().Read(kEthBase + 0x04, 4, true).value, 8u);
+  EXPECT_EQ(machine.bus().Read(kEthBase + 0x08, 4, true).value, 0x04030201u);
+  EXPECT_EQ(machine.bus().Read(kEthBase + 0x08, 4, true).value, 0x08070605u);
+  machine.bus().Write(kEthBase + 0x14, 4, 1, true);  // advance
+  EXPECT_EQ(machine.bus().Read(kEthBase + 0x00, 4, true).value, 0u);
+  // Transmit a frame.
+  machine.bus().Write(kEthBase + 0x0C, 4, 4, true);
+  machine.bus().Write(kEthBase + 0x10, 4, 0xAABBCCDD, true);
+  machine.bus().Write(kEthBase + 0x14, 4, 2, true);  // commit
+  ASSERT_EQ(eth.tx_frames().size(), 1u);
+  EXPECT_EQ(eth.tx_frames()[0], (std::vector<uint8_t>{0xDD, 0xCC, 0xBB, 0xAA}));
+}
+
+TEST(Camera, CaptureProvidesFrameWords) {
+  Machine machine(Board::kStm32479iEval);
+  Camera cam("DCMI", kDcmiBase);
+  machine.bus().AttachDevice(&cam);
+  cam.SetFrame({9, 8, 7, 6});
+  EXPECT_EQ(machine.bus().Read(kDcmiBase + 0x04, 4, true).value, 0u);  // not ready yet
+  machine.bus().Write(kDcmiBase + 0x00, 4, 1, true);                   // capture
+  EXPECT_EQ(machine.bus().Read(kDcmiBase + 0x04, 4, true).value, 1u);
+  EXPECT_EQ(machine.bus().Read(kDcmiBase + 0x0C, 4, true).value, 4u);
+  EXPECT_EQ(machine.bus().Read(kDcmiBase + 0x08, 4, true).value, 0x06070809u);
+  EXPECT_EQ(cam.captures(), 1u);
+}
+
+TEST(Rcc, PllReportsReadyAfterEnable) {
+  Machine machine(Board::kStm32F4Discovery);
+  Rcc rcc("RCC", kRccBase);
+  machine.bus().AttachDevice(&rcc);
+  machine.bus().Write(kRccBase + 0x00, 4, 1u << 24, true);
+  EXPECT_EQ(machine.bus().Read(kRccBase + 0x00, 4, true).value & (1u << 25), 1u << 25);
+  EXPECT_TRUE(rcc.configured());
+}
+
+}  // namespace
+}  // namespace opec_hw

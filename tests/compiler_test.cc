@@ -1,0 +1,358 @@
+// OPEC-Compiler tests: partitioning, data layout, shadow placement,
+// relocation-table instrumentation, peripheral window generation, image
+// accounting.
+
+#include <gtest/gtest.h>
+
+#include "src/compiler/layout.h"
+#include "src/compiler/opec_compiler.h"
+#include "src/hw/address_map.h"
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+
+namespace opec_compiler {
+namespace {
+
+using opec_ir::FunctionBuilder;
+using opec_ir::Module;
+using opec_ir::Type;
+using opec_ir::Val;
+
+// Builds a small three-operation program:
+//   main -> TaskA (reads/writes shared + a_only)
+//        -> TaskB (reads/writes shared + b_only)
+std::unique_ptr<Module> BuildThreeOpModule() {
+  auto m = std::make_unique<Module>("threeop");
+  auto& tt = m->types();
+  m->AddGlobal("shared", tt.U32());
+  m->AddGlobal("a_only", tt.U32());
+  m->AddGlobal("b_only", tt.U32());
+  {
+    auto* fn = m->AddFunction("TaskA", tt.FunctionTy(tt.VoidTy(), {}), {});
+    fn->set_source_file("a.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.G("a_only"), b.G("shared") + b.U32(1));
+    b.Assign(b.G("shared"), b.G("a_only"));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("TaskB", tt.FunctionTy(tt.VoidTy(), {}), {});
+    fn->set_source_file("b.c");
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.G("b_only"), b.G("shared") * b.U32(2));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+    fn->set_source_file("main.c");
+    FunctionBuilder b(*m, fn);
+    b.Call("TaskA");
+    b.Call("TaskB");
+    b.Ret(b.G("shared"));
+    b.Finish();
+  }
+  return m;
+}
+
+PartitionConfig ThreeOpConfig() {
+  PartitionConfig config;
+  config.entries.push_back({"TaskA", {}});
+  config.entries.push_back({"TaskB", {}});
+  return config;
+}
+
+TEST(Partitioner, ClassifiesInternalAndExternalGlobals) {
+  auto m = BuildThreeOpModule();
+  opec_hw::SocDescription soc;
+  CompileResult result = CompileOpec(*m, soc, ThreeOpConfig(),
+                                     opec_hw::Board::kStm32F4Discovery);
+  const Policy& policy = result.policy;
+  // `shared` is accessed by TaskA, TaskB and main -> external.
+  EXPECT_GE(policy.FindExternalIndex(m->FindGlobal("shared")), 0);
+  // `a_only`/`b_only` are single-operation -> internal (no reloc entry).
+  EXPECT_EQ(policy.FindExternalIndex(m->FindGlobal("a_only")), -1);
+  EXPECT_EQ(policy.FindExternalIndex(m->FindGlobal("b_only")), -1);
+  // Internal vars still get addresses inside their op's section.
+  const OperationPolicy* op_a = policy.FindOperationByEntry("TaskA");
+  ASSERT_NE(op_a, nullptr);
+  uint32_t a_addr = result.layout.AddrOf(m->FindGlobal("a_only"));
+  EXPECT_GE(a_addr, op_a->section_base);
+  EXPECT_LT(a_addr, op_a->section_base + (1u << op_a->section_size_log2));
+}
+
+TEST(Partitioner, EveryOperationGetsItsShadows) {
+  auto m = BuildThreeOpModule();
+  opec_hw::SocDescription soc;
+  CompileResult result = CompileOpec(*m, soc, ThreeOpConfig(),
+                                     opec_hw::Board::kStm32F4Discovery);
+  int shared_index = result.policy.FindExternalIndex(m->FindGlobal("shared"));
+  for (const char* entry : {"main", "TaskA", "TaskB"}) {
+    const OperationPolicy* op = result.policy.FindOperationByEntry(entry);
+    ASSERT_NE(op, nullptr) << entry;
+    bool has_shadow = false;
+    for (const ShadowPlacement& sp : op->shadows) {
+      has_shadow |= sp.var_index == shared_index;
+    }
+    EXPECT_TRUE(has_shadow) << entry << " needs a shadow of `shared`";
+  }
+}
+
+TEST(Partitioner, SectionsAreMpuLegal) {
+  auto m = BuildThreeOpModule();
+  opec_hw::SocDescription soc;
+  CompileResult result = CompileOpec(*m, soc, ThreeOpConfig(),
+                                     opec_hw::Board::kStm32F4Discovery);
+  for (const OperationPolicy& op : result.policy.operations) {
+    if (!op.has_section) {
+      continue;
+    }
+    uint32_t size = 1u << op.section_size_log2;
+    EXPECT_GE(size, 32u);
+    EXPECT_EQ(op.section_base & (size - 1), 0u) << op.name;
+    EXPECT_LE(op.section_payload, size);
+  }
+}
+
+TEST(Partitioner, SectionsDoNotOverlap) {
+  auto m = BuildThreeOpModule();
+  opec_hw::SocDescription soc;
+  CompileResult result = CompileOpec(*m, soc, ThreeOpConfig(),
+                                     opec_hw::Board::kStm32F4Discovery);
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+  for (const OperationPolicy& op : result.policy.operations) {
+    if (op.has_section) {
+      ranges.emplace_back(op.section_base, 1u << op.section_size_log2);
+    }
+  }
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    for (size_t j = i + 1; j < ranges.size(); ++j) {
+      bool overlap = ranges[i].first < ranges[j].first + ranges[j].second &&
+                     ranges[j].first < ranges[i].first + ranges[i].second;
+      EXPECT_FALSE(overlap);
+    }
+  }
+}
+
+TEST(Instrument, ExternalAccessGoesThroughRelocTable) {
+  auto m = BuildThreeOpModule();
+  opec_hw::SocDescription soc;
+  CompileResult result = CompileOpec(*m, soc, ThreeOpConfig(),
+                                     opec_hw::Board::kStm32F4Discovery);
+  EXPECT_GT(result.instrument_stats.rewritten_global_accesses, 0);
+  // TaskA's body must not contain a direct reference to `shared` anymore.
+  std::string text = opec_ir::PrintFunction(*m->FindFunction("TaskA"));
+  EXPECT_EQ(text.find("@shared"), std::string::npos) << text;
+  // But internal variables stay direct.
+  EXPECT_NE(text.find("@a_only"), std::string::npos);
+}
+
+TEST(Instrument, EntryCallSitesAreMarked) {
+  auto m = BuildThreeOpModule();
+  opec_hw::SocDescription soc;
+  CompileResult result = CompileOpec(*m, soc, ThreeOpConfig(),
+                                     opec_hw::Board::kStm32F4Discovery);
+  EXPECT_EQ(result.instrument_stats.instrumented_call_sites, 2);
+  std::string text = opec_ir::PrintFunction(*m->FindFunction("main"));
+  EXPECT_NE(text.find("svc<"), std::string::npos) << text;
+}
+
+TEST(Layout, PeripheralWindowsCoverMergedRanges) {
+  for (uint32_t base : {0x40011000u, 0x40004400u, 0x50000000u}) {
+    for (uint32_t len : {0x400u, 0x800u, 0x300u, 0x20u}) {
+      std::vector<PeriphRegion> windows = CoverRangeWithMpuWindows(base, len);
+      ASSERT_FALSE(windows.empty());
+      // Property: every byte of the range is inside some window, and every
+      // window is MPU-legal.
+      for (const PeriphRegion& w : windows) {
+        EXPECT_GE(w.size_log2, 5);
+        EXPECT_EQ(w.base & ((1u << w.size_log2) - 1), 0u);
+      }
+      for (uint32_t probe : {base, base + len / 2, base + len - 1}) {
+        bool covered = false;
+        for (const PeriphRegion& w : windows) {
+          covered |= probe >= w.base && probe - w.base < (1u << w.size_log2);
+        }
+        EXPECT_TRUE(covered) << std::hex << probe;
+      }
+    }
+  }
+}
+
+TEST(Layout, AdjacentPeripheralsAreMerged) {
+  auto m = std::make_unique<Module>("periph");
+  auto& tt = m->types();
+  {
+    auto* fn = m->AddFunction("Task", tt.FunctionTy(tt.VoidTy(), {}), {});
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Mmio32(0x40020000), b.U32(1));  // GPIOA
+    b.Assign(b.Mmio32(0x40020400), b.U32(1));  // GPIOB (adjacent)
+    b.Assign(b.Mmio32(0x40011000), b.U32(1));  // USART1 (separate)
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+    FunctionBuilder b(*m, fn);
+    b.Call("Task");
+    b.Ret(b.U32(0));
+    b.Finish();
+  }
+  opec_hw::SocDescription soc;
+  soc.AddPeripheral({"GPIOA", 0x40020000, 0x400, false});
+  soc.AddPeripheral({"GPIOB", 0x40020400, 0x400, false});
+  soc.AddPeripheral({"USART1", 0x40011000, 0x400, false});
+  PartitionConfig config;
+  config.entries.push_back({"Task", {}});
+  CompileResult result = CompileOpec(*m, soc, config, opec_hw::Board::kStm32F4Discovery);
+  const OperationPolicy* op = result.policy.FindOperationByEntry("Task");
+  ASSERT_NE(op, nullptr);
+  // GPIOA+GPIOB merged into one range; USART1 separate (sorted by base).
+  ASSERT_EQ(op->periph_ranges.size(), 2u);
+  EXPECT_EQ(op->periph_ranges[0], (std::pair<uint32_t, uint32_t>{0x40011000, 0x400}));
+  EXPECT_EQ(op->periph_ranges[1], (std::pair<uint32_t, uint32_t>{0x40020000, 0x800}));
+  EXPECT_FALSE(op->virtualized);  // fits in the 4 reserved regions
+}
+
+TEST(Layout, ManyPeripheralsTriggerVirtualization) {
+  auto m = std::make_unique<Module>("periph6");
+  auto& tt = m->types();
+  std::vector<uint32_t> bases = {0x40000000, 0x40002000, 0x40004000,
+                                 0x40006000, 0x40008000, 0x4000A000};
+  {
+    auto* fn = m->AddFunction("Task", tt.FunctionTy(tt.VoidTy(), {}), {});
+    FunctionBuilder b(*m, fn);
+    for (uint32_t base : bases) {
+      b.Assign(b.Mmio32(base + 4), b.U32(1));
+    }
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = m->AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+    FunctionBuilder b(*m, fn);
+    b.Call("Task");
+    b.Ret(b.U32(0));
+    b.Finish();
+  }
+  opec_hw::SocDescription soc;
+  for (size_t i = 0; i < bases.size(); ++i) {
+    soc.AddPeripheral({"P" + std::to_string(i), bases[i], 0x400, false});
+  }
+  PartitionConfig config;
+  config.entries.push_back({"Task", {}});
+  CompileResult result = CompileOpec(*m, soc, config, opec_hw::Board::kStm32F4Discovery);
+  const OperationPolicy* op = result.policy.FindOperationByEntry("Task");
+  ASSERT_NE(op, nullptr);
+  EXPECT_GT(op->periph_regions.size(), 4u);
+  EXPECT_TRUE(op->virtualized);
+}
+
+TEST(Layout, PointerFieldOffsetsAreRecorded) {
+  auto m = std::make_unique<Module>("ptrfields");
+  auto& tt = m->types();
+  const Type* p_u8 = tt.PointerTo(tt.U8());
+  const Type* s = tt.StructTy("H", {{"len", tt.U32(), 0}, {"buf", p_u8, 0},
+                                    {"flags", tt.U32(), 0}, {"next", p_u8, 0}});
+  m->AddGlobal("handle", s);
+  auto add_task = [&](const std::string& name) {
+    auto* fn = m->AddFunction(name, tt.FunctionTy(tt.VoidTy(), {}), {});
+    FunctionBuilder b(*m, fn);
+    b.Assign(b.Fld(b.G("handle"), "len"), b.U32(1));
+    b.RetVoid();
+    b.Finish();
+  };
+  add_task("T1");
+  add_task("T2");
+  {
+    auto* fn = m->AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+    FunctionBuilder b(*m, fn);
+    b.Call("T1");
+    b.Call("T2");
+    b.Ret(b.U32(0));
+    b.Finish();
+  }
+  opec_hw::SocDescription soc;
+  PartitionConfig config;
+  config.entries.push_back({"T1", {}});
+  config.entries.push_back({"T2", {}});
+  CompileResult result = CompileOpec(*m, soc, config, opec_hw::Board::kStm32F4Discovery);
+  int index = result.policy.FindExternalIndex(m->FindGlobal("handle"));
+  ASSERT_GE(index, 0);
+  const ExternalVar& ev = result.policy.externals[static_cast<size_t>(index)];
+  EXPECT_EQ(ev.pointer_field_offsets, (std::vector<uint32_t>{4, 12}));
+}
+
+TEST(Layout, SanitizeSpecsAttachToExternals) {
+  auto m = BuildThreeOpModule();
+  opec_hw::SocDescription soc;
+  PartitionConfig config = ThreeOpConfig();
+  config.sanitize.push_back({"shared", 0, 100});
+  CompileResult result = CompileOpec(*m, soc, config, opec_hw::Board::kStm32F4Discovery);
+  int index = result.policy.FindExternalIndex(m->FindGlobal("shared"));
+  ASSERT_GE(index, 0);
+  const ExternalVar& ev = result.policy.externals[static_cast<size_t>(index)];
+  EXPECT_TRUE(ev.sanitized);
+  EXPECT_EQ(ev.san_min, 0u);
+  EXPECT_EQ(ev.san_max, 100u);
+}
+
+TEST(Layout, StackIsPowerOfTwoAtTopOfSram) {
+  auto m = BuildThreeOpModule();
+  opec_hw::SocDescription soc;
+  CompileResult result = CompileOpec(*m, soc, ThreeOpConfig(),
+                                     opec_hw::Board::kStm32F4Discovery);
+  const StackPolicy& stack = result.policy.stack;
+  uint32_t size = 1u << stack.size_log2;
+  EXPECT_EQ(stack.base & (size - 1), 0u);
+  EXPECT_EQ(stack.top, stack.base + size);
+  EXPECT_EQ(stack.subregion_size(), size / 8);
+  opec_hw::BoardSpec spec = opec_hw::GetBoardSpec(opec_hw::Board::kStm32F4Discovery);
+  EXPECT_LE(stack.top, opec_hw::kSramBase + spec.sram_size);
+}
+
+TEST(Image, AccountingIsPopulated) {
+  auto m = BuildThreeOpModule();
+  opec_hw::SocDescription soc;
+  CompileResult result = CompileOpec(*m, soc, ThreeOpConfig(),
+                                     opec_hw::Board::kStm32F4Discovery);
+  const MemoryAccounting& acc = result.policy.accounting;
+  EXPECT_GT(acc.flash_app_code, 0u);
+  EXPECT_GT(acc.flash_monitor_code, 8000u);
+  EXPECT_GT(acc.flash_metadata, 0u);
+  EXPECT_GT(acc.sram_sections, 0u);
+  EXPECT_GT(acc.sram_stack, 0u);
+  EXPECT_GT(acc.sram_reloc, 0u);
+}
+
+TEST(Image, VanillaLayoutPlacesEverything) {
+  auto m = BuildThreeOpModule();
+  VanillaImage image = BuildVanillaImage(*m, opec_hw::Board::kStm32F4Discovery);
+  for (const auto& g : m->globals()) {
+    EXPECT_NE(image.layout.AddrOf(g.get()), 0u) << g->name();
+  }
+  EXPECT_GT(image.layout.stack_top, image.layout.stack_base);
+}
+
+TEST(Partitioner, RejectsNonexistentEntry) {
+  auto m = BuildThreeOpModule();
+  opec_hw::SocDescription soc;
+  PartitionConfig config;
+  config.entries.push_back({"NoSuchTask", {}});
+  EXPECT_DEATH(CompileOpec(*m, soc, config, opec_hw::Board::kStm32F4Discovery),
+               "does not exist");
+}
+
+TEST(Helpers, NextPow2AndLog2) {
+  EXPECT_EQ(NextPow2(0), 32u);
+  EXPECT_EQ(NextPow2(1), 32u);
+  EXPECT_EQ(NextPow2(33), 64u);
+  EXPECT_EQ(NextPow2(64), 64u);
+  EXPECT_EQ(NextPow2(65), 128u);
+  EXPECT_EQ(Log2Ceil(32), 5);
+  EXPECT_EQ(Log2Ceil(1024), 10);
+}
+
+}  // namespace
+}  // namespace opec_compiler

@@ -1,0 +1,364 @@
+// Execution-engine semantics: arithmetic, control flow, calls, memory,
+// faults, limits, indirect calls.
+
+#include <gtest/gtest.h>
+
+#include "tests/guest_harness.h"
+
+namespace opec_rt {
+namespace {
+
+using opec_ir::FunctionBuilder;
+using opec_ir::Type;
+using opec_ir::Val;
+using opec_test::GuestHarness;
+
+// Builds `u32 main() { return <expr built by f>; }`.
+template <typename F>
+RunResult RunExpr(F build_expr) {
+  GuestHarness h;
+  auto& tt = h.module().types();
+  auto* fn = h.module().AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(h.module(), fn);
+  b.Ret(build_expr(b));
+  b.Finish();
+  return h.Run();
+}
+
+TEST(Engine, UnsignedArithmetic) {
+  auto r = RunExpr([](FunctionBuilder& b) {
+    return (b.U32(7) + b.U32(3)) * b.U32(2) - b.U32(5);  // 15
+  });
+  ASSERT_TRUE(r.ok) << r.violation;
+  EXPECT_EQ(r.return_value, 15u);
+}
+
+TEST(Engine, UnsignedDivRem) {
+  auto r = RunExpr([](FunctionBuilder& b) {
+    return b.U32(17) / b.U32(5) * b.U32(100) + b.U32(17) % b.U32(5);  // 302
+  });
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.return_value, 302u);
+}
+
+TEST(Engine, SignedComparisonAndDivision) {
+  auto r = RunExpr([](FunctionBuilder& b) {
+    // (-7)/2 = -3 (truncating); (-3 < 0) = 1
+    Val neg = b.I32(-7) / b.I32(2);
+    return b.CastTo(b.types().U32(), (neg < b.I32(0)) & (neg == b.I32(-3)));
+  });
+  ASSERT_TRUE(r.ok) << r.violation;
+  EXPECT_EQ(r.return_value, 1u);
+}
+
+TEST(Engine, SubWordTruncationOnStore) {
+  GuestHarness h;
+  auto& tt = h.module().types();
+  h.module().AddGlobal("b8", tt.U8());
+  auto* fn = h.module().AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(h.module(), fn);
+  b.Assign(b.G("b8"), b.U32(0x1FF));
+  b.Ret(b.CastTo(tt.U32(), b.G("b8")));
+  b.Finish();
+  auto r = h.Run();
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.return_value, 0xFFu);
+}
+
+TEST(Engine, SignExtensionOnWideningCast) {
+  GuestHarness h;
+  auto& tt = h.module().types();
+  h.module().AddGlobal("s8", tt.I8());
+  auto* fn = h.module().AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(h.module(), fn);
+  b.Assign(b.G("s8"), b.C(tt.I8(), -2));
+  b.Ret(b.CastTo(tt.U32(), b.CastTo(tt.I32(), b.G("s8"))));
+  b.Finish();
+  auto r = h.Run();
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.return_value, 0xFFFFFFFEu);
+}
+
+TEST(Engine, ShortCircuitEvaluation) {
+  // (1 || crash) && !(0 && crash) must not evaluate the crashing operand.
+  GuestHarness h;
+  auto& tt = h.module().types();
+  h.module().AddGlobal("touched", tt.U32());
+  auto* side = h.module().AddFunction("side", tt.FunctionTy(tt.U32(), {}), {});
+  {
+    FunctionBuilder b(h.module(), side);
+    b.Assign(b.G("touched"), b.U32(1));
+    b.Ret(b.U32(1));
+    b.Finish();
+  }
+  auto* fn = h.module().AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(h.module(), fn);
+  b.Do(b.U32(1) || b.CallV("side"));
+  b.Do(b.U32(0) && b.CallV("side"));
+  b.Ret(b.G("touched"));
+  b.Finish();
+  auto r = h.Run();
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.return_value, 0u) << "short-circuit operands were evaluated";
+}
+
+TEST(Engine, WhileBreakContinue) {
+  GuestHarness h;
+  auto& tt = h.module().types();
+  auto* fn = h.module().AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(h.module(), fn);
+  Val i = b.Local("i", tt.U32());
+  Val sum = b.Local("sum", tt.U32());
+  b.Assign(i, b.U32(0));
+  b.Assign(sum, b.U32(0));
+  b.While(b.U32(1));
+  {
+    b.Assign(i, i + b.U32(1));
+    b.If(i > b.U32(10));
+    b.Break();
+    b.End();
+    b.If((i % b.U32(2)) == b.U32(0));
+    b.Continue();
+    b.End();
+    b.Assign(sum, sum + i);  // odd numbers 1..9
+  }
+  b.End();
+  b.Ret(sum);
+  b.Finish();
+  auto r = h.Run();
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.return_value, 25u);
+}
+
+TEST(Engine, RecursionUsesStackFrames) {
+  GuestHarness h;
+  auto& tt = h.module().types();
+  auto* fib = h.module().AddFunction("fib", tt.FunctionTy(tt.U32(), {tt.U32()}), {"n"});
+  {
+    FunctionBuilder b(h.module(), fib);
+    b.If(b.L("n") < b.U32(2));
+    b.Ret(b.L("n"));
+    b.End();
+    b.Ret(b.CallV("fib", {b.L("n") - b.U32(1)}) + b.CallV("fib", {b.L("n") - b.U32(2)}));
+    b.Finish();
+  }
+  auto* fn = h.module().AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(h.module(), fn);
+  b.Ret(b.CallV("fib", {b.U32(12)}));
+  b.Finish();
+  auto r = h.Run();
+  ASSERT_TRUE(r.ok) << r.violation;
+  EXPECT_EQ(r.return_value, 144u);
+}
+
+TEST(Engine, LocalArraysLiveOnTheGuestStack) {
+  GuestHarness h;
+  auto& tt = h.module().types();
+  auto* fn = h.module().AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(h.module(), fn);
+  Val buf = b.Local("buf", tt.ArrayOf(tt.U32(), 8));
+  Val i = b.Local("i", tt.U32());
+  b.Assign(i, b.U32(0));
+  b.While(i < b.U32(8));
+  {
+    b.Assign(b.Idx(buf, i), i * i);
+    b.Assign(i, i + b.U32(1));
+  }
+  b.End();
+  // The array's address must be inside the stack window.
+  Val addr = b.CastTo(tt.U32(), b.Addr(b.Idx(buf, 0u)));
+  b.Ret(b.Idx(buf, 7u) + (addr >> b.U32(28)));  // 49 + 2 (0x2XXXXXXX)
+  b.Finish();
+  auto r = h.Run();
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.return_value, 51u);
+}
+
+TEST(Engine, PointerArgumentsAliasCallerLocals) {
+  GuestHarness h;
+  auto& tt = h.module().types();
+  const Type* p_u32 = tt.PointerTo(tt.U32());
+  auto* bump = h.module().AddFunction("bump", tt.FunctionTy(tt.VoidTy(), {p_u32}), {"p"});
+  {
+    FunctionBuilder b(h.module(), bump);
+    b.Assign(b.Deref(b.L("p")), b.Deref(b.L("p")) + b.U32(10));
+    b.RetVoid();
+    b.Finish();
+  }
+  auto* fn = h.module().AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(h.module(), fn);
+  Val x = b.Local("x", tt.U32());
+  b.Assign(x, b.U32(5));
+  b.Call("bump", {b.Addr(x)});
+  b.Call("bump", {b.Addr(x)});
+  b.Ret(x);
+  b.Finish();
+  auto r = h.Run();
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.return_value, 25u);
+}
+
+TEST(Engine, DivisionByZeroAborts) {
+  GuestHarness h;
+  auto& tt = h.module().types();
+  h.module().AddGlobal("zero", tt.U32());
+  auto* fn = h.module().AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(h.module(), fn);
+  b.Ret(b.U32(1) / b.G("zero"));
+  b.Finish();
+  auto r = h.Run();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("division by zero"), std::string::npos);
+}
+
+TEST(Engine, NullDereferenceFaults) {
+  GuestHarness h;
+  auto& tt = h.module().types();
+  auto* fn = h.module().AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(h.module(), fn);
+  Val p = b.Local("p", tt.PointerTo(tt.U32()));
+  b.Assign(p, b.Null(tt.PointerTo(tt.U32())));
+  b.Ret(b.Deref(p));
+  b.Finish();
+  auto r = h.Run();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("BusFault"), std::string::npos);
+}
+
+TEST(Engine, MissingEntryFunctionFails) {
+  GuestHarness h;
+  auto& tt = h.module().types();
+  auto* fn = h.module().AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(h.module(), fn);
+  b.Ret(b.U32(0));
+  b.Finish();
+  auto r = h.Run("does_not_exist");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("no such entry function"), std::string::npos);
+}
+
+TEST(Engine, InfiniteLoopHitsStatementLimit) {
+  GuestHarness h;
+  auto& tt = h.module().types();
+  auto* fn = h.module().AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(h.module(), fn);
+  b.While(b.U32(1));
+  b.End();
+  b.Ret(b.U32(0));
+  b.Finish();
+  opec_compiler::VanillaImage image =
+      opec_compiler::BuildVanillaImage(h.module(), h.machine().board().board);
+  opec_compiler::LoadGlobals(h.machine(), h.module(), image.layout);
+  ExecutionEngine engine(h.machine(), h.module(), image.layout);
+  engine.set_statement_limit(10000);
+  RunResult limited = engine.Run("main");
+  EXPECT_FALSE(limited.ok);
+  EXPECT_NE(limited.violation.find("statement limit"), std::string::npos);
+}
+
+TEST(Engine, DeepRecursionOverflowsGuestStack) {
+  GuestHarness h;
+  auto& tt = h.module().types();
+  auto* down = h.module().AddFunction("down", tt.FunctionTy(tt.U32(), {tt.U32()}), {"n"});
+  {
+    FunctionBuilder b(h.module(), down);
+    // Large frame to exhaust the 16 KB stack quickly.
+    b.Local("pad", tt.ArrayOf(tt.U32(), 64));
+    b.Ret(b.CallV("down", {b.L("n") + b.U32(1)}));
+    b.Finish();
+  }
+  auto* fn = h.module().AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(h.module(), fn);
+  b.Ret(b.CallV("down", {b.U32(0)}));
+  b.Finish();
+  auto r = h.Run();
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.violation.find("stack overflow") != std::string::npos ||
+              r.violation.find("depth limit") != std::string::npos)
+      << r.violation;
+}
+
+TEST(Engine, ICallDispatchesThroughFunctionPointer) {
+  GuestHarness h;
+  auto& tt = h.module().types();
+  const Type* sig = tt.FunctionTy(tt.U32(), {tt.U32()});
+  h.module().AddGlobal("op", tt.PointerTo(sig));
+  auto* dbl = h.module().AddFunction("dbl", sig, {"x"});
+  {
+    FunctionBuilder b(h.module(), dbl);
+    b.Ret(b.L("x") * b.U32(2));
+    b.Finish();
+  }
+  auto* inc = h.module().AddFunction("inc", sig, {"x"});
+  {
+    FunctionBuilder b(h.module(), inc);
+    b.Ret(b.L("x") + b.U32(1));
+    b.Finish();
+  }
+  auto* fn = h.module().AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(h.module(), fn);
+  b.Assign(b.G("op"), b.FnPtr("dbl"));
+  Val a = b.Local("a", tt.U32());
+  b.Assign(a, b.ICallV(sig, b.G("op"), {b.U32(21)}));
+  b.Assign(b.G("op"), b.FnPtr("inc"));
+  b.Ret(a + b.ICallV(sig, b.G("op"), {b.U32(57)}));
+  b.Finish();
+  auto r = h.Run();
+  ASSERT_TRUE(r.ok) << r.violation;
+  EXPECT_EQ(r.return_value, 100u);
+}
+
+TEST(Engine, ICallToNonFunctionAddressAborts) {
+  GuestHarness h;
+  auto& tt = h.module().types();
+  const Type* sig = tt.FunctionTy(tt.U32(), {});
+  h.module().AddGlobal("op", tt.PointerTo(sig));
+  auto* fn = h.module().AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(h.module(), fn);
+  b.Assign(b.G("op"), b.CastTo(tt.PointerTo(sig), b.U32(0x12345678)));
+  b.Ret(b.ICallV(sig, b.G("op"), {}));
+  b.Finish();
+  auto r = h.Run();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("indirect call"), std::string::npos);
+}
+
+TEST(Engine, TraceRecordsExecutedFunctions) {
+  GuestHarness h;
+  auto& tt = h.module().types();
+  auto* helper = h.module().AddFunction("helper", tt.FunctionTy(tt.VoidTy(), {}), {});
+  {
+    FunctionBuilder b(h.module(), helper);
+    b.RetVoid();
+    b.Finish();
+  }
+  auto* unused = h.module().AddFunction("unused", tt.FunctionTy(tt.VoidTy(), {}), {});
+  {
+    FunctionBuilder b(h.module(), unused);
+    b.RetVoid();
+    b.Finish();
+  }
+  auto* fn = h.module().AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(h.module(), fn);
+  b.Call("helper");
+  b.Ret(b.U32(0));
+  b.Finish();
+  ExecutionTrace trace;
+  h.set_trace(&trace);
+  auto r = h.Run();
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(trace.WasExecuted(h.module().FindFunction("main")));
+  EXPECT_TRUE(trace.WasExecuted(helper));
+  EXPECT_FALSE(trace.WasExecuted(unused));
+  ASSERT_GE(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[0].fn->name(), "main");
+}
+
+TEST(Engine, CyclesAccumulate) {
+  auto r = RunExpr([](FunctionBuilder& b) { return b.U32(1) + b.U32(2); });
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.cycles, 0u);
+}
+
+}  // namespace
+}  // namespace opec_rt

@@ -1,0 +1,145 @@
+// Substrate tests: the FAT16-lite filesystem (host tooling + guest/host
+// cross-validation) and the netstack-lite host framing.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/guest/fat16_host.h"
+#include "src/apps/guest/net_host.h"
+#include "src/hw/devices/block_device.h"
+
+namespace opec_apps {
+namespace {
+
+TEST(Fat16Host, FormatMountRoundTrip) {
+  opec_hw::BlockDevice disk("SD", 0x40012C00, 64);
+  Fat16Host fs(disk);
+  EXPECT_FALSE(fs.Mount());  // blank card
+  fs.Format();
+  EXPECT_TRUE(fs.Mount());
+  EXPECT_TRUE(fs.ListFiles().empty());
+}
+
+TEST(Fat16Host, SingleFileRoundTrip) {
+  opec_hw::BlockDevice disk("SD", 0x40012C00, 64);
+  Fat16Host fs(disk);
+  fs.Format();
+  std::vector<uint8_t> content(300);
+  for (size_t i = 0; i < content.size(); ++i) {
+    content[i] = static_cast<uint8_t>(i);
+  }
+  fs.AddFile("DATA", content);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(fs.ReadFile("DATA", &out));
+  EXPECT_EQ(out, content);
+  EXPECT_FALSE(fs.ReadFile("NOPE", &out));
+}
+
+TEST(Fat16Host, MultiClusterChains) {
+  opec_hw::BlockDevice disk("SD", 0x40012C00, 64);
+  Fat16Host fs(disk);
+  fs.Format();
+  std::vector<uint8_t> big(512 * 3 + 100);
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<uint8_t>(i * 7);
+  }
+  fs.AddFile("BIG", big);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(fs.ReadFile("BIG", &out));
+  EXPECT_EQ(out.size(), big.size());
+  EXPECT_EQ(out, big);
+}
+
+TEST(Fat16Host, MultipleFilesCoexist) {
+  opec_hw::BlockDevice disk("SD", 0x40012C00, 128);
+  Fat16Host fs(disk);
+  fs.Format();
+  for (int i = 0; i < 6; ++i) {
+    std::vector<uint8_t> content(100 + static_cast<size_t>(i) * 200,
+                                 static_cast<uint8_t>('a' + i));
+    fs.AddFile("F" + std::to_string(i), content);
+  }
+  EXPECT_EQ(fs.ListFiles().size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(fs.ReadFile("F" + std::to_string(i), &out)) << i;
+    EXPECT_EQ(out.size(), 100u + static_cast<size_t>(i) * 200);
+    EXPECT_EQ(out[0], static_cast<uint8_t>('a' + i));
+  }
+}
+
+TEST(Fat16Host, NamePacking) {
+  EXPECT_EQ(PackFatName("A"), 0x41u);
+  EXPECT_EQ(PackFatName("AB"), 0x4241u);
+  EXPECT_EQ(PackFatName("ABCD"), 0x44434241u);
+  EXPECT_EQ(PackFatName("ABCDE"), PackFatName("ABCD"));  // truncated to 4
+}
+
+TEST(NetHost, ChecksumMatchesKnownProperties) {
+  // A header with its own checksum inserted folds to 0xFFFF.
+  TcpSegment seg;
+  seg.flags = kTcpFlagSyn;
+  std::vector<uint8_t> frame = BuildTcpFrame(seg);
+  uint32_t sum = 0;
+  for (size_t i = 14; i < 34; i += 2) {
+    sum += static_cast<uint32_t>(frame[i] << 8) | frame[i + 1];
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  EXPECT_EQ(sum, 0xFFFFu);
+}
+
+TEST(NetHost, BuildParseRoundTrip) {
+  TcpSegment seg;
+  seg.src_port = 40123;
+  seg.dst_port = kEchoPort;
+  seg.seq = 0xAABBCCDD;
+  seg.ack = 0x11223344;
+  seg.flags = kTcpFlagPsh | kTcpFlagAck;
+  seg.payload = {'h', 'e', 'l', 'l', 'o'};
+  std::vector<uint8_t> frame = BuildTcpFrame(seg);
+  TcpSegment parsed;
+  ASSERT_TRUE(ParseTcpFrame(frame, &parsed));
+  EXPECT_EQ(parsed.src_port, seg.src_port);
+  EXPECT_EQ(parsed.dst_port, seg.dst_port);
+  EXPECT_EQ(parsed.seq, seg.seq);
+  EXPECT_EQ(parsed.ack, seg.ack);
+  EXPECT_EQ(parsed.flags, seg.flags);
+  EXPECT_EQ(parsed.payload, seg.payload);
+}
+
+TEST(NetHost, CorruptionsAreDetectable) {
+  TcpSegment seg;
+  seg.payload = {'x'};
+  seg.flags = kTcpFlagAck;
+  {
+    FrameCorruption c;
+    c.bad_ethertype = true;
+    TcpSegment parsed;
+    EXPECT_FALSE(ParseTcpFrame(BuildTcpFrame(seg, c), &parsed));
+  }
+  {
+    FrameCorruption c;
+    c.bad_protocol = true;
+    TcpSegment parsed;
+    EXPECT_FALSE(ParseTcpFrame(BuildTcpFrame(seg, c), &parsed));
+  }
+  {
+    // A bad checksum still parses structurally but the checksum no longer
+    // folds to 0xFFFF (which is what the guest validates).
+    FrameCorruption c;
+    c.bad_checksum = true;
+    std::vector<uint8_t> frame = BuildTcpFrame(seg, c);
+    uint32_t sum = 0;
+    for (size_t i = 14; i < 34; i += 2) {
+      sum += static_cast<uint32_t>(frame[i] << 8) | frame[i + 1];
+    }
+    while (sum >> 16) {
+      sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    EXPECT_NE(sum, 0xFFFFu);
+  }
+}
+
+}  // namespace
+}  // namespace opec_apps

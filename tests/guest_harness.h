@@ -1,0 +1,61 @@
+// Test helper: builds a machine + vanilla image around a hand-written guest
+// module and runs it.
+
+#ifndef TESTS_GUEST_HARNESS_H_
+#define TESTS_GUEST_HARNESS_H_
+
+#include <memory>
+
+#include "src/compiler/image.h"
+#include "src/hw/machine.h"
+#include "src/ir/builder.h"
+#include "src/rt/engine.h"
+
+namespace opec_test {
+
+class GuestHarness {
+ public:
+  explicit GuestHarness(opec_hw::Board board = opec_hw::Board::kStm32F4Discovery)
+      : module_("test"), machine_(board) {}
+
+  opec_ir::Module& module() { return module_; }
+  opec_hw::Machine& machine() { return machine_; }
+
+  // Builds the vanilla image and runs `entry`. Call after authoring the module.
+  opec_rt::RunResult Run(const std::string& entry = "main",
+                         const std::vector<uint32_t>& args = {},
+                         opec_rt::Supervisor* supervisor = nullptr) {
+    image_ = opec_compiler::BuildVanillaImage(module_, machine_.board().board);
+    opec_compiler::LoadGlobals(machine_, module_, image_.layout);
+    engine_ = std::make_unique<opec_rt::ExecutionEngine>(machine_, module_, image_.layout,
+                                                         supervisor);
+    if (trace_ != nullptr) {
+      engine_->set_trace(trace_);
+    }
+    return engine_->Run(entry, args);
+  }
+
+  void set_trace(opec_rt::ExecutionTrace* trace) { trace_ = trace; }
+
+  opec_rt::ExecutionEngine& engine() { return *engine_; }
+  const opec_rt::AddressAssignment& layout() const { return image_.layout; }
+
+  // Reads a u32 global's current value from guest memory.
+  uint32_t ReadGlobal(const std::string& name) {
+    const opec_ir::GlobalVariable* gv = module_.FindGlobal(name);
+    uint32_t value = 0;
+    machine_.bus().DebugRead(image_.layout.AddrOf(gv), gv->size() > 4 ? 4 : gv->size(), &value);
+    return value;
+  }
+
+ private:
+  opec_ir::Module module_;
+  opec_hw::Machine machine_;
+  opec_compiler::VanillaImage image_;
+  std::unique_ptr<opec_rt::ExecutionEngine> engine_;
+  opec_rt::ExecutionTrace* trace_ = nullptr;
+};
+
+}  // namespace opec_test
+
+#endif  // TESTS_GUEST_HARNESS_H_

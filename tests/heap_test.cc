@@ -1,0 +1,259 @@
+// Heap extension tests (Sections 5.2 "Heap" and 7): guest allocator
+// correctness, cross-operation heap sharing under OPEC, and heap isolation
+// from operations that do not use the allocator.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/guest/heap_alloc.h"
+#include "src/compiler/layout.h"
+#include "src/compiler/opec_compiler.h"
+#include "src/ir/builder.h"
+#include "src/monitor/monitor.h"
+#include "src/rt/engine.h"
+#include "tests/guest_harness.h"
+
+namespace opec_apps {
+namespace {
+
+using opec_ir::FunctionBuilder;
+using opec_ir::Type;
+using opec_ir::Val;
+
+constexpr uint32_t kStack = 16 * 1024;
+constexpr uint32_t kHeap = 4096;
+
+struct HeapProgram {
+  HeapProgram() : m("heap_test") {
+    heap_base = opec_compiler::ComputeHeapPlacement(opec_hw::Board::kStm32F4Discovery, kStack,
+                                                    kHeap, &heap_size);
+    EmitHeapAllocator(m, heap_base, heap_size);
+  }
+  opec_ir::Module m;
+  uint32_t heap_base = 0;
+  uint32_t heap_size = 0;
+};
+
+// Guest program: allocate two blocks, write them, free one, reallocate
+// (reusing the freed block), and verify contents.
+void BuildAllocScenario(opec_ir::Module& m) {
+  auto& tt = m.types();
+  const Type* p_u8 = tt.PointerTo(tt.U8());
+  auto* fn = m.AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(m, fn);
+  Val a = b.Local("a", p_u8);
+  Val c = b.Local("c", p_u8);
+  Val d = b.Local("d", p_u8);
+  Val i = b.Local("i", tt.U32());
+  b.Assign(a, b.CallV("malloc", {b.U32(100)}));
+  b.Assign(c, b.CallV("malloc", {b.U32(200)}));
+  b.If((b.CastTo(tt.U32(), a) == b.U32(0)) || (b.CastTo(tt.U32(), c) == b.U32(0)));
+  b.Ret(b.U32(1));
+  b.End();
+  b.Assign(i, b.U32(0));
+  b.While(i < b.U32(100));
+  {
+    b.Assign(b.Idx(a, i), b.U8(0xAA));
+    b.Assign(i, i + b.U32(1));
+  }
+  b.End();
+  b.Assign(i, b.U32(0));
+  b.While(i < b.U32(200));
+  {
+    b.Assign(b.Idx(c, i), b.U8(0xCC));
+    b.Assign(i, i + b.U32(1));
+  }
+  b.End();
+  b.Call("free", {a});
+  b.Assign(d, b.CallV("malloc", {b.U32(50)}));  // reuses the freed block
+  b.If(b.CastTo(tt.U32(), d) != b.CastTo(tt.U32(), a));
+  b.Ret(b.U32(2));
+  b.End();
+  // c's contents must have survived a's free + d's reuse.
+  b.If(b.CastTo(tt.U32(), b.Idx(c, 0u)) != b.U32(0xCC));
+  b.Ret(b.U32(3));
+  b.End();
+  b.If(b.CastTo(tt.U32(), b.Idx(c, 199u)) != b.U32(0xCC));
+  b.Ret(b.U32(4));
+  b.End();
+  b.Ret(b.U32(0));
+  b.Finish();
+}
+
+TEST(Heap, AllocatorWorksVanilla) {
+  HeapProgram p;
+  BuildAllocScenario(p.m);
+  opec_hw::Machine machine(opec_hw::Board::kStm32F4Discovery);
+  opec_compiler::VanillaImage image =
+      opec_compiler::BuildVanillaImage(p.m, opec_hw::Board::kStm32F4Discovery);
+  opec_compiler::LoadGlobals(machine, p.m, image.layout);
+  opec_rt::ExecutionEngine engine(machine, p.m, image.layout);
+  opec_rt::RunResult r = engine.Run("main");
+  ASSERT_TRUE(r.ok) << r.violation;
+  EXPECT_EQ(r.return_value, 0u);
+}
+
+TEST(Heap, ExhaustionReturnsNull) {
+  HeapProgram p;
+  auto& tt = p.m.types();
+  const Type* p_u8 = tt.PointerTo(tt.U8());
+  auto* fn = p.m.AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(p.m, fn);
+  Val count = b.Local("count", tt.U32());
+  Val q = b.Local("q", p_u8);
+  b.Assign(count, b.U32(0));
+  b.While(b.U32(1));
+  {
+    b.Assign(q, b.CallV("malloc", {b.U32(256)}));
+    b.If(b.CastTo(tt.U32(), q) == b.U32(0));
+    b.Break();
+    b.End();
+    b.Assign(count, count + b.U32(1));
+  }
+  b.End();
+  b.Ret(count);
+  b.Finish();
+  opec_hw::Machine machine(opec_hw::Board::kStm32F4Discovery);
+  opec_compiler::VanillaImage image =
+      opec_compiler::BuildVanillaImage(p.m, opec_hw::Board::kStm32F4Discovery);
+  opec_compiler::LoadGlobals(machine, p.m, image.layout);
+  opec_rt::ExecutionEngine engine(machine, p.m, image.layout);
+  opec_rt::RunResult r = engine.Run("main");
+  ASSERT_TRUE(r.ok) << r.violation;
+  // 4 KB heap, 256+8-byte blocks: about 15 allocations, never runaway.
+  EXPECT_GE(r.return_value, 14u);
+  EXPECT_LE(r.return_value, 16u);
+}
+
+// Two operations share heap objects under OPEC: the producer allocates and
+// fills a block, passes it (via a shared pointer global) to the consumer.
+TEST(Heap, CrossOperationHeapSharingUnderOpec) {
+  HeapProgram p;
+  auto& tt = p.m.types();
+  const Type* p_u8 = tt.PointerTo(tt.U8());
+  p.m.AddGlobal("msg_ptr", p_u8);
+  p.m.AddGlobal("msg_sum", tt.U32());
+  {
+    auto* fn = p.m.AddFunction("Producer", tt.FunctionTy(tt.VoidTy(), {}), {});
+    FunctionBuilder b(p.m, fn);
+    Val q = b.Local("q", p_u8);
+    Val i = b.Local("i", tt.U32());
+    b.Assign(q, b.CallV("malloc", {b.U32(64)}));
+    b.Assign(i, b.U32(0));
+    b.While(i < b.U32(64));
+    {
+      b.Assign(b.Idx(q, i), i);
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.Assign(b.G("msg_ptr"), q);
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = p.m.AddFunction("Consumer", tt.FunctionTy(tt.VoidTy(), {}), {});
+    FunctionBuilder b(p.m, fn);
+    Val i = b.Local("i", tt.U32());
+    b.Assign(b.G("msg_sum"), b.U32(0));
+    b.Assign(i, b.U32(0));
+    b.While(i < b.U32(64));
+    {
+      b.Assign(b.G("msg_sum"), b.G("msg_sum") + b.CastTo(tt.U32(), b.Idx(b.G("msg_ptr"), i)));
+      b.Assign(i, i + b.U32(1));
+    }
+    b.End();
+    b.Call("free", {b.G("msg_ptr")});
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = p.m.AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+    FunctionBuilder b(p.m, fn);
+    b.Call("Producer");
+    b.Call("Consumer");
+    b.Ret(b.G("msg_sum"));
+    b.Finish();
+  }
+  opec_compiler::PartitionConfig config;
+  config.entries.push_back({"Producer", {}});
+  config.entries.push_back({"Consumer", {}});
+  config.heap_size = kHeap;
+  opec_hw::SocDescription soc;
+  opec_hw::Machine machine(opec_hw::Board::kStm32F4Discovery);
+  opec_compiler::CompileResult compile =
+      opec_compiler::CompileOpec(p.m, soc, config, machine.board().board);
+  // Both operations contain the allocator -> both marked heap users.
+  EXPECT_TRUE(compile.policy.FindOperationByEntry("Producer")->uses_heap);
+  EXPECT_TRUE(compile.policy.FindOperationByEntry("Consumer")->uses_heap);
+  EXPECT_EQ(compile.policy.heap_base, p.heap_base);
+  opec_monitor::Monitor monitor(machine, compile.policy, soc);
+  opec_compiler::LoadGlobals(machine, p.m, compile.layout);
+  opec_rt::ExecutionEngine engine(machine, p.m, compile.layout, &monitor);
+  opec_rt::RunResult r = engine.Run("main");
+  ASSERT_TRUE(r.ok) << r.violation;
+  EXPECT_EQ(r.return_value, 64u * 63 / 2);  // sum 0..63
+  // Heap accesses were demand-mapped via MemManage faults.
+  EXPECT_GT(monitor.stats().virtualization_faults, 0u);
+}
+
+// Operations that do not use the allocator cannot touch the heap.
+TEST(Heap, NonHeapOperationIsDeniedHeapAccess) {
+  HeapProgram p;
+  auto& tt = p.m.types();
+  p.m.AddGlobal("scratch", tt.U32());
+  {
+    auto* fn = p.m.AddFunction("HeapUser", tt.FunctionTy(tt.VoidTy(), {}), {});
+    FunctionBuilder b(p.m, fn);
+    Val q = b.Local("q", tt.PointerTo(tt.U8()));
+    b.Assign(q, b.CallV("malloc", {b.U32(32)}));
+    b.Assign(b.Idx(q, 0u), b.U8(0x77));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = p.m.AddFunction("Innocent", tt.FunctionTy(tt.VoidTy(), {}), {});
+    FunctionBuilder b(p.m, fn);
+    b.Assign(b.G("scratch"), b.G("scratch") + b.U32(1));
+    b.RetVoid();
+    b.Finish();
+  }
+  {
+    auto* fn = p.m.AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+    FunctionBuilder b(p.m, fn);
+    b.Call("HeapUser");
+    b.Call("Innocent");
+    b.Ret(b.G("scratch"));
+    b.Finish();
+  }
+  opec_compiler::PartitionConfig config;
+  config.entries.push_back({"HeapUser", {}});
+  config.entries.push_back({"Innocent", {}});
+  config.heap_size = kHeap;
+  opec_hw::SocDescription soc;
+  opec_hw::Machine machine(opec_hw::Board::kStm32F4Discovery);
+  opec_compiler::CompileResult compile =
+      opec_compiler::CompileOpec(p.m, soc, config, machine.board().board);
+  EXPECT_TRUE(compile.policy.FindOperationByEntry("HeapUser")->uses_heap);
+  EXPECT_FALSE(compile.policy.FindOperationByEntry("Innocent")->uses_heap);
+  // `main` only calls entries -> not a heap user either.
+  EXPECT_FALSE(compile.policy.FindOperationByEntry("main")->uses_heap);
+  opec_monitor::Monitor monitor(machine, compile.policy, soc);
+  opec_compiler::LoadGlobals(machine, p.m, compile.layout);
+  opec_rt::ExecutionEngine engine(machine, p.m, compile.layout, &monitor);
+  // The compromised Innocent operation tries to scribble on the heap.
+  opec_rt::AttackSpec attack;
+  attack.function = "Innocent";
+  attack.addr = p.heap_base + 8;  // HeapUser's allocated payload
+  attack.value = 0xDEAD;
+  engine.AddAttack(attack);
+  opec_rt::RunResult r = engine.Run("main");
+  ASSERT_TRUE(r.ok) << r.violation;
+  ASSERT_TRUE(engine.attacks()[0].fired);
+  EXPECT_TRUE(engine.attacks()[0].blocked);
+  // HeapUser's byte survived.
+  uint32_t v = 0;
+  machine.bus().DebugRead(p.heap_base + 8, 1, &v);
+  EXPECT_EQ(v, 0x77u);
+}
+
+}  // namespace
+}  // namespace opec_apps

@@ -1,0 +1,190 @@
+// Unit tests for the IR substrate: type system, module containers, builder.
+
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/ir/module.h"
+#include "src/ir/printer.h"
+
+namespace opec_ir {
+namespace {
+
+TEST(TypeTable, PrimitiveSizes) {
+  TypeTable tt;
+  EXPECT_EQ(tt.U8()->size(), 1u);
+  EXPECT_EQ(tt.U16()->size(), 2u);
+  EXPECT_EQ(tt.U32()->size(), 4u);
+  EXPECT_EQ(tt.I32()->size(), 4u);
+  EXPECT_TRUE(tt.I32()->is_signed());
+  EXPECT_FALSE(tt.U32()->is_signed());
+  EXPECT_EQ(tt.VoidTy()->size(), 0u);
+}
+
+TEST(TypeTable, InterningMakesEqualTypesIdentical) {
+  TypeTable tt;
+  EXPECT_EQ(tt.IntTy(32, false), tt.U32());
+  EXPECT_EQ(tt.PointerTo(tt.U8()), tt.PointerTo(tt.U8()));
+  EXPECT_EQ(tt.ArrayOf(tt.U32(), 7), tt.ArrayOf(tt.U32(), 7));
+  EXPECT_NE(tt.ArrayOf(tt.U32(), 7), tt.ArrayOf(tt.U32(), 8));
+  EXPECT_EQ(tt.FunctionTy(tt.VoidTy(), {tt.U32()}), tt.FunctionTy(tt.VoidTy(), {tt.U32()}));
+}
+
+TEST(TypeTable, PointerSizeIs4) {
+  TypeTable tt;
+  EXPECT_EQ(tt.PointerTo(tt.U8())->size(), 4u);
+  EXPECT_EQ(tt.PointerTo(tt.ArrayOf(tt.U32(), 100))->size(), 4u);
+}
+
+TEST(TypeTable, StructLayoutUsesNaturalAlignment) {
+  TypeTable tt;
+  const Type* s = tt.StructTy("Mixed", {{"a", tt.U8(), 0}, {"b", tt.U32(), 0},
+                                        {"c", tt.U16(), 0}});
+  EXPECT_EQ(s->fields()[0].offset, 0u);
+  EXPECT_EQ(s->fields()[1].offset, 4u);  // padded past the u8
+  EXPECT_EQ(s->fields()[2].offset, 8u);
+  EXPECT_EQ(s->size(), 12u);  // padded to 4-byte alignment
+  EXPECT_EQ(s->alignment(), 4u);
+}
+
+TEST(TypeTable, StructsAreNominal) {
+  TypeTable tt;
+  const Type* a = tt.StructTy("A", {{"x", tt.U32(), 0}});
+  const Type* b = tt.StructTy("B", {{"x", tt.U32(), 0}});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tt.FindStruct("A"), a);
+  EXPECT_EQ(tt.FindStruct("missing"), nullptr);
+}
+
+TEST(TypeTable, FieldIndexLookup) {
+  TypeTable tt;
+  const Type* s = tt.StructTy("P", {{"x", tt.U32(), 0}, {"y", tt.U32(), 0}});
+  EXPECT_EQ(s->FieldIndex("x"), 0);
+  EXPECT_EQ(s->FieldIndex("y"), 1);
+  EXPECT_EQ(s->FieldIndex("z"), -1);
+}
+
+TEST(Module, GlobalAndFunctionLookup) {
+  Module m("t");
+  auto* g = m.AddGlobal("g", m.types().U32());
+  EXPECT_EQ(m.FindGlobal("g"), g);
+  EXPECT_EQ(m.FindGlobal("h"), nullptr);
+  auto* f = m.AddFunction("f", m.types().FunctionTy(m.types().VoidTy(), {}), {});
+  EXPECT_EQ(m.FindFunction("f"), f);
+  EXPECT_EQ(m.FindFunction("g"), nullptr);
+}
+
+TEST(Module, ConstGlobalsKeepInitialData) {
+  Module m("t");
+  auto* g = m.AddGlobal("msg", m.types().ArrayOf(m.types().U8(), 4), /*is_const=*/true);
+  g->set_initial_data({'a', 'b', 'c', 'd'});
+  EXPECT_TRUE(g->is_const());
+  EXPECT_EQ(g->initial_data().size(), 4u);
+}
+
+TEST(Builder, OperatorsProduceTypedTrees) {
+  Module m("t");
+  auto* f = m.AddFunction("f", m.types().FunctionTy(m.types().U32(), {}), {});
+  FunctionBuilder b(m, f);
+  Val x = b.Local("x", m.types().U32());
+  Val e = (x + b.U32(1)) * b.U32(2);
+  EXPECT_EQ(e.type(), m.types().U32());
+  EXPECT_EQ(e.expr->kind, ExprKind::kBinary);
+  b.Ret(e);
+  b.Finish();
+  EXPECT_EQ(f->body().size(), 1u);
+}
+
+TEST(Builder, ControlFlowScopesNest) {
+  Module m("t");
+  auto* f = m.AddFunction("f", m.types().FunctionTy(m.types().U32(), {m.types().U32()}), {"n"});
+  FunctionBuilder b(m, f);
+  Val acc = b.Local("acc", m.types().U32());
+  Val i = b.Local("i", m.types().U32());
+  b.Assign(acc, b.U32(0));
+  b.Assign(i, b.U32(0));
+  b.While(i < b.L("n"));
+  {
+    b.If((i % b.U32(2)) == b.U32(0));
+    b.Assign(acc, acc + i);
+    b.Else();
+    b.Assign(acc, acc + b.U32(1));
+    b.End();
+    b.Assign(i, i + b.U32(1));
+  }
+  b.End();
+  b.Ret(acc);
+  b.Finish();
+  ASSERT_EQ(f->body().size(), 4u);
+  EXPECT_EQ(f->body()[2]->kind, StmtKind::kWhile);
+  EXPECT_EQ(f->body()[2]->body[0]->kind, StmtKind::kIf);
+}
+
+TEST(Builder, ImplicitIntConversionsOnAssign) {
+  Module m("t");
+  m.AddGlobal("b8", m.types().U8());
+  auto* f = m.AddFunction("f", m.types().FunctionTy(m.types().VoidTy(), {}), {});
+  FunctionBuilder b(m, f);
+  b.Assign(b.G("b8"), b.U32(0x1FF));  // truncating store is legal
+  b.RetVoid();
+  b.Finish();
+  const Stmt& s = *f->body()[0];
+  EXPECT_EQ(s.expr->kind, ExprKind::kCast);
+}
+
+TEST(Builder, MmioIsDerefOfConstantCast) {
+  Module m("t");
+  auto* f = m.AddFunction("f", m.types().FunctionTy(m.types().VoidTy(), {}), {});
+  FunctionBuilder b(m, f);
+  Val reg = b.Mmio32(0x40011000);
+  EXPECT_EQ(reg.expr->kind, ExprKind::kDeref);
+  EXPECT_EQ(reg.expr->operands[0]->kind, ExprKind::kCast);
+  EXPECT_EQ(reg.expr->operands[0]->operands[0]->kind, ExprKind::kIntConst);
+  b.RetVoid();
+  b.Finish();
+}
+
+TEST(Builder, FieldAndIndexLvalues) {
+  Module m("t");
+  const Type* s = m.types().StructTy("S", {{"a", m.types().U32(), 0},
+                                           {"buf", m.types().ArrayOf(m.types().U8(), 8), 0}});
+  m.AddGlobal("gs", s);
+  auto* f = m.AddFunction("f", m.types().FunctionTy(m.types().VoidTy(), {}), {});
+  FunctionBuilder b(m, f);
+  b.Assign(b.Fld(b.G("gs"), "a"), b.U32(5));
+  b.Assign(b.Idx(b.Fld(b.G("gs"), "buf"), 3u), b.U8(9));
+  b.RetVoid();
+  b.Finish();
+  EXPECT_TRUE(f->body()[0]->lhs->IsLvalue());
+  EXPECT_TRUE(f->body()[1]->lhs->IsLvalue());
+}
+
+TEST(Printer, RendersFunctions) {
+  Module m("t");
+  m.AddGlobal("counter", m.types().U32());
+  auto* f = m.AddFunction("bump", m.types().FunctionTy(m.types().VoidTy(), {}), {});
+  FunctionBuilder b(m, f);
+  b.Assign(b.G("counter"), b.G("counter") + b.U32(1));
+  b.RetVoid();
+  b.Finish();
+  std::string text = PrintModule(m);
+  EXPECT_NE(text.find("@counter"), std::string::npos);
+  EXPECT_NE(text.find("bump"), std::string::npos);
+  EXPECT_NE(text.find("(@counter + 1)"), std::string::npos);
+}
+
+TEST(Expr, LvalueClassification) {
+  Module m("t");
+  m.AddGlobal("g", m.types().U32());
+  auto* f = m.AddFunction("f", m.types().FunctionTy(m.types().VoidTy(), {}), {});
+  FunctionBuilder b(m, f);
+  EXPECT_TRUE(b.G("g").expr->IsLvalue());
+  EXPECT_FALSE(b.U32(5).expr->IsLvalue());
+  EXPECT_FALSE((b.G("g") + b.U32(1)).expr->IsLvalue());
+  EXPECT_FALSE(b.Addr(b.G("g")).expr->IsLvalue());
+  EXPECT_TRUE(b.Deref(b.Addr(b.G("g"))).expr->IsLvalue());
+  b.RetVoid();
+  b.Finish();
+}
+
+}  // namespace
+}  // namespace opec_ir

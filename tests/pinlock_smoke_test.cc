@@ -1,0 +1,132 @@
+// End-to-end smoke tests: PinLock runs correctly vanilla and under OPEC, and
+// the Section 6.1 case-study attack is blocked by OPEC.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/pinlock.h"
+#include "src/apps/runner.h"
+#include "src/ir/printer.h"
+
+namespace opec_apps {
+namespace {
+
+TEST(PinLockSmoke, VanillaScenarioPasses) {
+  PinLockApp app(10);
+  AppRun run(app, BuildMode::kVanilla);
+  opec_rt::RunResult result = run.Execute();
+  ASSERT_TRUE(result.ok) << result.violation;
+  EXPECT_EQ(run.Check(), "");
+  EXPECT_GT(result.cycles, 0u);
+}
+
+TEST(PinLockSmoke, OpecScenarioPasses) {
+  PinLockApp app(10);
+  AppRun run(app, BuildMode::kOpec);
+  opec_rt::RunResult result = run.Execute();
+  ASSERT_TRUE(result.ok) << result.violation;
+  EXPECT_EQ(run.Check(), "");
+
+  // All six developer entries plus the default main operation.
+  ASSERT_NE(run.compile(), nullptr);
+  EXPECT_EQ(run.compile()->policy.operations.size(), 7u);
+  // The monitor actually switched operations.
+  EXPECT_GT(run.monitor()->stats().operation_switches, 0u);
+  // Shared globals were synchronized.
+  EXPECT_GT(run.monitor()->stats().synced_bytes, 0u);
+  // The prompt buffer was relocated onto Unlock_Task's stack portion.
+  EXPECT_GT(run.monitor()->stats().relocated_stack_bytes, 0u);
+  // DWT reads from unprivileged main were emulated.
+  EXPECT_GT(run.monitor()->stats().emulated_core_accesses, 0u);
+}
+
+TEST(PinLockSmoke, OpecMatchesVanillaOutputs) {
+  PinLockApp app(5);
+  AppRun vanilla(app, BuildMode::kVanilla);
+  AppRun opec(app, BuildMode::kOpec);
+  opec_rt::RunResult rv = vanilla.Execute();
+  opec_rt::RunResult ro = opec.Execute();
+  ASSERT_TRUE(rv.ok) << rv.violation;
+  ASSERT_TRUE(ro.ok) << ro.violation;
+  auto& duv = static_cast<PinLockDevices&>(vanilla.devices());
+  auto& duo = static_cast<PinLockDevices&>(opec.devices());
+  EXPECT_EQ(duv.uart->TxString(), duo.uart->TxString());
+  EXPECT_EQ(rv.return_value, ro.return_value);
+}
+
+// Section 6.1: an attacker who compromised the HAL receive path (invoked from
+// Lock_Task) tries to overwrite KEY. Under OPEC the write targets either the
+// public copy or Unlock_Task's shadow — both outside Lock_Task's operation
+// data section — and faults.
+TEST(PinLockSmoke, CaseStudyAttackOnKeyIsBlocked) {
+  PinLockApp app(3);
+  AppRun run(app, BuildMode::kOpec);
+
+  const opec_compiler::Policy& policy = run.compile()->policy;
+  int key_index = -1;
+  for (size_t i = 0; i < policy.externals.size(); ++i) {
+    if (policy.externals[i].gv->name() == "KEY") {
+      key_index = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(key_index, 0) << "KEY must be a shared (external) variable";
+
+  // Lock_Task's operation must NOT contain a shadow of KEY (that is the whole
+  // point of the shadowing technique vs ACES's merged regions).
+  const opec_compiler::OperationPolicy* lock_op = policy.FindOperationByEntry("Lock_Task");
+  ASSERT_NE(lock_op, nullptr);
+  for (const auto& sp : lock_op->shadows) {
+    EXPECT_NE(sp.var_index, key_index) << "Lock_Task must not have a KEY shadow";
+  }
+
+  // Attack: 2nd invocation of the HAL routine happens inside Lock_Task
+  // (Unlock_Task calls it first each round). Overwrite KEY's public copy with
+  // hash("9999") so the wrong pin would unlock.
+  opec_rt::AttackSpec attack;
+  attack.function = "HAL_UART_Receive_IT";
+  attack.occurrence = 2;  // inside Lock_Task
+  attack.addr = policy.externals[static_cast<size_t>(key_index)].public_addr;
+  attack.value = 0xDEADBEEF;
+  run.AddAttack(attack);
+
+  opec_rt::RunResult result = run.Execute();
+  ASSERT_TRUE(result.ok) << result.violation;
+  ASSERT_TRUE(run.engine().attacks()[0].fired);
+  EXPECT_TRUE(run.engine().attacks()[0].blocked);
+  // The scenario still behaves correctly: wrong pins never unlock.
+  EXPECT_EQ(run.Check(), "");
+}
+
+// The same attack against the vanilla binary lands: no isolation.
+TEST(PinLockSmoke, CaseStudyAttackLandsOnVanilla) {
+  PinLockApp app(3);
+  AppRun vanilla_probe(app, BuildMode::kVanilla);
+  // Find KEY's address in the vanilla layout via the engine layout.
+  const opec_ir::GlobalVariable* key = vanilla_probe.module().FindGlobal("KEY");
+  ASSERT_NE(key, nullptr);
+  uint32_t key_addr = vanilla_probe.engine().layout().AddrOf(key);
+  ASSERT_NE(key_addr, 0u);
+
+  opec_rt::AttackSpec attack;
+  attack.function = "HAL_UART_Receive_IT";
+  attack.occurrence = 2;
+  attack.addr = key_addr;
+  attack.value = 0xDEADBEEF;
+  vanilla_probe.AddAttack(attack);
+  opec_rt::RunResult result = vanilla_probe.Execute();
+  ASSERT_TRUE(result.ok) << result.violation;
+  EXPECT_TRUE(vanilla_probe.engine().attacks()[0].fired);
+  EXPECT_FALSE(vanilla_probe.engine().attacks()[0].blocked);
+  // KEY was corrupted, so correct pins now fail: the check reports a mismatch.
+  EXPECT_NE(vanilla_probe.Check(), "");
+}
+
+TEST(PinLockSmoke, PolicyTextIsGenerated) {
+  PinLockApp app(1);
+  AppRun run(app, BuildMode::kOpec);
+  std::string text = run.compile()->policy.ToText();
+  EXPECT_NE(text.find("Unlock_Task"), std::string::npos);
+  EXPECT_NE(text.find("sanitize"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opec_apps

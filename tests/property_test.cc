@@ -1,0 +1,224 @@
+// Parameterized property tests: arithmetic-semantics sweeps against a host
+// oracle, MPU window-coverage properties, FAT16 file-size sweeps, and
+// whole-app invariants under OPEC.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/all_apps.h"
+#include "src/apps/guest/fat16_host.h"
+#include "src/apps/runner.h"
+#include "src/compiler/layout.h"
+#include "tests/guest_harness.h"
+
+namespace {
+
+using opec_ir::BinaryOp;
+using opec_ir::FunctionBuilder;
+using opec_test::GuestHarness;
+
+// --- Guest arithmetic must match the host's uint32/int32 semantics ---
+
+struct ArithCase {
+  BinaryOp op;
+  bool is_signed;
+  uint32_t a;
+  uint32_t b;
+};
+
+uint32_t HostEval(const ArithCase& c) {
+  uint32_t a = c.a;
+  uint32_t b = c.b;
+  int32_t sa = static_cast<int32_t>(a);
+  int32_t sb = static_cast<int32_t>(b);
+  switch (c.op) {
+    case BinaryOp::kAdd:
+      return a + b;
+    case BinaryOp::kSub:
+      return a - b;
+    case BinaryOp::kMul:
+      return a * b;
+    case BinaryOp::kDiv:
+      return c.is_signed ? static_cast<uint32_t>(sa / sb) : a / b;
+    case BinaryOp::kRem:
+      return c.is_signed ? static_cast<uint32_t>(sa % sb) : a % b;
+    case BinaryOp::kAnd:
+      return a & b;
+    case BinaryOp::kOr:
+      return a | b;
+    case BinaryOp::kXor:
+      return a ^ b;
+    case BinaryOp::kShl:
+      return a << (b & 31);
+    case BinaryOp::kShr:
+      return c.is_signed ? static_cast<uint32_t>(sa >> (b & 31)) : a >> (b & 31);
+    case BinaryOp::kLt:
+      return c.is_signed ? (sa < sb) : (a < b);
+    case BinaryOp::kLe:
+      return c.is_signed ? (sa <= sb) : (a <= b);
+    case BinaryOp::kGt:
+      return c.is_signed ? (sa > sb) : (a > b);
+    case BinaryOp::kGe:
+      return c.is_signed ? (sa >= sb) : (a >= b);
+    case BinaryOp::kEq:
+      return a == b;
+    case BinaryOp::kNe:
+      return a != b;
+    default:
+      return 0;
+  }
+}
+
+class ArithmeticOracle : public ::testing::TestWithParam<ArithCase> {};
+
+TEST_P(ArithmeticOracle, GuestMatchesHost) {
+  const ArithCase& c = GetParam();
+  GuestHarness h;
+  auto& tt = h.module().types();
+  const opec_ir::Type* ty = c.is_signed ? tt.I32() : tt.U32();
+  auto* fn = h.module().AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  FunctionBuilder b(h.module(), fn);
+  opec_ir::Val lhs = b.C(ty, static_cast<int32_t>(c.a));
+  opec_ir::Val rhs = b.C(ty, static_cast<int32_t>(c.b));
+  b.Ret(b.CastTo(tt.U32(), opec_ir::Val{opec_ir::MakeBinary(c.op, ty, lhs.expr, rhs.expr)}));
+  b.Finish();
+  auto r = h.Run();
+  ASSERT_TRUE(r.ok) << r.violation;
+  EXPECT_EQ(r.return_value, HostEval(c));
+}
+
+std::vector<ArithCase> ArithCases() {
+  std::vector<ArithCase> cases;
+  const BinaryOp ops[] = {BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul, BinaryOp::kDiv,
+                          BinaryOp::kRem, BinaryOp::kAnd, BinaryOp::kOr,  BinaryOp::kXor,
+                          BinaryOp::kShl, BinaryOp::kShr, BinaryOp::kLt,  BinaryOp::kLe,
+                          BinaryOp::kGt,  BinaryOp::kGe,  BinaryOp::kEq,  BinaryOp::kNe};
+  const std::pair<uint32_t, uint32_t> operands[] = {
+      {7, 3}, {0xFFFFFFF9, 3} /* -7, 3 */, {0x80000001, 2}, {1, 31}, {0xABCD1234, 0x0F0F0F0F}};
+  for (BinaryOp op : ops) {
+    for (auto [a, b] : operands) {
+      for (bool is_signed : {false, true}) {
+        cases.push_back({op, is_signed, a, b});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ArithmeticOracle, ::testing::ValuesIn(ArithCases()));
+
+// --- CoverRangeWithMpuWindows: full coverage, legality, bounded overshoot ---
+
+class MpuWindowProperty
+    : public ::testing::TestWithParam<std::pair<uint32_t, uint32_t>> {};
+
+TEST_P(MpuWindowProperty, CoversExactlyAndLegally) {
+  auto [base, len] = GetParam();
+  auto windows = opec_compiler::CoverRangeWithMpuWindows(base, len);
+  ASSERT_FALSE(windows.empty());
+  uint64_t total = 0;
+  for (const auto& w : windows) {
+    EXPECT_GE(w.size_log2, 5);
+    EXPECT_EQ(w.base & ((1u << w.size_log2) - 1), 0u);
+    total += 1u << w.size_log2;
+  }
+  // Every byte covered.
+  for (uint32_t off = 0; off < len; off += 16) {
+    uint32_t probe = base + off;
+    bool covered = false;
+    for (const auto& w : windows) {
+      covered |= probe >= w.base && probe - w.base < (1u << w.size_log2);
+    }
+    ASSERT_TRUE(covered) << std::hex << probe;
+  }
+  // Bounded overshoot: never more than 2x + one minimum region.
+  EXPECT_LE(total, 2ull * len + 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, MpuWindowProperty,
+                         ::testing::Values(std::pair<uint32_t, uint32_t>{0x40000000, 0x400},
+                                           std::pair<uint32_t, uint32_t>{0x40000400, 0x400},
+                                           std::pair<uint32_t, uint32_t>{0x40011000, 0x800},
+                                           std::pair<uint32_t, uint32_t>{0x40020000, 0xC00},
+                                           std::pair<uint32_t, uint32_t>{0x50000000, 0x20},
+                                           std::pair<uint32_t, uint32_t>{0x40001000, 0x1234},
+                                           std::pair<uint32_t, uint32_t>{0x4000FE00, 0x300}));
+
+// --- FAT16-lite: round-trips across file sizes (cluster-boundary cases) ---
+
+class Fat16SizeSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(Fat16SizeSweep, HostRoundTrip) {
+  uint32_t size = GetParam();
+  opec_hw::BlockDevice disk("SD", 0x40012C00, 128);
+  opec_apps::Fat16Host fs(disk);
+  fs.Format();
+  std::vector<uint8_t> content(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    content[i] = static_cast<uint8_t>(i * 13 + 1);
+  }
+  fs.AddFile("SWP", content);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(fs.ReadFile("SWP", &out));
+  EXPECT_EQ(out, content);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Fat16SizeSweep,
+                         ::testing::Values(1, 100, 511, 512, 513, 1024, 1025, 2048, 4000));
+
+// --- Whole-app invariants under OPEC ---
+
+class AppInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(AppInvariants, PolicyInvariantsHold) {
+  auto factories = opec_apps::AllApps();
+  auto factory = factories[static_cast<size_t>(GetParam())];
+  std::unique_ptr<opec_apps::Application> app = factory.make();
+  opec_apps::AppRun run(*app, opec_apps::BuildMode::kOpec);
+  const opec_compiler::Policy& policy = run.compile()->policy;
+
+  // (1) Every external variable has a unique reloc slot and public address.
+  std::set<uint32_t> slots;
+  std::set<uint32_t> publics;
+  for (const auto& ev : policy.externals) {
+    EXPECT_TRUE(slots.insert(ev.reloc_entry_addr).second);
+    EXPECT_TRUE(publics.insert(ev.public_addr).second);
+  }
+  // (2) Every shadow lies inside its operation's section.
+  for (const auto& op : policy.operations) {
+    for (const auto& sp : op.shadows) {
+      const auto& ev = policy.externals[static_cast<size_t>(sp.var_index)];
+      EXPECT_GE(sp.addr, op.section_base) << factory.name;
+      EXPECT_LE(sp.addr + ev.size, op.section_base + (1u << op.section_size_log2))
+          << factory.name;
+    }
+    // (3) An operation shadows exactly the externals it needs.
+    for (const auto& sp : op.shadows) {
+      const auto& ev = policy.externals[static_cast<size_t>(sp.var_index)];
+      EXPECT_EQ(op.needed_globals.count(ev.gv), 1u) << factory.name;
+    }
+  }
+  // (4) Every operation's member set contains its entry.
+  for (const auto& op : policy.operations) {
+    const opec_ir::Function* entry = run.module().FindFunction(op.entry);
+    EXPECT_EQ(op.members.count(entry), 1u) << factory.name << "/" << op.entry;
+  }
+  // (5) The scenario passes and the monitor never grants an unlisted range:
+  // run with trace and verify executed functions all belong to the active op.
+  run.EnableTrace();
+  opec_rt::RunResult r = run.Execute();
+  ASSERT_TRUE(r.ok) << factory.name << ": " << r.violation;
+  EXPECT_EQ(run.Check(), "") << factory.name;
+  for (const opec_rt::TraceEvent& e : run.trace().events()) {
+    if (e.operation_id < 0) {
+      continue;  // default operation window
+    }
+    const auto& op = policy.operations[static_cast<size_t>(e.operation_id)];
+    EXPECT_EQ(op.members.count(e.fn), 1u)
+        << factory.name << ": " << e.fn->name() << " executed inside " << op.name
+        << " but is not a member (unsound call graph?)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppInvariants, ::testing::Range(0, 7));
+
+}  // namespace

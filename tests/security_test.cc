@@ -1,0 +1,150 @@
+// Security property tests across all applications: the threat-model attacks
+// of Section 3.3 must be contained by OPEC on every workload.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/all_apps.h"
+#include "src/apps/pinlock.h"
+#include "src/apps/runner.h"
+#include "src/hw/address_map.h"
+
+namespace opec_apps {
+namespace {
+
+// For every app: a compromised operation entry cannot write another
+// operation's data section.
+TEST(SecurityProperties, CrossSectionWritesAreBlockedEverywhere) {
+  for (const AppFactory& factory : AllApps()) {
+    std::unique_ptr<Application> app = factory.make();
+    AppRun run(*app, BuildMode::kOpec);
+    const opec_compiler::Policy& policy = run.compile()->policy;
+
+    // Pick an attacking operation (the first non-default entry) and a victim
+    // section belonging to a different operation.
+    const opec_compiler::OperationPolicy* attacker = nullptr;
+    const opec_compiler::OperationPolicy* victim = nullptr;
+    for (const auto& op : policy.operations) {
+      if (op.id != policy.default_op_id && attacker == nullptr) {
+        attacker = &op;
+      } else if (op.has_section && attacker != nullptr && op.id != attacker->id) {
+        victim = &op;
+      }
+    }
+    if (attacker == nullptr || victim == nullptr) {
+      continue;
+    }
+    opec_rt::AttackSpec attack;
+    attack.function = attacker->entry;
+    attack.addr = victim->section_base;
+    attack.value = 0x41414141;
+    run.AddAttack(attack);
+    opec_rt::RunResult r = run.Execute();
+    ASSERT_TRUE(r.ok) << factory.name << ": " << r.violation;
+    if (run.engine().attacks()[0].fired) {
+      EXPECT_TRUE(run.engine().attacks()[0].blocked)
+          << factory.name << ": write into " << victim->name << "'s section landed";
+    }
+  }
+}
+
+// Writes to the relocation table (which the monitor owns) must be blocked —
+// otherwise a compromised operation could repoint shared variables.
+TEST(SecurityProperties, RelocationTableIsNotWritableFromOperations) {
+  PinLockApp app(2);
+  AppRun run(app, BuildMode::kOpec);
+  const opec_compiler::Policy& policy = run.compile()->policy;
+  ASSERT_FALSE(policy.externals.empty());
+  opec_rt::AttackSpec attack;
+  attack.function = "Unlock_Task";
+  attack.addr = policy.externals[0].reloc_entry_addr;
+  attack.value = 0x20000000;  // would repoint the shared variable
+  run.AddAttack(attack);
+  opec_rt::RunResult r = run.Execute();
+  ASSERT_TRUE(r.ok) << r.violation;
+  ASSERT_TRUE(run.engine().attacks()[0].fired);
+  EXPECT_TRUE(run.engine().attacks()[0].blocked);
+  EXPECT_EQ(run.Check(), "");
+}
+
+// The public copies of shared variables are monitor-owned too.
+TEST(SecurityProperties, PublicCopiesAreNotWritableFromOperations) {
+  PinLockApp app(2);
+  AppRun run(app, BuildMode::kOpec);
+  const opec_compiler::Policy& policy = run.compile()->policy;
+  int key_index = policy.FindExternalIndex(run.module().FindGlobal("KEY"));
+  ASSERT_GE(key_index, 0);
+  opec_rt::AttackSpec attack;
+  attack.function = "Lock_Task";
+  attack.addr = policy.externals[static_cast<size_t>(key_index)].public_addr;
+  attack.value = 0;
+  run.AddAttack(attack);
+  opec_rt::RunResult r = run.Execute();
+  ASSERT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(run.engine().attacks()[0].blocked);
+}
+
+// Unprivileged code cannot write core peripherals directly, even in the
+// operation that is allowed to access them (the monitor emulates instead).
+TEST(SecurityProperties, MonitorMediatesCorePeripherals) {
+  PinLockApp app(1);
+  AppRun run(app, BuildMode::kOpec);
+  opec_rt::RunResult r = run.Execute();
+  ASSERT_TRUE(r.ok) << r.violation;
+  // DWT reads happened (main profiles itself) and all were emulated.
+  EXPECT_GT(run.monitor()->stats().emulated_core_accesses, 0u);
+  // The machine ends the run unprivileged application-side.
+  EXPECT_TRUE(run.machine().privileged());  // restored by OnProgramEnd
+}
+
+// Without OPEC, every attack in the matrix lands (no isolation): sanity-check
+// the threat model itself.
+TEST(SecurityProperties, VanillaHasNoIsolation) {
+  PinLockApp app(1);
+  AppRun run(app, BuildMode::kVanilla);
+  const opec_ir::GlobalVariable* key = run.module().FindGlobal("KEY");
+  opec_rt::AttackSpec attack;
+  attack.function = "Lock_Task";
+  attack.addr = run.engine().layout().AddrOf(key);
+  attack.value = 0xBAD;
+  run.AddAttack(attack);
+  opec_rt::RunResult r = run.Execute();
+  ASSERT_TRUE(r.ok) << r.violation;
+  ASSERT_TRUE(run.engine().attacks()[0].fired);
+  EXPECT_FALSE(run.engine().attacks()[0].blocked);
+}
+
+// Sanitization catches corrupted safety-critical values even when the write
+// lands inside the compromised operation's own section.
+TEST(SecurityProperties, SanitizationStopsCorruptShadows) {
+  PinLockApp app(2);
+  AppRun run(app, BuildMode::kOpec);
+  const opec_compiler::Policy& policy = run.compile()->policy;
+  int lock_state = policy.FindExternalIndex(run.module().FindGlobal("lock_state"));
+  ASSERT_GE(lock_state, 0);
+  // Find Unlock_Task's own shadow of lock_state: a write there is INSIDE the
+  // attacker's section, so the MPU allows it — the sanitizer must catch it.
+  const opec_compiler::OperationPolicy* op = policy.FindOperationByEntry("Unlock_Task");
+  ASSERT_NE(op, nullptr);
+  uint32_t shadow_addr = 0;
+  for (const auto& sp : op->shadows) {
+    if (sp.var_index == lock_state) {
+      shadow_addr = sp.addr;
+    }
+  }
+  ASSERT_NE(shadow_addr, 0u);
+  opec_rt::AttackSpec attack;
+  // uart_send call #3 (after Init_Lock's "LK" and the round-1 prompt) is the
+  // "OK" transmission inside do_unlock, AFTER lock_state was legitimately
+  // written — so the corrupted value survives until the operation switch.
+  attack.function = "uart_send";
+  attack.occurrence = 3;
+  attack.addr = shadow_addr;
+  attack.value = 77;  // outside the [0,1] sanitize range
+  run.AddAttack(attack);
+  opec_rt::RunResult r = run.Execute();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("sanitization"), std::string::npos) << r.violation;
+}
+
+}  // namespace
+}  // namespace opec_apps
