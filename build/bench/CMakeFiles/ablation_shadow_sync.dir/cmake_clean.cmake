@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shadow_sync.dir/ablation_shadow_sync.cc.o"
+  "CMakeFiles/ablation_shadow_sync.dir/ablation_shadow_sync.cc.o.d"
+  "ablation_shadow_sync"
+  "ablation_shadow_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shadow_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_switch_frequency.dir/ablation_switch_frequency.cc.o"
+  "CMakeFiles/ablation_switch_frequency.dir/ablation_switch_frequency.cc.o.d"
+  "ablation_switch_frequency"
+  "ablation_switch_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_switch_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure10_pt.dir/figure10_pt.cc.o"
+  "CMakeFiles/figure10_pt.dir/figure10_pt.cc.o.d"
+  "figure10_pt"
+  "figure10_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure10_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

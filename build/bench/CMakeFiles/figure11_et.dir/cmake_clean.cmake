@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure11_et.dir/figure11_et.cc.o"
+  "CMakeFiles/figure11_et.dir/figure11_et.cc.o.d"
+  "figure11_et"
+  "figure11_et.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure11_et.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

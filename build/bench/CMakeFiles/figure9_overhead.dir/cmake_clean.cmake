@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure9_overhead.dir/figure9_overhead.cc.o"
+  "CMakeFiles/figure9_overhead.dir/figure9_overhead.cc.o.d"
+  "figure9_overhead"
+  "figure9_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure9_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

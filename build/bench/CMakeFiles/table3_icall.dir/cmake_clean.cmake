@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_icall.dir/table3_icall.cc.o"
+  "CMakeFiles/table3_icall.dir/table3_icall.cc.o.d"
+  "table3_icall"
+  "table3_icall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_icall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinlock_attack.dir/pinlock_attack.cc.o"
+  "CMakeFiles/pinlock_attack.dir/pinlock_attack.cc.o.d"
+  "pinlock_attack"
+  "pinlock_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinlock_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

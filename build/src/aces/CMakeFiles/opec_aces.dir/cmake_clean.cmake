@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opec_aces.dir/aces.cc.o"
+  "CMakeFiles/opec_aces.dir/aces.cc.o.d"
+  "libopec_aces.a"
+  "libopec_aces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opec_aces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for opec_aces.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opec_analysis.dir/call_graph.cc.o"
+  "CMakeFiles/opec_analysis.dir/call_graph.cc.o.d"
+  "CMakeFiles/opec_analysis.dir/points_to.cc.o"
+  "CMakeFiles/opec_analysis.dir/points_to.cc.o.d"
+  "CMakeFiles/opec_analysis.dir/resource_analysis.cc.o"
+  "CMakeFiles/opec_analysis.dir/resource_analysis.cc.o.d"
+  "libopec_analysis.a"
+  "libopec_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opec_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

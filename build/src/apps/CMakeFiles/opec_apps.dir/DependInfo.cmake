@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/all_apps.cc" "src/apps/CMakeFiles/opec_apps.dir/all_apps.cc.o" "gcc" "src/apps/CMakeFiles/opec_apps.dir/all_apps.cc.o.d"
+  "/root/repo/src/apps/animation.cc" "src/apps/CMakeFiles/opec_apps.dir/animation.cc.o" "gcc" "src/apps/CMakeFiles/opec_apps.dir/animation.cc.o.d"
+  "/root/repo/src/apps/camera.cc" "src/apps/CMakeFiles/opec_apps.dir/camera.cc.o" "gcc" "src/apps/CMakeFiles/opec_apps.dir/camera.cc.o.d"
+  "/root/repo/src/apps/coremark.cc" "src/apps/CMakeFiles/opec_apps.dir/coremark.cc.o" "gcc" "src/apps/CMakeFiles/opec_apps.dir/coremark.cc.o.d"
+  "/root/repo/src/apps/fatfs_usd.cc" "src/apps/CMakeFiles/opec_apps.dir/fatfs_usd.cc.o" "gcc" "src/apps/CMakeFiles/opec_apps.dir/fatfs_usd.cc.o.d"
+  "/root/repo/src/apps/guest/fat16_guest.cc" "src/apps/CMakeFiles/opec_apps.dir/guest/fat16_guest.cc.o" "gcc" "src/apps/CMakeFiles/opec_apps.dir/guest/fat16_guest.cc.o.d"
+  "/root/repo/src/apps/guest/fat16_host.cc" "src/apps/CMakeFiles/opec_apps.dir/guest/fat16_host.cc.o" "gcc" "src/apps/CMakeFiles/opec_apps.dir/guest/fat16_host.cc.o.d"
+  "/root/repo/src/apps/guest/heap_alloc.cc" "src/apps/CMakeFiles/opec_apps.dir/guest/heap_alloc.cc.o" "gcc" "src/apps/CMakeFiles/opec_apps.dir/guest/heap_alloc.cc.o.d"
+  "/root/repo/src/apps/guest/lcd_driver.cc" "src/apps/CMakeFiles/opec_apps.dir/guest/lcd_driver.cc.o" "gcc" "src/apps/CMakeFiles/opec_apps.dir/guest/lcd_driver.cc.o.d"
+  "/root/repo/src/apps/guest/net_host.cc" "src/apps/CMakeFiles/opec_apps.dir/guest/net_host.cc.o" "gcc" "src/apps/CMakeFiles/opec_apps.dir/guest/net_host.cc.o.d"
+  "/root/repo/src/apps/guest/sd_driver.cc" "src/apps/CMakeFiles/opec_apps.dir/guest/sd_driver.cc.o" "gcc" "src/apps/CMakeFiles/opec_apps.dir/guest/sd_driver.cc.o.d"
+  "/root/repo/src/apps/lcd_usd.cc" "src/apps/CMakeFiles/opec_apps.dir/lcd_usd.cc.o" "gcc" "src/apps/CMakeFiles/opec_apps.dir/lcd_usd.cc.o.d"
+  "/root/repo/src/apps/pinlock.cc" "src/apps/CMakeFiles/opec_apps.dir/pinlock.cc.o" "gcc" "src/apps/CMakeFiles/opec_apps.dir/pinlock.cc.o.d"
+  "/root/repo/src/apps/runner.cc" "src/apps/CMakeFiles/opec_apps.dir/runner.cc.o" "gcc" "src/apps/CMakeFiles/opec_apps.dir/runner.cc.o.d"
+  "/root/repo/src/apps/tcp_echo.cc" "src/apps/CMakeFiles/opec_apps.dir/tcp_echo.cc.o" "gcc" "src/apps/CMakeFiles/opec_apps.dir/tcp_echo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/opec_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/opec_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/opec_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/opec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/opec_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/opec_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/opec_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

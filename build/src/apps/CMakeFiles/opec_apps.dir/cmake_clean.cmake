@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opec_apps.dir/all_apps.cc.o"
+  "CMakeFiles/opec_apps.dir/all_apps.cc.o.d"
+  "CMakeFiles/opec_apps.dir/animation.cc.o"
+  "CMakeFiles/opec_apps.dir/animation.cc.o.d"
+  "CMakeFiles/opec_apps.dir/camera.cc.o"
+  "CMakeFiles/opec_apps.dir/camera.cc.o.d"
+  "CMakeFiles/opec_apps.dir/coremark.cc.o"
+  "CMakeFiles/opec_apps.dir/coremark.cc.o.d"
+  "CMakeFiles/opec_apps.dir/fatfs_usd.cc.o"
+  "CMakeFiles/opec_apps.dir/fatfs_usd.cc.o.d"
+  "CMakeFiles/opec_apps.dir/guest/fat16_guest.cc.o"
+  "CMakeFiles/opec_apps.dir/guest/fat16_guest.cc.o.d"
+  "CMakeFiles/opec_apps.dir/guest/fat16_host.cc.o"
+  "CMakeFiles/opec_apps.dir/guest/fat16_host.cc.o.d"
+  "CMakeFiles/opec_apps.dir/guest/heap_alloc.cc.o"
+  "CMakeFiles/opec_apps.dir/guest/heap_alloc.cc.o.d"
+  "CMakeFiles/opec_apps.dir/guest/lcd_driver.cc.o"
+  "CMakeFiles/opec_apps.dir/guest/lcd_driver.cc.o.d"
+  "CMakeFiles/opec_apps.dir/guest/net_host.cc.o"
+  "CMakeFiles/opec_apps.dir/guest/net_host.cc.o.d"
+  "CMakeFiles/opec_apps.dir/guest/sd_driver.cc.o"
+  "CMakeFiles/opec_apps.dir/guest/sd_driver.cc.o.d"
+  "CMakeFiles/opec_apps.dir/lcd_usd.cc.o"
+  "CMakeFiles/opec_apps.dir/lcd_usd.cc.o.d"
+  "CMakeFiles/opec_apps.dir/pinlock.cc.o"
+  "CMakeFiles/opec_apps.dir/pinlock.cc.o.d"
+  "CMakeFiles/opec_apps.dir/runner.cc.o"
+  "CMakeFiles/opec_apps.dir/runner.cc.o.d"
+  "CMakeFiles/opec_apps.dir/tcp_echo.cc.o"
+  "CMakeFiles/opec_apps.dir/tcp_echo.cc.o.d"
+  "libopec_apps.a"
+  "libopec_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opec_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

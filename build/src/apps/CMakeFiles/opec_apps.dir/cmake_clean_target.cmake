@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libopec_apps.a"
+)

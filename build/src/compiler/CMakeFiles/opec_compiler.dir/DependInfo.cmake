@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/image.cc" "src/compiler/CMakeFiles/opec_compiler.dir/image.cc.o" "gcc" "src/compiler/CMakeFiles/opec_compiler.dir/image.cc.o.d"
+  "/root/repo/src/compiler/instrument.cc" "src/compiler/CMakeFiles/opec_compiler.dir/instrument.cc.o" "gcc" "src/compiler/CMakeFiles/opec_compiler.dir/instrument.cc.o.d"
+  "/root/repo/src/compiler/layout.cc" "src/compiler/CMakeFiles/opec_compiler.dir/layout.cc.o" "gcc" "src/compiler/CMakeFiles/opec_compiler.dir/layout.cc.o.d"
+  "/root/repo/src/compiler/opec_compiler.cc" "src/compiler/CMakeFiles/opec_compiler.dir/opec_compiler.cc.o" "gcc" "src/compiler/CMakeFiles/opec_compiler.dir/opec_compiler.cc.o.d"
+  "/root/repo/src/compiler/partitioner.cc" "src/compiler/CMakeFiles/opec_compiler.dir/partitioner.cc.o" "gcc" "src/compiler/CMakeFiles/opec_compiler.dir/partitioner.cc.o.d"
+  "/root/repo/src/compiler/policy_text.cc" "src/compiler/CMakeFiles/opec_compiler.dir/policy_text.cc.o" "gcc" "src/compiler/CMakeFiles/opec_compiler.dir/policy_text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/opec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/opec_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/opec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/opec_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/opec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opec_compiler.dir/image.cc.o"
+  "CMakeFiles/opec_compiler.dir/image.cc.o.d"
+  "CMakeFiles/opec_compiler.dir/instrument.cc.o"
+  "CMakeFiles/opec_compiler.dir/instrument.cc.o.d"
+  "CMakeFiles/opec_compiler.dir/layout.cc.o"
+  "CMakeFiles/opec_compiler.dir/layout.cc.o.d"
+  "CMakeFiles/opec_compiler.dir/opec_compiler.cc.o"
+  "CMakeFiles/opec_compiler.dir/opec_compiler.cc.o.d"
+  "CMakeFiles/opec_compiler.dir/partitioner.cc.o"
+  "CMakeFiles/opec_compiler.dir/partitioner.cc.o.d"
+  "CMakeFiles/opec_compiler.dir/policy_text.cc.o"
+  "CMakeFiles/opec_compiler.dir/policy_text.cc.o.d"
+  "libopec_compiler.a"
+  "libopec_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opec_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

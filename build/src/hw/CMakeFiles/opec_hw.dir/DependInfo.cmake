@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/bus.cc" "src/hw/CMakeFiles/opec_hw.dir/bus.cc.o" "gcc" "src/hw/CMakeFiles/opec_hw.dir/bus.cc.o.d"
+  "/root/repo/src/hw/devices/block_device.cc" "src/hw/CMakeFiles/opec_hw.dir/devices/block_device.cc.o" "gcc" "src/hw/CMakeFiles/opec_hw.dir/devices/block_device.cc.o.d"
+  "/root/repo/src/hw/devices/camera.cc" "src/hw/CMakeFiles/opec_hw.dir/devices/camera.cc.o" "gcc" "src/hw/CMakeFiles/opec_hw.dir/devices/camera.cc.o.d"
+  "/root/repo/src/hw/devices/ethernet.cc" "src/hw/CMakeFiles/opec_hw.dir/devices/ethernet.cc.o" "gcc" "src/hw/CMakeFiles/opec_hw.dir/devices/ethernet.cc.o.d"
+  "/root/repo/src/hw/devices/gpio.cc" "src/hw/CMakeFiles/opec_hw.dir/devices/gpio.cc.o" "gcc" "src/hw/CMakeFiles/opec_hw.dir/devices/gpio.cc.o.d"
+  "/root/repo/src/hw/devices/lcd.cc" "src/hw/CMakeFiles/opec_hw.dir/devices/lcd.cc.o" "gcc" "src/hw/CMakeFiles/opec_hw.dir/devices/lcd.cc.o.d"
+  "/root/repo/src/hw/devices/uart.cc" "src/hw/CMakeFiles/opec_hw.dir/devices/uart.cc.o" "gcc" "src/hw/CMakeFiles/opec_hw.dir/devices/uart.cc.o.d"
+  "/root/repo/src/hw/mpu.cc" "src/hw/CMakeFiles/opec_hw.dir/mpu.cc.o" "gcc" "src/hw/CMakeFiles/opec_hw.dir/mpu.cc.o.d"
+  "/root/repo/src/hw/soc.cc" "src/hw/CMakeFiles/opec_hw.dir/soc.cc.o" "gcc" "src/hw/CMakeFiles/opec_hw.dir/soc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/opec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opec_hw.dir/bus.cc.o"
+  "CMakeFiles/opec_hw.dir/bus.cc.o.d"
+  "CMakeFiles/opec_hw.dir/devices/block_device.cc.o"
+  "CMakeFiles/opec_hw.dir/devices/block_device.cc.o.d"
+  "CMakeFiles/opec_hw.dir/devices/camera.cc.o"
+  "CMakeFiles/opec_hw.dir/devices/camera.cc.o.d"
+  "CMakeFiles/opec_hw.dir/devices/ethernet.cc.o"
+  "CMakeFiles/opec_hw.dir/devices/ethernet.cc.o.d"
+  "CMakeFiles/opec_hw.dir/devices/gpio.cc.o"
+  "CMakeFiles/opec_hw.dir/devices/gpio.cc.o.d"
+  "CMakeFiles/opec_hw.dir/devices/lcd.cc.o"
+  "CMakeFiles/opec_hw.dir/devices/lcd.cc.o.d"
+  "CMakeFiles/opec_hw.dir/devices/uart.cc.o"
+  "CMakeFiles/opec_hw.dir/devices/uart.cc.o.d"
+  "CMakeFiles/opec_hw.dir/mpu.cc.o"
+  "CMakeFiles/opec_hw.dir/mpu.cc.o.d"
+  "CMakeFiles/opec_hw.dir/soc.cc.o"
+  "CMakeFiles/opec_hw.dir/soc.cc.o.d"
+  "libopec_hw.a"
+  "libopec_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opec_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

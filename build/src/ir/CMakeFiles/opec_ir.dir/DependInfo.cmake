@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/opec_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/opec_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/expr.cc" "src/ir/CMakeFiles/opec_ir.dir/expr.cc.o" "gcc" "src/ir/CMakeFiles/opec_ir.dir/expr.cc.o.d"
+  "/root/repo/src/ir/module.cc" "src/ir/CMakeFiles/opec_ir.dir/module.cc.o" "gcc" "src/ir/CMakeFiles/opec_ir.dir/module.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/opec_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/opec_ir.dir/printer.cc.o.d"
+  "/root/repo/src/ir/stmt.cc" "src/ir/CMakeFiles/opec_ir.dir/stmt.cc.o" "gcc" "src/ir/CMakeFiles/opec_ir.dir/stmt.cc.o.d"
+  "/root/repo/src/ir/type.cc" "src/ir/CMakeFiles/opec_ir.dir/type.cc.o" "gcc" "src/ir/CMakeFiles/opec_ir.dir/type.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/opec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

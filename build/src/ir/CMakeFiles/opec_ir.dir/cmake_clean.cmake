@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opec_ir.dir/builder.cc.o"
+  "CMakeFiles/opec_ir.dir/builder.cc.o.d"
+  "CMakeFiles/opec_ir.dir/expr.cc.o"
+  "CMakeFiles/opec_ir.dir/expr.cc.o.d"
+  "CMakeFiles/opec_ir.dir/module.cc.o"
+  "CMakeFiles/opec_ir.dir/module.cc.o.d"
+  "CMakeFiles/opec_ir.dir/printer.cc.o"
+  "CMakeFiles/opec_ir.dir/printer.cc.o.d"
+  "CMakeFiles/opec_ir.dir/stmt.cc.o"
+  "CMakeFiles/opec_ir.dir/stmt.cc.o.d"
+  "CMakeFiles/opec_ir.dir/type.cc.o"
+  "CMakeFiles/opec_ir.dir/type.cc.o.d"
+  "libopec_ir.a"
+  "libopec_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opec_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opec_metrics.dir/over_privilege.cc.o"
+  "CMakeFiles/opec_metrics.dir/over_privilege.cc.o.d"
+  "CMakeFiles/opec_metrics.dir/report.cc.o"
+  "CMakeFiles/opec_metrics.dir/report.cc.o.d"
+  "libopec_metrics.a"
+  "libopec_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opec_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

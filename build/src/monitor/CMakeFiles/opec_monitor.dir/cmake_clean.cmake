@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opec_monitor.dir/monitor.cc.o"
+  "CMakeFiles/opec_monitor.dir/monitor.cc.o.d"
+  "libopec_monitor.a"
+  "libopec_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opec_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

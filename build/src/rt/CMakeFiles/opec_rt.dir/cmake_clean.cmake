@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opec_rt.dir/engine.cc.o"
+  "CMakeFiles/opec_rt.dir/engine.cc.o.d"
+  "libopec_rt.a"
+  "libopec_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opec_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

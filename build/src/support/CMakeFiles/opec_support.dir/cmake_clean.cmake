@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opec_support.dir/check.cc.o"
+  "CMakeFiles/opec_support.dir/check.cc.o.d"
+  "CMakeFiles/opec_support.dir/text.cc.o"
+  "CMakeFiles/opec_support.dir/text.cc.o.d"
+  "libopec_support.a"
+  "libopec_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opec_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

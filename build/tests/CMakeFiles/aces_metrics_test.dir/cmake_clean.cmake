@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aces_metrics_test.dir/aces_metrics_test.cc.o"
+  "CMakeFiles/aces_metrics_test.dir/aces_metrics_test.cc.o.d"
+  "aces_metrics_test"
+  "aces_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aces_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

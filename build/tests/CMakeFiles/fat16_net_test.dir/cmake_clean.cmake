@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fat16_net_test.dir/fat16_net_test.cc.o"
+  "CMakeFiles/fat16_net_test.dir/fat16_net_test.cc.o.d"
+  "fat16_net_test"
+  "fat16_net_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fat16_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

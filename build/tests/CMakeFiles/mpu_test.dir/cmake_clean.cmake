@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpu_test.dir/mpu_test.cc.o"
+  "CMakeFiles/mpu_test.dir/mpu_test.cc.o.d"
+  "mpu_test"
+  "mpu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

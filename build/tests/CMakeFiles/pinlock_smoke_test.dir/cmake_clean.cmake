@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinlock_smoke_test.dir/pinlock_smoke_test.cc.o"
+  "CMakeFiles/pinlock_smoke_test.dir/pinlock_smoke_test.cc.o.d"
+  "pinlock_smoke_test"
+  "pinlock_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinlock_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(pinlock_smoke_test "/root/repo/build/tests/pinlock_smoke_test")
+set_tests_properties(pinlock_smoke_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;opec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(apps_scenario_test "/root/repo/build/tests/apps_scenario_test")
+set_tests_properties(apps_scenario_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;opec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ir_test "/root/repo/build/tests/ir_test")
+set_tests_properties(ir_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;opec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mpu_test "/root/repo/build/tests/mpu_test")
+set_tests_properties(mpu_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;opec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bus_devices_test "/root/repo/build/tests/bus_devices_test")
+set_tests_properties(bus_devices_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;opec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(engine_test "/root/repo/build/tests/engine_test")
+set_tests_properties(engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;opec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(analysis_test "/root/repo/build/tests/analysis_test")
+set_tests_properties(analysis_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;opec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(compiler_test "/root/repo/build/tests/compiler_test")
+set_tests_properties(compiler_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;opec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(monitor_test "/root/repo/build/tests/monitor_test")
+set_tests_properties(monitor_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;opec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(aces_metrics_test "/root/repo/build/tests/aces_metrics_test")
+set_tests_properties(aces_metrics_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;opec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(security_test "/root/repo/build/tests/security_test")
+set_tests_properties(security_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;opec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fat16_net_test "/root/repo/build/tests/fat16_net_test")
+set_tests_properties(fat16_net_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;opec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(heap_test "/root/repo/build/tests/heap_test")
+set_tests_properties(heap_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;21;opec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;22;opec_test;/root/repo/tests/CMakeLists.txt;0;")
