@@ -31,6 +31,10 @@ struct AcesRunResult {
   uint64_t cycles = 0;
   uint64_t switches = 0;
   opec_aces::AcesResult partition;
+  // Owns the module the partition's Function*/GlobalVariable* point into.
+  // Without this, consumers that dereference partition pointers after
+  // RunUnderAces returns (e.g. ComputeAcesPt) read freed memory.
+  std::unique_ptr<opec_ir::Module> module;
 };
 
 inline AcesRunResult RunUnderAces(const opec_apps::Application& app,
@@ -58,6 +62,7 @@ inline AcesRunResult RunUnderAces(const opec_apps::Application& app,
                  app.name() + " under ACES: " + app.CheckScenario(*devices, result));
   out.cycles = result.cycles;
   out.switches = runtime.compartment_switches();
+  out.module = std::move(module);
   return out;
 }
 

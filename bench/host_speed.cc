@@ -1,0 +1,247 @@
+// Host-speed benchmark: wall-clock cost of the simulation pipeline itself.
+//
+// Times image build + execution for the three hottest tier-1 workloads
+// (CoreMark, FatFs-uSD, TCP-Echo) under both configurations and writes
+// BENCH_host_speed.json. Modeled outputs (cycles, statements) are recorded so
+// a --baseline comparison can verify that host-side optimizations never
+// change the modeled numbers (the invariant documented in DESIGN.md,
+// "Performance of the harness").
+//
+// Usage:
+//   host_speed [--iters N] [--out FILE] [--baseline FILE] [--smoke]
+//
+// With --baseline, the previous run's metrics are embedded in the output and
+// per-configuration "speedup" factors (baseline wall_ns / current wall_ns)
+// are computed; a modeled-cycle mismatch against the baseline is a hard
+// error (exit 1).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/apps/all_apps.h"
+#include "src/apps/runner.h"
+#include "src/support/check.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t NsSince(Clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count());
+}
+
+struct Sample {
+  uint64_t build_ns = 0;  // AppRun construction: compile/analysis + image load
+  uint64_t exec_ns = 0;   // Execute(): the interpreter + monitor
+  uint64_t cycles = 0;    // modeled machine cycles (must be host-invariant)
+  uint64_t statements = 0;
+  uint64_t wall_ns() const { return build_ns + exec_ns; }
+};
+
+Sample RunOnce(const opec_apps::Application& app, opec_apps::BuildMode mode) {
+  Sample s;
+  Clock::time_point t0 = Clock::now();
+  opec_apps::AppRun run(app, mode);
+  s.build_ns = NsSince(t0);
+  Clock::time_point t1 = Clock::now();
+  opec_rt::RunResult r = run.Execute();
+  s.exec_ns = NsSince(t1);
+  OPEC_CHECK_MSG(r.ok, app.name() + " run failed: " + r.violation);
+  OPEC_CHECK_MSG(run.Check().empty(), app.name() + ": " + run.Check());
+  s.cycles = r.cycles;
+  s.statements = r.statements;
+  return s;
+}
+
+std::string KeyName(const std::string& app_name) {
+  std::string key;
+  for (char c : app_name) {
+    if (c == '-') {
+      key += '_';
+    } else {
+      key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return key;
+}
+
+// Parses the flat "metrics" section of a previous host_speed output. The
+// format is line-oriented by construction: every metric is emitted on its own
+// line as `"<key>": <integer-or-float>,` so a full JSON parser is not needed.
+std::map<std::string, double> LoadBaseline(const std::string& path) {
+  std::map<std::string, double> out;
+  std::ifstream in(path);
+  OPEC_CHECK_MSG(in.good(), "cannot open baseline file: " + path);
+  std::string line;
+  bool in_metrics = false;
+  while (std::getline(in, line)) {
+    if (line.find("\"metrics\"") != std::string::npos) {
+      in_metrics = true;
+      continue;
+    }
+    if (!in_metrics) {
+      continue;
+    }
+    if (line.find('}') != std::string::npos && line.find(':') == std::string::npos) {
+      break;  // end of the metrics object
+    }
+    size_t k0 = line.find('"');
+    size_t k1 = line.find('"', k0 + 1);
+    size_t colon = line.find(':', k1 == std::string::npos ? 0 : k1);
+    if (k0 == std::string::npos || k1 == std::string::npos || colon == std::string::npos) {
+      continue;
+    }
+    std::string key = line.substr(k0 + 1, k1 - k0 - 1);
+    out[key] = std::strtod(line.c_str() + colon + 1, nullptr);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int iters = 5;
+  std::string out_path = "BENCH_host_speed.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--iters" && i + 1 < argc) {
+      iters = std::atoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--smoke") {
+      iters = 1;
+    } else {
+      std::fprintf(stderr, "usage: host_speed [--iters N] [--out FILE] [--baseline FILE]\n");
+      return 2;
+    }
+  }
+  OPEC_CHECK_MSG(iters >= 1, "--iters must be >= 1");
+
+  const std::vector<std::string> wanted = {"CoreMark", "FatFs-uSD", "TCP-Echo"};
+  struct Config {
+    const char* name;
+    opec_apps::BuildMode mode;
+  };
+  const Config configs[] = {{"vanilla", opec_apps::BuildMode::kVanilla},
+                            {"opec", opec_apps::BuildMode::kOpec}};
+
+  // key -> value, in insertion order for stable output.
+  std::vector<std::pair<std::string, double>> metrics;
+  auto emit = [&](const std::string& key, double v) { metrics.emplace_back(key, v); };
+
+  for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
+    if (std::find(wanted.begin(), wanted.end(), factory.name) == wanted.end()) {
+      continue;
+    }
+    std::unique_ptr<opec_apps::Application> app = factory.make();
+    std::string key = KeyName(factory.name);
+    for (const Config& cfg : configs) {
+      Sample best;
+      for (int it = 0; it < iters; ++it) {
+        Sample s = RunOnce(*app, cfg.mode);
+        if (it == 0 || s.wall_ns() < best.wall_ns()) {
+          best = s;
+        }
+        if (it > 0) {
+          OPEC_CHECK_MSG(s.cycles == best.cycles,
+                         factory.name + ": modeled cycles vary across iterations");
+        }
+      }
+      std::string prefix = key + "." + cfg.name + ".";
+      emit(prefix + "wall_ns", static_cast<double>(best.wall_ns()));
+      emit(prefix + "build_ns", static_cast<double>(best.build_ns));
+      emit(prefix + "exec_ns", static_cast<double>(best.exec_ns));
+      emit(prefix + "cycles", static_cast<double>(best.cycles));
+      emit(prefix + "statements", static_cast<double>(best.statements));
+      emit(prefix + "ns_per_statement",
+           static_cast<double>(best.exec_ns) / static_cast<double>(best.statements));
+      std::printf("%-12s %-8s wall %8.2f ms  (build %6.2f ms, exec %8.2f ms)  "
+                  "%.1f ns/stmt  cycles=%llu\n",
+                  factory.name.c_str(), cfg.name, best.wall_ns() / 1e6, best.build_ns / 1e6,
+                  best.exec_ns / 1e6,
+                  static_cast<double>(best.exec_ns) / static_cast<double>(best.statements),
+                  static_cast<unsigned long long>(best.cycles));
+    }
+  }
+
+  std::map<std::string, double> baseline;
+  bool modeled_mismatch = false;
+  if (!baseline_path.empty()) {
+    baseline = LoadBaseline(baseline_path);
+    OPEC_CHECK_MSG(!baseline.empty(), "baseline file has no metrics: " + baseline_path);
+  }
+
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"schema\": \"opec-host-speed-v1\",\n";
+  json << "  \"iterations\": " << iters << ",\n";
+  json << "  \"metrics\": {\n";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", metrics[i].second);
+    json << "    \"" << metrics[i].first << "\": " << buf
+         << (i + 1 < metrics.size() ? ",\n" : "\n");
+  }
+  json << "  }";
+  if (!baseline.empty()) {
+    json << ",\n  \"baseline\": {\n";
+    size_t i = 0;
+    for (const auto& [key, value] : baseline) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.3f", value);
+      json << "    \"" << key << "\": " << buf << (++i < baseline.size() ? ",\n" : "\n");
+    }
+    json << "  },\n  \"speedup\": {\n";
+    std::vector<std::string> lines;
+    for (const auto& [key, value] : metrics) {
+      const std::string suffix = ".wall_ns";
+      if (key.size() <= suffix.size() ||
+          key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0) {
+        // Modeled outputs must be bit-identical to the baseline.
+        if ((key.find(".cycles") != std::string::npos ||
+             key.find(".statements") != std::string::npos) &&
+            baseline.count(key) != 0 && baseline[key] != value) {
+          std::fprintf(stderr, "MODELED OUTPUT CHANGED: %s baseline=%.0f now=%.0f\n",
+                       key.c_str(), baseline[key], value);
+          modeled_mismatch = true;
+        }
+        continue;
+      }
+      if (baseline.count(key) == 0) {
+        continue;
+      }
+      std::string name = key.substr(0, key.size() - suffix.size());
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.2f", baseline[key] / value);
+      lines.push_back("    \"" + name + "\": " + buf);
+      std::printf("speedup %-22s %sx\n", name.c_str(), buf);
+    }
+    for (size_t j = 0; j < lines.size(); ++j) {
+      json << lines[j] << (j + 1 < lines.size() ? ",\n" : "\n");
+    }
+    json << "  }";
+  }
+  json << "\n}\n";
+
+  std::ofstream out(out_path);
+  out << json.str();
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+  if (modeled_mismatch) {
+    std::fprintf(stderr, "FAIL: modeled outputs changed relative to baseline\n");
+    return 1;
+  }
+  return 0;
+}

@@ -205,25 +205,29 @@ bench/CMakeFiles/figure11_et.dir/figure11_et.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/analysis/call_graph.h \
- /root/repo/src/analysis/points_to.h /root/repo/src/ir/module.h \
+ /root/repo/src/analysis/points_to.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/ir/module.h \
  /root/repo/src/ir/stmt.h /root/repo/src/ir/expr.h \
  /root/repo/src/ir/type.h /root/repo/src/analysis/resource_analysis.h \
  /root/repo/src/hw/soc.h /root/repo/src/hw/machine.h \
- /root/repo/src/hw/bus.h /root/repo/src/hw/address_map.h \
- /root/repo/src/hw/device.h /root/repo/src/hw/fault.h \
- /root/repo/src/hw/mpu.h /usr/include/c++/12/array \
- /root/repo/src/rt/supervisor.h /root/repo/src/apps/runner.h \
- /root/repo/src/apps/app.h /root/repo/src/compiler/partition_config.h \
- /root/repo/src/rt/engine.h /root/repo/src/rt/address_assignment.h \
- /root/repo/src/rt/trace.h /root/repo/src/compiler/opec_compiler.h \
- /root/repo/src/compiler/image.h /root/repo/src/compiler/instrument.h \
- /root/repo/src/compiler/policy.h /root/repo/src/compiler/partitioner.h \
- /root/repo/src/monitor/monitor.h /root/repo/src/support/check.h \
- /root/repo/bench/bench_util.h /root/repo/src/apps/all_apps.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/hw/bus.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/hw/address_map.h /root/repo/src/hw/device.h \
+ /root/repo/src/hw/fault.h /root/repo/src/hw/mpu.h \
+ /usr/include/c++/12/array /root/repo/src/rt/supervisor.h \
+ /root/repo/src/apps/runner.h /root/repo/src/apps/app.h \
+ /root/repo/src/compiler/partition_config.h /root/repo/src/rt/engine.h \
+ /root/repo/src/rt/address_assignment.h /root/repo/src/rt/trace.h \
+ /root/repo/src/compiler/opec_compiler.h /root/repo/src/compiler/image.h \
+ /root/repo/src/compiler/instrument.h /root/repo/src/compiler/policy.h \
+ /root/repo/src/compiler/partitioner.h /root/repo/src/monitor/monitor.h \
+ /root/repo/src/support/check.h /root/repo/bench/bench_util.h \
+ /root/repo/src/apps/all_apps.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/host_speed.cc" "bench/CMakeFiles/host_speed.dir/host_speed.cc.o" "gcc" "bench/CMakeFiles/host_speed.dir/host_speed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/opec_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/aces/CMakeFiles/opec_aces.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/opec_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/opec_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/opec_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/opec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/opec_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/opec_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/opec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/opec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_speed.dir/host_speed.cc.o"
+  "CMakeFiles/host_speed.dir/host_speed.cc.o.d"
+  "host_speed"
+  "host_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -183,7 +183,11 @@ bench/CMakeFiles/micro_primitives.dir/micro_primitives.cc.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/analysis/points_to.h /root/repo/src/ir/module.h \
+ /root/repo/src/analysis/points_to.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/ir/module.h \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -216,16 +220,17 @@ bench/CMakeFiles/micro_primitives.dir/micro_primitives.cc.o: \
  /root/repo/src/ir/expr.h /root/repo/src/ir/type.h \
  /root/repo/src/apps/pinlock.h /root/repo/src/apps/app.h \
  /root/repo/src/compiler/partition_config.h /root/repo/src/hw/machine.h \
- /root/repo/src/hw/bus.h /root/repo/src/hw/address_map.h \
- /root/repo/src/hw/device.h /root/repo/src/hw/fault.h \
- /root/repo/src/hw/mpu.h /usr/include/c++/12/array \
- /root/repo/src/hw/soc.h /root/repo/src/rt/engine.h \
- /root/repo/src/rt/address_assignment.h /root/repo/src/rt/supervisor.h \
- /root/repo/src/rt/trace.h /root/repo/src/hw/devices/gpio.h \
- /root/repo/src/hw/devices/rcc.h /root/repo/src/hw/devices/uart.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/apps/runner.h \
- /root/repo/src/compiler/opec_compiler.h \
+ /root/repo/src/hw/bus.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/hw/address_map.h /root/repo/src/hw/device.h \
+ /root/repo/src/hw/fault.h /root/repo/src/hw/mpu.h \
+ /usr/include/c++/12/array /root/repo/src/hw/soc.h \
+ /root/repo/src/rt/engine.h /root/repo/src/rt/address_assignment.h \
+ /root/repo/src/rt/supervisor.h /root/repo/src/rt/trace.h \
+ /root/repo/src/hw/devices/gpio.h /root/repo/src/hw/devices/rcc.h \
+ /root/repo/src/hw/devices/uart.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/apps/runner.h /root/repo/src/compiler/opec_compiler.h \
  /root/repo/src/analysis/call_graph.h \
  /root/repo/src/analysis/resource_analysis.h \
  /root/repo/src/compiler/image.h /root/repo/src/compiler/instrument.h \

@@ -212,17 +212,21 @@ bench/CMakeFiles/table3_icall.dir/table3_icall.cc.o: \
  /root/repo/src/compiler/partition_config.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/hw/machine.h \
- /root/repo/src/hw/bus.h /root/repo/src/hw/address_map.h \
- /root/repo/src/hw/device.h /root/repo/src/hw/fault.h \
- /root/repo/src/hw/mpu.h /root/repo/src/hw/soc.h \
- /root/repo/src/ir/module.h /root/repo/src/ir/stmt.h \
- /root/repo/src/ir/expr.h /root/repo/src/ir/type.h \
- /root/repo/src/rt/engine.h /root/repo/src/rt/address_assignment.h \
- /root/repo/src/rt/supervisor.h /root/repo/src/rt/trace.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/hw/bus.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/hw/address_map.h /root/repo/src/hw/device.h \
+ /root/repo/src/hw/fault.h /root/repo/src/hw/mpu.h \
+ /root/repo/src/hw/soc.h /root/repo/src/ir/module.h \
+ /root/repo/src/ir/stmt.h /root/repo/src/ir/expr.h \
+ /root/repo/src/ir/type.h /root/repo/src/rt/engine.h \
+ /root/repo/src/rt/address_assignment.h /root/repo/src/rt/supervisor.h \
+ /root/repo/src/rt/trace.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/apps/runner.h \
  /root/repo/src/compiler/opec_compiler.h \
  /root/repo/src/analysis/call_graph.h /root/repo/src/analysis/points_to.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/analysis/resource_analysis.h \
  /root/repo/src/compiler/image.h /root/repo/src/compiler/instrument.h \
  /root/repo/src/compiler/policy.h /root/repo/src/compiler/partitioner.h \

@@ -224,6 +224,8 @@ examples/CMakeFiles/policy_explorer.dir/policy_explorer.cc.o: \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/apps/runner.h \
  /root/repo/src/compiler/opec_compiler.h \
  /root/repo/src/analysis/call_graph.h /root/repo/src/analysis/points_to.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/analysis/resource_analysis.h \
  /root/repo/src/compiler/image.h /root/repo/src/compiler/instrument.h \
  /root/repo/src/compiler/policy.h /root/repo/src/compiler/partitioner.h \

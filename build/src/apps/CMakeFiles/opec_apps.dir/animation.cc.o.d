@@ -204,15 +204,16 @@ src/apps/CMakeFiles/opec_apps.dir/animation.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/hw/machine.h \
- /root/repo/src/hw/bus.h /root/repo/src/hw/address_map.h \
- /root/repo/src/hw/device.h /root/repo/src/hw/fault.h \
- /root/repo/src/hw/mpu.h /usr/include/c++/12/array \
- /root/repo/src/hw/soc.h /root/repo/src/ir/module.h \
- /root/repo/src/ir/stmt.h /root/repo/src/ir/expr.h \
- /root/repo/src/ir/type.h /root/repo/src/rt/engine.h \
- /root/repo/src/rt/address_assignment.h /root/repo/src/rt/supervisor.h \
- /root/repo/src/rt/trace.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/hw/bus.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/hw/address_map.h /root/repo/src/hw/device.h \
+ /root/repo/src/hw/fault.h /root/repo/src/hw/mpu.h \
+ /usr/include/c++/12/array /root/repo/src/hw/soc.h \
+ /root/repo/src/ir/module.h /root/repo/src/ir/stmt.h \
+ /root/repo/src/ir/expr.h /root/repo/src/ir/type.h \
+ /root/repo/src/rt/engine.h /root/repo/src/rt/address_assignment.h \
+ /root/repo/src/rt/supervisor.h /root/repo/src/rt/trace.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/hw/devices/block_device.h /root/repo/src/hw/devices/lcd.h \
  /root/repo/src/hw/devices/rcc.h /root/repo/src/apps/guest/lcd_driver.h \

@@ -206,13 +206,18 @@ src/compiler/CMakeFiles/opec_compiler.dir/opec_compiler.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/analysis/points_to.h \
- /root/repo/src/ir/module.h /root/repo/src/ir/stmt.h \
- /root/repo/src/ir/expr.h /root/repo/src/ir/type.h \
- /root/repo/src/analysis/resource_analysis.h /root/repo/src/hw/soc.h \
- /root/repo/src/compiler/image.h /root/repo/src/compiler/instrument.h \
- /root/repo/src/compiler/policy.h /root/repo/src/hw/mpu.h \
- /usr/include/c++/12/array /root/repo/src/hw/fault.h \
- /root/repo/src/hw/machine.h /root/repo/src/hw/bus.h \
+ /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/ir/module.h \
+ /root/repo/src/ir/stmt.h /root/repo/src/ir/expr.h \
+ /root/repo/src/ir/type.h /root/repo/src/analysis/resource_analysis.h \
+ /root/repo/src/hw/soc.h /root/repo/src/compiler/image.h \
+ /root/repo/src/compiler/instrument.h /root/repo/src/compiler/policy.h \
+ /root/repo/src/hw/mpu.h /usr/include/c++/12/array \
+ /root/repo/src/hw/fault.h /root/repo/src/hw/machine.h \
+ /root/repo/src/hw/bus.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/hw/address_map.h /root/repo/src/hw/device.h \
  /root/repo/src/rt/address_assignment.h \
  /root/repo/src/compiler/partition_config.h \

@@ -133,8 +133,11 @@ src/metrics/CMakeFiles/opec_metrics.dir/over_privilege.cc.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/analysis/call_graph.h /root/repo/src/analysis/points_to.h \
- /root/repo/src/ir/module.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/ir/module.h \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -210,6 +213,7 @@ src/metrics/CMakeFiles/opec_metrics.dir/over_privilege.cc.o: \
  /root/repo/src/ir/expr.h /root/repo/src/ir/type.h \
  /root/repo/src/analysis/resource_analysis.h /root/repo/src/hw/soc.h \
  /root/repo/src/hw/machine.h /root/repo/src/hw/bus.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/hw/address_map.h /root/repo/src/hw/device.h \
  /root/repo/src/hw/fault.h /root/repo/src/hw/mpu.h \
  /usr/include/c++/12/array /root/repo/src/rt/supervisor.h \

@@ -208,6 +208,7 @@ src/monitor/CMakeFiles/opec_monitor.dir/monitor.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/ir/stmt.h \
  /root/repo/src/ir/expr.h /root/repo/src/ir/type.h \
  /root/repo/src/hw/machine.h /root/repo/src/hw/bus.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/hw/address_map.h /root/repo/src/hw/device.h \
  /root/repo/src/hw/soc.h /root/repo/src/rt/engine.h \
  /root/repo/src/rt/address_assignment.h /root/repo/src/rt/supervisor.h \

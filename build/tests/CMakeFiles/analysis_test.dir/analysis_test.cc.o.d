@@ -294,7 +294,9 @@ tests/CMakeFiles/analysis_test.dir/analysis_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/analysis/call_graph.h /root/repo/src/analysis/points_to.h \
- /root/repo/src/ir/module.h /root/repo/src/ir/stmt.h \
- /root/repo/src/ir/expr.h /root/repo/src/ir/type.h \
- /root/repo/src/analysis/resource_analysis.h /root/repo/src/hw/soc.h \
- /root/repo/src/hw/address_map.h /root/repo/src/ir/builder.h
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/ir/module.h \
+ /root/repo/src/ir/stmt.h /root/repo/src/ir/expr.h \
+ /root/repo/src/ir/type.h /root/repo/src/analysis/resource_analysis.h \
+ /root/repo/src/hw/soc.h /root/repo/src/hw/address_map.h \
+ /root/repo/src/ir/builder.h

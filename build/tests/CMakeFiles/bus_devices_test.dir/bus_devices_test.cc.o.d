@@ -300,5 +300,5 @@ tests/CMakeFiles/bus_devices_test.dir/bus_devices_test.cc.o: \
  /root/repo/src/hw/devices/gpio.h /root/repo/src/hw/devices/lcd.h \
  /root/repo/src/hw/devices/rcc.h /root/repo/src/hw/devices/uart.h \
  /root/repo/src/hw/machine.h /root/repo/src/hw/bus.h \
- /root/repo/src/hw/fault.h /root/repo/src/hw/mpu.h \
- /root/repo/src/hw/soc.h
+ /usr/include/c++/12/cstring /root/repo/src/hw/fault.h \
+ /root/repo/src/hw/mpu.h /root/repo/src/hw/soc.h

@@ -299,7 +299,8 @@ tests/CMakeFiles/engine_test.dir/engine_test.cc.o: \
  /root/repo/src/ir/module.h /root/repo/src/ir/stmt.h \
  /root/repo/src/ir/expr.h /root/repo/src/ir/type.h \
  /root/repo/src/hw/machine.h /root/repo/src/hw/bus.h \
- /root/repo/src/hw/address_map.h /root/repo/src/hw/device.h \
- /root/repo/src/hw/soc.h /root/repo/src/rt/address_assignment.h \
- /root/repo/src/ir/builder.h /root/repo/src/rt/engine.h \
- /root/repo/src/rt/supervisor.h /root/repo/src/rt/trace.h
+ /usr/include/c++/12/cstring /root/repo/src/hw/address_map.h \
+ /root/repo/src/hw/device.h /root/repo/src/hw/soc.h \
+ /root/repo/src/rt/address_assignment.h /root/repo/src/ir/builder.h \
+ /root/repo/src/rt/engine.h /root/repo/src/rt/supervisor.h \
+ /root/repo/src/rt/trace.h

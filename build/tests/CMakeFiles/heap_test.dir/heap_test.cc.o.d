@@ -299,13 +299,15 @@ tests/CMakeFiles/heap_test.dir/heap_test.cc.o: \
  /root/repo/src/compiler/partition_config.h \
  /root/repo/src/compiler/partitioner.h \
  /root/repo/src/analysis/call_graph.h /root/repo/src/analysis/points_to.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/analysis/resource_analysis.h /root/repo/src/hw/soc.h \
  /root/repo/src/compiler/policy.h /root/repo/src/hw/mpu.h \
  /root/repo/src/hw/fault.h /root/repo/src/rt/address_assignment.h \
  /root/repo/src/compiler/opec_compiler.h /root/repo/src/compiler/image.h \
  /root/repo/src/compiler/instrument.h /root/repo/src/hw/machine.h \
- /root/repo/src/hw/bus.h /root/repo/src/hw/address_map.h \
- /root/repo/src/hw/device.h /root/repo/src/ir/builder.h \
- /root/repo/src/monitor/monitor.h /root/repo/src/rt/engine.h \
- /root/repo/src/rt/supervisor.h /root/repo/src/rt/trace.h \
- /root/repo/tests/guest_harness.h
+ /root/repo/src/hw/bus.h /usr/include/c++/12/cstring \
+ /root/repo/src/hw/address_map.h /root/repo/src/hw/device.h \
+ /root/repo/src/ir/builder.h /root/repo/src/monitor/monitor.h \
+ /root/repo/src/rt/engine.h /root/repo/src/rt/supervisor.h \
+ /root/repo/src/rt/trace.h /root/repo/tests/guest_harness.h

@@ -295,18 +295,21 @@ tests/CMakeFiles/pinlock_smoke_test.dir/pinlock_smoke_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/apps/pinlock.h /root/repo/src/apps/app.h \
  /root/repo/src/compiler/partition_config.h /root/repo/src/hw/machine.h \
- /root/repo/src/hw/bus.h /root/repo/src/hw/address_map.h \
- /root/repo/src/hw/device.h /root/repo/src/hw/fault.h \
- /root/repo/src/hw/mpu.h /root/repo/src/hw/soc.h \
- /root/repo/src/ir/module.h /root/repo/src/ir/stmt.h \
- /root/repo/src/ir/expr.h /root/repo/src/ir/type.h \
- /root/repo/src/rt/engine.h /root/repo/src/rt/address_assignment.h \
- /root/repo/src/rt/supervisor.h /root/repo/src/rt/trace.h \
- /root/repo/src/hw/devices/gpio.h /root/repo/src/hw/devices/rcc.h \
- /root/repo/src/hw/devices/uart.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/apps/runner.h /root/repo/src/compiler/opec_compiler.h \
+ /root/repo/src/hw/bus.h /usr/include/c++/12/cstring \
+ /root/repo/src/hw/address_map.h /root/repo/src/hw/device.h \
+ /root/repo/src/hw/fault.h /root/repo/src/hw/mpu.h \
+ /root/repo/src/hw/soc.h /root/repo/src/ir/module.h \
+ /root/repo/src/ir/stmt.h /root/repo/src/ir/expr.h \
+ /root/repo/src/ir/type.h /root/repo/src/rt/engine.h \
+ /root/repo/src/rt/address_assignment.h /root/repo/src/rt/supervisor.h \
+ /root/repo/src/rt/trace.h /root/repo/src/hw/devices/gpio.h \
+ /root/repo/src/hw/devices/rcc.h /root/repo/src/hw/devices/uart.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/apps/runner.h \
+ /root/repo/src/compiler/opec_compiler.h \
  /root/repo/src/analysis/call_graph.h /root/repo/src/analysis/points_to.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/analysis/resource_analysis.h \
  /root/repo/src/compiler/image.h /root/repo/src/compiler/instrument.h \
  /root/repo/src/compiler/policy.h /root/repo/src/compiler/partitioner.h \

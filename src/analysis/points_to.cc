@@ -15,7 +15,8 @@ using opec_ir::Stmt;
 using opec_ir::StmtKind;
 using opec_ir::StmtPtr;
 
-PointsToAnalysis::PointsToAnalysis(const Module& module) : module_(module) {}
+PointsToAnalysis::PointsToAnalysis(const Module& module, SolverMode mode)
+    : module_(module), mode_(mode) {}
 
 int PointsToAnalysis::NewNode(PtaNode node) {
   nodes_.push_back(node);
@@ -318,6 +319,17 @@ void PointsToAnalysis::Run() {
 }
 
 void PointsToAnalysis::Solve() {
+  if (mode_ == SolverMode::kExhaustive) {
+    SolveExhaustive();
+  } else {
+    SolveWorklist();
+  }
+}
+
+// Reference solver: re-scan every constraint until nothing changes. Quadratic
+// and worse on large graphs, but trivially matches the constraint semantics;
+// kept selectable as the oracle for the differential tests.
+void PointsToAnalysis::SolveExhaustive() {
   bool changed = true;
   while (changed) {
     changed = false;
@@ -364,6 +376,157 @@ void PointsToAnalysis::Solve() {
       }
     }
   }
+}
+
+// Worklist solver. Copy edges form an explicit successor graph; load/store
+// constraints are indexed by their pointer node and materialize new copy
+// edges as the pointer's points-to set grows; icall sites wire callees the
+// same way. Only nodes whose set actually grew are revisited. Computes the
+// same least fixpoint as SolveExhaustive: both close the identical monotone
+// constraint system, and icall wiring is gated by the same wired_ set.
+void PointsToAnalysis::SolveWorklist() {
+  const size_t n = nodes_.size();
+  // Copy-successor adjacency with O(1) duplicate-edge suppression.
+  std::vector<std::vector<int>> copy_succ(n);
+  std::unordered_set<uint64_t> edge_set;
+  edge_set.reserve(copy_edges_.size() * 2);
+  // Per-pointer indexes of the complex constraints.
+  std::vector<std::vector<int>> load_cons(n);   // ptr -> dsts
+  std::vector<std::vector<int>> store_cons(n);  // ptr -> srcs
+  std::vector<std::vector<const Expr*>> icall_cons(n);
+  std::vector<char> on_list(n, 0);
+  // WireCallee can mint nodes mid-solve (param/return nodes of a callee
+  // nothing referenced before); grow the side tables to match.
+  auto grow = [&] {
+    if (copy_succ.size() < nodes_.size()) {
+      copy_succ.resize(nodes_.size());
+      load_cons.resize(nodes_.size());
+      store_cons.resize(nodes_.size());
+      icall_cons.resize(nodes_.size());
+      on_list.resize(nodes_.size(), 0);
+    }
+  };
+  for (const auto& [ptr, dst] : loads_) {
+    load_cons[static_cast<size_t>(ptr)].push_back(dst);
+  }
+  for (const auto& [ptr, src] : stores_) {
+    store_cons[static_cast<size_t>(ptr)].push_back(src);
+  }
+  for (const auto& [ptr, call] : icall_sites_) {
+    icall_cons[static_cast<size_t>(ptr)].push_back(call);
+  }
+
+  std::vector<int> worklist;
+  auto push = [&](int v) {
+    if (!on_list[static_cast<size_t>(v)]) {
+      on_list[static_cast<size_t>(v)] = 1;
+      worklist.push_back(v);
+    }
+  };
+  // Unions pts(from) into pts(to), scheduling `to` on growth.
+  auto propagate = [&](int from, int to) {
+    if (from == to) {
+      return;
+    }
+    auto& dst = pts_[static_cast<size_t>(to)];
+    size_t before = dst.size();
+    const auto& src = pts_[static_cast<size_t>(from)];
+    dst.insert(src.begin(), src.end());
+    if (dst.size() != before) {
+      push(to);
+    }
+  };
+  // Inserts copy edge from->to if new, propagating immediately.
+  auto add_edge = [&](int from, int to) {
+    if (from == to) {
+      return;
+    }
+    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+                   static_cast<uint32_t>(to);
+    if (edge_set.insert(key).second) {
+      copy_succ[static_cast<size_t>(from)].push_back(to);
+      propagate(from, to);
+    }
+  };
+
+  for (const auto& [from, to] : copy_edges_) {
+    add_edge(from, to);
+  }
+  // WireCallee appends to copy_edges_ during solving; edges past this
+  // watermark are drained into the graph incrementally.
+  size_t copy_watermark = copy_edges_.size();
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!pts_[i].empty()) {
+      push(static_cast<int>(i));
+    }
+  }
+
+  while (!worklist.empty()) {
+    int v = worklist.back();
+    worklist.pop_back();
+    on_list[static_cast<size_t>(v)] = 0;
+    // Snapshot: WireCallee below may mint nodes and reallocate pts_/nodes_
+    // and (via grow) the side tables, so don't hold references across it.
+    const std::vector<int> pv(pts_[static_cast<size_t>(v)].begin(),
+                              pts_[static_cast<size_t>(v)].end());
+    for (int dst : load_cons[static_cast<size_t>(v)]) {
+      for (int l : pv) {
+        add_edge(l, dst);
+      }
+    }
+    for (int src : store_cons[static_cast<size_t>(v)]) {
+      for (int l : pv) {
+        add_edge(src, l);
+      }
+    }
+    const std::vector<const Expr*> calls = icall_cons[static_cast<size_t>(v)];
+    for (const Expr* call : calls) {
+      for (int t : pv) {
+        if (nodes_[static_cast<size_t>(t)].kind != PtaNode::Kind::kFunc) {
+          continue;
+        }
+        const Function* callee = nodes_[static_cast<size_t>(t)].func;
+        if (wired_.insert(std::make_pair(call, callee)).second) {
+          WireCallee(*call, callee);
+        }
+      }
+      grow();
+      while (copy_watermark < copy_edges_.size()) {
+        const auto& [from, to] = copy_edges_[copy_watermark++];
+        add_edge(from, to);
+      }
+    }
+    for (int to : copy_succ[static_cast<size_t>(v)]) {
+      propagate(v, to);
+    }
+  }
+}
+
+int PointsToAnalysis::InjectNode() {
+  PtaNode node;
+  node.kind = PtaNode::Kind::kTemp;
+  return NewNode(node);
+}
+
+void PointsToAnalysis::InjectBase(int node, int loc) { AddBase(node, loc); }
+void PointsToAnalysis::InjectCopy(int from, int to) { AddCopy(from, to); }
+void PointsToAnalysis::InjectLoad(int ptr, int dst) { AddLoad(ptr, dst); }
+void PointsToAnalysis::InjectStore(int ptr, int src) { AddStore(ptr, src); }
+
+void PointsToAnalysis::SolveInjected() {
+  if (solved_) {
+    return;
+  }
+  auto start = std::chrono::steady_clock::now();
+  Solve();
+  solved_ = true;
+  solve_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+const std::set<int>& PointsToAnalysis::PointsToSetOf(int node) const {
+  OPEC_CHECK(node >= 0 && static_cast<size_t>(node) < pts_.size());
+  return pts_[static_cast<size_t>(node)];
 }
 
 std::set<const Function*> PointsToAnalysis::ICallTargets(const Expr* icall) const {

@@ -19,11 +19,22 @@
 #include <map>
 #include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/ir/module.h"
 
 namespace opec_analysis {
+
+// Fixpoint strategy. kWorklist is the default: nodes whose points-to set grew
+// are revisited, load/store constraints materialize copy edges incrementally,
+// and new edges are deduplicated — near-linear in practice. kExhaustive
+// re-scans every constraint until quiescence (the reference semantics); both
+// compute the same least fixpoint, which the differential tests check.
+enum class SolverMode {
+  kWorklist,
+  kExhaustive,
+};
 
 // An abstract memory location / pointer node.
 struct PtaNode {
@@ -45,7 +56,8 @@ struct PtaNode {
 
 class PointsToAnalysis {
  public:
-  explicit PointsToAnalysis(const opec_ir::Module& module);
+  explicit PointsToAnalysis(const opec_ir::Module& module,
+                            SolverMode mode = SolverMode::kWorklist);
 
   // Builds constraints and solves to fixpoint. Idempotent.
   void Run();
@@ -66,8 +78,24 @@ class PointsToAnalysis {
   double solve_seconds() const { return solve_seconds_; }
   size_t node_count() const { return nodes_.size(); }
   size_t constraint_count() const { return copy_edges_.size() + loads_.size() + stores_.size(); }
+  SolverMode solver_mode() const { return mode_; }
 
   const opec_ir::Module& module() const { return module_; }
+
+  // --- Synthetic-constraint interface (differential solver testing) ---
+  //
+  // Lets a test build an arbitrary constraint graph without walking a module,
+  // solve it with the configured mode, and read raw points-to sets back, so
+  // the worklist and exhaustive solvers can be compared on randomized inputs.
+  int InjectNode();                    // fresh abstract node; returns its id
+  void InjectBase(int node, int loc);  // loc ∈ pts(node)
+  void InjectCopy(int from, int to);   // pts(from) ⊆ pts(to)
+  void InjectLoad(int ptr, int dst);   // ∀ l ∈ pts(ptr): pts(l) ⊆ pts(dst)
+  void InjectStore(int ptr, int src);  // ∀ l ∈ pts(ptr): pts(src) ⊆ pts(l)
+  // Solves the injected constraints directly (no constraint generation from
+  // the module). Idempotent, like Run().
+  void SolveInjected();
+  const std::set<int>& PointsToSetOf(int node) const;
 
  private:
   int NewNode(PtaNode node);
@@ -96,8 +124,11 @@ class PointsToAnalysis {
   void WireCallee(const opec_ir::Expr& call, const opec_ir::Function* callee);
 
   void Solve();
+  void SolveExhaustive();
+  void SolveWorklist();
 
   const opec_ir::Module& module_;
+  SolverMode mode_ = SolverMode::kWorklist;
   std::vector<PtaNode> nodes_;
   std::vector<std::set<int>> pts_;
   std::map<const opec_ir::GlobalVariable*, int> global_nodes_;

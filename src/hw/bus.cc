@@ -1,5 +1,9 @@
 #include "src/hw/bus.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
 #include "src/support/check.h"
 
 namespace opec_hw {
@@ -13,46 +17,53 @@ Bus::Bus(const BoardSpec& board, Mpu* mpu, uint64_t* cycles)
 
 void Bus::AttachDevice(MmioDevice* device) {
   OPEC_CHECK(device != nullptr);
-  for (const MmioDevice* d : devices_) {
-    bool overlap = device->base() < d->base() + d->size() && d->base() < device->base() + device->size();
-    OPEC_CHECK_MSG(!overlap, "device range overlap: " + d->name() + " vs " + device->name());
+  for (const DeviceRange& r : device_ranges_) {
+    bool overlap = device->base() < r.end && r.base < device->base() + device->size();
+    OPEC_CHECK_MSG(!overlap,
+                   "device range overlap: " + r.device->name() + " vs " + device->name());
   }
-  devices_.push_back(device);
+  DeviceRange range{device->base(), device->base() + device->size(), device};
+  device_ranges_.insert(
+      std::upper_bound(device_ranges_.begin(), device_ranges_.end(), range,
+                       [](const DeviceRange& a, const DeviceRange& b) { return a.base < b.base; }),
+      range);
+  last_device_ = nullptr;  // insertion invalidates pointers into the table
 }
 
 Bus::Target Bus::Route(uint32_t addr, MmioDevice** device) const {
+  // The fixed windows are mutually disjoint, so check order is free; SRAM
+  // first, as data accesses dominate every workload.
+  if (addr - kSramBase < board_.sram_size) {
+    return Target::kSram;
+  }
+  if (addr - kFlashBase < board_.flash_size) {
+    return Target::kFlash;
+  }
   if (addr >= kPpbBase && addr <= kPpbEnd) {
     return Target::kPpb;
   }
-  if (addr >= kFlashBase && addr < kFlashBase + board_.flash_size) {
-    return Target::kFlash;
+  if (last_device_ != nullptr && addr >= last_device_->base && addr < last_device_->end) {
+    if (device != nullptr) {
+      *device = last_device_->device;
+    }
+    return Target::kDevice;
   }
-  if (addr >= kSramBase && addr < kSramBase + board_.sram_size) {
-    return Target::kSram;
-  }
-  for (MmioDevice* d : devices_) {
-    if (d->Contains(addr)) {
+  // Binary search over the sorted, non-overlapping intervals: the candidate
+  // is the last range whose base is <= addr.
+  auto it = std::upper_bound(
+      device_ranges_.begin(), device_ranges_.end(), addr,
+      [](uint32_t a, const DeviceRange& r) { return a < r.base; });
+  if (it != device_ranges_.begin()) {
+    --it;
+    if (addr < it->end) {
+      last_device_ = &*it;
       if (device != nullptr) {
-        *device = d;
+        *device = it->device;
       }
       return Target::kDevice;
     }
   }
   return Target::kUnmapped;
-}
-
-uint32_t Bus::ReadBacking(const std::vector<uint8_t>& mem, uint32_t offset, uint32_t size) const {
-  uint32_t v = 0;
-  for (uint32_t i = 0; i < size; ++i) {
-    v |= static_cast<uint32_t>(mem[offset + i]) << (8 * i);
-  }
-  return v;
-}
-
-void Bus::WriteBacking(std::vector<uint8_t>& mem, uint32_t offset, uint32_t size, uint32_t value) {
-  for (uint32_t i = 0; i < size; ++i) {
-    mem[offset + i] = static_cast<uint8_t>(value >> (8 * i));
-  }
 }
 
 AccessResult Bus::PpbRead(uint32_t addr, uint32_t size, bool privileged) {
@@ -73,8 +84,14 @@ AccessResult Bus::PpbRead(uint32_t addr, uint32_t size, bool privileged) {
     return AccessResult::Ok(systick_load_);
   }
   if (addr == kSysTickBase + 0x8) {
-    // Free-running downcounter derived from the cycle counter.
-    uint32_t reload = systick_load_ == 0 ? 0x00FFFFFF : systick_load_;
+    // Free-running downcounter derived from the cycle counter. SYST_RVR is a
+    // 24-bit field architecturally; clamp before the divide so an
+    // out-of-range stored value can never make `reload + 1` wrap to zero and
+    // divide the host by zero.
+    uint32_t reload = systick_load_ & 0x00FFFFFF;
+    if (reload == 0) {
+      reload = 0x00FFFFFF;
+    }
     return AccessResult::Ok(reload - static_cast<uint32_t>(*cycles_ % (reload + 1)));
   }
   if (addr >= kScbBase && addr < kScbBase + 0x90) {
@@ -103,7 +120,7 @@ AccessResult Bus::PpbWrite(uint32_t addr, uint32_t size, uint32_t value, bool pr
   return AccessResult::Ok();
 }
 
-AccessResult Bus::Read(uint32_t addr, uint32_t size, bool privileged) {
+AccessResult Bus::ReadSlow(uint32_t addr, uint32_t size, bool privileged) {
   MmioDevice* device = nullptr;
   Target target = Route(addr, &device);
   if (target == Target::kPpb) {
@@ -116,8 +133,16 @@ AccessResult Bus::Read(uint32_t addr, uint32_t size, bool privileged) {
   }
   switch (target) {
     case Target::kFlash:
+      // A multi-byte access must lie entirely inside the region: an access
+      // that starts in flash but runs past flash_size hits unmapped space.
+      if (addr - kFlashBase + size > board_.flash_size) {
+        return AccessResult::BusFault();
+      }
       return AccessResult::Ok(ReadBacking(flash_, addr - kFlashBase, size));
     case Target::kSram:
+      if (addr - kSramBase + size > board_.sram_size) {
+        return AccessResult::BusFault();
+      }
       return AccessResult::Ok(ReadBacking(sram_, addr - kSramBase, size));
     case Target::kDevice: {
       uint32_t value = 0;
@@ -135,7 +160,7 @@ AccessResult Bus::Read(uint32_t addr, uint32_t size, bool privileged) {
   OPEC_UNREACHABLE("bad Target");
 }
 
-AccessResult Bus::Write(uint32_t addr, uint32_t size, uint32_t value, bool privileged) {
+AccessResult Bus::WriteSlow(uint32_t addr, uint32_t size, uint32_t value, bool privileged) {
   MmioDevice* device = nullptr;
   Target target = Route(addr, &device);
   if (target == Target::kPpb) {
@@ -150,6 +175,9 @@ AccessResult Bus::Write(uint32_t addr, uint32_t size, uint32_t value, bool privi
       // like a locked flash controller.
       return AccessResult::BusFault();
     case Target::kSram:
+      if (addr - kSramBase + size > board_.sram_size) {
+        return AccessResult::BusFault();  // access runs past the end of SRAM
+      }
       WriteBacking(sram_, addr - kSramBase, size, value);
       return AccessResult::Ok();
     case Target::kDevice: {
@@ -169,11 +197,11 @@ AccessResult Bus::Write(uint32_t addr, uint32_t size, uint32_t value, bool privi
 
 bool Bus::DebugRead(uint32_t addr, uint32_t size, uint32_t* value) {
   Target target = Route(addr, nullptr);
-  if (target == Target::kFlash) {
+  if (target == Target::kFlash && addr - kFlashBase + size <= board_.flash_size) {
     *value = ReadBacking(flash_, addr - kFlashBase, size);
     return true;
   }
-  if (target == Target::kSram) {
+  if (target == Target::kSram && addr - kSramBase + size <= board_.sram_size) {
     *value = ReadBacking(sram_, addr - kSramBase, size);
     return true;
   }
@@ -182,15 +210,40 @@ bool Bus::DebugRead(uint32_t addr, uint32_t size, uint32_t* value) {
 
 bool Bus::DebugWrite(uint32_t addr, uint32_t size, uint32_t value) {
   Target target = Route(addr, nullptr);
-  if (target == Target::kFlash) {
+  if (target == Target::kFlash && addr - kFlashBase + size <= board_.flash_size) {
     WriteBacking(flash_, addr - kFlashBase, size, value);
     return true;
   }
-  if (target == Target::kSram) {
+  if (target == Target::kSram && addr - kSramBase + size <= board_.sram_size) {
     WriteBacking(sram_, addr - kSramBase, size, value);
     return true;
   }
   return false;
+}
+
+bool Bus::BulkCopy(uint32_t src, uint32_t dst, uint32_t n, bool privileged) {
+  if (n == 0) {
+    return true;
+  }
+  // Source: flash or SRAM; destination: SRAM (flash is not runtime-writable,
+  // and device windows have side effects — both fall back to the word path).
+  const uint8_t* from = nullptr;
+  if (src >= kFlashBase && static_cast<uint64_t>(src) - kFlashBase + n <= board_.flash_size) {
+    from = flash_.data() + (src - kFlashBase);
+  } else if (src >= kSramBase && static_cast<uint64_t>(src) - kSramBase + n <= board_.sram_size) {
+    from = sram_.data() + (src - kSramBase);
+  } else {
+    return false;
+  }
+  if (!(dst >= kSramBase && static_cast<uint64_t>(dst) - kSramBase + n <= board_.sram_size)) {
+    return false;
+  }
+  if (!mpu_->CheckRange(src, n, AccessKind::kRead, privileged) ||
+      !mpu_->CheckRange(dst, n, AccessKind::kWrite, privileged)) {
+    return false;
+  }
+  std::memmove(sram_.data() + (dst - kSramBase), from, n);
+  return true;
 }
 
 void Bus::DebugWriteBytes(uint32_t addr, const std::vector<uint8_t>& bytes) {

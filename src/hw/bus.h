@@ -4,7 +4,9 @@
 #ifndef SRC_HW_BUS_H_
 #define SRC_HW_BUS_H_
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "src/hw/address_map.h"
@@ -23,7 +25,10 @@ class Bus {
   void AttachDevice(MmioDevice* device);
 
   // Guest accesses: subject to PPB privilege rules and the MPU.
-  // `size` is 1, 2 or 4 bytes.
+  // `size` is 1, 2 or 4 bytes. Defined inline below with a fast path for
+  // accesses entirely inside SRAM (the overwhelmingly common case); anything
+  // else — flash, PPB, devices, straddles, faults — takes the out-of-line
+  // slow path, which performs the identical route/check/fault sequence.
   AccessResult Read(uint32_t addr, uint32_t size, bool privileged);
   AccessResult Write(uint32_t addr, uint32_t size, uint32_t value, bool privileged);
 
@@ -34,13 +39,30 @@ class Bus {
   void DebugWriteBytes(uint32_t addr, const std::vector<uint8_t>& bytes);
   std::vector<uint8_t> DebugReadBytes(uint32_t addr, uint32_t size);
 
+  // Bulk backing-store copy of `n` bytes between plain-memory ranges
+  // (flash/SRAM source, SRAM destination), subject to the same MPU decision a
+  // word-by-word copy would see. Returns false — copying nothing — when either
+  // range is not entirely plain memory or the MPU denies any part, so callers
+  // can fall back to the per-word path and surface identical faults. Charges
+  // no cycles; memory-system cost models stay with the caller.
+  bool BulkCopy(uint32_t src, uint32_t dst, uint32_t n, bool privileged);
+
   const BoardSpec& board() const { return board_; }
   uint32_t flash_end() const { return kFlashBase + board_.flash_size; }
   uint32_t sram_end() const { return kSramBase + board_.sram_size; }
 
  private:
   enum class Target { kFlash, kSram, kDevice, kPpb, kUnmapped };
+  // Sorted device interval, for O(log n) routing.
+  struct DeviceRange {
+    uint32_t base = 0;
+    uint32_t end = 0;  // exclusive
+    MmioDevice* device = nullptr;
+  };
   Target Route(uint32_t addr, MmioDevice** device) const;
+
+  AccessResult ReadSlow(uint32_t addr, uint32_t size, bool privileged);
+  AccessResult WriteSlow(uint32_t addr, uint32_t size, uint32_t value, bool privileged);
 
   uint32_t ReadBacking(const std::vector<uint8_t>& mem, uint32_t offset, uint32_t size) const;
   void WriteBacking(std::vector<uint8_t>& mem, uint32_t offset, uint32_t size, uint32_t value);
@@ -53,12 +75,68 @@ class Bus {
   uint64_t* cycles_;
   std::vector<uint8_t> flash_;
   std::vector<uint8_t> sram_;
-  std::vector<MmioDevice*> devices_;
+  // Devices sorted by base address; Route binary-searches this and keeps a
+  // one-entry last-hit cache (device accesses cluster on one peripheral).
+  std::vector<DeviceRange> device_ranges_;
+  mutable const DeviceRange* last_device_ = nullptr;
   // Scratch registers for core peripherals we accept writes to but do not
   // decode (SCB, memory-mapped MPU alias; the monitor uses the Mpu object API).
   uint32_t systick_load_ = 0;
   uint32_t systick_ctrl_ = 0;
 };
+
+inline uint32_t Bus::ReadBacking(const std::vector<uint8_t>& mem, uint32_t offset,
+                                 uint32_t size) const {
+  // Backing stores hold guest memory in little-endian order, so on a
+  // little-endian host a plain memcpy assembles the value directly.
+  if constexpr (std::endian::native == std::endian::little) {
+    uint32_t v = 0;
+    std::memcpy(&v, mem.data() + offset, size);
+    return v;
+  }
+  uint32_t v = 0;
+  for (uint32_t i = 0; i < size; ++i) {
+    v |= static_cast<uint32_t>(mem[offset + i]) << (8 * i);
+  }
+  return v;
+}
+
+inline void Bus::WriteBacking(std::vector<uint8_t>& mem, uint32_t offset, uint32_t size,
+                              uint32_t value) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(mem.data() + offset, &value, size);
+    return;
+  }
+  for (uint32_t i = 0; i < size; ++i) {
+    mem[offset + i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+inline AccessResult Bus::Read(uint32_t addr, uint32_t size, bool privileged) {
+  // Fast path: the access lies entirely inside SRAM. The slow path repeats
+  // the full route/MPU/bounds sequence, so behavior (including the MPU-check-
+  // before-bounds-fault ordering for straddles) is identical either way.
+  uint32_t off = addr - kSramBase;
+  if (off < board_.sram_size && off + size <= board_.sram_size) {
+    if (!mpu_->CheckAccess(addr, size, AccessKind::kRead, privileged)) {
+      return AccessResult::MemFault();
+    }
+    return AccessResult::Ok(ReadBacking(sram_, off, size));
+  }
+  return ReadSlow(addr, size, privileged);
+}
+
+inline AccessResult Bus::Write(uint32_t addr, uint32_t size, uint32_t value, bool privileged) {
+  uint32_t off = addr - kSramBase;
+  if (off < board_.sram_size && off + size <= board_.sram_size) {
+    if (!mpu_->CheckAccess(addr, size, AccessKind::kWrite, privileged)) {
+      return AccessResult::MemFault();
+    }
+    WriteBacking(sram_, off, size, value);
+    return AccessResult::Ok();
+  }
+  return WriteSlow(addr, size, value, privileged);
+}
 
 }  // namespace opec_hw
 

@@ -54,12 +54,14 @@ void Mpu::ConfigureRegion(int index, const MpuRegionConfig& config) {
   }
   regions_[static_cast<size_t>(index)] = config;
   ++config_writes_;
+  ++generation_;
 }
 
 void Mpu::DisableRegion(int index) {
   OPEC_CHECK(index >= 0 && index < kNumRegions);
   regions_[static_cast<size_t>(index)].enabled = false;
   ++config_writes_;
+  ++generation_;
 }
 
 const MpuRegionConfig& Mpu::region(int index) const {
@@ -85,41 +87,36 @@ int Mpu::DecidingRegion(uint32_t addr) const {
   return -1;
 }
 
-bool Mpu::PermAllows(AccessPerm ap, AccessKind kind, bool privileged) const {
-  switch (ap) {
-    case AccessPerm::kNoAccess:
-      return false;
-    case AccessPerm::kPrivRw:
-      return privileged;
-    case AccessPerm::kPrivRwUnprivRo:
-      return privileged || kind == AccessKind::kRead;
-    case AccessPerm::kFullAccess:
-      return true;
-    case AccessPerm::kPrivRo:
-      return privileged && kind == AccessKind::kRead;
-    case AccessPerm::kReadOnly:
-      return kind == AccessKind::kRead;
+uint8_t Mpu::ComputeAllowMask(uint32_t addr) const {
+  int idx = DecidingRegion(addr);
+  uint8_t mask = 0;
+  for (uint32_t priv = 0; priv < 2; ++priv) {
+    bool r, w, x;
+    if (idx < 0) {
+      // Background map: privileged-only (PRIVDEFENA), executable.
+      r = w = x = (priv != 0);
+    } else {
+      const MpuRegionConfig& reg = regions_[static_cast<size_t>(idx)];
+      r = PermAllows(reg.ap, AccessKind::kRead, priv != 0);
+      w = PermAllows(reg.ap, AccessKind::kWrite, priv != 0);
+      x = !reg.xn && r;
+    }
+    mask = static_cast<uint8_t>(mask | (r ? 1u << priv : 0u) |
+                                (w ? 1u << (2 | priv) : 0u) |
+                                (x ? 1u << (4 | priv) : 0u));
   }
-  return false;
+  return mask;
 }
 
-bool Mpu::CheckAccess(uint32_t addr, uint32_t size, AccessKind kind, bool privileged) const {
-  if (!enabled_) {
+bool Mpu::CheckRange(uint32_t addr, uint32_t len, AccessKind kind, bool privileged) const {
+  if (!enabled_ || len == 0) {
     return true;
   }
-  // Check the first and last byte of the access (accesses are at most 4 bytes,
-  // so these two probes cover every byte's deciding region transition).
-  uint32_t last = addr + (size == 0 ? 0 : size - 1);
-  for (uint32_t probe : {addr, last}) {
-    int idx = DecidingRegion(probe);
-    if (idx < 0) {
-      // Background map: privileged-only (PRIVDEFENA).
-      if (!privileged) {
-        return false;
-      }
-      continue;
-    }
-    if (!PermAllows(regions_[static_cast<size_t>(idx)].ap, kind, privileged)) {
+  uint64_t first_window = addr & ~31u;
+  uint64_t last_window = (static_cast<uint64_t>(addr) + len - 1) & ~31u;
+  for (uint64_t w = first_window; w <= last_window; w += 32) {
+    uint32_t probe = w < addr ? addr : static_cast<uint32_t>(w);
+    if (!ProbeAllows(probe, kind, privileged)) {
       return false;
     }
   }
@@ -130,12 +127,7 @@ bool Mpu::CheckExec(uint32_t addr, bool privileged) const {
   if (!enabled_) {
     return true;
   }
-  int idx = DecidingRegion(addr);
-  if (idx < 0) {
-    return privileged;
-  }
-  const MpuRegionConfig& r = regions_[static_cast<size_t>(idx)];
-  return !r.xn && PermAllows(r.ap, AccessKind::kRead, privileged);
+  return (MaskFor(addr) >> (4u | static_cast<uint32_t>(privileged))) & 1u;
 }
 
 }  // namespace opec_hw

@@ -60,9 +60,16 @@ class Mpu {
   bool enabled() const { return enabled_; }
 
   // Returns true when the given access is permitted. Exec permission is
-  // checked separately via CheckExec.
+  // checked separately via CheckExec. Defined inline below: this sits on the
+  // interpreter's per-access path and must fold into the bus fast path.
   bool CheckAccess(uint32_t addr, uint32_t size, AccessKind kind, bool privileged) const;
   bool CheckExec(uint32_t addr, bool privileged) const;
+
+  // Range variant for bulk copies: true iff every byte of [addr, addr+len)
+  // is permitted. Exact — MPU decisions are uniform within any 32-byte
+  // aligned window (regions are >=32-byte, size-aligned; sub-regions are
+  // >=32-byte), so one probe per window equals probing every byte.
+  bool CheckRange(uint32_t addr, uint32_t len, AccessKind kind, bool privileged) const;
 
   // Counts MPU reconfigurations, for the cost model and the benches.
   uint64_t config_writes() const { return config_writes_; }
@@ -72,11 +79,88 @@ class Mpu {
   // for background.
   int DecidingRegion(uint32_t addr) const;
   bool PermAllows(AccessPerm ap, AccessKind kind, bool privileged) const;
+  // All six allow bits for the window containing addr, from its deciding
+  // region (or the PRIVDEFENA background). Cold path of the decision cache.
+  uint8_t ComputeAllowMask(uint32_t addr) const;
+  // Cached allow bits for addr's window. The decision is uniform within a
+  // 32-byte aligned window (regions and sub-regions are >=32-byte and
+  // size-aligned), so a direct-mapped per-window cache returns the exact
+  // same bits ComputeAllowMask would. Entries are invalidated wholesale by
+  // bumping generation_ on every region reconfiguration.
+  uint8_t MaskFor(uint32_t addr) const;
+  // Decides one probe address: deciding region (or background) + permission.
+  bool ProbeAllows(uint32_t addr, AccessKind kind, bool privileged) const;
+
+  struct DecisionCacheEntry {
+    uint32_t window = 0;      // addr & ~31u
+    uint64_t generation = 0;  // matches generation_ when valid
+    // Bit (kind<<1)|priv for read (kind 0) and write (kind 1); bits 4|priv
+    // for execute. Encodes the full probe outcome so the hot path is one
+    // lookup and one bit test.
+    uint8_t allow_mask = 0;
+  };
+  static constexpr uint32_t kDecisionCacheSize = 256;  // power of two
 
   std::array<MpuRegionConfig, kNumRegions> regions_{};
   bool enabled_ = false;
   uint64_t config_writes_ = 0;
+  // generation_ starts at 1 so zero-initialized cache entries never match.
+  uint64_t generation_ = 1;
+  mutable std::array<DecisionCacheEntry, kDecisionCacheSize> decision_cache_{};
 };
+
+inline uint8_t Mpu::MaskFor(uint32_t addr) const {
+  uint32_t window = addr & ~31u;
+  DecisionCacheEntry& e = decision_cache_[(addr >> 5) & (kDecisionCacheSize - 1)];
+  if (e.generation == generation_ && e.window == window) {
+    return e.allow_mask;
+  }
+  uint8_t mask = ComputeAllowMask(addr);
+  e.window = window;
+  e.generation = generation_;
+  e.allow_mask = mask;
+  return mask;
+}
+
+inline bool Mpu::PermAllows(AccessPerm ap, AccessKind kind, bool privileged) const {
+  switch (ap) {
+    case AccessPerm::kNoAccess:
+      return false;
+    case AccessPerm::kPrivRw:
+      return privileged;
+    case AccessPerm::kPrivRwUnprivRo:
+      return privileged || kind == AccessKind::kRead;
+    case AccessPerm::kFullAccess:
+      return true;
+    case AccessPerm::kPrivRo:
+      return privileged && kind == AccessKind::kRead;
+    case AccessPerm::kReadOnly:
+      return kind == AccessKind::kRead;
+  }
+  return false;
+}
+
+inline bool Mpu::ProbeAllows(uint32_t addr, AccessKind kind, bool privileged) const {
+  uint32_t bit = (static_cast<uint32_t>(kind) << 1) | static_cast<uint32_t>(privileged);
+  return (MaskFor(addr) >> bit) & 1u;
+}
+
+inline bool Mpu::CheckAccess(uint32_t addr, uint32_t size, AccessKind kind,
+                             bool privileged) const {
+  if (!enabled_) {
+    return true;
+  }
+  // Check the first and last byte of the access (accesses are at most 4 bytes,
+  // so these two probes cover every byte's deciding region transition). When
+  // both bytes share one 32-byte aligned window the decision is uniform
+  // (region and sub-region boundaries are all multiples of 32), so one probe
+  // suffices — the common case for the aligned accesses guests make.
+  uint32_t last = addr + (size == 0 ? 0 : size - 1);
+  if ((addr & ~31u) == (last & ~31u)) {
+    return ProbeAllows(addr, kind, privileged);
+  }
+  return ProbeAllows(addr, kind, privileged) && ProbeAllows(last, kind, privileged);
+}
 
 }  // namespace opec_hw
 

@@ -9,6 +9,7 @@ GlobalVariable* Module::AddGlobal(const std::string& name, const Type* type, boo
   OPEC_CHECK(type != nullptr && type->size() > 0);
   globals_.push_back(std::make_unique<GlobalVariable>(name, type, is_const));
   GlobalVariable* gv = globals_.back().get();
+  gv->set_ordinal(static_cast<int>(globals_.size()) - 1);
   global_index_[name] = gv;
   return gv;
 }
@@ -21,6 +22,7 @@ Function* Module::AddFunction(const std::string& name, const Type* fn_type,
   OPEC_CHECK(param_names.size() == fn_type->params().size());
   functions_.push_back(std::make_unique<Function>(name, fn_type, std::move(param_names)));
   Function* fn = functions_.back().get();
+  fn->set_ordinal(static_cast<int>(functions_.size()) - 1);
   function_index_[name] = fn;
   return fn;
 }

@@ -27,6 +27,12 @@ class GlobalVariable {
   bool is_const() const { return is_const_; }
   uint32_t size() const { return type_->size(); }
 
+  // Dense position in Module::globals(), assigned by Module::AddGlobal. Lets
+  // per-run consumers (the execution engine) index flat arrays instead of
+  // pointer-keyed maps on the hot path.
+  int ordinal() const { return ordinal_; }
+  void set_ordinal(int o) { ordinal_ = o; }
+
   const std::vector<uint8_t>& initial_data() const { return initial_data_; }
   void set_initial_data(std::vector<uint8_t> bytes) { initial_data_ = std::move(bytes); }
 
@@ -34,6 +40,7 @@ class GlobalVariable {
   std::string name_;
   const Type* type_;
   bool is_const_;
+  int ordinal_ = -1;
   std::vector<uint8_t> initial_data_;
 };
 
@@ -77,10 +84,15 @@ class Function {
   bool is_interrupt_handler() const { return is_interrupt_handler_; }
   void set_is_interrupt_handler(bool v) { is_interrupt_handler_ = v; }
 
+  // Dense position in Module::functions(), assigned by Module::AddFunction.
+  int ordinal() const { return ordinal_; }
+  void set_ordinal(int o) { ordinal_ = o; }
+
  private:
   std::string name_;
   const Type* type_;
   int param_count_ = 0;
+  int ordinal_ = -1;
   std::vector<LocalVariable> locals_;
   std::vector<StmtPtr> body_;
   std::string source_file_;

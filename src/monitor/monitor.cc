@@ -39,12 +39,19 @@ void Monitor::PrivWrite(uint32_t addr, uint32_t size, uint32_t value) {
 }
 
 void Monitor::CopyBytes(uint32_t src, uint32_t dst, uint32_t n) {
-  uint32_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    PrivWrite(dst + i, 4, PrivRead(src + i, 4));
-  }
-  for (; i < n; ++i) {
-    PrivWrite(dst + i, 1, PrivRead(src + i, 1));
+  // Shadow syncs and stack relocations copy plain SRAM; do those as one bulk
+  // backing-store operation. The word loop remains as the fallback for
+  // anything the bulk path declines (device windows, MPU-denied ranges) so
+  // fault behavior is unchanged, and the modeled cycle charge is identical
+  // on both paths.
+  if (!machine_.bus().BulkCopy(src, dst, n, /*privileged=*/true)) {
+    uint32_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      PrivWrite(dst + i, 4, PrivRead(src + i, 4));
+    }
+    for (; i < n; ++i) {
+      PrivWrite(dst + i, 1, PrivRead(src + i, 1));
+    }
   }
   machine_.AddCycles(costs_.per_word_copy * ((n + 3) / 4));
 }

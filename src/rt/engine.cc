@@ -1,5 +1,7 @@
 #include "src/rt/engine.h"
 
+#include <algorithm>
+
 #include "src/hw/address_map.h"
 #include "src/support/check.h"
 #include "src/support/text.h"
@@ -33,41 +35,65 @@ uint32_t AlignUp(uint32_t v, uint32_t a) { return (v + a - 1) & ~(a - 1); }
 ExecutionEngine::ExecutionEngine(opec_hw::Machine& machine, const opec_ir::Module& module,
                                  const AddressAssignment& layout, Supervisor* supervisor)
     : machine_(machine), module_(module), layout_(layout), supervisor_(supervisor) {
-  // Assign pseudo code addresses for functions inside the flash code region
-  // so function pointers are plausible code addresses.
-  uint32_t addr = opec_hw::kFlashBase + 0x1000;
-  for (const auto& fn : module.functions()) {
-    func_addr_[fn.get()] = addr;
-    addr_func_[addr] = fn.get();
-    addr += 0x40;
+  // Precompute dense per-function indices once, so the interpreter's per-call
+  // and per-access paths are flat array reads instead of map lookups. Pseudo
+  // code addresses (for function pointers / icalls) are pure arithmetic on
+  // the function ordinal inside the flash code region.
+  const auto& fns = module.functions();
+  frame_layouts_.resize(fns.size());
+  entry_counts_.assign(fns.size(), 0);
+  for (size_t i = 0; i < fns.size(); ++i) {
+    OPEC_CHECK_MSG(fns[i]->ordinal() == static_cast<int>(i), "non-dense function ordinals");
+    FrameLayout& fl = frame_layouts_[i];
+    uint32_t offset = 0;
+    for (const opec_ir::LocalVariable& lv : fns[i]->locals()) {
+      offset = AlignUp(offset, lv.type->alignment());
+      fl.offsets.push_back(offset);
+      offset += lv.type->size();
+    }
+    fl.size = AlignUp(offset, 8);
+  }
+  const auto& gvs = module.globals();
+  global_addrs_.resize(gvs.size());
+  for (size_t i = 0; i < gvs.size(); ++i) {
+    OPEC_CHECK_MSG(gvs[i]->ordinal() == static_cast<int>(i), "non-dense global ordinals");
+    global_addrs_[i] = layout.AddrOf(gvs[i].get());
   }
 }
 
 uint32_t ExecutionEngine::FuncAddr(const Function* fn) const {
-  auto it = func_addr_.find(fn);
-  OPEC_CHECK_MSG(it != func_addr_.end(), "function not in module: " + fn->name());
-  return it->second;
+  int ord = fn->ordinal();
+  OPEC_CHECK_MSG(ord >= 0 && static_cast<size_t>(ord) < module_.functions().size() &&
+                     module_.functions()[static_cast<size_t>(ord)].get() == fn,
+                 "function not in module: " + fn->name());
+  return opec_hw::kFlashBase + 0x1000 + static_cast<uint32_t>(ord) * kFuncAddrStride;
 }
 
 const Function* ExecutionEngine::FuncAt(uint32_t addr) const {
-  auto it = addr_func_.find(addr);
-  return it == addr_func_.end() ? nullptr : it->second;
+  constexpr uint32_t base = opec_hw::kFlashBase + 0x1000;
+  if (addr < base || (addr - base) % kFuncAddrStride != 0) {
+    return nullptr;
+  }
+  size_t idx = (addr - base) / kFuncAddrStride;
+  return idx < module_.functions().size() ? module_.functions()[idx].get() : nullptr;
 }
 
-const ExecutionEngine::FrameLayout& ExecutionEngine::LayoutOf(const Function* fn) {
-  auto it = frame_layouts_.find(fn);
-  if (it != frame_layouts_.end()) {
-    return it->second;
+const ExecutionEngine::FrameLayout& ExecutionEngine::LayoutOf(const Function* fn) const {
+  int ord = fn->ordinal();
+  OPEC_CHECK_MSG(ord >= 0 && static_cast<size_t>(ord) < frame_layouts_.size(),
+                 "function not in module: " + fn->name());
+  return frame_layouts_[static_cast<size_t>(ord)];
+}
+
+uint32_t ExecutionEngine::GlobalAddr(const Expr& e) const {
+  int ord = e.global->ordinal();
+  uint32_t addr = (ord >= 0 && static_cast<size_t>(ord) < global_addrs_.size())
+                      ? global_addrs_[static_cast<size_t>(ord)]
+                      : layout_.AddrOf(e.global);
+  if (addr == 0) {
+    throw ExecutionAborted{"global has no assigned address: " + e.global->name()};
   }
-  FrameLayout fl;
-  uint32_t offset = 0;
-  for (const opec_ir::LocalVariable& lv : fn->locals()) {
-    offset = AlignUp(offset, lv.type->alignment());
-    fl.offsets.push_back(offset);
-    offset += lv.type->size();
-  }
-  fl.size = AlignUp(offset, 8);
-  return frame_layouts_.emplace(fn, std::move(fl)).first->second;
+  return addr;
 }
 
 uint32_t ExecutionEngine::MemRead(uint32_t addr, uint32_t size) {
@@ -130,23 +156,16 @@ uint32_t ExecutionEngine::Truncate(const Type* type, uint32_t value) const {
 uint32_t ExecutionEngine::EvalAddr(const Expr& e, const Frame& frame) {
   Charge(costs_.op);
   switch (e.kind) {
-    case ExprKind::kLocal: {
-      const FrameLayout& fl = LayoutOf(frame.fn);
-      return frame.base + fl.offsets[static_cast<size_t>(e.local_slot)];
-    }
-    case ExprKind::kGlobal: {
-      uint32_t addr = layout_.AddrOf(e.global);
-      if (addr == 0) {
-        throw ExecutionAborted{"global has no assigned address: " + e.global->name()};
-      }
-      return addr;
-    }
+    case ExprKind::kLocal:
+      return frame.base + frame.layout->offsets[static_cast<size_t>(e.local_slot)];
+    case ExprKind::kGlobal:
+      return GlobalAddr(e);
     case ExprKind::kDeref:
-      return Eval(*e.operands[0], frame);
+      return EvalOperand(*e.operands[0], frame);
     case ExprKind::kIndex: {
       const Expr& base = *e.operands[0];
       uint32_t base_addr = base.type->IsPointer() ? Eval(base, frame) : EvalAddr(base, frame);
-      uint32_t idx = Eval(*e.operands[1], frame);
+      uint32_t idx = EvalOperand(*e.operands[1], frame);
       return base_addr + idx * e.type->size();
     }
     case ExprKind::kField: {
@@ -159,16 +178,44 @@ uint32_t ExecutionEngine::EvalAddr(const Expr& e, const Frame& frame) {
   }
 }
 
+uint32_t ExecutionEngine::EvalOperand(const Expr& e, const Frame& frame) {
+  // Mirrors Eval exactly for the handled shapes: same statement count, same
+  // charges in the same order (Charge is a plain accumulator, so the two op
+  // charges of the local-load path fold into one call losslessly).
+  if (e.kind == ExprKind::kIntConst) {
+    if (++statements_ > statement_limit_) {
+      throw ExecutionAborted{"statement limit exceeded (possible guest infinite loop)"};
+    }
+    return static_cast<uint32_t>(e.int_value);
+  }
+  if ((e.kind == ExprKind::kLocal || e.kind == ExprKind::kGlobal) &&
+      (e.type->IsInt() || e.type->IsPointer())) {
+    if (++statements_ > statement_limit_) {
+      throw ExecutionAborted{"statement limit exceeded (possible guest infinite loop)"};
+    }
+    Charge(costs_.op * 2);  // Eval's operation charge + EvalAddr's charge
+    uint32_t addr = e.kind == ExprKind::kLocal
+                        ? frame.base + frame.layout->offsets[static_cast<size_t>(e.local_slot)]
+                        : GlobalAddr(e);
+    return MemRead(addr, e.type->size());
+  }
+  return Eval(e, frame);
+}
+
 uint32_t ExecutionEngine::EvalBinary(const Expr& e, const Frame& frame) {
   // Short-circuit logical operators.
   if (e.binary_op == BinaryOp::kLogAnd) {
-    return (Eval(*e.operands[0], frame) != 0 && Eval(*e.operands[1], frame) != 0) ? 1 : 0;
+    return (EvalOperand(*e.operands[0], frame) != 0 && EvalOperand(*e.operands[1], frame) != 0)
+               ? 1
+               : 0;
   }
   if (e.binary_op == BinaryOp::kLogOr) {
-    return (Eval(*e.operands[0], frame) != 0 || Eval(*e.operands[1], frame) != 0) ? 1 : 0;
+    return (EvalOperand(*e.operands[0], frame) != 0 || EvalOperand(*e.operands[1], frame) != 0)
+               ? 1
+               : 0;
   }
-  uint32_t a = Eval(*e.operands[0], frame);
-  uint32_t b = Eval(*e.operands[1], frame);
+  uint32_t a = EvalOperand(*e.operands[0], frame);
+  uint32_t b = EvalOperand(*e.operands[1], frame);
   const Type* t = e.operands[0]->type;
   bool sign = t->IsInt() && t->is_signed();
   // Sign-extend sub-word signed operands to 32 bits for the operation.
@@ -269,13 +316,24 @@ uint32_t ExecutionEngine::Eval(const Expr& e, const Frame& frame) {
       if (!e.type->IsInt() && !e.type->IsPointer()) {
         throw ExecutionAborted{"rvalue load of aggregate type " + e.type->ToString()};
       }
-      uint32_t addr = EvalAddr(e, frame);
+      // Flattened fast paths for the two dominant load shapes: the address is
+      // one array read, with the same cycle charge EvalAddr would make.
+      uint32_t addr;
+      if (e.kind == ExprKind::kLocal) {
+        Charge(costs_.op);
+        addr = frame.base + frame.layout->offsets[static_cast<size_t>(e.local_slot)];
+      } else if (e.kind == ExprKind::kGlobal) {
+        Charge(costs_.op);
+        addr = GlobalAddr(e);
+      } else {
+        addr = EvalAddr(e, frame);
+      }
       return MemRead(addr, e.type->size());
     }
     case ExprKind::kAddrOf:
       return EvalAddr(*e.operands[0], frame);
     case ExprKind::kUnary: {
-      uint32_t v = Eval(*e.operands[0], frame);
+      uint32_t v = EvalOperand(*e.operands[0], frame);
       switch (e.unary_op) {
         case UnaryOp::kNeg:
           return Truncate(e.type, 0u - v);
@@ -289,7 +347,7 @@ uint32_t ExecutionEngine::Eval(const Expr& e, const Frame& frame) {
     case ExprKind::kBinary:
       return EvalBinary(e, frame);
     case ExprKind::kCast: {
-      uint32_t v = Eval(*e.operands[0], frame);
+      uint32_t v = EvalOperand(*e.operands[0], frame);
       const Type* from = e.operands[0]->type;
       // Sign-extend when widening a signed source.
       if (from->IsInt() && from->is_signed() && from->size() < e.type->size()) {
@@ -303,7 +361,7 @@ uint32_t ExecutionEngine::Eval(const Expr& e, const Frame& frame) {
       std::vector<uint32_t> args;
       args.reserve(e.operands.size());
       for (const opec_ir::ExprPtr& a : e.operands) {
-        args.push_back(Eval(*a, frame));
+        args.push_back(EvalOperand(*a, frame));
       }
       return CallFunction(e.func, std::move(args), e.operation_entry_id);
     }
@@ -319,7 +377,7 @@ uint32_t ExecutionEngine::Eval(const Expr& e, const Frame& frame) {
       }
       std::vector<uint32_t> args;
       for (size_t i = 1; i < e.operands.size(); ++i) {
-        args.push_back(Eval(*e.operands[i], frame));
+        args.push_back(EvalOperand(*e.operands[i], frame));
       }
       return CallFunction(fn, std::move(args), e.operation_entry_id);
     }
@@ -331,7 +389,7 @@ void ExecutionEngine::MaybeFireAttacks(const Function* fn) {
   if (attacks_.empty()) {
     return;
   }
-  int count = ++entry_counts_[fn];
+  int count = ++entry_counts_[static_cast<size_t>(fn->ordinal())];
   for (AttackSpec& a : attacks_) {
     if (a.fired || a.function != fn->name() || a.occurrence != count) {
       continue;
@@ -414,7 +472,7 @@ uint32_t ExecutionEngine::DoCall(const Function* fn, const std::vector<uint32_t>
     throw ExecutionAborted{"guest stack overflow in " + fn->name()};
   }
   sp_ = base;
-  Frame frame{fn, base};
+  Frame frame{fn, &fl, base};
 
   if (trace_ != nullptr) {
     trace_->RecordEntry(fn, depth_, machine_.cycles(), current_operation_);
@@ -459,9 +517,20 @@ ExecutionEngine::Flow ExecutionEngine::ExecStmt(const Stmt& s, const Frame& fram
   }
   switch (s.kind) {
     case StmtKind::kAssign: {
-      uint32_t value = Eval(*s.expr, frame);
-      uint32_t addr = EvalAddr(*s.lhs, frame);
-      MemWrite(addr, s.lhs->type->size(), Truncate(s.lhs->type, value));
+      uint32_t value = EvalOperand(*s.expr, frame);
+      const Expr& lhs = *s.lhs;
+      // Same flattened store fast paths as the load side of Eval.
+      uint32_t addr;
+      if (lhs.kind == ExprKind::kLocal) {
+        Charge(costs_.op);
+        addr = frame.base + frame.layout->offsets[static_cast<size_t>(lhs.local_slot)];
+      } else if (lhs.kind == ExprKind::kGlobal) {
+        Charge(costs_.op);
+        addr = GlobalAddr(lhs);
+      } else {
+        addr = EvalAddr(lhs, frame);
+      }
+      MemWrite(addr, lhs.type->size(), Truncate(lhs.type, value));
       return Flow::kNext;
     }
     case StmtKind::kExpr:
@@ -469,7 +538,7 @@ ExecutionEngine::Flow ExecutionEngine::ExecStmt(const Stmt& s, const Frame& fram
       return Flow::kNext;
     case StmtKind::kIf: {
       Charge(costs_.branch);
-      if (Eval(*s.expr, frame) != 0) {
+      if (EvalOperand(*s.expr, frame) != 0) {
         return ExecBlock(s.body, frame, ret_value);
       }
       return ExecBlock(s.orelse, frame, ret_value);
@@ -477,7 +546,7 @@ ExecutionEngine::Flow ExecutionEngine::ExecStmt(const Stmt& s, const Frame& fram
     case StmtKind::kWhile: {
       while (true) {
         Charge(costs_.branch);
-        if (Eval(*s.expr, frame) == 0) {
+        if (EvalOperand(*s.expr, frame) == 0) {
           return Flow::kNext;
         }
         Flow flow = ExecBlock(s.body, frame, ret_value);
@@ -510,11 +579,18 @@ RunResult ExecutionEngine::Run(const std::string& entry, const std::vector<uint3
     result.violation = "no such entry function: " + entry;
     return result;
   }
+  // Reset all per-run state so a second Run() on the same engine starts
+  // clean: attack occurrence counts and the fired/blocked outputs of a
+  // previous run must not leak into this one.
   sp_ = layout_.stack_top;
   depth_ = 0;
   statements_ = 0;
   current_operation_ = -1;
-  entry_counts_.clear();
+  std::fill(entry_counts_.begin(), entry_counts_.end(), 0);
+  for (AttackSpec& a : attacks_) {
+    a.fired = false;
+    a.blocked = false;
+  }
 
   uint64_t start_cycles = machine_.cycles();
   if (supervisor_ != nullptr) {

@@ -19,7 +19,6 @@
 #define SRC_RT_ENGINE_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -111,18 +110,24 @@ class ExecutionEngine : public EngineControl {
   };
   struct Frame {
     const opec_ir::Function* fn = nullptr;
-    uint32_t base = 0;  // lowest address of the frame
+    const FrameLayout* layout = nullptr;  // precomputed; avoids per-access lookup
+    uint32_t base = 0;                    // lowest address of the frame
   };
 
   // Control-flow signal from statement execution.
   enum class Flow { kNext, kBreak, kContinue, kReturn };
 
-  const FrameLayout& LayoutOf(const opec_ir::Function* fn);
+  const FrameLayout& LayoutOf(const opec_ir::Function* fn) const;
+  uint32_t GlobalAddr(const opec_ir::Expr& e) const;
 
   uint32_t MemRead(uint32_t addr, uint32_t size);
   void MemWrite(uint32_t addr, uint32_t size, uint32_t value);
 
   uint32_t Eval(const opec_ir::Expr& e, const Frame& frame);
+  // Flattened Eval for operand position: handles the two dominant operand
+  // shapes (integer constant, scalar local) without re-entering the full
+  // dispatch switch, with accounting identical to Eval's.
+  uint32_t EvalOperand(const opec_ir::Expr& e, const Frame& frame);
   uint32_t EvalAddr(const opec_ir::Expr& e, const Frame& frame);
   uint32_t EvalBinary(const opec_ir::Expr& e, const Frame& frame);
   uint32_t Truncate(const opec_ir::Type* type, uint32_t value) const;
@@ -144,10 +149,14 @@ class ExecutionEngine : public EngineControl {
   Supervisor* supervisor_;
   ExecutionTrace* trace_ = nullptr;
 
-  std::map<const opec_ir::Function*, FrameLayout> frame_layouts_;
-  std::map<const opec_ir::Function*, uint32_t> func_addr_;
-  std::map<uint32_t, const opec_ir::Function*> addr_func_;
-  std::map<const opec_ir::Function*, int> entry_counts_;
+  // Dense per-function state, indexed by Function::ordinal(). Precomputed at
+  // construction; the interpreter hot path never touches a map. Function code
+  // addresses are arithmetic on the ordinal (kFuncAddrBase + ordinal *
+  // kFuncAddrStride), so FuncAddr/FuncAt are O(1) both ways.
+  std::vector<FrameLayout> frame_layouts_;
+  std::vector<int> entry_counts_;
+  // Guest address per global ordinal (0 = unassigned), mirroring layout_.
+  std::vector<uint32_t> global_addrs_;
   std::vector<AttackSpec> attacks_;
 
   uint32_t sp_ = 0;
@@ -158,6 +167,7 @@ class ExecutionEngine : public EngineControl {
   CostModel costs_;
 
   static constexpr int kMaxDepth = 256;
+  static constexpr uint32_t kFuncAddrStride = 0x40;
 };
 
 }  // namespace opec_rt

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bench/aces_util.h"
 #include "src/aces/aces.h"
 #include "src/apps/pinlock.h"
 #include "src/apps/runner.h"
@@ -203,6 +204,49 @@ TEST(Aces, RuntimeCountsCompartmentSwitches) {
   // File-granularity partitioning switches on the hot path: far more often
   // than OPEC's operation entries/exits.
   EXPECT_GT(runtime.compartment_switches(), 50u);
+}
+
+// The partition holds Function*/GlobalVariable* into the module it was built
+// from; AcesRunResult must keep that module alive past the call, or consumers
+// like ComputeAcesPt (Figure 10) dereference freed memory.
+TEST(Aces, RunUnderAcesKeepsPartitionPointersValid) {
+  opec_apps::PinLockApp app(2);
+  opec_bench::AcesRunResult aces =
+      opec_bench::RunUnderAces(app, AcesStrategy::kFilenameNoOpt);
+  ASSERT_NE(aces.module, nullptr);
+
+  std::set<const opec_ir::GlobalVariable*> owned;
+  for (const auto& g : aces.module->globals()) {
+    owned.insert(g.get());
+  }
+  std::set<const opec_ir::Function*> owned_fns;
+  for (const auto& f : aces.module->functions()) {
+    owned_fns.insert(f.get());
+  }
+  for (const Compartment& c : aces.partition.compartments) {
+    for (const opec_ir::GlobalVariable* gv : c.needed_globals) {
+      EXPECT_TRUE(owned.count(gv)) << "dangling needed_globals entry";
+    }
+    for (const opec_ir::GlobalVariable* gv : c.accessible_globals) {
+      EXPECT_TRUE(owned.count(gv)) << "dangling accessible_globals entry";
+    }
+    for (const opec_ir::Function* fn : c.functions) {
+      EXPECT_TRUE(owned_fns.count(fn)) << "dangling compartment function";
+    }
+  }
+  for (const DataRegion& r : aces.partition.regions) {
+    for (const opec_ir::GlobalVariable* gv : r.vars) {
+      EXPECT_TRUE(owned.count(gv)) << "dangling region var";
+    }
+  }
+  // And the over-privilege metric computed from the returned struct is
+  // well-defined: accessible ⊇ needed per compartment implies PT ∈ [0, 1].
+  for (const opec_metrics::DomainPt& d :
+       opec_metrics::ComputeAcesPt(aces.partition)) {
+    EXPECT_GE(d.pt(), 0.0);
+    EXPECT_LE(d.pt(), 1.0);
+    EXPECT_LE(d.unneeded_bytes, d.accessible_bytes);
+  }
 }
 
 }  // namespace

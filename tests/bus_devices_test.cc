@@ -195,5 +195,50 @@ TEST(Rcc, PllReportsReadyAfterEnable) {
   EXPECT_TRUE(rcc.configured());
 }
 
+TEST(Bus, MultiByteAccessStraddlingRegionEndFaults) {
+  // Regression: a 4-byte access whose first byte is inside SRAM but which
+  // runs past the end must fault — it touches unmapped space — rather than
+  // read/write backing memory out of bounds or silently truncate.
+  Machine machine(Board::kStm32F4Discovery);
+  uint32_t sram_end = machine.bus().sram_end();
+  uint32_t flash_end = machine.bus().flash_end();
+
+  EXPECT_EQ(machine.bus().Read(sram_end - 2, 4, true).status, AccessStatus::kBusFault);
+  EXPECT_EQ(machine.bus().Write(sram_end - 2, 4, 0xABCD, true).status, AccessStatus::kBusFault);
+  EXPECT_EQ(machine.bus().Read(flash_end - 1, 4, true).status, AccessStatus::kBusFault);
+  EXPECT_EQ(machine.bus().Read(flash_end - 2, 4, true).status, AccessStatus::kBusFault);
+  // The same straddles through the debug interface must refuse, not clobber.
+  uint32_t v = 0;
+  EXPECT_FALSE(machine.bus().DebugRead(sram_end - 2, 4, &v));
+  EXPECT_FALSE(machine.bus().DebugWrite(sram_end - 2, 4, 0xABCD));
+  EXPECT_FALSE(machine.bus().DebugRead(flash_end - 3, 4, &v));
+  // Accesses that end exactly at the region end are fine.
+  EXPECT_TRUE(machine.bus().Write(sram_end - 4, 4, 0x11223344, true).ok());
+  EXPECT_EQ(machine.bus().Read(sram_end - 4, 4, true).value, 0x11223344u);
+  EXPECT_EQ(machine.bus().Read(sram_end - 2, 2, true).value, 0x1122u);
+  EXPECT_TRUE(machine.bus().Read(flash_end - 4, 4, true).ok());
+}
+
+TEST(Bus, SysTickValReadClampsReloadToArchitecturalWidth) {
+  // SYST_RVR is a 24-bit field. PpbWrite masks stored values, so a
+  // wild reload can only appear through internal state corruption; the read
+  // side still clamps defensively so VAL can never divide by a wrapped
+  // (reload + 1) == 0. A zero reload falls back to the full 24-bit period.
+  Machine machine(Board::kStm32F4Discovery);
+  // Reload of zero: VAL derives from the free-running counter, no crash.
+  EXPECT_TRUE(machine.bus().Write(kSysTickBase + 0x4, 4, 0, true).ok());
+  machine.AddCycles(100);
+  AccessResult val = machine.bus().Read(kSysTickBase + 0x8, 4, true);
+  EXPECT_TRUE(val.ok());
+  EXPECT_EQ(val.value, 0x00FFFFFFu - 100u);
+  // An all-ones write is masked to 24 bits on the write side...
+  EXPECT_TRUE(machine.bus().Write(kSysTickBase + 0x4, 4, 0xFFFFFFFFu, true).ok());
+  EXPECT_EQ(machine.bus().Read(kSysTickBase + 0x4, 4, true).value, 0x00FFFFFFu);
+  // ...and VAL still counts down modulo the (masked) period.
+  val = machine.bus().Read(kSysTickBase + 0x8, 4, true);
+  EXPECT_TRUE(val.ok());
+  EXPECT_EQ(val.value, 0x00FFFFFFu - 100u);
+}
+
 }  // namespace
 }  // namespace opec_hw

@@ -360,5 +360,58 @@ TEST(Engine, CyclesAccumulate) {
   EXPECT_GT(r.cycles, 0u);
 }
 
+TEST(Engine, SecondRunStartsFromCleanPerRunState) {
+  // Regression: Run() must reset per-run state — in particular the
+  // fired/blocked outputs of injected attacks and the per-function entry
+  // counts they key on — so a second Run() on the same engine behaves like
+  // the first, rather than seeing the attack as already fired.
+  GuestHarness h;
+  auto& tt = h.module().types();
+  h.module().AddGlobal("sink", tt.U32());
+  auto* leaf = h.module().AddFunction("leaf", tt.FunctionTy(tt.U32(), {tt.U32()}), {"x"});
+  {
+    FunctionBuilder b(h.module(), leaf);
+    b.Ret(b.L("x"));
+    b.Finish();
+  }
+  auto* fn = h.module().AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
+  {
+    FunctionBuilder b(h.module(), fn);
+    b.Ret(b.CallV("leaf", {b.U32(3)}) + b.CallV("leaf", {b.U32(4)}));
+    b.Finish();
+  }
+  opec_compiler::VanillaImage image =
+      opec_compiler::BuildVanillaImage(h.module(), h.machine().board().board);
+  opec_compiler::LoadGlobals(h.machine(), h.module(), image.layout);
+  ExecutionEngine engine(h.machine(), h.module(), image.layout);
+  AttackSpec attack;
+  attack.function = "leaf";
+  attack.occurrence = 2;  // fires on the second entry of leaf, per run
+  attack.addr = image.layout.AddrOf(h.module().FindGlobal("sink"));
+  attack.value = 77;
+  engine.AddAttack(attack);
+
+  RunResult first = engine.Run("main");
+  ASSERT_TRUE(first.ok) << first.violation;
+  EXPECT_EQ(first.return_value, 7u);
+  ASSERT_TRUE(engine.attacks()[0].fired);
+  EXPECT_FALSE(engine.attacks()[0].blocked);
+  uint32_t sink = 0;
+  ASSERT_TRUE(h.machine().bus().DebugRead(attack.addr, 4, &sink));
+  EXPECT_EQ(sink, 77u);
+
+  // Clear the attack's footprint, then run again: with clean state the
+  // attack must fire again on the second leaf entry of *this* run.
+  ASSERT_TRUE(h.machine().bus().DebugWrite(attack.addr, 4, 0));
+  RunResult second = engine.Run("main");
+  ASSERT_TRUE(second.ok) << second.violation;
+  EXPECT_EQ(second.return_value, first.return_value);
+  EXPECT_EQ(second.statements, first.statements);
+  EXPECT_TRUE(engine.attacks()[0].fired);
+  EXPECT_FALSE(engine.attacks()[0].blocked);
+  ASSERT_TRUE(h.machine().bus().DebugRead(attack.addr, 4, &sink));
+  EXPECT_EQ(sink, 77u) << "stale fired flag suppressed the attack on the second run";
+}
+
 }  // namespace
 }  // namespace opec_rt
