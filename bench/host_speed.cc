@@ -9,11 +9,18 @@
 //
 // Usage:
 //   host_speed [--iters N] [--out FILE] [--baseline FILE] [--smoke]
+//              [--trace-out FILE] [--self-check-obs]
 //
 // With --baseline, the previous run's metrics are embedded in the output and
 // per-configuration "speedup" factors (baseline wall_ns / current wall_ns)
 // are computed; a modeled-cycle mismatch against the baseline is a hard
 // error (exit 1).
+//
+// --trace-out writes a combined Chrome trace-event JSON of one recorded run
+// per workload/configuration (untimed; the timed iterations always run with
+// no sink attached). --self-check-obs skips the benchmark and instead runs
+// each workload with and without an event sink attached, failing (exit 1) on
+// any modeled cycle/statement drift — the observability overhead contract.
 
 #include <algorithm>
 #include <chrono>
@@ -28,6 +35,8 @@
 
 #include "src/apps/all_apps.h"
 #include "src/apps/runner.h"
+#include "src/obs/export.h"
+#include "src/obs/recorder.h"
 #include "src/support/check.h"
 
 namespace {
@@ -47,11 +56,15 @@ struct Sample {
   uint64_t wall_ns() const { return build_ns + exec_ns; }
 };
 
-Sample RunOnce(const opec_apps::Application& app, opec_apps::BuildMode mode) {
+Sample RunOnce(const opec_apps::Application& app, opec_apps::BuildMode mode,
+               opec_obs::Sink* sink = nullptr) {
   Sample s;
   Clock::time_point t0 = Clock::now();
   opec_apps::AppRun run(app, mode);
   s.build_ns = NsSince(t0);
+  if (sink != nullptr) {
+    run.AttachSink(sink);
+  }
   Clock::time_point t1 = Clock::now();
   opec_rt::RunResult r = run.Execute();
   s.exec_ns = NsSince(t1);
@@ -61,6 +74,17 @@ Sample RunOnce(const opec_apps::Application& app, opec_apps::BuildMode mode) {
   s.statements = r.statements;
   return s;
 }
+
+// A sink that only counts, so the with-sink self-check run observes every
+// event while keeping memory flat on the long workloads.
+class CountingSink : public opec_obs::Sink {
+ public:
+  void OnEvent(const opec_obs::Event&) override { ++count_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
 
 std::string KeyName(const std::string& app_name) {
   std::string key;
@@ -106,12 +130,58 @@ std::map<std::string, double> LoadBaseline(const std::string& path) {
   return out;
 }
 
+struct Config {
+  const char* name;
+  opec_apps::BuildMode mode;
+};
+constexpr Config kConfigs[] = {{"vanilla", opec_apps::BuildMode::kVanilla},
+                               {"opec", opec_apps::BuildMode::kOpec}};
+
+// The observability overhead contract (DESIGN.md Section 9): an attached sink
+// must not change any modeled output. Runs every workload/configuration with
+// no sink and with a counting sink; any cycle/statement drift is a failure.
+int SelfCheckObs(const std::vector<std::string>& wanted) {
+  bool drift = false;
+  for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
+    if (std::find(wanted.begin(), wanted.end(), factory.name) == wanted.end()) {
+      continue;
+    }
+    std::unique_ptr<opec_apps::Application> app = factory.make();
+    for (const Config& cfg : kConfigs) {
+      Sample plain = RunOnce(*app, cfg.mode);
+      CountingSink sink;
+      Sample observed = RunOnce(*app, cfg.mode, &sink);
+      bool same =
+          plain.cycles == observed.cycles && plain.statements == observed.statements;
+      std::printf("self-check %-12s %-8s cycles %llu/%llu statements %llu/%llu "
+                  "(%llu events)  %s\n",
+                  factory.name.c_str(), cfg.name,
+                  static_cast<unsigned long long>(plain.cycles),
+                  static_cast<unsigned long long>(observed.cycles),
+                  static_cast<unsigned long long>(plain.statements),
+                  static_cast<unsigned long long>(observed.statements),
+                  static_cast<unsigned long long>(sink.count()), same ? "OK" : "DRIFT");
+      if (!same) {
+        drift = true;
+      }
+    }
+  }
+  if (drift) {
+    std::fprintf(stderr, "FAIL: attached sink changed modeled outputs\n");
+    return 1;
+  }
+  std::printf("self-check passed: event sinks leave modeled outputs bit-identical\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int iters = 5;
   std::string out_path = "BENCH_host_speed.json";
   std::string baseline_path;
+  std::string trace_path;
+  bool self_check_obs = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--iters" && i + 1 < argc) {
@@ -120,22 +190,27 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--self-check-obs") {
+      self_check_obs = true;
     } else if (arg == "--smoke") {
       iters = 1;
     } else {
-      std::fprintf(stderr, "usage: host_speed [--iters N] [--out FILE] [--baseline FILE]\n");
+      std::fprintf(stderr,
+                   "usage: host_speed [--iters N] [--out FILE] [--baseline FILE] "
+                   "[--trace-out FILE] [--self-check-obs]\n");
       return 2;
     }
   }
   OPEC_CHECK_MSG(iters >= 1, "--iters must be >= 1");
 
   const std::vector<std::string> wanted = {"CoreMark", "FatFs-uSD", "TCP-Echo"};
-  struct Config {
-    const char* name;
-    opec_apps::BuildMode mode;
-  };
-  const Config configs[] = {{"vanilla", opec_apps::BuildMode::kVanilla},
-                            {"opec", opec_apps::BuildMode::kOpec}};
+  if (self_check_obs) {
+    return SelfCheckObs(wanted);
+  }
+  const auto& configs = kConfigs;
+  std::vector<opec_obs::TraceProcess> trace_processes;
 
   // key -> value, in insertion order for stable output.
   std::vector<std::pair<std::string, double>> metrics;
@@ -173,7 +248,26 @@ int main(int argc, char** argv) {
                   best.exec_ns / 1e6,
                   static_cast<double>(best.exec_ns) / static_cast<double>(best.statements),
                   static_cast<unsigned long long>(best.cycles));
+      if (!trace_path.empty()) {
+        // Untimed recorded run; one process track per workload/configuration.
+        opec_apps::AppRun run(*app, cfg.mode);
+        run.EnableEventRecording();
+        opec_rt::RunResult r = run.Execute();
+        OPEC_CHECK_MSG(r.ok, factory.name + " trace run failed: " + r.violation);
+        OPEC_CHECK_MSG(r.cycles == best.cycles,
+                       factory.name + ": recorded run changed modeled cycles");
+        trace_processes.push_back(
+            {prefix.substr(0, prefix.size() - 1), run.recorder()->Snapshot(),
+             run.EventNaming()});
+      }
     }
+  }
+
+  if (!trace_path.empty()) {
+    OPEC_CHECK_MSG(opec_obs::WriteFile(trace_path, opec_obs::ChromeTraceJson(trace_processes)),
+                   "cannot write " + trace_path);
+    std::printf("wrote %s (%zu process tracks)\n", trace_path.c_str(),
+                trace_processes.size());
   }
 
   std::map<std::string, double> baseline;

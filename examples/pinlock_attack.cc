@@ -65,6 +65,14 @@ int main() {
                 static_cast<unsigned long long>(run.monitor()->stats().operation_switches),
                 static_cast<unsigned long long>(run.monitor()->stats().synced_bytes),
                 static_cast<unsigned long long>(run.monitor()->stats().relocated_stack_bytes));
-    return r.ok && run.engine().attacks()[0].blocked && run.Check().empty() ? 0 : 1;
+    // The denied write left a forensic report behind: which operation and
+    // function were running, and which MPU region made the deny decision.
+    for (const opec_obs::FaultReport& report : run.engine().fault_reports()) {
+      std::printf("\n%s", report.Render().c_str());
+    }
+    return r.ok && run.engine().attacks()[0].blocked && run.Check().empty() &&
+                   !run.engine().fault_reports().empty()
+               ? 0
+               : 1;
   }
 }

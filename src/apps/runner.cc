@@ -33,9 +33,35 @@ AppRun::~AppRun() = default;
 
 void AppRun::AddAttack(const opec_rt::AttackSpec& attack) { engine_->AddAttack(attack); }
 
+void AppRun::EnableEventRecording(size_t capacity) {
+  if (recorder_ == nullptr) {
+    recorder_ = std::make_unique<opec_obs::Recorder>(capacity);
+  }
+}
+
+opec_obs::Naming AppRun::EventNaming() const {
+  opec_obs::Naming naming;
+  naming.functions.reserve(module_->functions().size());
+  for (const auto& fn : module_->functions()) {
+    naming.functions.push_back(fn->name());
+  }
+  if (compile_ != nullptr) {
+    naming.operations.reserve(compile_->policy.operations.size());
+    for (const auto& op : compile_->policy.operations) {
+      naming.operations.push_back(op.name);
+    }
+  }
+  return naming;
+}
+
 opec_rt::RunResult AppRun::Execute() {
-  if (trace_enabled_) {
-    engine_->set_trace(&trace_);
+  trace_.Bind(module_.get());
+  opec_obs::ScopedSink trace_sink(trace_enabled_ ? &trace_ : nullptr);
+  opec_obs::ScopedSink recorder_sink(recorder_.get());
+  std::vector<std::unique_ptr<opec_obs::ScopedSink>> extra;
+  extra.reserve(extra_sinks_.size());
+  for (opec_obs::Sink* sink : extra_sinks_) {
+    extra.push_back(std::make_unique<opec_obs::ScopedSink>(sink));
   }
   app_.PrepareScenario(*devices_);
   last_result_ = engine_->Run("main");

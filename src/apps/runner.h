@@ -8,9 +8,13 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "src/apps/app.h"
 #include "src/compiler/opec_compiler.h"
 #include "src/monitor/monitor.h"
+#include "src/obs/export.h"
+#include "src/obs/recorder.h"
 #include "src/rt/engine.h"
 #include "src/rt/trace.h"
 
@@ -32,6 +36,12 @@ class AppRun {
   // Optional instrumentation; call before Execute().
   void AddAttack(const opec_rt::AttackSpec& attack);
   void EnableTrace() { trace_enabled_ = true; }
+  // Records the full structured event stream of Execute() into a ring buffer
+  // (see recorder()), for exporters / the per-operation profiler.
+  void EnableEventRecording(size_t capacity = opec_obs::Recorder::kDefaultCapacity);
+  // Attaches an additional event sink (not owned) for the duration of
+  // Execute(); call before Execute().
+  void AttachSink(opec_obs::Sink* sink) { extra_sinks_.push_back(sink); }
 
   // Loads the image, feeds the scenario and runs main.
   opec_rt::RunResult Execute();
@@ -44,6 +54,11 @@ class AppRun {
   AppDevices& devices() { return *devices_; }
   opec_ir::Module& module() { return *module_; }
   const opec_rt::ExecutionTrace& trace() const { return trace_; }
+  // Null unless EnableEventRecording() was called.
+  opec_obs::Recorder* recorder() { return recorder_.get(); }
+  // Ordinal/id -> name resolution for exporters (function names from the
+  // module; operation names from the policy in OPEC mode).
+  opec_obs::Naming EventNaming() const;
   opec_rt::ExecutionEngine& engine() { return *engine_; }
   // OPEC-only (null in vanilla mode).
   const opec_compiler::CompileResult* compile() const { return compile_.get(); }
@@ -65,6 +80,8 @@ class AppRun {
   opec_compiler::MemoryAccounting accounting_;
   opec_rt::ExecutionTrace trace_;
   bool trace_enabled_ = false;
+  std::unique_ptr<opec_obs::Recorder> recorder_;
+  std::vector<opec_obs::Sink*> extra_sinks_;
   opec_rt::RunResult last_result_;
 };
 

@@ -1,0 +1,153 @@
+// runner: command-line driver around AppRun with the observability layer
+// attached — runs one workload, optionally exporting the recorded event
+// stream (Chrome trace-event JSON for Perfetto / chrome://tracing, or JSONL
+// for scripting), printing the per-operation profile table, and rendering
+// fault forensic reports for any denied access.
+//
+//   $ ./build/src/apps/runner --app pinlock --trace-out=trace.json --profile
+//
+// Flags accept both `--flag value` and `--flag=value` spellings.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/all_apps.h"
+#include "src/apps/runner.h"
+#include "src/obs/export.h"
+#include "src/obs/profile.h"
+
+namespace {
+
+// Canonical app key: lower-case, '-' folded to '_' (matches host_speed keys).
+std::string KeyName(const std::string& name) {
+  std::string key;
+  for (char c : name) {
+    key += c == '-' ? '_' : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return key;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: runner [--app NAME] [--mode opec|vanilla] [--trace-out FILE]\n"
+               "              [--jsonl-out FILE] [--profile] [--list]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app_name = "pinlock";
+  std::string mode_name = "opec";
+  std::string trace_out;
+  std::string jsonl_out;
+  bool profile = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    size_t eq = arg.find('=');
+    bool has_value = eq != std::string::npos;
+    if (has_value) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
+    auto take = [&]() -> std::string {
+      if (has_value) {
+        return value;
+      }
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--app") {
+      app_name = take();
+    } else if (arg == "--mode") {
+      mode_name = take();
+    } else if (arg == "--trace-out") {
+      trace_out = take();
+    } else if (arg == "--jsonl-out") {
+      jsonl_out = take();
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--list") {
+      for (const opec_apps::AppFactory& f : opec_apps::AllApps()) {
+        std::printf("%s\n", KeyName(f.name).c_str());
+      }
+      return 0;
+    } else {
+      return Usage();
+    }
+  }
+
+  opec_apps::BuildMode mode;
+  if (mode_name == "opec") {
+    mode = opec_apps::BuildMode::kOpec;
+  } else if (mode_name == "vanilla") {
+    mode = opec_apps::BuildMode::kVanilla;
+  } else {
+    std::fprintf(stderr, "unknown --mode '%s' (opec|vanilla)\n", mode_name.c_str());
+    return 2;
+  }
+
+  std::unique_ptr<opec_apps::Application> app;
+  for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
+    if (KeyName(factory.name) == KeyName(app_name)) {
+      app = factory.make();
+      break;
+    }
+  }
+  if (app == nullptr) {
+    std::fprintf(stderr, "unknown --app '%s' (try --list)\n", app_name.c_str());
+    return 2;
+  }
+
+  opec_apps::AppRun run(*app, mode);
+  run.EnableEventRecording();
+  opec_rt::RunResult result = run.Execute();
+  std::string check = run.Check();
+  std::printf("%s [%s]: ok=%d cycles=%llu statements=%llu\n", app->name().c_str(),
+              mode_name.c_str(), result.ok, static_cast<unsigned long long>(result.cycles),
+              static_cast<unsigned long long>(result.statements));
+  if (!result.ok) {
+    std::printf("violation: %s\n", result.violation.c_str());
+  }
+  if (!check.empty()) {
+    std::printf("scenario check: %s\n", check.c_str());
+  }
+
+  const opec_obs::Recorder* recorder = run.recorder();
+  std::vector<opec_obs::Event> events = recorder->Snapshot();
+  opec_obs::Naming naming = run.EventNaming();
+  if (recorder->dropped() != 0) {
+    std::printf("note: ring buffer wrapped, %llu oldest events dropped from exports\n",
+                static_cast<unsigned long long>(recorder->dropped()));
+  }
+
+  if (!trace_out.empty()) {
+    if (!opec_obs::WriteFile(trace_out, opec_obs::ChromeTraceJson(events, naming,
+                                                                  app->name()))) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu events, Chrome trace-event JSON)\n", trace_out.c_str(),
+                events.size());
+  }
+  if (!jsonl_out.empty()) {
+    if (!opec_obs::WriteFile(jsonl_out, opec_obs::JsonLines(events, naming))) {
+      std::fprintf(stderr, "cannot write %s\n", jsonl_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu events, JSONL)\n", jsonl_out.c_str(), events.size());
+  }
+  if (profile) {
+    std::printf("%s", opec_obs::RenderProfileTable(opec_obs::AggregateProfiles(events), naming)
+                          .c_str());
+  }
+  for (const opec_obs::FaultReport& report : run.engine().fault_reports()) {
+    std::printf("\n%s", report.Render().c_str());
+  }
+  return result.ok && check.empty() ? 0 : 1;
+}

@@ -4,7 +4,9 @@
 #include <bit>
 #include <cstring>
 
+#include "src/obs/event.h"
 #include "src/support/check.h"
+#include "src/support/text.h"
 
 namespace opec_hw {
 
@@ -151,6 +153,8 @@ AccessResult Bus::ReadSlow(uint32_t addr, uint32_t size, bool privileged) {
         return AccessResult::BusFault();
       }
       *cycles_ += extra;
+      OPEC_OBS_EVENT(opec_obs::EventKind::kMmioAccess, *cycles_,
+                     opec_obs::Event::kNoOperation, 0, addr, size, value);
       return AccessResult::Ok(value);
     }
     case Target::kPpb:
@@ -186,11 +190,62 @@ AccessResult Bus::WriteSlow(uint32_t addr, uint32_t size, uint32_t value, bool p
         return AccessResult::BusFault();
       }
       *cycles_ += extra;
+      OPEC_OBS_EVENT(opec_obs::EventKind::kMmioAccess, *cycles_,
+                     opec_obs::Event::kNoOperation, 0, addr, size | 0x100u, value);
       return AccessResult::Ok();
     }
     case Target::kPpb:
     case Target::kUnmapped:
       return AccessResult::BusFault();
+  }
+  OPEC_UNREACHABLE("bad Target");
+}
+
+std::string Bus::ExplainFault(uint32_t addr, uint32_t size, AccessKind kind,
+                              bool privileged) const {
+  const char* kind_name = kind == AccessKind::kWrite ? "write" : "read";
+  MmioDevice* device = nullptr;
+  Target target = Route(addr, &device);
+  switch (target) {
+    case Target::kPpb:
+      if (!privileged) {
+        return opec_support::StrPrintf(
+            "unprivileged %s of the Private Peripheral Bus at %s; the PPB is "
+            "privileged-only by architecture (the monitor emulates allowlisted core "
+            "peripherals only)",
+            kind_name, opec_support::HexAddr(addr).c_str());
+      }
+      return "PPB access rejected";
+    case Target::kFlash:
+      if (kind == AccessKind::kWrite) {
+        return opec_support::StrPrintf(
+            "write to flash at %s; flash is locked at runtime (W^X)",
+            opec_support::HexAddr(addr).c_str());
+      }
+      if (addr - kFlashBase + size > board_.flash_size) {
+        return opec_support::StrPrintf(
+            "%u-byte read at %s runs past the end of flash (flash ends at %s)", size,
+            opec_support::HexAddr(addr).c_str(),
+            opec_support::HexAddr(kFlashBase + board_.flash_size).c_str());
+      }
+      return "flash access rejected";
+    case Target::kSram:
+      if (addr - kSramBase + size > board_.sram_size) {
+        return opec_support::StrPrintf(
+            "%u-byte %s at %s runs past the end of SRAM (SRAM ends at %s)", size, kind_name,
+            opec_support::HexAddr(addr).c_str(),
+            opec_support::HexAddr(kSramBase + board_.sram_size).c_str());
+      }
+      return "SRAM access rejected";
+    case Target::kDevice:
+      return opec_support::StrPrintf(
+          "device '%s' rejected the %s at register offset %s (unimplemented or invalid "
+          "register)",
+          device->name().c_str(), kind_name,
+          opec_support::HexAddr(addr - device->base()).c_str());
+    case Target::kUnmapped:
+      return opec_support::StrPrintf("no memory or device is mapped at %s",
+                                     opec_support::HexAddr(addr).c_str());
   }
   OPEC_UNREACHABLE("bad Target");
 }

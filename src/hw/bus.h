@@ -7,6 +7,7 @@
 #include <bit>
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "src/hw/address_map.h"
@@ -50,6 +51,12 @@ class Bus {
   const BoardSpec& board() const { return board_; }
   uint32_t flash_end() const { return kFlashBase + board_.flash_size; }
   uint32_t sram_end() const { return kSramBase + board_.sram_size; }
+
+  // Forensics: explains why a BusFault-producing access was rejected (PPB
+  // privilege rule, flash W^X, region-end overrun, device rejection, unmapped
+  // address). Pure observation; performs no device access and charges nothing.
+  std::string ExplainFault(uint32_t addr, uint32_t size, AccessKind kind,
+                           bool privileged) const;
 
  private:
   enum class Target { kFlash, kSram, kDevice, kPpb, kUnmapped };

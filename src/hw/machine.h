@@ -16,7 +16,9 @@ namespace opec_hw {
 class Machine {
  public:
   explicit Machine(Board board)
-      : spec_(GetBoardSpec(board)), bus_(spec_, &mpu_, &cycles_) {}
+      : spec_(GetBoardSpec(board)), bus_(spec_, &mpu_, &cycles_) {
+    mpu_.set_cycle_counter(&cycles_);
+  }
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;

@@ -1,5 +1,6 @@
 #include "src/hw/mpu.h"
 
+#include "src/obs/event.h"
 #include "src/support/check.h"
 #include "src/support/text.h"
 
@@ -55,13 +56,22 @@ void Mpu::ConfigureRegion(int index, const MpuRegionConfig& config) {
   regions_[static_cast<size_t>(index)] = config;
   ++config_writes_;
   ++generation_;
+  OPEC_OBS_EVENT(opec_obs::EventKind::kMpuReconfig, cycles_ != nullptr ? *cycles_ : 0,
+                 opec_obs::Event::kNoOperation, 0, static_cast<uint32_t>(index), config.base,
+                 opec_obs::PackMpuConfig(config.enabled, config.size_log2, config.srd,
+                                         static_cast<uint8_t>(config.ap)));
 }
 
 void Mpu::DisableRegion(int index) {
   OPEC_CHECK(index >= 0 && index < kNumRegions);
-  regions_[static_cast<size_t>(index)].enabled = false;
+  MpuRegionConfig& r = regions_[static_cast<size_t>(index)];
+  r.enabled = false;
   ++config_writes_;
   ++generation_;
+  OPEC_OBS_EVENT(opec_obs::EventKind::kMpuReconfig, cycles_ != nullptr ? *cycles_ : 0,
+                 opec_obs::Event::kNoOperation, 0, static_cast<uint32_t>(index), r.base,
+                 opec_obs::PackMpuConfig(false, r.size_log2, r.srd,
+                                         static_cast<uint8_t>(r.ap)));
 }
 
 const MpuRegionConfig& Mpu::region(int index) const {
@@ -121,6 +131,60 @@ bool Mpu::CheckRange(uint32_t addr, uint32_t len, AccessKind kind, bool privileg
     }
   }
   return true;
+}
+
+std::string Mpu::ExplainAccess(uint32_t addr, uint32_t size, AccessKind kind,
+                               bool privileged) const {
+  const char* kind_name = kind == AccessKind::kWrite ? "write" : "read";
+  const char* level = privileged ? "privileged" : "unprivileged";
+  if (!enabled_) {
+    return opec_support::StrPrintf("MPU disabled: %s %s allowed by default", level, kind_name);
+  }
+  // Probe the same two addresses CheckAccess probes; the first denied probe is
+  // the decision the fault reflects.
+  uint32_t last = addr + (size == 0 ? 0 : size - 1);
+  for (uint32_t probe : {addr, last}) {
+    if (ProbeAllows(probe, kind, privileged)) {
+      if (probe == last) {
+        break;
+      }
+      continue;
+    }
+    int idx = DecidingRegion(probe);
+    std::string where = probe == addr
+                            ? std::string()
+                            : " (the access straddles into " + opec_support::HexAddr(probe) + ")";
+    // Note any higher-priority region that contains the address but stepped
+    // aside through a disabled sub-region — the stack-protection mechanism.
+    std::string fall_through;
+    for (int i = kNumRegions - 1; i > idx; --i) {
+      const MpuRegionConfig& r = regions_[static_cast<size_t>(i)];
+      if (!r.enabled || !r.Contains(probe) || r.srd == 0 || r.size_log2 < 8) {
+        continue;
+      }
+      uint32_t sub = (probe - r.base) / (r.size() / kNumSubRegions);
+      if ((r.srd >> sub) & 1u) {
+        fall_through = opec_support::StrPrintf(
+            "; region %d covers the address but its sub-region %u is disabled (srd=0x%02X)", i,
+            sub, r.srd);
+        break;
+      }
+    }
+    if (idx < 0) {
+      return opec_support::StrPrintf(
+          "no enabled MPU region maps %s%s; the background map (PRIVDEFENA) permits only "
+          "privileged access, so the %s %s was denied%s",
+          opec_support::HexAddr(probe).c_str(), where.c_str(), level, kind_name,
+          fall_through.c_str());
+    }
+    const MpuRegionConfig& r = regions_[static_cast<size_t>(idx)];
+    return opec_support::StrPrintf(
+        "denied by MPU region %d [%s]%s: its access permission (%s) does not allow an %s "
+        "%s%s",
+        idx, r.ToString().c_str(), where.c_str(), AccessPermName(r.ap), level, kind_name,
+        fall_through.c_str());
+  }
+  return opec_support::StrPrintf("MPU permits this %s %s", level, kind_name);
 }
 
 bool Mpu::CheckExec(uint32_t addr, bool privileged) const {

@@ -74,6 +74,17 @@ class Mpu {
   // Counts MPU reconfigurations, for the cost model and the benches.
   uint64_t config_writes() const { return config_writes_; }
 
+  // Lets reconfiguration events carry the modeled cycle stamp; wired up by
+  // Machine. Null is fine (events stamp cycle 0).
+  void set_cycle_counter(const uint64_t* cycles) { cycles_ = cycles; }
+
+  // Forensics: explains the decision CheckAccess made for this access — the
+  // deciding region (including sub-region fall-through) or the background
+  // map, and why it allowed or denied. Pure observation; charges nothing and
+  // does not touch the decision cache.
+  std::string ExplainAccess(uint32_t addr, uint32_t size, AccessKind kind,
+                            bool privileged) const;
+
  private:
   // Decides a single byte address. Returns the deciding region index, or -1
   // for background.
@@ -104,6 +115,7 @@ class Mpu {
   std::array<MpuRegionConfig, kNumRegions> regions_{};
   bool enabled_ = false;
   uint64_t config_writes_ = 0;
+  const uint64_t* cycles_ = nullptr;
   // generation_ starts at 1 so zero-initialized cache entries never match.
   uint64_t generation_ = 1;
   mutable std::array<DecisionCacheEntry, kDecisionCacheSize> decision_cache_{};

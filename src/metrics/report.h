@@ -1,25 +1,18 @@
 // Fixed-width table rendering for the bench binaries that regenerate the
-// paper's tables and figures on the console.
+// paper's tables and figures on the console. The implementation lives in
+// src/support/table.h so layers below metrics (observability) can render the
+// same tables; this alias keeps the historical opec_metrics::Table name.
 
 #ifndef SRC_METRICS_REPORT_H_
 #define SRC_METRICS_REPORT_H_
 
 #include <string>
-#include <vector>
+
+#include "src/support/table.h"
 
 namespace opec_metrics {
 
-class Table {
- public:
-  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
-
-  void AddRow(std::vector<std::string> row);
-  std::string ToString() const;
-
- private:
-  std::vector<std::string> headers_;
-  std::vector<std::vector<std::string>> rows_;
-};
+using Table = opec_support::Table;
 
 // "12.34" style formatting helpers.
 std::string Pct(double fraction, int decimals = 2);   // 0.0123 -> "1.23"

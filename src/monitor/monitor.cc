@@ -1,5 +1,6 @@
 #include "src/monitor/monitor.h"
 
+#include "src/obs/event.h"
 #include "src/support/check.h"
 #include "src/support/text.h"
 
@@ -80,6 +81,8 @@ bool Monitor::WriteBackShadows(int op_id) {
     }
     CopyBytes(sp.addr, ev.public_addr, ev.size);
     stats_.synced_bytes += ev.size;
+    OPEC_OBS_EVENT(opec_obs::EventKind::kShadowSync, machine_.cycles(), op_id, 0,
+                   static_cast<uint32_t>(sp.var_index), ev.size, opec_obs::kSyncWriteBack);
   }
   return true;
 }
@@ -90,6 +93,8 @@ void Monitor::CopyInShadows(int op_id) {
     const ExternalVar& ev = policy_.externals[static_cast<size_t>(sp.var_index)];
     CopyBytes(ev.public_addr, sp.addr, ev.size);
     stats_.synced_bytes += ev.size;
+    OPEC_OBS_EVENT(opec_obs::EventKind::kShadowSync, machine_.cycles(), op_id, 0,
+                   static_cast<uint32_t>(sp.var_index), ev.size, opec_obs::kSyncCopyIn);
   }
 }
 

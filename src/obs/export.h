@@ -1,0 +1,49 @@
+// Event-stream exporters: Chrome trace-event JSON (loadable in Perfetto /
+// chrome://tracing; operations render as tracks, functions as nested slices,
+// faults and monitor work as instants) and a JSONL stream for scripting.
+
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/event.h"
+
+namespace opec_obs {
+
+// Ordinal/id -> human name resolution for exporters and reports. The obs
+// layer sits below the IR and compiler, so callers (AppRun, benches) fill
+// this in from the module and policy.
+struct Naming {
+  std::vector<std::string> functions;   // indexed by function ordinal
+  std::vector<std::string> operations;  // indexed by operation id
+
+  std::string Function(uint32_t ordinal) const;
+  std::string Operation(int id) const;  // -1 -> "default"
+};
+
+// One process track in a combined trace (pid = index in the vector).
+struct TraceProcess {
+  std::string name;
+  std::vector<Event> events;
+  Naming naming;
+};
+
+// Chrome trace-event format: {"traceEvents": [...], ...}. Timestamps are the
+// modeled cycle count, exported in the format's microsecond unit (1 cycle ==
+// 1 us on screen; only relative durations matter).
+std::string ChromeTraceJson(const std::vector<TraceProcess>& processes);
+std::string ChromeTraceJson(const std::vector<Event>& events, const Naming& naming,
+                            const std::string& process_name = "opec");
+
+// One JSON object per line, fields decoded per event kind.
+std::string JsonLines(const std::vector<Event>& events, const Naming& naming);
+
+// Writes `content` to `path`; false on I/O failure.
+bool WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace opec_obs
+
+#endif  // SRC_OBS_EXPORT_H_

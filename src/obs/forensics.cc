@@ -1,0 +1,63 @@
+#include "src/obs/forensics.h"
+
+#include <sstream>
+
+#include "src/support/text.h"
+
+namespace opec_obs {
+
+namespace {
+
+std::string OperationLabel(int id, const std::string& name) {
+  if (id < 0) {
+    return "default operation";
+  }
+  if (name.empty()) {
+    return opec_support::StrPrintf("operation %d", id);
+  }
+  return opec_support::StrPrintf("operation %d (%s)", id, name.c_str());
+}
+
+}  // namespace
+
+std::string FaultReport::Summary() const {
+  std::string s = opec_support::StrPrintf(
+      "%s on %s of %u bytes at %s in %s [%s, depth %d, cycle %llu]",
+      bus_fault ? "BusFault" : "MemManage fault", write ? "write" : "read", size,
+      opec_support::HexAddr(addr).c_str(), function.empty() ? "?" : function.c_str(),
+      OperationLabel(operation_id, operation_name).c_str(), depth,
+      static_cast<unsigned long long>(cycle));
+  if (attack) {
+    s += " [injected attack write]";
+  }
+  if (!deny_reason.empty()) {
+    s += ": " + deny_reason;
+  }
+  return s;
+}
+
+std::string FaultReport::Render() const {
+  std::ostringstream out;
+  out << "=== " << (bus_fault ? "BusFault" : "MemManage fault") << " forensic report ===\n";
+  out << "  access    : " << (privileged ? "privileged" : "unprivileged") << " "
+      << (write ? "write" : "read") << " of " << size << " byte(s) at "
+      << opec_support::HexAddr(addr);
+  if (attack) {
+    out << "  (injected attack write)";
+  }
+  out << "\n";
+  out << "  where     : " << (function.empty() ? "?" : function) << ", "
+      << OperationLabel(operation_id, operation_name) << ", call depth " << depth
+      << ", modeled cycle " << cycle << "\n";
+  out << "  decision  : " << (deny_reason.empty() ? "(no decision detail captured)" : deny_reason)
+      << "\n";
+  if (!mpu_regions.empty()) {
+    out << "  MPU state :\n";
+    for (const std::string& r : mpu_regions) {
+      out << "    " << r << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace opec_obs

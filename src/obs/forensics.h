@@ -1,0 +1,47 @@
+// Fault forensics: a structured capture of everything known at the moment an
+// access was denied — which operation and function were running, what was
+// accessed, and which MPU region / bus rule made the deny decision — rendered
+// as a human-readable explanation instead of a bare fault code.
+//
+// The obs layer sits below the hardware model, so the hardware-specific
+// judgement strings (deny_reason, mpu_regions) are filled in by the engine
+// from Mpu::ExplainAccess / Bus::ExplainFault at capture time.
+
+#ifndef SRC_OBS_FORENSICS_H_
+#define SRC_OBS_FORENSICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace opec_obs {
+
+struct FaultReport {
+  bool bus_fault = false;  // BusFault when true, MemManage (MPU) fault otherwise
+  bool write = false;      // access kind
+  bool attack = false;     // the denied access was an injected AttackSpec write
+  uint32_t addr = 0;
+  uint32_t size = 0;
+  bool privileged = false;  // privilege level of the denied access
+
+  int operation_id = -1;       // active operation (-1 = default / vanilla)
+  std::string operation_name;  // optional; callers with a Policy can fill it
+  std::string function;        // function executing when the fault hit
+  int depth = 0;               // call depth at the fault
+  uint64_t cycle = 0;          // modeled cycle at the fault
+
+  // Which MPU region / bus rule decided (Mpu::ExplainAccess, Bus::ExplainFault).
+  std::string deny_reason;
+  // MPU region dump ("region N: ...") at fault time, for post-mortem review.
+  std::vector<std::string> mpu_regions;
+
+  // One-line digest, used as the run's violation string. Starts with
+  // "MemManage fault" or "BusFault" like the pre-forensics diagnostics.
+  std::string Summary() const;
+  // Multi-line human-readable report.
+  std::string Render() const;
+};
+
+}  // namespace opec_obs
+
+#endif  // SRC_OBS_FORENSICS_H_

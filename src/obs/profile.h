@@ -1,0 +1,48 @@
+// Per-operation profiler: aggregates a recorded event stream into one row per
+// operation — attributed cycles, switch/SVC counts, shadow-sync traffic,
+// fault activity and the distinct devices / shared globals touched — and
+// renders it as a metrics table (the instrument behind Figure 9 / Table 2
+// style per-domain accounting).
+
+#ifndef SRC_OBS_PROFILE_H_
+#define SRC_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/event.h"
+#include "src/obs/export.h"
+
+namespace opec_obs {
+
+struct OperationProfile {
+  int op_id = -1;
+  // Modeled cycles attributed to this operation: the gap between consecutive
+  // events is charged to the operation active when the gap started, so the
+  // resolution is bounded by event density (function entries dominate).
+  uint64_t cycles = 0;
+  uint64_t function_enters = 0;
+  uint64_t enters = 0;  // operation-enter switches into this operation
+  uint64_t exits = 0;   // operation-exit switches out of it
+  uint64_t svcs = 0;
+  uint64_t synced_bytes = 0;
+  uint64_t shadow_syncs = 0;
+  uint64_t mem_faults = 0;
+  uint64_t bus_faults = 0;
+  uint64_t mpu_reconfigs = 0;
+  uint64_t mmio_accesses = 0;
+  uint64_t distinct_devices = 0;      // distinct MMIO register banks (1 KiB granularity)
+  uint64_t distinct_synced_vars = 0;  // distinct external variables synced
+};
+
+// One profile per operation seen in the stream, sorted by op id (the default
+// operation, id -1, first when present).
+std::vector<OperationProfile> AggregateProfiles(const std::vector<Event>& events);
+
+std::string RenderProfileTable(const std::vector<OperationProfile>& profiles,
+                               const Naming& naming);
+
+}  // namespace opec_obs
+
+#endif  // SRC_OBS_PROFILE_H_

@@ -1,0 +1,45 @@
+// Recorder: a fixed-capacity ring-buffer sink. When the buffer is full the
+// oldest events are overwritten; `dropped()` reports how many were lost so
+// exporters can flag truncated traces.
+
+#ifndef SRC_OBS_RECORDER_H_
+#define SRC_OBS_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/event.h"
+
+namespace opec_obs {
+
+class Recorder : public Sink {
+ public:
+  static constexpr size_t kDefaultCapacity = 1u << 16;
+
+  explicit Recorder(size_t capacity = kDefaultCapacity);
+
+  void OnEvent(const Event& event) override;
+
+  size_t capacity() const { return buffer_.size(); }
+  // Events currently held (min(total, capacity)).
+  size_t size() const;
+  // Events ever observed / overwritten by wraparound.
+  uint64_t total() const { return total_; }
+  uint64_t dropped() const { return total_ > buffer_.size() ? total_ - buffer_.size() : 0; }
+
+  // i-th retained event in chronological order (0 = oldest retained).
+  const Event& at(size_t i) const;
+  // All retained events, oldest first.
+  std::vector<Event> Snapshot() const;
+
+  void Clear();
+
+ private:
+  std::vector<Event> buffer_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace opec_obs
+
+#endif  // SRC_OBS_RECORDER_H_

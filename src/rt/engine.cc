@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/hw/address_map.h"
+#include "src/obs/event.h"
 #include "src/support/check.h"
 #include "src/support/text.h"
 
@@ -105,18 +106,23 @@ uint32_t ExecutionEngine::MemRead(uint32_t addr, uint32_t size) {
     }
     if (r.status == AccessStatus::kMemFault && supervisor_ != nullptr &&
         supervisor_->OnMemFault(addr, AccessKind::kRead)) {
+      OPEC_OBS_EVENT(opec_obs::EventKind::kMemFault, machine_.cycles(), current_operation_,
+                     depth_, addr, size, opec_obs::kFaultResolved);
       continue;  // resolved (e.g. peripheral region virtualized in); retry
     }
     if (r.status == AccessStatus::kBusFault && supervisor_ != nullptr) {
       uint32_t value = 0;
       if (supervisor_->OnBusFault(addr, size, AccessKind::kRead, 0, &value)) {
+        OPEC_OBS_EVENT(opec_obs::EventKind::kBusFault, machine_.cycles(), current_operation_,
+                       depth_, addr, size, opec_obs::kFaultResolved);
         return value;  // emulated core-peripheral load
       }
     }
-    throw ExecutionAborted{opec_support::StrPrintf(
-        "%s on read of %u bytes at %s",
-        r.status == AccessStatus::kMemFault ? "MemManage fault" : "BusFault", size,
-        opec_support::HexAddr(addr).c_str())};
+    OPEC_OBS_EVENT(r.status == AccessStatus::kMemFault ? opec_obs::EventKind::kMemFault
+                                                       : opec_obs::EventKind::kBusFault,
+                   machine_.cycles(), current_operation_, depth_, addr, size, 0);
+    throw ExecutionAborted{
+        CaptureFault(addr, size, AccessKind::kRead, r.status, /*attack=*/false).Summary()};
   }
   throw ExecutionAborted{"unresolvable fault loop on read at " + opec_support::HexAddr(addr)};
 }
@@ -130,19 +136,52 @@ void ExecutionEngine::MemWrite(uint32_t addr, uint32_t size, uint32_t value) {
     }
     if (r.status == AccessStatus::kMemFault && supervisor_ != nullptr &&
         supervisor_->OnMemFault(addr, AccessKind::kWrite)) {
+      OPEC_OBS_EVENT(opec_obs::EventKind::kMemFault, machine_.cycles(), current_operation_,
+                     depth_, addr, size, opec_obs::kFaultWrite | opec_obs::kFaultResolved);
       continue;
     }
     if (r.status == AccessStatus::kBusFault && supervisor_ != nullptr) {
       if (supervisor_->OnBusFault(addr, size, AccessKind::kWrite, value, nullptr)) {
+        OPEC_OBS_EVENT(opec_obs::EventKind::kBusFault, machine_.cycles(), current_operation_,
+                       depth_, addr, size, opec_obs::kFaultWrite | opec_obs::kFaultResolved);
         return;  // emulated core-peripheral store
       }
     }
-    throw ExecutionAborted{opec_support::StrPrintf(
-        "%s on write of %u bytes at %s",
-        r.status == AccessStatus::kMemFault ? "MemManage fault" : "BusFault", size,
-        opec_support::HexAddr(addr).c_str())};
+    OPEC_OBS_EVENT(r.status == AccessStatus::kMemFault ? opec_obs::EventKind::kMemFault
+                                                       : opec_obs::EventKind::kBusFault,
+                   machine_.cycles(), current_operation_, depth_, addr, size,
+                   opec_obs::kFaultWrite);
+    throw ExecutionAborted{
+        CaptureFault(addr, size, AccessKind::kWrite, r.status, /*attack=*/false).Summary()};
   }
   throw ExecutionAborted{"unresolvable fault loop on write at " + opec_support::HexAddr(addr)};
+}
+
+const opec_obs::FaultReport& ExecutionEngine::CaptureFault(uint32_t addr, uint32_t size,
+                                                           AccessKind kind, AccessStatus status,
+                                                           bool attack) {
+  opec_obs::FaultReport report;
+  report.bus_fault = status == AccessStatus::kBusFault;
+  report.write = kind == AccessKind::kWrite;
+  report.attack = attack;
+  report.addr = addr;
+  report.size = size;
+  report.privileged = machine_.privileged();
+  report.operation_id = current_operation_;
+  report.function = current_fn_ != nullptr ? current_fn_->name() : "(no function)";
+  report.depth = depth_;
+  report.cycle = machine_.cycles();
+  report.deny_reason =
+      report.bus_fault ? machine_.bus().ExplainFault(addr, size, kind, report.privileged)
+                       : machine_.mpu().ExplainAccess(addr, size, kind, report.privileged);
+  if (!report.bus_fault) {
+    for (int i = 0; i < opec_hw::Mpu::kNumRegions; ++i) {
+      report.mpu_regions.push_back(opec_support::StrPrintf(
+          "region %d: %s", i, machine_.mpu().region(i).ToString().c_str()));
+    }
+  }
+  fault_reports_.push_back(std::move(report));
+  return fault_reports_.back();
 }
 
 uint32_t ExecutionEngine::Truncate(const Type* type, uint32_t value) const {
@@ -408,6 +447,15 @@ void ExecutionEngine::MaybeFireAttacks(const Function* fn) {
         resolved = machine_.bus().Write(a.addr, a.size, a.value, machine_.privileged()).ok();
       }
       a.blocked = !resolved;
+      if (a.blocked) {
+        OPEC_OBS_EVENT(r.status == AccessStatus::kMemFault ? opec_obs::EventKind::kMemFault
+                                                           : opec_obs::EventKind::kBusFault,
+                       machine_.cycles(), current_operation_, depth_, a.addr, a.size,
+                       opec_obs::kFaultWrite | opec_obs::kFaultAttack);
+        // The denied exploit write does not abort the run (the guest carries
+        // on), but it leaves a forensic report behind.
+        CaptureFault(a.addr, a.size, AccessKind::kWrite, r.status, /*attack=*/true);
+      }
     }
   }
 }
@@ -420,12 +468,17 @@ uint32_t ExecutionEngine::CallFunction(const Function* fn, std::vector<uint32_t>
 
   if (is_operation_entry) {
     Charge(costs_.svc);  // SVC before the call site
+    OPEC_OBS_EVENT(opec_obs::EventKind::kSvc, machine_.cycles(), saved_operation, depth_,
+                   static_cast<uint32_t>(operation_entry_id), 0);
     if (!supervisor_->OnOperationEnter(operation_entry_id, args)) {
       throw ExecutionAborted{opec_support::StrPrintf(
           "monitor rejected entry into operation %d (%s)", operation_entry_id,
           fn->name().c_str())};
     }
     current_operation_ = operation_entry_id;
+    OPEC_OBS_EVENT(opec_obs::EventKind::kOperationEnter, machine_.cycles(), current_operation_,
+                   depth_, static_cast<uint32_t>(operation_entry_id),
+                   static_cast<uint32_t>(saved_operation));
   } else if (supervisor_ != nullptr) {
     if (!supervisor_->OnFunctionCall(fn)) {
       throw ExecutionAborted{"supervisor rejected call to " + fn->name()};
@@ -442,12 +495,17 @@ uint32_t ExecutionEngine::CallFunction(const Function* fn, std::vector<uint32_t>
 
   if (is_operation_entry) {
     Charge(costs_.svc);  // SVC after the call site
+    OPEC_OBS_EVENT(opec_obs::EventKind::kSvc, machine_.cycles(), operation_entry_id, depth_,
+                   static_cast<uint32_t>(operation_entry_id), 1);
     current_operation_ = saved_operation;
     if (!supervisor_->OnOperationExit(operation_entry_id)) {
       throw ExecutionAborted{opec_support::StrPrintf(
           "monitor aborted at exit of operation %d (%s) — data sanitization failed",
           operation_entry_id, fn->name().c_str())};
     }
+    OPEC_OBS_EVENT(opec_obs::EventKind::kOperationExit, machine_.cycles(), current_operation_,
+                   depth_, static_cast<uint32_t>(operation_entry_id),
+                   static_cast<uint32_t>(saved_operation));
   } else if (supervisor_ != nullptr) {
     if (!supervisor_->OnFunctionReturn(fn)) {
       throw ExecutionAborted{"supervisor rejected return from " + fn->name()};
@@ -474,9 +532,10 @@ uint32_t ExecutionEngine::DoCall(const Function* fn, const std::vector<uint32_t>
   sp_ = base;
   Frame frame{fn, &fl, base};
 
-  if (trace_ != nullptr) {
-    trace_->RecordEntry(fn, depth_, machine_.cycles(), current_operation_);
-  }
+  const Function* saved_fn = current_fn_;
+  current_fn_ = fn;
+  OPEC_OBS_EVENT(opec_obs::EventKind::kFunctionEnter, machine_.cycles(), current_operation_,
+                 depth_, static_cast<uint32_t>(fn->ordinal()));
   MaybeFireAttacks(fn);
 
   uint32_t ret_value = 0;
@@ -489,11 +548,17 @@ uint32_t ExecutionEngine::DoCall(const Function* fn, const std::vector<uint32_t>
     }
     ExecBlock(fn->body(), frame, &ret_value);
   } catch (...) {
+    OPEC_OBS_EVENT(opec_obs::EventKind::kFunctionExit, machine_.cycles(), current_operation_,
+                   depth_, static_cast<uint32_t>(fn->ordinal()));
+    current_fn_ = saved_fn;
     --depth_;
     sp_ = saved_sp;
     throw;
   }
   Charge(costs_.ret);
+  OPEC_OBS_EVENT(opec_obs::EventKind::kFunctionExit, machine_.cycles(), current_operation_,
+                 depth_, static_cast<uint32_t>(fn->ordinal()));
+  current_fn_ = saved_fn;
   --depth_;
   sp_ = saved_sp;
   return ret_value;
@@ -586,6 +651,8 @@ RunResult ExecutionEngine::Run(const std::string& entry, const std::vector<uint3
   depth_ = 0;
   statements_ = 0;
   current_operation_ = -1;
+  current_fn_ = nullptr;
+  fault_reports_.clear();
   std::fill(entry_counts_.begin(), entry_counts_.end(), 0);
   for (AttackSpec& a : attacks_) {
     a.fired = false;

@@ -24,9 +24,9 @@
 
 #include "src/hw/machine.h"
 #include "src/ir/module.h"
+#include "src/obs/forensics.h"
 #include "src/rt/address_assignment.h"
 #include "src/rt/supervisor.h"
-#include "src/rt/trace.h"
 
 namespace opec_rt {
 
@@ -78,8 +78,8 @@ class ExecutionEngine : public EngineControl {
   ExecutionEngine(opec_hw::Machine& machine, const opec_ir::Module& module,
                   const AddressAssignment& layout, Supervisor* supervisor = nullptr);
 
-  // Optional instrumentation.
-  void set_trace(ExecutionTrace* trace) { trace_ = trace; }
+  // Optional instrumentation. Function-level tracing is event-based: attach
+  // an ExecutionTrace (or any obs sink) to the opec_obs::Hub around Run().
   void AddAttack(const AttackSpec& attack) { attacks_.push_back(attack); }
   const std::vector<AttackSpec>& attacks() const { return attacks_; }
   void set_statement_limit(uint64_t limit) { statement_limit_ = limit; }
@@ -102,6 +102,11 @@ class ExecutionEngine : public EngineControl {
   // The operation id the engine is currently executing in (-1 = default /
   // vanilla). Maintained around operation-entry calls; used by the tracer.
   int current_operation() const { return current_operation_; }
+
+  // Fault forensics captured during the last Run(): one report per denied
+  // access — blocked attack writes (the run continues) and the unresolved
+  // fault that aborted the run (always last, when the run failed).
+  const std::vector<opec_obs::FaultReport>& fault_reports() const { return fault_reports_; }
 
  private:
   struct FrameLayout {
@@ -143,11 +148,17 @@ class ExecutionEngine : public EngineControl {
   void MaybeFireAttacks(const opec_ir::Function* fn);
   void Charge(uint64_t cycles) { machine_.AddCycles(cycles); }
 
+  // Captures a forensic report for a denied access (MPU/bus decision, active
+  // operation and function, MPU region dump) and appends it to
+  // fault_reports_; returns the stored report.
+  const opec_obs::FaultReport& CaptureFault(uint32_t addr, uint32_t size,
+                                            opec_hw::AccessKind kind,
+                                            opec_hw::AccessStatus status, bool attack);
+
   opec_hw::Machine& machine_;
   const opec_ir::Module& module_;
   const AddressAssignment& layout_;
   Supervisor* supervisor_;
-  ExecutionTrace* trace_ = nullptr;
 
   // Dense per-function state, indexed by Function::ordinal(). Precomputed at
   // construction; the interpreter hot path never touches a map. Function code
@@ -162,9 +173,11 @@ class ExecutionEngine : public EngineControl {
   uint32_t sp_ = 0;
   int depth_ = 0;
   int current_operation_ = -1;
+  const opec_ir::Function* current_fn_ = nullptr;  // innermost active function
   uint64_t statements_ = 0;
   uint64_t statement_limit_ = 200'000'000;
   CostModel costs_;
+  std::vector<opec_obs::FaultReport> fault_reports_;
 
   static constexpr int kMaxDepth = 256;
   static constexpr uint32_t kFuncAddrStride = 0x40;

@@ -2,15 +2,21 @@
 // single-stepping (Section 6.4). Records the sequence of executed functions,
 // which drives the execution-time over-privilege (ET) metric and the
 // compartment-switch counting of the ACES baseline.
+//
+// The trace is an observability sink: the engine emits kFunctionEnter events
+// through the obs hub and the trace reconstructs function records from them,
+// so ET/ACES metrics and the exporters consume one event source. Bind() the
+// module whose ordinals the events refer to, then attach the trace for the
+// duration of the run (obs::ScopedSink).
 
 #ifndef SRC_RT_TRACE_H_
 #define SRC_RT_TRACE_H_
 
 #include <cstdint>
-#include <set>
 #include <vector>
 
 #include "src/ir/module.h"
+#include "src/obs/event.h"
 
 namespace opec_rt {
 
@@ -23,24 +29,55 @@ struct TraceEvent {
   int operation_id = -1;
 };
 
-class ExecutionTrace {
+class ExecutionTrace : public opec_obs::Sink {
  public:
+  explicit ExecutionTrace(const opec_ir::Module* module = nullptr) : module_(module) {}
+
+  // Sets the module whose function ordinals incoming events refer to.
+  void Bind(const opec_ir::Module* module) { module_ = module; }
+
+  void OnEvent(const opec_obs::Event& event) override {
+    if (event.kind != opec_obs::EventKind::kFunctionEnter || module_ == nullptr) {
+      return;
+    }
+    const auto& fns = module_->functions();
+    if (event.arg0 < fns.size()) {
+      RecordEntry(fns[event.arg0].get(), event.depth, event.cycle, event.operation_id);
+    }
+  }
+
   void RecordEntry(const opec_ir::Function* fn, int depth, uint64_t cycle, int operation_id) {
     events_.push_back({fn, depth, cycle, operation_id});
-    executed_.insert(fn);
+    // Flat membership by function ordinal: this sits on the per-function-entry
+    // hot path of every traced run, where the old std::set insert dominated.
+    size_t ord = static_cast<size_t>(fn->ordinal());
+    if (ord >= executed_bits_.size()) {
+      executed_bits_.resize(ord + 1, 0);
+    }
+    executed_bits_[ord] = 1;
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
-  const std::set<const opec_ir::Function*>& executed_functions() const { return executed_; }
-  bool WasExecuted(const opec_ir::Function* fn) const { return executed_.count(fn) > 0; }
+  bool WasExecuted(const opec_ir::Function* fn) const {
+    size_t ord = static_cast<size_t>(fn->ordinal());
+    return ord < executed_bits_.size() && executed_bits_[ord] != 0;
+  }
+  size_t executed_count() const {
+    size_t n = 0;
+    for (uint8_t b : executed_bits_) {
+      n += b;
+    }
+    return n;
+  }
   void Clear() {
     events_.clear();
-    executed_.clear();
+    executed_bits_.clear();
   }
 
  private:
+  const opec_ir::Module* module_ = nullptr;
   std::vector<TraceEvent> events_;
-  std::set<const opec_ir::Function*> executed_;
+  std::vector<uint8_t> executed_bits_;  // indexed by function ordinal
 };
 
 }  // namespace opec_rt

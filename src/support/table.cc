@@ -1,0 +1,41 @@
+#include "src/support/table.h"
+
+#include <algorithm>
+
+namespace opec_support {
+
+void Table::AddRow(std::vector<std::string> row) {
+  row.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t i = 0; i < row.size(); ++i) {
+      line += " " + row[i] + std::string(widths[i] - row[i].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t w : widths) {
+    sep += std::string(w + 2, '-') + "+";
+  }
+  sep += "\n";
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out + sep;
+}
+
+}  // namespace opec_support

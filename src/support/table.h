@@ -1,0 +1,27 @@
+// Fixed-width console table rendering. Shared by the metrics/bench reports
+// (paper tables and figures) and the observability layer's per-operation
+// profile output.
+
+#ifndef SRC_SUPPORT_TABLE_H_
+#define SRC_SUPPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace opec_support {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row);
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace opec_support
+
+#endif  // SRC_SUPPORT_TABLE_H_

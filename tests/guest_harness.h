@@ -9,7 +9,9 @@
 #include "src/compiler/image.h"
 #include "src/hw/machine.h"
 #include "src/ir/builder.h"
+#include "src/obs/event.h"
 #include "src/rt/engine.h"
+#include "src/rt/trace.h"
 
 namespace opec_test {
 
@@ -30,8 +32,9 @@ class GuestHarness {
     engine_ = std::make_unique<opec_rt::ExecutionEngine>(machine_, module_, image_.layout,
                                                          supervisor);
     if (trace_ != nullptr) {
-      engine_->set_trace(trace_);
+      trace_->Bind(&module_);
     }
+    opec_obs::ScopedSink trace_sink(trace_);  // no-op when no trace is set
     return engine_->Run(entry, args);
   }
 

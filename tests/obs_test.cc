@@ -1,0 +1,526 @@
+// Observability-layer tests: ring-buffer wraparound, event ordering against
+// modeled cycles, Chrome-trace / JSONL exporter well-formedness (golden +
+// mini-parser validation), fault forensics on the denied PinLock attack, the
+// Monitor::Stats-vs-event-stream agreement check on every app workload, and
+// the zero-modeled-cost contract of attached sinks.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/apps/all_apps.h"
+#include "src/apps/pinlock.h"
+#include "src/apps/runner.h"
+#include "src/monitor/monitor.h"
+#include "src/obs/event.h"
+#include "src/obs/export.h"
+#include "src/obs/forensics.h"
+#include "src/obs/profile.h"
+#include "src/obs/recorder.h"
+
+namespace opec_obs {
+namespace {
+
+using opec_apps::AppRun;
+using opec_apps::BuildMode;
+using opec_apps::PinLockApp;
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON validator (objects, arrays, strings,
+// numbers, booleans, null), enough to prove exporter output is well-formed
+// without a JSON dependency.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Validate() {
+    pos_ = 0;
+    return Value() && (SkipWs(), pos_ == text_.size());
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) != 0) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        SkipWs();
+        if (!String()) {
+          return false;
+        }
+        SkipWs();
+        if (pos_ >= text_.size() || text_[pos_] != ':') {
+          return false;
+        }
+        ++pos_;
+        if (!Value()) {
+          return false;
+        }
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '}') {
+        return false;
+      }
+      ++pos_;
+      return true;
+    }
+    if (c == '[') {
+      ++pos_;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        if (!Value()) {
+          return false;
+        }
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ']') {
+        return false;
+      }
+      ++pos_;
+      return true;
+    }
+    if (c == '"') {
+      return String();
+    }
+    if (c == 't') {
+      return Literal("true");
+    }
+    if (c == 'f') {
+      return Literal("false");
+    }
+    if (c == 'n') {
+      return Literal("null");
+    }
+    return Number();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// Counts events per kind and accumulates the kind-specific payloads the
+// Monitor::Stats cross-check needs; O(1) memory on the long workloads.
+class StatsSink : public Sink {
+ public:
+  void OnEvent(const Event& e) override {
+    ++counts_[e.kind];
+    switch (e.kind) {
+      case EventKind::kShadowSync:
+        synced_bytes_ += e.arg1;
+        break;
+      case EventKind::kMemFault:
+        if ((e.arg2 & kFaultResolved) != 0) {
+          ++resolved_mem_faults_;
+        }
+        break;
+      case EventKind::kBusFault:
+        if ((e.arg2 & kFaultResolved) != 0) {
+          ++resolved_bus_faults_;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  uint64_t count(EventKind kind) const {
+    auto it = counts_.find(kind);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  uint64_t synced_bytes() const { return synced_bytes_; }
+  uint64_t resolved_mem_faults() const { return resolved_mem_faults_; }
+  uint64_t resolved_bus_faults() const { return resolved_bus_faults_; }
+
+ private:
+  std::map<EventKind, uint64_t> counts_;
+  uint64_t synced_bytes_ = 0;
+  uint64_t resolved_mem_faults_ = 0;
+  uint64_t resolved_bus_faults_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+TEST(Recorder, RingBufferWraparound) {
+  Recorder rec(8);
+  EXPECT_EQ(rec.capacity(), 8u);
+  for (uint32_t i = 0; i < 20; ++i) {
+    rec.OnEvent(Event::Make(EventKind::kFunctionEnter, /*cycle=*/i, /*operation_id=*/-1,
+                            /*depth=*/1, /*arg0=*/i));
+  }
+  EXPECT_EQ(rec.total(), 20u);
+  EXPECT_EQ(rec.size(), 8u);
+  EXPECT_EQ(rec.dropped(), 12u);
+  // Retained events are the 8 newest, oldest first.
+  for (size_t i = 0; i < rec.size(); ++i) {
+    EXPECT_EQ(rec.at(i).arg0, 12u + i);
+    EXPECT_EQ(rec.at(i).cycle, 12u + i);
+  }
+  std::vector<Event> snap = rec.Snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  EXPECT_EQ(snap.front().arg0, 12u);
+  EXPECT_EQ(snap.back().arg0, 19u);
+
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.total(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(Recorder, BelowCapacityKeepsEverything) {
+  Recorder rec(16);
+  for (uint32_t i = 0; i < 5; ++i) {
+    rec.OnEvent(Event::Make(EventKind::kSvc, i));
+  }
+  EXPECT_EQ(rec.size(), 5u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_EQ(rec.at(0).cycle, 0u);
+  EXPECT_EQ(rec.at(4).cycle, 4u);
+}
+
+TEST(Hub, DispatchOnlyWhileAttached) {
+  EXPECT_FALSE(Hub::active());
+  Recorder rec(8);
+  {
+    ScopedSink attach(&rec);
+    EXPECT_TRUE(Hub::active());
+    OPEC_OBS_EVENT(EventKind::kSvc, 1);
+  }
+  EXPECT_FALSE(Hub::active());
+  OPEC_OBS_EVENT(EventKind::kSvc, 2);  // no sink: must not be observed
+  EXPECT_EQ(rec.total(), 1u);
+  EXPECT_EQ(rec.at(0).cycle, 1u);
+}
+
+// Events must be emitted in modeled-cycle order: the stream is an observation
+// of one single-threaded machine, so cycles never decrease.
+TEST(EventStream, CyclesAreMonotonic) {
+  PinLockApp app(3);
+  AppRun run(app, BuildMode::kOpec);
+  run.EnableEventRecording();
+  ASSERT_TRUE(run.Execute().ok);
+  ASSERT_NE(run.recorder(), nullptr);
+  std::vector<Event> events = run.recorder()->Snapshot();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(run.recorder()->dropped(), 0u) << "pinlock should fit in the default ring";
+  uint64_t prev = 0;
+  for (const Event& e : events) {
+    EXPECT_GE(e.cycle, prev) << "event stream not in cycle order";
+    prev = e.cycle;
+  }
+  // The stream contains the structural kinds an OPEC run must produce.
+  StatsSink kinds;
+  for (const Event& e : events) {
+    kinds.OnEvent(e);
+  }
+  EXPECT_GT(kinds.count(EventKind::kFunctionEnter), 0u);
+  EXPECT_GT(kinds.count(EventKind::kFunctionExit), 0u);
+  EXPECT_GT(kinds.count(EventKind::kOperationEnter), 0u);
+  EXPECT_GT(kinds.count(EventKind::kOperationExit), 0u);
+  EXPECT_GT(kinds.count(EventKind::kSvc), 0u);
+  EXPECT_GT(kinds.count(EventKind::kMpuReconfig), 0u);
+  // Function enter/exit events balance on a completed run.
+  EXPECT_EQ(kinds.count(EventKind::kFunctionEnter), kinds.count(EventKind::kFunctionExit));
+  EXPECT_EQ(kinds.count(EventKind::kOperationEnter), kinds.count(EventKind::kOperationExit));
+}
+
+TEST(ChromeTrace, GoldenSmallStream) {
+  std::vector<Event> events;
+  events.push_back(Event::Make(EventKind::kFunctionEnter, 100, -1, 1, 0));
+  events.push_back(Event::Make(EventKind::kMemFault, 120, Event::kNoOperation, 1, 0x20000000u,
+                               4, kFaultWrite));
+  events.push_back(Event::Make(EventKind::kFunctionExit, 150, -1, 1, 0));
+  Naming naming;
+  naming.functions = {"main"};
+  std::string json = ChromeTraceJson(events, naming, "golden");
+
+  const std::string expected =
+      "{\n"
+      "  \"traceEvents\": [\n"
+      "    {\"ph\":\"M\",\"pid\":0,\"tid\":0,\"ts\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"golden\"}},\n"
+      "    {\"ph\":\"B\",\"pid\":0,\"tid\":1,\"ts\":100,\"name\":\"main\"},\n"
+      "    {\"ph\":\"i\",\"pid\":0,\"tid\":1,\"ts\":120,\"name\":\"MemFault 0x20000000\","
+      "\"s\":\"t\",\"args\":{\"size\":4,\"write\":true,\"resolved\":false,"
+      "\"attack\":false}},\n"
+      "    {\"ph\":\"E\",\"pid\":0,\"tid\":1,\"ts\":150,\"name\":\"main\"},\n"
+      "    {\"ph\":\"M\",\"pid\":0,\"tid\":1,\"ts\":0,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"operation default\"}},\n"
+      "    {\"ph\":\"M\",\"pid\":0,\"tid\":1,\"ts\":0,\"name\":\"thread_sort_index\","
+      "\"args\":{\"sort_index\":1}}\n"
+      "  ],\n"
+      "  \"displayTimeUnit\": \"ms\",\n"
+      "  \"otherData\": {\"generator\": \"opec-obs\", \"time_unit\": \"modeled cycles\"}\n"
+      "}\n";
+  EXPECT_EQ(json, expected);
+  EXPECT_TRUE(JsonValidator(json).Validate());
+}
+
+TEST(ChromeTrace, PinLockTraceIsWellFormed) {
+  PinLockApp app(3);
+  AppRun run(app, BuildMode::kOpec);
+  run.EnableEventRecording();
+  ASSERT_TRUE(run.Execute().ok);
+  std::vector<Event> events = run.recorder()->Snapshot();
+  Naming naming = run.EventNaming();
+  std::string json = ChromeTraceJson(events, naming, "PinLock");
+  EXPECT_TRUE(JsonValidator(json).Validate()) << "Chrome trace JSON is malformed";
+  // Structural markers Perfetto relies on.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("op:"), std::string::npos) << "operations should render as slices";
+}
+
+TEST(JsonLinesExport, EveryLineIsAJsonObject) {
+  PinLockApp app(3);
+  AppRun run(app, BuildMode::kOpec);
+  run.EnableEventRecording();
+  ASSERT_TRUE(run.Execute().ok);
+  std::vector<Event> events = run.recorder()->Snapshot();
+  std::string jsonl = JsonLines(events, run.EventNaming());
+  std::istringstream in(jsonl);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_TRUE(JsonValidator(line).Validate()) << "bad JSONL line: " << line;
+    EXPECT_EQ(line.front(), '{');
+    ++lines;
+  }
+  EXPECT_EQ(lines, events.size());
+}
+
+// The Section 6.1 exploit, observed: the denied KEY overwrite must leave a
+// fully populated forensic report.
+TEST(FaultForensics, DeniedPinlockAttackProducesReport) {
+  PinLockApp app(3);
+  AppRun run(app, BuildMode::kOpec);
+  const opec_compiler::Policy& policy = run.compile()->policy;
+  int key_index = policy.FindExternalIndex(run.module().FindGlobal("KEY"));
+  ASSERT_GE(key_index, 0);
+  uint32_t key_addr = policy.externals[static_cast<size_t>(key_index)].public_addr;
+
+  opec_rt::AttackSpec attack;
+  attack.function = "HAL_UART_Receive_IT";
+  attack.occurrence = 2;
+  attack.addr = key_addr;
+  attack.value = 0xDEADBEEF;
+  run.AddAttack(attack);
+
+  run.EnableEventRecording();
+  opec_rt::RunResult r = run.Execute();
+  ASSERT_TRUE(r.ok) << r.violation;
+  ASSERT_TRUE(run.engine().attacks()[0].blocked);
+
+  const std::vector<FaultReport>& reports = run.engine().fault_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  const FaultReport& report = reports[0];
+  EXPECT_TRUE(report.attack);
+  EXPECT_TRUE(report.write);
+  EXPECT_FALSE(report.privileged) << "exploited code runs unprivileged under OPEC";
+  EXPECT_EQ(report.addr, key_addr);
+  EXPECT_EQ(report.size, 4u);
+  EXPECT_EQ(report.function, "HAL_UART_Receive_IT");
+  EXPECT_GE(report.operation_id, 0) << "attack fires inside an operation";
+  EXPECT_GT(report.depth, 0);
+  EXPECT_GT(report.cycle, 0u);
+  EXPECT_FALSE(report.deny_reason.empty());
+  if (!report.bus_fault) {
+    EXPECT_EQ(report.mpu_regions.size(),
+              static_cast<size_t>(opec_hw::Mpu::kNumRegions));
+  }
+  std::string rendered = report.Render();
+  EXPECT_NE(rendered.find("forensic report"), std::string::npos);
+  EXPECT_NE(rendered.find("HAL_UART_Receive_IT"), std::string::npos);
+  EXPECT_NE(rendered.find("injected attack write"), std::string::npos);
+  // The recorded stream carries the matching fault instant.
+  bool saw_attack_fault = false;
+  for (const Event& e : run.recorder()->Snapshot()) {
+    if ((e.kind == EventKind::kMemFault || e.kind == EventKind::kBusFault) &&
+        (e.arg2 & kFaultAttack) != 0) {
+      EXPECT_EQ(e.arg0, key_addr);
+      saw_attack_fault = true;
+    }
+  }
+  EXPECT_TRUE(saw_attack_fault);
+}
+
+// Satellite: the hand-incremented Monitor::Stats counters and the observed
+// event stream must agree on every app workload — any drift means a counter
+// was bumped without the matching event (or vice versa).
+TEST(MonitorStatsAgreement, AllAppWorkloads) {
+  for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
+    std::unique_ptr<opec_apps::Application> app = factory.make();
+    AppRun run(*app, BuildMode::kOpec);
+    StatsSink sink;
+    run.AttachSink(&sink);
+    uint64_t config_writes_before = run.machine().mpu().config_writes();
+    opec_rt::RunResult r = run.Execute();
+    ASSERT_TRUE(r.ok) << factory.name << ": " << r.violation;
+    const opec_monitor::MonitorStats& stats = run.monitor()->stats();
+
+    EXPECT_EQ(stats.operation_switches, sink.count(EventKind::kOperationEnter) +
+                                            sink.count(EventKind::kOperationExit))
+        << factory.name;
+    EXPECT_EQ(stats.synced_bytes, sink.synced_bytes()) << factory.name;
+    EXPECT_EQ(stats.virtualization_faults, sink.resolved_mem_faults()) << factory.name;
+    EXPECT_EQ(stats.emulated_core_accesses, sink.resolved_bus_faults()) << factory.name;
+    // Every MPU reconfiguration during the observed window emitted one event.
+    EXPECT_EQ(run.machine().mpu().config_writes() - config_writes_before,
+              sink.count(EventKind::kMpuReconfig))
+        << factory.name;
+    // Each operation switch is SVC-mediated.
+    EXPECT_EQ(sink.count(EventKind::kSvc), stats.operation_switches) << factory.name;
+  }
+}
+
+// Acceptance: the per-operation profile table renders for every app workload.
+TEST(Profiler, TableRendersForAllAppWorkloads) {
+  for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
+    std::unique_ptr<opec_apps::Application> app = factory.make();
+    AppRun run(*app, BuildMode::kOpec);
+    run.EnableEventRecording();
+    ASSERT_TRUE(run.Execute().ok) << factory.name;
+    std::vector<OperationProfile> profiles =
+        AggregateProfiles(run.recorder()->Snapshot());
+    ASSERT_FALSE(profiles.empty()) << factory.name;
+    std::string table = RenderProfileTable(profiles, run.EventNaming());
+    EXPECT_FALSE(table.empty()) << factory.name;
+    EXPECT_NE(table.find("Operation"), std::string::npos) << factory.name;
+    // Cycle attribution never exceeds the run: the per-operation sum is
+    // bounded by the modeled cycle of the last event.
+    uint64_t total = 0;
+    for (const OperationProfile& p : profiles) {
+      total += p.cycles;
+    }
+    uint64_t last_cycle = run.recorder()->Snapshot().back().cycle;
+    EXPECT_LE(total, last_cycle) << factory.name;
+  }
+}
+
+// The zero-modeled-cost contract, at unit level: an attached sink must not
+// change cycles or statements.
+TEST(Overhead, AttachedSinkLeavesModeledOutputsIdentical) {
+  PinLockApp app(3);
+  uint64_t cycles_plain = 0;
+  uint64_t statements_plain = 0;
+  {
+    AppRun run(app, BuildMode::kOpec);
+    opec_rt::RunResult r = run.Execute();
+    ASSERT_TRUE(r.ok);
+    cycles_plain = r.cycles;
+    statements_plain = r.statements;
+  }
+  {
+    AppRun run(app, BuildMode::kOpec);
+    run.EnableEventRecording();
+    StatsSink sink;
+    run.AttachSink(&sink);
+    opec_rt::RunResult r = run.Execute();
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.cycles, cycles_plain);
+    EXPECT_EQ(r.statements, statements_plain);
+    EXPECT_GT(run.recorder()->total(), 0u);
+  }
+}
+
+// The rebased ExecutionTrace consumes the same event stream.
+TEST(ExecutionTraceSink, ReconstructsFunctionLog) {
+  PinLockApp app(3);
+  AppRun run(app, BuildMode::kOpec);
+  run.EnableTrace();
+  ASSERT_TRUE(run.Execute().ok);
+  const opec_rt::ExecutionTrace& trace = run.trace();
+  ASSERT_FALSE(trace.events().empty());
+  EXPECT_GT(trace.executed_count(), 0u);
+  const opec_ir::Function* main_fn = run.module().FindFunction("main");
+  ASSERT_NE(main_fn, nullptr);
+  EXPECT_TRUE(trace.WasExecuted(main_fn));
+  EXPECT_EQ(trace.events().front().fn, main_fn);
+  // Cycle stamps inherited from the event stream are monotonic.
+  uint64_t prev = 0;
+  for (const opec_rt::TraceEvent& te : trace.events()) {
+    EXPECT_GE(te.cycle, prev);
+    prev = te.cycle;
+  }
+}
+
+}  // namespace
+}  // namespace opec_obs
