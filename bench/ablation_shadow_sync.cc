@@ -3,74 +3,17 @@
 // we report the guest-cycle cost of one enter+exit switch pair, which is
 // dominated by the shadow synchronization (4 copies of the buffer per pair:
 // write-back + copy-in on enter, and again on exit).
+//
+// The text is produced by opec_bench::AblationShadowSyncText
+// (bench/figures_lib.h); `--jobs N` measures the buffer sizes concurrently
+// with bit-identical output.
 
 #include <cstdio>
 
-#include "src/compiler/opec_compiler.h"
-#include "src/ir/builder.h"
-#include "src/metrics/report.h"
-#include "src/monitor/monitor.h"
-#include "src/rt/engine.h"
+#include "bench/figures_lib.h"
 
-namespace {
-
-using opec_ir::FunctionBuilder;
-using opec_ir::Val;
-
-uint64_t MeasureSwitchPairCycles(uint32_t shared_bytes, int switches) {
-  opec_ir::Module m("sync");
-  auto& tt = m.types();
-  m.AddGlobal("buf", tt.ArrayOf(tt.U8(), shared_bytes));
-  {
-    auto* fn = m.AddFunction("Task", tt.FunctionTy(tt.VoidTy(), {}), {});
-    FunctionBuilder b(m, fn);
-    b.Assign(b.Idx(b.G("buf"), 0u), b.U8(1));  // touch the buffer (shares it)
-    b.RetVoid();
-    b.Finish();
-  }
-  {
-    auto* fn = m.AddFunction("main", tt.FunctionTy(tt.U32(), {}), {});
-    FunctionBuilder b(m, fn);
-    Val i = b.Local("i", tt.U32());
-    b.Assign(b.Idx(b.G("buf"), 1u), b.U8(2));  // main shares it too
-    b.Assign(i, b.U32(0));
-    b.While(i < b.U32(static_cast<uint32_t>(switches)));
-    {
-      b.Call("Task");
-      b.Assign(i, i + b.U32(1));
-    }
-    b.End();
-    b.Ret(b.U32(0));
-    b.Finish();
-  }
-  opec_hw::SocDescription soc;
-  opec_compiler::PartitionConfig config;
-  config.entries.push_back({"Task", {}});
-  opec_hw::Machine machine(opec_hw::Board::kStm32479iEval);
-  opec_compiler::CompileResult compile =
-      opec_compiler::CompileOpec(m, soc, config, machine.board().board);
-  opec_monitor::Monitor monitor(machine, compile.policy, soc);
-  opec_compiler::LoadGlobals(machine, m, compile.layout);
-  opec_rt::ExecutionEngine engine(machine, m, compile.layout, &monitor);
-  opec_rt::RunResult r = engine.Run("main");
-  if (!r.ok) {
-    std::fprintf(stderr, "run failed: %s\n", r.violation.c_str());
-    return 0;
-  }
-  return r.cycles / static_cast<uint64_t>(switches);
-}
-
-}  // namespace
-
-int main() {
-  opec_metrics::Table table({"Shared bytes", "Cycles per enter+exit pair"});
-  for (uint32_t bytes : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
-    table.AddRow({std::to_string(bytes), std::to_string(MeasureSwitchPairCycles(bytes, 50))});
-  }
-  std::printf("Ablation: shadow-synchronization cost vs shared-state size\n%s",
-              table.ToString().c_str());
-  std::printf("\nExpected shape: cost grows linearly with the shared bytes — the price\n"
-              "OPEC pays (in cycles and SRAM) for driving partition-time over-privilege\n"
-              "to zero, vs ACES's free-but-over-privileged merged regions.\n");
+int main(int argc, char** argv) {
+  int jobs = opec_bench::ParseJobsFlag(argc, argv, "usage: ablation_shadow_sync [--jobs N]");
+  std::fputs(opec_bench::AblationShadowSyncText(jobs).c_str(), stdout);
   return 0;
 }

@@ -2,35 +2,18 @@
 // control flow, so domain switches happen only at entry/exit of tasks —
 // file-granularity (ACES) partitioning switches on every cross-file call.
 // Reports the domain-switch count per scenario for each application.
+//
+// The text is produced by opec_bench::AblationSwitchFrequencyText
+// (bench/figures_lib.h); `--jobs N` measures the applications concurrently
+// with bit-identical output.
 
 #include <cstdio>
 
-#include "bench/aces_util.h"
-#include "bench/bench_util.h"
-#include "src/metrics/report.h"
+#include "bench/figures_lib.h"
 
-int main() {
-  opec_metrics::Table table(
-      {"Application", "OPEC switches", "ACES1 switches", "ACES2 switches", "ACES3 switches"});
-  for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
-    std::unique_ptr<opec_apps::Application> app = factory.make();
-    opec_apps::AppRun opec(*app, opec_apps::BuildMode::kOpec);
-    opec_rt::RunResult r = opec.Execute();
-    OPEC_CHECK_MSG(r.ok, r.violation);
-    std::vector<std::string> row{app->name(),
-                                 std::to_string(opec.monitor()->stats().operation_switches)};
-    for (opec_aces::AcesStrategy strategy :
-         {opec_aces::AcesStrategy::kFilename, opec_aces::AcesStrategy::kFilenameNoOpt,
-          opec_aces::AcesStrategy::kPeripheral}) {
-      opec_bench::AcesRunResult aces = opec_bench::RunUnderAces(*app, strategy);
-      row.push_back(std::to_string(aces.switches));
-    }
-    table.AddRow(std::move(row));
-  }
-  std::printf("Ablation: domain-switch frequency, OPEC vs ACES strategies\n%s",
-              table.ToString().c_str());
-  std::printf("\nExpected shape: OPEC switches only at operation entry/exit; ACES\n"
-              "switches on the hot path (e.g. every HAL call crossing a file), which\n"
-              "is the Section 3.1 argument for operation-based partitioning.\n");
+int main(int argc, char** argv) {
+  int jobs =
+      opec_bench::ParseJobsFlag(argc, argv, "usage: ablation_switch_frequency [--jobs N]");
+  std::fputs(opec_bench::AblationSwitchFrequencyText(jobs).c_str(), stdout);
   return 0;
 }

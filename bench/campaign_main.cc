@@ -1,0 +1,248 @@
+// campaign: the parallel campaign-execution CLI (DESIGN.md Section 11).
+//
+// Runs a matrix of isolated scenario and/or fault-injection jobs on the
+// work-stealing pool and prints a deterministic report: modeled outputs and
+// the aggregated JSON are bit-identical across --jobs values; only the wall
+// clock changes.
+//
+// Usage:
+//   campaign [--spec FILE] [--apps a,b|all] [--modes opec|vanilla|both]
+//            [--fault-sweep N] [--fault-class CLASS] [--figures]
+//            [--jobs N] [--seed S] [--timeout-ms T]
+//            [--report-json FILE] [--deterministic] [--trace-dir DIR]
+//
+//   --spec FILE     line-oriented campaign spec (see CampaignSpec::ParseFile)
+//   --apps/--modes  scenario matrix (default: all apps, both modes) used when
+//                   no --spec/--fault-sweep is given; also the app pool for
+//                   --fault-sweep
+//   --fault-sweep N N fault-injection jobs round-robined over the app pool
+//   --fault-class   stack-bit-flip | shadow-bit-flip | svc-arg | icall-forge |
+//                   any (default)
+//   --figures       instead of a job campaign, regenerate Figures 9, 10 and
+//                   11 through the shared generators, fanned out over --jobs;
+//                   output is bit-identical to the standalone drivers
+//   --report-json   write the full report (with timing); with --deterministic
+//                   write the timing-free report (byte-identical across
+//                   thread counts)
+//   --trace-dir     write a per-job Chrome trace into DIR
+//
+// Exit status: 0 when every job succeeded (AllOk), 1 otherwise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/figures_lib.h"
+#include "src/apps/all_apps.h"
+#include "src/campaign/campaign.h"
+
+namespace {
+
+using opec_campaign::CampaignResult;
+using opec_campaign::CampaignSpec;
+using opec_campaign::Executor;
+using opec_campaign::FaultClass;
+using opec_campaign::Outcome;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: campaign [--spec FILE] [--apps a,b|all] [--modes opec|vanilla|both]\n"
+      "                [--fault-sweep N] [--fault-class CLASS] [--figures]\n"
+      "                [--jobs N] [--seed S] [--timeout-ms T]\n"
+      "                [--report-json FILE] [--deterministic] [--trace-dir DIR]\n");
+  return 2;
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool ParseFaultClass(const std::string& s, FaultClass* out) {
+  if (s == "any") {
+    *out = FaultClass::kAny;
+  } else if (s == "stack-bit-flip") {
+    *out = FaultClass::kStackBitFlip;
+  } else if (s == "shadow-bit-flip") {
+    *out = FaultClass::kShadowBitFlip;
+  } else if (s == "svc-arg") {
+    *out = FaultClass::kSvcArgCorrupt;
+  } else if (s == "icall-forge") {
+    *out = FaultClass::kIcallForge;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string apps_arg = "all";
+  std::string modes_arg = "both";
+  size_t fault_sweep = 0;
+  FaultClass fault_class = FaultClass::kAny;
+  bool figures = false;
+  int jobs = 1;
+  uint64_t seed = 1;
+  uint64_t timeout_ms = 0;
+  std::string report_path;
+  bool deterministic = false;
+  std::string trace_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--spec") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      spec_path = v;
+    } else if (arg == "--apps") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      apps_arg = v;
+    } else if (arg == "--modes") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      modes_arg = v;
+    } else if (arg == "--fault-sweep") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      fault_sweep = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--fault-class") {
+      const char* v = next();
+      if (v == nullptr || !ParseFaultClass(v, &fault_class)) return Usage();
+    } else if (arg == "--figures") {
+      figures = true;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      jobs = std::atoi(v);
+      if (jobs < 1) return Usage();
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      timeout_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--report-json") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      report_path = v;
+    } else if (arg == "--deterministic") {
+      deterministic = true;
+    } else if (arg == "--trace-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      trace_dir = v;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (figures) {
+    std::fputs(opec_bench::Figure9Text(jobs).c_str(), stdout);
+    std::fputs(opec_bench::Figure10Text(jobs).c_str(), stdout);
+    std::fputs(opec_bench::Figure11Text(jobs).c_str(), stdout);
+    return 0;
+  }
+
+  std::vector<std::string> apps;
+  if (apps_arg == "all") {
+    for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
+      apps.push_back(factory.name);
+    }
+  } else {
+    apps = SplitCommas(apps_arg);
+  }
+  std::vector<opec_apps::BuildMode> modes;
+  if (modes_arg == "opec") {
+    modes = {opec_apps::BuildMode::kOpec};
+  } else if (modes_arg == "vanilla") {
+    modes = {opec_apps::BuildMode::kVanilla};
+  } else if (modes_arg == "both") {
+    modes = {opec_apps::BuildMode::kVanilla, opec_apps::BuildMode::kOpec};
+  } else {
+    return Usage();
+  }
+
+  CampaignSpec spec;
+  spec.seed = seed;
+  spec.timeout_ms = timeout_ms;
+  if (!spec_path.empty()) {
+    std::string err = spec.ParseFile(spec_path);
+    if (!err.empty()) {
+      std::fprintf(stderr, "campaign: %s\n", err.c_str());
+      return 2;
+    }
+  }
+  if (fault_sweep > 0) {
+    spec.AddFaultSweep(apps, fault_sweep, fault_class);
+  }
+  if (spec.jobs.empty()) {
+    spec.AddScenarioMatrix(apps, modes);
+  }
+
+  Executor::Options options;
+  options.jobs = jobs;
+  options.default_timeout_ms = timeout_ms;
+  options.trace_dir = trace_dir;
+  CampaignResult result = Executor::Run(spec, options);
+
+  // Per-outcome summary, then the robustness matrix when faults were swept.
+  std::printf("campaign: %zu jobs on %d worker(s), wall %.2f ms (serial %.2f ms, %.2fx)\n",
+              result.results.size(), result.jobs_used, result.wall_ns / 1e6,
+              result.SerialWallNs() / 1e6,
+              result.wall_ns > 0
+                  ? static_cast<double>(result.SerialWallNs()) /
+                        static_cast<double>(result.wall_ns)
+                  : 0.0);
+  for (int o = 0; o <= static_cast<int>(Outcome::kTimeout); ++o) {
+    size_t n = result.CountOutcome(static_cast<Outcome>(o));
+    if (n > 0) {
+      std::printf("  %-18s %zu\n", opec_campaign::OutcomeName(static_cast<Outcome>(o)), n);
+    }
+  }
+  bool have_faults = false;
+  for (const opec_campaign::JobResult& r : result.results) {
+    if (r.spec.kind == opec_campaign::JobKind::kFault) {
+      have_faults = true;
+    }
+    if (!r.ok) {
+      std::printf("  job %zu [%s %s]: %s — %s\n", r.index, r.spec.app.c_str(),
+                  opec_campaign::JobKindName(r.spec.kind),
+                  opec_campaign::OutcomeName(r.outcome), r.detail.c_str());
+    }
+  }
+  if (have_faults) {
+    std::fputs(result.FaultMatrix().c_str(), stdout);
+  }
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "campaign: cannot write %s\n", report_path.c_str());
+      return 2;
+    }
+    out << (deterministic ? result.DeterministicJson() : result.Json());
+    std::printf("wrote %s\n", report_path.c_str());
+  }
+  return result.AllOk() ? 0 : 1;
+}

@@ -2,56 +2,17 @@
 // over-privilege value (PT, Eq. 1) per compartment for the five applications
 // ACES also evaluated, under the three ACES strategies. OPEC's PT is computed
 // too — the shadowing technique makes it identically zero.
+//
+// The text is produced by opec_bench::Figure10Text (bench/figures_lib.h), the
+// same generator the campaign CLI uses; `--jobs N` measures the applications
+// concurrently with bit-identical output.
 
 #include <cstdio>
 
-#include "bench/aces_util.h"
-#include "bench/bench_util.h"
-#include "src/metrics/over_privilege.h"
-#include "src/metrics/report.h"
+#include "bench/figures_lib.h"
 
-int main() {
-  using opec_aces::AcesStrategy;
-  using opec_metrics::Cdf;
-  using opec_metrics::Num;
-
-  for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
-    if (!factory.in_aces_comparison) {
-      continue;
-    }
-    std::unique_ptr<opec_apps::Application> app = factory.make();
-    std::printf("=== Figure 10(%s): PT cumulative distribution ===\n", app->name().c_str());
-
-    // OPEC: PT must be 0 for every operation.
-    opec_apps::AppRun opec(*app, opec_apps::BuildMode::kOpec);
-    std::vector<opec_metrics::DomainPt> opec_pt =
-        opec_metrics::ComputeOpecPt(opec.compile()->policy);
-    double opec_max = 0;
-    for (const opec_metrics::DomainPt& d : opec_pt) {
-      opec_max = std::max(opec_max, d.pt());
-    }
-    std::printf("OPEC: %zu operations, max PT = %.4f (shadowing: always 0)\n", opec_pt.size(),
-                opec_max);
-
-    for (AcesStrategy strategy :
-         {AcesStrategy::kFilename, AcesStrategy::kFilenameNoOpt, AcesStrategy::kPeripheral}) {
-      opec_bench::AcesRunResult aces = opec_bench::RunUnderAces(*app, strategy);
-      std::vector<opec_metrics::DomainPt> pts = opec_metrics::ComputeAcesPt(aces.partition);
-      std::vector<double> values;
-      for (const opec_metrics::DomainPt& d : pts) {
-        values.push_back(d.pt());
-      }
-      auto cdf = Cdf(values);
-      std::printf("%s (%zu compartments, %d region merges): CDF points (PT, ratio):",
-                  opec_aces::StrategyName(strategy), pts.size(), aces.partition.merge_steps);
-      for (const auto& [pt, ratio] : cdf) {
-        std::printf(" (%.3f, %.2f)", pt, ratio);
-      }
-      std::printf("\n");
-    }
-    std::printf("\n");
-  }
-  std::printf("Paper reference (Figure 10): every ACES strategy except PinLock under\n"
-              "ACES2/ACES3 shows compartments with PT > 0; OPEC is 0 everywhere.\n");
+int main(int argc, char** argv) {
+  int jobs = opec_bench::ParseJobsFlag(argc, argv, "usage: figure10_pt [--jobs N]");
+  std::fputs(opec_bench::Figure10Text(jobs).c_str(), stdout);
   return 0;
 }

@@ -3,66 +3,17 @@
 // applications. Tasks are the operation windows of a traced OPEC run (the
 // paper's GDB single-stepping stand-in); under ACES a task's needed set is
 // everything accessible to the compartments its execution flowed through.
+//
+// The text is produced by opec_bench::Figure11Text (bench/figures_lib.h), the
+// same generator the campaign CLI uses; `--jobs N` measures the applications
+// concurrently with bit-identical output.
 
 #include <cstdio>
 
-#include "bench/aces_util.h"
-#include "bench/bench_util.h"
-#include "src/metrics/over_privilege.h"
-#include "src/metrics/report.h"
+#include "bench/figures_lib.h"
 
-int main() {
-  using opec_aces::AcesStrategy;
-  using opec_metrics::Num;
-
-  for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
-    if (!factory.in_aces_comparison) {
-      continue;
-    }
-    std::unique_ptr<opec_apps::Application> app = factory.make();
-
-    // Traced OPEC run: gives per-operation executed-function windows.
-    opec_apps::AppRun run(*app, opec_apps::BuildMode::kOpec);
-    run.EnableTrace();
-    opec_rt::RunResult result = run.Execute();
-    OPEC_CHECK_MSG(result.ok, result.violation);
-    const opec_compiler::Policy& policy = run.compile()->policy;
-    const auto& resources = run.compile()->resources;
-
-    std::vector<opec_metrics::TaskEt> opec_et =
-        opec_metrics::ComputeOpecEt(policy, run.trace(), resources);
-
-    opec_metrics::Table table({"Task", "OPEC", "ACES1", "ACES2", "ACES3"});
-    std::vector<std::vector<opec_metrics::TaskEt>> aces_et;
-    for (AcesStrategy strategy :
-         {AcesStrategy::kFilename, AcesStrategy::kFilenameNoOpt, AcesStrategy::kPeripheral}) {
-      opec_aces::AcesResult partition = opec_bench::PartitionAcesFor(
-          run.module(), app->Soc(), resources, strategy);
-      aces_et.push_back(
-          opec_metrics::ComputeAcesEt(policy, partition, run.trace(), resources));
-    }
-    for (size_t t = 0; t < opec_et.size(); ++t) {
-      std::vector<std::string> row{opec_et[t].task, Num(opec_et[t].et())};
-      for (const auto& ets : aces_et) {
-        bool found = false;
-        for (const opec_metrics::TaskEt& e : ets) {
-          if (e.operation_id == opec_et[t].operation_id) {
-            row.push_back(Num(e.et()));
-            found = true;
-            break;
-          }
-        }
-        if (!found) {
-          row.push_back("-");
-        }
-      }
-      table.AddRow(std::move(row));
-    }
-    std::printf("=== Figure 11(%s): ET per task ===\n%s\n", app->name().c_str(),
-                table.ToString().c_str());
-  }
-  std::printf("Paper reference (Figure 11): OPEC's ET is lower than ACES's on most\n"
-              "tasks; a few tasks (LCD-uSD, TCP-Echo) can be higher for OPEC due to\n"
-              "untaken branches and spurious icall targets in the operation.\n");
+int main(int argc, char** argv) {
+  int jobs = opec_bench::ParseJobsFlag(argc, argv, "usage: figure11_et [--jobs N]");
+  std::fputs(opec_bench::Figure11Text(jobs).c_str(), stdout);
   return 0;
 }

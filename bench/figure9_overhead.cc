@@ -2,39 +2,17 @@
 // vanilla baseline for every application. Runtime overhead is the extra DWT
 // cycle count; Flash/SRAM overheads are the image-size increase relative to
 // the board's capacity (the paper's methodology, Section 6.3).
+//
+// The text is produced by opec_bench::Figure9Text (bench/figures_lib.h), the
+// same generator the campaign CLI uses; `--jobs N` measures the applications
+// concurrently with bit-identical output.
 
 #include <cstdio>
 
-#include "bench/bench_util.h"
-#include "src/metrics/report.h"
+#include "bench/figures_lib.h"
 
-int main() {
-  using opec_bench::MeasureOverhead;
-  using opec_metrics::Pct;
-
-  opec_metrics::Table table({"Application", "Runtime Overhead(%)", "Flash Overhead(%)",
-                             "SRAM Overhead(%)", "Vanilla cycles", "OPEC cycles"});
-  double sum_ro = 0;
-  double sum_fo = 0;
-  double sum_so = 0;
-  int n = 0;
-  for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
-    std::unique_ptr<opec_apps::Application> app = factory.make();
-    opec_bench::OverheadResult r = MeasureOverhead(*app);
-    table.AddRow({r.app, Pct(r.runtime_overhead()), Pct(r.flash_overhead()),
-                  Pct(r.sram_overhead()), std::to_string(r.vanilla_cycles),
-                  std::to_string(r.opec_cycles)});
-    sum_ro += r.runtime_overhead();
-    sum_fo += r.flash_overhead();
-    sum_so += r.sram_overhead();
-    ++n;
-  }
-  table.AddRow({"Average", Pct(sum_ro / n), Pct(sum_fo / n), Pct(sum_so / n), "", ""});
-
-  std::printf("Figure 9: performance overhead of OPEC\n%s", table.ToString().c_str());
-  std::printf("\nPaper reference (Figure 9): average runtime 0.23%% (max 1.1%%, CoreMark),\n"
-              "average Flash 1.79%% (max 3.33%%), average SRAM 5.35%% (max 7.62%%).\n"
-              "Expected shape: runtime << Flash << SRAM; CoreMark has the largest\n"
-              "runtime overhead because it never waits on I/O.\n");
+int main(int argc, char** argv) {
+  int jobs = opec_bench::ParseJobsFlag(argc, argv, "usage: figure9_overhead [--jobs N]");
+  std::fputs(opec_bench::Figure9Text(jobs).c_str(), stdout);
   return 0;
 }

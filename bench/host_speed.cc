@@ -8,8 +8,13 @@
 // "Performance of the harness").
 //
 // Usage:
-//   host_speed [--iters N] [--out FILE] [--baseline FILE] [--smoke]
+//   host_speed [--iters N] [--jobs N] [--out FILE] [--baseline FILE] [--smoke]
 //              [--trace-out FILE] [--self-check-obs]
+//
+// --jobs N measures the workload/configuration units concurrently on the
+// campaign thread pool (each unit is a fully isolated Machine/AppRun, so the
+// modeled outputs are unchanged); the JSON records the job count plus total
+// vs sum-of-units wall time so serial and parallel runs can be compared.
 //
 // With --baseline, the previous run's metrics are embedded in the output and
 // per-configuration "speedup" factors (baseline wall_ns / current wall_ns)
@@ -35,6 +40,7 @@
 
 #include "src/apps/all_apps.h"
 #include "src/apps/runner.h"
+#include "src/campaign/campaign.h"
 #include "src/obs/export.h"
 #include "src/obs/recorder.h"
 #include "src/support/check.h"
@@ -178,6 +184,7 @@ int SelfCheckObs(const std::vector<std::string>& wanted) {
 
 int main(int argc, char** argv) {
   int iters = 5;
+  int jobs = 1;
   std::string out_path = "BENCH_host_speed.json";
   std::string baseline_path;
   std::string trace_path;
@@ -186,6 +193,8 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--iters" && i + 1 < argc) {
       iters = std::atoi(argv[++i]);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
@@ -198,70 +207,112 @@ int main(int argc, char** argv) {
       iters = 1;
     } else {
       std::fprintf(stderr,
-                   "usage: host_speed [--iters N] [--out FILE] [--baseline FILE] "
+                   "usage: host_speed [--iters N] [--jobs N] [--out FILE] [--baseline FILE] "
                    "[--trace-out FILE] [--self-check-obs]\n");
       return 2;
     }
   }
   OPEC_CHECK_MSG(iters >= 1, "--iters must be >= 1");
+  OPEC_CHECK_MSG(jobs >= 1, "--jobs must be >= 1");
 
   const std::vector<std::string> wanted = {"CoreMark", "FatFs-uSD", "TCP-Echo"};
   if (self_check_obs) {
     return SelfCheckObs(wanted);
   }
-  const auto& configs = kConfigs;
   std::vector<opec_obs::TraceProcess> trace_processes;
 
   // key -> value, in insertion order for stable output.
   std::vector<std::pair<std::string, double>> metrics;
   auto emit = [&](const std::string& key, double v) { metrics.emplace_back(key, v); };
 
-  for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
+  // One measurement unit per (workload, configuration). Units run inline with
+  // --jobs 1 or concurrently on the campaign pool; every unit builds its own
+  // Application/AppRun, so the modeled outputs are identical either way.
+  // Printing and metric emission happen on the main thread afterwards, in
+  // unit order, so the report is also identical.
+  struct Unit {
+    const opec_apps::AppFactory* factory;
+    const Config* cfg;
+  };
+  struct UnitResult {
+    Sample best;
+    uint64_t unit_wall_ns = 0;  // elapsed inside this unit (all iterations)
+    bool has_trace = false;
+    opec_obs::TraceProcess trace;
+  };
+  const std::vector<opec_apps::AppFactory> all_apps = opec_apps::AllApps();
+  std::vector<Unit> units;
+  for (const opec_apps::AppFactory& factory : all_apps) {
     if (std::find(wanted.begin(), wanted.end(), factory.name) == wanted.end()) {
       continue;
     }
-    std::unique_ptr<opec_apps::Application> app = factory.make();
-    std::string key = KeyName(factory.name);
-    for (const Config& cfg : configs) {
-      Sample best;
-      for (int it = 0; it < iters; ++it) {
-        Sample s = RunOnce(*app, cfg.mode);
-        if (it == 0 || s.wall_ns() < best.wall_ns()) {
-          best = s;
-        }
-        if (it > 0) {
-          OPEC_CHECK_MSG(s.cycles == best.cycles,
-                         factory.name + ": modeled cycles vary across iterations");
-        }
-      }
-      std::string prefix = key + "." + cfg.name + ".";
-      emit(prefix + "wall_ns", static_cast<double>(best.wall_ns()));
-      emit(prefix + "build_ns", static_cast<double>(best.build_ns));
-      emit(prefix + "exec_ns", static_cast<double>(best.exec_ns));
-      emit(prefix + "cycles", static_cast<double>(best.cycles));
-      emit(prefix + "statements", static_cast<double>(best.statements));
-      emit(prefix + "ns_per_statement",
-           static_cast<double>(best.exec_ns) / static_cast<double>(best.statements));
-      std::printf("%-12s %-8s wall %8.2f ms  (build %6.2f ms, exec %8.2f ms)  "
-                  "%.1f ns/stmt  cycles=%llu\n",
-                  factory.name.c_str(), cfg.name, best.wall_ns() / 1e6, best.build_ns / 1e6,
-                  best.exec_ns / 1e6,
-                  static_cast<double>(best.exec_ns) / static_cast<double>(best.statements),
-                  static_cast<unsigned long long>(best.cycles));
-      if (!trace_path.empty()) {
-        // Untimed recorded run; one process track per workload/configuration.
-        opec_apps::AppRun run(*app, cfg.mode);
-        run.EnableEventRecording();
-        opec_rt::RunResult r = run.Execute();
-        OPEC_CHECK_MSG(r.ok, factory.name + " trace run failed: " + r.violation);
-        OPEC_CHECK_MSG(r.cycles == best.cycles,
-                       factory.name + ": recorded run changed modeled cycles");
-        trace_processes.push_back(
-            {prefix.substr(0, prefix.size() - 1), run.recorder()->Snapshot(),
-             run.EventNaming()});
-      }
+    for (const Config& cfg : kConfigs) {
+      units.push_back({&factory, &cfg});
     }
   }
+
+  Clock::time_point total_t0 = Clock::now();
+  std::vector<UnitResult> unit_results =
+      opec_campaign::ParallelMap(jobs, units.size(), [&](size_t u) {
+        const opec_apps::AppFactory& factory = *units[u].factory;
+        const Config& cfg = *units[u].cfg;
+        std::unique_ptr<opec_apps::Application> app = factory.make();
+        UnitResult out;
+        Clock::time_point u0 = Clock::now();
+        for (int it = 0; it < iters; ++it) {
+          Sample s = RunOnce(*app, cfg.mode);
+          if (it == 0 || s.wall_ns() < out.best.wall_ns()) {
+            out.best = s;
+          }
+          if (it > 0) {
+            OPEC_CHECK_MSG(s.cycles == out.best.cycles,
+                           factory.name + ": modeled cycles vary across iterations");
+          }
+        }
+        if (!trace_path.empty()) {
+          // Untimed recorded run; one process track per workload/configuration.
+          opec_apps::AppRun run(*app, cfg.mode);
+          run.EnableEventRecording();
+          opec_rt::RunResult r = run.Execute();
+          OPEC_CHECK_MSG(r.ok, factory.name + " trace run failed: " + r.violation);
+          OPEC_CHECK_MSG(r.cycles == out.best.cycles,
+                         factory.name + ": recorded run changed modeled cycles");
+          out.has_trace = true;
+          out.trace = {KeyName(factory.name) + "." + cfg.name, run.recorder()->Snapshot(),
+                       run.EventNaming()};
+        }
+        out.unit_wall_ns = NsSince(u0);
+        return out;
+      });
+  uint64_t total_wall_ns = NsSince(total_t0);
+  uint64_t units_wall_ns = 0;
+
+  for (size_t u = 0; u < units.size(); ++u) {
+    const opec_apps::AppFactory& factory = *units[u].factory;
+    const Config& cfg = *units[u].cfg;
+    const Sample& best = unit_results[u].best;
+    units_wall_ns += unit_results[u].unit_wall_ns;
+    std::string prefix = KeyName(factory.name) + "." + cfg.name + ".";
+    emit(prefix + "wall_ns", static_cast<double>(best.wall_ns()));
+    emit(prefix + "build_ns", static_cast<double>(best.build_ns));
+    emit(prefix + "exec_ns", static_cast<double>(best.exec_ns));
+    emit(prefix + "cycles", static_cast<double>(best.cycles));
+    emit(prefix + "statements", static_cast<double>(best.statements));
+    emit(prefix + "ns_per_statement",
+         static_cast<double>(best.exec_ns) / static_cast<double>(best.statements));
+    std::printf("%-12s %-8s wall %8.2f ms  (build %6.2f ms, exec %8.2f ms)  "
+                "%.1f ns/stmt  cycles=%llu\n",
+                factory.name.c_str(), cfg.name, best.wall_ns() / 1e6, best.build_ns / 1e6,
+                best.exec_ns / 1e6,
+                static_cast<double>(best.exec_ns) / static_cast<double>(best.statements),
+                static_cast<unsigned long long>(best.cycles));
+    if (unit_results[u].has_trace) {
+      trace_processes.push_back(std::move(unit_results[u].trace));
+    }
+  }
+  std::printf("jobs %d: total wall %.2f ms, sum of units %.2f ms (%.2fx)\n", jobs,
+              total_wall_ns / 1e6, units_wall_ns / 1e6,
+              static_cast<double>(units_wall_ns) / static_cast<double>(total_wall_ns));
 
   if (!trace_path.empty()) {
     OPEC_CHECK_MSG(opec_obs::WriteFile(trace_path, opec_obs::ChromeTraceJson(trace_processes)),
@@ -281,6 +332,7 @@ int main(int argc, char** argv) {
   json << "{\n";
   json << "  \"schema\": \"opec-host-speed-v1\",\n";
   json << "  \"iterations\": " << iters << ",\n";
+  json << "  \"jobs\": " << jobs << ",\n";
   json << "  \"metrics\": {\n";
   for (size_t i = 0; i < metrics.size(); ++i) {
     char buf[64];
@@ -289,6 +341,21 @@ int main(int argc, char** argv) {
          << (i + 1 < metrics.size() ? ",\n" : "\n");
   }
   json << "  }";
+  {
+    // Serial-vs-parallel accounting: `units_wall_ns` is what the same
+    // measurement costs end to end on one thread; `total_wall_ns` is what
+    // this run actually took with `jobs` workers.
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  \"timing\": {\n"
+                  "    \"total_wall_ns\": %llu,\n"
+                  "    \"units_wall_ns\": %llu,\n"
+                  "    \"parallel_speedup\": %.2f\n  }",
+                  static_cast<unsigned long long>(total_wall_ns),
+                  static_cast<unsigned long long>(units_wall_ns),
+                  static_cast<double>(units_wall_ns) / static_cast<double>(total_wall_ns));
+    json << buf;
+  }
   if (!baseline.empty()) {
     json << ",\n  \"baseline\": {\n";
     size_t i = 0;

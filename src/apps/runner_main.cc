@@ -88,7 +88,8 @@ int main(int argc, char** argv) {
   } else if (mode_name == "vanilla") {
     mode = opec_apps::BuildMode::kVanilla;
   } else {
-    std::fprintf(stderr, "unknown --mode '%s' (opec|vanilla)\n", mode_name.c_str());
+    std::fprintf(stderr, "unknown --mode '%s'; valid modes are: opec vanilla\n",
+                 mode_name.c_str());
     return 2;
   }
 
@@ -100,7 +101,11 @@ int main(int argc, char** argv) {
     }
   }
   if (app == nullptr) {
-    std::fprintf(stderr, "unknown --app '%s' (try --list)\n", app_name.c_str());
+    std::fprintf(stderr, "unknown --app '%s'; valid apps are:", app_name.c_str());
+    for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
+      std::fprintf(stderr, " %s", KeyName(factory.name).c_str());
+    }
+    std::fprintf(stderr, "\n");
     return 2;
   }
 

@@ -1,0 +1,115 @@
+#include "src/campaign/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+
+namespace opec_campaign {
+
+ThreadPool::ThreadPool(int threads, size_t queue_capacity)
+    : queue_capacity_(std::max<size_t>(queue_capacity, 1)) {
+  unsigned hw = std::thread::hardware_concurrency();
+  int max_threads = static_cast<int>(hw == 0 ? 4 : hw * 4);
+  int n = std::clamp(threads, 1, max_threads);
+  workers_.resize(static_cast<size_t>(n));
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i].thread = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (Worker& w : workers_) {
+    w.thread.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> job) {
+  OPEC_CHECK(job != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_has_space_.wait(lock, [this] { return queued_ < queue_capacity_; });
+    workers_[next_worker_].queue.push_back(std::move(job));
+    next_worker_ = (next_worker_ + 1) % workers_.size();
+    ++queued_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
+}
+
+uint64_t ThreadPool::steals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return steals_;
+}
+
+bool ThreadPool::PopOrSteal(size_t self, std::function<void()>* job) {
+  Worker& own = workers_[self];
+  if (!own.queue.empty()) {
+    *job = std::move(own.queue.front());
+    own.queue.pop_front();
+    return true;
+  }
+  // Steal from the sibling with the deepest queue (back end, so the victim's
+  // front-of-queue locality is preserved).
+  size_t victim = self;
+  size_t best = 0;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (i != self && workers_[i].queue.size() > best) {
+      best = workers_[i].queue.size();
+      victim = i;
+    }
+  }
+  if (victim == self) {
+    return false;
+  }
+  *job = std::move(workers_[victim].queue.back());
+  workers_[victim].queue.pop_back();
+  ++steals_;
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this, self] {
+        if (shutdown_) {
+          return true;
+        }
+        if (!workers_[self].queue.empty()) {
+          return true;
+        }
+        return queued_ != 0;  // something stealable somewhere
+      });
+      if (!PopOrSteal(self, &job)) {
+        if (shutdown_) {
+          return;
+        }
+        continue;  // lost the race for the stealable job
+      }
+      --queued_;
+      ++running_;
+    }
+    queue_has_space_.notify_one();
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      if (queued_ == 0 && running_ == 0) {
+        all_idle_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace opec_campaign

@@ -1,0 +1,78 @@
+// Work-stealing thread pool for campaign execution (DESIGN.md Section 11).
+//
+// Each worker owns a deque: it pops work from the front of its own queue and,
+// when empty, steals from the back of a sibling's queue. Submission is bounded
+// — Submit() blocks while `queue_capacity` jobs are already waiting — so a
+// campaign enqueuing tens of thousands of jobs holds at most a window of them
+// (plus their captured state) in memory at once.
+//
+// The pool schedules; it is deliberately ignorant of job semantics. Result
+// placement, exception capture and deterministic ordering are the Executor's
+// job (see campaign.h): a scheduled job is a plain std::function<void()>.
+
+#ifndef SRC_CAMPAIGN_THREAD_POOL_H_
+#define SRC_CAMPAIGN_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace opec_campaign {
+
+class ThreadPool {
+ public:
+  static constexpr size_t kDefaultQueueCapacity = 256;
+
+  // `threads` is clamped to [1, hardware_concurrency * 4].
+  explicit ThreadPool(int threads, size_t queue_capacity = kDefaultQueueCapacity);
+  ~ThreadPool();  // waits for every submitted job to finish
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a job; blocks while the pool already holds `queue_capacity`
+  // not-yet-started jobs. Jobs must not throw (wrap and capture upstream).
+  void Submit(std::function<void()> job);
+
+  // Blocks until every job submitted so far has completed.
+  void Wait();
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+  // Jobs a worker executed out of a sibling's queue (scheduling telemetry).
+  uint64_t steals() const;
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> queue;  // guarded by ThreadPool::mutex_
+    std::thread thread;
+  };
+
+  void WorkerLoop(size_t self);
+  // Pops the next job for worker `self`: front of its own queue, else steals
+  // from the back of the most-loaded sibling. Caller holds mutex_.
+  bool PopOrSteal(size_t self, std::function<void()>* job);
+
+  // One mutex for all queues: campaign jobs are milliseconds-plus of work, so
+  // scheduling is far off the critical path and a single lock keeps the
+  // bounded-submit / wait / steal accounting trivially coherent.
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;   // workers sleep here
+  std::condition_variable queue_has_space_;  // Submit blocks here
+  std::condition_variable all_idle_;         // Wait blocks here
+
+  std::vector<Worker> workers_;
+  size_t queue_capacity_;
+  size_t next_worker_ = 0;   // round-robin submission cursor
+  size_t queued_ = 0;        // jobs waiting in some queue
+  size_t running_ = 0;       // jobs currently executing
+  uint64_t steals_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace opec_campaign
+
+#endif  // SRC_CAMPAIGN_THREAD_POOL_H_

@@ -5,10 +5,13 @@
 //   * Zero modeled-cycle impact: emitting an event never charges machine
 //     cycles; the event stream is a pure observation of the run.
 //   * Near-zero wall-clock impact when disabled: OPEC_OBS_EVENT compiles to a
-//     single predictable-branch check of one global counter when no sink is
-//     attached; the event payload (including cycle-stamp reads) is only
-//     evaluated when a sink is listening.
-//   * Single-threaded, like the rest of the harness.
+//     single predictable-branch check of one thread-local counter when no
+//     sink is attached; the event payload (including cycle-stamp reads) is
+//     only evaluated when a sink is listening.
+//   * Thread-local dispatch: the sink table is per-thread, so concurrent
+//     campaign jobs (one Machine/AppRun per worker thread) each observe only
+//     their own run — a sink attached on one thread never sees another
+//     thread's events, with no locking on the emission path.
 
 #ifndef SRC_OBS_EVENT_H_
 #define SRC_OBS_EVENT_H_
@@ -86,9 +89,9 @@ class Sink {
   virtual void OnEvent(const Event& event) = 0;
 };
 
-// Process-global dispatch point. A fixed, small sink table keeps the
+// Per-thread dispatch point. A fixed, small sink table keeps the
 // attached-path dispatch a plain indexed loop and the detached-path check a
-// single load-and-branch.
+// single (thread-local) load-and-branch.
 class Hub {
  public:
   static constexpr int kMaxSinks = 4;
@@ -108,8 +111,8 @@ class Hub {
   }
 
  private:
-  static inline Sink* sinks_[kMaxSinks] = {};
-  static inline int sink_count_ = 0;
+  static inline thread_local Sink* sinks_[kMaxSinks] = {};
+  static inline thread_local int sink_count_ = 0;
 };
 
 // RAII attach; tolerates a null sink (no-op) so call sites can attach

@@ -435,8 +435,16 @@ void ExecutionEngine::MaybeFireAttacks(const Function* fn) {
     }
     a.fired = true;
     // The exploited code performs an arbitrary write at its own (unprivileged)
-    // level. The MPU decides whether it lands.
-    AccessResult r = machine_.bus().Write(a.addr, a.size, a.value, machine_.privileged());
+    // level. The MPU decides whether it lands. In xor_with_old mode the value
+    // is a bit-flip mask over the current contents (read via the debug port so
+    // the probe itself cannot fault; only the write is subject to the MPU).
+    uint32_t write_value = a.value;
+    if (a.xor_with_old) {
+      uint32_t old = 0;
+      machine_.bus().DebugRead(a.addr, a.size, &old);  // unreadable -> flips over 0
+      write_value = old ^ a.value;
+    }
+    AccessResult r = machine_.bus().Write(a.addr, a.size, write_value, machine_.privileged());
     if (!r.ok()) {
       // If a supervisor is installed, give it the chance to (wrongly) resolve
       // it — a correctly configured monitor only virtualizes allowlisted
@@ -444,7 +452,7 @@ void ExecutionEngine::MaybeFireAttacks(const Function* fn) {
       bool resolved = false;
       if (r.status == AccessStatus::kMemFault && supervisor_ != nullptr &&
           supervisor_->OnMemFault(a.addr, AccessKind::kWrite)) {
-        resolved = machine_.bus().Write(a.addr, a.size, a.value, machine_.privileged()).ok();
+        resolved = machine_.bus().Write(a.addr, a.size, write_value, machine_.privileged()).ok();
       }
       a.blocked = !resolved;
       if (a.blocked) {
@@ -467,6 +475,20 @@ uint32_t ExecutionEngine::CallFunction(const Function* fn, std::vector<uint32_t>
   int saved_operation = current_operation_;
 
   if (is_operation_entry) {
+    // Injected malformed-argument attacks corrupt the entry call's argument
+    // list before the SVC is raised, so the monitor sees the forged value —
+    // its relocation/validation of entry arguments is what is under test.
+    if (!arg_attacks_.empty()) {
+      int count = ++arg_entry_counts_[operation_entry_id];
+      for (ArgAttackSpec& a : arg_attacks_) {
+        if (a.fired || a.op_id != operation_entry_id || a.occurrence != count ||
+            a.arg_index >= args.size()) {
+          continue;
+        }
+        a.fired = true;
+        args[a.arg_index] = a.value;
+      }
+    }
     Charge(costs_.svc);  // SVC before the call site
     OPEC_OBS_EVENT(opec_obs::EventKind::kSvc, machine_.cycles(), saved_operation, depth_,
                    static_cast<uint32_t>(operation_entry_id), 0);
@@ -580,6 +602,13 @@ ExecutionEngine::Flow ExecutionEngine::ExecStmt(const Stmt& s, const Frame& fram
   if (++statements_ > statement_limit_) {
     throw ExecutionAborted{"statement limit exceeded (possible guest infinite loop)"};
   }
+  // Poll external cancellation every 8192 statements: cheap enough to be
+  // invisible on the hot path, frequent enough that a campaign watchdog can
+  // bound a runaway job's wall clock to milliseconds past its deadline.
+  if ((statements_ & 0x1FFF) == 0 && cancel_ != nullptr &&
+      cancel_->load(std::memory_order_relaxed)) [[unlikely]] {
+    throw ExecutionAborted{"canceled: wall-clock deadline exceeded"};
+  }
   switch (s.kind) {
     case StmtKind::kAssign: {
       uint32_t value = EvalOperand(*s.expr, frame);
@@ -657,6 +686,10 @@ RunResult ExecutionEngine::Run(const std::string& entry, const std::vector<uint3
   for (AttackSpec& a : attacks_) {
     a.fired = false;
     a.blocked = false;
+  }
+  arg_entry_counts_.clear();
+  for (ArgAttackSpec& a : arg_attacks_) {
+    a.fired = false;
   }
 
   uint64_t start_cycles = machine_.cycles();

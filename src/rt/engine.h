@@ -18,7 +18,9 @@
 #ifndef SRC_RT_ENGINE_H_
 #define SRC_RT_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -50,9 +52,27 @@ struct AttackSpec {
   uint32_t addr = 0;
   uint32_t value = 0;
   uint32_t size = 4;
+  // When set, the write is `old ^ value` instead of `value`: `value` acts as
+  // a bit-flip mask over the current memory contents (campaign fault mode).
+  bool xor_with_old = false;
   // Outputs:
   bool fired = false;
   bool blocked = false;
+};
+
+// An injected malformed operation-switch argument: on the `occurrence`-th
+// entry (1-based) into operation `op_id`, argument `arg_index` of the entry
+// call is replaced with `value` *before* the SVC is raised — modeling an
+// attacker (or corrupted caller state) handing the monitor a forged pointer
+// or out-of-range scalar. The monitor's argument relocation / validation is
+// what stands between this and a cross-operation write.
+struct ArgAttackSpec {
+  int op_id = -1;
+  int occurrence = 1;
+  size_t arg_index = 0;
+  uint32_t value = 0;
+  // Output:
+  bool fired = false;
 };
 
 struct RunResult {
@@ -82,8 +102,14 @@ class ExecutionEngine : public EngineControl {
   // an ExecutionTrace (or any obs sink) to the opec_obs::Hub around Run().
   void AddAttack(const AttackSpec& attack) { attacks_.push_back(attack); }
   const std::vector<AttackSpec>& attacks() const { return attacks_; }
+  void AddArgAttack(const ArgAttackSpec& attack) { arg_attacks_.push_back(attack); }
+  const std::vector<ArgAttackSpec>& arg_attacks() const { return arg_attacks_; }
   void set_statement_limit(uint64_t limit) { statement_limit_ = limit; }
   void set_cost_model(const CostModel& costs) { costs_ = costs; }
+  // External cancellation (e.g. a campaign watchdog): when the pointed-to
+  // flag becomes true, the run aborts within a bounded number of statements.
+  // The flag is polled, never written; it may be set from another thread.
+  void set_cancel_flag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
 
   // Runs `entry` (default "main") to completion. Never throws; failures are
   // reported in the result.
@@ -169,6 +195,11 @@ class ExecutionEngine : public EngineControl {
   // Guest address per global ordinal (0 = unassigned), mirroring layout_.
   std::vector<uint32_t> global_addrs_;
   std::vector<AttackSpec> attacks_;
+  std::vector<ArgAttackSpec> arg_attacks_;
+  // Entries observed per operation id during the current run; drives
+  // ArgAttackSpec occurrence matching. Sparse (few ops per app), reset by
+  // Run().
+  std::map<int, int> arg_entry_counts_;
 
   uint32_t sp_ = 0;
   int depth_ = 0;
@@ -176,6 +207,7 @@ class ExecutionEngine : public EngineControl {
   const opec_ir::Function* current_fn_ = nullptr;  // innermost active function
   uint64_t statements_ = 0;
   uint64_t statement_limit_ = 200'000'000;
+  const std::atomic<bool>* cancel_ = nullptr;
   CostModel costs_;
   std::vector<opec_obs::FaultReport> fault_reports_;
 

@@ -5,9 +5,28 @@
 
 namespace opec_support {
 
+namespace {
+// Depth of nested ScopedCheckThrow scopes on this thread.
+thread_local int check_throw_depth = 0;
+
+std::string FailureMessage(const char* file, int line, const char* cond,
+                           const std::string& msg) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "OPEC_CHECK failed at %s:%d: %s%s%s", file, line, cond,
+                msg.empty() ? "" : " — ", msg.c_str());
+  return buf;
+}
+}  // namespace
+
+ScopedCheckThrow::ScopedCheckThrow() { ++check_throw_depth; }
+ScopedCheckThrow::~ScopedCheckThrow() { --check_throw_depth; }
+
 void CheckFailed(const char* file, int line, const char* cond, const std::string& msg) {
-  std::fprintf(stderr, "OPEC_CHECK failed at %s:%d: %s%s%s\n", file, line, cond,
-               msg.empty() ? "" : " — ", msg.c_str());
+  std::string what = FailureMessage(file, line, cond, msg);
+  if (check_throw_depth > 0) {
+    throw CheckError(what);
+  }
+  std::fprintf(stderr, "%s\n", what.c_str());
   std::abort();
 }
 

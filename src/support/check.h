@@ -7,11 +7,34 @@
 #ifndef SRC_SUPPORT_CHECK_H_
 #define SRC_SUPPORT_CHECK_H_
 
+#include <stdexcept>
 #include <string>
 
 namespace opec_support {
 
-// Prints the failure message and aborts the process. Never returns.
+// Thrown instead of aborting while a ScopedCheckThrow is installed on the
+// current thread. The campaign executor installs one around each job so a
+// crashing job becomes a structured result instead of taking down the whole
+// campaign.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// While alive, OPEC_CHECK failures on the current thread throw CheckError
+// instead of aborting the process. Nestable; thread-local, so one worker's
+// capture mode never affects another thread.
+class ScopedCheckThrow {
+ public:
+  ScopedCheckThrow();
+  ~ScopedCheckThrow();
+  ScopedCheckThrow(const ScopedCheckThrow&) = delete;
+  ScopedCheckThrow& operator=(const ScopedCheckThrow&) = delete;
+};
+
+// Prints the failure message and aborts the process — or throws CheckError
+// when the current thread is in ScopedCheckThrow capture mode. Never returns
+// normally.
 [[noreturn]] void CheckFailed(const char* file, int line, const char* cond, const std::string& msg);
 
 }  // namespace opec_support

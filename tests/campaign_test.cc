@@ -1,0 +1,250 @@
+// Tests for the parallel campaign-execution subsystem (src/campaign):
+// thread pool mechanics, ParallelMap ordering and exception propagation,
+// OPEC_CHECK capture, cross-thread determinism of campaign reports, per-job
+// failure isolation, fault-injection outcome classification, observability
+// invariance under concurrency, and wall-clock timeouts.
+
+#include "src/campaign/campaign.h"
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/campaign/thread_pool.h"
+#include "src/support/check.h"
+
+namespace {
+
+using opec_campaign::CampaignResult;
+using opec_campaign::CampaignSpec;
+using opec_campaign::Executor;
+using opec_campaign::FaultClass;
+using opec_campaign::JobKind;
+using opec_campaign::JobSpec;
+using opec_campaign::Outcome;
+using opec_campaign::ParallelMap;
+using opec_campaign::SplitMix64;
+using opec_campaign::ThreadPool;
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 500);
+  EXPECT_EQ(pool.threads(), 4);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { ++count; });
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelMapTest, ResultsAreInIndexOrderOnAnyThreadCount) {
+  for (int jobs : {1, 2, 8}) {
+    std::vector<int> out = ParallelMap(jobs, 100, [](size_t i) {
+      return static_cast<int>(i * i);
+    });
+    ASSERT_EQ(out.size(), 100u) << "jobs=" << jobs;
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<int>(i * i)) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelMapTest, LowestIndexExceptionPropagates) {
+  auto run = [](int jobs) {
+    try {
+      ParallelMap(jobs, 10, [](size_t i) -> int {
+        if (i == 3 || i == 7) {
+          throw std::runtime_error("boom " + std::to_string(i));
+        }
+        return 0;
+      });
+    } catch (const std::runtime_error& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  EXPECT_EQ(run(1), "boom 3");
+  EXPECT_EQ(run(4), "boom 3");
+}
+
+TEST(SplitMix64Test, JobSeedsAreStableAndDistinct) {
+  std::set<uint64_t> seeds;
+  for (uint64_t i = 0; i < 100; ++i) {
+    seeds.insert(SplitMix64::JobSeed(1, i));
+  }
+  EXPECT_EQ(seeds.size(), 100u);
+  // Stable across calls (replayability of fault campaigns).
+  EXPECT_EQ(SplitMix64::JobSeed(1, 5), SplitMix64::JobSeed(1, 5));
+  EXPECT_NE(SplitMix64::JobSeed(1, 5), SplitMix64::JobSeed(2, 5));
+}
+
+TEST(ScopedCheckThrowTest, ConvertsCheckFailureIntoException) {
+  opec_support::ScopedCheckThrow guard;
+  bool caught = false;
+  try {
+    OPEC_CHECK_MSG(1 == 2, "expected failure");
+  } catch (const opec_support::CheckError& e) {
+    caught = true;
+    EXPECT_NE(std::string(e.what()).find("expected failure"), std::string::npos);
+  }
+  EXPECT_TRUE(caught);
+}
+
+// The tentpole invariant: the deterministic report of a campaign is
+// byte-identical whether it runs on one thread or many.
+TEST(CampaignTest, DeterministicJsonIsIdenticalAcrossThreadCounts) {
+  CampaignSpec spec;
+  spec.seed = 42;
+  spec.AddScenarioMatrix({"PinLock", "Animation"},
+                         {opec_apps::BuildMode::kVanilla, opec_apps::BuildMode::kOpec});
+  spec.AddFaultSweep({"PinLock", "Animation"}, 6);
+
+  Executor::Options serial;
+  serial.jobs = 1;
+  CampaignResult r1 = Executor::Run(spec, serial);
+
+  Executor::Options parallel;
+  parallel.jobs = 4;
+  CampaignResult r4 = Executor::Run(spec, parallel);
+
+  EXPECT_EQ(r1.results.size(), 10u);
+  EXPECT_EQ(r1.DeterministicJson(), r4.DeterministicJson());
+  // Scenario jobs over healthy apps all pass.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(r1.results[i].outcome, Outcome::kOk) << r1.results[i].detail;
+  }
+}
+
+TEST(CampaignTest, UnknownAppBecomesStructuredFailureNotAbort) {
+  CampaignSpec spec;
+  JobSpec bad;
+  bad.app = "NoSuchApp";
+  spec.jobs.push_back(bad);
+  JobSpec good;
+  good.app = "PinLock";
+  spec.jobs.push_back(good);
+
+  Executor::Options options;
+  options.jobs = 2;
+  CampaignResult result = Executor::Run(spec, options);
+  ASSERT_EQ(result.results.size(), 2u);
+  EXPECT_EQ(result.results[0].outcome, Outcome::kException);
+  EXPECT_FALSE(result.results[0].ok);
+  EXPECT_NE(result.results[0].detail.find("NoSuchApp"), std::string::npos);
+  EXPECT_EQ(result.results[1].outcome, Outcome::kOk) << result.results[1].detail;
+  EXPECT_FALSE(result.AllOk());
+}
+
+// Observability invariance under concurrency: counting sinks attached to
+// concurrent jobs observe only their own run, and modeled outputs match the
+// sink-free serial run.
+TEST(CampaignTest, ObsSinksAreIsolatedPerJobThread) {
+  CampaignSpec spec;
+  for (int i = 0; i < 4; ++i) {
+    JobSpec job;
+    job.app = "PinLock";
+    job.attach_counting_sink = true;
+    spec.jobs.push_back(job);
+  }
+  Executor::Options options;
+  options.jobs = 4;
+  CampaignResult with_sinks = Executor::Run(spec, options);
+
+  CampaignSpec plain_spec;
+  JobSpec plain_job;
+  plain_job.app = "PinLock";
+  plain_spec.jobs.push_back(plain_job);
+  Executor::Options serial;
+  serial.jobs = 1;
+  CampaignResult plain = Executor::Run(plain_spec, serial);
+  ASSERT_EQ(plain.results.size(), 1u);
+  ASSERT_TRUE(plain.results[0].ok) << plain.results[0].detail;
+
+  ASSERT_EQ(with_sinks.results.size(), 4u);
+  for (const opec_campaign::JobResult& r : with_sinks.results) {
+    ASSERT_TRUE(r.ok) << r.detail;
+    // Every job saw its own full event stream (identical runs -> identical
+    // counts), and observation changed no modeled output.
+    EXPECT_EQ(r.events, with_sinks.results[0].events);
+    EXPECT_GT(r.events, 0u);
+    EXPECT_EQ(r.cycles, plain.results[0].cycles);
+    EXPECT_EQ(r.statements, plain.results[0].statements);
+  }
+}
+
+TEST(CampaignTest, FaultSweepNeverReportsSilentCorruptionAsSuccess) {
+  CampaignSpec spec;
+  spec.seed = 7;
+  spec.AddFaultSweep({"PinLock", "Animation", "FatFs-uSD"}, 24);
+  Executor::Options options;
+  options.jobs = 4;
+  CampaignResult result = Executor::Run(spec, options);
+  ASSERT_EQ(result.results.size(), 24u);
+  for (const opec_campaign::JobResult& r : result.results) {
+    EXPECT_EQ(r.spec.kind, JobKind::kFault);
+    // A fault job resolves its class and always lands in the taxonomy.
+    EXPECT_NE(r.spec.fault, FaultClass::kAny);
+    if (r.outcome == Outcome::kSilentCorruption) {
+      EXPECT_FALSE(r.ok) << "silent corruption classified as success";
+    }
+    EXPECT_NE(r.outcome, Outcome::kException) << r.detail;
+  }
+  // The matrix renders without blowing up and mentions every app we swept.
+  std::string matrix = result.FaultMatrix();
+  EXPECT_NE(matrix.find("PinLock"), std::string::npos);
+  EXPECT_NE(matrix.find("silent-corruption"), std::string::npos);
+}
+
+TEST(CampaignTest, TimeoutCancelsRunawayJob) {
+  CampaignSpec spec;
+  JobSpec job;
+  job.app = "CoreMark";  // the longest-running workload
+  job.timeout_ms = 1;    // unreachably tight
+  spec.jobs.push_back(job);
+  Executor::Options options;
+  options.jobs = 1;
+  CampaignResult result = Executor::Run(spec, options);
+  ASSERT_EQ(result.results.size(), 1u);
+  EXPECT_EQ(result.results[0].outcome, Outcome::kTimeout);
+  EXPECT_FALSE(result.results[0].ok);
+  EXPECT_NE(result.results[0].detail.find("canceled"), std::string::npos)
+      << result.results[0].detail;
+}
+
+TEST(CampaignSpecTest, ParseTextBuildsJobsAndReportsErrors) {
+  CampaignSpec spec;
+  std::string err = spec.ParseText("seed 9\n"
+                                   "timeout-ms 5000\n"
+                                   "# comment line\n"
+                                   "scenario PinLock both\n"
+                                   "fault Animation 3 stack-bit-flip\n",
+                                   "inline");
+  EXPECT_EQ(err, "");
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.timeout_ms, 5000u);
+  ASSERT_EQ(spec.jobs.size(), 5u);
+  EXPECT_EQ(spec.jobs[0].kind, JobKind::kScenario);
+  EXPECT_EQ(spec.jobs[4].kind, JobKind::kFault);
+  EXPECT_EQ(spec.jobs[4].fault, FaultClass::kStackBitFlip);
+
+  CampaignSpec bad;
+  EXPECT_NE(bad.ParseText("scenario NoSuchApp opec\n", "inline"), "");
+  EXPECT_NE(bad.ParseText("fault PinLock 3 no-such-class\n", "inline"), "");
+  EXPECT_NE(bad.ParseText("frobnicate 1\n", "inline"), "");
+}
+
+}  // namespace
