@@ -28,6 +28,7 @@
 //
 // Exit status: 0 when every job succeeded (AllOk), 1 otherwise.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -70,6 +71,24 @@ std::vector<std::string> SplitCommas(const std::string& s) {
     start = comma + 1;
   }
   return out;
+}
+
+// Full-string numeric parse: rejects empty strings, trailing junk, negative
+// values and overflow, unlike bare atoi/strtoull (atoi silently yields 0 on
+// "abc", which used to make `--jobs abc` fall through to the `jobs < 1`
+// branch with no hint at the cause, and `--seed 12x` silently truncated).
+bool ParseU64Flag(const char* s, uint64_t* out) {
+  if (s == nullptr || *s == '\0') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || std::strchr(s, '-') != nullptr) {
+    return false;
+  }
+  *out = v;
+  return true;
 }
 
 bool ParseFaultClass(const std::string& s, FaultClass* out) {
@@ -122,8 +141,13 @@ int main(int argc, char** argv) {
       modes_arg = v;
     } else if (arg == "--fault-sweep") {
       const char* v = next();
-      if (v == nullptr) return Usage();
-      fault_sweep = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+      uint64_t n = 0;
+      if (v == nullptr || !ParseU64Flag(v, &n) || n < 1) {
+        std::fprintf(stderr, "invalid --fault-sweep '%s'; expected an integer >= 1\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+      fault_sweep = static_cast<size_t>(n);
     } else if (arg == "--fault-class") {
       const char* v = next();
       if (v == nullptr || !ParseFaultClass(v, &fault_class)) return Usage();
@@ -131,17 +155,27 @@ int main(int argc, char** argv) {
       figures = true;
     } else if (arg == "--jobs") {
       const char* v = next();
-      if (v == nullptr) return Usage();
-      jobs = std::atoi(v);
-      if (jobs < 1) return Usage();
+      uint64_t n = 0;
+      if (v == nullptr || !ParseU64Flag(v, &n) || n < 1 || n > 1024) {
+        std::fprintf(stderr, "invalid --jobs '%s'; expected an integer in [1, 1024]\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+      jobs = static_cast<int>(n);
     } else if (arg == "--seed") {
       const char* v = next();
-      if (v == nullptr) return Usage();
-      seed = std::strtoull(v, nullptr, 10);
+      if (v == nullptr || !ParseU64Flag(v, &seed)) {
+        std::fprintf(stderr, "invalid --seed '%s'; expected an unsigned integer\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
     } else if (arg == "--timeout-ms") {
       const char* v = next();
-      if (v == nullptr) return Usage();
-      timeout_ms = std::strtoull(v, nullptr, 10);
+      if (v == nullptr || !ParseU64Flag(v, &timeout_ms)) {
+        std::fprintf(stderr, "invalid --timeout-ms '%s'; expected an unsigned integer\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
     } else if (arg == "--report-json") {
       const char* v = next();
       if (v == nullptr) return Usage();

@@ -182,6 +182,26 @@ int SelfCheckObs(const std::vector<std::string>& wanted) {
 
 }  // namespace
 
+namespace {
+
+// Full-string numeric parse; bare atoi returns 0 on junk like "abc", which
+// used to slip past as an invalid iteration/thread count.
+bool ParseIntFlag(const char* s, int min, int max, int* out) {
+  if (s == nullptr || *s == '\0') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || v < min || v > max) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   int iters = 5;
   int jobs = 1;
@@ -192,9 +212,16 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--iters" && i + 1 < argc) {
-      iters = std::atoi(argv[++i]);
+      if (!ParseIntFlag(argv[++i], 1, 1000000, &iters)) {
+        std::fprintf(stderr, "invalid --iters '%s'; expected an integer >= 1\n", argv[i]);
+        return 2;
+      }
     } else if (arg == "--jobs" && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
+      if (!ParseIntFlag(argv[++i], 1, 1024, &jobs)) {
+        std::fprintf(stderr, "invalid --jobs '%s'; expected an integer in [1, 1024]\n",
+                     argv[i]);
+        return 2;
+      }
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {

@@ -60,6 +60,11 @@ class AppRun {
   // module; operation names from the policy in OPEC mode).
   opec_obs::Naming EventNaming() const;
   opec_rt::ExecutionEngine& engine() { return *engine_; }
+  // The address assignment in effect: the OPEC layout in OPEC mode, the flat
+  // vanilla layout otherwise.
+  const opec_rt::AddressAssignment& layout() const {
+    return compile_ != nullptr ? compile_->layout : vanilla_layout_;
+  }
   // OPEC-only (null in vanilla mode).
   const opec_compiler::CompileResult* compile() const { return compile_.get(); }
   const opec_monitor::Monitor* monitor() const { return monitor_.get(); }

@@ -90,9 +90,25 @@ class SplitMix64 {
   uint32_t Next32() { return static_cast<uint32_t>(Next() >> 32); }
 
   // Seed for job `index` of a campaign seeded with `campaign_seed`.
+  //
+  // Mixing contract: distinct (campaign_seed, index) pairs must yield
+  // distinct, statistically independent streams. Both inputs therefore pass
+  // through the full SplitMix64 finalizer *sequentially*: the campaign seed
+  // is finalized first (one Next()), then the index — scaled by an odd
+  // constant so nearby indices land far apart in gamma space — offsets the
+  // finalized state before a second Next(). An earlier scheme XORed
+  // (index * kOdd + 1) straight into the raw seed before a single Next();
+  // being XOR-linear pre-finalizer, it collided whole streams across
+  // campaigns whenever campaign_seed ^ campaign_seed' ==
+  // (index * kOdd + 1) ^ (index' * kOdd + 1) — in particular index == 0
+  // degenerated to seed ^ 1, so JobSeed(s, 0) equaled
+  // JobSeed(s ^ 1 ^ (i * kOdd + 1), i) for every i. Finalizing between the
+  // two mixes breaks the linearity (see campaign_test.cc, JobSeedMixing*).
   static uint64_t JobSeed(uint64_t campaign_seed, uint64_t index) {
-    SplitMix64 g(campaign_seed ^ (index * 0xA24BAED4963EE407ull + 1));
-    return g.Next();
+    constexpr uint64_t kOdd = 0xA24BAED4963EE407ull;
+    SplitMix64 g(campaign_seed);
+    SplitMix64 h(g.Next() + index * kOdd);
+    return h.Next();
   }
 
  private:

@@ -1,0 +1,174 @@
+// Differential fuzzing CLI (DESIGN.md Section 12).
+//
+//   fuzz --seed 1 --count 1000 [--jobs N] [--shrink] [--corpus-dir DIR]
+//
+// Case i runs the full oracle stack on program seed (--seed + i), fanned out
+// over the campaign ParallelMap. Stdout is one deterministic digest line per
+// case plus divergence details — byte-identical for any --jobs value, which
+// is oracle 4 (CI runs the same sweep serial and parallel and cmps). Exit
+// status: 0 clean, 1 divergences found, 2 usage error.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/campaign/campaign.h"
+#include "src/fuzz/generator.h"
+#include "src/fuzz/oracles.h"
+#include "src/fuzz/program.h"
+#include "src/fuzz/shrink.h"
+#include "src/ir/printer.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: fuzz [--seed S] [--count N] [--jobs N] [--shrink] "
+               "[--corpus-dir DIR]\n"
+               "  --seed S        base program seed (default 1)\n"
+               "  --count N       number of programs (default 100)\n"
+               "  --jobs N        worker threads (default 1; serial == parallel)\n"
+               "  --shrink        minimize each diverging program\n"
+               "  --corpus-dir D  write diverging recipes (IR + oracle report) to D\n");
+  return 2;
+}
+
+// Full-string unsigned parse; rejects empty, trailing junk and overflow.
+bool ParseU64(const char* s, uint64_t* out) {
+  if (s == nullptr || *s == '\0') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || std::strchr(s, '-') != nullptr) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+// The shrink predicate covers the recipe-level oracles (execution and
+// points-to); the MPU and injected-graph oracles are seed-driven and have
+// nothing to shrink.
+bool SpecDiverges(const opec_fuzz::ProgramSpec& spec) {
+  opec_fuzz::ExecObservation vanilla =
+      opec_fuzz::RunOnce(spec, opec_apps::BuildMode::kVanilla);
+  opec_fuzz::ExecObservation opec = opec_fuzz::RunOnce(spec, opec_apps::BuildMode::kOpec);
+  if (!opec_fuzz::CompareExec(spec, vanilla, opec).empty()) {
+    return true;
+  }
+  return !opec_fuzz::DiffPointsTo(spec).empty();
+}
+
+void DumpCorpusEntry(const std::string& dir, const opec_fuzz::CaseResult& result,
+                     const opec_fuzz::ProgramSpec& spec, const char* suffix) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::string path = dir + "/seed_" + std::to_string(result.seed) + suffix + ".txt";
+  std::ofstream out(path);
+  out << "# fuzz divergence, program seed " << result.seed << "\n";
+  out << "# " << result.summary << "\n";
+  for (const opec_fuzz::Divergence& d : result.divergences) {
+    out << "# [" << opec_fuzz::OracleName(d.oracle) << "] " << d.detail << "\n";
+  }
+  out << "\n" << opec_ir::PrintModule(*opec_fuzz::BuildModule(spec));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = 1;
+  uint64_t count = 100;
+  uint64_t jobs = 1;
+  bool shrink = false;
+  std::string corpus_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      const char* v = value("--seed");
+      if (v == nullptr || !ParseU64(v, &seed)) {
+        std::fprintf(stderr, "invalid --seed '%s'; expected an unsigned integer\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--count") {
+      const char* v = value("--count");
+      if (v == nullptr || !ParseU64(v, &count) || count < 1) {
+        std::fprintf(stderr, "invalid --count '%s'; expected an integer >= 1\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--jobs") {
+      const char* v = value("--jobs");
+      if (v == nullptr || !ParseU64(v, &jobs) || jobs < 1 || jobs > 1024) {
+        std::fprintf(stderr, "invalid --jobs '%s'; expected an integer in [1, 1024]\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--shrink") {
+      shrink = true;
+    } else if (arg == "--corpus-dir") {
+      const char* v = value("--corpus-dir");
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "invalid --corpus-dir: expected a directory path\n");
+        return Usage();
+      }
+      corpus_dir = v;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  std::vector<opec_fuzz::CaseResult> results = opec_campaign::ParallelMap(
+      static_cast<int>(jobs), static_cast<size_t>(count),
+      [seed](size_t i) { return opec_fuzz::RunCase(seed + i); });
+
+  size_t diverging_cases = 0;
+  size_t divergences = 0;
+  for (const opec_fuzz::CaseResult& result : results) {
+    std::printf("%s\n", result.digest.c_str());
+    if (result.divergences.empty()) {
+      continue;
+    }
+    ++diverging_cases;
+    divergences += result.divergences.size();
+    std::printf("  program: %s\n", result.summary.c_str());
+    for (const opec_fuzz::Divergence& d : result.divergences) {
+      std::printf("  [%s] %s\n", opec_fuzz::OracleName(d.oracle), d.detail.c_str());
+    }
+    opec_fuzz::ProgramSpec spec = opec_fuzz::GenerateProgram(result.seed);
+    if (!corpus_dir.empty()) {
+      DumpCorpusEntry(corpus_dir, result, spec, "");
+    }
+    if (shrink && SpecDiverges(spec)) {
+      opec_fuzz::ShrinkStats stats;
+      opec_fuzz::ProgramSpec small = opec_fuzz::ShrinkProgram(spec, SpecDiverges, &stats);
+      std::printf("  shrunk: %zu -> %zu statements (%zu probes)\n", stats.initial_statements,
+                  stats.final_statements, stats.probes);
+      if (!corpus_dir.empty()) {
+        opec_fuzz::CaseResult small_report = result;
+        small_report.summary = opec_fuzz::SpecSummary(small);
+        DumpCorpusEntry(corpus_dir, small_report, small, "_min");
+      }
+    }
+  }
+
+  std::printf("fuzz: %llu cases, %zu diverging, %zu divergences\n",
+              static_cast<unsigned long long>(count), diverging_cases, divergences);
+  return divergences == 0 ? 0 : 1;
+}

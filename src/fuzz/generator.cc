@@ -1,0 +1,714 @@
+#include "src/fuzz/generator.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/campaign/campaign.h"
+#include "src/hw/address_map.h"
+
+namespace opec_fuzz {
+
+namespace {
+
+using opec_campaign::SplitMix64;
+
+constexpr uint32_t kUartSr = opec_hw::kUsart2Base + 0x00;
+constexpr uint32_t kUartDr = opec_hw::kUsart2Base + 0x04;
+constexpr uint32_t kUartBrr = opec_hw::kUsart2Base + 0x08;
+constexpr uint32_t kUartCr1 = opec_hw::kUsart2Base + 0x0C;
+constexpr uint32_t kGpioModer = opec_hw::kGpioABase + 0x00;
+constexpr uint32_t kGpioIdr = opec_hw::kGpioABase + 0x10;
+constexpr uint32_t kGpioOdr = opec_hw::kGpioABase + 0x14;
+
+// --- FExpr construction helpers -------------------------------------------
+
+FExpr EConst(Scalar s, uint64_t v) {
+  FExpr e;
+  e.k = FExpr::K::kConst;
+  e.scalar = s;
+  e.value = v;
+  return e;
+}
+FExpr EU32(uint32_t v) { return EConst(Scalar::kU32, v); }
+FExpr EGlobal(const std::string& name) {
+  FExpr e;
+  e.k = FExpr::K::kGlobal;
+  e.name = name;
+  return e;
+}
+FExpr ELocal(const std::string& name) {
+  FExpr e;
+  e.k = FExpr::K::kLocal;
+  e.name = name;
+  return e;
+}
+FExpr EBin(FBinOp op, FExpr a, FExpr b) {
+  FExpr e;
+  e.k = FExpr::K::kBin;
+  e.bin = op;
+  e.kids.push_back(std::move(a));
+  e.kids.push_back(std::move(b));
+  return e;
+}
+FExpr EUn(FUnOp op, FExpr a) {
+  FExpr e;
+  e.k = FExpr::K::kUn;
+  e.un = op;
+  e.kids.push_back(std::move(a));
+  return e;
+}
+FExpr EIdx(FExpr base, FExpr idx) {
+  FExpr e;
+  e.k = FExpr::K::kIdx;
+  e.kids.push_back(std::move(base));
+  e.kids.push_back(std::move(idx));
+  return e;
+}
+FExpr EFld(FExpr base, const std::string& field) {
+  FExpr e;
+  e.k = FExpr::K::kFld;
+  e.name = field;
+  e.kids.push_back(std::move(base));
+  return e;
+}
+FExpr EAddr(FExpr lv) {
+  FExpr e;
+  e.k = FExpr::K::kAddr;
+  e.kids.push_back(std::move(lv));
+  return e;
+}
+FExpr EDeref(FExpr p) {
+  FExpr e;
+  e.k = FExpr::K::kDeref;
+  e.kids.push_back(std::move(p));
+  return e;
+}
+FExpr EMmio(uint32_t addr) {
+  FExpr e;
+  e.k = FExpr::K::kMmio;
+  e.addr = addr;
+  return e;
+}
+FExpr ECast(Scalar s, FExpr v) {
+  FExpr e;
+  e.k = FExpr::K::kCast;
+  e.scalar = s;
+  e.kids.push_back(std::move(v));
+  return e;
+}
+FExpr ECall(const std::string& fn, std::vector<FExpr> args) {
+  FExpr e;
+  e.k = FExpr::K::kCall;
+  e.name = fn;
+  e.kids = std::move(args);
+  return e;
+}
+FExpr EICall(const std::string& fnptr_global, std::vector<FExpr> args) {
+  FExpr e;
+  e.k = FExpr::K::kICall;
+  e.name = fnptr_global;
+  e.kids = std::move(args);
+  return e;
+}
+FExpr EFnAddr(const std::string& fn) {
+  FExpr e;
+  e.k = FExpr::K::kFnAddr;
+  e.name = fn;
+  return e;
+}
+
+FStmt SAssign(FExpr lhs, FExpr rhs) {
+  FStmt s;
+  s.k = FStmt::K::kAssign;
+  s.lhs = std::move(lhs);
+  s.rhs = std::move(rhs);
+  return s;
+}
+FStmt SCall(const std::string& callee, std::vector<FExpr> args) {
+  FStmt s;
+  s.k = FStmt::K::kCall;
+  s.callee = callee;
+  s.args = std::move(args);
+  return s;
+}
+
+// --- Generation context ---------------------------------------------------
+
+struct ScalarGlobal {
+  std::string name;
+  Scalar scalar = Scalar::kU32;
+};
+struct ArrayGlobal {
+  std::string name;
+  Scalar elem = Scalar::kU8;
+  uint32_t count = 8;  // always a power of two (indices are masked)
+};
+
+struct GenCtx {
+  SplitMix64 rng;
+  explicit GenCtx(uint64_t seed) : rng(seed) {}
+
+  std::vector<ScalarGlobal> scalars;
+  std::vector<size_t> hot;  // indices into `scalars` shared across tasks
+  std::vector<ArrayGlobal> arrays;
+  bool has_struct = false;
+  std::vector<FField> struct_fields;
+  bool struct_has_ptr = false;
+  std::string ptr_u8_array;  // the u8 array the struct's pointer field aims at
+  bool has_ptr = false;      // "ptr0", pointer to u32
+  bool has_fnptr = false;    // "fp0"
+  bool has_rodata = false;
+  uint32_t rodata_count = 0;
+  std::vector<std::string> helpers;
+
+  uint64_t Roll(uint64_t bound) { return rng.Below(bound); }
+  bool Chance(uint64_t percent) { return rng.Below(100) < percent; }
+};
+
+struct FuncCtx {
+  FFunc* fn = nullptr;
+  bool allow_mmio = false;
+  bool allow_calls = false;
+  bool has_buf = false;  // p_u8 parameter "buf" + u32 parameter "len"
+  uint32_t buf_len = 0;
+  int next_loop = 0;
+  int depth = 0;
+  // Locals generated stores may target. Loop counters are deliberately
+  // excluded: a generated `i0 = ...` inside the loop body would reset the
+  // counter and turn a bounded loop into an infinite one.
+  std::vector<std::string> writable_locals;
+};
+
+const ScalarGlobal& PickScalar(GenCtx& g) {
+  // Bias toward the hot pool so several operations touch the same globals
+  // (that is what makes them external and exercises shadow sync).
+  if (!g.hot.empty() && g.Chance(60)) {
+    return g.scalars[g.hot[g.Roll(g.hot.size())]];
+  }
+  return g.scalars[g.Roll(g.scalars.size())];
+}
+
+// A value expression that is safe as an array index once masked: the mask is
+// applied by the caller with kAnd against (count - 1) after a u32 cast.
+FExpr GenValue(GenCtx& g, FuncCtx& f, int depth);
+
+FExpr MaskedIndex(GenCtx& g, FuncCtx& f, uint32_t count) {
+  if (g.Chance(55)) {
+    return EU32(static_cast<uint32_t>(g.Roll(count)));
+  }
+  return EBin(FBinOp::kAnd, ECast(Scalar::kU32, GenValue(g, f, 0)), EU32(count - 1));
+}
+
+FExpr GenLeaf(GenCtx& g, FuncCtx& f) {
+  for (;;) {
+    switch (g.Roll(9)) {
+      case 0:  // small constant
+        return EConst(g.Chance(30) ? Scalar::kI32 : Scalar::kU32, g.Roll(16));
+      case 1:  // wide constant
+        return EU32(g.rng.Next32());
+      case 2:  // scalar global read
+        return EGlobal(PickScalar(g).name);
+      case 3: {  // array element read
+        if (g.arrays.empty()) {
+          break;
+        }
+        const ArrayGlobal& a = g.arrays[g.Roll(g.arrays.size())];
+        return EIdx(EGlobal(a.name), MaskedIndex(g, f, a.count));
+      }
+      case 4: {  // struct scalar field read
+        if (!g.has_struct) {
+          break;
+        }
+        size_t pick = g.Roll(g.struct_fields.size());
+        if (g.struct_fields[pick].is_ptr_u8) {
+          break;
+        }
+        return EFld(EGlobal("st0"), g.struct_fields[pick].name);
+      }
+      case 5:  // read through the pointer global
+        if (!g.has_ptr) {
+          break;
+        }
+        return EDeref(EGlobal("ptr0"));
+      case 6:  // local / parameter
+        if (f.fn->locals.empty()) {
+          break;
+        }
+        return ELocal(f.fn->locals[g.Roll(f.fn->locals.size())].first);
+      case 7: {  // MMIO read
+        if (!f.allow_mmio) {
+          break;
+        }
+        static constexpr uint32_t kReads[] = {kUartSr, kUartDr, kGpioIdr, kGpioOdr};
+        return EMmio(kReads[g.Roll(4)]);
+      }
+      case 8: {  // stack buffer element read
+        if (!f.has_buf) {
+          break;
+        }
+        return EIdx(ELocal("buf"), MaskedIndex(g, f, f.buf_len));
+      }
+    }
+  }
+}
+
+FExpr GenValue(GenCtx& g, FuncCtx& f, int depth) {
+  if (depth <= 0 || g.Chance(35)) {
+    return GenLeaf(g, f);
+  }
+  switch (g.Roll(7)) {
+    case 0: {  // plain binary op
+      static constexpr FBinOp kOps[] = {FBinOp::kAdd, FBinOp::kSub, FBinOp::kMul,
+                                        FBinOp::kAnd, FBinOp::kOr,  FBinOp::kXor};
+      return EBin(kOps[g.Roll(6)], GenValue(g, f, depth - 1), GenValue(g, f, depth - 1));
+    }
+    case 1:  // division / remainder by a non-zero constant (never traps)
+      return EBin(g.Chance(50) ? FBinOp::kDiv : FBinOp::kRem, GenValue(g, f, depth - 1),
+                  EU32(1 + static_cast<uint32_t>(g.Roll(7))));
+    case 2:  // shift by a small constant
+      return EBin(g.Chance(50) ? FBinOp::kShl : FBinOp::kShr, GenValue(g, f, depth - 1),
+                  EU32(g.Roll(8)));
+    case 3:
+      return EUn(g.Chance(50) ? FUnOp::kBitNot : FUnOp::kNeg, GenValue(g, f, depth - 1));
+    case 4: {
+      static constexpr Scalar kCasts[] = {Scalar::kU8, Scalar::kU16, Scalar::kU32, Scalar::kI32};
+      return ECast(kCasts[g.Roll(4)], GenValue(g, f, depth - 1));
+    }
+    case 5:  // direct helper call
+      if (f.allow_calls && !g.helpers.empty()) {
+        return ECall(g.helpers[g.Roll(g.helpers.size())],
+                     {GenValue(g, f, depth - 1), GenValue(g, f, depth - 1)});
+      }
+      return GenLeaf(g, f);
+    case 6:  // indirect call through the function-pointer global
+      if (f.allow_calls && g.has_fnptr) {
+        return EICall("fp0", {GenValue(g, f, depth - 1), GenValue(g, f, depth - 1)});
+      }
+      return GenLeaf(g, f);
+  }
+  return GenLeaf(g, f);
+}
+
+FExpr GenCond(GenCtx& g, FuncCtx& f) {
+  if (f.allow_mmio && g.Chance(20)) {
+    // The RXNE poll idiom: data-register reads elsewhere pop the queue.
+    return EBin(FBinOp::kNe, EBin(FBinOp::kAnd, EMmio(kUartSr), EU32(1)), EU32(0));
+  }
+  static constexpr FBinOp kCmp[] = {FBinOp::kEq, FBinOp::kNe, FBinOp::kLt,
+                                    FBinOp::kLe, FBinOp::kGt, FBinOp::kGe};
+  FExpr cmp = EBin(kCmp[g.Roll(6)], GenValue(g, f, 1), GenValue(g, f, 1));
+  if (g.Chance(20)) {
+    return EBin(g.Chance(50) ? FBinOp::kLAnd : FBinOp::kLOr, std::move(cmp),
+                EBin(kCmp[g.Roll(6)], GenValue(g, f, 1), GenValue(g, f, 1)));
+  }
+  return cmp;
+}
+
+FExpr GenLValue(GenCtx& g, FuncCtx& f) {
+  for (;;) {
+    switch (g.Roll(8)) {
+      case 0:
+      case 1:  // scalar global (hot-biased): the main shadow-sync stressor
+        return EGlobal(PickScalar(g).name);
+      case 2: {  // array element
+        if (g.arrays.empty()) {
+          break;
+        }
+        const ArrayGlobal& a = g.arrays[g.Roll(g.arrays.size())];
+        return EIdx(EGlobal(a.name), MaskedIndex(g, f, a.count));
+      }
+      case 3: {  // struct scalar field
+        if (!g.has_struct) {
+          break;
+        }
+        size_t pick = g.Roll(g.struct_fields.size());
+        if (g.struct_fields[pick].is_ptr_u8) {
+          break;
+        }
+        return EFld(EGlobal("st0"), g.struct_fields[pick].name);
+      }
+      case 4:  // write through the pointer global
+        if (!g.has_ptr || !g.Chance(50)) {
+          break;
+        }
+        return EDeref(EGlobal("ptr0"));
+      case 5:  // local (writable ones only; never a loop counter)
+        if (f.writable_locals.empty()) {
+          break;
+        }
+        return ELocal(f.writable_locals[g.Roll(f.writable_locals.size())]);
+      case 6: {  // MMIO write
+        if (!f.allow_mmio) {
+          break;
+        }
+        static constexpr uint32_t kWrites[] = {kUartDr, kGpioOdr, kGpioModer};
+        return EMmio(kWrites[g.Roll(3)]);
+      }
+      case 7:  // stack buffer element
+        if (!f.has_buf) {
+          break;
+        }
+        return EIdx(ELocal("buf"), MaskedIndex(g, f, f.buf_len));
+    }
+  }
+}
+
+void GenStmts(GenCtx& g, FuncCtx& f, std::vector<FStmt>* out, size_t count);
+
+FStmt GenStmt(GenCtx& g, FuncCtx& f) {
+  switch (g.Roll(10)) {
+    case 0:
+    case 1:
+    case 2:
+    case 3:
+      return SAssign(GenLValue(g, f), GenValue(g, f, 2));
+    case 4:
+    case 5: {  // if / if-else
+      FStmt s;
+      s.k = FStmt::K::kIf;
+      s.rhs = GenCond(g, f);
+      ++f.depth;
+      GenStmts(g, f, &s.body, 1 + g.Roll(3));
+      if (g.Chance(40)) {
+        GenStmts(g, f, &s.orelse, 1 + g.Roll(2));
+      }
+      --f.depth;
+      return s;
+    }
+    case 6: {  // bounded counter loop
+      if (f.depth >= 2) {
+        return SAssign(GenLValue(g, f), GenValue(g, f, 2));
+      }
+      FStmt s;
+      s.k = FStmt::K::kLoop;
+      s.loop_var = "i" + std::to_string(f.next_loop++);
+      f.fn->locals.emplace_back(s.loop_var, Scalar::kU32);
+      s.loop_count = 2 + static_cast<uint32_t>(g.Roll(3));
+      ++f.depth;
+      GenStmts(g, f, &s.body, 1 + g.Roll(3));
+      --f.depth;
+      return s;
+    }
+    case 7:  // UART transmit
+      if (f.allow_mmio) {
+        return SAssign(EMmio(kUartDr), GenValue(g, f, 1));
+      }
+      return SAssign(GenLValue(g, f), GenValue(g, f, 2));
+    case 8:  // helper result into a global
+      if (f.allow_calls && !g.helpers.empty()) {
+        return SAssign(EGlobal(PickScalar(g).name),
+                       ECall(g.helpers[g.Roll(g.helpers.size())],
+                             {GenValue(g, f, 1), GenValue(g, f, 1)}));
+      }
+      return SAssign(GenLValue(g, f), GenValue(g, f, 2));
+    case 9:  // indirect-call result into a global
+      if (f.allow_calls && g.has_fnptr) {
+        return SAssign(EGlobal(PickScalar(g).name),
+                       EICall("fp0", {GenValue(g, f, 1), GenValue(g, f, 1)}));
+      }
+      return SAssign(GenLValue(g, f), GenValue(g, f, 2));
+  }
+  return SAssign(GenLValue(g, f), GenValue(g, f, 2));
+}
+
+void GenStmts(GenCtx& g, FuncCtx& f, std::vector<FStmt>* out, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    out->push_back(GenStmt(g, f));
+  }
+}
+
+}  // namespace
+
+ProgramSpec GenerateProgram(uint64_t seed) {
+  GenCtx g(seed);
+  ProgramSpec spec;
+  spec.seed = seed;
+
+  // --- Global pool ---
+  // g0 is always a u32 scalar (the checksum sink and default pointer target).
+  static constexpr Scalar kScalars[] = {Scalar::kU8, Scalar::kU16, Scalar::kU32, Scalar::kI32};
+  size_t num_scalars = 3 + g.Roll(4);
+  for (size_t i = 0; i < num_scalars; ++i) {
+    ScalarGlobal sg{"g" + std::to_string(i), i == 0 ? Scalar::kU32 : kScalars[g.Roll(4)]};
+    g.scalars.push_back(sg);
+    FGlobal fg;
+    fg.k = FGlobal::K::kScalar;
+    fg.name = sg.name;
+    fg.scalar = sg.scalar;
+    spec.globals.push_back(fg);
+  }
+  size_t num_hot = 2 + g.Roll(2);
+  for (size_t i = 0; i < num_hot && i < g.scalars.size(); ++i) {
+    g.hot.push_back(i);
+  }
+
+  {
+    ArrayGlobal a{"arr0", Scalar::kU8, g.Chance(50) ? 8u : 16u};
+    g.arrays.push_back(a);
+    FGlobal fg;
+    fg.k = FGlobal::K::kArray;
+    fg.name = a.name;
+    fg.scalar = a.elem;
+    fg.count = a.count;
+    spec.globals.push_back(fg);
+  }
+  if (g.Chance(50)) {
+    ArrayGlobal a{"arr1", Scalar::kU32, g.Chance(50) ? 4u : 8u};
+    g.arrays.push_back(a);
+    FGlobal fg;
+    fg.k = FGlobal::K::kArray;
+    fg.name = a.name;
+    fg.scalar = a.elem;
+    fg.count = a.count;
+    spec.globals.push_back(fg);
+  }
+
+  if (g.Chance(60)) {
+    g.has_struct = true;
+    size_t nfields = 2 + g.Roll(2);
+    for (size_t i = 0; i < nfields; ++i) {
+      FField f;
+      f.name = "f" + std::to_string(i);
+      f.scalar = kScalars[g.Roll(4)];
+      g.struct_fields.push_back(f);
+    }
+    if (g.Chance(50)) {
+      FField f;
+      f.name = "fp";
+      f.is_ptr_u8 = true;
+      g.struct_fields.push_back(f);
+      g.struct_has_ptr = true;
+      g.ptr_u8_array = "arr0";
+    }
+    FGlobal fg;
+    fg.k = FGlobal::K::kStruct;
+    fg.name = "st0";
+    fg.struct_name = "S0";
+    fg.fields = g.struct_fields;
+    spec.globals.push_back(fg);
+  }
+
+  if (g.Chance(60)) {
+    g.has_ptr = true;
+    FGlobal fg;
+    fg.k = FGlobal::K::kPtr;
+    fg.name = "ptr0";
+    fg.ptr_elem = Scalar::kU32;
+    spec.globals.push_back(fg);
+  }
+
+  size_t num_helpers = 1 + g.Roll(2);
+  for (size_t i = 0; i < num_helpers; ++i) {
+    g.helpers.push_back("helper" + std::to_string(i));
+  }
+  if (g.Chance(70)) {
+    g.has_fnptr = true;
+    FGlobal fg;
+    fg.k = FGlobal::K::kFnPtr;
+    fg.name = "fp0";
+    spec.globals.push_back(fg);
+  }
+
+  if (g.Chance(50)) {
+    g.has_rodata = true;
+    g.rodata_count = 4;
+    FGlobal fg;
+    fg.k = FGlobal::K::kConstArray;
+    fg.name = "rodata0";
+    fg.scalar = Scalar::kU8;
+    fg.count = g.rodata_count;
+    for (uint32_t i = 0; i < g.rodata_count; ++i) {
+      fg.init.push_back(static_cast<uint8_t>('A' + g.Roll(26)));
+    }
+    spec.globals.push_back(fg);
+  }
+
+  // --- Helpers: u32(u32 a, u32 b) leaves, some with global side effects ---
+  for (const std::string& name : g.helpers) {
+    FFunc fn;
+    fn.name = name;
+    fn.returns_u32 = true;
+    fn.params.push_back({"a", false});
+    fn.params.push_back({"b", false});
+    fn.locals.emplace_back("t", Scalar::kU32);
+    FuncCtx fc;
+    fc.fn = &fn;
+    static constexpr FBinOp kOps[] = {FBinOp::kAdd, FBinOp::kSub, FBinOp::kMul, FBinOp::kXor};
+    fn.body.push_back(SAssign(ELocal("t"), EBin(kOps[g.Roll(4)], ELocal("a"), ELocal("b"))));
+    if (g.Chance(60)) {
+      fn.body.push_back(SAssign(
+          ELocal("t"), EBin(kOps[g.Roll(4)], ELocal("t"), EGlobal(PickScalar(g).name))));
+    }
+    if (g.Chance(30)) {
+      // A helper that writes a global: every operation calling it shares the
+      // global, so it goes external.
+      fn.body.push_back(SAssign(EGlobal(PickScalar(g).name), ELocal("t")));
+    }
+    FStmt ret;
+    ret.k = FStmt::K::kRet;
+    ret.rhs = ELocal("t");
+    fn.body.push_back(ret);
+    spec.funcs.push_back(std::move(fn));
+  }
+
+  // --- Tasks (operation entries) ---
+  size_t num_tasks = 2 + g.Roll(3);
+  int buf_task = g.Chance(60) ? static_cast<int>(g.Roll(num_tasks)) : -1;
+  uint32_t buf_len = g.Chance(50) ? 8u : 16u;
+  std::vector<std::string> task_names;
+  for (size_t t = 0; t < num_tasks; ++t) {
+    FFunc fn;
+    fn.name = "Task" + std::to_string(t);
+    fn.is_entry = true;
+    FuncCtx fc;
+    fc.fn = &fn;
+    fc.allow_mmio = g.Chance(70);
+    fc.allow_calls = true;
+    if (static_cast<int>(t) == buf_task) {
+      fn.params.push_back({"buf", true});
+      fn.params.push_back({"len", false});
+      fn.pointer_arg_sizes[0] = buf_len;
+      fc.has_buf = true;
+      fc.buf_len = buf_len;
+      fc.writable_locals.push_back("len");
+    }
+    fn.locals.emplace_back("v", Scalar::kU32);
+    fc.writable_locals.push_back("v");
+    GenStmts(g, fc, &fn.body, 3 + g.Roll(6));
+    // Occasionally chain into another (parameterless) entry: a nested
+    // operation switch.
+    if (t + 1 == num_tasks && num_tasks >= 2 && g.Chance(25)) {
+      for (size_t other = 0; other < num_tasks - 1; ++other) {
+        if (static_cast<int>(other) != buf_task) {
+          fn.body.push_back(SCall("Task" + std::to_string(other), {}));
+          break;
+        }
+      }
+    }
+    task_names.push_back(fn.name);
+    spec.funcs.push_back(std::move(fn));
+  }
+
+  // --- main ---
+  {
+    FFunc fn;
+    fn.name = "main";
+    fn.returns_u32 = true;
+    FuncCtx fc;
+    fc.fn = &fn;
+    fc.allow_mmio = true;
+    fc.allow_calls = !g.helpers.empty();
+    fn.body.push_back(SAssign(EMmio(kUartBrr), EU32(0x16D)));
+    fn.body.push_back(SAssign(EMmio(kUartCr1), EU32(1)));
+    if (g.Chance(50)) {
+      fn.body.push_back(SAssign(EMmio(kGpioModer), EU32(1)));
+    }
+    if (g.has_fnptr) {
+      fn.body.push_back(
+          SAssign(EGlobal("fp0"), EFnAddr(g.helpers[g.Roll(g.helpers.size())])));
+    }
+    if (g.has_ptr) {
+      bool via_array = g.arrays.size() > 1 && g.Chance(40);
+      if (via_array) {
+        fn.body.push_back(SAssign(
+            EGlobal("ptr0"),
+            EAddr(EIdx(EGlobal("arr1"), EU32(static_cast<uint32_t>(g.Roll(4)))))));
+      } else {
+        // Aim at a u32 scalar global (g0 always qualifies).
+        std::string target = "g0";
+        for (const ScalarGlobal& sg : g.scalars) {
+          if (sg.scalar == Scalar::kU32 && g.Chance(40)) {
+            target = sg.name;
+            break;
+          }
+        }
+        fn.body.push_back(SAssign(EGlobal("ptr0"), EAddr(EGlobal(target))));
+      }
+    }
+    if (g.struct_has_ptr) {
+      fn.body.push_back(
+          SAssign(EFld(EGlobal("st0"), "fp"), EAddr(EIdx(EGlobal(g.ptr_u8_array), EU32(0)))));
+    }
+    if (g.has_struct) {
+      for (const FField& f : g.struct_fields) {
+        if (!f.is_ptr_u8 && g.Chance(60)) {
+          fn.body.push_back(
+              SAssign(EFld(EGlobal("st0"), f.name), EConst(f.scalar, g.Roll(256))));
+        }
+      }
+    }
+    if (buf_task >= 0) {
+      fn.u8_array_locals.emplace_back("mbuf", buf_len);
+      size_t inits = 2 + g.Roll(2);
+      for (size_t i = 0; i < inits; ++i) {
+        fn.body.push_back(
+            SAssign(EIdx(ELocal("mbuf"), EU32(static_cast<uint32_t>(g.Roll(buf_len)))),
+                    EConst(Scalar::kU8, g.Roll(256))));
+      }
+    }
+
+    // Call every task; one call may be wrapped in a bounded loop.
+    int looped = g.Chance(40) ? static_cast<int>(g.Roll(num_tasks)) : -1;
+    for (size_t t = 0; t < num_tasks; ++t) {
+      FStmt call;
+      if (static_cast<int>(t) == buf_task) {
+        call = SCall(task_names[t],
+                     {EAddr(EIdx(ELocal("mbuf"), EU32(0))), EU32(buf_len)});
+      } else {
+        call = SCall(task_names[t], {});
+      }
+      if (static_cast<int>(t) == looped) {
+        FStmt loop;
+        loop.k = FStmt::K::kLoop;
+        loop.loop_var = "iz";
+        fn.locals.emplace_back("iz", Scalar::kU32);
+        loop.loop_count = 2;
+        loop.body.push_back(std::move(call));
+        fn.body.push_back(std::move(loop));
+      } else {
+        fn.body.push_back(std::move(call));
+      }
+    }
+
+    // Fold observable state into the checksum global, then return it.
+    FExpr sum = EGlobal("g0");
+    for (size_t i = 1; i < g.scalars.size(); ++i) {
+      sum = EBin(FBinOp::kAdd, std::move(sum), ECast(Scalar::kU32, EGlobal(g.scalars[i].name)));
+    }
+    if (buf_task >= 0) {
+      sum = EBin(FBinOp::kAdd, std::move(sum),
+                 ECast(Scalar::kU32,
+                       EIdx(ELocal("mbuf"), EU32(static_cast<uint32_t>(g.Roll(buf_len))))));
+    }
+    if (g.has_ptr) {
+      sum = EBin(FBinOp::kAdd, std::move(sum), EDeref(EGlobal("ptr0")));
+    }
+    fn.body.push_back(SAssign(EGlobal("g0"), std::move(sum)));
+    FStmt ret;
+    ret.k = FStmt::K::kRet;
+    ret.rhs = EGlobal("g0");
+    fn.body.push_back(ret);
+    spec.funcs.push_back(std::move(fn));
+  }
+
+  // Sanitization on one shared u32 global, always full-range: the machinery
+  // runs on every switch but can never legitimately fail, so any sanitize
+  // denial on a generated program is a divergence.
+  if (g.Chance(50)) {
+    for (size_t i : g.hot) {
+      if (g.scalars[i].scalar == Scalar::kU32) {
+        spec.sanitize.push_back({g.scalars[i].name, 0, 0xFFFFFFFFu});
+        break;
+      }
+    }
+  }
+
+  size_t rx = g.Roll(11);
+  for (size_t i = 0; i < rx; ++i) {
+    spec.rx_input.push_back(static_cast<char>('0' + g.Roll(75)));
+  }
+  return spec;
+}
+
+}  // namespace opec_fuzz

@@ -1,0 +1,26 @@
+// Seeded random guest-program generator (DESIGN.md Section 12.1).
+//
+// GenerateProgram(seed) is a pure function of the seed: the same seed always
+// yields the same ProgramSpec, so a diverging case is reproducible from its
+// seed alone. The grammar draws typed globals (scalars of all four widths,
+// arrays, structs with pointer fields, pointer and function-pointer globals,
+// const data), helper functions, 2-4 operation-entry tasks that share a "hot"
+// global pool (to force externals and stress shadow synchronization), direct
+// and indirect calls, MMIO touches on USART2/GPIOA, and a main routine that
+// wires pointers, passes a stack buffer into an entry, runs the tasks and
+// folds the observable state into a checksum.
+
+#ifndef SRC_FUZZ_GENERATOR_H_
+#define SRC_FUZZ_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/fuzz/program.h"
+
+namespace opec_fuzz {
+
+ProgramSpec GenerateProgram(uint64_t seed);
+
+}  // namespace opec_fuzz
+
+#endif  // SRC_FUZZ_GENERATOR_H_

@@ -1,0 +1,550 @@
+#include "src/fuzz/oracles.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "src/analysis/points_to.h"
+#include "src/campaign/campaign.h"
+#include "src/fuzz/generator.h"
+#include "src/hw/machine.h"
+#include "src/hw/mpu.h"
+#include "src/support/check.h"
+#include "src/support/text.h"
+
+namespace opec_fuzz {
+
+namespace {
+
+using opec_campaign::SplitMix64;
+using opec_support::StrPrintf;
+
+uint64_t Fnv1a(uint64_t h, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+uint64_t Fnv1a(uint64_t h, const std::string& s) { return Fnv1a(h, s.data(), s.size()); }
+constexpr uint64_t kFnvBasis = 0xCBF29CE484222325ull;
+
+// Where to read a global's final value. Vanilla: its one home address. OPEC:
+// the engine ends the run inside the default operation, whose shadows are the
+// freshest copy and are NOT written back to the public section at program
+// end; externals the default op does not shadow were last synced to their
+// public copy at the preceding operation exit.
+uint32_t FinalAddrOf(opec_apps::AppRun& run, const opec_ir::GlobalVariable* gv) {
+  const opec_compiler::CompileResult* cr = run.compile();
+  if (cr == nullptr) {
+    return run.layout().AddrOf(gv);
+  }
+  const opec_compiler::Policy& policy = cr->policy;
+  int ext = policy.FindExternalIndex(gv);
+  if (ext < 0) {
+    return run.layout().AddrOf(gv);
+  }
+  for (const opec_compiler::OperationPolicy& op : policy.operations) {
+    if (op.id != policy.default_op_id) {
+      continue;
+    }
+    for (const opec_compiler::ShadowPlacement& sh : op.shadows) {
+      if (sh.var_index == ext) {
+        return sh.addr;
+      }
+    }
+  }
+  return policy.externals[static_cast<size_t>(ext)].public_addr;
+}
+
+std::string BytesHex(const std::vector<uint8_t>& bytes, size_t off = 0,
+                     size_t len = SIZE_MAX) {
+  std::string out;
+  for (size_t i = off; i < bytes.size() && i - off < len; ++i) {
+    out += StrPrintf("%02X", bytes[i]);
+  }
+  return out;
+}
+
+// Resolves a guest data address to "global+offset", looking through every
+// copy of a variable (vanilla home, OPEC public copy, every operation's
+// shadow placement). Pointer values stored in guest memory are only
+// comparable across builds symbolically.
+class SymbolResolver {
+ public:
+  explicit SymbolResolver(opec_apps::AppRun& run) {
+    for (const auto& gv : run.module().globals()) {
+      uint32_t addr = run.layout().AddrOf(gv.get());
+      if (addr != 0 && gv->size() != 0) {
+        ranges_.push_back({addr, gv->size(), gv->name()});
+      }
+    }
+    const opec_compiler::CompileResult* cr = run.compile();
+    if (cr != nullptr) {
+      for (const opec_compiler::OperationPolicy& op : cr->policy.operations) {
+        for (const opec_compiler::ShadowPlacement& sh : op.shadows) {
+          const opec_compiler::ExternalVar& ev =
+              cr->policy.externals[static_cast<size_t>(sh.var_index)];
+          ranges_.push_back({sh.addr, ev.size, ev.gv->name()});
+        }
+      }
+    }
+  }
+
+  std::string Resolve(uint32_t addr) const {
+    if (addr == 0) {
+      return "null";
+    }
+    for (const Range& r : ranges_) {
+      if (addr >= r.base && addr - r.base < r.size) {
+        return StrPrintf("%s+%u", r.name.c_str(), addr - r.base);
+      }
+    }
+    return "raw:" + opec_support::HexAddr(addr);
+  }
+
+ private:
+  struct Range {
+    uint32_t base = 0;
+    uint32_t size = 0;
+    std::string name;
+  };
+  std::vector<Range> ranges_;
+};
+
+std::string ResolveFuncAddr(opec_apps::AppRun& run, uint32_t addr) {
+  if (addr == 0) {
+    return "null";
+  }
+  for (const auto& fn : run.module().functions()) {
+    if (run.engine().FuncAddr(fn.get()) == addr) {
+      return fn->name();
+    }
+  }
+  return "raw:" + opec_support::HexAddr(addr);
+}
+
+uint32_t U32At(const std::vector<uint8_t>& bytes, size_t off) {
+  uint32_t v = 0;
+  for (size_t i = 0; i < 4 && off + i < bytes.size(); ++i) {
+    v |= static_cast<uint32_t>(bytes[off + i]) << (8 * i);
+  }
+  return v;
+}
+
+// Renders a global's final bytes with pointer slots resolved symbolically.
+std::string RenderFinal(const FGlobal* fg, const opec_ir::GlobalVariable* gv,
+                        const std::vector<uint8_t>& bytes, const SymbolResolver& resolver,
+                        opec_apps::AppRun& run) {
+  if (fg == nullptr) {
+    return BytesHex(bytes);
+  }
+  switch (fg->k) {
+    case FGlobal::K::kPtr:
+      return "ptr:" + resolver.Resolve(U32At(bytes, 0));
+    case FGlobal::K::kFnPtr:
+      return "fn:" + ResolveFuncAddr(run, U32At(bytes, 0));
+    case FGlobal::K::kStruct: {
+      const auto& fields = gv->type()->fields();
+      std::string out;
+      for (size_t i = 0; i < fg->fields.size() && i < fields.size(); ++i) {
+        if (!out.empty()) {
+          out += " ";
+        }
+        out += fg->fields[i].name + "=";
+        if (fg->fields[i].is_ptr_u8) {
+          out += "ptr:" + resolver.Resolve(U32At(bytes, fields[i].offset));
+        } else {
+          out += BytesHex(bytes, fields[i].offset, fields[i].type->size());
+        }
+      }
+      return out;
+    }
+    default:
+      return BytesHex(bytes);
+  }
+}
+
+}  // namespace
+
+const char* OracleName(Oracle o) {
+  switch (o) {
+    case Oracle::kExecDiff:
+      return "exec-diff";
+    case Oracle::kPointsTo:
+      return "points-to";
+    case Oracle::kMpuCache:
+      return "mpu-cache";
+    case Oracle::kParallel:
+      return "parallel";
+  }
+  return "?";
+}
+
+ExecObservation RunOnce(const ProgramSpec& spec, opec_apps::BuildMode mode) {
+  ExecObservation obs;
+  FuzzApplication app(spec);
+  opec_support::ScopedCheckThrow capture;
+  try {
+    opec_apps::AppRun run(app, mode);
+    opec_rt::RunResult result = run.Execute();
+    obs.run_ok = result.ok;
+    obs.violation = result.violation;
+    obs.return_value = result.return_value;
+    auto& devs = static_cast<FuzzDevices&>(run.devices());
+    obs.uart_tx = devs.uart->TxString();
+    obs.odr_history = devs.gpio->odr_history();
+    SymbolResolver resolver(run);
+    for (const auto& gv : run.module().globals()) {
+      if (gv->is_const()) {
+        continue;
+      }
+      const FGlobal* fg = nullptr;
+      for (const FGlobal& cand : spec.globals) {
+        if (cand.name == gv->name()) {
+          fg = &cand;
+          break;
+        }
+      }
+      uint32_t addr = FinalAddrOf(run, gv.get());
+      std::vector<uint8_t> bytes = run.machine().bus().DebugReadBytes(addr, gv->size());
+      obs.finals[gv->name()] = RenderFinal(fg, gv.get(), bytes, resolver, run);
+    }
+  } catch (const opec_support::CheckError& e) {
+    obs.build_error = true;
+    obs.build_error_msg = e.what();
+  }
+  return obs;
+}
+
+std::string FormatObservation(const ExecObservation& obs) {
+  if (obs.build_error) {
+    return "build-error: " + obs.build_error_msg;
+  }
+  std::string out = StrPrintf("ok=%d ret=0x%08X", obs.run_ok ? 1 : 0, obs.return_value);
+  if (!obs.run_ok) {
+    out += " violation=[" + obs.violation + "]";
+  }
+  out += StrPrintf(" uart=%zuB odr=%zu", obs.uart_tx.size(), obs.odr_history.size());
+  for (const auto& [name, rendered] : obs.finals) {
+    out += " " + name + "=" + rendered;
+  }
+  return out;
+}
+
+std::vector<Divergence> CompareExec(const ProgramSpec& spec, const ExecObservation& vanilla,
+                                    const ExecObservation& opec) {
+  (void)spec;
+  std::vector<Divergence> divs;
+  auto add = [&divs](std::string detail) {
+    divs.push_back({Oracle::kExecDiff, std::move(detail)});
+  };
+  if (vanilla.build_error || opec.build_error) {
+    // Recipes are valid by construction: any CHECK out of either build is a
+    // harness/compiler defect, not an expected outcome.
+    if (vanilla.build_error) {
+      add("vanilla build error: " + vanilla.build_error_msg);
+    }
+    if (opec.build_error) {
+      add("opec build error: " + opec.build_error_msg);
+    }
+    return divs;
+  }
+  if (!vanilla.run_ok) {
+    add("vanilla run failed: " + vanilla.violation);
+    return divs;
+  }
+  if (!opec.run_ok) {
+    add("opec run failed (vanilla succeeded): " + opec.violation);
+    return divs;
+  }
+  if (vanilla.return_value != opec.return_value) {
+    add(StrPrintf("return value: vanilla 0x%08X, opec 0x%08X", vanilla.return_value,
+                  opec.return_value));
+  }
+  if (vanilla.uart_tx != opec.uart_tx) {
+    add(StrPrintf("uart tx: vanilla %zuB [%s], opec %zuB [%s]", vanilla.uart_tx.size(),
+                  BytesHex(std::vector<uint8_t>(vanilla.uart_tx.begin(), vanilla.uart_tx.end()))
+                      .c_str(),
+                  opec.uart_tx.size(),
+                  BytesHex(std::vector<uint8_t>(opec.uart_tx.begin(), opec.uart_tx.end()))
+                      .c_str()));
+  }
+  if (vanilla.odr_history != opec.odr_history) {
+    add(StrPrintf("gpio odr history: vanilla %zu writes, opec %zu writes",
+                  vanilla.odr_history.size(), opec.odr_history.size()));
+  }
+  for (const auto& [name, vrendered] : vanilla.finals) {
+    auto it = opec.finals.find(name);
+    if (it == opec.finals.end()) {
+      add("global " + name + " missing from opec observation");
+      continue;
+    }
+    if (vrendered != it->second) {
+      add("final state of " + name + ": vanilla [" + vrendered + "], opec [" + it->second +
+          "]");
+    }
+  }
+  return divs;
+}
+
+// --- Oracle 2 -------------------------------------------------------------
+
+namespace {
+
+void CollectExprs(const opec_ir::ExprPtr& e, std::vector<const opec_ir::Expr*>* out) {
+  if (e == nullptr) {
+    return;
+  }
+  out->push_back(e.get());
+  for (const opec_ir::ExprPtr& kid : e->operands) {
+    CollectExprs(kid, out);
+  }
+}
+
+void CollectStmtExprs(const std::vector<opec_ir::StmtPtr>& body,
+                      std::vector<const opec_ir::Expr*>* out) {
+  for (const opec_ir::StmtPtr& s : body) {
+    CollectExprs(s->lhs, out);
+    CollectExprs(s->expr, out);
+    CollectStmtExprs(s->body, out);
+    CollectStmtExprs(s->orelse, out);
+  }
+}
+
+std::set<std::string> FuncNames(const std::set<const opec_ir::Function*>& fns) {
+  std::set<std::string> names;
+  for (const opec_ir::Function* f : fns) {
+    names.insert(f->name());
+  }
+  return names;
+}
+
+std::set<std::string> GlobalNames(const std::set<const opec_ir::GlobalVariable*>& gvs) {
+  std::set<std::string> names;
+  for (const opec_ir::GlobalVariable* g : gvs) {
+    names.insert(g->name());
+  }
+  return names;
+}
+
+std::string JoinSet(const std::set<std::string>& s) {
+  std::string out;
+  for (const std::string& e : s) {
+    out += (out.empty() ? "" : ",") + e;
+  }
+  return "{" + out + "}";
+}
+
+}  // namespace
+
+std::vector<Divergence> DiffPointsTo(const ProgramSpec& spec) {
+  std::vector<Divergence> divs;
+  auto add = [&divs](std::string detail) {
+    divs.push_back({Oracle::kPointsTo, std::move(detail)});
+  };
+  std::unique_ptr<opec_ir::Module> module = BuildModule(spec);
+  opec_analysis::PointsToAnalysis worklist(*module, opec_analysis::SolverMode::kWorklist);
+  opec_analysis::PointsToAnalysis exhaustive(*module, opec_analysis::SolverMode::kExhaustive);
+  worklist.Run();
+  exhaustive.Run();
+  for (const auto& fn : module->functions()) {
+    std::vector<const opec_ir::Expr*> exprs;
+    CollectStmtExprs(fn->body(), &exprs);
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      const opec_ir::Expr* e = exprs[i];
+      std::string where = StrPrintf("%s expr#%zu", fn->name().c_str(), i);
+      if (e->kind == opec_ir::ExprKind::kICall) {
+        std::set<std::string> a = FuncNames(worklist.ICallTargets(e));
+        std::set<std::string> b = FuncNames(exhaustive.ICallTargets(e));
+        if (a != b) {
+          add(where + " icall targets: worklist " + JoinSet(a) + ", exhaustive " + JoinSet(b));
+        }
+      }
+      std::set<std::string> ga = GlobalNames(worklist.PointeeGlobals(e));
+      std::set<std::string> gb = GlobalNames(exhaustive.PointeeGlobals(e));
+      if (ga != gb) {
+        add(where + " pointee globals: worklist " + JoinSet(ga) + ", exhaustive " + JoinSet(gb));
+      }
+      std::set<uint32_t> ca = worklist.PointeeConstAddrs(e);
+      std::set<uint32_t> cb = exhaustive.PointeeConstAddrs(e);
+      if (ca != cb) {
+        add(where + StrPrintf(" pointee const addrs differ (%zu vs %zu)", ca.size(), cb.size()));
+      }
+      if (worklist.MayPointToLocal(e) != exhaustive.MayPointToLocal(e)) {
+        add(where + " may-point-to-local verdicts differ");
+      }
+    }
+  }
+  return divs;
+}
+
+std::vector<Divergence> DiffInjectedPointsTo(uint64_t seed) {
+  std::vector<Divergence> divs;
+  SplitMix64 rng(seed ^ 0x9E3779B97F4A7C15ull);
+  opec_ir::Module dummy("injected");
+  opec_analysis::PointsToAnalysis worklist(dummy, opec_analysis::SolverMode::kWorklist);
+  opec_analysis::PointsToAnalysis exhaustive(dummy, opec_analysis::SolverMode::kExhaustive);
+  int n = 8 + static_cast<int>(rng.Below(17));
+  for (int i = 0; i < n; ++i) {
+    int a = worklist.InjectNode();
+    int b = exhaustive.InjectNode();
+    if (a != b) {
+      divs.push_back({Oracle::kPointsTo, "injected node ids diverged"});
+      return divs;
+    }
+  }
+  size_t edges = static_cast<size_t>(n) * 2 + rng.Below(static_cast<uint64_t>(n) * 2);
+  for (size_t i = 0; i < edges; ++i) {
+    int x = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
+    int y = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
+    switch (rng.Below(4)) {
+      case 0:
+        worklist.InjectBase(x, y);
+        exhaustive.InjectBase(x, y);
+        break;
+      case 1:
+        worklist.InjectCopy(x, y);
+        exhaustive.InjectCopy(x, y);
+        break;
+      case 2:
+        worklist.InjectLoad(x, y);
+        exhaustive.InjectLoad(x, y);
+        break;
+      default:
+        worklist.InjectStore(x, y);
+        exhaustive.InjectStore(x, y);
+        break;
+    }
+  }
+  worklist.SolveInjected();
+  exhaustive.SolveInjected();
+  for (int i = 0; i < n; ++i) {
+    const std::set<int>& a = worklist.PointsToSetOf(i);
+    const std::set<int>& b = exhaustive.PointsToSetOf(i);
+    if (a != b) {
+      divs.push_back(
+          {Oracle::kPointsTo,
+           StrPrintf("injected graph (%d nodes, %zu edges): pts(%d) worklist |%zu| != "
+                     "exhaustive |%zu|",
+                     n, edges, i, a.size(), b.size())});
+    }
+  }
+  return divs;
+}
+
+// --- Oracle 3 -------------------------------------------------------------
+
+std::vector<Divergence> DiffMpuCache(uint64_t seed) {
+  std::vector<Divergence> divs;
+  SplitMix64 rng(seed ^ 0xD6E8FEB86659FD93ull);
+  opec_hw::Mpu mpu;
+  mpu.set_enabled(true);
+  opec_support::ScopedCheckThrow capture;  // ConfigureRegion CHECKs validity
+  static constexpr uint32_t kBases[] = {0x00000000u, 0x08000000u, 0x20000000u, 0x40000000u};
+  auto random_addr = [&rng]() -> uint32_t {
+    uint32_t base = kBases[rng.Below(4)];
+    return base + (rng.Next32() & 0x000FFFFFu);
+  };
+  for (int step = 0; step < 300; ++step) {
+    uint64_t action = rng.Below(8);
+    if (action == 0) {
+      opec_hw::MpuRegionConfig cfg;
+      cfg.enabled = true;
+      cfg.size_log2 = static_cast<uint8_t>(5 + rng.Below(12));  // 32B .. 64KB
+      cfg.base = random_addr() & ~(cfg.size() - 1);
+      if (cfg.size_log2 >= 8 && rng.Below(2) == 0) {
+        cfg.srd = static_cast<uint8_t>(rng.Next32() & 0xFF);
+      }
+      cfg.ap = static_cast<opec_hw::AccessPerm>(rng.Below(6));
+      cfg.xn = rng.Below(2) == 0;
+      mpu.ConfigureRegion(static_cast<int>(rng.Below(8)), cfg);
+      continue;
+    }
+    if (action == 1) {
+      mpu.DisableRegion(static_cast<int>(rng.Below(8)));
+      continue;
+    }
+    // Probe. Half the probes aim near an enabled region's boundaries, where
+    // window transitions (and bugs) live.
+    uint32_t addr = random_addr();
+    int r = static_cast<int>(rng.Below(8));
+    if (rng.Below(2) == 0 && mpu.region(r).enabled) {
+      const opec_hw::MpuRegionConfig& cfg = mpu.region(r);
+      uint32_t span = cfg.size() + 64;
+      addr = cfg.base - 32 + static_cast<uint32_t>(rng.Below(span));
+    }
+    opec_hw::AccessKind kind =
+        rng.Below(2) == 0 ? opec_hw::AccessKind::kRead : opec_hw::AccessKind::kWrite;
+    bool priv = rng.Below(2) == 0;
+    if (action < 6) {
+      uint32_t size = 1u << rng.Below(3);
+      bool cached = mpu.CheckAccess(addr, size, kind, priv);
+      bool direct = mpu.CheckAccessUncached(addr, size, kind, priv);
+      if (cached != direct) {
+        divs.push_back({Oracle::kMpuCache,
+                        StrPrintf("step %d: CheckAccess(%s, size=%u, %s, %s) cached=%d "
+                                  "uncached=%d",
+                                  step, opec_support::HexAddr(addr).c_str(), size,
+                                  kind == opec_hw::AccessKind::kWrite ? "write" : "read",
+                                  priv ? "priv" : "unpriv", cached ? 1 : 0, direct ? 1 : 0)});
+      }
+    } else {
+      uint32_t len = 1 + static_cast<uint32_t>(rng.Below(200));
+      bool ranged = mpu.CheckRange(addr, len, kind, priv);
+      bool direct = true;
+      for (uint32_t b = 0; b < len && direct; ++b) {
+        direct = mpu.CheckAccessUncached(addr + b, 1, kind, priv);
+      }
+      if (ranged != direct) {
+        divs.push_back({Oracle::kMpuCache,
+                        StrPrintf("step %d: CheckRange(%s, len=%u, %s, %s) ranged=%d "
+                                  "per-byte=%d",
+                                  step, opec_support::HexAddr(addr).c_str(), len,
+                                  kind == opec_hw::AccessKind::kWrite ? "write" : "read",
+                                  priv ? "priv" : "unpriv", ranged ? 1 : 0, direct ? 1 : 0)});
+      }
+    }
+  }
+  return divs;
+}
+
+// --- One full case --------------------------------------------------------
+
+CaseResult RunCase(uint64_t seed) {
+  CaseResult result;
+  result.seed = seed;
+  ProgramSpec spec = GenerateProgram(seed);
+  result.summary = SpecSummary(spec);
+
+  ExecObservation vanilla = RunOnce(spec, opec_apps::BuildMode::kVanilla);
+  ExecObservation opec = RunOnce(spec, opec_apps::BuildMode::kOpec);
+  std::vector<Divergence> divs = CompareExec(spec, vanilla, opec);
+  for (Divergence& d : DiffPointsTo(spec)) {
+    divs.push_back(std::move(d));
+  }
+  for (Divergence& d : DiffInjectedPointsTo(seed)) {
+    divs.push_back(std::move(d));
+  }
+  for (Divergence& d : DiffMpuCache(seed)) {
+    divs.push_back(std::move(d));
+  }
+  result.divergences = std::move(divs);
+
+  uint64_t h = kFnvBasis;
+  h = Fnv1a(h, &seed, sizeof(seed));
+  h = Fnv1a(h, result.summary);
+  h = Fnv1a(h, FormatObservation(vanilla));
+  h = Fnv1a(h, FormatObservation(opec));
+  for (const Divergence& d : result.divergences) {
+    h = Fnv1a(h, OracleName(d.oracle));
+    h = Fnv1a(h, d.detail);
+  }
+  result.digest = StrPrintf("seed=%llu digest=%016llX divs=%zu",
+                            static_cast<unsigned long long>(seed),
+                            static_cast<unsigned long long>(h), result.divergences.size());
+  return result;
+}
+
+}  // namespace opec_fuzz

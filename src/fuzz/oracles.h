@@ -1,0 +1,90 @@
+// The four differential oracles (DESIGN.md Section 12.2).
+//
+//  1. Execution:    vanilla vs OPEC-partitioned runs of the same recipe must
+//                   agree on return value, UART output, GPIO effects and the
+//                   final value of every global.
+//  2. Points-to:    worklist vs exhaustive Andersen solving must yield
+//                   identical query answers on the recipe's module and on
+//                   randomized injected constraint graphs.
+//  3. MPU cache:    the decision-cached CheckAccess must agree with the
+//                   uncached region walk on every probe of a randomized
+//                   configure/probe sequence.
+//  4. Parallelism:  a campaign of cases run with --jobs N must produce
+//                   digests bit-identical to the serial run (checked by the
+//                   CLI / tests via RunCase's deterministic digest).
+
+#ifndef SRC_FUZZ_ORACLES_H_
+#define SRC_FUZZ_ORACLES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/apps/runner.h"
+#include "src/fuzz/program.h"
+
+namespace opec_fuzz {
+
+// What one execution of a recipe looks like from the outside.
+struct ExecObservation {
+  // A host CHECK fired while building or running the image (captured via
+  // ScopedCheckThrow). Generated programs are valid by construction, so this
+  // is always reportable.
+  bool build_error = false;
+  std::string build_error_msg;
+  bool run_ok = false;
+  std::string violation;  // engine diagnosis when !run_ok
+  uint32_t return_value = 0;
+  std::string uart_tx;
+  std::vector<uint32_t> odr_history;
+  // Final value of every non-const global, by name, rendered to a
+  // layout-independent string: plain data renders as hex bytes, while
+  // pointer-valued slots (pointer globals, function-pointer globals, pointer
+  // struct fields) resolve to the *symbolic* target ("g0+0", "fn:helper1") —
+  // raw addresses legitimately differ between the vanilla and OPEC layouts.
+  // Under OPEC the address read honors the end-of-run shadow policy (see
+  // FinalAddrOf in oracles.cc).
+  std::map<std::string, std::string> finals;
+};
+
+ExecObservation RunOnce(const ProgramSpec& spec, opec_apps::BuildMode mode);
+
+std::string FormatObservation(const ExecObservation& obs);
+
+enum class Oracle : uint8_t { kExecDiff, kPointsTo, kMpuCache, kParallel };
+const char* OracleName(Oracle o);
+
+struct Divergence {
+  Oracle oracle = Oracle::kExecDiff;
+  std::string detail;
+};
+
+// Oracle 1: compares the two observations of one recipe.
+std::vector<Divergence> CompareExec(const ProgramSpec& spec, const ExecObservation& vanilla,
+                                    const ExecObservation& opec);
+
+// Oracle 2a: solver modes over the recipe's module — every icall target set
+// and pointer-query answer must match.
+std::vector<Divergence> DiffPointsTo(const ProgramSpec& spec);
+// Oracle 2b: solver modes over a seeded random injected constraint graph.
+std::vector<Divergence> DiffInjectedPointsTo(uint64_t seed);
+
+// Oracle 3: seeded random MPU configure/probe sequence, cached vs uncached.
+std::vector<Divergence> DiffMpuCache(uint64_t seed);
+
+// One fuzz case: generate the recipe for `seed` and run oracles 1-3 on it.
+// `digest` is a deterministic fingerprint of everything observed — byte-equal
+// between serial and parallel campaigns (oracle 4) and across reruns.
+struct CaseResult {
+  uint64_t seed = 0;
+  std::string summary;  // recipe shape, for logs
+  std::vector<Divergence> divergences;
+  std::string digest;
+};
+
+CaseResult RunCase(uint64_t seed);
+
+}  // namespace opec_fuzz
+
+#endif  // SRC_FUZZ_ORACLES_H_

@@ -1,0 +1,191 @@
+#include "src/fuzz/shrink.h"
+
+#include <utility>
+
+namespace opec_fuzz {
+
+namespace {
+
+// Removes the k-th statement in pre-order (counting compound statements
+// before their bodies, matching CountStatements). Returns true once removed;
+// decrements *k while scanning.
+bool RemoveNth(std::vector<FStmt>* body, size_t* k) {
+  for (size_t i = 0; i < body->size(); ++i) {
+    if (*k == 0) {
+      body->erase(body->begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+    --*k;
+    if (RemoveNth(&(*body)[i].body, k)) {
+      return true;
+    }
+    if (RemoveNth(&(*body)[i].orelse, k)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Replaces the k-th statement with the contents of its body + orelse (only
+// meaningful for kIf / kLoop: unwraps the control structure but keeps the
+// inner statements so the shrinker can reach into them).
+bool FlattenNth(std::vector<FStmt>* body, size_t* k) {
+  for (size_t i = 0; i < body->size(); ++i) {
+    if (*k == 0) {
+      FStmt s = std::move((*body)[i]);
+      if (s.k != FStmt::K::kIf && s.k != FStmt::K::kLoop) {
+        return true;  // located but nothing to flatten; caller sees no change
+      }
+      body->erase(body->begin() + static_cast<std::ptrdiff_t>(i));
+      std::vector<FStmt> inner = std::move(s.body);
+      for (FStmt& e : s.orelse) {
+        inner.push_back(std::move(e));
+      }
+      body->insert(body->begin() + static_cast<std::ptrdiff_t>(i),
+                   std::make_move_iterator(inner.begin()), std::make_move_iterator(inner.end()));
+      return true;
+    }
+    --*k;
+    if (FlattenNth(&(*body)[i].body, k)) {
+      return true;
+    }
+    if (FlattenNth(&(*body)[i].orelse, k)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ProgramSpec ShrinkProgram(const ProgramSpec& spec, const DivergePredicate& diverges,
+                          ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+  st.initial_statements = CountStatements(spec);
+
+  ProgramSpec cur = spec;
+  auto probe = [&](const ProgramSpec& cand) {
+    ++st.probes;
+    return diverges(cand);
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+
+    // 1. Statement removal (with compound flattening as the fallback), one
+    //    function at a time, pre-order. After an accepted removal the scan
+    //    stays at the same index — the next statement slid into it.
+    for (size_t f = 0; f < cur.funcs.size(); ++f) {
+      size_t total = CountStatements(cur.funcs[f].body);
+      size_t k = 0;
+      while (k < total) {
+        ProgramSpec cand = cur;
+        size_t kk = k;
+        RemoveNth(&cand.funcs[f].body, &kk);
+        if (probe(cand)) {
+          cur = std::move(cand);
+          total = CountStatements(cur.funcs[f].body);
+          ++st.accepted;
+          progress = true;
+          continue;
+        }
+        cand = cur;
+        kk = k;
+        FlattenNth(&cand.funcs[f].body, &kk);
+        if (CountStatements(cand.funcs[f].body) < total && probe(cand)) {
+          cur = std::move(cand);
+          total = CountStatements(cur.funcs[f].body);
+          ++st.accepted;
+          progress = true;
+          continue;
+        }
+        ++k;
+      }
+    }
+
+    // 2. Unreferenced-function removal. Entries shape the partition even when
+    //    uncalled, so each removal is re-validated through the predicate.
+    for (size_t f = 0; f < cur.funcs.size();) {
+      if (cur.funcs[f].name == "main") {
+        ++f;
+        continue;
+      }
+      std::map<std::string, int> refs;
+      CollectCalleeRefs(cur, &refs);
+      if (refs.count(cur.funcs[f].name) != 0) {
+        ++f;
+        continue;
+      }
+      ProgramSpec cand = cur;
+      cand.funcs.erase(cand.funcs.begin() + static_cast<std::ptrdiff_t>(f));
+      if (probe(cand)) {
+        cur = std::move(cand);
+        ++st.accepted;
+        progress = true;
+      } else {
+        ++f;
+      }
+    }
+
+    // 3. Unreferenced-global removal.
+    for (size_t g = 0; g < cur.globals.size();) {
+      std::map<std::string, int> refs;
+      CollectGlobalRefs(cur, &refs);
+      if (refs.count(cur.globals[g].name) != 0) {
+        ++g;
+        continue;
+      }
+      ProgramSpec cand = cur;
+      cand.globals.erase(cand.globals.begin() + static_cast<std::ptrdiff_t>(g));
+      if (probe(cand)) {
+        cur = std::move(cand);
+        ++st.accepted;
+        progress = true;
+      } else {
+        ++g;
+      }
+    }
+
+    // 4. Sanitize-entry removal.
+    for (size_t s = 0; s < cur.sanitize.size();) {
+      ProgramSpec cand = cur;
+      cand.sanitize.erase(cand.sanitize.begin() + static_cast<std::ptrdiff_t>(s));
+      if (probe(cand)) {
+        cur = std::move(cand);
+        ++st.accepted;
+        progress = true;
+      } else {
+        ++s;
+      }
+    }
+
+    // 5. UART-input truncation: all at once, then byte by byte off the end.
+    if (!cur.rx_input.empty()) {
+      ProgramSpec cand = cur;
+      cand.rx_input.clear();
+      if (probe(cand)) {
+        cur = std::move(cand);
+        ++st.accepted;
+        progress = true;
+      } else {
+        while (!cur.rx_input.empty()) {
+          cand = cur;
+          cand.rx_input.pop_back();
+          if (!probe(cand)) {
+            break;
+          }
+          cur = std::move(cand);
+          ++st.accepted;
+          progress = true;
+        }
+      }
+    }
+  }
+
+  st.final_statements = CountStatements(cur);
+  return cur;
+}
+
+}  // namespace opec_fuzz

@@ -1,0 +1,34 @@
+// Greedy deterministic program shrinker (DESIGN.md Section 12.3).
+//
+// Given a recipe and a predicate ("still diverges"), repeatedly tries
+// structure-preserving reductions in a fixed order — drop a statement,
+// flatten a compound statement into its body, drop an unreferenced function
+// or global, drop a sanitize entry, truncate the UART input — keeping each
+// candidate iff the predicate still holds, until a fixpoint. No randomness:
+// the same input recipe and predicate always minimize to the same recipe.
+
+#ifndef SRC_FUZZ_SHRINK_H_
+#define SRC_FUZZ_SHRINK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/fuzz/program.h"
+
+namespace opec_fuzz {
+
+struct ShrinkStats {
+  size_t probes = 0;      // predicate evaluations
+  size_t accepted = 0;    // reductions kept
+  size_t initial_statements = 0;
+  size_t final_statements = 0;
+};
+
+using DivergePredicate = std::function<bool(const ProgramSpec&)>;
+
+ProgramSpec ShrinkProgram(const ProgramSpec& spec, const DivergePredicate& diverges,
+                          ShrinkStats* stats = nullptr);
+
+}  // namespace opec_fuzz
+
+#endif  // SRC_FUZZ_SHRINK_H_

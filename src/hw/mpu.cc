@@ -122,8 +122,13 @@ bool Mpu::CheckRange(uint32_t addr, uint32_t len, AccessKind kind, bool privileg
   if (!enabled_ || len == 0) {
     return true;
   }
+  // The window mask must be 64-bit: with the 32-bit ~31u, a range wrapping
+  // the top of the address space (addr + len > 2^32) truncated last_window
+  // below first_window and the loop never probed at all — the whole wrapped
+  // range was silently allowed. Probe addresses themselves wrap to uint32,
+  // matching the byte-wise wrap-around semantics of the accesses.
   uint64_t first_window = addr & ~31u;
-  uint64_t last_window = (static_cast<uint64_t>(addr) + len - 1) & ~31u;
+  uint64_t last_window = (static_cast<uint64_t>(addr) + len - 1) & ~31ull;
   for (uint64_t w = first_window; w <= last_window; w += 32) {
     uint32_t probe = w < addr ? addr : static_cast<uint32_t>(w);
     if (!ProbeAllows(probe, kind, privileged)) {
@@ -131,6 +136,22 @@ bool Mpu::CheckRange(uint32_t addr, uint32_t len, AccessKind kind, bool privileg
     }
   }
   return true;
+}
+
+bool Mpu::CheckAccessUncached(uint32_t addr, uint32_t size, AccessKind kind,
+                              bool privileged) const {
+  if (!enabled_) {
+    return true;
+  }
+  uint32_t bit = (static_cast<uint32_t>(kind) << 1) | static_cast<uint32_t>(privileged);
+  uint32_t last = addr + (size == 0 ? 0 : size - 1);
+  if (((ComputeAllowMask(addr) >> bit) & 1u) == 0) {
+    return false;
+  }
+  if ((addr & ~31u) == (last & ~31u)) {
+    return true;
+  }
+  return (ComputeAllowMask(last) >> bit) & 1u;
 }
 
 std::string Mpu::ExplainAccess(uint32_t addr, uint32_t size, AccessKind kind,

@@ -71,6 +71,13 @@ class Mpu {
   // >=32-byte), so one probe per window equals probing every byte.
   bool CheckRange(uint32_t addr, uint32_t len, AccessKind kind, bool privileged) const;
 
+  // Differential-testing twin of CheckAccess: identical verdict contract, but
+  // computed straight from the region walk (ComputeAllowMask) without reading
+  // or filling the decision cache. The fuzzer's cache oracle compares the two
+  // on every probe.
+  bool CheckAccessUncached(uint32_t addr, uint32_t size, AccessKind kind,
+                           bool privileged) const;
+
   // Counts MPU reconfigurations, for the cost model and the benches.
   uint64_t config_writes() const { return config_writes_; }
 

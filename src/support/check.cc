@@ -6,7 +6,13 @@
 namespace opec_support {
 
 namespace {
-// Depth of nested ScopedCheckThrow scopes on this thread.
+// Depth of nested ScopedCheckThrow scopes on this thread. Deliberately
+// thread_local, never a plain global: campaign workers and fuzz jobs install
+// guards concurrently, and a shared counter would let one thread's guard
+// change how another thread's CHECK failure resolves (throw vs abort) — or
+// tear outright. Each thread therefore carries its own capture depth;
+// campaign_test.cc (ScopedCheckThrowTest.CaptureIsThreadLocalUnderConcurrency)
+// hammers this from a pool under the OPEC_SANITIZE=thread configuration.
 thread_local int check_throw_depth = 0;
 
 std::string FailureMessage(const char* file, int line, const char* cond,

@@ -92,6 +92,34 @@ TEST(SplitMix64Test, JobSeedsAreStableAndDistinct) {
   EXPECT_NE(SplitMix64::JobSeed(1, 5), SplitMix64::JobSeed(2, 5));
 }
 
+// The JobSeed mixing contract (campaign.h): distinct (campaign_seed, index)
+// pairs yield distinct streams, at campaign scale.
+TEST(SplitMix64Test, JobSeedMixingIsCollisionFreeAcrossCampaigns) {
+  std::set<uint64_t> seeds;
+  for (uint64_t campaign = 0; campaign < 100; ++campaign) {
+    for (uint64_t index = 0; index < 100; ++index) {
+      seeds.insert(SplitMix64::JobSeed(campaign, index));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 10000u);
+}
+
+TEST(SplitMix64Test, JobSeedMixingBreaksXorLinearCollisions) {
+  // The original scheme XORed (index * kOdd + 1) into the raw campaign seed
+  // before a single finalization. Being XOR-linear pre-finalizer, it made
+  // JobSeed(s, 0) collide with JobSeed(s ^ 1 ^ (i * kOdd + 1), i) for every
+  // s and i — whole cross-campaign stream collisions. The sequential-
+  // finalization fix must break every pair in that family.
+  constexpr uint64_t kOdd = 0xA24BAED4963EE407ull;
+  for (uint64_t s : {0ull, 1ull, 42ull, 0xDEADBEEFull, 0xFFFFFFFFFFFFFFFFull}) {
+    for (uint64_t i = 1; i <= 64; ++i) {
+      uint64_t sibling = s ^ 1ull ^ (i * kOdd + 1ull);
+      EXPECT_NE(SplitMix64::JobSeed(s, 0), SplitMix64::JobSeed(sibling, i))
+          << "s=" << s << " i=" << i;
+    }
+  }
+}
+
 TEST(ScopedCheckThrowTest, ConvertsCheckFailureIntoException) {
   opec_support::ScopedCheckThrow guard;
   bool caught = false;
@@ -102,6 +130,43 @@ TEST(ScopedCheckThrowTest, ConvertsCheckFailureIntoException) {
     EXPECT_NE(std::string(e.what()).find("expected failure"), std::string::npos);
   }
   EXPECT_TRUE(caught);
+}
+
+// Thread-safety audit of the CHECK capture machinery (src/support/check.cc):
+// the capture depth is a thread_local, so concurrent jobs each convert their
+// own CHECK failures without observing another thread's guard. This test
+// hammers that from many pool threads — including nested guards — and relies
+// on the OPEC_SANITIZE=thread CI configuration to flag any regression to
+// shared state.
+TEST(ScopedCheckThrowTest, CaptureIsThreadLocalUnderConcurrency) {
+  ThreadPool pool(8);
+  std::atomic<int> caught{0};
+  std::atomic<int> wrong{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&caught, &wrong] {
+      opec_support::ScopedCheckThrow outer;
+      {
+        opec_support::ScopedCheckThrow inner;
+        try {
+          OPEC_CHECK_MSG(false, "worker failure");
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        } catch (const opec_support::CheckError&) {
+          caught.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      // The outer guard on this thread still captures after the inner one
+      // unwound, regardless of what other threads' guards are doing.
+      try {
+        OPEC_CHECK_MSG(1 + 1 == 3, "outer failure");
+        wrong.fetch_add(1, std::memory_order_relaxed);
+      } catch (const opec_support::CheckError&) {
+        caught.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(caught.load(), 400);
+  EXPECT_EQ(wrong.load(), 0);
 }
 
 // The tentpole invariant: the deterministic report of a campaign is
