@@ -10,6 +10,7 @@
 //            [--fault-sweep N] [--fault-class CLASS] [--figures]
 //            [--jobs N] [--seed S] [--timeout-ms T]
 //            [--report-json FILE] [--deterministic] [--trace-dir DIR]
+//            [--snapshot-dir DIR] [--cold-boot]
 //
 //   --spec FILE     line-oriented campaign spec (see CampaignSpec::ParseFile)
 //   --apps/--modes  scenario matrix (default: all apps, both modes) used when
@@ -25,6 +26,12 @@
 //                   write the timing-free report (byte-identical across
 //                   thread counts)
 //   --trace-dir     write a per-job Chrome trace into DIR
+//   --snapshot-dir  diverging jobs dump final-state snapshots (and per-fault
+//                   machine-state dumps) into DIR; also records a
+//                   snapshot_digest per diverging job in the JSON report
+//   --cold-boot     rebuild every job from scratch instead of forking from
+//                   the per-worker post-boot snapshot (warm start, the
+//                   default); results are bit-identical either way
 //
 // Exit status: 0 when every job succeeded (AllOk), 1 otherwise.
 
@@ -54,7 +61,8 @@ int Usage() {
       "usage: campaign [--spec FILE] [--apps a,b|all] [--modes opec|vanilla|both]\n"
       "                [--fault-sweep N] [--fault-class CLASS] [--figures]\n"
       "                [--jobs N] [--seed S] [--timeout-ms T]\n"
-      "                [--report-json FILE] [--deterministic] [--trace-dir DIR]\n");
+      "                [--report-json FILE] [--deterministic] [--trace-dir DIR]\n"
+      "                [--snapshot-dir DIR] [--cold-boot]\n");
   return 2;
 }
 
@@ -123,6 +131,8 @@ int main(int argc, char** argv) {
   std::string report_path;
   bool deterministic = false;
   std::string trace_dir;
+  std::string snapshot_dir;
+  bool cold_boot = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -186,6 +196,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       trace_dir = v;
+    } else if (arg == "--snapshot-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      snapshot_dir = v;
+    } else if (arg == "--cold-boot") {
+      cold_boot = true;
     } else {
       return Usage();
     }
@@ -238,6 +254,8 @@ int main(int argc, char** argv) {
   options.jobs = jobs;
   options.default_timeout_ms = timeout_ms;
   options.trace_dir = trace_dir;
+  options.snapshot_dir = snapshot_dir;
+  options.cold_boot = cold_boot;
   CampaignResult result = Executor::Run(spec, options);
 
   // Per-outcome summary, then the robustness matrix when faults were swept.

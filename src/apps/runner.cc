@@ -33,6 +33,50 @@ AppRun::~AppRun() = default;
 
 void AppRun::AddAttack(const opec_rt::AttackSpec& attack) { engine_->AddAttack(attack); }
 
+void AppRun::CaptureBoot() {
+  boot_snapshot_ = std::make_unique<opec_snapshot::Snapshot>(
+      opec_snapshot::Snapshot::Capture(*machine_));
+  // Arm the dirty-page fast path: from here on the bus tracks written pages,
+  // and RestoreBoot copies back only those instead of full memory images.
+  machine_->bus().CaptureMemoryBaseline();
+}
+
+void AppRun::RestoreBoot() {
+  OPEC_CHECK_MSG(boot_snapshot_ != nullptr, "RestoreBoot() without CaptureBoot()");
+  if (machine_->bus().has_memory_baseline()) {
+    boot_snapshot_->RestoreFast(*machine_);
+  } else {
+    boot_snapshot_->Restore(*machine_);
+  }
+  // The monitor's and engine's pre-run state is entirely constructor-derived
+  // (from the immutable policy/module), so fresh objects are equivalent to —
+  // and simpler than — rolling back attacks, counters and fault reports.
+  if (mode_ == BuildMode::kOpec) {
+    monitor_ = std::make_unique<opec_monitor::Monitor>(*machine_, compile_->policy, soc_);
+    engine_ = std::make_unique<opec_rt::ExecutionEngine>(*machine_, *module_, compile_->layout,
+                                                         monitor_.get());
+  } else {
+    engine_ = std::make_unique<opec_rt::ExecutionEngine>(*machine_, *module_, vanilla_layout_,
+                                                         nullptr);
+  }
+  probe_.reset();
+  trace_.Clear();
+  trace_enabled_ = false;
+  recorder_.reset();
+  extra_sinks_.clear();
+  last_result_ = {};
+}
+
+void AppRun::EnableSnapshotProbe() {
+  probe_ = std::make_unique<opec_snapshot::RoundTripProbe>(*machine_, monitor_.get(),
+                                                           engine_.get());
+  engine_->set_supervisor(probe_.get());
+}
+
+opec_snapshot::Snapshot AppRun::CaptureState() const {
+  return opec_snapshot::Snapshot::Capture(*machine_, monitor_.get(), engine_.get());
+}
+
 void AppRun::EnableEventRecording(size_t capacity) {
   if (recorder_ == nullptr) {
     recorder_ = std::make_unique<opec_obs::Recorder>(capacity);

@@ -17,6 +17,8 @@
 #include "src/obs/recorder.h"
 #include "src/rt/engine.h"
 #include "src/rt/trace.h"
+#include "src/snapshot/probe.h"
+#include "src/snapshot/snapshot.h"
 
 namespace opec_apps {
 
@@ -45,6 +47,25 @@ class AppRun {
 
   // Loads the image, feeds the scenario and runs main.
   opec_rt::RunResult Execute();
+
+  // --- Snapshot integration (DESIGN.md §13) ---
+  // Captures the post-build, pre-run machine state (globals loaded, devices
+  // reset, scenario not yet fed). RestoreBoot() rewinds to it and rebuilds
+  // the monitor and engine fresh — everything Execute() needs, without
+  // re-running BuildModule/CompileOpec/LoadGlobals. This is the warm-start
+  // path campaign jobs fork from.
+  void CaptureBoot();
+  bool has_boot_snapshot() const { return boot_snapshot_ != nullptr; }
+  const opec_snapshot::Snapshot& boot_snapshot() const { return *boot_snapshot_; }
+  void RestoreBoot();
+  // Wraps the engine's supervisor in a RoundTripProbe (fuzz oracle 5): every
+  // SVC boundary capture→restores the full state in place. Call before
+  // Execute(); reset by RestoreBoot().
+  void EnableSnapshotProbe();
+  const opec_snapshot::RoundTripProbe* probe() const { return probe_.get(); }
+  // Full machine+monitor+engine snapshot of the current state. Only valid at
+  // quiescent points (see ExecutionEngine::SaveState).
+  opec_snapshot::Snapshot CaptureState() const;
 
   // Scenario output verification (valid after Execute()).
   std::string Check() const;
@@ -83,6 +104,8 @@ class AppRun {
   std::unique_ptr<opec_rt::ExecutionEngine> engine_;
   opec_rt::AddressAssignment vanilla_layout_;
   opec_compiler::MemoryAccounting accounting_;
+  std::unique_ptr<opec_snapshot::Snapshot> boot_snapshot_;
+  std::unique_ptr<opec_snapshot::RoundTripProbe> probe_;
   opec_rt::ExecutionTrace trace_;
   bool trace_enabled_ = false;
   std::unique_ptr<opec_obs::Recorder> recorder_;

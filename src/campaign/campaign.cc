@@ -12,6 +12,7 @@
 
 #include "src/apps/all_apps.h"
 #include "src/obs/export.h"
+#include "src/snapshot/snapshot.h"
 #include "src/support/check.h"
 #include "src/support/table.h"
 #include "src/support/text.h"
@@ -355,7 +356,48 @@ class CountingSink : public opec_obs::Sink {
   uint64_t count_ = 0;
 };
 
-JobResult RunJobImpl(const JobSpec& spec, size_t index, const std::atomic<bool>* cancel) {
+// Executor-level knobs threaded into each job (see Executor::Options).
+struct JobEnv {
+  bool cold_boot = true;
+  std::string snapshot_dir;
+};
+
+// Warm-start cache: one booted AppRun per (app, mode) per worker thread.
+// Thread-local on purpose — no cross-thread sharing, so jobs stay isolated
+// (TSan-clean) and results stay placement-deterministic. The first use on a
+// thread pays the full cold build and captures the post-boot snapshot; every
+// later job on that thread rewinds to it with RestoreBoot(), skipping
+// BuildModule + CompileOpec + LoadGlobals.
+opec_apps::AppRun* WarmRun(const opec_apps::AppFactory& factory,
+                           opec_apps::BuildMode mode) {
+  struct Entry {
+    std::unique_ptr<opec_apps::Application> app;
+    std::unique_ptr<opec_apps::AppRun> run;
+  };
+  thread_local std::map<std::pair<std::string, int>, Entry> cache;
+  auto key = std::make_pair(factory.name, static_cast<int>(mode));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Entry e;
+    e.app = factory.make();
+    e.run = std::make_unique<opec_apps::AppRun>(*e.app, mode);
+    e.run->CaptureBoot();
+    it = cache.emplace(key, std::move(e)).first;
+  } else {
+    it->second.run->RestoreBoot();
+  }
+  return it->second.run.get();
+}
+
+void WriteBinaryFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  OPEC_CHECK_MSG(out.good(), "cannot write state dump: " + path);
+}
+
+JobResult RunJobImpl(const JobSpec& spec, size_t index, const std::atomic<bool>* cancel,
+                     const JobEnv& env) {
   JobResult out;
   out.index = index;
   out.spec = spec;
@@ -364,10 +406,22 @@ JobResult RunJobImpl(const JobSpec& spec, size_t index, const std::atomic<bool>*
     throw std::runtime_error("unknown app '" + spec.app + "' (see opec_apps::AllApps)");
   }
 
-  std::unique_ptr<opec_apps::Application> app = factory->make();
-  opec_apps::AppRun run(*app, spec.mode);
+  std::unique_ptr<opec_apps::Application> app;
+  std::unique_ptr<opec_apps::AppRun> cold_run;
+  opec_apps::AppRun* run_ptr;
+  if (env.cold_boot) {
+    app = factory->make();
+    cold_run = std::make_unique<opec_apps::AppRun>(*app, spec.mode);
+    run_ptr = cold_run.get();
+  } else {
+    run_ptr = WarmRun(*factory, spec.mode);
+  }
+  opec_apps::AppRun& run = *run_ptr;
   if (cancel != nullptr) {
     run.engine().set_cancel_flag(cancel);
+  }
+  if (!env.snapshot_dir.empty()) {
+    run.engine().set_fault_state_capture(true);
   }
 
   SplitMix64 rng(spec.seed);
@@ -399,6 +453,31 @@ JobResult RunJobImpl(const JobSpec& spec, size_t index, const std::atomic<bool>*
   out.events = counting.count();
   std::string check = r.ok ? run.Check() : std::string();
 
+  // Crash-state forensics: diverging jobs dump their final snapshot plus the
+  // per-denied-access machine states the engine captured (see
+  // Executor::Options::snapshot_dir). Runs on every classified exit below.
+  auto finish = [&]() -> JobResult {
+    bool diverging = out.outcome != Outcome::kOk && out.outcome != Outcome::kNotFired &&
+                     out.outcome != Outcome::kBenign;
+    if (!env.snapshot_dir.empty() && diverging) {
+      opec_snapshot::Snapshot snap = run.CaptureState();
+      out.snapshot_digest = snap.Digest();
+      std::string stem = opec_support::StrPrintf("%s/job%04zu_%s_%s",
+                                                 env.snapshot_dir.c_str(), index,
+                                                 AppKey(spec.app).c_str(), ModeName(spec.mode));
+      snap.WriteFile(stem + ".snap");
+      size_t k = 0;
+      for (const opec_obs::FaultReport& fr : run.engine().fault_reports()) {
+        if (fr.machine_state != nullptr) {
+          WriteBinaryFile(opec_support::StrPrintf("%s.fault%zu.state", stem.c_str(), k),
+                          *fr.machine_state);
+        }
+        ++k;
+      }
+    }
+    return out;
+  };
+
   if (!spec.trace_path.empty() && run.recorder() != nullptr) {
     opec_obs::WriteFile(spec.trace_path,
                         opec_obs::ChromeTraceJson(run.recorder()->Snapshot(),
@@ -409,7 +488,7 @@ JobResult RunJobImpl(const JobSpec& spec, size_t index, const std::atomic<bool>*
     out.outcome = Outcome::kTimeout;
     out.ok = false;
     out.detail = r.violation;
-    return out;
+    return finish();
   }
 
   if (spec.kind == JobKind::kScenario) {
@@ -423,7 +502,7 @@ JobResult RunJobImpl(const JobSpec& spec, size_t index, const std::atomic<bool>*
       out.outcome = Outcome::kOk;
       out.ok = true;
     }
-    return out;
+    return finish();
   }
 
   // Fault job: classify the outcome against the clean baseline.
@@ -438,20 +517,20 @@ JobResult RunJobImpl(const JobSpec& spec, size_t index, const std::atomic<bool>*
   if (!out.attack_fired) {
     out.outcome = Outcome::kNotFired;
     out.ok = true;  // nothing to contain
-    return out;
+    return finish();
   }
   if (out.attack_blocked) {
     out.outcome = Outcome::kDeniedMpu;
     out.ok = true;
     out.detail += " | write denied by MPU/privilege rules";
-    return out;
+    return finish();
   }
   if (!r.ok) {
     bool by_monitor = r.violation.find("monitor") != std::string::npos;
     out.outcome = by_monitor ? Outcome::kDeniedMonitor : Outcome::kCrash;
     out.ok = true;  // contained: detected / no silent divergence
     out.detail += " | " + r.violation;
-    return out;
+    return finish();
   }
   const Baseline& base = CleanBaseline(*factory, spec.mode);
   if (!base.valid) {
@@ -469,7 +548,7 @@ JobResult RunJobImpl(const JobSpec& spec, size_t index, const std::atomic<bool>*
     out.ok = true;
     out.detail += " | landed but run bit-identical to clean baseline";
   }
-  return out;
+  return finish();
 }
 
 // ---------------------------------------------------------------------------
@@ -761,6 +840,12 @@ void AppendResultJson(std::ostringstream& json, const JobResult& r, bool with_ti
        << ", \"fired\": " << (r.attack_fired ? "true" : "false")
        << ", \"blocked\": " << (r.attack_blocked ? "true" : "false")
        << ", \"events\": " << r.events;
+  if (r.snapshot_digest != 0) {
+    json << ", \"snapshot_digest\": \""
+         << opec_support::StrPrintf("%016llx",
+                                    static_cast<unsigned long long>(r.snapshot_digest))
+         << "\"";
+  }
   if (with_timing) {
     json << ", \"wall_ns\": " << r.wall_ns;
   }
@@ -849,7 +934,7 @@ JobResult RunJob(const JobSpec& spec, uint64_t campaign_seed, size_t index) {
   if (resolved.seed == 0) {
     resolved.seed = SplitMix64::JobSeed(campaign_seed, index);
   }
-  return RunJobImpl(resolved, index, nullptr);
+  return RunJobImpl(resolved, index, nullptr, JobEnv{});
 }
 
 CampaignResult Executor::Run(const CampaignSpec& spec, const Options& options) {
@@ -857,6 +942,9 @@ CampaignResult Executor::Run(const CampaignSpec& spec, const Options& options) {
   out.jobs_used = std::max(1, options.jobs);
   Clock::time_point t0 = Clock::now();
   Watchdog watchdog;
+  JobEnv env;
+  env.cold_boot = options.cold_boot;
+  env.snapshot_dir = options.snapshot_dir;
 
   out.results = ParallelMap(out.jobs_used, spec.jobs.size(), [&](size_t i) {
     JobSpec job = spec.jobs[i];
@@ -883,7 +971,7 @@ CampaignResult Executor::Run(const CampaignSpec& spec, const Options& options) {
     }
     try {
       opec_support::ScopedCheckThrow check_throw;
-      result = RunJobImpl(job, i, job.timeout_ms != 0 ? &cancel : nullptr);
+      result = RunJobImpl(job, i, job.timeout_ms != 0 ? &cancel : nullptr, env);
     } catch (const std::exception& e) {
       result.index = i;
       result.spec = job;

@@ -201,6 +201,10 @@ struct JobResult {
   bool attack_fired = false;
   bool attack_blocked = false;
   uint64_t events = 0;    // counting-sink total, when attached
+  // Final-state snapshot digest for diverging jobs when the executor ran with
+  // a snapshot dir (0 = no snapshot taken). Derived from modeled state only,
+  // so it is part of the deterministic report.
+  uint64_t snapshot_digest = 0;
   // Host timing (excluded from the deterministic report).
   uint64_t wall_ns = 0;
 };
@@ -232,6 +236,18 @@ class Executor {
     int jobs = 1;
     uint64_t default_timeout_ms = 0;  // overrides spec.timeout_ms when nonzero
     std::string trace_dir;  // non-empty: per-job Chrome traces written here
+    // Warm start (DESIGN.md §13): each worker thread keeps one booted AppRun
+    // per (app, mode) and forks every job from its post-boot snapshot instead
+    // of rebuilding module + compile + image from scratch. Results are
+    // bit-identical to cold boots (campaign_test.cc pins this); set cold_boot
+    // to force the from-scratch path anyway.
+    bool cold_boot = false;
+    // Non-empty: diverging jobs (outcome other than ok / not-fired / benign)
+    // dump their final machine+monitor+engine snapshot here as
+    // job%04d_<app>_<mode>.snap, plus one raw machine-state dump per denied
+    // access (crash-state forensics; fault-state capture is enabled on the
+    // engine so FaultReport::machine_state is populated).
+    std::string snapshot_dir;
   };
 
   static CampaignResult Run(const CampaignSpec& spec, const Options& options);

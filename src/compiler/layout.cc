@@ -128,6 +128,7 @@ void BuildLayout(const Module& module, const PartitionResult& partition,
   }
   std::vector<const GlobalVariable*> externals;
   std::map<const GlobalVariable*, int> internal_owner;  // gv -> op id
+  std::vector<const GlobalVariable*> internals;         // declaration order
   std::vector<const GlobalVariable*> unused;            // not accessed by any operation
   for (const auto& g : module.globals()) {
     if (g->is_const()) {
@@ -140,6 +141,7 @@ void BuildLayout(const Module& module, const PartitionResult& partition,
       externals.push_back(g.get());
     } else {
       internal_owner[g.get()] = it->second[0];
+      internals.push_back(g.get());
     }
   }
 
@@ -215,15 +217,18 @@ void BuildLayout(const Module& module, const PartitionResult& partition,
     op.pointer_arg_sizes = pop.spec.pointer_arg_sizes;
 
     // Section payload: internal variables owned by this op + one shadow per
-    // needed external. Offsets assigned when the base is known.
+    // needed external. Offsets assigned when the base is known. Both walks
+    // run in declaration order: iterating the pointer-keyed sets here made
+    // intra-section placement follow heap-allocation order, so the same app
+    // laid out differently depending on what was built earlier in-process.
     uint32_t payload = 0;
-    for (const auto& [gv, owner] : internal_owner) {
-      if (owner == op.id) {
+    for (const GlobalVariable* gv : internals) {
+      if (internal_owner[gv] == op.id) {
         payload = AlignUp(payload, gv->type()->alignment()) + gv->size();
       }
     }
-    for (const GlobalVariable* gv : pop.globals) {
-      if (std::find(externals.begin(), externals.end(), gv) != externals.end()) {
+    for (const GlobalVariable* gv : externals) {
+      if (pop.globals.count(gv) != 0) {
         payload = AlignUp(payload, gv->type()->alignment()) + gv->size();
       }
     }
@@ -276,21 +281,22 @@ void BuildLayout(const Module& module, const PartitionResult& partition,
     sections_total += plan.pow2;
 
     // Assign addresses inside the section: internal variables first, then
-    // shadow copies.
+    // shadow copies — in the same declaration order as the payload walk.
     uint32_t offset = 0;
-    for (const auto& [gv, owner] : internal_owner) {
-      if (owner == op.id) {
+    for (const GlobalVariable* gv : internals) {
+      if (internal_owner[gv] == op.id) {
         offset = AlignUp(offset, gv->type()->alignment());
         layout->global_addr[gv] = op.section_base + offset;
         offset += gv->size();
         policy->accounting.sram_internal += gv->size();
       }
     }
-    for (const GlobalVariable* gv : op.needed_globals) {
-      int ext_index = policy->FindExternalIndex(gv);
-      if (ext_index < 0) {
-        continue;  // internal: already placed
+    for (const GlobalVariable* gv : externals) {
+      if (op.needed_globals.count(gv) == 0) {
+        continue;
       }
+      int ext_index = policy->FindExternalIndex(gv);
+      OPEC_CHECK(ext_index >= 0);
       offset = AlignUp(offset, gv->type()->alignment());
       op.shadows.push_back({ext_index, op.section_base + offset});
       offset += gv->size();

@@ -178,17 +178,36 @@ const char* OracleName(Oracle o) {
       return "mpu-cache";
     case Oracle::kParallel:
       return "parallel";
+    case Oracle::kSnapshot:
+      return "snapshot";
   }
   return "?";
 }
 
-ExecObservation RunOnce(const ProgramSpec& spec, opec_apps::BuildMode mode) {
+namespace {
+
+// Shared by RunOnce (plain) and DiffSnapshotRoundTrip (probed). With `probe`
+// set, the run executes under the snapshot RoundTripProbe; the probe's check
+// count and error list are copied out before the run is torn down.
+ExecObservation RunOnceImpl(const ProgramSpec& spec, opec_apps::BuildMode mode, bool probe,
+                            uint64_t* probes, std::vector<std::string>* probe_errors) {
   ExecObservation obs;
   FuzzApplication app(spec);
   opec_support::ScopedCheckThrow capture;
   try {
     opec_apps::AppRun run(app, mode);
+    if (probe) {
+      run.EnableSnapshotProbe();
+    }
     opec_rt::RunResult result = run.Execute();
+    if (probe && run.probe() != nullptr) {
+      if (probes != nullptr) {
+        *probes = run.probe()->probes();
+      }
+      if (probe_errors != nullptr) {
+        *probe_errors = run.probe()->errors();
+      }
+    }
     obs.run_ok = result.ok;
     obs.violation = result.violation;
     obs.return_value = result.return_value;
@@ -216,6 +235,12 @@ ExecObservation RunOnce(const ProgramSpec& spec, opec_apps::BuildMode mode) {
     obs.build_error_msg = e.what();
   }
   return obs;
+}
+
+}  // namespace
+
+ExecObservation RunOnce(const ProgramSpec& spec, opec_apps::BuildMode mode) {
+  return RunOnceImpl(spec, mode, /*probe=*/false, nullptr, nullptr);
 }
 
 std::string FormatObservation(const ExecObservation& obs) {
@@ -510,6 +535,32 @@ std::vector<Divergence> DiffMpuCache(uint64_t seed) {
   return divs;
 }
 
+// --- Oracle 5: snapshot round trip ----------------------------------------
+
+std::vector<Divergence> DiffSnapshotRoundTrip(const ProgramSpec& spec,
+                                              const ExecObservation& opec) {
+  std::vector<Divergence> divs;
+  uint64_t probes = 0;
+  std::vector<std::string> errors;
+  ExecObservation probed =
+      RunOnceImpl(spec, opec_apps::BuildMode::kOpec, /*probe=*/true, &probes, &errors);
+  for (const std::string& e : errors) {
+    divs.push_back({Oracle::kSnapshot, e});
+  }
+  // Capture→serialize→restore at every SVC boundary must be invisible: the
+  // probed run's observation is compared against the uninterrupted run's.
+  std::string want = FormatObservation(opec);
+  std::string got = FormatObservation(probed);
+  if (want != got) {
+    divs.push_back({Oracle::kSnapshot,
+                    StrPrintf("probed run diverged after %llu round trips: probed [%s] "
+                              "uninterrupted [%s]",
+                              static_cast<unsigned long long>(probes), got.c_str(),
+                              want.c_str())});
+  }
+  return divs;
+}
+
 // --- One full case --------------------------------------------------------
 
 CaseResult RunCase(uint64_t seed) {
@@ -528,6 +579,9 @@ CaseResult RunCase(uint64_t seed) {
     divs.push_back(std::move(d));
   }
   for (Divergence& d : DiffMpuCache(seed)) {
+    divs.push_back(std::move(d));
+  }
+  for (Divergence& d : DiffSnapshotRoundTrip(spec, opec)) {
     divs.push_back(std::move(d));
   }
   result.divergences = std::move(divs);

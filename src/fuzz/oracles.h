@@ -1,4 +1,4 @@
-// The four differential oracles (DESIGN.md Section 12.2).
+// The five differential oracles (DESIGN.md Section 12.2).
 //
 //  1. Execution:    vanilla vs OPEC-partitioned runs of the same recipe must
 //                   agree on return value, UART output, GPIO effects and the
@@ -12,6 +12,11 @@
 //  4. Parallelism:  a campaign of cases run with --jobs N must produce
 //                   digests bit-identical to the serial run (checked by the
 //                   CLI / tests via RunCase's deterministic digest).
+//  5. Snapshot:     an OPEC run whose full state is captured, serialized,
+//                   deserialized and restored in place at every SVC boundary
+//                   (RoundTripProbe) must observe exactly what the
+//                   uninterrupted run observes, and every round trip must
+//                   recapture to an identical digest.
 
 #ifndef SRC_FUZZ_ORACLES_H_
 #define SRC_FUZZ_ORACLES_H_
@@ -52,7 +57,7 @@ ExecObservation RunOnce(const ProgramSpec& spec, opec_apps::BuildMode mode);
 
 std::string FormatObservation(const ExecObservation& obs);
 
-enum class Oracle : uint8_t { kExecDiff, kPointsTo, kMpuCache, kParallel };
+enum class Oracle : uint8_t { kExecDiff, kPointsTo, kMpuCache, kParallel, kSnapshot };
 const char* OracleName(Oracle o);
 
 struct Divergence {
@@ -72,6 +77,11 @@ std::vector<Divergence> DiffInjectedPointsTo(uint64_t seed);
 
 // Oracle 3: seeded random MPU configure/probe sequence, cached vs uncached.
 std::vector<Divergence> DiffMpuCache(uint64_t seed);
+
+// Oracle 5: reruns the recipe under the snapshot RoundTripProbe and compares
+// against `opec`, the uninterrupted OPEC observation of the same recipe.
+std::vector<Divergence> DiffSnapshotRoundTrip(const ProgramSpec& spec,
+                                              const ExecObservation& opec);
 
 // One fuzz case: generate the recipe for `seed` and run oracles 1-3 on it.
 // `digest` is a deterministic fingerprint of everything observed — byte-equal

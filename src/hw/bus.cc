@@ -15,6 +15,8 @@ Bus::Bus(const BoardSpec& board, Mpu* mpu, uint64_t* cycles)
   OPEC_CHECK(mpu != nullptr && cycles != nullptr);
   flash_.resize(board.flash_size, 0xFF);  // erased-flash pattern
   sram_.resize(board.sram_size, 0x00);
+  flash_dirty_.resize((board.flash_size + kDirtyPageSize - 1) >> kDirtyPageShift, 0);
+  sram_dirty_.resize((board.sram_size + kDirtyPageSize - 1) >> kDirtyPageShift, 0);
 }
 
 void Bus::AttachDevice(MmioDevice* device) {
@@ -86,15 +88,20 @@ AccessResult Bus::PpbRead(uint32_t addr, uint32_t size, bool privileged) {
     return AccessResult::Ok(systick_load_);
   }
   if (addr == kSysTickBase + 0x8) {
-    // Free-running downcounter derived from the cycle counter. SYST_RVR is a
-    // 24-bit field architecturally; clamp before the divide so an
-    // out-of-range stored value can never make `reload + 1` wrap to zero and
-    // divide the host by zero.
+    // Free-running downcounter derived from the cycle counter, rebased to the
+    // last SYST_CVR write (any write clears the count; the next cycle
+    // reloads from SYST_RVR). SYST_RVR is a 24-bit field architecturally;
+    // clamp before the divide so an out-of-range stored value can never make
+    // `reload + 1` wrap to zero and divide the host by zero.
     uint32_t reload = systick_load_ & 0x00FFFFFF;
     if (reload == 0) {
       reload = 0x00FFFFFF;
     }
-    return AccessResult::Ok(reload - static_cast<uint32_t>(*cycles_ % (reload + 1)));
+    uint64_t since = *cycles_ - static_cast<uint64_t>(systick_cvr_write_cycle_);
+    if (since == 0) {
+      return AccessResult::Ok(0);  // just cleared, reload happens next cycle
+    }
+    return AccessResult::Ok(reload - static_cast<uint32_t>((since - 1) % (reload + 1)));
   }
   if (addr >= kScbBase && addr < kScbBase + 0x90) {
     return AccessResult::Ok(0);
@@ -116,6 +123,15 @@ AccessResult Bus::PpbWrite(uint32_t addr, uint32_t size, uint32_t value, bool pr
   }
   if (addr == kSysTickBase + 0x4) {
     systick_load_ = value & 0x00FFFFFF;
+    return AccessResult::Ok();
+  }
+  if (addr == kSysTickBase + 0x8) {
+    // SYST_CVR: a write of any value clears the current count to zero and
+    // clears CTRL.COUNTFLAG (ARMv7-M B3.3.3). Previously this fell through to
+    // "accepted, not decoded", silently dropping the write — guest code that
+    // restarted the tick counter kept reading the old phase.
+    systick_cvr_write_cycle_ = static_cast<int64_t>(*cycles_);
+    systick_ctrl_ &= ~(1u << 16);
     return AccessResult::Ok();
   }
   // DWT control, SCB, MPU alias: accepted, not decoded.
@@ -183,6 +199,7 @@ AccessResult Bus::WriteSlow(uint32_t addr, uint32_t size, uint32_t value, bool p
         return AccessResult::BusFault();  // access runs past the end of SRAM
       }
       WriteBacking(sram_, addr - kSramBase, size, value);
+      MarkDirty(sram_dirty_, addr - kSramBase, size);
       return AccessResult::Ok();
     case Target::kDevice: {
       uint64_t extra = 0;
@@ -267,10 +284,12 @@ bool Bus::DebugWrite(uint32_t addr, uint32_t size, uint32_t value) {
   Target target = Route(addr, nullptr);
   if (target == Target::kFlash && addr - kFlashBase + size <= board_.flash_size) {
     WriteBacking(flash_, addr - kFlashBase, size, value);
+    MarkDirty(flash_dirty_, addr - kFlashBase, size);
     return true;
   }
   if (target == Target::kSram && addr - kSramBase + size <= board_.sram_size) {
     WriteBacking(sram_, addr - kSramBase, size, value);
+    MarkDirty(sram_dirty_, addr - kSramBase, size);
     return true;
   }
   return false;
@@ -298,7 +317,127 @@ bool Bus::BulkCopy(uint32_t src, uint32_t dst, uint32_t n, bool privileged) {
     return false;
   }
   std::memmove(sram_.data() + (dst - kSramBase), from, n);
+  MarkDirty(sram_dirty_, dst - kSramBase, n);
   return true;
+}
+
+bool Bus::WordCopy(uint32_t src, uint32_t dst, uint32_t n, bool privileged) {
+  auto move = [&](uint32_t from, uint32_t to, uint32_t size) {
+    AccessResult r = Read(from, size, privileged);
+    if (!r.ok()) {
+      return false;
+    }
+    return Write(to, size, r.value, privileged).ok();
+  };
+  // Direction selection, memmove-style: when dst starts inside [src, src+n)
+  // a low-to-high walk overwrites source bytes before reading them, so walk
+  // high-to-low instead (and vice versa — dst below src is safe forward).
+  bool overlap_forward =
+      dst > src && static_cast<uint64_t>(dst) < static_cast<uint64_t>(src) + n;
+  if (!overlap_forward) {
+    uint32_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      if (!move(src + i, dst + i, 4)) {
+        return false;
+      }
+    }
+    for (; i < n; ++i) {
+      if (!move(src + i, dst + i, 1)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  uint32_t i = n;
+  for (; i % 4 != 0; --i) {
+    if (!move(src + i - 1, dst + i - 1, 1)) {
+      return false;
+    }
+  }
+  for (; i >= 4; i -= 4) {
+    if (!move(src + i - 4, dst + i - 4, 4)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Bus::SaveState(StateWriter& w) const {
+  w.U32(systick_load_);
+  w.U32(systick_ctrl_);
+  w.U64(static_cast<uint64_t>(systick_cvr_write_cycle_));
+  w.Blob(flash_);
+  w.Blob(sram_);
+  w.U64(device_ranges_.size());
+  for (const DeviceRange& r : device_ranges_) {
+    w.Str(r.device->name());
+    StateWriter dw;
+    r.device->SaveState(dw);
+    w.Blob(dw.Take());
+  }
+}
+
+void Bus::LoadState(StateReader& r, bool skip_memory) {
+  systick_load_ = r.U32();
+  systick_ctrl_ = r.U32();
+  systick_cvr_write_cycle_ = static_cast<int64_t>(r.U64());
+  if (skip_memory) {
+    // The caller restored flash/SRAM through the dirty-page baseline; the
+    // blobs still have to be consumed to keep the reader positioned.
+    OPEC_CHECK_MSG(r.SkipBlob() == flash_.size(),
+                   "snapshot flash size mismatch (wrong board?)");
+    OPEC_CHECK_MSG(r.SkipBlob() == sram_.size(),
+                   "snapshot SRAM size mismatch (wrong board?)");
+  } else {
+    std::vector<uint8_t> flash = r.Blob();
+    OPEC_CHECK_MSG(flash.size() == flash_.size(), "snapshot flash size mismatch (wrong board?)");
+    flash_ = std::move(flash);
+    std::vector<uint8_t> sram = r.Blob();
+    OPEC_CHECK_MSG(sram.size() == sram_.size(), "snapshot SRAM size mismatch (wrong board?)");
+    sram_ = std::move(sram);
+    // Memory no longer corresponds to any captured baseline page-for-page.
+    std::fill(flash_dirty_.begin(), flash_dirty_.end(), 1);
+    std::fill(sram_dirty_.begin(), sram_dirty_.end(), 1);
+  }
+  uint64_t count = r.U64();
+  OPEC_CHECK_MSG(count == device_ranges_.size(),
+                 "snapshot device count does not match the attached devices");
+  for (DeviceRange& range : device_ranges_) {
+    std::string name = r.Str();
+    OPEC_CHECK_MSG(name == range.device->name(),
+                   "snapshot device order/name mismatch: expected " + range.device->name() +
+                       ", found " + name);
+    std::vector<uint8_t> payload = r.Blob();
+    StateReader dr(payload);
+    range.device->LoadState(dr);
+    OPEC_CHECK_MSG(dr.AtEnd(), "device '" + name + "' left unread snapshot state");
+  }
+}
+
+void Bus::CaptureMemoryBaseline() {
+  baseline_flash_ = flash_;
+  baseline_sram_ = sram_;
+  std::fill(flash_dirty_.begin(), flash_dirty_.end(), 0);
+  std::fill(sram_dirty_.begin(), sram_dirty_.end(), 0);
+}
+
+void Bus::RestoreMemoryBaseline() {
+  OPEC_CHECK_MSG(has_memory_baseline(),
+                 "RestoreMemoryBaseline without CaptureMemoryBaseline");
+  auto restore = [](std::vector<uint8_t>& live, const std::vector<uint8_t>& base,
+                    std::vector<uint8_t>& dirty) {
+    for (size_t p = 0; p < dirty.size(); ++p) {
+      if (dirty[p] == 0) {
+        continue;
+      }
+      size_t off = p << kDirtyPageShift;
+      size_t n = std::min<size_t>(kDirtyPageSize, live.size() - off);
+      std::memcpy(live.data() + off, base.data() + off, n);
+      dirty[p] = 0;
+    }
+  };
+  restore(flash_, baseline_flash_, flash_dirty_);
+  restore(sram_, baseline_sram_, sram_dirty_);
 }
 
 void Bus::DebugWriteBytes(uint32_t addr, const std::vector<uint8_t>& bytes) {

@@ -48,6 +48,33 @@ class Bus {
   // no cycles; memory-system cost models stay with the caller.
   bool BulkCopy(uint32_t src, uint32_t dst, uint32_t n, bool privileged);
 
+  // Word-at-a-time guest copy through the full Read/Write path (device
+  // windows, PPB rules, MPU checks, modeled side effects) — the fallback for
+  // everything BulkCopy declines. Direction-aware: when the destination
+  // overlaps the source tail, a forward word loop reads bytes it already
+  // overwrote (memcpy-on-overlap corruption), so the copy walks backward in
+  // that case, giving memmove semantics on both paths. Returns false on the
+  // first faulting access (the copy may be partial, exactly as the
+  // word-by-word loop it replaces would have stopped mid-way).
+  bool WordCopy(uint32_t src, uint32_t dst, uint32_t n, bool privileged);
+
+  // Snapshot support (DESIGN.md §13): core-peripheral scratch registers,
+  // flash and SRAM contents, then every attached device (name-tagged, in
+  // address order). LoadState requires the same board and the same device set
+  // to be attached; devices are matched by name. With `skip_memory`, the
+  // flash/SRAM blobs are skipped instead of copied — the caller restores
+  // memory through the dirty-page baseline below.
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r, bool skip_memory = false);
+
+  // Warm-start fast path (DESIGN.md §13.3): keep an in-memory copy of
+  // flash+SRAM and start dirty-page tracking; RestoreMemoryBaseline copies
+  // back only the pages written since — orders of magnitude less traffic
+  // than re-loading full memory images for short campaign jobs.
+  void CaptureMemoryBaseline();
+  bool has_memory_baseline() const { return !baseline_sram_.empty(); }
+  void RestoreMemoryBaseline();
+
   const BoardSpec& board() const { return board_; }
   uint32_t flash_end() const { return kFlashBase + board_.flash_size; }
   uint32_t sram_end() const { return kSramBase + board_.sram_size; }
@@ -77,11 +104,32 @@ class Bus {
   AccessResult PpbRead(uint32_t addr, uint32_t size, bool privileged);
   AccessResult PpbWrite(uint32_t addr, uint32_t size, uint32_t value, bool privileged);
 
+  // Dirty-page granularity for the warm-start memory baseline. 4 KB keeps
+  // the maps tiny (SRAM: tens of entries) while a typical campaign job
+  // dirties well under 10% of them.
+  static constexpr uint32_t kDirtyPageShift = 12;
+  static constexpr uint32_t kDirtyPageSize = 1u << kDirtyPageShift;
+
+  static void MarkDirty(std::vector<uint8_t>& map, uint32_t offset, uint32_t len) {
+    // Word-sized writes hit one page (two when straddling); BulkCopy ranges
+    // need every page in between too.
+    uint32_t last = (offset + len - 1) >> kDirtyPageShift;
+    for (uint32_t p = offset >> kDirtyPageShift; p <= last; ++p) {
+      map[p] = 1;
+    }
+  }
+
   BoardSpec board_;
   Mpu* mpu_;
   uint64_t* cycles_;
   std::vector<uint8_t> flash_;
   std::vector<uint8_t> sram_;
+  // Per-page write tracking (always on — two byte stores per write) and the
+  // baseline images RestoreMemoryBaseline copies clean pages from.
+  std::vector<uint8_t> flash_dirty_;
+  std::vector<uint8_t> sram_dirty_;
+  std::vector<uint8_t> baseline_flash_;
+  std::vector<uint8_t> baseline_sram_;
   // Devices sorted by base address; Route binary-searches this and keeps a
   // one-entry last-hit cache (device accesses cluster on one peripheral).
   std::vector<DeviceRange> device_ranges_;
@@ -90,6 +138,12 @@ class Bus {
   // decode (SCB, memory-mapped MPU alias; the monitor uses the Mpu object API).
   uint32_t systick_load_ = 0;
   uint32_t systick_ctrl_ = 0;
+  // Cycle stamp of the last SYST_CVR write: ARMv7-M clears the current count
+  // (and COUNTFLAG) on any write to VAL. -1 encodes the reset state — "a
+  // reload happened at cycle 0" — which reproduces the historical free-running
+  // counter exactly (VAL(c) = reload - c mod (reload+1)) until the first
+  // write.
+  int64_t systick_cvr_write_cycle_ = -1;
 };
 
 inline uint32_t Bus::ReadBacking(const std::vector<uint8_t>& mem, uint32_t offset,
@@ -140,6 +194,7 @@ inline AccessResult Bus::Write(uint32_t addr, uint32_t size, uint32_t value, boo
       return AccessResult::MemFault();
     }
     WriteBacking(sram_, off, size, value);
+    MarkDirty(sram_dirty_, off, size);
     return AccessResult::Ok();
   }
   return WriteSlow(addr, size, value, privileged);

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/hw/state_io.h"
+
 namespace opec_hw {
 
 // A memory-mapped peripheral occupying [base, base+size). Register accesses
@@ -25,6 +27,14 @@ class MmioDevice {
   // Returns false on an invalid register access (surfaces as a bus fault).
   virtual bool Read(uint32_t offset, uint32_t* value, uint64_t* extra_cycles) = 0;
   virtual bool Write(uint32_t offset, uint32_t value, uint64_t* extra_cycles) = 0;
+
+  // Snapshot support (DESIGN.md §13): serialize / restore every piece of
+  // mutable device state. Pure virtual on purpose — a device model with
+  // unsnapshotted state silently breaks warm-start determinism, so each model
+  // must enumerate its state explicitly. LoadState consumes exactly what
+  // SaveState produced (the bus checks the payload is fully consumed).
+  virtual void SaveState(StateWriter& w) const = 0;
+  virtual void LoadState(StateReader& r) = 0;
 
  private:
   std::string name_;

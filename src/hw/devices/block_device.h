@@ -42,6 +42,27 @@ class BlockDevice : public MmioDevice {
   uint64_t sectors_read() const { return sectors_read_; }
   uint64_t sectors_written() const { return sectors_written_; }
 
+  void SaveState(StateWriter& w) const override {
+    w.Blob(storage_);
+    w.U32(num_sectors_);
+    w.U32(arg_);
+    w.U32(cursor_);
+    w.Bool(error_);
+    w.Blob(buffer_);
+    w.U64(sectors_read_);
+    w.U64(sectors_written_);
+  }
+  void LoadState(StateReader& r) override {
+    storage_ = r.Blob();
+    num_sectors_ = r.U32();
+    arg_ = r.U32();
+    cursor_ = r.U32();
+    error_ = r.Bool();
+    buffer_ = r.Blob();
+    sectors_read_ = r.U64();
+    sectors_written_ = r.U64();
+  }
+
  private:
   std::vector<uint8_t> storage_;
   uint32_t num_sectors_;

@@ -29,6 +29,19 @@ class Camera : public MmioDevice {
   void SetFrame(std::vector<uint8_t> frame) { frame_ = std::move(frame); }
   uint32_t captures() const { return captures_; }
 
+  void SaveState(StateWriter& w) const override {
+    w.Blob(frame_);
+    w.U32(cursor_);
+    w.Bool(ready_);
+    w.U32(captures_);
+  }
+  void LoadState(StateReader& r) override {
+    frame_ = r.Blob();
+    cursor_ = r.U32();
+    ready_ = r.Bool();
+    captures_ = r.U32();
+  }
+
  private:
   std::vector<uint8_t> frame_;
   uint32_t cursor_ = 0;

@@ -38,6 +38,35 @@ class Ethernet : public MmioDevice {
   const std::vector<std::vector<uint8_t>>& tx_frames() const { return tx_frames_; }
   size_t rx_pending() const { return rx_queue_.size(); }
 
+  void SaveState(StateWriter& w) const override {
+    w.U64(rx_queue_.size());
+    for (const std::vector<uint8_t>& f : rx_queue_) {
+      w.Blob(f);
+    }
+    w.U32(rx_cursor_);
+    w.Blob(tx_buffer_);
+    w.U32(tx_len_);
+    w.U32(tx_cursor_);
+    w.U64(tx_frames_.size());
+    for (const std::vector<uint8_t>& f : tx_frames_) {
+      w.Blob(f);
+    }
+  }
+  void LoadState(StateReader& r) override {
+    rx_queue_.resize(r.U64());
+    for (std::vector<uint8_t>& f : rx_queue_) {
+      f = r.Blob();
+    }
+    rx_cursor_ = r.U32();
+    tx_buffer_ = r.Blob();
+    tx_len_ = r.U32();
+    tx_cursor_ = r.U32();
+    tx_frames_.resize(r.U64());
+    for (std::vector<uint8_t>& f : tx_frames_) {
+      f = r.Blob();
+    }
+  }
+
  private:
   std::deque<std::vector<uint8_t>> rx_queue_;
   uint32_t rx_cursor_ = 0;

@@ -29,6 +29,27 @@ class Gpio : public MmioDevice {
   // Every ODR write, in order — lets tests assert lock/unlock sequences.
   const std::vector<uint32_t>& odr_history() const { return odr_history_; }
 
+  void SaveState(StateWriter& w) const override {
+    w.U32(moder_);
+    w.U32(idr_);
+    w.U32(odr_);
+    w.Bool(configured_);
+    w.U64(odr_history_.size());
+    for (uint32_t v : odr_history_) {
+      w.U32(v);
+    }
+  }
+  void LoadState(StateReader& r) override {
+    moder_ = r.U32();
+    idr_ = r.U32();
+    odr_ = r.U32();
+    configured_ = r.Bool();
+    odr_history_.resize(r.U64());
+    for (uint32_t& v : odr_history_) {
+      v = r.U32();
+    }
+  }
+
  private:
   uint32_t moder_ = 0;
   uint32_t idr_ = 0;

@@ -37,6 +37,29 @@ class Lcd : public MmioDevice {
   bool configured() const { return configured_; }
   const std::vector<uint8_t>& brightness_history() const { return brightness_history_; }
 
+  void SaveState(StateWriter& w) const override {
+    w.U64(framebuffer_.size());
+    for (uint32_t px : framebuffer_) {
+      w.U32(px);
+    }
+    w.U32(x_);
+    w.U32(y_);
+    w.Bool(configured_);
+    w.U64(pixels_written_);
+    w.Blob(brightness_history_);
+  }
+  void LoadState(StateReader& r) override {
+    framebuffer_.resize(r.U64());
+    for (uint32_t& px : framebuffer_) {
+      px = r.U32();
+    }
+    x_ = r.U32();
+    y_ = r.U32();
+    configured_ = r.Bool();
+    pixels_written_ = r.U64();
+    brightness_history_ = r.Blob();
+  }
+
  private:
   std::vector<uint32_t> framebuffer_;
   uint32_t x_ = 0;

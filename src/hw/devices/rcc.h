@@ -44,6 +44,19 @@ class Rcc : public MmioDevice {
 
   bool configured() const { return configured_; }
 
+  void SaveState(StateWriter& w) const override {
+    for (uint32_t v : regs_) {
+      w.U32(v);
+    }
+    w.Bool(configured_);
+  }
+  void LoadState(StateReader& r) override {
+    for (uint32_t& v : regs_) {
+      v = r.U32();
+    }
+    configured_ = r.Bool();
+  }
+
  private:
   std::array<uint32_t, 16> regs_{};
   bool configured_ = false;

@@ -36,6 +36,22 @@ class Uart : public MmioDevice {
   bool configured() const { return configured_; }
   size_t rx_pending() const { return rx_.size(); }
 
+  void SaveState(StateWriter& w) const override {
+    w.Blob(std::vector<uint8_t>(rx_.begin(), rx_.end()));
+    w.Blob(tx_log_);
+    w.U32(brr_);
+    w.U32(cr1_);
+    w.Bool(configured_);
+  }
+  void LoadState(StateReader& r) override {
+    std::vector<uint8_t> rx = r.Blob();
+    rx_.assign(rx.begin(), rx.end());
+    tx_log_ = r.Blob();
+    brr_ = r.U32();
+    cr1_ = r.U32();
+    configured_ = r.Bool();
+  }
+
  private:
   std::deque<uint8_t> rx_;
   std::vector<uint8_t> tx_log_;

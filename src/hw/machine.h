@@ -36,6 +36,24 @@ class Machine {
   uint64_t cycles() const { return cycles_; }
   void AddCycles(uint64_t n) { cycles_ += n; }
 
+  // Snapshot support (DESIGN.md §13): cycle counter, privilege level, MPU
+  // registers, then the bus (memories + attached devices). LoadState requires
+  // a machine of the same board with the same devices attached.
+  void SaveState(StateWriter& w) const {
+    w.U64(cycles_);
+    w.Bool(privileged_);
+    mpu_.SaveState(w);
+    bus_.SaveState(w);
+  }
+  // With `skip_memory`, the flash/SRAM images inside the bus payload are
+  // skipped — the caller restored them via Bus::RestoreMemoryBaseline first.
+  void LoadState(StateReader& r, bool skip_memory = false) {
+    cycles_ = r.U64();
+    privileged_ = r.Bool();
+    mpu_.LoadState(r);
+    bus_.LoadState(r, skip_memory);
+  }
+
  private:
   BoardSpec spec_;
   uint64_t cycles_ = 0;

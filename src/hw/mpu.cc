@@ -55,7 +55,7 @@ void Mpu::ConfigureRegion(int index, const MpuRegionConfig& config) {
   }
   regions_[static_cast<size_t>(index)] = config;
   ++config_writes_;
-  ++generation_;
+  InvalidateCache();
   OPEC_OBS_EVENT(opec_obs::EventKind::kMpuReconfig, cycles_ != nullptr ? *cycles_ : 0,
                  opec_obs::Event::kNoOperation, 0, static_cast<uint32_t>(index), config.base,
                  opec_obs::PackMpuConfig(config.enabled, config.size_log2, config.srd,
@@ -67,7 +67,7 @@ void Mpu::DisableRegion(int index) {
   MpuRegionConfig& r = regions_[static_cast<size_t>(index)];
   r.enabled = false;
   ++config_writes_;
-  ++generation_;
+  InvalidateCache();
   OPEC_OBS_EVENT(opec_obs::EventKind::kMpuReconfig, cycles_ != nullptr ? *cycles_ : 0,
                  opec_obs::Event::kNoOperation, 0, static_cast<uint32_t>(index), r.base,
                  opec_obs::PackMpuConfig(false, r.size_log2, r.srd,
@@ -206,6 +206,35 @@ std::string Mpu::ExplainAccess(uint32_t addr, uint32_t size, AccessKind kind,
         fall_through.c_str());
   }
   return opec_support::StrPrintf("MPU permits this %s %s", level, kind_name);
+}
+
+void Mpu::SaveState(StateWriter& w) const {
+  w.Bool(enabled_);
+  w.U64(config_writes_);
+  for (const MpuRegionConfig& r : regions_) {
+    w.Bool(r.enabled);
+    w.U32(r.base);
+    w.U8(r.size_log2);
+    w.U8(r.srd);
+    w.U8(static_cast<uint8_t>(r.ap));
+    w.Bool(r.xn);
+  }
+}
+
+void Mpu::LoadState(StateReader& r) {
+  enabled_ = r.Bool();
+  config_writes_ = r.U64();
+  for (MpuRegionConfig& reg : regions_) {
+    reg.enabled = r.Bool();
+    reg.base = r.U32();
+    reg.size_log2 = r.U8();
+    reg.srd = r.U8();
+    reg.ap = static_cast<AccessPerm>(r.U8());
+    reg.xn = r.Bool();
+  }
+  // The restored registers replace whatever configuration the cache was
+  // filled under; without this, MaskFor keeps answering for the old regions.
+  InvalidateCache();
 }
 
 bool Mpu::CheckExec(uint32_t addr, bool privileged) const {

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "src/hw/fault.h"
+#include "src/hw/state_io.h"
 
 namespace opec_hw {
 
@@ -55,6 +56,19 @@ class Mpu {
   void ConfigureRegion(int index, const MpuRegionConfig& config);
   void DisableRegion(int index);
   const MpuRegionConfig& region(int index) const;
+
+  // Drops every decision-cache entry. Must be called whenever region state
+  // changes by any route other than ConfigureRegion/DisableRegion (which call
+  // it themselves) — in particular LoadState: restoring region registers
+  // around a live cache would leave stale allow-masks from the pre-restore
+  // configuration (see mpu_test.cc, LoadStateInvalidatesDecisionCache).
+  void InvalidateCache() { ++generation_; }
+
+  // Snapshot support (DESIGN.md §13): enable bit, all eight region registers
+  // and the reconfiguration counter. The decision cache is not serialized —
+  // it is derived state — and LoadState invalidates it.
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
 
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }

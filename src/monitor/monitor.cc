@@ -41,18 +41,17 @@ void Monitor::PrivWrite(uint32_t addr, uint32_t size, uint32_t value) {
 
 void Monitor::CopyBytes(uint32_t src, uint32_t dst, uint32_t n) {
   // Shadow syncs and stack relocations copy plain SRAM; do those as one bulk
-  // backing-store operation. The word loop remains as the fallback for
-  // anything the bulk path declines (device windows, MPU-denied ranges) so
-  // fault behavior is unchanged, and the modeled cycle charge is identical
-  // on both paths.
-  if (!machine_.bus().BulkCopy(src, dst, n, /*privileged=*/true)) {
-    uint32_t i = 0;
-    for (; i + 4 <= n; i += 4) {
-      PrivWrite(dst + i, 4, PrivRead(src + i, 4));
-    }
-    for (; i < n; ++i) {
-      PrivWrite(dst + i, 1, PrivRead(src + i, 1));
-    }
+  // backing-store operation. The word-wise path (Bus::WordCopy) remains as
+  // the fallback for anything the bulk path declines (device windows,
+  // MPU-denied ranges) so fault behavior is unchanged, and the modeled cycle
+  // charge is identical on both paths. Both paths use memmove direction
+  // semantics: the old fallback here walked low-to-high unconditionally,
+  // which corrupted overlapping forward copies (dst inside [src, src+n)) by
+  // re-reading bytes it had already overwritten.
+  if (!machine_.bus().BulkCopy(src, dst, n, /*privileged=*/true) &&
+      !machine_.bus().WordCopy(src, dst, n, /*privileged=*/true)) {
+    OPEC_CHECK_MSG(false, "monitor-internal copy faulted: src=" + opec_support::HexAddr(src) +
+                              " dst=" + opec_support::HexAddr(dst));
   }
   machine_.AddCycles(costs_.per_word_copy * ((n + 3) / 4));
 }
@@ -238,6 +237,93 @@ void Monitor::OnProgramStart(opec_rt::EngineControl* engine) {
 }
 
 void Monitor::OnProgramEnd() { machine_.set_privileged(true); }
+
+namespace {
+
+void SaveRegionConfig(opec_hw::StateWriter& w, const MpuRegionConfig& r) {
+  w.Bool(r.enabled);
+  w.U32(r.base);
+  w.U8(r.size_log2);
+  w.U8(r.srd);
+  w.U8(static_cast<uint8_t>(r.ap));
+  w.Bool(r.xn);
+}
+
+MpuRegionConfig LoadRegionConfig(opec_hw::StateReader& r) {
+  MpuRegionConfig cfg;
+  cfg.enabled = r.Bool();
+  cfg.base = r.U32();
+  cfg.size_log2 = r.U8();
+  cfg.srd = r.U8();
+  cfg.ap = static_cast<opec_hw::AccessPerm>(r.U8());
+  cfg.xn = r.Bool();
+  return cfg;
+}
+
+}  // namespace
+
+void Monitor::SaveState(opec_hw::StateWriter& w) const {
+  w.U64(context_stack_.size());
+  for (const OpContext& ctx : context_stack_) {
+    w.U32(static_cast<uint32_t>(ctx.op_id));
+    w.U32(static_cast<uint32_t>(ctx.previous_op_id));
+    w.U32(ctx.saved_sp);
+    w.U8(ctx.saved_srd);
+    for (const MpuRegionConfig& cfg : ctx.saved_periph) {
+      SaveRegionConfig(w, cfg);
+    }
+    SaveRegionConfig(w, ctx.saved_section);
+    w.U32(static_cast<uint32_t>(ctx.saved_rr));
+    w.U64(ctx.relocs.size());
+    for (const StackReloc& reloc : ctx.relocs) {
+      w.U32(reloc.original);
+      w.U32(reloc.copy);
+      w.U32(reloc.size);
+    }
+  }
+  w.U8(current_srd_);
+  w.U32(static_cast<uint32_t>(periph_rr_));
+  w.U64(stats_.operation_switches);
+  w.U64(stats_.synced_bytes);
+  w.U64(stats_.relocated_stack_bytes);
+  w.U64(stats_.virtualization_faults);
+  w.U64(stats_.emulated_core_accesses);
+  w.U64(stats_.pointer_redirections);
+  w.U64(stats_.sanitization_checks);
+  w.Str(last_violation_);
+}
+
+void Monitor::LoadState(opec_hw::StateReader& r) {
+  context_stack_.clear();
+  context_stack_.resize(r.U64());
+  for (OpContext& ctx : context_stack_) {
+    ctx.op_id = static_cast<int>(r.U32());
+    ctx.previous_op_id = static_cast<int>(r.U32());
+    ctx.saved_sp = r.U32();
+    ctx.saved_srd = r.U8();
+    for (MpuRegionConfig& cfg : ctx.saved_periph) {
+      cfg = LoadRegionConfig(r);
+    }
+    ctx.saved_section = LoadRegionConfig(r);
+    ctx.saved_rr = static_cast<int>(r.U32());
+    ctx.relocs.resize(r.U64());
+    for (StackReloc& reloc : ctx.relocs) {
+      reloc.original = r.U32();
+      reloc.copy = r.U32();
+      reloc.size = r.U32();
+    }
+  }
+  current_srd_ = r.U8();
+  periph_rr_ = static_cast<int>(r.U32());
+  stats_.operation_switches = r.U64();
+  stats_.synced_bytes = r.U64();
+  stats_.relocated_stack_bytes = r.U64();
+  stats_.virtualization_faults = r.U64();
+  stats_.emulated_core_accesses = r.U64();
+  stats_.pointer_redirections = r.U64();
+  stats_.sanitization_checks = r.U64();
+  last_violation_ = r.Str();
+}
 
 bool Monitor::OnOperationEnter(int op_id, std::vector<uint32_t>& args) {
   OPEC_CHECK(engine_ != nullptr);

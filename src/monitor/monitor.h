@@ -69,6 +69,15 @@ class Monitor : public opec_rt::Supervisor {
   const std::string& last_violation() const { return last_violation_; }
   int current_operation() const;
 
+  // Snapshot support (DESIGN.md §13): the full operation-switch bookkeeping —
+  // context stack (saved SP/SRD/peripheral regions/relocation entries per
+  // nested operation), the active stack-protection SRD, the peripheral
+  // round-robin cursor and the statistics counters. The policy itself is
+  // immutable compile output and is not serialized; LoadState therefore only
+  // restores state into a monitor built from the same compile.
+  void SaveState(opec_hw::StateWriter& w) const;
+  void LoadState(opec_hw::StateReader& r);
+
  private:
   struct StackReloc {
     uint32_t original = 0;  // pointer into the previous operation's stack

@@ -11,6 +11,7 @@
 #define SRC_OBS_FORENSICS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,16 @@ struct FaultReport {
   std::string deny_reason;
   // MPU region dump ("region N: ...") at fault time, for post-mortem review.
   std::vector<std::string> mpu_regions;
+
+  // Crash-state snapshot handle: the full serialized machine state (hw
+  // state_io wire format — decode with opec_hw::Machine::LoadState or wrap in
+  // an opec_snapshot::Snapshot) captured at the instant of the fault. Null
+  // unless the engine's fault-state capture was enabled (campaign
+  // --snapshot-dir does this). Opaque bytes here: the obs layer sits below
+  // the hardware model and must not depend on it. Shared, because reports
+  // are copied around by value and the blob can be megabytes.
+  std::shared_ptr<const std::vector<uint8_t>> machine_state;
+  uint64_t machine_state_digest = 0;  // FNV-1a 64 of *machine_state
 
   // One-line digest, used as the run's violation string. Starts with
   // "MemManage fault" or "BusFault" like the pre-forensics diagnostics.

@@ -180,8 +180,50 @@ const opec_obs::FaultReport& ExecutionEngine::CaptureFault(uint32_t addr, uint32
           "region %d: %s", i, machine_.mpu().region(i).ToString().c_str()));
     }
   }
+  if (fault_state_capture_) {
+    opec_hw::StateWriter w;
+    machine_.SaveState(w);
+    auto blob = std::make_shared<const std::vector<uint8_t>>(w.Take());
+    report.machine_state_digest = opec_hw::Fnv1a64(blob->data(), blob->size());
+    report.machine_state = std::move(blob);
+  }
   fault_reports_.push_back(std::move(report));
   return fault_reports_.back();
+}
+
+void ExecutionEngine::SaveState(opec_hw::StateWriter& w) const {
+  w.U32(sp_);
+  w.U32(static_cast<uint32_t>(depth_));
+  w.U32(static_cast<uint32_t>(current_operation_));
+  w.U64(statements_);
+  w.U64(entry_counts_.size());
+  for (int c : entry_counts_) {
+    w.U32(static_cast<uint32_t>(c));
+  }
+  w.U64(arg_entry_counts_.size());
+  for (const auto& [op, count] : arg_entry_counts_) {
+    w.U32(static_cast<uint32_t>(op));
+    w.U32(static_cast<uint32_t>(count));
+  }
+}
+
+void ExecutionEngine::LoadState(opec_hw::StateReader& r) {
+  sp_ = r.U32();
+  depth_ = static_cast<int>(r.U32());
+  current_operation_ = static_cast<int>(r.U32());
+  statements_ = r.U64();
+  uint64_t n = r.U64();
+  OPEC_CHECK_MSG(n == entry_counts_.size(),
+                 "engine snapshot entry-count table does not match the module");
+  for (int& c : entry_counts_) {
+    c = static_cast<int>(r.U32());
+  }
+  arg_entry_counts_.clear();
+  uint64_t m = r.U64();
+  for (uint64_t i = 0; i < m; ++i) {
+    int op = static_cast<int>(r.U32());
+    arg_entry_counts_[op] = static_cast<int>(r.U32());
+  }
 }
 
 uint32_t ExecutionEngine::Truncate(const Type* type, uint32_t value) const {

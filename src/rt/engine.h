@@ -110,6 +110,15 @@ class ExecutionEngine : public EngineControl {
   // flag becomes true, the run aborts within a bounded number of statements.
   // The flag is polled, never written; it may be set from another thread.
   void set_cancel_flag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+  // Replaces the supervisor (not owned). Lets a decorator interpose on the
+  // SVC hooks — the snapshot round-trip probe wraps the monitor this way.
+  void set_supervisor(Supervisor* supervisor) { supervisor_ = supervisor; }
+  Supervisor* supervisor() const { return supervisor_; }
+  // When enabled, every FaultReport captured during Run() carries the full
+  // serialized machine state at the instant of the fault (see
+  // opec_obs::FaultReport::machine_state). Off by default: the blob is
+  // machine-memory-sized.
+  void set_fault_state_capture(bool on) { fault_state_capture_ = on; }
 
   // Runs `entry` (default "main") to completion. Never throws; failures are
   // reported in the result.
@@ -133,6 +142,17 @@ class ExecutionEngine : public EngineControl {
   // access — blocked attack writes (the run continues) and the unresolved
   // fault that aborted the run (always last, when the run failed).
   const std::vector<opec_obs::FaultReport>& fault_reports() const { return fault_reports_; }
+
+  // Snapshot support (DESIGN.md §13): the engine's machine-visible register
+  // state — stack pointer, call depth, active operation, statement count and
+  // the per-function/per-operation entry counters. The host-recursive
+  // interpreter call stack is NOT serializable, so Save/LoadState are only
+  // meaningful at quiescent points: before Run(), after Run() returns, or
+  // in-place at an SVC boundary where the state is restored into the same
+  // engine whose host recursion is still live (the snapshot probe's
+  // capture→restore→resume oracle).
+  void SaveState(opec_hw::StateWriter& w) const;
+  void LoadState(opec_hw::StateReader& r);
 
  private:
   struct FrameLayout {
@@ -209,6 +229,7 @@ class ExecutionEngine : public EngineControl {
   uint64_t statement_limit_ = 200'000'000;
   const std::atomic<bool>* cancel_ = nullptr;
   CostModel costs_;
+  bool fault_state_capture_ = false;
   std::vector<opec_obs::FaultReport> fault_reports_;
 
   static constexpr int kMaxDepth = 256;

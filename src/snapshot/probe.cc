@@ -1,0 +1,95 @@
+#include "src/snapshot/probe.h"
+
+#include "src/hw/machine.h"
+#include "src/monitor/monitor.h"
+#include "src/rt/engine.h"
+#include "src/support/check.h"
+
+namespace opec_snapshot {
+
+RoundTripProbe::RoundTripProbe(opec_hw::Machine& machine, opec_monitor::Monitor* monitor,
+                               opec_rt::ExecutionEngine* engine)
+    : machine_(machine), monitor_(monitor), engine_(engine) {}
+
+void RoundTripProbe::OnProgramStart(opec_rt::EngineControl* engine) {
+  if (monitor_ != nullptr) {
+    monitor_->OnProgramStart(engine);
+  }
+  // Baseline after monitor init: the post-boot state warm-start campaigns
+  // fork from; mid-run probes delta against it.
+  baseline_ = Snapshot::Capture(machine_, monitor_, engine_);
+  have_baseline_ = true;
+  Probe("program-start", -1);
+}
+
+void RoundTripProbe::OnProgramEnd() {
+  Probe("program-end", -1);
+  if (monitor_ != nullptr) {
+    monitor_->OnProgramEnd();
+  }
+}
+
+bool RoundTripProbe::OnOperationEnter(int op_id, std::vector<uint32_t>& args) {
+  bool ok = monitor_ == nullptr || monitor_->OnOperationEnter(op_id, args);
+  // Probe after the switch: the monitor's context stack, SRD and relocations
+  // are at their most interesting right here.
+  Probe("operation-enter", op_id);
+  return ok;
+}
+
+bool RoundTripProbe::OnOperationExit(int op_id) {
+  bool ok = monitor_ == nullptr || monitor_->OnOperationExit(op_id);
+  Probe("operation-exit", op_id);
+  return ok;
+}
+
+bool RoundTripProbe::OnFunctionCall(const opec_ir::Function* callee) {
+  return monitor_ == nullptr || monitor_->OnFunctionCall(callee);
+}
+
+bool RoundTripProbe::OnFunctionReturn(const opec_ir::Function* callee) {
+  return monitor_ == nullptr || monitor_->OnFunctionReturn(callee);
+}
+
+bool RoundTripProbe::OnMemFault(uint32_t addr, opec_hw::AccessKind kind) {
+  return monitor_ != nullptr && monitor_->OnMemFault(addr, kind);
+}
+
+bool RoundTripProbe::OnBusFault(uint32_t addr, uint32_t size, opec_hw::AccessKind kind,
+                                uint32_t write_value, uint32_t* read_value) {
+  return monitor_ != nullptr &&
+         monitor_->OnBusFault(addr, size, kind, write_value, read_value);
+}
+
+void RoundTripProbe::Probe(const char* where, int op_id) {
+  ++probes_;
+  std::string at = std::string(where) + " op=" + std::to_string(op_id) +
+                   " cycle=" + std::to_string(machine_.cycles());
+
+  Snapshot before = Snapshot::Capture(machine_, monitor_, engine_);
+  uint64_t want = before.Digest();
+
+  // Full round trip through the wire format, then restore in place.
+  std::vector<uint8_t> bytes = before.Serialize();
+  full_bytes_ += bytes.size();
+  Snapshot reloaded = Snapshot::Deserialize(bytes);
+  reloaded.Restore(machine_, monitor_, engine_);
+
+  Snapshot after = Snapshot::Capture(machine_, monitor_, engine_);
+  if (after.Digest() != want) {
+    errors_.push_back("round-trip digest mismatch at " + at);
+  }
+
+  // Delta round trip against the program-start baseline.
+  if (have_baseline_) {
+    SnapshotDelta delta = before.DeltaFrom(baseline_);
+    delta_bytes_ += delta.PayloadBytes();
+    SnapshotDelta rewire = SnapshotDelta::Deserialize(delta.Serialize());
+    Snapshot rebuilt = Snapshot::ApplyDelta(baseline_, rewire);
+    if (rebuilt.Digest() != want) {
+      errors_.push_back("delta round-trip digest mismatch at " + at);
+    }
+  }
+}
+
+}  // namespace opec_snapshot

@@ -1,0 +1,141 @@
+// Machine snapshot/restore (DESIGN.md §13).
+//
+// A Snapshot is a versioned container of named sections, each holding one
+// component's serialized state in the src/hw/state_io.h wire format:
+//
+//   "machine"  — cycles, privilege, MPU region registers, bus/peripherals
+//   "monitor"  — operation context stack, SRD, round-robin cursor, stats
+//   "engine"   — SP, depth, active operation, statement + entry counters
+//
+// Sections are tagged by name so a reader can skip or reject components it
+// does not know; field layout *inside* a section is position-based and owned
+// by that component's SaveState/LoadState pair. The container stamps a magic
+// and a format version — bumping any section's field layout bumps kVersion.
+//
+// Restore() only makes sense into objects of the same provenance: the same
+// board (flash/SRAM sizes checked by Bus::LoadState), the same module
+// (entry-count table checked by ExecutionEngine::LoadState), the same policy
+// (the monitor's policy is immutable compile output and is not serialized).
+// Cross-provenance restores fail an OPEC_CHECK rather than corrupting state.
+//
+// Delta mode: DeltaFrom(base) encodes this snapshot as a chunked binary diff
+// against a baseline's serialized bytes — the warm-start campaign path stores
+// one post-boot baseline per (app, mode) and per-job crash states as small
+// deltas instead of megabyte full images.
+
+#ifndef SRC_SNAPSHOT_SNAPSHOT_H_
+#define SRC_SNAPSHOT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hw/state_io.h"
+
+namespace opec_hw {
+class Machine;
+}
+namespace opec_monitor {
+class Monitor;
+}
+namespace opec_rt {
+class ExecutionEngine;
+}
+
+namespace opec_snapshot {
+
+// Chunked binary diff between two serialized snapshots. Self-describing:
+// carries the base digest (so ApplyTo can detect a wrong baseline) and the
+// target size (deltas may grow or shrink the image).
+struct SnapshotDelta {
+  static constexpr uint32_t kChunk = 64;  // diff granularity, bytes
+
+  uint64_t base_digest = 0;    // Fnv1a64 of the base serialized bytes
+  uint64_t target_size = 0;    // serialized size of the target snapshot
+  uint64_t target_digest = 0;  // Fnv1a64 of the target serialized bytes
+  struct Patch {
+    uint64_t offset = 0;
+    std::vector<uint8_t> bytes;
+  };
+  std::vector<Patch> patches;
+
+  // Total patch payload bytes — the "size" of the delta for accounting.
+  size_t PayloadBytes() const;
+
+  std::vector<uint8_t> Serialize() const;
+  static SnapshotDelta Deserialize(const std::vector<uint8_t>& bytes);
+};
+
+class Snapshot {
+ public:
+  static constexpr uint32_t kMagic = 0x4E53504Fu;  // "OPSN" little-endian
+  static constexpr uint32_t kVersion = 1;
+
+  // Section names (stable identifiers, part of the wire format).
+  static constexpr const char* kMachineSection = "machine";
+  static constexpr const char* kMonitorSection = "monitor";
+  static constexpr const char* kEngineSection = "engine";
+
+  Snapshot() = default;
+
+  // Captures the machine and, when non-null, the monitor bookkeeping and the
+  // engine register state. Pass monitor/engine only at quiescent points (see
+  // ExecutionEngine::SaveState).
+  static Snapshot Capture(const opec_hw::Machine& machine,
+                          const opec_monitor::Monitor* monitor = nullptr,
+                          const opec_rt::ExecutionEngine* engine = nullptr);
+
+  // Restores captured sections into the given objects. A section captured but
+  // passed as null here is skipped; a null-captured section with a non-null
+  // target is a hard error (the target would keep stale state silently).
+  void Restore(opec_hw::Machine& machine, opec_monitor::Monitor* monitor = nullptr,
+               opec_rt::ExecutionEngine* engine = nullptr) const;
+
+  // Fast machine restore for the warm-start path (DESIGN.md §13.3): restores
+  // flash/SRAM through the bus's dirty-page baseline instead of copying the
+  // full memory images out of the snapshot, then replays the (small) register
+  // state. Only valid when Bus::CaptureMemoryBaseline() was taken at the same
+  // quiescent point this snapshot was captured at — i.e. baseline memory and
+  // snapshot memory are the same image. Registers/devices restore exactly as
+  // Restore() would.
+  void RestoreFast(opec_hw::Machine& machine) const;
+
+  bool HasSection(const std::string& name) const;
+  size_t SectionCount() const { return sections_.size(); }
+
+  // Container wire format: magic, version, section count, then per section
+  // name + length-prefixed payload.
+  std::vector<uint8_t> Serialize() const;
+  static Snapshot Deserialize(const uint8_t* data, size_t size);
+  static Snapshot Deserialize(const std::vector<uint8_t>& bytes) {
+    return Deserialize(bytes.data(), bytes.size());
+  }
+
+  // FNV-1a 64 of Serialize() — the snapshot's identity. Two snapshots with
+  // equal digests restore to indistinguishable states.
+  uint64_t Digest() const;
+
+  // Delta mode (see header comment).
+  SnapshotDelta DeltaFrom(const Snapshot& base) const;
+  static Snapshot ApplyDelta(const Snapshot& base, const SnapshotDelta& delta);
+
+  // File I/O (the container wire format, verbatim). WriteFile is atomic-ish:
+  // writes `path`.tmp then renames, so concurrent readers never see a torn
+  // snapshot. Failures are OPEC_CHECK errors.
+  void WriteFile(const std::string& path) const;
+  static Snapshot ReadFile(const std::string& path);
+
+ private:
+  struct Section {
+    std::string name;
+    std::vector<uint8_t> payload;
+  };
+
+  const Section* Find(const std::string& name) const;
+
+  std::vector<Section> sections_;
+};
+
+}  // namespace opec_snapshot
+
+#endif  // SRC_SNAPSHOT_SNAPSHOT_H_

@@ -240,5 +240,77 @@ TEST(Bus, SysTickValReadClampsReloadToArchitecturalWidth) {
   EXPECT_EQ(val.value, 0x00FFFFFFu - 100u);
 }
 
+TEST(Bus, SysTickValWriteClearsCurrentCountAndCountFlag) {
+  // ARMv7-M B3.3.3: a write of any value to SYST_CVR clears the current count
+  // to zero and clears COUNTFLAG (SYST_CSR bit 16). Regression: the write was
+  // silently dropped, leaving VAL derived from the free-running cycle counter.
+  Machine machine(Board::kStm32F4Discovery);
+  EXPECT_TRUE(machine.bus().Write(kSysTickBase + 0x4, 4, 1000, true).ok());
+  machine.AddCycles(123);
+  EXPECT_NE(machine.bus().Read(kSysTickBase + 0x8, 4, true).value, 0u);
+  // Plant COUNTFLAG through a CTRL write, then clear it via the CVR write.
+  EXPECT_TRUE(machine.bus().Write(kSysTickBase + 0x0, 4, (1u << 16) | 1u, true).ok());
+  ASSERT_NE(machine.bus().Read(kSysTickBase + 0x0, 4, true).value & (1u << 16), 0u);
+
+  EXPECT_TRUE(machine.bus().Write(kSysTickBase + 0x8, 4, 0x12345678, true).ok());
+  EXPECT_EQ(machine.bus().Read(kSysTickBase + 0x8, 4, true).value, 0u);
+  EXPECT_EQ(machine.bus().Read(kSysTickBase + 0x0, 4, true).value & (1u << 16), 0u);
+
+  // Counting restarts from the reload value on the next cycle.
+  machine.AddCycles(1);
+  EXPECT_EQ(machine.bus().Read(kSysTickBase + 0x8, 4, true).value, 1000u);
+  machine.AddCycles(10);
+  EXPECT_EQ(machine.bus().Read(kSysTickBase + 0x8, 4, true).value, 990u);
+}
+
+TEST(Bus, WordCopyOverlappingRangesUseMemmoveSemantics) {
+  // Regression: a forward word loop over an overlapping src < dst range reads
+  // bytes it already clobbered, smearing the first word across the region.
+  // WordCopy must pick the copy direction like memmove does.
+  Machine machine(Board::kStm32F4Discovery);
+  auto fill = [&](uint32_t base, uint32_t n) {
+    for (uint32_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(machine.bus().DebugWrite(base + i, 1, 0x10 + i));
+    }
+  };
+  auto expect_bytes = [&](uint32_t base, uint32_t n, uint32_t first) {
+    for (uint32_t i = 0; i < n; ++i) {
+      uint32_t v = 0;
+      ASSERT_TRUE(machine.bus().DebugRead(base + i, 1, &v));
+      ASSERT_EQ(v, first + i) << "offset " << i;
+    }
+  };
+
+  // dst inside (src, src + n): must copy backward.
+  uint32_t src = kSramBase + 0x200;
+  fill(src, 40);
+  ASSERT_TRUE(machine.bus().WordCopy(src, src + 12, 28, true));
+  expect_bytes(src + 12, 28, 0x10);
+
+  // src inside (dst, dst + n): forward copy is correct there.
+  fill(src, 40);
+  ASSERT_TRUE(machine.bus().WordCopy(src + 12, src, 28, true));
+  expect_bytes(src, 28, 0x10 + 12);
+
+  // Unaligned length exercises the tail-byte path in both directions.
+  fill(src, 23);
+  ASSERT_TRUE(machine.bus().WordCopy(src, src + 5, 18, true));
+  expect_bytes(src + 5, 18, 0x10);
+}
+
+TEST(Bus, BulkCopyOverlappingRangesStayCorrect) {
+  // Pin the fast path to the same memmove semantics as WordCopy.
+  Machine machine(Board::kStm32F4Discovery);
+  for (uint32_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(machine.bus().DebugWrite(kSramBase + 0x300 + i, 1, 0x40 + i));
+  }
+  ASSERT_TRUE(machine.bus().BulkCopy(kSramBase + 0x300, kSramBase + 0x310, 48, true));
+  for (uint32_t i = 0; i < 48; ++i) {
+    uint32_t v = 0;
+    ASSERT_TRUE(machine.bus().DebugRead(kSramBase + 0x310 + i, 1, &v));
+    ASSERT_EQ(v, 0x40u + i) << "offset " << i;
+  }
+}
+
 }  // namespace
 }  // namespace opec_hw

@@ -7,6 +7,9 @@
 #include "src/campaign/campaign.h"
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -288,6 +291,89 @@ TEST(CampaignTest, TimeoutCancelsRunawayJob) {
   EXPECT_FALSE(result.results[0].ok);
   EXPECT_NE(result.results[0].detail.find("canceled"), std::string::npos)
       << result.results[0].detail;
+}
+
+// Warm-start (restore from a per-worker boot snapshot) is the executor
+// default; it must be an implementation detail, invisible in the report.
+TEST(CampaignTest, WarmStartIsBitIdenticalToColdBoot) {
+  CampaignSpec spec;
+  spec.seed = 13;
+  spec.AddScenarioMatrix({"PinLock", "Animation"},
+                         {opec_apps::BuildMode::kVanilla, opec_apps::BuildMode::kOpec});
+  spec.AddFaultSweep({"PinLock", "Animation"}, 8);
+
+  Executor::Options warm;  // cold_boot defaults to false
+  warm.jobs = 1;
+  CampaignResult warm_result = Executor::Run(spec, warm);
+
+  Executor::Options cold;
+  cold.cold_boot = true;
+  cold.jobs = 1;
+  CampaignResult cold_result = Executor::Run(spec, cold);
+
+  EXPECT_EQ(warm_result.DeterministicJson(), cold_result.DeterministicJson());
+
+  // And warm stays deterministic when the same worker replays many jobs of
+  // the same app back to back (the cache-reuse path).
+  Executor::Options warm4;
+  warm4.jobs = 4;
+  CampaignResult warm4_result = Executor::Run(spec, warm4);
+  EXPECT_EQ(warm_result.DeterministicJson(), warm4_result.DeterministicJson());
+}
+
+// Crash-state forensics: --snapshot-dir dumps a restorable snapshot for every
+// diverging job, with the digest folded into the deterministic report. The
+// dumps themselves must be byte-identical across thread counts and across
+// warm/cold boot.
+TEST(CampaignTest, SnapshotDirDumpsAreDeterministicAcrossThreadsAndBootModes) {
+  namespace fs = std::filesystem;
+  CampaignSpec spec;
+  spec.seed = 7;
+  spec.AddFaultSweep({"PinLock", "Animation"}, 12);
+
+  auto run = [&spec](int jobs, bool cold, const std::string& dir) {
+    fs::create_directories(dir);
+    Executor::Options options;
+    options.jobs = jobs;
+    options.cold_boot = cold;
+    options.snapshot_dir = dir;
+    return Executor::Run(spec, options);
+  };
+  auto dir_bytes = [](const std::string& dir) {
+    std::map<std::string, std::string> files;
+    for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+      std::ifstream in(e.path(), std::ios::binary);
+      std::string bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+      files[e.path().filename().string()] = bytes;
+    }
+    return files;
+  };
+
+  std::string base = ::testing::TempDir() + "/opec_snapdir";
+  CampaignResult serial = run(1, /*cold=*/false, base + "_serial");
+  CampaignResult parallel = run(4, /*cold=*/false, base + "_parallel");
+  CampaignResult coldrun = run(1, /*cold=*/true, base + "_cold");
+
+  EXPECT_EQ(serial.DeterministicJson(), parallel.DeterministicJson());
+  EXPECT_EQ(serial.DeterministicJson(), coldrun.DeterministicJson());
+
+  auto serial_files = dir_bytes(base + "_serial");
+  EXPECT_FALSE(serial_files.empty()) << "fault sweep produced no diverging jobs";
+  EXPECT_EQ(serial_files, dir_bytes(base + "_parallel"));
+  EXPECT_EQ(serial_files, dir_bytes(base + "_cold"));
+
+  // Every diverging job advertised its snapshot digest in the report, and
+  // only diverging jobs did.
+  size_t tagged = 0;
+  for (const opec_campaign::JobResult& r : serial.results) {
+    if (r.snapshot_digest != 0) {
+      ++tagged;
+      EXPECT_NE(r.outcome, Outcome::kOk);
+      EXPECT_NE(r.outcome, Outcome::kNotFired);
+    }
+  }
+  EXPECT_GT(tagged, 0u);
 }
 
 TEST(CampaignSpecTest, ParseTextBuildsJobsAndReportsErrors) {

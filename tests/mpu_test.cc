@@ -183,6 +183,30 @@ TEST(MpuDeathTest, RejectsTinyRegions) {
                "smaller than 32");
 }
 
+TEST(Mpu, LoadStateInvalidatesDecisionCache) {
+  // Regression: restoring register state through LoadState must invalidate
+  // the inline decision cache. Warm the cache with a deny decision, then
+  // restore a config that allows the same access — the cached path must agree
+  // with the uncached region walk, not serve the stale deny.
+  Mpu allowing;
+  allowing.set_enabled(true);
+  allowing.ConfigureRegion(0, Region(0x20000000, 12, AccessPerm::kFullAccess));
+  StateWriter w;
+  allowing.SaveState(w);
+
+  Mpu mpu;
+  mpu.set_enabled(true);
+  mpu.ConfigureRegion(0, Region(0x20000000, 12, AccessPerm::kNoAccess));
+  ASSERT_FALSE(mpu.CheckAccess(0x20000010, 4, AccessKind::kWrite, false));  // cache warmed
+
+  StateReader r(w.data());
+  mpu.LoadState(r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(mpu.CheckAccess(0x20000010, 4, AccessKind::kWrite, false),
+            mpu.CheckAccessUncached(0x20000010, 4, AccessKind::kWrite, false));
+  EXPECT_TRUE(mpu.CheckAccess(0x20000010, 4, AccessKind::kWrite, false));
+}
+
 TEST(MpuDeathTest, RejectsSrdOnSmallRegions) {
   Mpu mpu;
   EXPECT_DEATH(mpu.ConfigureRegion(0, Region(0x20000000, 7, AccessPerm::kFullAccess, 0x01)),
