@@ -7,11 +7,15 @@
 //
 // Usage:
 //   campaign [--spec FILE] [--apps a,b|all] [--modes opec|vanilla|both]
-//            [--fault-sweep N] [--fault-class CLASS] [--figures]
-//            [--jobs N] [--seed S] [--timeout-ms T]
+//            [--engine interp|bytecode] [--fault-sweep N] [--fault-class CLASS]
+//            [--figures] [--jobs N] [--seed S] [--timeout-ms T]
 //            [--report-json FILE] [--deterministic] [--trace-dir DIR]
 //            [--snapshot-dir DIR] [--cold-boot]
 //
+//   --engine        execution tier for every job (default interp); modeled
+//                   outputs are bit-identical across tiers, so
+//                   --deterministic reports compare byte-equal between
+//                   `--engine interp` and `--engine bytecode` campaigns
 //   --spec FILE     line-oriented campaign spec (see CampaignSpec::ParseFile)
 //   --apps/--modes  scenario matrix (default: all apps, both modes) used when
 //                   no --spec/--fault-sweep is given; also the app pool for
@@ -43,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "bench/figures_lib.h"
 #include "src/apps/all_apps.h"
 #include "src/campaign/campaign.h"
@@ -59,7 +64,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: campaign [--spec FILE] [--apps a,b|all] [--modes opec|vanilla|both]\n"
-      "                [--fault-sweep N] [--fault-class CLASS] [--figures]\n"
+      "                [--engine interp|bytecode] [--fault-sweep N]\n"
+      "                [--fault-class CLASS] [--figures]\n"
       "                [--jobs N] [--seed S] [--timeout-ms T]\n"
       "                [--report-json FILE] [--deterministic] [--trace-dir DIR]\n"
       "                [--snapshot-dir DIR] [--cold-boot]\n");
@@ -122,6 +128,7 @@ int main(int argc, char** argv) {
   std::string spec_path;
   std::string apps_arg = "all";
   std::string modes_arg = "both";
+  opec_apps::EngineKind engine = opec_apps::EngineKind::kInterp;
   size_t fault_sweep = 0;
   FaultClass fault_class = FaultClass::kAny;
   bool figures = false;
@@ -135,8 +142,21 @@ int main(int argc, char** argv) {
   bool cold_boot = false;
 
   for (int i = 1; i < argc; ++i) {
+    // Flags accept both `--flag value` and `--flag=value`.
     std::string arg = argv[i];
-    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    std::string value;
+    size_t eq = arg.find('=');
+    bool has_value = eq != std::string::npos;
+    if (has_value) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
+    auto next = [&]() -> const char* {
+      if (has_value) {
+        return value.c_str();
+      }
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
     if (arg == "--spec") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -149,10 +169,21 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       modes_arg = v;
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (v != nullptr && std::strcmp(v, "interp") == 0) {
+        engine = opec_apps::EngineKind::kInterp;
+      } else if (v != nullptr && std::strcmp(v, "bytecode") == 0) {
+        engine = opec_apps::EngineKind::kBytecode;
+      } else {
+        std::fprintf(stderr, "invalid --engine '%s'; valid tiers are: interp bytecode\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
     } else if (arg == "--fault-sweep") {
       const char* v = next();
-      uint64_t n = 0;
-      if (v == nullptr || !ParseU64Flag(v, &n) || n < 1) {
+      int n = 0;
+      if (v == nullptr || !opec_bench::ParseCount(v, 1, 1000000, &n)) {
         std::fprintf(stderr, "invalid --fault-sweep '%s'; expected an integer >= 1\n",
                      v == nullptr ? "" : v);
         return Usage();
@@ -165,13 +196,11 @@ int main(int argc, char** argv) {
       figures = true;
     } else if (arg == "--jobs") {
       const char* v = next();
-      uint64_t n = 0;
-      if (v == nullptr || !ParseU64Flag(v, &n) || n < 1 || n > 1024) {
+      if (v == nullptr || !opec_bench::ParseCount(v, 1, 1024, &jobs)) {
         std::fprintf(stderr, "invalid --jobs '%s'; expected an integer in [1, 1024]\n",
                      v == nullptr ? "" : v);
         return Usage();
       }
-      jobs = static_cast<int>(n);
     } else if (arg == "--seed") {
       const char* v = next();
       if (v == nullptr || !ParseU64Flag(v, &seed)) {
@@ -248,6 +277,9 @@ int main(int argc, char** argv) {
   }
   if (spec.jobs.empty()) {
     spec.AddScenarioMatrix(apps, modes);
+  }
+  for (opec_campaign::JobSpec& job : spec.jobs) {
+    job.engine = engine;
   }
 
   Executor::Options options;

@@ -279,9 +279,9 @@ int ParseJobsFlag(int argc, char** argv, const char* usage) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--jobs" && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-      if (jobs < 1) {
-        std::fprintf(stderr, "--jobs must be >= 1\n");
+      if (!ParseCount(argv[++i], 1, 1024, &jobs)) {
+        std::fprintf(stderr, "invalid --jobs '%s'; expected an integer in [1, 1024]\n",
+                     argv[i]);
         std::exit(2);
       }
     } else {

@@ -8,8 +8,12 @@
 // "Performance of the harness").
 //
 // Usage:
-//   host_speed [--iters N] [--jobs N] [--out FILE] [--baseline FILE] [--smoke]
-//              [--trace-out FILE] [--self-check-obs]
+//   host_speed [--engine interp|bytecode] [--iters N] [--jobs N] [--out FILE]
+//              [--baseline FILE] [--smoke] [--trace-out FILE] [--self-check-obs]
+//
+// --engine selects the execution tier (default interp). Modeled outputs are
+// bit-identical across tiers, so `--engine bytecode --baseline interp.json`
+// measures the tier speedup while hard-failing on any modeled drift.
 //
 // --jobs N measures the workload/configuration units concurrently on the
 // campaign thread pool (each unit is a fully isolated Machine/AppRun, so the
@@ -38,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/apps/all_apps.h"
 #include "src/apps/runner.h"
 #include "src/campaign/campaign.h"
@@ -63,10 +68,10 @@ struct Sample {
 };
 
 Sample RunOnce(const opec_apps::Application& app, opec_apps::BuildMode mode,
-               opec_obs::Sink* sink = nullptr) {
+               opec_apps::EngineKind engine, opec_obs::Sink* sink = nullptr) {
   Sample s;
   Clock::time_point t0 = Clock::now();
-  opec_apps::AppRun run(app, mode);
+  opec_apps::AppRun run(app, mode, engine);
   s.build_ns = NsSince(t0);
   if (sink != nullptr) {
     run.AttachSink(sink);
@@ -146,7 +151,10 @@ constexpr Config kConfigs[] = {{"vanilla", opec_apps::BuildMode::kVanilla},
 // The observability overhead contract (DESIGN.md Section 9): an attached sink
 // must not change any modeled output. Runs every workload/configuration with
 // no sink and with a counting sink; any cycle/statement drift is a failure.
-int SelfCheckObs(const std::vector<std::string>& wanted) {
+// The printed lines carry no engine name on purpose: CI diffs the interp and
+// bytecode outputs byte for byte, which doubles as the cross-tier
+// modeled-output check.
+int SelfCheckObs(const std::vector<std::string>& wanted, opec_apps::EngineKind engine) {
   bool drift = false;
   for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
     if (std::find(wanted.begin(), wanted.end(), factory.name) == wanted.end()) {
@@ -154,9 +162,9 @@ int SelfCheckObs(const std::vector<std::string>& wanted) {
     }
     std::unique_ptr<opec_apps::Application> app = factory.make();
     for (const Config& cfg : kConfigs) {
-      Sample plain = RunOnce(*app, cfg.mode);
+      Sample plain = RunOnce(*app, cfg.mode, engine);
       CountingSink sink;
-      Sample observed = RunOnce(*app, cfg.mode, &sink);
+      Sample observed = RunOnce(*app, cfg.mode, engine, &sink);
       bool same =
           plain.cycles == observed.cycles && plain.statements == observed.statements;
       std::printf("self-check %-12s %-8s cycles %llu/%llu statements %llu/%llu "
@@ -182,60 +190,75 @@ int SelfCheckObs(const std::vector<std::string>& wanted) {
 
 }  // namespace
 
-namespace {
-
-// Full-string numeric parse; bare atoi returns 0 on junk like "abc", which
-// used to slip past as an invalid iteration/thread count.
-bool ParseIntFlag(const char* s, int min, int max, int* out) {
-  if (s == nullptr || *s == '\0') {
-    return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  long v = std::strtol(s, &end, 10);
-  if (errno != 0 || end == s || *end != '\0' || v < min || v > max) {
-    return false;
-  }
-  *out = static_cast<int>(v);
-  return true;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   int iters = 5;
   int jobs = 1;
+  opec_apps::EngineKind engine = opec_apps::EngineKind::kInterp;
   std::string out_path = "BENCH_host_speed.json";
   std::string baseline_path;
   std::string trace_path;
   bool self_check_obs = false;
   for (int i = 1; i < argc; ++i) {
+    // Flags accept both `--flag value` and `--flag=value`.
     std::string arg = argv[i];
-    if (arg == "--iters" && i + 1 < argc) {
-      if (!ParseIntFlag(argv[++i], 1, 1000000, &iters)) {
-        std::fprintf(stderr, "invalid --iters '%s'; expected an integer >= 1\n", argv[i]);
+    std::string value;
+    size_t eq = arg.find('=');
+    bool has_value = eq != std::string::npos;
+    if (has_value) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
+    auto take = [&]() -> const char* {
+      if (has_value) {
+        return value.c_str();
+      }
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--iters") {
+      const char* v = take();
+      if (v == nullptr || !opec_bench::ParseCount(v, 1, 1000000, &iters)) {
+        std::fprintf(stderr, "invalid --iters '%s'; expected an integer >= 1\n",
+                     v == nullptr ? "" : v);
         return 2;
       }
-    } else if (arg == "--jobs" && i + 1 < argc) {
-      if (!ParseIntFlag(argv[++i], 1, 1024, &jobs)) {
+    } else if (arg == "--jobs") {
+      const char* v = take();
+      if (v == nullptr || !opec_bench::ParseCount(v, 1, 1024, &jobs)) {
         std::fprintf(stderr, "invalid --jobs '%s'; expected an integer in [1, 1024]\n",
-                     argv[i]);
+                     v == nullptr ? "" : v);
         return 2;
       }
-    } else if (arg == "--out" && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (arg == "--baseline" && i + 1 < argc) {
-      baseline_path = argv[++i];
-    } else if (arg == "--trace-out" && i + 1 < argc) {
-      trace_path = argv[++i];
+    } else if (arg == "--engine") {
+      const char* v = take();
+      if (v != nullptr && std::strcmp(v, "interp") == 0) {
+        engine = opec_apps::EngineKind::kInterp;
+      } else if (v != nullptr && std::strcmp(v, "bytecode") == 0) {
+        engine = opec_apps::EngineKind::kBytecode;
+      } else {
+        std::fprintf(stderr, "invalid --engine '%s'; valid tiers are: interp bytecode\n",
+                     v == nullptr ? "" : v);
+        return 2;
+      }
+    } else if (arg == "--out") {
+      const char* v = take();
+      if (v == nullptr) return 2;
+      out_path = v;
+    } else if (arg == "--baseline") {
+      const char* v = take();
+      if (v == nullptr) return 2;
+      baseline_path = v;
+    } else if (arg == "--trace-out") {
+      const char* v = take();
+      if (v == nullptr) return 2;
+      trace_path = v;
     } else if (arg == "--self-check-obs") {
       self_check_obs = true;
     } else if (arg == "--smoke") {
       iters = 1;
     } else {
       std::fprintf(stderr,
-                   "usage: host_speed [--iters N] [--jobs N] [--out FILE] [--baseline FILE] "
-                   "[--trace-out FILE] [--self-check-obs]\n");
+                   "usage: host_speed [--engine interp|bytecode] [--iters N] [--jobs N] "
+                   "[--out FILE] [--baseline FILE] [--trace-out FILE] [--self-check-obs]\n");
       return 2;
     }
   }
@@ -244,7 +267,7 @@ int main(int argc, char** argv) {
 
   const std::vector<std::string> wanted = {"CoreMark", "FatFs-uSD", "TCP-Echo"};
   if (self_check_obs) {
-    return SelfCheckObs(wanted);
+    return SelfCheckObs(wanted, engine);
   }
   std::vector<opec_obs::TraceProcess> trace_processes;
 
@@ -287,7 +310,7 @@ int main(int argc, char** argv) {
         UnitResult out;
         Clock::time_point u0 = Clock::now();
         for (int it = 0; it < iters; ++it) {
-          Sample s = RunOnce(*app, cfg.mode);
+          Sample s = RunOnce(*app, cfg.mode, engine);
           if (it == 0 || s.wall_ns() < out.best.wall_ns()) {
             out.best = s;
           }
@@ -298,7 +321,7 @@ int main(int argc, char** argv) {
         }
         if (!trace_path.empty()) {
           // Untimed recorded run; one process track per workload/configuration.
-          opec_apps::AppRun run(*app, cfg.mode);
+          opec_apps::AppRun run(*app, cfg.mode, engine);
           run.EnableEventRecording();
           opec_rt::RunResult r = run.Execute();
           OPEC_CHECK_MSG(r.ok, factory.name + " trace run failed: " + r.violation);
@@ -326,12 +349,12 @@ int main(int argc, char** argv) {
     emit(prefix + "cycles", static_cast<double>(best.cycles));
     emit(prefix + "statements", static_cast<double>(best.statements));
     emit(prefix + "ns_per_statement",
-         static_cast<double>(best.exec_ns) / static_cast<double>(best.statements));
+         opec_bench::NsPerStatement(best.exec_ns, best.statements));
     std::printf("%-12s %-8s wall %8.2f ms  (build %6.2f ms, exec %8.2f ms)  "
                 "%.1f ns/stmt  cycles=%llu\n",
                 factory.name.c_str(), cfg.name, best.wall_ns() / 1e6, best.build_ns / 1e6,
                 best.exec_ns / 1e6,
-                static_cast<double>(best.exec_ns) / static_cast<double>(best.statements),
+                opec_bench::NsPerStatement(best.exec_ns, best.statements),
                 static_cast<unsigned long long>(best.cycles));
     if (unit_results[u].has_trace) {
       trace_processes.push_back(std::move(unit_results[u].trace));
@@ -358,6 +381,7 @@ int main(int argc, char** argv) {
   std::ostringstream json;
   json << "{\n";
   json << "  \"schema\": \"opec-host-speed-v1\",\n";
+  json << "  \"engine\": \"" << opec_apps::EngineKindName(engine) << "\",\n";
   json << "  \"iterations\": " << iters << ",\n";
   json << "  \"jobs\": " << jobs << ",\n";
   json << "  \"metrics\": {\n";

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/apps/all_apps.h"
 #include "src/apps/runner.h"
 #include "src/campaign/campaign.h"
@@ -95,9 +96,16 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_warm_start.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
-      iters = std::atoi(argv[++i]);
+      if (!opec_bench::ParseCount(argv[++i], 1, 1000000, &iters)) {
+        std::fprintf(stderr, "invalid --iters '%s'; expected an integer >= 1\n", argv[i]);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--sweep-jobs") == 0 && i + 1 < argc) {
-      sweep_jobs = std::atoi(argv[++i]);
+      if (!opec_bench::ParseCount(argv[++i], 1, 1000000, &sweep_jobs)) {
+        std::fprintf(stderr, "invalid --sweep-jobs '%s'; expected an integer >= 1\n",
+                     argv[i]);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -105,7 +113,7 @@ int main(int argc, char** argv) {
       sweep_jobs = 10;
     } else {
       std::fprintf(stderr, "usage: warm_start [--iters N] [--sweep-jobs N] [--out FILE] [--smoke]\n");
-      return 1;
+      return 2;
     }
   }
 

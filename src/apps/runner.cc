@@ -1,11 +1,26 @@
 #include "src/apps/runner.h"
 
 #include "src/compiler/image.h"
+#include "src/rt/bytecode/vm.h"
 #include "src/support/check.h"
 
 namespace opec_apps {
 
-AppRun::AppRun(const Application& app, BuildMode mode) : app_(app), mode_(mode) {
+const char* EngineKindName(EngineKind kind) {
+  return kind == EngineKind::kBytecode ? "bytecode" : "interp";
+}
+
+std::unique_ptr<opec_rt::Engine> AppRun::MakeEngine() {
+  const opec_rt::AddressAssignment& lay = layout();
+  opec_rt::Supervisor* sup = monitor_.get();
+  if (engine_kind_ == EngineKind::kBytecode) {
+    return std::make_unique<opec_rt::bytecode::VM>(*machine_, *module_, lay, sup);
+  }
+  return std::make_unique<opec_rt::ExecutionEngine>(*machine_, *module_, lay, sup);
+}
+
+AppRun::AppRun(const Application& app, BuildMode mode, EngineKind engine_kind)
+    : app_(app), mode_(mode), engine_kind_(engine_kind) {
   soc_ = app.Soc();
   module_ = app.BuildModule();
   machine_ = std::make_unique<opec_hw::Machine>(app.board());
@@ -17,16 +32,13 @@ AppRun::AppRun(const Application& app, BuildMode mode) : app_(app), mode_(mode) 
     accounting_ = compile_->policy.accounting;
     monitor_ = std::make_unique<opec_monitor::Monitor>(*machine_, compile_->policy, soc_);
     opec_compiler::LoadGlobals(*machine_, *module_, compile_->layout);
-    engine_ = std::make_unique<opec_rt::ExecutionEngine>(*machine_, *module_, compile_->layout,
-                                                         monitor_.get());
   } else {
     opec_compiler::VanillaImage image = opec_compiler::BuildVanillaImage(*module_, app.board());
     vanilla_layout_ = image.layout;
     accounting_ = image.accounting;
     opec_compiler::LoadGlobals(*machine_, *module_, vanilla_layout_);
-    engine_ = std::make_unique<opec_rt::ExecutionEngine>(*machine_, *module_, vanilla_layout_,
-                                                         nullptr);
   }
+  engine_ = MakeEngine();
 }
 
 AppRun::~AppRun() = default;
@@ -53,12 +65,8 @@ void AppRun::RestoreBoot() {
   // and simpler than — rolling back attacks, counters and fault reports.
   if (mode_ == BuildMode::kOpec) {
     monitor_ = std::make_unique<opec_monitor::Monitor>(*machine_, compile_->policy, soc_);
-    engine_ = std::make_unique<opec_rt::ExecutionEngine>(*machine_, *module_, compile_->layout,
-                                                         monitor_.get());
-  } else {
-    engine_ = std::make_unique<opec_rt::ExecutionEngine>(*machine_, *module_, vanilla_layout_,
-                                                         nullptr);
   }
+  engine_ = MakeEngine();
   probe_.reset();
   trace_.Clear();
   trace_enabled_ = false;

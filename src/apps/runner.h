@@ -27,9 +27,20 @@ enum class BuildMode {
   kOpec,     // OPEC-compiled, monitor-enforced
 };
 
+// Which execution tier runs the guest. Both produce bit-identical modeled
+// cycles, statements and obs events (src/rt/engine.h); the bytecode VM is the
+// fast tier, the interpreter the reference oracle.
+enum class EngineKind {
+  kInterp,    // tree-walking ExecutionEngine
+  kBytecode,  // lowered bytecode VM
+};
+
+const char* EngineKindName(EngineKind kind);
+
 class AppRun {
  public:
-  AppRun(const Application& app, BuildMode mode);
+  AppRun(const Application& app, BuildMode mode,
+         EngineKind engine_kind = EngineKind::kInterp);
   ~AppRun();
 
   AppRun(const AppRun&) = delete;
@@ -64,7 +75,7 @@ class AppRun {
   void EnableSnapshotProbe();
   const opec_snapshot::RoundTripProbe* probe() const { return probe_.get(); }
   // Full machine+monitor+engine snapshot of the current state. Only valid at
-  // quiescent points (see ExecutionEngine::SaveState).
+  // quiescent points (see Engine::SaveState).
   opec_snapshot::Snapshot CaptureState() const;
 
   // Scenario output verification (valid after Execute()).
@@ -80,7 +91,8 @@ class AppRun {
   // Ordinal/id -> name resolution for exporters (function names from the
   // module; operation names from the policy in OPEC mode).
   opec_obs::Naming EventNaming() const;
-  opec_rt::ExecutionEngine& engine() { return *engine_; }
+  opec_rt::Engine& engine() { return *engine_; }
+  EngineKind engine_kind() const { return engine_kind_; }
   // The address assignment in effect: the OPEC layout in OPEC mode, the flat
   // vanilla layout otherwise.
   const opec_rt::AddressAssignment& layout() const {
@@ -93,15 +105,20 @@ class AppRun {
   const opec_compiler::MemoryAccounting& accounting() const { return accounting_; }
 
  private:
+  // Builds the engine of the selected kind (also used by RestoreBoot to
+  // recreate it against the restored machine).
+  std::unique_ptr<opec_rt::Engine> MakeEngine();
+
   const Application& app_;
   BuildMode mode_;
+  EngineKind engine_kind_;
   opec_hw::SocDescription soc_;
   std::unique_ptr<opec_ir::Module> module_;
   std::unique_ptr<opec_hw::Machine> machine_;
   std::unique_ptr<AppDevices> devices_;
   std::unique_ptr<opec_compiler::CompileResult> compile_;
   std::unique_ptr<opec_monitor::Monitor> monitor_;
-  std::unique_ptr<opec_rt::ExecutionEngine> engine_;
+  std::unique_ptr<opec_rt::Engine> engine_;
   opec_rt::AddressAssignment vanilla_layout_;
   opec_compiler::MemoryAccounting accounting_;
   std::unique_ptr<opec_snapshot::Snapshot> boot_snapshot_;

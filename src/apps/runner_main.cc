@@ -33,8 +33,8 @@ std::string KeyName(const std::string& name) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: runner [--app NAME] [--mode opec|vanilla] [--trace-out FILE]\n"
-               "              [--jsonl-out FILE] [--profile] [--list]\n");
+               "usage: runner [--app NAME] [--mode opec|vanilla] [--engine interp|bytecode]\n"
+               "              [--trace-out FILE] [--jsonl-out FILE] [--profile] [--list]\n");
   return 2;
 }
 
@@ -43,6 +43,7 @@ int Usage() {
 int main(int argc, char** argv) {
   std::string app_name = "pinlock";
   std::string mode_name = "opec";
+  std::string engine_name = "interp";
   std::string trace_out;
   std::string jsonl_out;
   bool profile = false;
@@ -66,6 +67,8 @@ int main(int argc, char** argv) {
       app_name = take();
     } else if (arg == "--mode") {
       mode_name = take();
+    } else if (arg == "--engine") {
+      engine_name = take();
     } else if (arg == "--trace-out") {
       trace_out = take();
     } else if (arg == "--jsonl-out") {
@@ -93,6 +96,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  opec_apps::EngineKind engine_kind;
+  if (engine_name == "interp") {
+    engine_kind = opec_apps::EngineKind::kInterp;
+  } else if (engine_name == "bytecode") {
+    engine_kind = opec_apps::EngineKind::kBytecode;
+  } else {
+    std::fprintf(stderr, "unknown --engine '%s'; valid tiers are: interp bytecode\n",
+                 engine_name.c_str());
+    return 2;
+  }
+
   std::unique_ptr<opec_apps::Application> app;
   for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
     if (KeyName(factory.name) == KeyName(app_name)) {
@@ -109,12 +123,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  opec_apps::AppRun run(*app, mode);
+  opec_apps::AppRun run(*app, mode, engine_kind);
   run.EnableEventRecording();
   opec_rt::RunResult result = run.Execute();
   std::string check = run.Check();
-  std::printf("%s [%s]: ok=%d cycles=%llu statements=%llu\n", app->name().c_str(),
-              mode_name.c_str(), result.ok, static_cast<unsigned long long>(result.cycles),
+  std::printf("%s [%s/%s]: ok=%d cycles=%llu statements=%llu\n", app->name().c_str(),
+              mode_name.c_str(), opec_apps::EngineKindName(engine_kind), result.ok,
+              static_cast<unsigned long long>(result.cycles),
               static_cast<unsigned long long>(result.statements));
   if (!result.ok) {
     std::printf("violation: %s\n", result.violation.c_str());

@@ -92,10 +92,11 @@ struct Baseline {
   uint32_t return_value = 0;
 };
 
-Baseline ComputeBaseline(const opec_apps::AppFactory& factory, opec_apps::BuildMode mode) {
+Baseline ComputeBaseline(const opec_apps::AppFactory& factory, opec_apps::BuildMode mode,
+                         opec_apps::EngineKind engine) {
   Baseline b;
   std::unique_ptr<opec_apps::Application> app = factory.make();
-  opec_apps::AppRun run(*app, mode);
+  opec_apps::AppRun run(*app, mode, engine);
   opec_rt::RunResult r = run.Execute();
   if (!r.ok) {
     b.error = "clean baseline run failed: " + r.violation;
@@ -114,14 +115,14 @@ Baseline ComputeBaseline(const opec_apps::AppFactory& factory, opec_apps::BuildM
 }
 
 const Baseline& CleanBaseline(const opec_apps::AppFactory& factory,
-                              opec_apps::BuildMode mode) {
+                              opec_apps::BuildMode mode, opec_apps::EngineKind engine) {
   static std::mutex mutex;
-  static std::map<std::pair<std::string, int>, Baseline> cache;
+  static std::map<std::tuple<std::string, int, int>, Baseline> cache;
   std::lock_guard<std::mutex> lock(mutex);
-  auto key = std::make_pair(factory.name, static_cast<int>(mode));
+  auto key = std::make_tuple(factory.name, static_cast<int>(mode), static_cast<int>(engine));
   auto it = cache.find(key);
   if (it == cache.end()) {
-    it = cache.emplace(key, ComputeBaseline(factory, mode)).first;
+    it = cache.emplace(key, ComputeBaseline(factory, mode, engine)).first;
   }
   return it->second;
 }
@@ -369,18 +370,18 @@ struct JobEnv {
 // later job on that thread rewinds to it with RestoreBoot(), skipping
 // BuildModule + CompileOpec + LoadGlobals.
 opec_apps::AppRun* WarmRun(const opec_apps::AppFactory& factory,
-                           opec_apps::BuildMode mode) {
+                           opec_apps::BuildMode mode, opec_apps::EngineKind engine) {
   struct Entry {
     std::unique_ptr<opec_apps::Application> app;
     std::unique_ptr<opec_apps::AppRun> run;
   };
-  thread_local std::map<std::pair<std::string, int>, Entry> cache;
-  auto key = std::make_pair(factory.name, static_cast<int>(mode));
+  thread_local std::map<std::tuple<std::string, int, int>, Entry> cache;
+  auto key = std::make_tuple(factory.name, static_cast<int>(mode), static_cast<int>(engine));
   auto it = cache.find(key);
   if (it == cache.end()) {
     Entry e;
     e.app = factory.make();
-    e.run = std::make_unique<opec_apps::AppRun>(*e.app, mode);
+    e.run = std::make_unique<opec_apps::AppRun>(*e.app, mode, engine);
     e.run->CaptureBoot();
     it = cache.emplace(key, std::move(e)).first;
   } else {
@@ -411,10 +412,10 @@ JobResult RunJobImpl(const JobSpec& spec, size_t index, const std::atomic<bool>*
   opec_apps::AppRun* run_ptr;
   if (env.cold_boot) {
     app = factory->make();
-    cold_run = std::make_unique<opec_apps::AppRun>(*app, spec.mode);
+    cold_run = std::make_unique<opec_apps::AppRun>(*app, spec.mode, spec.engine);
     run_ptr = cold_run.get();
   } else {
-    run_ptr = WarmRun(*factory, spec.mode);
+    run_ptr = WarmRun(*factory, spec.mode, spec.engine);
   }
   opec_apps::AppRun& run = *run_ptr;
   if (cancel != nullptr) {
@@ -532,7 +533,7 @@ JobResult RunJobImpl(const JobSpec& spec, size_t index, const std::atomic<bool>*
     out.detail += " | " + r.violation;
     return finish();
   }
-  const Baseline& base = CleanBaseline(*factory, spec.mode);
+  const Baseline& base = CleanBaseline(*factory, spec.mode, spec.engine);
   if (!base.valid) {
     throw std::runtime_error(base.error);
   }
@@ -833,7 +834,13 @@ namespace {
 void AppendResultJson(std::ostringstream& json, const JobResult& r, bool with_timing) {
   json << "    {\"index\": " << r.index << ", \"kind\": \"" << JobKindName(r.spec.kind)
        << "\", \"app\": \"" << JsonEscape(r.spec.app) << "\", \"mode\": \""
-       << ModeName(r.spec.mode) << "\", \"seed\": " << r.spec.seed << ", \"fault\": \""
+       << ModeName(r.spec.mode) << "\"";
+  if (r.spec.engine != opec_apps::EngineKind::kInterp) {
+    // Non-default tier only, so interpreter reports keep their exact shape
+    // and an interp-vs-bytecode report diff shows only this field.
+    json << ", \"engine\": \"" << opec_apps::EngineKindName(r.spec.engine) << "\"";
+  }
+  json << ", \"seed\": " << r.spec.seed << ", \"fault\": \""
        << FaultClassName(r.spec.fault) << "\", \"outcome\": \"" << OutcomeName(r.outcome)
        << "\", \"ok\": " << (r.ok ? "true" : "false") << ", \"cycles\": " << r.cycles
        << ", \"statements\": " << r.statements << ", \"return_value\": " << r.return_value

@@ -139,6 +139,9 @@ struct JobSpec {
   JobKind kind = JobKind::kScenario;
   std::string app;  // registry name, e.g. "PinLock" (see opec_apps::AllApps)
   opec_apps::BuildMode mode = opec_apps::BuildMode::kOpec;
+  // Execution tier. Modeled outputs are bit-identical across tiers, so the
+  // deterministic report only records it when it is not the default.
+  opec_apps::EngineKind engine = opec_apps::EngineKind::kInterp;
   uint64_t seed = 0;          // per-job PRNG seed (0 = derive from campaign)
   FaultClass fault = FaultClass::kAny;
   uint64_t timeout_ms = 0;    // 0 = campaign default

@@ -9,6 +9,7 @@
 #include "src/fuzz/generator.h"
 #include "src/hw/machine.h"
 #include "src/hw/mpu.h"
+#include "src/obs/event.h"
 #include "src/support/check.h"
 #include "src/support/text.h"
 
@@ -180,26 +181,55 @@ const char* OracleName(Oracle o) {
       return "parallel";
     case Oracle::kSnapshot:
       return "snapshot";
+    case Oracle::kBytecodeTier:
+      return "bytecode-tier";
   }
   return "?";
 }
 
 namespace {
 
+// FNV digest over every field of every dispatched obs event: a compact,
+// order-sensitive fingerprint of the full event stream. Attached to every
+// oracle run so the bytecode tier's event stream can be compared against the
+// interpreter's without retaining the events.
+class EventDigestSink : public opec_obs::Sink {
+ public:
+  void OnEvent(const opec_obs::Event& e) override {
+    h_ = Fnv1a(h_, &e.kind, sizeof(e.kind));
+    h_ = Fnv1a(h_, &e.operation_id, sizeof(e.operation_id));
+    h_ = Fnv1a(h_, &e.depth, sizeof(e.depth));
+    h_ = Fnv1a(h_, &e.cycle, sizeof(e.cycle));
+    h_ = Fnv1a(h_, &e.arg0, sizeof(e.arg0));
+    h_ = Fnv1a(h_, &e.arg1, sizeof(e.arg1));
+    h_ = Fnv1a(h_, &e.arg2, sizeof(e.arg2));
+  }
+  uint64_t digest() const { return h_; }
+
+ private:
+  uint64_t h_ = kFnvBasis;
+};
+
 // Shared by RunOnce (plain) and DiffSnapshotRoundTrip (probed). With `probe`
 // set, the run executes under the snapshot RoundTripProbe; the probe's check
 // count and error list are copied out before the run is torn down.
-ExecObservation RunOnceImpl(const ProgramSpec& spec, opec_apps::BuildMode mode, bool probe,
-                            uint64_t* probes, std::vector<std::string>* probe_errors) {
+ExecObservation RunOnceImpl(const ProgramSpec& spec, opec_apps::BuildMode mode,
+                            opec_apps::EngineKind engine, bool probe, uint64_t* probes,
+                            std::vector<std::string>* probe_errors) {
   ExecObservation obs;
   FuzzApplication app(spec);
   opec_support::ScopedCheckThrow capture;
   try {
-    opec_apps::AppRun run(app, mode);
+    opec_apps::AppRun run(app, mode, engine);
+    EventDigestSink events;
+    run.AttachSink(&events);
     if (probe) {
       run.EnableSnapshotProbe();
     }
     opec_rt::RunResult result = run.Execute();
+    obs.cycles = result.cycles;
+    obs.statements = result.statements;
+    obs.events_digest = events.digest();
     if (probe && run.probe() != nullptr) {
       if (probes != nullptr) {
         *probes = run.probe()->probes();
@@ -239,8 +269,9 @@ ExecObservation RunOnceImpl(const ProgramSpec& spec, opec_apps::BuildMode mode, 
 
 }  // namespace
 
-ExecObservation RunOnce(const ProgramSpec& spec, opec_apps::BuildMode mode) {
-  return RunOnceImpl(spec, mode, /*probe=*/false, nullptr, nullptr);
+ExecObservation RunOnce(const ProgramSpec& spec, opec_apps::BuildMode mode,
+                        opec_apps::EngineKind engine) {
+  return RunOnceImpl(spec, mode, engine, /*probe=*/false, nullptr, nullptr);
 }
 
 std::string FormatObservation(const ExecObservation& obs) {
@@ -515,6 +546,41 @@ std::vector<Divergence> DiffMpuCache(uint64_t seed) {
                                   kind == opec_hw::AccessKind::kWrite ? "write" : "read",
                                   priv ? "priv" : "unpriv", cached ? 1 : 0, direct ? 1 : 0)});
       }
+      // The bytecode tier's verdict-cache primitive: AllowedRange's verdict
+      // must equal the uncached single-byte walk, the interval must contain
+      // the probe, and the verdict must be uniform across it — checked at
+      // both interval ends and at a random interior point.
+      uint32_t lo = 0;
+      uint32_t hi = 0;
+      bool range_verdict = mpu.AllowedRange(addr, kind, priv, &lo, &hi);
+      bool byte_direct = mpu.CheckAccessUncached(addr, 1, kind, priv);
+      if (range_verdict != byte_direct || lo > addr || hi < addr) {
+        divs.push_back(
+            {Oracle::kMpuCache,
+             StrPrintf("step %d: AllowedRange(%s, %s, %s) verdict=%d uncached=%d "
+                       "interval=[%s, %s]",
+                       step, opec_support::HexAddr(addr).c_str(),
+                       kind == opec_hw::AccessKind::kWrite ? "write" : "read",
+                       priv ? "priv" : "unpriv", range_verdict ? 1 : 0, byte_direct ? 1 : 0,
+                       opec_support::HexAddr(lo).c_str(), opec_support::HexAddr(hi).c_str())});
+      } else {
+        uint32_t interior =
+            lo + static_cast<uint32_t>(rng.Next() %
+                                       (static_cast<uint64_t>(hi) - lo + 1));
+        for (uint32_t probe : {lo, hi, interior}) {
+          if (mpu.CheckAccessUncached(probe, 1, kind, priv) != range_verdict) {
+            divs.push_back(
+                {Oracle::kMpuCache,
+                 StrPrintf("step %d: AllowedRange(%s) interval [%s, %s] not uniform: "
+                           "verdict=%d but probe %s disagrees",
+                           step, opec_support::HexAddr(addr).c_str(),
+                           opec_support::HexAddr(lo).c_str(),
+                           opec_support::HexAddr(hi).c_str(), range_verdict ? 1 : 0,
+                           opec_support::HexAddr(probe).c_str())});
+            break;
+          }
+        }
+      }
     } else {
       uint32_t len = 1 + static_cast<uint32_t>(rng.Below(200));
       bool ranged = mpu.CheckRange(addr, len, kind, priv);
@@ -542,8 +608,9 @@ std::vector<Divergence> DiffSnapshotRoundTrip(const ProgramSpec& spec,
   std::vector<Divergence> divs;
   uint64_t probes = 0;
   std::vector<std::string> errors;
-  ExecObservation probed =
-      RunOnceImpl(spec, opec_apps::BuildMode::kOpec, /*probe=*/true, &probes, &errors);
+  ExecObservation probed = RunOnceImpl(spec, opec_apps::BuildMode::kOpec,
+                                       opec_apps::EngineKind::kInterp, /*probe=*/true,
+                                       &probes, &errors);
   for (const std::string& e : errors) {
     divs.push_back({Oracle::kSnapshot, e});
   }
@@ -558,6 +625,58 @@ std::vector<Divergence> DiffSnapshotRoundTrip(const ProgramSpec& spec,
                               static_cast<unsigned long long>(probes), got.c_str(),
                               want.c_str())});
   }
+  return divs;
+}
+
+// --- Oracle 6: bytecode tier ----------------------------------------------
+
+namespace {
+
+// One mode's interp-vs-bytecode comparison. The external observation must
+// render identically, and the tier contract is stricter than the exec-diff
+// oracle: modeled cycles, statement counts and the obs-event stream digest
+// must also be bit-identical.
+void CompareTier(const char* mode_name, const ExecObservation& interp,
+                 const ExecObservation& bytecode, std::vector<Divergence>* divs) {
+  auto add = [&](std::string detail) {
+    divs->push_back({Oracle::kBytecodeTier, std::move(detail)});
+  };
+  std::string want = FormatObservation(interp);
+  std::string got = FormatObservation(bytecode);
+  if (want != got) {
+    add(StrPrintf("%s observation: interp [%s], bytecode [%s]", mode_name, want.c_str(),
+                  got.c_str()));
+    return;
+  }
+  if (interp.cycles != bytecode.cycles) {
+    add(StrPrintf("%s modeled cycles: interp %llu, bytecode %llu", mode_name,
+                  static_cast<unsigned long long>(interp.cycles),
+                  static_cast<unsigned long long>(bytecode.cycles)));
+  }
+  if (interp.statements != bytecode.statements) {
+    add(StrPrintf("%s statements: interp %llu, bytecode %llu", mode_name,
+                  static_cast<unsigned long long>(interp.statements),
+                  static_cast<unsigned long long>(bytecode.statements)));
+  }
+  if (interp.events_digest != bytecode.events_digest) {
+    add(StrPrintf("%s obs-event digest: interp %016llX, bytecode %016llX", mode_name,
+                  static_cast<unsigned long long>(interp.events_digest),
+                  static_cast<unsigned long long>(bytecode.events_digest)));
+  }
+}
+
+}  // namespace
+
+std::vector<Divergence> DiffBytecodeTier(const ProgramSpec& spec,
+                                         const ExecObservation& vanilla,
+                                         const ExecObservation& opec) {
+  std::vector<Divergence> divs;
+  ExecObservation bc_vanilla =
+      RunOnce(spec, opec_apps::BuildMode::kVanilla, opec_apps::EngineKind::kBytecode);
+  ExecObservation bc_opec =
+      RunOnce(spec, opec_apps::BuildMode::kOpec, opec_apps::EngineKind::kBytecode);
+  CompareTier("vanilla", vanilla, bc_vanilla, &divs);
+  CompareTier("opec", opec, bc_opec, &divs);
   return divs;
 }
 
@@ -582,6 +701,9 @@ CaseResult RunCase(uint64_t seed) {
     divs.push_back(std::move(d));
   }
   for (Divergence& d : DiffSnapshotRoundTrip(spec, opec)) {
+    divs.push_back(std::move(d));
+  }
+  for (Divergence& d : DiffBytecodeTier(spec, vanilla, opec)) {
     divs.push_back(std::move(d));
   }
   result.divergences = std::move(divs);

@@ -1,4 +1,4 @@
-// The five differential oracles (DESIGN.md Section 12.2).
+// The six differential oracles (DESIGN.md Section 12.2).
 //
 //  1. Execution:    vanilla vs OPEC-partitioned runs of the same recipe must
 //                   agree on return value, UART output, GPIO effects and the
@@ -17,6 +17,11 @@
 //                   (RoundTripProbe) must observe exactly what the
 //                   uninterrupted run observes, and every round trip must
 //                   recapture to an identical digest.
+//  6. Bytecode:     the compiled bytecode tier must agree with the
+//                   tree-walking interpreter on every observation of the
+//                   recipe — externally visible outputs AND modeled cycles,
+//                   statement counts and the obs-event stream digest — in
+//                   both build modes.
 
 #ifndef SRC_FUZZ_ORACLES_H_
 #define SRC_FUZZ_ORACLES_H_
@@ -51,13 +56,27 @@ struct ExecObservation {
   // Under OPEC the address read honors the end-of-run shadow policy (see
   // FinalAddrOf in oracles.cc).
   std::map<std::string, std::string> finals;
+  // Modeled outputs and the obs-event stream digest. Compared by the bytecode
+  // oracle only — deliberately NOT part of FormatObservation, so case digests
+  // (and the pinned regression corpus) are unchanged by their addition.
+  uint64_t cycles = 0;
+  uint64_t statements = 0;
+  uint64_t events_digest = 0;
 };
 
-ExecObservation RunOnce(const ProgramSpec& spec, opec_apps::BuildMode mode);
+ExecObservation RunOnce(const ProgramSpec& spec, opec_apps::BuildMode mode,
+                        opec_apps::EngineKind engine = opec_apps::EngineKind::kInterp);
 
 std::string FormatObservation(const ExecObservation& obs);
 
-enum class Oracle : uint8_t { kExecDiff, kPointsTo, kMpuCache, kParallel, kSnapshot };
+enum class Oracle : uint8_t {
+  kExecDiff,
+  kPointsTo,
+  kMpuCache,
+  kParallel,
+  kSnapshot,
+  kBytecodeTier,
+};
 const char* OracleName(Oracle o);
 
 struct Divergence {
@@ -83,7 +102,16 @@ std::vector<Divergence> DiffMpuCache(uint64_t seed);
 std::vector<Divergence> DiffSnapshotRoundTrip(const ProgramSpec& spec,
                                               const ExecObservation& opec);
 
-// One fuzz case: generate the recipe for `seed` and run oracles 1-3 on it.
+// Oracle 6: reruns the recipe on the bytecode VM in both build modes and
+// compares against the interpreter observations — outputs, modeled cycles,
+// statement counts and obs-event digests must all be bit-identical.
+std::vector<Divergence> DiffBytecodeTier(const ProgramSpec& spec,
+                                         const ExecObservation& vanilla,
+                                         const ExecObservation& opec);
+
+// One fuzz case: generate the recipe for `seed` and run every recipe-level
+// oracle on it (1, 2, 3, 5 and 6; oracle 4 is the serial-vs-parallel digest
+// comparison done by the CLI / CI).
 // `digest` is a deterministic fingerprint of everything observed — byte-equal
 // between serial and parallel campaigns (oracle 4) and across reruns.
 struct CaseResult {

@@ -79,6 +79,31 @@ class Bus {
   uint32_t flash_end() const { return kFlashBase + board_.flash_size; }
   uint32_t sram_end() const { return kSramBase + board_.sram_size; }
 
+  // Verdict-cached engine fast path (src/rt/bytecode): raw backing access for
+  // plain-memory accesses whose MPU verdict the caller has already established
+  // and cached against Mpu::generation(). Behavioral twins of the Read/Write
+  // fast paths minus the MPU check; dirty-page tracking stays exact. Callers
+  // must have checked InSram/InFlash for the same (addr, size) first.
+  bool InSram(uint32_t addr, uint32_t size) const {
+    uint32_t off = addr - kSramBase;
+    return off < board_.sram_size && off + size <= board_.sram_size;
+  }
+  bool InFlash(uint32_t addr, uint32_t size) const {
+    uint32_t off = addr - kFlashBase;
+    return off < board_.flash_size && off + size <= board_.flash_size;
+  }
+  uint32_t RawSramRead(uint32_t addr, uint32_t size) const {
+    return ReadBacking(sram_, addr - kSramBase, size);
+  }
+  void RawSramWrite(uint32_t addr, uint32_t size, uint32_t value) {
+    uint32_t off = addr - kSramBase;
+    WriteBacking(sram_, off, size, value);
+    MarkDirty(sram_dirty_, off, size);
+  }
+  uint32_t RawFlashRead(uint32_t addr, uint32_t size) const {
+    return ReadBacking(flash_, addr - kFlashBase, size);
+  }
+
   // Forensics: explains why a BusFault-producing access was rejected (PPB
   // privilege rule, flash W^X, region-end overrun, device rejection, unmapped
   // address). Pure observation; performs no device access and charges nothing.

@@ -1,5 +1,7 @@
 #include "src/hw/mpu.h"
 
+#include <algorithm>
+
 #include "src/obs/event.h"
 #include "src/support/check.h"
 #include "src/support/text.h"
@@ -136,6 +138,47 @@ bool Mpu::CheckRange(uint32_t addr, uint32_t len, AccessKind kind, bool privileg
     }
   }
   return true;
+}
+
+bool Mpu::AllowedRange(uint32_t addr, AccessKind kind, bool privileged, uint32_t* lo,
+                       uint32_t* hi) const {
+  if (!enabled_) {
+    *lo = 0;
+    *hi = 0xFFFFFFFFu;
+    return true;
+  }
+  // Narrow [0, 2^32) against every enabled region: clip to the containing
+  // granule (the sub-region when SRD is in play, else the whole region) when
+  // the region covers addr, and to the gap up to the region's edge when it
+  // does not. The surviving interval crosses no boundary of any region, so
+  // the deciding-region walk — and with it the allow mask — is constant over
+  // all of it. 64-bit bounds: base + size reaches 2^32 for top-of-map regions.
+  uint64_t lo64 = 0;
+  uint64_t hi64 = 0xFFFFFFFFull;  // inclusive
+  for (const MpuRegionConfig& r : regions_) {
+    if (!r.enabled) {
+      continue;
+    }
+    uint64_t start = r.base;
+    uint64_t end = r.size_log2 >= 32 ? (1ull << 32) : start + r.size();  // exclusive
+    if (addr < start) {
+      hi64 = std::min(hi64, start - 1);
+      continue;
+    }
+    if (addr >= end) {
+      lo64 = std::max(lo64, end);
+      continue;
+    }
+    uint64_t granule = (r.srd != 0 && r.size_log2 >= 8) ? (end - start) / kNumSubRegions
+                                                        : end - start;
+    uint64_t g = (addr - start) / granule;
+    lo64 = std::max(lo64, start + g * granule);
+    hi64 = std::min(hi64, start + (g + 1) * granule - 1);
+  }
+  *lo = static_cast<uint32_t>(lo64);
+  *hi = static_cast<uint32_t>(hi64);
+  uint32_t bit = (static_cast<uint32_t>(kind) << 1) | static_cast<uint32_t>(privileged);
+  return (ComputeAllowMask(addr) >> bit) & 1u;
 }
 
 bool Mpu::CheckAccessUncached(uint32_t addr, uint32_t size, AccessKind kind,

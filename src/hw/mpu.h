@@ -64,6 +64,13 @@ class Mpu {
   // configuration (see mpu_test.cc, LoadStateInvalidatesDecisionCache).
   void InvalidateCache() { ++generation_; }
 
+  // Monotonic reconfiguration stamp backing the decision cache. External
+  // verdict caches (the bytecode tier's per-instruction access caches) key
+  // their entries on this: any region change — ConfigureRegion, DisableRegion,
+  // LoadState, explicit InvalidateCache — bumps it, so a stale cached verdict
+  // can never match.
+  uint64_t generation() const { return generation_; }
+
   // Snapshot support (DESIGN.md §13): enable bit, all eight region registers
   // and the reconfiguration counter. The decision cache is not serialized —
   // it is derived state — and LoadState invalidates it.
@@ -91,6 +98,18 @@ class Mpu {
   // on every probe.
   bool CheckAccessUncached(uint32_t addr, uint32_t size, AccessKind kind,
                            bool privileged) const;
+
+  // Verdict for a one-byte probe at `addr`, plus the maximal closed interval
+  // [*lo, *hi] containing addr over which that verdict cannot change: the
+  // interval crosses no region boundary and no sub-region boundary of any
+  // enabled region, so every byte in it has the same deciding region and the
+  // same allow mask. External verdict caches (the bytecode tier) pair the
+  // interval with generation() to skip the region walk for every subsequent
+  // access that stays inside it — a streaming copy through a region costs one
+  // walk instead of one per 32-byte window. With the MPU disabled the whole
+  // address space is one allow interval.
+  bool AllowedRange(uint32_t addr, AccessKind kind, bool privileged, uint32_t* lo,
+                    uint32_t* hi) const;
 
   // Counts MPU reconfigurations, for the cost model and the benches.
   uint64_t config_writes() const { return config_writes_; }

@@ -1,0 +1,771 @@
+#include "src/rt/bytecode/lowerer.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/support/check.h"
+#include "src/support/text.h"
+
+namespace opec_rt {
+namespace bytecode {
+
+using opec_ir::BinaryOp;
+using opec_ir::Expr;
+using opec_ir::ExprKind;
+using opec_ir::Function;
+using opec_ir::Stmt;
+using opec_ir::StmtKind;
+using opec_ir::StmtPtr;
+using opec_ir::Type;
+using opec_ir::UnaryOp;
+
+namespace {
+
+// Lowers one function at a time into the shared BytecodeModule. The pending
+// accounting state (stmt/charge batch plus the interpreter-order replay
+// script) accumulates across pure instructions and drains into the next
+// flushing instruction; see bytecode.h for the model and the invariants.
+class FnLowerer {
+ public:
+  FnLowerer(const Engine& engine, const CostModel& costs, BytecodeModule& bc)
+      : eng_(engine), costs_(costs), bc_(bc) {}
+
+  void LowerFunction(const Function& fn) {
+    fn_ = &fn;
+    fl_ = &eng_.frame_layouts()[static_cast<size_t>(fn.ordinal())];
+    fuse_barrier_ = Here();
+    next_reg_ = 0;
+    free_.clear();
+    loops_.clear();
+    fnend_jumps_.clear();
+    script_.clear();
+    pend_stmt_ = 0;
+    pend_charge_ = 0;
+
+    uint32_t entry = Here();
+    LowerBlock(fn.body());
+    // Implicit `return 0` at function end; break/continue outside any loop
+    // fall out of the body in the interpreter and land here too. Jumps arrive
+    // with their pending flushed, so a pending-carrying fallthrough must
+    // drain before the shared kRet.
+    if (!fnend_jumps_.empty()) {
+      FlushIfPending();
+    }
+    uint32_t end_pc = EmitFlush(I(Op::kRet));
+    for (uint32_t pc : fnend_jumps_) {
+      Patch(pc, end_pc);
+    }
+
+    BytecodeFunction& bf = bc_.funcs[static_cast<size_t>(fn.ordinal())];
+    bf.entry = entry;
+    bf.nregs = next_reg_;
+    bc_.max_regs = std::max(bc_.max_regs, bf.nregs);
+  }
+
+ private:
+  static Insn I(Op op) {
+    Insn x;
+    x.op = op;
+    return x;
+  }
+
+  uint32_t Here() const { return static_cast<uint32_t>(bc_.code.size()); }
+  void Patch(uint32_t pc, uint32_t target) { bc_.code[pc].imm = target; }
+
+  // --- peephole fusion ---
+  //
+  // A pure producer (kConst, kLea, kAddImm, kIndexAddr, a comparison kBinary)
+  // whose sole consumer is the next instruction can be popped and folded into
+  // it. Validity rests on two rules. First, the replacement is emitted at the
+  // producer's pc and subsumes its effect, so any control transfer landing on
+  // that pc (a call's return address always points just past the kCall, i.e.
+  // at the producer slot) still computes the same thing. Second, no *label*
+  // may point between producer and consumer: every point whose pc is captured
+  // as a branch target calls MarkLabel(), and fusion never pops an
+  // instruction emitted at or before the barrier. Only EmitPure instructions
+  // are popped, so accounting batches and replay scripts are untouched.
+
+  void MarkLabel() { fuse_barrier_ = Here(); }
+
+  // True when the last emitted instruction is a poppable `op` producing
+  // register `dst` past the label barrier. Callers only ask about registers
+  // they are about to consume and free, so the producer's value is dead once
+  // folded.
+  bool CanPop(Op op, uint16_t dst) const {
+    return Here() > fuse_barrier_ && !bc_.code.empty() &&
+           bc_.code.back().op == op && bc_.code.back().a == dst;
+  }
+
+  Insn PopLast() {
+    Insn k = bc_.code.back();
+    bc_.code.pop_back();
+    bc_.acct.pop_back();
+    return k;
+  }
+
+  static bool IsCmp(uint8_t sub) {
+    BinaryOp b = static_cast<BinaryOp>(sub);
+    return b >= BinaryOp::kEq && b <= BinaryOp::kGe;
+  }
+
+  // Emits the conditional branch on register `c`, fusing an immediately
+  // preceding comparison that produced `c` into a kBrCmp* superinstruction.
+  // `plain` is kBrFalse or kBrTrue; returns the branch pc for patching.
+  uint32_t EmitCondBranch(Op plain, uint16_t c) {
+    bool jump_if_true = plain == Op::kBrTrue;
+    if (CanPop(Op::kBinary, c) && IsCmp(bc_.code.back().sub)) {
+      Insn k = PopLast();
+      Insn br = I(jump_if_true ? Op::kBrCmpTrue : Op::kBrCmpFalse);
+      br.b = k.b;
+      br.c = k.c;
+      br.sub = k.sub;
+      br.imm2 = k.imm2;
+      return EmitFlush(br);
+    }
+    if (CanPop(Op::kBinaryImm, c) && IsCmp(bc_.code.back().sub)) {
+      Insn k = PopLast();
+      Insn br = I(jump_if_true ? Op::kBrCmpImmTrue : Op::kBrCmpImmFalse);
+      br.b = k.b;
+      br.a = static_cast<uint16_t>(k.imm & 0xFFFFu);  // constant, split a|c<<16
+      br.c = static_cast<uint16_t>(k.imm >> 16);
+      br.sub = k.sub;
+      br.imm2 = k.imm2;
+      return EmitFlush(br);
+    }
+    Insn br = I(plain);
+    br.a = c;
+    return EmitFlush(br);
+  }
+
+  // --- pending accounting ---
+
+  void PendStmt() {
+    // Keep the batch far under the uint16 field limit; an early kAcct flush
+    // is always sound (it only moves accounting earlier between observables).
+    if (pend_stmt_ >= 60000) {
+      FlushIfPending();
+    }
+    script_.push_back(kAcctStmt);
+    ++pend_stmt_;
+  }
+
+  void PendCharge(uint64_t c) {
+    if (c != 0) {
+      script_.push_back(static_cast<int64_t>(c));
+      pend_charge_ += c;
+    }
+  }
+
+  uint32_t EmitPure(Insn insn) {
+    uint32_t pc = Here();
+    bc_.code.push_back(insn);
+    bc_.acct.emplace_back(0, 0);
+    return pc;
+  }
+
+  uint32_t EmitFlush(Insn insn) {
+    insn.stmt = static_cast<uint16_t>(pend_stmt_);
+    insn.charge = pend_charge_;
+    uint32_t pc = Here();
+    bc_.code.push_back(insn);
+    if (pend_stmt_ > 0) {
+      // The replay script is only consulted when a statement batch can cross
+      // the limit; charge-only batches can never newly cross it.
+      uint32_t ofs = static_cast<uint32_t>(bc_.acct_pool.size());
+      bc_.acct_pool.insert(bc_.acct_pool.end(), script_.begin(), script_.end());
+      bc_.acct.emplace_back(ofs, static_cast<uint32_t>(script_.size()));
+    } else {
+      bc_.acct.emplace_back(0, 0);
+    }
+    script_.clear();
+    pend_stmt_ = 0;
+    pend_charge_ = 0;
+    return pc;
+  }
+
+  void FlushIfPending() {
+    if (pend_stmt_ != 0 || pend_charge_ != 0) {
+      EmitFlush(I(Op::kAcct));
+    }
+  }
+
+  // --- registers ---
+
+  uint16_t AllocReg() {
+    if (!free_.empty()) {
+      uint16_t r = free_.back();
+      free_.pop_back();
+      return r;
+    }
+    OPEC_CHECK_MSG(next_reg_ < 60000, "bytecode register overflow in " + fn_->name());
+    return next_reg_++;
+  }
+
+  void FreeReg(uint16_t r) { free_.push_back(r); }
+
+  // --- aborts / messages ---
+
+  uint32_t MsgIndex(const std::string& msg) {
+    auto it = msg_index_.find(msg);
+    if (it != msg_index_.end()) {
+      return it->second;
+    }
+    uint32_t idx = static_cast<uint32_t>(bc_.messages.size());
+    bc_.messages.push_back(msg);
+    msg_index_.emplace(msg, idx);
+    return idx;
+  }
+
+  // Emits an unconditional abort carrying the current pending batch (so the
+  // cycles/statements charged up to the throw point match the interpreter)
+  // and returns a fresh register to keep callers shape-correct; execution
+  // never continues past the kAbort, so its value is never read.
+  uint16_t EmitAbort(const std::string& msg) {
+    Insn x = I(Op::kAbort);
+    x.imm = MsgIndex(msg);
+    EmitFlush(x);
+    return AllocReg();
+  }
+
+  static uint32_t TruncMask(const Type* t) {
+    if (t->IsPointer() || t->size() == 4) {
+      return 0xFFFFFFFFu;
+    }
+    return (1u << (t->size() * 8)) - 1;
+  }
+
+  // --- statements (mirrors ExecStmt) ---
+
+  void LowerBlock(const std::vector<StmtPtr>& body) {
+    for (const StmtPtr& s : body) {
+      LowerStmt(*s);
+    }
+  }
+
+  void LowerStmt(const Stmt& s) {
+    PendStmt();  // ExecStmt entry
+    switch (s.kind) {
+      case StmtKind::kAssign: {
+        uint16_t v = LowerOperand(*s.expr);
+        const Expr& lhs = *s.lhs;
+        uint32_t mask = TruncMask(lhs.type);
+        uint8_t size = static_cast<uint8_t>(lhs.type->size());
+        if (lhs.kind == ExprKind::kLocal) {
+          PendCharge(costs_.op);
+          Insn x = I(Op::kStoreLocal);
+          x.a = v;
+          x.sub = size;
+          x.imm = fl_->offsets[static_cast<size_t>(lhs.local_slot)];
+          x.imm2 = mask;
+          EmitFlush(x);
+        } else if (lhs.kind == ExprKind::kGlobal) {
+          PendCharge(costs_.op);
+          uint32_t addr = eng_.GlobalAddrOf(lhs.global);
+          if (addr == 0) {
+            FreeReg(EmitAbort("global has no assigned address: " + lhs.global->name()));
+          } else {
+            Insn x = I(Op::kStoreAbs);
+            x.a = v;
+            x.sub = size;
+            x.imm = addr;
+            x.imm2 = mask;
+            EmitFlush(x);
+          }
+        } else {
+          uint16_t ad = LowerAddr(lhs);
+          Insn x = I(Op::kStoreInd);
+          if (CanPop(Op::kIndexAddr, ad)) {
+            Insn k = PopLast();
+            x.op = Op::kStoreIdx;
+            x.b = k.b;
+            x.c = k.c;
+            x.imm = k.imm;
+          } else if (CanPop(Op::kAddImm, ad)) {
+            Insn k = PopLast();
+            x.b = k.b;
+            x.imm = k.imm;
+          } else {
+            x.b = ad;
+          }
+          x.a = v;
+          x.sub = size;
+          x.imm2 = mask;
+          EmitFlush(x);
+          FreeReg(ad);
+        }
+        FreeReg(v);
+        return;
+      }
+      case StmtKind::kExpr:
+        FreeReg(LowerExpr(*s.expr));
+        return;
+      case StmtKind::kIf: {
+        PendCharge(costs_.branch);
+        uint16_t c = LowerOperand(*s.expr);
+        uint32_t brpc = EmitCondBranch(Op::kBrFalse, c);
+        FreeReg(c);
+        LowerBlock(s.body);
+        if (s.orelse.empty()) {
+          FlushIfPending();
+          MarkLabel();
+          Patch(brpc, Here());
+        } else {
+          uint32_t jpc = EmitFlush(I(Op::kJump));
+          MarkLabel();
+          Patch(brpc, Here());
+          LowerBlock(s.orelse);
+          FlushIfPending();
+          MarkLabel();
+          Patch(jpc, Here());
+        }
+        return;
+      }
+      case StmtKind::kWhile: {
+        // The while statement itself counts once (ExecStmt entry, flushed
+        // here); the branch charge recurs at the loop head every iteration.
+        FlushIfPending();
+        MarkLabel();
+        uint32_t head = Here();
+        PendCharge(costs_.branch);
+        uint16_t c = LowerOperand(*s.expr);
+        uint32_t exitpc = EmitCondBranch(Op::kBrFalse, c);
+        FreeReg(c);
+        loops_.push_back({head, {}});
+        LowerBlock(s.body);
+        Insn j = I(Op::kJump);
+        j.imm = head;
+        EmitFlush(j);  // the backedge carries the body tail's pending batch
+        MarkLabel();
+        uint32_t end = Here();
+        Patch(exitpc, end);
+        for (uint32_t pc : loops_.back().breaks) {
+          Patch(pc, end);
+        }
+        loops_.pop_back();
+        return;
+      }
+      case StmtKind::kBreak:
+        if (loops_.empty()) {
+          fnend_jumps_.push_back(EmitFlush(I(Op::kJump)));
+        } else {
+          loops_.back().breaks.push_back(EmitFlush(I(Op::kJump)));
+        }
+        return;
+      case StmtKind::kContinue:
+        if (loops_.empty()) {
+          fnend_jumps_.push_back(EmitFlush(I(Op::kJump)));
+        } else {
+          Insn j = I(Op::kJump);
+          j.imm = loops_.back().head;
+          EmitFlush(j);
+        }
+        return;
+      case StmtKind::kReturn: {
+        Insn r = I(Op::kRet);
+        if (s.expr != nullptr) {
+          uint16_t v = LowerExpr(*s.expr);
+          r.sub = 1;
+          r.a = v;
+          EmitFlush(r);
+          FreeReg(v);
+        } else {
+          EmitFlush(r);
+        }
+        return;
+      }
+    }
+    OPEC_UNREACHABLE("bad StmtKind");
+  }
+
+  // --- expressions (mirrors Eval) ---
+
+  uint16_t LowerExpr(const Expr& e) {
+    PendStmt();
+    if (e.kind != ExprKind::kIntConst && e.kind != ExprKind::kCast &&
+        e.kind != ExprKind::kAddrOf) {
+      PendCharge(costs_.op);
+    }
+    switch (e.kind) {
+      case ExprKind::kIntConst: {
+        uint16_t r = AllocReg();
+        Insn x = I(Op::kConst);
+        x.a = r;
+        x.imm = static_cast<uint32_t>(e.int_value);
+        EmitPure(x);
+        return r;
+      }
+      case ExprKind::kFuncAddr: {
+        uint16_t r = AllocReg();
+        Insn x = I(Op::kConst);
+        x.a = r;
+        x.imm = eng_.FuncAddr(e.func);
+        EmitPure(x);
+        return r;
+      }
+      case ExprKind::kLocal:
+      case ExprKind::kGlobal:
+      case ExprKind::kDeref:
+      case ExprKind::kIndex:
+      case ExprKind::kField: {
+        if (!e.type->IsInt() && !e.type->IsPointer()) {
+          return EmitAbort("rvalue load of aggregate type " + e.type->ToString());
+        }
+        uint8_t size = static_cast<uint8_t>(e.type->size());
+        if (e.kind == ExprKind::kLocal) {
+          PendCharge(costs_.op);  // the flattened EvalAddr charge
+          uint16_t r = AllocReg();
+          Insn x = I(Op::kLoadLocal);
+          x.a = r;
+          x.sub = size;
+          x.imm = fl_->offsets[static_cast<size_t>(e.local_slot)];
+          EmitFlush(x);
+          return r;
+        }
+        if (e.kind == ExprKind::kGlobal) {
+          PendCharge(costs_.op);
+          uint32_t addr = eng_.GlobalAddrOf(e.global);
+          if (addr == 0) {
+            return EmitAbort("global has no assigned address: " + e.global->name());
+          }
+          uint16_t r = AllocReg();
+          Insn x = I(Op::kLoadAbs);
+          x.a = r;
+          x.sub = size;
+          x.imm = addr;
+          EmitFlush(x);
+          return r;
+        }
+        uint16_t ad = LowerAddr(e);
+        FreeReg(ad);
+        uint16_t r = AllocReg();
+        Insn x = I(Op::kLoadInd);
+        if (CanPop(Op::kIndexAddr, ad)) {
+          Insn k = PopLast();  // fold base + index*size into the load
+          x.op = Op::kLoadIdx;
+          x.b = k.b;
+          x.c = k.c;
+          x.imm = k.imm;
+        } else if (CanPop(Op::kAddImm, ad)) {
+          Insn k = PopLast();  // fold the field offset into the load
+          x.b = k.b;
+          x.imm = k.imm;
+        } else {
+          x.b = ad;
+        }
+        x.a = r;
+        x.sub = size;
+        EmitFlush(x);
+        return r;
+      }
+      case ExprKind::kAddrOf:
+        return LowerAddr(*e.operands[0]);
+      case ExprKind::kUnary: {
+        uint16_t v = LowerOperand(*e.operands[0]);
+        FreeReg(v);
+        uint16_t r = AllocReg();
+        Insn x = I(Op::kUnary);
+        x.a = r;
+        x.b = v;
+        x.sub = static_cast<uint8_t>(e.unary_op);
+        x.imm = e.unary_op == UnaryOp::kLogNot ? 0xFFFFFFFFu : TruncMask(e.type);
+        EmitPure(x);
+        return r;
+      }
+      case ExprKind::kBinary:
+        return LowerBinary(e);
+      case ExprKind::kCast: {
+        uint16_t v = LowerOperand(*e.operands[0]);
+        const Type* from = e.operands[0]->type;
+        uint32_t mask = TruncMask(e.type);
+        if (from->IsInt() && from->is_signed() && from->size() < e.type->size()) {
+          FreeReg(v);
+          uint16_t r = AllocReg();
+          Insn x = I(Op::kSext);
+          x.a = r;
+          x.b = v;
+          x.imm2 = from->size() * 8;
+          x.imm = mask;
+          EmitPure(x);
+          return r;
+        }
+        if (mask == 0xFFFFFFFFu) {
+          return v;  // identity cast: reuse the operand register
+        }
+        FreeReg(v);
+        uint16_t r = AllocReg();
+        Insn x = I(Op::kAndImm);
+        x.a = r;
+        x.b = v;
+        x.imm = mask;
+        EmitPure(x);
+        return r;
+      }
+      case ExprKind::kCall:
+        return LowerCall(e, /*indirect=*/false);
+      case ExprKind::kICall:
+        return LowerCall(e, /*indirect=*/true);
+    }
+    OPEC_UNREACHABLE("bad ExprKind");
+  }
+
+  uint16_t LowerOperand(const Expr& e) {
+    if (e.kind == ExprKind::kIntConst) {
+      PendStmt();
+      uint16_t r = AllocReg();
+      Insn x = I(Op::kConst);
+      x.a = r;
+      x.imm = static_cast<uint32_t>(e.int_value);
+      EmitPure(x);
+      return r;
+    }
+    if ((e.kind == ExprKind::kLocal || e.kind == ExprKind::kGlobal) &&
+        (e.type->IsInt() || e.type->IsPointer())) {
+      PendStmt();
+      PendCharge(costs_.op * 2);  // EvalOperand's single fused charge
+      uint8_t size = static_cast<uint8_t>(e.type->size());
+      if (e.kind == ExprKind::kLocal) {
+        uint16_t r = AllocReg();
+        Insn x = I(Op::kLoadLocal);
+        x.a = r;
+        x.sub = size;
+        x.imm = fl_->offsets[static_cast<size_t>(e.local_slot)];
+        EmitFlush(x);
+        return r;
+      }
+      uint32_t addr = eng_.GlobalAddrOf(e.global);
+      if (addr == 0) {
+        return EmitAbort("global has no assigned address: " + e.global->name());
+      }
+      uint16_t r = AllocReg();
+      Insn x = I(Op::kLoadAbs);
+      x.a = r;
+      x.sub = size;
+      x.imm = addr;
+      EmitFlush(x);
+      return r;
+    }
+    return LowerExpr(e);
+  }
+
+  uint16_t LowerAddr(const Expr& e) {
+    PendCharge(costs_.op);  // EvalAddr entry charge (no statement count)
+    switch (e.kind) {
+      case ExprKind::kLocal: {
+        uint16_t r = AllocReg();
+        Insn x = I(Op::kLea);
+        x.a = r;
+        x.imm = fl_->offsets[static_cast<size_t>(e.local_slot)];
+        EmitPure(x);
+        return r;
+      }
+      case ExprKind::kGlobal: {
+        uint32_t addr = eng_.GlobalAddrOf(e.global);
+        if (addr == 0) {
+          return EmitAbort("global has no assigned address: " + e.global->name());
+        }
+        uint16_t r = AllocReg();
+        Insn x = I(Op::kConst);
+        x.a = r;
+        x.imm = addr;
+        EmitPure(x);
+        return r;
+      }
+      case ExprKind::kDeref:
+        return LowerOperand(*e.operands[0]);
+      case ExprKind::kIndex: {
+        const Expr& base = *e.operands[0];
+        uint16_t ba = base.type->IsPointer() ? LowerExpr(base) : LowerAddr(base);
+        uint16_t idx = LowerOperand(*e.operands[1]);
+        FreeReg(ba);
+        FreeReg(idx);
+        uint16_t r = AllocReg();
+        Insn x = I(Op::kIndexAddr);
+        x.a = r;
+        x.b = ba;
+        x.c = idx;
+        x.imm = e.type->size();
+        EmitPure(x);
+        return r;
+      }
+      case ExprKind::kField: {
+        uint16_t ba = LowerAddr(*e.operands[0]);
+        uint32_t off =
+            e.operands[0]->type->fields()[static_cast<size_t>(e.field_index)].offset;
+        if (off == 0) {
+          return ba;
+        }
+        // Nested field paths collapse into one address instruction: the
+        // offset folds directly into a kLea/kConst/kAddImm base producer.
+        if (CanPop(Op::kAddImm, ba) || CanPop(Op::kLea, ba) || CanPop(Op::kConst, ba)) {
+          Insn k = PopLast();
+          FreeReg(ba);
+          uint16_t r = AllocReg();
+          k.a = r;
+          k.imm += off;
+          EmitPure(k);
+          return r;
+        }
+        FreeReg(ba);
+        uint16_t r = AllocReg();
+        Insn x = I(Op::kAddImm);
+        x.a = r;
+        x.b = ba;
+        x.imm = off;
+        EmitPure(x);
+        return r;
+      }
+      default:
+        return EmitAbort("EvalAddr on non-lvalue expression");
+    }
+  }
+
+  uint16_t LowerBinary(const Expr& e) {
+    // Eval has already pended this node's statement and operation charge.
+    if (e.binary_op == BinaryOp::kLogAnd || e.binary_op == BinaryOp::kLogOr) {
+      bool is_and = e.binary_op == BinaryOp::kLogAnd;
+      uint16_t a = LowerOperand(*e.operands[0]);
+      uint32_t p1 = EmitCondBranch(is_and ? Op::kBrFalse : Op::kBrTrue, a);
+      FreeReg(a);
+      uint16_t b = LowerOperand(*e.operands[1]);
+      uint32_t p2 = EmitCondBranch(is_and ? Op::kBrFalse : Op::kBrTrue, b);
+      FreeReg(b);
+      uint16_t dst = AllocReg();
+      Insn c1 = I(Op::kConst);
+      c1.a = dst;
+      c1.imm = is_and ? 1 : 0;
+      EmitPure(c1);
+      uint32_t j = EmitFlush(I(Op::kJump));
+      MarkLabel();
+      uint32_t shortcut = Here();
+      Insn c2 = I(Op::kConst);
+      c2.a = dst;
+      c2.imm = is_and ? 0 : 1;
+      EmitPure(c2);
+      Patch(p1, shortcut);
+      Patch(p2, shortcut);
+      MarkLabel();
+      Patch(j, Here());
+      return dst;
+    }
+
+    uint16_t a = LowerOperand(*e.operands[0]);
+    uint16_t b = LowerOperand(*e.operands[1]);
+    const Type* t = e.operands[0]->type;
+    bool sign = t->IsInt() && t->is_signed();
+    FreeReg(a);
+    FreeReg(b);
+    uint16_t r = AllocReg();
+    Insn x = I(Op::kBinary);
+    x.a = r;
+    x.b = a;
+    x.c = b;
+    x.sub = static_cast<uint8_t>(e.binary_op);
+    x.imm = TruncMask(e.type);
+    x.imm2 = (sign ? 0x100u : 0u) | (t->size() * 8);
+    if (e.binary_op == BinaryOp::kDiv || e.binary_op == BinaryOp::kRem) {
+      x.op = Op::kDivRem;
+      EmitFlush(x);  // can abort on a zero divisor
+      return r;
+    }
+    // Right-hand constant: fold the producing kConst into a kBinaryImm. The
+    // result mask moves into a 2-bit selector so imm can carry the constant.
+    if (CanPop(Op::kConst, b)) {
+      uint32_t mask_sel = e.type->size() == 1 ? 0u : e.type->size() == 2 ? 1u : 2u;
+      Insn k = PopLast();
+      x.op = Op::kBinaryImm;
+      x.c = 0;
+      x.imm = k.imm;
+      x.imm2 |= mask_sel << 9;
+    }
+    EmitPure(x);
+    return r;
+  }
+
+  uint16_t LowerCall(const Expr& e, bool indirect) {
+    uint16_t ordr = 0;
+    size_t first_arg = 0;
+    if (indirect) {
+      // Eval(kICall): the target is a full Eval, then the function/signature
+      // checks happen before any argument is evaluated.
+      uint16_t t = LowerExpr(*e.operands[0]);
+      FreeReg(t);
+      ordr = AllocReg();
+      Insn chk = I(Op::kICallCheck);
+      chk.a = ordr;
+      chk.b = t;
+      chk.imm = static_cast<uint32_t>(e.signature->params().size());
+      EmitFlush(chk);
+      first_arg = 1;
+    }
+    std::vector<uint16_t> argregs;
+    for (size_t i = first_arg; i < e.operands.size(); ++i) {
+      argregs.push_back(LowerOperand(*e.operands[i]));
+    }
+    OPEC_CHECK_MSG(argregs.size() <= 255, "too many call arguments in " + fn_->name());
+    uint32_t pool = static_cast<uint32_t>(bc_.arg_pool.size());
+    OPEC_CHECK_MSG(pool + argregs.size() <= 0xFFFF, "bytecode argument pool overflow");
+    for (uint16_t r : argregs) {
+      bc_.arg_pool.push_back(r);
+    }
+    for (uint16_t r : argregs) {
+      FreeReg(r);
+    }
+    uint16_t dst = AllocReg();
+    Insn c = I(indirect ? Op::kCallInd : Op::kCall);
+    c.a = dst;
+    c.b = static_cast<uint16_t>(pool);
+    c.sub = static_cast<uint8_t>(argregs.size());
+    c.imm2 = static_cast<uint32_t>(e.operation_entry_id + 1);
+    if (indirect) {
+      c.c = ordr;
+    } else {
+      c.imm = static_cast<uint32_t>(e.func->ordinal());
+    }
+    EmitFlush(c);
+    if (indirect) {
+      FreeReg(ordr);
+    }
+    return dst;
+  }
+
+  const Engine& eng_;
+  const CostModel& costs_;
+  BytecodeModule& bc_;
+
+  const Function* fn_ = nullptr;
+  const Engine::FrameLayout* fl_ = nullptr;
+  uint32_t fuse_barrier_ = 0;  // no fusion across instructions at pc < barrier
+  uint16_t next_reg_ = 0;
+  std::vector<uint16_t> free_;
+
+  std::vector<int64_t> script_;
+  uint32_t pend_stmt_ = 0;
+  uint64_t pend_charge_ = 0;
+
+  struct Loop {
+    uint32_t head = 0;
+    std::vector<uint32_t> breaks;
+  };
+  std::vector<Loop> loops_;
+  std::vector<uint32_t> fnend_jumps_;
+
+  std::map<std::string, uint32_t> msg_index_;
+};
+
+}  // namespace
+
+BytecodeModule Lowerer::Lower(const Engine& engine, const CostModel& costs) {
+  BytecodeModule bc;
+  const auto& fns = engine.module().functions();
+  bc.funcs.resize(fns.size());
+  FnLowerer fl(engine, costs, bc);
+  for (const auto& f : fns) {
+    fl.LowerFunction(*f);
+  }
+  return bc;
+}
+
+}  // namespace bytecode
+}  // namespace opec_rt

@@ -1,0 +1,29 @@
+// Lowers an opec_ir::Module into the flat bytecode of bytecode.h.
+//
+// The lowerer mirrors the interpreter's accounting node for node (see the
+// bytecode.h header comment): pure expression work becomes register
+// instructions whose statement counts and cycle charges are batched into the
+// next flushing instruction, together with a replay script for exact
+// statement-limit aborts.
+
+#ifndef SRC_RT_BYTECODE_LOWERER_H_
+#define SRC_RT_BYTECODE_LOWERER_H_
+
+#include "src/rt/bytecode/bytecode.h"
+#include "src/rt/engine.h"
+
+namespace opec_rt {
+namespace bytecode {
+
+class Lowerer {
+ public:
+  // `engine` supplies the module, frame layouts, function and global
+  // addresses; `costs` is the cost model to bake into the instruction stream
+  // (passed separately because the VM re-lowers when its model changes).
+  static BytecodeModule Lower(const Engine& engine, const CostModel& costs);
+};
+
+}  // namespace bytecode
+}  // namespace opec_rt
+
+#endif  // SRC_RT_BYTECODE_LOWERER_H_

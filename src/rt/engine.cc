@@ -24,17 +24,12 @@ using opec_ir::UnaryOp;
 
 namespace {
 
-// Internal unwinding for guest failures (faults, supervisor aborts, limits).
-struct ExecutionAborted {
-  std::string reason;
-};
-
 uint32_t AlignUp(uint32_t v, uint32_t a) { return (v + a - 1) & ~(a - 1); }
 
 }  // namespace
 
-ExecutionEngine::ExecutionEngine(opec_hw::Machine& machine, const opec_ir::Module& module,
-                                 const AddressAssignment& layout, Supervisor* supervisor)
+Engine::Engine(opec_hw::Machine& machine, const opec_ir::Module& module,
+               const AddressAssignment& layout, Supervisor* supervisor)
     : machine_(machine), module_(module), layout_(layout), supervisor_(supervisor) {
   // Precompute dense per-function indices once, so the interpreter's per-call
   // and per-access paths are flat array reads instead of map lookups. Pseudo
@@ -62,7 +57,7 @@ ExecutionEngine::ExecutionEngine(opec_hw::Machine& machine, const opec_ir::Modul
   }
 }
 
-uint32_t ExecutionEngine::FuncAddr(const Function* fn) const {
+uint32_t Engine::FuncAddr(const Function* fn) const {
   int ord = fn->ordinal();
   OPEC_CHECK_MSG(ord >= 0 && static_cast<size_t>(ord) < module_.functions().size() &&
                      module_.functions()[static_cast<size_t>(ord)].get() == fn,
@@ -70,7 +65,7 @@ uint32_t ExecutionEngine::FuncAddr(const Function* fn) const {
   return opec_hw::kFlashBase + 0x1000 + static_cast<uint32_t>(ord) * kFuncAddrStride;
 }
 
-const Function* ExecutionEngine::FuncAt(uint32_t addr) const {
+const Function* Engine::FuncAt(uint32_t addr) const {
   constexpr uint32_t base = opec_hw::kFlashBase + 0x1000;
   if (addr < base || (addr - base) % kFuncAddrStride != 0) {
     return nullptr;
@@ -79,12 +74,41 @@ const Function* ExecutionEngine::FuncAt(uint32_t addr) const {
   return idx < module_.functions().size() ? module_.functions()[idx].get() : nullptr;
 }
 
-const ExecutionEngine::FrameLayout& ExecutionEngine::LayoutOf(const Function* fn) const {
+const Engine::FrameLayout& Engine::LayoutOf(const Function* fn) const {
   int ord = fn->ordinal();
   OPEC_CHECK_MSG(ord >= 0 && static_cast<size_t>(ord) < frame_layouts_.size(),
                  "function not in module: " + fn->name());
   return frame_layouts_[static_cast<size_t>(ord)];
 }
+
+uint32_t Engine::GlobalAddrOf(const opec_ir::GlobalVariable* gv) const {
+  int ord = gv->ordinal();
+  return (ord >= 0 && static_cast<size_t>(ord) < global_addrs_.size())
+             ? global_addrs_[static_cast<size_t>(ord)]
+             : layout_.AddrOf(gv);
+}
+
+void Engine::ResetRunState() {
+  sp_ = layout_.stack_top;
+  depth_ = 0;
+  statements_ = 0;
+  current_operation_ = -1;
+  current_fn_ = nullptr;
+  fault_reports_.clear();
+  std::fill(entry_counts_.begin(), entry_counts_.end(), 0);
+  for (AttackSpec& a : attacks_) {
+    a.fired = false;
+    a.blocked = false;
+  }
+  arg_entry_counts_.clear();
+  for (ArgAttackSpec& a : arg_attacks_) {
+    a.fired = false;
+  }
+}
+
+ExecutionEngine::ExecutionEngine(opec_hw::Machine& machine, const opec_ir::Module& module,
+                                 const AddressAssignment& layout, Supervisor* supervisor)
+    : Engine(machine, module, layout, supervisor) {}
 
 uint32_t ExecutionEngine::GlobalAddr(const Expr& e) const {
   int ord = e.global->ordinal();
@@ -97,7 +121,7 @@ uint32_t ExecutionEngine::GlobalAddr(const Expr& e) const {
   return addr;
 }
 
-uint32_t ExecutionEngine::MemRead(uint32_t addr, uint32_t size) {
+uint32_t Engine::MemRead(uint32_t addr, uint32_t size) {
   for (int attempt = 0; attempt < 4; ++attempt) {
     AccessResult r = machine_.bus().Read(addr, size, machine_.privileged());
     Charge(costs_.memory);
@@ -127,7 +151,7 @@ uint32_t ExecutionEngine::MemRead(uint32_t addr, uint32_t size) {
   throw ExecutionAborted{"unresolvable fault loop on read at " + opec_support::HexAddr(addr)};
 }
 
-void ExecutionEngine::MemWrite(uint32_t addr, uint32_t size, uint32_t value) {
+void Engine::MemWrite(uint32_t addr, uint32_t size, uint32_t value) {
   for (int attempt = 0; attempt < 4; ++attempt) {
     AccessResult r = machine_.bus().Write(addr, size, value, machine_.privileged());
     Charge(costs_.memory);
@@ -157,7 +181,7 @@ void ExecutionEngine::MemWrite(uint32_t addr, uint32_t size, uint32_t value) {
   throw ExecutionAborted{"unresolvable fault loop on write at " + opec_support::HexAddr(addr)};
 }
 
-const opec_obs::FaultReport& ExecutionEngine::CaptureFault(uint32_t addr, uint32_t size,
+const opec_obs::FaultReport& Engine::CaptureFault(uint32_t addr, uint32_t size,
                                                            AccessKind kind, AccessStatus status,
                                                            bool attack) {
   opec_obs::FaultReport report;
@@ -191,7 +215,7 @@ const opec_obs::FaultReport& ExecutionEngine::CaptureFault(uint32_t addr, uint32
   return fault_reports_.back();
 }
 
-void ExecutionEngine::SaveState(opec_hw::StateWriter& w) const {
+void Engine::SaveState(opec_hw::StateWriter& w) const {
   w.U32(sp_);
   w.U32(static_cast<uint32_t>(depth_));
   w.U32(static_cast<uint32_t>(current_operation_));
@@ -207,7 +231,7 @@ void ExecutionEngine::SaveState(opec_hw::StateWriter& w) const {
   }
 }
 
-void ExecutionEngine::LoadState(opec_hw::StateReader& r) {
+void Engine::LoadState(opec_hw::StateReader& r) {
   sp_ = r.U32();
   depth_ = static_cast<int>(r.U32());
   current_operation_ = static_cast<int>(r.U32());
@@ -226,7 +250,7 @@ void ExecutionEngine::LoadState(opec_hw::StateReader& r) {
   }
 }
 
-uint32_t ExecutionEngine::Truncate(const Type* type, uint32_t value) const {
+uint32_t Engine::Truncate(const Type* type, uint32_t value) const {
   if (type->IsPointer() || type->size() == 4) {
     return value;
   }
@@ -466,7 +490,7 @@ uint32_t ExecutionEngine::Eval(const Expr& e, const Frame& frame) {
   OPEC_UNREACHABLE("bad ExprKind");
 }
 
-void ExecutionEngine::MaybeFireAttacks(const Function* fn) {
+void Engine::MaybeFireAttacks(const Function* fn) {
   if (attacks_.empty()) {
     return;
   }
@@ -715,24 +739,7 @@ RunResult ExecutionEngine::Run(const std::string& entry, const std::vector<uint3
     result.violation = "no such entry function: " + entry;
     return result;
   }
-  // Reset all per-run state so a second Run() on the same engine starts
-  // clean: attack occurrence counts and the fired/blocked outputs of a
-  // previous run must not leak into this one.
-  sp_ = layout_.stack_top;
-  depth_ = 0;
-  statements_ = 0;
-  current_operation_ = -1;
-  current_fn_ = nullptr;
-  fault_reports_.clear();
-  std::fill(entry_counts_.begin(), entry_counts_.end(), 0);
-  for (AttackSpec& a : attacks_) {
-    a.fired = false;
-    a.blocked = false;
-  }
-  arg_entry_counts_.clear();
-  for (ArgAttackSpec& a : arg_attacks_) {
-    a.fired = false;
-  }
+  ResetRunState();
 
   uint64_t start_cycles = machine_.cycles();
   if (supervisor_ != nullptr) {

@@ -1,7 +1,15 @@
-// ExecutionEngine: runs guest IR on the machine model.
+// Engine: runs guest IR on the machine model.
 //
-// This is the reproduction's stand-in for the Cortex-M4 executing Thumb-2
-// code. Fidelity properties that matter for OPEC:
+// Two execution tiers implement the same contract:
+//   * ExecutionEngine — the tree-walking interpreter over the IR AST. This is
+//     the reference semantics: every modeled cycle, statement count and obs
+//     event is defined by what this engine does.
+//   * bytecode::VM (src/rt/bytecode) — a register-based bytecode tier lowered
+//     from the same IR, required to be bit-identical to the interpreter in
+//     modeled cycles, statements, obs events, fault reports and results. The
+//     interpreter stays as the differential oracle for it.
+//
+// Fidelity properties that matter for OPEC (both tiers):
 //   * Local variables live in frames on the emulated stack in guest SRAM; the
 //     frame layout is deterministic, so the monitor's stack sub-region
 //     protection and argument relocation act on real addresses.
@@ -91,12 +99,28 @@ struct CostModel {
   uint64_t call = 6;          // call + prologue
   uint64_t ret = 4;           // epilogue + return
   uint64_t svc = 40;          // exception entry + exit for one SVC
+
+  // The bytecode tier bakes costs into instructions at lowering time and
+  // re-lowers when the model changes; equality is how it detects that.
+  bool operator==(const CostModel&) const = default;
 };
 
-class ExecutionEngine : public EngineControl {
+// Internal unwinding for guest failures (faults, supervisor aborts, limits).
+// Shared between the execution tiers so the common memory/call helpers can
+// throw it from either.
+struct ExecutionAborted {
+  std::string reason;
+};
+
+// The common engine contract and all state shared between execution tiers.
+// Everything observable across a run — attack bookkeeping, entry counters,
+// cost model, fault reports, the serialized snapshot payload — lives here so
+// the tiers cannot drift apart on it.
+class Engine : public EngineControl {
  public:
-  ExecutionEngine(opec_hw::Machine& machine, const opec_ir::Module& module,
-                  const AddressAssignment& layout, Supervisor* supervisor = nullptr);
+  Engine(opec_hw::Machine& machine, const opec_ir::Module& module,
+         const AddressAssignment& layout, Supervisor* supervisor);
+  ~Engine() override = default;
 
   // Optional instrumentation. Function-level tracing is event-based: attach
   // an ExecutionTrace (or any obs sink) to the opec_obs::Hub around Run().
@@ -122,7 +146,8 @@ class ExecutionEngine : public EngineControl {
 
   // Runs `entry` (default "main") to completion. Never throws; failures are
   // reported in the result.
-  RunResult Run(const std::string& entry = "main", const std::vector<uint32_t>& args = {});
+  virtual RunResult Run(const std::string& entry = "main",
+                        const std::vector<uint32_t>& args = {}) = 0;
 
   // --- EngineControl ---
   uint32_t sp() const override { return sp_; }
@@ -150,49 +175,42 @@ class ExecutionEngine : public EngineControl {
   // meaningful at quiescent points: before Run(), after Run() returns, or
   // in-place at an SVC boundary where the state is restored into the same
   // engine whose host recursion is still live (the snapshot probe's
-  // capture→restore→resume oracle).
+  // capture→restore→resume oracle). Non-virtual on purpose: both tiers
+  // serialize the identical shared fields, so snapshot payloads (and their
+  // digests) cannot differ between tiers.
   void SaveState(opec_hw::StateWriter& w) const;
   void LoadState(opec_hw::StateReader& r);
 
- private:
   struct FrameLayout {
     std::vector<uint32_t> offsets;  // per local slot, from frame base
     uint32_t size = 0;              // total frame bytes (8-aligned)
   };
-  struct Frame {
-    const opec_ir::Function* fn = nullptr;
-    const FrameLayout* layout = nullptr;  // precomputed; avoids per-access lookup
-    uint32_t base = 0;                    // lowest address of the frame
-  };
 
-  // Control-flow signal from statement execution.
-  enum class Flow { kNext, kBreak, kContinue, kReturn };
+  // Lowering-time introspection (src/rt/bytecode): the deterministic frame
+  // layouts, module and global placement both tiers agree on. The bytecode
+  // lowerer bakes these into instructions; the interpreter reads them live.
+  const opec_ir::Module& module() const { return module_; }
+  const std::vector<FrameLayout>& frame_layouts() const { return frame_layouts_; }
+  const CostModel& cost_model() const { return costs_; }
+  // Guest address of a global, 0 when unassigned (the engines abort only when
+  // an unassigned global's address is actually needed at execution time).
+  uint32_t GlobalAddrOf(const opec_ir::GlobalVariable* gv) const;
 
+ protected:
   const FrameLayout& LayoutOf(const opec_ir::Function* fn) const;
-  uint32_t GlobalAddr(const opec_ir::Expr& e) const;
 
   uint32_t MemRead(uint32_t addr, uint32_t size);
   void MemWrite(uint32_t addr, uint32_t size, uint32_t value);
 
-  uint32_t Eval(const opec_ir::Expr& e, const Frame& frame);
-  // Flattened Eval for operand position: handles the two dominant operand
-  // shapes (integer constant, scalar local) without re-entering the full
-  // dispatch switch, with accounting identical to Eval's.
-  uint32_t EvalOperand(const opec_ir::Expr& e, const Frame& frame);
-  uint32_t EvalAddr(const opec_ir::Expr& e, const Frame& frame);
-  uint32_t EvalBinary(const opec_ir::Expr& e, const Frame& frame);
   uint32_t Truncate(const opec_ir::Type* type, uint32_t value) const;
-
-  uint32_t CallFunction(const opec_ir::Function* fn, std::vector<uint32_t> args,
-                        int operation_entry_id);
-  uint32_t DoCall(const opec_ir::Function* fn, const std::vector<uint32_t>& args);
-
-  Flow ExecBlock(const std::vector<opec_ir::StmtPtr>& body, const Frame& frame,
-                 uint32_t* ret_value);
-  Flow ExecStmt(const opec_ir::Stmt& s, const Frame& frame, uint32_t* ret_value);
 
   void MaybeFireAttacks(const opec_ir::Function* fn);
   void Charge(uint64_t cycles) { machine_.AddCycles(cycles); }
+
+  // Resets all per-run state so a second Run() on the same engine starts
+  // clean: attack occurrence counts and the fired/blocked outputs of a
+  // previous run must not leak into this one.
+  void ResetRunState();
 
   // Captures a forensic report for a denied access (MPU/bus decision, active
   // operation and function, MPU region dump) and appends it to
@@ -207,9 +225,9 @@ class ExecutionEngine : public EngineControl {
   Supervisor* supervisor_;
 
   // Dense per-function state, indexed by Function::ordinal(). Precomputed at
-  // construction; the interpreter hot path never touches a map. Function code
-  // addresses are arithmetic on the ordinal (kFuncAddrBase + ordinal *
-  // kFuncAddrStride), so FuncAddr/FuncAt are O(1) both ways.
+  // construction; the hot paths never touch a map. Function code addresses
+  // are arithmetic on the ordinal (kFuncAddrBase + ordinal * kFuncAddrStride),
+  // so FuncAddr/FuncAt are O(1) both ways.
   std::vector<FrameLayout> frame_layouts_;
   std::vector<int> entry_counts_;
   // Guest address per global ordinal (0 = unassigned), mirroring layout_.
@@ -234,6 +252,44 @@ class ExecutionEngine : public EngineControl {
 
   static constexpr int kMaxDepth = 256;
   static constexpr uint32_t kFuncAddrStride = 0x40;
+};
+
+// The tree-walking interpreter tier — the reference semantics.
+class ExecutionEngine : public Engine {
+ public:
+  ExecutionEngine(opec_hw::Machine& machine, const opec_ir::Module& module,
+                  const AddressAssignment& layout, Supervisor* supervisor = nullptr);
+
+  RunResult Run(const std::string& entry = "main",
+                const std::vector<uint32_t>& args = {}) override;
+
+ private:
+  struct Frame {
+    const opec_ir::Function* fn = nullptr;
+    const FrameLayout* layout = nullptr;  // precomputed; avoids per-access lookup
+    uint32_t base = 0;                    // lowest address of the frame
+  };
+
+  // Control-flow signal from statement execution.
+  enum class Flow { kNext, kBreak, kContinue, kReturn };
+
+  uint32_t GlobalAddr(const opec_ir::Expr& e) const;
+
+  uint32_t Eval(const opec_ir::Expr& e, const Frame& frame);
+  // Flattened Eval for operand position: handles the two dominant operand
+  // shapes (integer constant, scalar local) without re-entering the full
+  // dispatch switch, with accounting identical to Eval's.
+  uint32_t EvalOperand(const opec_ir::Expr& e, const Frame& frame);
+  uint32_t EvalAddr(const opec_ir::Expr& e, const Frame& frame);
+  uint32_t EvalBinary(const opec_ir::Expr& e, const Frame& frame);
+
+  uint32_t CallFunction(const opec_ir::Function* fn, std::vector<uint32_t> args,
+                        int operation_entry_id);
+  uint32_t DoCall(const opec_ir::Function* fn, const std::vector<uint32_t>& args);
+
+  Flow ExecBlock(const std::vector<opec_ir::StmtPtr>& body, const Frame& frame,
+                 uint32_t* ret_value);
+  Flow ExecStmt(const opec_ir::Stmt& s, const Frame& frame, uint32_t* ret_value);
 };
 
 }  // namespace opec_rt

@@ -8,7 +8,7 @@
 namespace opec_snapshot {
 
 RoundTripProbe::RoundTripProbe(opec_hw::Machine& machine, opec_monitor::Monitor* monitor,
-                               opec_rt::ExecutionEngine* engine)
+                               opec_rt::Engine* engine)
     : machine_(machine), monitor_(monitor), engine_(engine) {}
 
 void RoundTripProbe::OnProgramStart(opec_rt::EngineControl* engine) {

@@ -29,7 +29,7 @@ namespace opec_monitor {
 class Monitor;
 }
 namespace opec_rt {
-class ExecutionEngine;
+class Engine;
 }
 
 namespace opec_snapshot {
@@ -39,7 +39,7 @@ class RoundTripProbe : public opec_rt::Supervisor {
   // `monitor` may be null (vanilla mode: no supervisor to wrap, machine-only
   // snapshots). The monitor doubles as the wrapped supervisor.
   RoundTripProbe(opec_hw::Machine& machine, opec_monitor::Monitor* monitor,
-                 opec_rt::ExecutionEngine* engine);
+                 opec_rt::Engine* engine);
 
   // --- opec_rt::Supervisor (every hook forwards to the wrapped monitor) ---
   void OnProgramStart(opec_rt::EngineControl* engine) override;
@@ -65,7 +65,7 @@ class RoundTripProbe : public opec_rt::Supervisor {
 
   opec_hw::Machine& machine_;
   opec_monitor::Monitor* monitor_;
-  opec_rt::ExecutionEngine* engine_;
+  opec_rt::Engine* engine_;
 
   bool have_baseline_ = false;
   Snapshot baseline_;

@@ -58,7 +58,7 @@ SnapshotDelta SnapshotDelta::Deserialize(const std::vector<uint8_t>& bytes) {
 
 Snapshot Snapshot::Capture(const opec_hw::Machine& machine,
                            const opec_monitor::Monitor* monitor,
-                           const opec_rt::ExecutionEngine* engine) {
+                           const opec_rt::Engine* engine) {
   Snapshot s;
   {
     StateWriter w;
@@ -79,7 +79,7 @@ Snapshot Snapshot::Capture(const opec_hw::Machine& machine,
 }
 
 void Snapshot::Restore(opec_hw::Machine& machine, opec_monitor::Monitor* monitor,
-                       opec_rt::ExecutionEngine* engine) const {
+                       opec_rt::Engine* engine) const {
   const Section* m = Find(kMachineSection);
   OPEC_CHECK_MSG(m != nullptr, "snapshot has no machine section");
   {

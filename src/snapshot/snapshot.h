@@ -14,7 +14,7 @@
 //
 // Restore() only makes sense into objects of the same provenance: the same
 // board (flash/SRAM sizes checked by Bus::LoadState), the same module
-// (entry-count table checked by ExecutionEngine::LoadState), the same policy
+// (entry-count table checked by Engine::LoadState), the same policy
 // (the monitor's policy is immutable compile output and is not serialized).
 // Cross-provenance restores fail an OPEC_CHECK rather than corrupting state.
 //
@@ -39,7 +39,7 @@ namespace opec_monitor {
 class Monitor;
 }
 namespace opec_rt {
-class ExecutionEngine;
+class Engine;
 }
 
 namespace opec_snapshot {
@@ -80,16 +80,16 @@ class Snapshot {
 
   // Captures the machine and, when non-null, the monitor bookkeeping and the
   // engine register state. Pass monitor/engine only at quiescent points (see
-  // ExecutionEngine::SaveState).
+  // Engine::SaveState).
   static Snapshot Capture(const opec_hw::Machine& machine,
                           const opec_monitor::Monitor* monitor = nullptr,
-                          const opec_rt::ExecutionEngine* engine = nullptr);
+                          const opec_rt::Engine* engine = nullptr);
 
   // Restores captured sections into the given objects. A section captured but
   // passed as null here is skipped; a null-captured section with a non-null
   // target is a hard error (the target would keep stale state silently).
   void Restore(opec_hw::Machine& machine, opec_monitor::Monitor* monitor = nullptr,
-               opec_rt::ExecutionEngine* engine = nullptr) const;
+               opec_rt::Engine* engine = nullptr) const;
 
   // Fast machine restore for the warm-start path (DESIGN.md §13.3): restores
   // flash/SRAM through the bus's dirty-page baseline instead of copying the
