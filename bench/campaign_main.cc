@@ -51,6 +51,7 @@
 #include "bench/figures_lib.h"
 #include "src/apps/all_apps.h"
 #include "src/campaign/campaign.h"
+#include "src/rv/monitors.h"
 
 namespace {
 
@@ -64,8 +65,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: campaign [--spec FILE] [--apps a,b|all] [--modes opec|vanilla|both]\n"
-      "                [--engine interp|bytecode] [--fault-sweep N]\n"
-      "                [--fault-class CLASS] [--figures]\n"
+      "                [--engine interp|bytecode] [--rv on|off|report]\n"
+      "                [--fault-sweep N] [--fault-class CLASS] [--figures]\n"
       "                [--jobs N] [--seed S] [--timeout-ms T]\n"
       "                [--report-json FILE] [--deterministic] [--trace-dir DIR]\n"
       "                [--snapshot-dir DIR] [--cold-boot]\n");
@@ -129,6 +130,7 @@ int main(int argc, char** argv) {
   std::string apps_arg = "all";
   std::string modes_arg = "both";
   opec_apps::EngineKind engine = opec_apps::EngineKind::kInterp;
+  std::string rv_arg = "on";
   size_t fault_sweep = 0;
   FaultClass fault_class = FaultClass::kAny;
   bool figures = false;
@@ -180,6 +182,15 @@ int main(int argc, char** argv) {
                      v == nullptr ? "" : v);
         return Usage();
       }
+    } else if (arg == "--rv") {
+      const char* v = next();
+      if (v == nullptr || (std::strcmp(v, "on") != 0 && std::strcmp(v, "off") != 0 &&
+                           std::strcmp(v, "report") != 0)) {
+        std::fprintf(stderr, "invalid --rv '%s'; valid settings are: on off report\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+      rv_arg = v;
     } else if (arg == "--fault-sweep") {
       const char* v = next();
       int n = 0;
@@ -280,6 +291,7 @@ int main(int argc, char** argv) {
   }
   for (opec_campaign::JobSpec& job : spec.jobs) {
     job.engine = engine;
+    job.rv = rv_arg != "off";
   }
 
   Executor::Options options;
@@ -298,7 +310,7 @@ int main(int argc, char** argv) {
                   ? static_cast<double>(result.SerialWallNs()) /
                         static_cast<double>(result.wall_ns)
                   : 0.0);
-  for (int o = 0; o <= static_cast<int>(Outcome::kTimeout); ++o) {
+  for (int o = 0; o <= static_cast<int>(Outcome::kRvViolation); ++o) {
     size_t n = result.CountOutcome(static_cast<Outcome>(o));
     if (n > 0) {
       std::printf("  %-18s %zu\n", opec_campaign::OutcomeName(static_cast<Outcome>(o)), n);
@@ -317,6 +329,28 @@ int main(int argc, char** argv) {
   }
   if (have_faults) {
     std::fputs(result.FaultMatrix().c_str(), stdout);
+  }
+  if (rv_arg == "report") {
+    // Deterministic per-automaton aggregate over every job that ran with RV.
+    const std::vector<std::string>& names = opec_rv::StandardMonitorNames();
+    std::vector<unsigned long long> by_automaton(names.size(), 0);
+    unsigned long long rv_jobs = 0, states = 0, violations = 0;
+    for (const opec_campaign::JobResult& r : result.results) {
+      if (!r.spec.rv) {
+        continue;
+      }
+      ++rv_jobs;
+      states += r.rv_states;
+      violations += r.rv_violations;
+      for (size_t a = 0; a < r.rv_by_automaton.size() && a < by_automaton.size(); ++a) {
+        by_automaton[a] += r.rv_by_automaton[a];
+      }
+    }
+    std::printf("RV report (%llu job(s)): states-visited=%llu violations=%llu\n", rv_jobs,
+                states, violations);
+    for (size_t a = 0; a < names.size(); ++a) {
+      std::printf("  %-20s violations=%llu\n", names[a].c_str(), by_automaton[a]);
+    }
   }
 
   if (!report_path.empty()) {

@@ -10,6 +10,7 @@
 // Usage:
 //   host_speed [--engine interp|bytecode] [--iters N] [--jobs N] [--out FILE]
 //              [--baseline FILE] [--smoke] [--trace-out FILE] [--self-check-obs]
+//              [--rv on|off|report]
 //
 // --engine selects the execution tier (default interp). Modeled outputs are
 // bit-identical across tiers, so `--engine bytecode --baseline interp.json`
@@ -29,7 +30,16 @@
 // per workload/configuration (untimed; the timed iterations always run with
 // no sink attached). --self-check-obs skips the benchmark and instead runs
 // each workload with and without an event sink attached, failing (exit 1) on
-// any modeled cycle/statement drift — the observability overhead contract.
+// any modeled cycle/statement drift — the observability overhead contract —
+// and then re-runs with a Recorder sized to hold the full stream, failing on
+// any dropped event (truncated traces must never pass silently).
+//
+// --rv on adds a second timed pass per unit with the runtime-verification
+// monitors (src/rv) attached, emitting <unit>.rv_exec_ns and
+// <unit>.rv_overhead_pct so the RV cost is tracked next to the base numbers
+// (EXPERIMENTS.md pins the CoreMark-OPEC budget). --rv report additionally
+// prints each unit's deterministic RV report. Default off: baseline files
+// from earlier versions stay comparable.
 
 #include <algorithm>
 #include <chrono>
@@ -68,7 +78,8 @@ struct Sample {
 };
 
 Sample RunOnce(const opec_apps::Application& app, opec_apps::BuildMode mode,
-               opec_apps::EngineKind engine, opec_obs::Sink* sink = nullptr) {
+               opec_apps::EngineKind engine, opec_obs::Sink* sink = nullptr,
+               bool rv = false, std::string* rv_report = nullptr) {
   Sample s;
   Clock::time_point t0 = Clock::now();
   opec_apps::AppRun run(app, mode, engine);
@@ -76,11 +87,22 @@ Sample RunOnce(const opec_apps::Application& app, opec_apps::BuildMode mode,
   if (sink != nullptr) {
     run.AttachSink(sink);
   }
+  if (rv) {
+    run.EnableRv();
+  }
   Clock::time_point t1 = Clock::now();
   opec_rt::RunResult r = run.Execute();
   s.exec_ns = NsSince(t1);
   OPEC_CHECK_MSG(r.ok, app.name() + " run failed: " + r.violation);
   OPEC_CHECK_MSG(run.Check().empty(), app.name() + ": " + run.Check());
+  if (rv) {
+    OPEC_CHECK_MSG(run.rv()->total_violations() == 0,
+                   app.name() + ": rv violation on a clean benchmark run:\n" +
+                       run.rv()->Report());
+    if (rv_report != nullptr) {
+      *rv_report = run.rv()->Report();
+    }
+  }
   s.cycles = r.cycles;
   s.statements = r.statements;
   return s;
@@ -156,6 +178,7 @@ constexpr Config kConfigs[] = {{"vanilla", opec_apps::BuildMode::kVanilla},
 // modeled-output check.
 int SelfCheckObs(const std::vector<std::string>& wanted, opec_apps::EngineKind engine) {
   bool drift = false;
+  bool lost = false;
   for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
     if (std::find(wanted.begin(), wanted.end(), factory.name) == wanted.end()) {
       continue;
@@ -178,13 +201,33 @@ int SelfCheckObs(const std::vector<std::string>& wanted, opec_apps::EngineKind e
       if (!same) {
         drift = true;
       }
+      // Loss check: a Recorder sized from the counting run must retain the
+      // entire stream. Any drop here means a truncated trace export would
+      // have claimed to be complete.
+      opec_obs::Recorder recorder(
+          std::max<size_t>(opec_obs::Recorder::kDefaultCapacity, sink.count()));
+      RunOnce(*app, cfg.mode, engine, &recorder);
+      std::printf("self-check %-12s %-8s recorded %zu/%llu events dropped %llu  %s\n",
+                  factory.name.c_str(), cfg.name, recorder.size(),
+                  static_cast<unsigned long long>(recorder.total()),
+                  static_cast<unsigned long long>(recorder.dropped()),
+                  recorder.dropped() == 0 ? "OK" : "LOSS");
+      if (recorder.dropped() != 0) {
+        lost = true;
+      }
     }
   }
   if (drift) {
     std::fprintf(stderr, "FAIL: attached sink changed modeled outputs\n");
+  }
+  if (lost) {
+    std::fprintf(stderr, "FAIL: a full-capacity recorder dropped events\n");
+  }
+  if (drift || lost) {
     return 1;
   }
-  std::printf("self-check passed: event sinks leave modeled outputs bit-identical\n");
+  std::printf("self-check passed: event sinks leave modeled outputs bit-identical "
+              "and lose no events\n");
   return 0;
 }
 
@@ -197,6 +240,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_host_speed.json";
   std::string baseline_path;
   std::string trace_path;
+  std::string rv_arg = "off";
   bool self_check_obs = false;
   for (int i = 1; i < argc; ++i) {
     // Flags accept both `--flag value` and `--flag=value`.
@@ -251,6 +295,15 @@ int main(int argc, char** argv) {
       const char* v = take();
       if (v == nullptr) return 2;
       trace_path = v;
+    } else if (arg == "--rv") {
+      const char* v = take();
+      if (v == nullptr || (std::strcmp(v, "on") != 0 && std::strcmp(v, "off") != 0 &&
+                           std::strcmp(v, "report") != 0)) {
+        std::fprintf(stderr, "invalid --rv '%s'; expected on, off or report\n",
+                     v == nullptr ? "" : v);
+        return 2;
+      }
+      rv_arg = v;
     } else if (arg == "--self-check-obs") {
       self_check_obs = true;
     } else if (arg == "--smoke") {
@@ -258,7 +311,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: host_speed [--engine interp|bytecode] [--iters N] [--jobs N] "
-                   "[--out FILE] [--baseline FILE] [--trace-out FILE] [--self-check-obs]\n");
+                   "[--out FILE] [--baseline FILE] [--trace-out FILE] [--self-check-obs] "
+                   "[--rv on|off|report]\n");
       return 2;
     }
   }
@@ -289,6 +343,9 @@ int main(int argc, char** argv) {
     uint64_t unit_wall_ns = 0;  // elapsed inside this unit (all iterations)
     bool has_trace = false;
     opec_obs::TraceProcess trace;
+    bool has_rv = false;
+    Sample best_rv;
+    std::string rv_report;
   };
   const std::vector<opec_apps::AppFactory> all_apps = opec_apps::AllApps();
   std::vector<Unit> units;
@@ -319,6 +376,22 @@ int main(int argc, char** argv) {
                            factory.name + ": modeled cycles vary across iterations");
           }
         }
+        if (rv_arg != "off") {
+          // Second timed pass with the runtime-verification monitors attached.
+          // Modeled outputs must not move: RV is an observer.
+          for (int it = 0; it < iters; ++it) {
+            Sample s = RunOnce(*app, cfg.mode, engine, nullptr, /*rv=*/true,
+                               it == 0 ? &out.rv_report : nullptr);
+            OPEC_CHECK_MSG(s.cycles == out.best.cycles,
+                           factory.name + ": rv monitors changed modeled cycles");
+            OPEC_CHECK_MSG(s.statements == out.best.statements,
+                           factory.name + ": rv monitors changed statement count");
+            if (it == 0 || s.wall_ns() < out.best_rv.wall_ns()) {
+              out.best_rv = s;
+            }
+          }
+          out.has_rv = true;
+        }
         if (!trace_path.empty()) {
           // Untimed recorded run; one process track per workload/configuration.
           opec_apps::AppRun run(*app, cfg.mode, engine);
@@ -329,7 +402,7 @@ int main(int argc, char** argv) {
                          factory.name + ": recorded run changed modeled cycles");
           out.has_trace = true;
           out.trace = {KeyName(factory.name) + "." + cfg.name, run.recorder()->Snapshot(),
-                       run.EventNaming()};
+                       run.EventNaming(), run.recorder()->dropped()};
         }
         out.unit_wall_ns = NsSince(u0);
         return out;
@@ -356,8 +429,29 @@ int main(int argc, char** argv) {
                 best.exec_ns / 1e6,
                 opec_bench::NsPerStatement(best.exec_ns, best.statements),
                 static_cast<unsigned long long>(best.cycles));
+    if (unit_results[u].has_rv) {
+      const Sample& rv = unit_results[u].best_rv;
+      double overhead_pct =
+          best.exec_ns == 0
+              ? 0.0
+              : (static_cast<double>(rv.exec_ns) - static_cast<double>(best.exec_ns)) *
+                    100.0 / static_cast<double>(best.exec_ns);
+      emit(prefix + "rv_exec_ns", static_cast<double>(rv.exec_ns));
+      emit(prefix + "rv_overhead_pct", overhead_pct);
+      std::printf("%-12s %-8s   rv exec %8.2f ms  (overhead %+.1f%%)\n",
+                  factory.name.c_str(), cfg.name, rv.exec_ns / 1e6, overhead_pct);
+    }
     if (unit_results[u].has_trace) {
       trace_processes.push_back(std::move(unit_results[u].trace));
+    }
+  }
+  if (rv_arg == "report") {
+    for (size_t u = 0; u < units.size(); ++u) {
+      if (!unit_results[u].has_rv) {
+        continue;
+      }
+      std::printf("--- %s.%s\n%s", KeyName(units[u].factory->name).c_str(),
+                  units[u].cfg->name, unit_results[u].rv_report.c_str());
     }
   }
   std::printf("jobs %d: total wall %.2f ms, sum of units %.2f ms (%.2fx)\n", jobs,

@@ -1,5 +1,7 @@
 #include "src/apps/runner.h"
 
+#include <cstdlib>
+
 #include "src/compiler/image.h"
 #include "src/rt/bytecode/vm.h"
 #include "src/support/check.h"
@@ -71,6 +73,7 @@ void AppRun::RestoreBoot() {
   trace_.Clear();
   trace_enabled_ = false;
   recorder_.reset();
+  rv_.reset();
   extra_sinks_.clear();
   last_result_ = {};
 }
@@ -91,6 +94,23 @@ void AppRun::EnableEventRecording(size_t capacity) {
   }
 }
 
+void AppRun::EnableRv() {
+  if (rv_ != nullptr) {
+    return;
+  }
+  opec_rv::RvEnv env;
+  env.mpu = &machine_->mpu();
+  env.opec_mode = mode_ == BuildMode::kOpec;
+  if (compile_ != nullptr) {
+    for (const opec_compiler::OperationPolicy& op : compile_->policy.operations) {
+      for (const opec_compiler::ShadowPlacement& sp : op.shadows) {
+        env.shadow_owners.emplace_back(op.id, static_cast<uint32_t>(sp.var_index));
+      }
+    }
+  }
+  rv_ = opec_rv::MakeStandardRvSink(env);
+}
+
 opec_obs::Naming AppRun::EventNaming() const {
   opec_obs::Naming naming;
   naming.functions.reserve(module_->functions().size());
@@ -108,6 +128,15 @@ opec_obs::Naming AppRun::EventNaming() const {
 
 opec_rt::RunResult AppRun::Execute() {
   trace_.Bind(module_.get());
+  if (rv_ == nullptr) {
+    const char* force = std::getenv("OPEC_RV");
+    if (force != nullptr && force[0] != '\0' && force[0] != '0') {
+      EnableRv();
+    }
+  }
+  // Sink order (DESIGN.md §15): trace, recorder, extra sinks, then RV — so
+  // the recorder (and therefore a violation's `recent` context) has seen
+  // every event by the time a monitor fires on it.
   opec_obs::ScopedSink trace_sink(trace_enabled_ ? &trace_ : nullptr);
   opec_obs::ScopedSink recorder_sink(recorder_.get());
   std::vector<std::unique_ptr<opec_obs::ScopedSink>> extra;
@@ -115,8 +144,12 @@ opec_rt::RunResult AppRun::Execute() {
   for (opec_obs::Sink* sink : extra_sinks_) {
     extra.push_back(std::make_unique<opec_obs::ScopedSink>(sink));
   }
+  opec_obs::ScopedSink rv_sink(rv_.get());
   app_.PrepareScenario(*devices_);
   last_result_ = engine_->Run("main");
+  if (rv_ != nullptr) {
+    rv_->Finish(!last_result_.ok);
+  }
   return last_result_;
 }
 

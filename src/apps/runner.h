@@ -17,6 +17,7 @@
 #include "src/obs/recorder.h"
 #include "src/rt/engine.h"
 #include "src/rt/trace.h"
+#include "src/rv/rv.h"
 #include "src/snapshot/probe.h"
 #include "src/snapshot/snapshot.h"
 
@@ -55,6 +56,11 @@ class AppRun {
   // Attaches an additional event sink (not owned) for the duration of
   // Execute(); call before Execute().
   void AttachSink(opec_obs::Sink* sink) { extra_sinks_.push_back(sink); }
+  // Attaches the runtime-verification monitors (src/rv, DESIGN.md §15) for
+  // Execute(): the standard safety automata built over this run's MPU and —
+  // in OPEC mode — the policy's shadow-ownership map. Also forced on for
+  // every Execute() when the OPEC_RV environment variable is set non-zero.
+  void EnableRv();
 
   // Loads the image, feeds the scenario and runs main.
   opec_rt::RunResult Execute();
@@ -88,6 +94,8 @@ class AppRun {
   const opec_rt::ExecutionTrace& trace() const { return trace_; }
   // Null unless EnableEventRecording() was called.
   opec_obs::Recorder* recorder() { return recorder_.get(); }
+  // Null unless EnableRv() was called (or OPEC_RV forced it during Execute()).
+  opec_rv::RvSink* rv() { return rv_.get(); }
   // Ordinal/id -> name resolution for exporters (function names from the
   // module; operation names from the policy in OPEC mode).
   opec_obs::Naming EventNaming() const;
@@ -126,6 +134,7 @@ class AppRun {
   opec_rt::ExecutionTrace trace_;
   bool trace_enabled_ = false;
   std::unique_ptr<opec_obs::Recorder> recorder_;
+  std::unique_ptr<opec_rv::RvSink> rv_;
   std::vector<opec_obs::Sink*> extra_sinks_;
   opec_rt::RunResult last_result_;
 };

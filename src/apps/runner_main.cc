@@ -34,7 +34,8 @@ std::string KeyName(const std::string& name) {
 int Usage() {
   std::fprintf(stderr,
                "usage: runner [--app NAME] [--mode opec|vanilla] [--engine interp|bytecode]\n"
-               "              [--trace-out FILE] [--jsonl-out FILE] [--profile] [--list]\n");
+               "              [--rv on|off|report] [--trace-out FILE] [--jsonl-out FILE]\n"
+               "              [--profile] [--list]\n");
   return 2;
 }
 
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
   std::string engine_name = "interp";
   std::string trace_out;
   std::string jsonl_out;
+  std::string rv_name = "on";
   bool profile = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -73,6 +75,8 @@ int main(int argc, char** argv) {
       trace_out = take();
     } else if (arg == "--jsonl-out") {
       jsonl_out = take();
+    } else if (arg == "--rv") {
+      rv_name = take();
     } else if (arg == "--profile") {
       profile = true;
     } else if (arg == "--list") {
@@ -123,8 +127,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (rv_name != "on" && rv_name != "off" && rv_name != "report") {
+    std::fprintf(stderr, "unknown --rv '%s'; valid settings are: on off report\n",
+                 rv_name.c_str());
+    return 2;
+  }
+
   opec_apps::AppRun run(*app, mode, engine_kind);
   run.EnableEventRecording();
+  if (rv_name != "off") {
+    run.EnableRv();
+  }
   opec_rt::RunResult result = run.Execute();
   std::string check = run.Check();
   std::printf("%s [%s/%s]: ok=%d cycles=%llu statements=%llu\n", app->name().c_str(),
@@ -137,6 +150,14 @@ int main(int argc, char** argv) {
   if (!check.empty()) {
     std::printf("scenario check: %s\n", check.c_str());
   }
+  if (run.rv() != nullptr) {
+    if (rv_name == "report") {
+      std::printf("%s", run.rv()->Report().c_str());
+    } else if (run.rv()->total_violations() != 0) {
+      std::printf("rv: %llu violation(s) — rerun with --rv report for details\n",
+                  static_cast<unsigned long long>(run.rv()->total_violations()));
+    }
+  }
 
   const opec_obs::Recorder* recorder = run.recorder();
   std::vector<opec_obs::Event> events = recorder->Snapshot();
@@ -148,7 +169,8 @@ int main(int argc, char** argv) {
 
   if (!trace_out.empty()) {
     if (!opec_obs::WriteFile(trace_out, opec_obs::ChromeTraceJson(events, naming,
-                                                                  app->name()))) {
+                                                                  app->name(),
+                                                                  recorder->dropped()))) {
       std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
       return 1;
     }
@@ -156,7 +178,8 @@ int main(int argc, char** argv) {
                 events.size());
   }
   if (!jsonl_out.empty()) {
-    if (!opec_obs::WriteFile(jsonl_out, opec_obs::JsonLines(events, naming))) {
+    if (!opec_obs::WriteFile(jsonl_out,
+                             opec_obs::JsonLines(events, naming, recorder->dropped()))) {
       std::fprintf(stderr, "cannot write %s\n", jsonl_out.c_str());
       return 1;
     }

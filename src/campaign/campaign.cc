@@ -446,6 +446,9 @@ JobResult RunJobImpl(const JobSpec& spec, size_t index, const std::atomic<bool>*
   if (!spec.trace_path.empty()) {
     run.EnableEventRecording();
   }
+  if (spec.rv) {
+    run.EnableRv();
+  }
 
   opec_rt::RunResult r = run.Execute();
   out.cycles = r.cycles;
@@ -458,6 +461,28 @@ JobResult RunJobImpl(const JobSpec& spec, size_t index, const std::atomic<bool>*
   // per-denied-access machine states the engine captured (see
   // Executor::Options::snapshot_dir). Runs on every classified exit below.
   auto finish = [&]() -> JobResult {
+    // Runtime-verification verdict (DESIGN.md §15): a clean-looking run that
+    // tripped a safety automaton is reclassified kRvViolation; runs that were
+    // already detected/denied/crashed keep their outcome and just carry the
+    // violation counts.
+    if (spec.rv && run.rv() != nullptr) {
+      out.rv_states = run.rv()->states_visited();
+      out.rv_violations = run.rv()->total_violations();
+      out.rv_by_automaton = run.rv()->ViolationsByMonitor();
+      if (out.rv_violations != 0 &&
+          (out.outcome == Outcome::kOk || out.outcome == Outcome::kBenign)) {
+        out.outcome = Outcome::kRvViolation;
+        out.ok = false;
+        const std::vector<opec_rv::RvViolation>& details = run.rv()->details();
+        out.detail +=
+            opec_support::StrPrintf("%s%llu rv violation(s)", out.detail.empty() ? "" : " | ",
+                                    static_cast<unsigned long long>(out.rv_violations));
+        if (!details.empty()) {
+          out.detail += opec_support::StrPrintf(": [%s] %s", details[0].automaton.c_str(),
+                                                details[0].message.c_str());
+        }
+      }
+    }
     bool diverging = out.outcome != Outcome::kOk && out.outcome != Outcome::kNotFired &&
                      out.outcome != Outcome::kBenign;
     if (!env.snapshot_dir.empty() && diverging) {
@@ -482,7 +507,8 @@ JobResult RunJobImpl(const JobSpec& spec, size_t index, const std::atomic<bool>*
   if (!spec.trace_path.empty() && run.recorder() != nullptr) {
     opec_obs::WriteFile(spec.trace_path,
                         opec_obs::ChromeTraceJson(run.recorder()->Snapshot(),
-                                                  run.EventNaming(), factory->name));
+                                                  run.EventNaming(), factory->name,
+                                                  run.recorder()->dropped()));
   }
 
   if (cancel != nullptr && !r.ok && cancel->load(std::memory_order_relaxed)) {
@@ -676,6 +702,8 @@ const char* OutcomeName(Outcome outcome) {
       return "exception";
     case Outcome::kTimeout:
       return "timeout";
+    case Outcome::kRvViolation:
+      return "rv-violation";
   }
   return "?";
 }
@@ -847,6 +875,10 @@ void AppendResultJson(std::ostringstream& json, const JobResult& r, bool with_ti
        << ", \"fired\": " << (r.attack_fired ? "true" : "false")
        << ", \"blocked\": " << (r.attack_blocked ? "true" : "false")
        << ", \"events\": " << r.events;
+  if (r.spec.rv) {
+    json << ", \"rv\": {\"states\": " << r.rv_states << ", \"violations\": " << r.rv_violations
+         << "}";
+  }
   if (r.snapshot_digest != 0) {
     json << ", \"snapshot_digest\": \""
          << opec_support::StrPrintf("%016llx",
@@ -898,7 +930,8 @@ std::string CampaignResult::FaultMatrix() const {
   constexpr Outcome kCols[] = {Outcome::kNotFired,   Outcome::kDeniedMpu,
                                Outcome::kDeniedMonitor, Outcome::kCrash,
                                Outcome::kBenign,     Outcome::kSilentCorruption,
-                               Outcome::kException,  Outcome::kTimeout};
+                               Outcome::kRvViolation, Outcome::kException,
+                               Outcome::kTimeout};
   auto render = [&](const std::string& key_header,
                     const std::function<std::string(const JobResult&)>& key_of) {
     std::vector<std::string> headers{key_header};

@@ -147,6 +147,11 @@ struct JobSpec {
   uint64_t timeout_ms = 0;    // 0 = campaign default
   std::string trace_path;     // non-empty: export a Chrome trace of the run
   bool attach_counting_sink = false;  // obs-invariance checks
+  // Runtime-verification monitors (src/rv, DESIGN.md §15). On by default: a
+  // clean-looking run that trips a safety automaton becomes kRvViolation;
+  // denied/crashed fault jobs keep their outcome with the violation counts
+  // recorded alongside.
+  bool rv = true;
 };
 
 struct CampaignSpec {
@@ -187,6 +192,7 @@ enum class Outcome : uint8_t {
   kViolation,         // scenario job: run aborted with a violation
   kException,         // host exception / OPEC_CHECK captured by the executor
   kTimeout,           // wall-clock deadline expired; run canceled
+  kRvViolation,       // run looked clean but a safety automaton fired (FAIL)
 };
 
 const char* OutcomeName(Outcome outcome);
@@ -204,6 +210,13 @@ struct JobResult {
   bool attack_fired = false;
   bool attack_blocked = false;
   uint64_t events = 0;    // counting-sink total, when attached
+  // Runtime-verification summary (when the job ran with spec.rv): distinct
+  // automaton states visited, total violations, and per-automaton violation
+  // counts in StandardMonitorNames() order. Modeled data — part of the
+  // deterministic report.
+  uint64_t rv_states = 0;
+  uint64_t rv_violations = 0;
+  std::vector<uint64_t> rv_by_automaton;
   // Final-state snapshot digest for diverging jobs when the executor ran with
   // a snapshot dir (0 = no snapshot taken). Derived from modeled state only,
   // so it is part of the deterministic report.

@@ -183,6 +183,8 @@ const char* OracleName(Oracle o) {
       return "snapshot";
     case Oracle::kBytecodeTier:
       return "bytecode-tier";
+    case Oracle::kRv:
+      return "rv";
   }
   return "?";
 }
@@ -226,10 +228,13 @@ ExecObservation RunOnceImpl(const ProgramSpec& spec, opec_apps::BuildMode mode,
     if (probe) {
       run.EnableSnapshotProbe();
     }
+    run.EnableRv();
     opec_rt::RunResult result = run.Execute();
     obs.cycles = result.cycles;
     obs.statements = result.statements;
     obs.events_digest = events.digest();
+    obs.rv_violations = run.rv()->total_violations();
+    obs.rv_report = run.rv()->Report();
     if (probe && run.probe() != nullptr) {
       if (probes != nullptr) {
         *probes = run.probe()->probes();
@@ -669,7 +674,9 @@ void CompareTier(const char* mode_name, const ExecObservation& interp,
 
 std::vector<Divergence> DiffBytecodeTier(const ProgramSpec& spec,
                                          const ExecObservation& vanilla,
-                                         const ExecObservation& opec) {
+                                         const ExecObservation& opec,
+                                         ExecObservation* bc_vanilla_out,
+                                         ExecObservation* bc_opec_out) {
   std::vector<Divergence> divs;
   ExecObservation bc_vanilla =
       RunOnce(spec, opec_apps::BuildMode::kVanilla, opec_apps::EngineKind::kBytecode);
@@ -677,6 +684,132 @@ std::vector<Divergence> DiffBytecodeTier(const ProgramSpec& spec,
       RunOnce(spec, opec_apps::BuildMode::kOpec, opec_apps::EngineKind::kBytecode);
   CompareTier("vanilla", vanilla, bc_vanilla, &divs);
   CompareTier("opec", opec, bc_opec, &divs);
+  if (bc_vanilla_out != nullptr) {
+    *bc_vanilla_out = std::move(bc_vanilla);
+  }
+  if (bc_opec_out != nullptr) {
+    *bc_opec_out = std::move(bc_opec);
+  }
+  return divs;
+}
+
+// --- Oracle 7: runtime-verification monitors -------------------------------
+
+namespace {
+
+// First line(s) of an RV report that carry violation details, for divergence
+// messages that stay readable in a one-line log.
+std::string ReportHead(const std::string& report) {
+  size_t cut = 0;
+  for (int lines = 0; lines < 4 && cut != std::string::npos; ++lines) {
+    cut = report.find('\n', cut + 1);
+  }
+  std::string head = cut == std::string::npos ? report : report.substr(0, cut);
+  for (char& c : head) {
+    if (c == '\n') {
+      c = ';';
+    }
+  }
+  return head;
+}
+
+void CheckCleanObservation(const char* label, const ExecObservation& obs,
+                           std::vector<Divergence>* divs) {
+  // Violations are only meaningful on runs that completed cleanly: an aborted
+  // or unbuildable recipe legitimately ends mid-protocol.
+  if (obs.build_error || !obs.run_ok) {
+    return;
+  }
+  if (obs.rv_violations != 0) {
+    divs->push_back({Oracle::kRv,
+                     StrPrintf("%s: clean run tripped %llu rv violation(s): %s", label,
+                               static_cast<unsigned long long>(obs.rv_violations),
+                               ReportHead(obs.rv_report).c_str())});
+  }
+}
+
+}  // namespace
+
+std::vector<Divergence> DiffRvMonitors(const ProgramSpec& spec,
+                                       const ExecObservation& vanilla,
+                                       const ExecObservation& opec,
+                                       const ExecObservation& bc_vanilla,
+                                       const ExecObservation& bc_opec) {
+  std::vector<Divergence> divs;
+  CheckCleanObservation("vanilla/interp", vanilla, &divs);
+  CheckCleanObservation("opec/interp", opec, &divs);
+  CheckCleanObservation("vanilla/bytecode", bc_vanilla, &divs);
+  CheckCleanObservation("opec/bytecode", bc_opec, &divs);
+
+  // The report is derived purely from the obs-event stream, so like the event
+  // digest it must be byte-identical between execution tiers.
+  if (!vanilla.build_error && !bc_vanilla.build_error &&
+      vanilla.rv_report != bc_vanilla.rv_report) {
+    divs.push_back({Oracle::kRv,
+                    StrPrintf("vanilla rv report differs between tiers: interp [%s] "
+                              "bytecode [%s]",
+                              ReportHead(vanilla.rv_report).c_str(),
+                              ReportHead(bc_vanilla.rv_report).c_str())});
+  }
+  if (!opec.build_error && !bc_opec.build_error && opec.rv_report != bc_opec.rv_report) {
+    divs.push_back({Oracle::kRv,
+                    StrPrintf("opec rv report differs between tiers: interp [%s] "
+                              "bytecode [%s]",
+                              ReportHead(opec.rv_report).c_str(),
+                              ReportHead(bc_opec.rv_report).c_str())});
+  }
+
+  // A blocked cross-section write must be flagged: inject a deterministic
+  // attack — first sectioned non-default operation writes one byte into the
+  // second's section — and require that, when the MPU blocks it, at least one
+  // monitor fired. Recipes with fewer than two sectioned operations skip this.
+  opec_support::ScopedCheckThrow capture;
+  try {
+    FuzzApplication app(spec);
+    opec_apps::AppRun run(app, opec_apps::BuildMode::kOpec,
+                          opec_apps::EngineKind::kInterp);
+    const opec_compiler::CompileResult* cr = run.compile();
+    if (cr == nullptr) {
+      return divs;
+    }
+    const opec_compiler::OperationPolicy* victim = nullptr;
+    const opec_compiler::OperationPolicy* attacker = nullptr;
+    for (const opec_compiler::OperationPolicy& op : cr->policy.operations) {
+      if (!op.has_section || op.id == cr->policy.default_op_id || op.entry.empty()) {
+        continue;
+      }
+      if (attacker == nullptr) {
+        attacker = &op;
+      } else if (victim == nullptr) {
+        victim = &op;
+        break;
+      }
+    }
+    if (attacker == nullptr || victim == nullptr) {
+      return divs;
+    }
+    opec_rt::AttackSpec attack;
+    attack.function = attacker->entry;
+    attack.occurrence = 1;
+    attack.addr = victim->section_base;
+    attack.size = 1;
+    attack.value = 0x01;
+    attack.xor_with_old = true;
+    run.AddAttack(attack);
+    run.EnableRv();
+    run.Execute();
+    const opec_rt::AttackSpec& echoed = run.engine().attacks().front();
+    if (echoed.fired && echoed.blocked && run.rv()->total_violations() == 0) {
+      divs.push_back({Oracle::kRv,
+                      StrPrintf("blocked cross-section write (%s -> %s section @0x%08X) "
+                                "tripped no monitor",
+                                attacker->name.c_str(), victim->name.c_str(),
+                                victim->section_base)});
+    }
+  } catch (const opec_support::CheckError&) {
+    // An attack run that dies in a host CHECK is the concern of other
+    // oracles; the RV oracle only judges runs that the engine survived.
+  }
   return divs;
 }
 
@@ -703,7 +836,12 @@ CaseResult RunCase(uint64_t seed) {
   for (Divergence& d : DiffSnapshotRoundTrip(spec, opec)) {
     divs.push_back(std::move(d));
   }
-  for (Divergence& d : DiffBytecodeTier(spec, vanilla, opec)) {
+  ExecObservation bc_vanilla;
+  ExecObservation bc_opec;
+  for (Divergence& d : DiffBytecodeTier(spec, vanilla, opec, &bc_vanilla, &bc_opec)) {
+    divs.push_back(std::move(d));
+  }
+  for (Divergence& d : DiffRvMonitors(spec, vanilla, opec, bc_vanilla, bc_opec)) {
     divs.push_back(std::move(d));
   }
   result.divergences = std::move(divs);

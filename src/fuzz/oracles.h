@@ -1,4 +1,4 @@
-// The six differential oracles (DESIGN.md Section 12.2).
+// The seven differential oracles (DESIGN.md Section 12.2).
 //
 //  1. Execution:    vanilla vs OPEC-partitioned runs of the same recipe must
 //                   agree on return value, UART output, GPIO effects and the
@@ -22,6 +22,11 @@
 //                   recipe — externally visible outputs AND modeled cycles,
 //                   statement counts and the obs-event stream digest — in
 //                   both build modes.
+//  7. RV monitors:  clean recipes must run with zero runtime-verification
+//                   violations in both build modes under both engines, the
+//                   deterministic RV report must be byte-identical between
+//                   engines, and a blocked cross-section attack write must
+//                   trip a monitor (DESIGN.md §15).
 
 #ifndef SRC_FUZZ_ORACLES_H_
 #define SRC_FUZZ_ORACLES_H_
@@ -62,6 +67,10 @@ struct ExecObservation {
   uint64_t cycles = 0;
   uint64_t statements = 0;
   uint64_t events_digest = 0;
+  // Runtime-verification outputs (oracle 7). Like the modeled outputs above,
+  // not part of FormatObservation: the pinned corpus digests stay stable.
+  uint64_t rv_violations = 0;
+  std::string rv_report;
 };
 
 ExecObservation RunOnce(const ProgramSpec& spec, opec_apps::BuildMode mode,
@@ -76,6 +85,7 @@ enum class Oracle : uint8_t {
   kParallel,
   kSnapshot,
   kBytecodeTier,
+  kRv,
 };
 const char* OracleName(Oracle o);
 
@@ -104,13 +114,29 @@ std::vector<Divergence> DiffSnapshotRoundTrip(const ProgramSpec& spec,
 
 // Oracle 6: reruns the recipe on the bytecode VM in both build modes and
 // compares against the interpreter observations — outputs, modeled cycles,
-// statement counts and obs-event digests must all be bit-identical.
+// statement counts and obs-event digests must all be bit-identical. The
+// bytecode observations are exposed via the optional out-params so callers
+// (oracle 7) can reuse them without re-running the VM.
 std::vector<Divergence> DiffBytecodeTier(const ProgramSpec& spec,
                                          const ExecObservation& vanilla,
-                                         const ExecObservation& opec);
+                                         const ExecObservation& opec,
+                                         ExecObservation* bc_vanilla_out = nullptr,
+                                         ExecObservation* bc_opec_out = nullptr);
+
+// Oracle 7: runtime-verification monitors. Checks that every clean (run_ok)
+// observation carries zero violations, that the deterministic RV report is
+// byte-identical between the interpreter and bytecode observations of the
+// same mode, and that a blocked cross-section attack write (a deterministic
+// recipe derived from the spec's first two sectioned operations; skipped when
+// the recipe has fewer) trips at least one monitor.
+std::vector<Divergence> DiffRvMonitors(const ProgramSpec& spec,
+                                       const ExecObservation& vanilla,
+                                       const ExecObservation& opec,
+                                       const ExecObservation& bc_vanilla,
+                                       const ExecObservation& bc_opec);
 
 // One fuzz case: generate the recipe for `seed` and run every recipe-level
-// oracle on it (1, 2, 3, 5 and 6; oracle 4 is the serial-vs-parallel digest
+// oracle on it (1, 2, 3, 5, 6 and 7; oracle 4 is the serial-vs-parallel digest
 // comparison done by the CLI / CI).
 // `digest` is a deterministic fingerprint of everything observed — byte-equal
 // between serial and parallel campaigns (oracle 4) and across reruns.

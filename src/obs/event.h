@@ -94,7 +94,7 @@ class Sink {
 // single (thread-local) load-and-branch.
 class Hub {
  public:
-  static constexpr int kMaxSinks = 4;
+  static constexpr int kMaxSinks = 6;
 
   static bool active() { return sink_count_ != 0; }
   static int sink_count() { return sink_count_; }

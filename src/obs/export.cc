@@ -157,22 +157,29 @@ std::string ChromeTraceJson(const std::vector<TraceProcess>& processes) {
   std::ostringstream out;
   out << "{\n  \"traceEvents\": [\n";
   bool first = true;
+  uint64_t dropped = 0;
   for (size_t pid = 0; pid < processes.size(); ++pid) {
     EmitProcess(out, first, static_cast<int>(pid), processes[pid]);
+    dropped += processes[pid].dropped;
   }
   out << "\n  ],\n  \"displayTimeUnit\": \"ms\",\n"
-      << "  \"otherData\": {\"generator\": \"opec-obs\", \"time_unit\": \"modeled cycles\"}\n"
+      << "  \"otherData\": {\"generator\": \"opec-obs\", \"time_unit\": \"modeled cycles\", "
+      << "\"dropped_events\": " << dropped << "}\n"
       << "}\n";
   return out.str();
 }
 
 std::string ChromeTraceJson(const std::vector<Event>& events, const Naming& naming,
-                            const std::string& process_name) {
-  return ChromeTraceJson({TraceProcess{process_name, events, naming}});
+                            const std::string& process_name, uint64_t dropped) {
+  return ChromeTraceJson({TraceProcess{process_name, events, naming, dropped}});
 }
 
-std::string JsonLines(const std::vector<Event>& events, const Naming& naming) {
+std::string JsonLines(const std::vector<Event>& events, const Naming& naming,
+                      uint64_t dropped) {
   std::ostringstream out;
+  if (dropped != 0) {
+    out << "{\"header\":\"opec-obs\",\"dropped_events\":" << dropped << "}\n";
+  }
   for (const Event& e : events) {
     out << "{\"kind\":\"" << EventKindName(e.kind) << "\",\"cycle\":" << e.cycle;
     if (e.operation_id == Event::kNoOperation) {

@@ -29,17 +29,25 @@ struct TraceProcess {
   std::string name;
   std::vector<Event> events;
   Naming naming;
+  // Events the producing Recorder discarded at capacity (Recorder::dropped()).
+  // Surfaced in the export metadata so a truncated trace is never mistaken
+  // for a complete one.
+  uint64_t dropped = 0;
 };
 
 // Chrome trace-event format: {"traceEvents": [...], ...}. Timestamps are the
 // modeled cycle count, exported in the format's microsecond unit (1 cycle ==
-// 1 us on screen; only relative durations matter).
+// 1 us on screen; only relative durations matter). otherData carries
+// "dropped_events": the sum of every process's dropped count.
 std::string ChromeTraceJson(const std::vector<TraceProcess>& processes);
 std::string ChromeTraceJson(const std::vector<Event>& events, const Naming& naming,
-                            const std::string& process_name = "opec");
+                            const std::string& process_name = "opec",
+                            uint64_t dropped = 0);
 
-// One JSON object per line, fields decoded per event kind.
-std::string JsonLines(const std::vector<Event>& events, const Naming& naming);
+// One JSON object per line, fields decoded per event kind. A nonzero
+// `dropped` prepends a {"header": ...} line recording the loss.
+std::string JsonLines(const std::vector<Event>& events, const Naming& naming,
+                      uint64_t dropped = 0);
 
 // Writes `content` to `path`; false on I/O failure.
 bool WriteFile(const std::string& path, const std::string& content);

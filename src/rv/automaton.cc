@@ -1,0 +1,128 @@
+#include "src/rv/automaton.h"
+
+#include "src/support/check.h"
+#include "src/support/text.h"
+
+namespace opec_rv {
+
+static_assert(static_cast<size_t>(opec_obs::EventKind::kShadowSync) == kNumEventKinds - 1,
+              "EventKind grew: widen the rv transition table and audit every monitor");
+
+int Automaton::AddState(std::string name, bool strict) {
+  OPEC_CHECK_MSG(!compiled_, "AddState after Compile()");
+  OPEC_CHECK_MSG(states_.size() < 64, "automata are limited to 64 states (visited bitmask)");
+  states_.push_back({std::move(name), strict});
+  return static_cast<int>(states_.size()) - 1;
+}
+
+void Automaton::AddRule(int state, opec_obs::EventKind kind, int target, std::string message) {
+  AddGuardedRule(state, kind, nullptr, target, std::move(message));
+}
+
+void Automaton::AddGuardedRule(int state, opec_obs::EventKind kind, Guard guard, int target,
+                               std::string message) {
+  OPEC_CHECK_MSG(!compiled_, "AddGuardedRule after Compile()");
+  OPEC_CHECK(state >= 0 && state < static_cast<int>(states_.size()));
+  OPEC_CHECK(target == kViolation || (target >= 0 && target < static_cast<int>(states_.size())));
+  RuleDef def;
+  def.state = state;
+  def.kind = static_cast<size_t>(kind);
+  def.rule.guard = std::move(guard);
+  def.rule.target = target;
+  def.rule.message = std::move(message);
+  rule_defs_.push_back(std::move(def));
+}
+
+void Automaton::Compile() {
+  OPEC_CHECK_MSG(!compiled_, "Compile() twice");
+  OPEC_CHECK_MSG(!states_.empty(), "automaton with no states");
+  table_.assign(states_.size() * kNumEventKinds, Cell{});
+  // Bucket the declared rules per (state, kind) cell, preserving declaration
+  // order within a cell (first-match-wins).
+  std::vector<uint32_t> counts(table_.size(), 0);
+  for (const RuleDef& def : rule_defs_) {
+    ++counts[static_cast<size_t>(def.state) * kNumEventKinds + def.kind];
+  }
+  uint32_t at = 0;
+  for (size_t i = 0; i < table_.size(); ++i) {
+    table_[i].begin = at;
+    at += counts[i];
+    table_[i].end = table_[i].begin;  // fill cursor, bumped below
+  }
+  rules_.resize(rule_defs_.size());
+  for (RuleDef& def : rule_defs_) {
+    Cell& cell = table_[static_cast<size_t>(def.state) * kNumEventKinds + def.kind];
+    rules_[cell.end++] = std::move(def.rule);
+  }
+  rule_defs_.clear();
+  compiled_ = true;
+}
+
+void Automaton::Violate(const std::string& message, int state) {
+  ++violations_;
+  last_message_ = message;
+  last_state_ = state;
+  state_ = 0;
+  if (reset_hook_) {
+    reset_hook_();
+  }
+}
+
+bool Automaton::Step(const opec_obs::Event& event) {
+  OPEC_CHECK_MSG(compiled_, "Step() before Compile()");
+  ++steps_;
+  const size_t kind = static_cast<size_t>(event.kind);
+  const Cell& cell = table_[static_cast<size_t>(state_) * kNumEventKinds + kind];
+  for (uint32_t i = cell.begin; i < cell.end; ++i) {
+    const Rule& rule = rules_[i];
+    if (rule.guard && !rule.guard(event)) {
+      continue;
+    }
+    if (rule.target == kViolation) {
+      Violate(rule.message.empty()
+                  ? opec_support::StrPrintf("forbidden %s in state %s",
+                                            opec_obs::EventKindName(event.kind),
+                                            states_[static_cast<size_t>(state_)].name.c_str())
+                  : rule.message,
+              state_);
+      return true;
+    }
+    if (rule.target != state_) {
+      state_ = rule.target;
+      visited_mask_ |= 1ull << state_;
+    }
+    return false;
+  }
+  if (states_[static_cast<size_t>(state_)].strict) {
+    Violate(opec_support::StrPrintf("unexpected %s in state %s",
+                                    opec_obs::EventKindName(event.kind),
+                                    states_[static_cast<size_t>(state_)].name.c_str()),
+            state_);
+    return true;
+  }
+  return false;  // non-strict states ignore unmatched events
+}
+
+bool Automaton::Finish(bool aborted) {
+  OPEC_CHECK_MSG(compiled_, "Finish() before Compile()");
+  if (finished_ || !finish_hook_) {
+    return false;
+  }
+  finished_ = true;
+  std::string message = finish_hook_(aborted, state_);
+  if (message.empty()) {
+    return false;
+  }
+  Violate(message, state_);
+  return true;
+}
+
+size_t Automaton::visited_states() const {
+  size_t n = 0;
+  for (uint64_t m = visited_mask_; m != 0; m &= m - 1) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace opec_rv

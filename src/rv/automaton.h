@@ -1,0 +1,124 @@
+// Declarative safety automata over the obs event stream (DESIGN.md §15).
+//
+// An automaton is declared as named states plus (state × EventKind
+// [+ payload guard]) → next-state/violation rules, then compiled once into a
+// dense per-(state, kind) transition table. Stepping an event is one table
+// lookup plus, for the rare guarded cells, a short first-match-wins rule
+// scan — cheap enough to leave attached to every campaign job (modeled on
+// the table-driven monitors of Linux's RV subsystem).
+//
+// Guards may carry monitor-local context (operation stacks, generation
+// counters) in the closures they capture; a guard must only mutate its
+// context when it matches (returns true), because a failing guard falls
+// through to the next rule. On a violation the automaton records the message
+// and resets to the initial state (running the reset hook so context resets
+// with it), so one broken window cannot cascade into a violation storm.
+
+#ifndef SRC_RV_AUTOMATON_H_
+#define SRC_RV_AUTOMATON_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/obs/event.h"
+
+namespace opec_rv {
+
+// Dense table width. Guarded by a static_assert in automaton.cc against the
+// obs enum so a new EventKind cannot silently fall off the table.
+inline constexpr size_t kNumEventKinds = 10;
+
+class Automaton {
+ public:
+  // Returns true when the rule matches this event. Evaluated in declaration
+  // order within a (state, kind) cell; an unguarded rule always matches.
+  using Guard = std::function<bool(const opec_obs::Event&)>;
+
+  // Rule target meaning "this event is a violation".
+  static constexpr int kViolation = -1;
+
+  explicit Automaton(std::string name) : name_(std::move(name)) {}
+
+  // --- Declaration (before Compile()) ---
+  // The first state added is the initial state. `strict` states treat any
+  // event with no matching rule as a violation; non-strict states self-loop.
+  int AddState(std::string name, bool strict = false);
+  void AddRule(int state, opec_obs::EventKind kind, int target, std::string message = "");
+  void AddGuardedRule(int state, opec_obs::EventKind kind, Guard guard, int target,
+                      std::string message = "");
+  // Runs whenever the automaton resets after a violation; clears guard context.
+  void SetResetHook(std::function<void()> hook) { reset_hook_ = std::move(hook); }
+  // End-of-run check; returns a violation message or "" when clean.
+  // `aborted` is true when the run ended in an ExecutionAborted unwind.
+  void SetFinishHook(std::function<std::string(bool aborted, int state)> hook) {
+    finish_hook_ = std::move(hook);
+  }
+  void Compile();
+
+  // --- Runtime (after Compile()) ---
+  // Consumes one event. Returns true if it violated the automaton; the
+  // machine has then already been reset (state + context) and the violation
+  // is described by last_violation_message()/last_violation_state().
+  bool Step(const opec_obs::Event& event);
+  // End-of-run hook; counts and reports like an event violation when it fires.
+  bool Finish(bool aborted);
+
+  // --- Inspection ---
+  const std::string& name() const { return name_; }
+  size_t state_count() const { return states_.size(); }
+  const std::string& state_name(int state) const {
+    return states_[static_cast<size_t>(state)].name;
+  }
+  int current_state() const { return state_; }
+  // Distinct states seen since construction (the initial state counts).
+  size_t visited_states() const;
+  uint64_t steps() const { return steps_; }
+  uint64_t violations() const { return violations_; }
+  const std::string& last_violation_message() const { return last_message_; }
+  int last_violation_state() const { return last_state_; }
+
+ private:
+  struct StateDef {
+    std::string name;
+    bool strict = false;
+  };
+  struct Rule {
+    Guard guard;  // null = unconditional
+    int target = 0;
+    std::string message;
+  };
+  struct RuleDef {
+    int state = 0;
+    size_t kind = 0;
+    Rule rule;
+  };
+  struct Cell {
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+
+  void Violate(const std::string& message, int state);
+
+  std::string name_;
+  std::vector<StateDef> states_;
+  std::vector<RuleDef> rule_defs_;  // cleared by Compile()
+  std::vector<Rule> rules_;
+  std::vector<Cell> table_;  // state * kNumEventKinds + kind
+  bool compiled_ = false;
+  std::function<void()> reset_hook_;
+  std::function<std::string(bool, int)> finish_hook_;
+  bool finished_ = false;
+
+  int state_ = 0;
+  uint64_t visited_mask_ = 1;  // bit per state; state 0 visited at birth
+  uint64_t steps_ = 0;
+  uint64_t violations_ = 0;
+  std::string last_message_;
+  int last_state_ = 0;
+};
+
+}  // namespace opec_rv
+
+#endif  // SRC_RV_AUTOMATON_H_

@@ -277,6 +277,73 @@ TEST(CampaignTest, FaultSweepNeverReportsSilentCorruptionAsSuccess) {
   EXPECT_NE(matrix.find("silent-corruption"), std::string::npos);
 }
 
+// Runtime verification is on by default: every job's report carries the rv
+// summary, denied fault injections are flagged by the monitors, and turning
+// it off removes the field (so old reports stay comparable).
+TEST(CampaignTest, RvSummaryIsReportedAndDeniedWritesAreFlagged) {
+  CampaignSpec spec;
+  spec.seed = 7;
+  spec.AddScenarioMatrix({"PinLock"}, {opec_apps::BuildMode::kOpec});
+  spec.AddFaultSweep({"PinLock"}, 12, FaultClass::kShadowBitFlip);
+  Executor::Options options;
+  options.jobs = 2;
+  CampaignResult result = Executor::Run(spec, options);
+  ASSERT_EQ(result.results.size(), 13u);
+
+  const opec_campaign::JobResult& scenario = result.results[0];
+  EXPECT_EQ(scenario.outcome, Outcome::kOk) << scenario.detail;
+  EXPECT_EQ(scenario.rv_violations, 0u);
+  EXPECT_GT(scenario.rv_states, 0u);
+
+  size_t denied = 0;
+  for (const opec_campaign::JobResult& r : result.results) {
+    if (r.outcome == Outcome::kDeniedMpu) {
+      ++denied;
+      EXPECT_GT(r.rv_violations, 0u)
+          << "denied write was not flagged by any monitor: " << r.detail;
+    }
+  }
+  EXPECT_GT(denied, 0u) << "shadow-bit-flip sweep produced no denied write";
+
+  std::string json = result.DeterministicJson();
+  EXPECT_NE(json.find("\"rv\": {\"states\":"), std::string::npos) << json;
+
+  // rv off: the field disappears and clean scenarios still pass.
+  CampaignSpec off;
+  off.seed = 7;
+  off.AddScenarioMatrix({"PinLock"}, {opec_apps::BuildMode::kOpec});
+  off.jobs[0].rv = false;
+  CampaignResult off_result = Executor::Run(off, options);
+  EXPECT_EQ(off_result.results[0].outcome, Outcome::kOk);
+  EXPECT_EQ(off_result.DeterministicJson().find("\"rv\""), std::string::npos);
+}
+
+// The rv summary is modeled data: reports stay bit-identical across thread
+// counts and boot modes with the monitors attached.
+TEST(CampaignTest, RvReportsAreDeterministicAcrossThreadsAndBootModes) {
+  CampaignSpec spec;
+  spec.seed = 21;
+  spec.AddScenarioMatrix(
+      {"PinLock", "Animation"},
+      {opec_apps::BuildMode::kVanilla, opec_apps::BuildMode::kOpec});
+  spec.AddFaultSweep({"PinLock"}, 6);
+
+  Executor::Options serial;
+  serial.jobs = 1;
+  CampaignResult r1 = Executor::Run(spec, serial);
+  Executor::Options parallel;
+  parallel.jobs = 4;
+  CampaignResult r4 = Executor::Run(spec, parallel);
+  Executor::Options cold;
+  cold.jobs = 1;
+  cold.cold_boot = true;
+  CampaignResult rc = Executor::Run(spec, cold);
+
+  EXPECT_EQ(r1.DeterministicJson(), r4.DeterministicJson());
+  EXPECT_EQ(r1.DeterministicJson(), rc.DeterministicJson());
+  EXPECT_NE(r1.DeterministicJson().find("\"rv\""), std::string::npos);
+}
+
 TEST(CampaignTest, TimeoutCancelsRunawayJob) {
   CampaignSpec spec;
   JobSpec job;

@@ -9,6 +9,8 @@
 #include <cctype>
 #include <cstring>
 #include <map>
+#include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -325,10 +327,36 @@ TEST(ChromeTrace, GoldenSmallStream) {
       "\"args\":{\"sort_index\":1}}\n"
       "  ],\n"
       "  \"displayTimeUnit\": \"ms\",\n"
-      "  \"otherData\": {\"generator\": \"opec-obs\", \"time_unit\": \"modeled cycles\"}\n"
+      "  \"otherData\": {\"generator\": \"opec-obs\", \"time_unit\": \"modeled cycles\", "
+      "\"dropped_events\": 0}\n"
       "}\n";
   EXPECT_EQ(json, expected);
   EXPECT_TRUE(JsonValidator(json).Validate());
+}
+
+// A Recorder that wrapped must not export a trace that looks complete: both
+// exporters surface the drop count. This failed before the exporters learned
+// about Recorder::dropped() — the truncated stream serialized with no marker.
+TEST(ChromeTrace, DroppedEventsSurfaceInExports) {
+  Recorder rec(4);
+  for (uint32_t i = 0; i < 10; ++i) {
+    rec.OnEvent(Event::Make(EventKind::kSvc, /*cycle=*/i));
+  }
+  ASSERT_EQ(rec.dropped(), 6u);
+  Naming naming;
+  std::string json = ChromeTraceJson(rec.Snapshot(), naming, "wrapped", rec.dropped());
+  EXPECT_NE(json.find("\"dropped_events\": 6"), std::string::npos) << json;
+  EXPECT_TRUE(JsonValidator(json).Validate());
+
+  std::string jsonl = JsonLines(rec.Snapshot(), naming, rec.dropped());
+  std::istringstream in(jsonl);
+  std::string first;
+  ASSERT_TRUE(std::getline(in, first));
+  EXPECT_EQ(first, "{\"header\":\"opec-obs\",\"dropped_events\":6}");
+  EXPECT_TRUE(JsonValidator(first).Validate());
+  // A lossless stream emits no header line: existing consumers see only events.
+  std::string clean = JsonLines(rec.Snapshot(), naming, 0);
+  EXPECT_EQ(clean.find("header"), std::string::npos);
 }
 
 TEST(ChromeTrace, PinLockTraceIsWellFormed) {
@@ -498,6 +526,90 @@ TEST(Overhead, AttachedSinkLeavesModeledOutputsIdentical) {
     EXPECT_EQ(r.cycles, cycles_plain);
     EXPECT_EQ(r.statements, statements_plain);
     EXPECT_GT(run.recorder()->total(), 0u);
+  }
+}
+
+// Every EventKind has a real name: adding a kind without naming it would
+// break every exporter and the RV reports at once. kNumEventKinds in
+// src/rv/automaton.h static_asserts the enum width; this pins the names.
+TEST(EventKinds, EveryKindHasAUniqueName) {
+  constexpr EventKind kAll[] = {
+      EventKind::kFunctionEnter, EventKind::kFunctionExit, EventKind::kOperationEnter,
+      EventKind::kOperationExit, EventKind::kSvc,           EventKind::kMpuReconfig,
+      EventKind::kMemFault,      EventKind::kBusFault,      EventKind::kMmioAccess,
+      EventKind::kShadowSync,
+  };
+  ASSERT_EQ(sizeof(kAll) / sizeof(kAll[0]), 10u);
+  std::set<std::string> names;
+  for (EventKind kind : kAll) {
+    std::string name = EventKindName(kind);
+    EXPECT_FALSE(name.empty());
+    EXPECT_EQ(name.find('?'), std::string::npos) << "placeholder name for kind "
+                                                 << static_cast<int>(kind);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(names.size(), 10u);
+}
+
+// Coverage: every event kind is actually emitted by some app workload on both
+// engines — a kind nothing emits is dead weight in the monitors and a kind
+// only one engine emits is a tier divergence waiting to happen.
+TEST(EventKinds, EveryKindIsEmittedBySomeWorkloadOnBothEngines) {
+  for (opec_apps::EngineKind engine :
+       {opec_apps::EngineKind::kInterp, opec_apps::EngineKind::kBytecode}) {
+    std::set<EventKind> seen;
+    class KindSink : public Sink {
+     public:
+      explicit KindSink(std::set<EventKind>* seen) : seen_(seen) {}
+      void OnEvent(const Event& e) override { seen_->insert(e.kind); }
+
+     private:
+      std::set<EventKind>* seen_;
+    } sink(&seen);
+
+    for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
+      std::unique_ptr<opec_apps::Application> app = factory.make();
+      for (BuildMode mode : {BuildMode::kVanilla, BuildMode::kOpec}) {
+        AppRun run(*app, mode, engine);
+        run.AttachSink(&sink);
+        ASSERT_TRUE(run.Execute().ok) << factory.name;
+      }
+    }
+    // The clean scenarios never fault; a blocked cross-section write covers
+    // kMemFault and a write to an unmapped address covers kBusFault.
+    {
+      PinLockApp app(2);
+      AppRun run(app, BuildMode::kOpec, engine);
+      const opec_compiler::Policy& policy = run.compile()->policy;
+      const opec_compiler::OperationPolicy* attacker = nullptr;
+      const opec_compiler::OperationPolicy* victim = nullptr;
+      for (const auto& op : policy.operations) {
+        if (op.id != policy.default_op_id && attacker == nullptr) {
+          attacker = &op;
+        } else if (op.has_section && attacker != nullptr && op.id != attacker->id) {
+          victim = &op;
+        }
+      }
+      ASSERT_NE(attacker, nullptr);
+      ASSERT_NE(victim, nullptr);
+      opec_rt::AttackSpec mem_attack;
+      mem_attack.function = attacker->entry;
+      mem_attack.addr = victim->section_base;
+      mem_attack.value = 0x41414141;
+      run.AddAttack(mem_attack);
+      opec_rt::AttackSpec bus_attack;
+      bus_attack.function = attacker->entry;
+      bus_attack.occurrence = 2;
+      bus_attack.addr = 0xF0000000u;  // outside every mapped range
+      bus_attack.value = 1;
+      run.AddAttack(bus_attack);
+      run.AttachSink(&sink);
+      ASSERT_TRUE(run.Execute().ok);
+    }
+
+    EXPECT_EQ(seen.size(), 10u)
+        << "engine " << opec_apps::EngineKindName(engine) << " covered only "
+        << seen.size() << " of 10 event kinds";
   }
 }
 
