@@ -44,6 +44,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -300,7 +301,15 @@ int main(int argc, char** argv) {
   options.trace_dir = trace_dir;
   options.snapshot_dir = snapshot_dir;
   options.cold_boot = cold_boot;
-  CampaignResult result = Executor::Run(spec, options);
+  CampaignResult result;
+  try {
+    result = Executor::Run(spec, options);
+  } catch (const std::runtime_error& e) {
+    // Environment problems (unwritable --snapshot-dir/--trace-dir, unknown
+    // app) are usage-class errors, not crashes: clear message, exit 2.
+    std::fprintf(stderr, "campaign: %s\n", e.what());
+    return 2;
+  }
 
   // Per-outcome summary, then the robustness matrix when faults were swept.
   std::printf("campaign: %zu jobs on %d worker(s), wall %.2f ms (serial %.2f ms, %.2fx)\n",

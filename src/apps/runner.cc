@@ -55,6 +55,26 @@ void AppRun::CaptureBoot() {
   machine_->bus().CaptureMemoryBaseline();
 }
 
+void AppRun::AdoptBootSnapshot(opec_snapshot::Snapshot snapshot) {
+  boot_snapshot_ = std::make_unique<opec_snapshot::Snapshot>(std::move(snapshot));
+  // Full restore first (the snapshot's memory image replaces whatever the
+  // build left), then arm the dirty-page baseline at this — now canonical —
+  // quiescent point so later RestoreBoot() calls ride the fast path.
+  boot_snapshot_->Restore(*machine_);
+  machine_->bus().CaptureMemoryBaseline();
+  if (mode_ == BuildMode::kOpec) {
+    monitor_ = std::make_unique<opec_monitor::Monitor>(*machine_, compile_->policy, soc_);
+  }
+  engine_ = MakeEngine();
+  probe_.reset();
+  trace_.Clear();
+  trace_enabled_ = false;
+  recorder_.reset();
+  rv_.reset();
+  extra_sinks_.clear();
+  last_result_ = {};
+}
+
 void AppRun::RestoreBoot() {
   OPEC_CHECK_MSG(boot_snapshot_ != nullptr, "RestoreBoot() without CaptureBoot()");
   if (machine_->bus().has_memory_baseline()) {

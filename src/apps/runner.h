@@ -72,6 +72,14 @@ class AppRun {
   // re-running BuildModule/CompileOpec/LoadGlobals. This is the warm-start
   // path campaign jobs fork from.
   void CaptureBoot();
+  // Adopts a boot snapshot captured by another AppRun of the same (app, mode)
+  // — possibly in another process (the dist artifact cache, DESIGN.md §16) —
+  // instead of capturing one: restores it into this machine, arms the
+  // dirty-page baseline, and rebuilds monitor + engine exactly as RestoreBoot
+  // does. Provenance (board sizes, module entry table) is checked by the
+  // section LoadState methods; a cross-provenance snapshot is an OPEC_CHECK
+  // error, never silent corruption.
+  void AdoptBootSnapshot(opec_snapshot::Snapshot snapshot);
   bool has_boot_snapshot() const { return boot_snapshot_ != nullptr; }
   const opec_snapshot::Snapshot& boot_snapshot() const { return *boot_snapshot_; }
   void RestoreBoot();

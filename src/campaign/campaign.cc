@@ -8,12 +8,14 @@
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "src/apps/all_apps.h"
 #include "src/obs/export.h"
 #include "src/snapshot/snapshot.h"
 #include "src/support/check.h"
+#include "src/support/fs.h"
 #include "src/support/table.h"
 #include "src/support/text.h"
 
@@ -357,12 +359,6 @@ class CountingSink : public opec_obs::Sink {
   uint64_t count_ = 0;
 };
 
-// Executor-level knobs threaded into each job (see Executor::Options).
-struct JobEnv {
-  bool cold_boot = true;
-  std::string snapshot_dir;
-};
-
 // Warm-start cache: one booted AppRun per (app, mode) per worker thread.
 // Thread-local on purpose — no cross-thread sharing, so jobs stay isolated
 // (TSan-clean) and results stay placement-deterministic. The first use on a
@@ -414,6 +410,8 @@ JobResult RunJobImpl(const JobSpec& spec, size_t index, const std::atomic<bool>*
     app = factory->make();
     cold_run = std::make_unique<opec_apps::AppRun>(*app, spec.mode, spec.engine);
     run_ptr = cold_run.get();
+  } else if (env.warm_provider) {
+    run_ptr = env.warm_provider(*factory, spec.mode, spec.engine);
   } else {
     run_ptr = WarmRun(*factory, spec.mode, spec.engine);
   }
@@ -915,6 +913,29 @@ std::string ResultsJson(const CampaignResult& result, bool with_timing) {
                                             static_cast<double>(result.wall_ns));
     json << "    \"parallel_speedup\": " << buf << "\n";
     json << "  }";
+    // Distributed-executor scheduling stats (DESIGN.md §16). Timing-report
+    // only: queue depth and in-flight counts depend on worker speed and join
+    // order, so they must never appear in the deterministic report.
+    if (result.dist.active) {
+      const DistStats& d = result.dist;
+      json << ",\n  \"dist\": {\n";
+      json << "    \"workers\": " << d.workers << ",\n";
+      json << "    \"workers_died\": " << d.workers_died << ",\n";
+      json << "    \"units_issued\": " << d.units_issued << ",\n";
+      json << "    \"units_reissued\": " << d.units_reissued << ",\n";
+      json << "    \"leases_expired\": " << d.leases_expired << ",\n";
+      json << "    \"queue_high_water\": " << d.queue_high_water << ",\n";
+      json << "    \"max_inflight\": [";
+      for (size_t i = 0; i < d.max_inflight.size(); ++i) {
+        json << (i == 0 ? "" : ", ") << d.max_inflight[i];
+      }
+      json << "],\n";
+      json << "    \"artifacts\": {\"hits\": " << d.artifact_hits
+           << ", \"misses\": " << d.artifact_misses
+           << ", \"evictions\": " << d.artifact_evictions
+           << ", \"digest_mismatches\": " << d.artifact_digest_mismatches << "}\n";
+      json << "  }";
+    }
   }
   json << "\n}\n";
   return json.str();
@@ -969,67 +990,100 @@ std::string CampaignResult::FaultMatrix() const {
   return out;
 }
 
+JobSpec ResolveJobSpec(const JobSpec& job, size_t index, uint64_t campaign_seed,
+                       uint64_t campaign_timeout_ms, uint64_t default_timeout_ms,
+                       const std::string& trace_dir) {
+  JobSpec resolved = job;
+  if (resolved.seed == 0) {
+    resolved.seed = SplitMix64::JobSeed(campaign_seed, index);
+  }
+  if (resolved.timeout_ms == 0) {
+    resolved.timeout_ms = default_timeout_ms != 0 ? default_timeout_ms : campaign_timeout_ms;
+  }
+  if (!trace_dir.empty() && resolved.trace_path.empty()) {
+    resolved.trace_path = opec_support::StrPrintf(
+        "%s/job%04zu_%s_%s.trace.json", trace_dir.c_str(), index,
+        AppKey(resolved.app).c_str(), ModeName(resolved.mode));
+  }
+  return resolved;
+}
+
+struct JobRunner::Impl {
+  Watchdog watchdog;
+};
+
+JobRunner::JobRunner() : impl_(std::make_unique<Impl>()) {}
+JobRunner::~JobRunner() = default;
+
+JobResult JobRunner::Run(const JobSpec& resolved, size_t index, const JobEnv& env) {
+  Clock::time_point job_t0 = Clock::now();
+  JobResult result;
+  std::atomic<bool> cancel{false};
+  uint64_t watchdog_id = 0;
+  if (resolved.timeout_ms != 0) {
+    watchdog_id = impl_->watchdog.Arm(
+        job_t0 + std::chrono::milliseconds(resolved.timeout_ms), &cancel);
+  }
+  try {
+    opec_support::ScopedCheckThrow check_throw;
+    result = RunJobImpl(resolved, index, resolved.timeout_ms != 0 ? &cancel : nullptr, env);
+  } catch (const std::exception& e) {
+    result.index = index;
+    result.spec = resolved;
+    result.ok = false;
+    result.outcome = Outcome::kException;
+    result.detail = e.what();
+  } catch (...) {
+    result.index = index;
+    result.spec = resolved;
+    result.ok = false;
+    result.outcome = Outcome::kException;
+    result.detail = "unknown exception";
+  }
+  if (watchdog_id != 0) {
+    impl_->watchdog.Disarm(watchdog_id);
+  }
+  result.wall_ns = NsSince(job_t0);
+  return result;
+}
+
 JobResult RunJob(const JobSpec& spec, uint64_t campaign_seed, size_t index) {
+  return RunJob(spec, campaign_seed, index, JobEnv{});
+}
+
+JobResult RunJob(const JobSpec& spec, uint64_t campaign_seed, size_t index,
+                 const JobEnv& env) {
   JobSpec resolved = spec;
   if (resolved.seed == 0) {
     resolved.seed = SplitMix64::JobSeed(campaign_seed, index);
   }
-  return RunJobImpl(resolved, index, nullptr, JobEnv{});
+  return RunJobImpl(resolved, index, nullptr, env);
 }
 
 CampaignResult Executor::Run(const CampaignSpec& spec, const Options& options) {
   CampaignResult out;
   out.jobs_used = std::max(1, options.jobs);
   Clock::time_point t0 = Clock::now();
-  Watchdog watchdog;
   JobEnv env;
   env.cold_boot = options.cold_boot;
   env.snapshot_dir = options.snapshot_dir;
+  // Create output directories up front so a bad path is one clear error here,
+  // not an OPEC_CHECK abort (or a report full of kException rows) when the
+  // first diverging job tries to dump state (see tests: SnapshotDirUnwritable).
+  for (const std::string& dir : {options.snapshot_dir, options.trace_dir}) {
+    if (!dir.empty()) {
+      std::string err = opec_support::EnsureDirs(dir);
+      if (!err.empty()) {
+        throw std::runtime_error("campaign output directory unusable: " + err);
+      }
+    }
+  }
+  JobRunner runner;
 
   out.results = ParallelMap(out.jobs_used, spec.jobs.size(), [&](size_t i) {
-    JobSpec job = spec.jobs[i];
-    if (job.seed == 0) {
-      job.seed = SplitMix64::JobSeed(spec.seed, i);
-    }
-    if (job.timeout_ms == 0) {
-      job.timeout_ms =
-          options.default_timeout_ms != 0 ? options.default_timeout_ms : spec.timeout_ms;
-    }
-    if (!options.trace_dir.empty() && job.trace_path.empty()) {
-      job.trace_path = opec_support::StrPrintf(
-          "%s/job%04zu_%s_%s.trace.json", options.trace_dir.c_str(), i,
-          AppKey(job.app).c_str(), ModeName(job.mode));
-    }
-
-    Clock::time_point job_t0 = Clock::now();
-    JobResult result;
-    std::atomic<bool> cancel{false};
-    uint64_t watchdog_id = 0;
-    if (job.timeout_ms != 0) {
-      watchdog_id =
-          watchdog.Arm(job_t0 + std::chrono::milliseconds(job.timeout_ms), &cancel);
-    }
-    try {
-      opec_support::ScopedCheckThrow check_throw;
-      result = RunJobImpl(job, i, job.timeout_ms != 0 ? &cancel : nullptr, env);
-    } catch (const std::exception& e) {
-      result.index = i;
-      result.spec = job;
-      result.ok = false;
-      result.outcome = Outcome::kException;
-      result.detail = e.what();
-    } catch (...) {
-      result.index = i;
-      result.spec = job;
-      result.ok = false;
-      result.outcome = Outcome::kException;
-      result.detail = "unknown exception";
-    }
-    if (watchdog_id != 0) {
-      watchdog.Disarm(watchdog_id);
-    }
-    result.wall_ns = NsSince(job_t0);
-    return result;
+    JobSpec job = ResolveJobSpec(spec.jobs[i], i, spec.seed, spec.timeout_ms,
+                                 options.default_timeout_ms, options.trace_dir);
+    return runner.Run(job, i, env);
   });
 
   out.wall_ns = NsSince(t0);

@@ -1,0 +1,195 @@
+#include "src/dist/cache.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "src/hw/state_io.h"
+#include "src/support/fs.h"
+
+namespace opec_dist {
+
+ArtifactCache::ArtifactCache(std::string dir, uint64_t max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {
+  if (!dir_.empty()) {
+    std::string err = opec_support::EnsureDirs(dir_);
+    if (!err.empty()) {
+      error_ = "artifact cache directory unusable: " + err;
+      dir_.clear();  // degrade to memory backing; caller decides how loud to be
+    }
+  }
+}
+
+std::string ArtifactCache::DigestFileName(uint64_t digest) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx.art", static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+std::string ArtifactCache::PathFor(uint64_t digest) const {
+  return dir_ + "/" + DigestFileName(digest);
+}
+
+void ArtifactCache::Touch(uint64_t digest, uint64_t size) {
+  auto it = entries_.find(digest);
+  if (it != entries_.end()) {
+    lru_.erase(it->second.lru_it);
+    it->second.lru_it = lru_.insert(lru_.begin(), digest);
+    return;
+  }
+  Entry entry;
+  entry.size = size;
+  entry.lru_it = lru_.insert(lru_.begin(), digest);
+  entries_.emplace(digest, std::move(entry));
+  resident_bytes_ += size;
+}
+
+void ArtifactCache::Forget(uint64_t digest) {
+  auto it = entries_.find(digest);
+  if (it == entries_.end()) {
+    return;
+  }
+  resident_bytes_ -= it->second.size;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void ArtifactCache::EvictIfNeeded() {
+  if (max_bytes_ == 0) {
+    return;
+  }
+  while (resident_bytes_ > max_bytes_ && lru_.size() > 1) {
+    uint64_t victim = lru_.back();  // least recently used; never the newest
+    if (!dir_.empty()) {
+      std::remove(PathFor(victim).c_str());
+    }
+    Forget(victim);
+    ++stats_.evictions;
+  }
+}
+
+uint64_t ArtifactCache::Put(const std::vector<uint8_t>& bytes) {
+  uint64_t digest = opec_hw::Fnv1a64(bytes.data(), bytes.size());
+  auto it = entries_.find(digest);
+  if (it != entries_.end()) {
+    Touch(digest, it->second.size);
+    return digest;
+  }
+  if (dir_.empty()) {
+    Entry entry;
+    entry.size = bytes.size();
+    entry.bytes = bytes;
+    entry.lru_it = lru_.insert(lru_.begin(), digest);
+    entries_.emplace(digest, std::move(entry));
+    resident_bytes_ += bytes.size();
+  } else {
+    std::string err = opec_support::WriteFileAtomic(PathFor(digest), bytes);
+    if (!err.empty()) {
+      error_ = "artifact write failed: " + err;
+      return digest;  // digest is still valid; the artifact just isn't cached
+    }
+    Touch(digest, bytes.size());
+  }
+  EvictIfNeeded();
+  return digest;
+}
+
+bool ArtifactCache::Get(uint64_t digest, std::vector<uint8_t>* out) {
+  out->clear();
+  if (dir_.empty()) {
+    auto it = entries_.find(digest);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      return false;
+    }
+    *out = it->second.bytes;
+    Touch(digest, it->second.size);
+    ++stats_.hits;
+    return true;
+  }
+  if (!opec_support::ReadFileBytes(PathFor(digest), out)) {
+    Forget(digest);  // stale index entry (evicted externally)
+    ++stats_.misses;
+    return false;
+  }
+  uint64_t actual = opec_hw::Fnv1a64(out->data(), out->size());
+  if (actual != digest) {
+    // Content does not hash to its address: corrupt or tampered. Expunge so
+    // the next Put can repopulate; report a miss, never the bad bytes.
+    std::remove(PathFor(digest).c_str());
+    Forget(digest);
+    out->clear();
+    ++stats_.digest_mismatches;
+    ++stats_.misses;
+    return false;
+  }
+  Touch(digest, out->size());
+  ++stats_.hits;
+  return true;
+}
+
+bool ArtifactCache::GetRef(const std::string& key, uint64_t* digest) {
+  if (dir_.empty()) {
+    auto it = refs_.find(key);
+    if (it == refs_.end()) {
+      return false;
+    }
+    *digest = it->second;
+    return true;
+  }
+  std::vector<uint8_t> bytes;
+  if (!opec_support::ReadFileBytes(RefPathFor(key), &bytes) || bytes.size() < 8) {
+    return false;
+  }
+  uint64_t d = 0;
+  for (int i = 0; i < 8; ++i) {
+    d |= static_cast<uint64_t>(bytes[static_cast<size_t>(i)]) << (8 * i);
+  }
+  // The ref file carries the full key after the digest; a hash collision in
+  // the file name must not resolve to the wrong artifact.
+  if (std::string(bytes.begin() + 8, bytes.end()) != key) {
+    return false;
+  }
+  *digest = d;
+  return true;
+}
+
+void ArtifactCache::PutRef(const std::string& key, uint64_t digest) {
+  if (dir_.empty()) {
+    refs_[key] = digest;
+    return;
+  }
+  std::vector<uint8_t> bytes;
+  bytes.reserve(8 + key.size());
+  for (int i = 0; i < 8; ++i) {
+    bytes.push_back(static_cast<uint8_t>(digest >> (8 * i)));
+  }
+  bytes.insert(bytes.end(), key.begin(), key.end());
+  std::string err = opec_support::WriteFileAtomic(RefPathFor(key), bytes);
+  if (!err.empty()) {
+    error_ = "artifact ref write failed: " + err;
+  }
+}
+
+std::string ArtifactCache::RefPathFor(const std::string& key) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ref_%016llx.ref",
+                static_cast<unsigned long long>(opec_hw::Fnv1a64(
+                    reinterpret_cast<const uint8_t*>(key.data()), key.size())));
+  return dir_ + "/" + buf;
+}
+
+bool ArtifactCache::Contains(uint64_t digest) {
+  if (dir_.empty()) {
+    return entries_.find(digest) != entries_.end();
+  }
+  if (entries_.find(digest) != entries_.end()) {
+    return true;
+  }
+  std::vector<uint8_t> bytes;
+  if (!opec_support::ReadFileBytes(PathFor(digest), &bytes)) {
+    return false;
+  }
+  return opec_hw::Fnv1a64(bytes.data(), bytes.size()) == digest;
+}
+
+}  // namespace opec_dist

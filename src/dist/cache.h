@@ -1,0 +1,96 @@
+// Content-addressed artifact cache (DESIGN.md §16).
+//
+// Artifacts — post-boot machine snapshots, lowered bytecode modules — are
+// addressed by the Fnv1a64 digest of their bytes. The cache never trusts a
+// name: Get() re-digests what it reads and rejects (and deletes) anything
+// whose content does not hash to its address, so a corrupt or tampered cache
+// file degrades to a miss, never to wrong bytes flowing into a worker.
+//
+// Two backings behind one interface:
+//   * directory-backed (`dir` non-empty): one file per artifact,
+//     `<dir>/<%016x digest>.art`, written atomically (tmp + rename) so
+//     concurrent workers sharing a --cache-dir race benignly — same digest
+//     means same bytes, and rename is last-writer-wins of identical content;
+//   * memory-backed (`dir` empty): a plain map, for servers and tests.
+//
+// Eviction is LRU by bytes against `max_bytes` (0 = unbounded), tracked for
+// entries this process created or touched; files placed by other processes
+// are readable but only enter the LRU once seen.
+
+#ifndef SRC_DIST_CACHE_H_
+#define SRC_DIST_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace opec_dist {
+
+class ArtifactCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t digest_mismatches = 0;
+  };
+
+  // `dir` empty = memory-backed. For a directory backing the directory (and
+  // parents) are created eagerly; failure is reported via ok()/error() and
+  // the cache degrades to memory-backed rather than aborting.
+  explicit ArtifactCache(std::string dir, uint64_t max_bytes = 0);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  // Stores `bytes`, returns their digest. Idempotent: re-putting existing
+  // content refreshes recency only.
+  uint64_t Put(const std::vector<uint8_t>& bytes);
+  // Fetches by digest; verifies content. False = miss (or mismatch, counted
+  // and expunged).
+  bool Get(uint64_t digest, std::vector<uint8_t>* out);
+  bool Contains(uint64_t digest);
+
+  // Named references: the small mutable layer over the immutable
+  // content-addressed store. A ref maps a stable key ("boot/PinLock/opec") to
+  // the digest of its current bytes, letting a *fresh* server/worker resolve
+  // a warm cache directory without anyone remembering digests across runs.
+  // Refs live as tiny files beside the artifacts; a ref naming an absent or
+  // corrupt artifact simply degrades to a miss at Get() time.
+  bool GetRef(const std::string& key, uint64_t* digest);
+  void PutRef(const std::string& key, uint64_t digest);
+
+  const Stats& stats() const { return stats_; }
+  uint64_t resident_bytes() const { return resident_bytes_; }
+
+  static std::string DigestFileName(uint64_t digest);
+
+ private:
+  std::string PathFor(uint64_t digest) const;
+  std::string RefPathFor(const std::string& key) const;
+  void Touch(uint64_t digest, uint64_t size);
+  void Forget(uint64_t digest);
+  void EvictIfNeeded();
+
+  std::string dir_;
+  uint64_t max_bytes_;
+  std::string error_;
+  Stats stats_;
+  // LRU bookkeeping (front = most recent) over entries known to this process;
+  // memory backing stores the bytes inline.
+  struct Entry {
+    uint64_t size = 0;
+    std::vector<uint8_t> bytes;  // memory backing only
+    std::list<uint64_t>::iterator lru_it;
+  };
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::list<uint64_t> lru_;  // digests, most recent first
+  uint64_t resident_bytes_ = 0;
+  std::unordered_map<std::string, uint64_t> refs_;  // memory backing only
+};
+
+}  // namespace opec_dist
+
+#endif  // SRC_DIST_CACHE_H_

@@ -1,0 +1,613 @@
+// campaignd: the distributed campaign service CLI (DESIGN.md §16).
+//
+// Three roles, one binary:
+//   campaignd --workers N [sweep flags]        self-hosted: fork N local
+//                                              workers over socketpairs, run
+//                                              the server in this process
+//   campaignd --serve --listen PORT [sweep]    TCP server; workers join live
+//   campaignd --worker --connect HOST:PORT     one worker, any machine
+//
+// Sweep flags mirror the in-process `campaign` CLI (--spec/--apps/--modes/
+// --engine/--rv/--fault-sweep/--fault-class/--seed/--timeout-ms/
+// --report-json/--deterministic/--trace-dir/--snapshot-dir/--cold-boot), or
+// --fuzz-count N [--fuzz-seed S] for a differential-fuzz sweep. The summary,
+// reports and stdout are byte-for-byte what `campaign` / `fuzz` print for the
+// same sweep — CI cmp(1)s them (the scaling harness in EXPERIMENTS.md §16).
+//
+// Dist-specific knobs: --unit-size (jobs per lease), --lease-ms (expiry),
+// --cache-dir (content-addressed artifact cache; share one directory between
+// local workers to get warm-start cache hits), --chaos-kill-after R
+// (self-hosted only: SIGKILL one worker after R results — the worker-crash
+// re-issue smoke test).
+//
+// Exit status: 0 all jobs ok / no divergences, 1 otherwise, 2 usage error.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/all_apps.h"
+#include "src/campaign/campaign.h"
+#include "src/dist/server.h"
+#include "src/dist/transport.h"
+#include "src/dist/worker.h"
+#include "src/fuzz/oracles.h"
+#include "src/rv/monitors.h"
+
+namespace {
+
+using opec_campaign::CampaignResult;
+using opec_campaign::CampaignSpec;
+using opec_campaign::FaultClass;
+using opec_campaign::Outcome;
+using opec_dist::CampaignServer;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: campaignd --workers N [sweep flags]            (self-hosted)\n"
+      "       campaignd --serve --listen PORT [sweep flags]  (TCP server)\n"
+      "       campaignd --worker --connect HOST:PORT         (TCP worker)\n"
+      "  sweep:  [--spec FILE] [--apps a,b|all] [--modes opec|vanilla|both]\n"
+      "          [--engine interp|bytecode] [--rv on|off|report]\n"
+      "          [--fault-sweep N] [--fault-class CLASS] [--seed S]\n"
+      "          [--timeout-ms T] [--report-json FILE] [--deterministic]\n"
+      "          [--trace-dir DIR] [--snapshot-dir DIR] [--cold-boot]\n"
+      "          | --fuzz-count N [--fuzz-seed S]\n"
+      "  dist:   [--unit-size N] [--lease-ms T] [--cache-dir DIR]\n"
+      "          [--chaos-kill-after R]\n");
+  return 2;
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+// Full-string u64 parse for seeds/durations (counts go through
+// opec_bench::ParseCount, which also enforces bounds).
+bool ParseU64Flag(const char* s, uint64_t* out) {
+  if (s == nullptr || *s == '\0') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || std::strchr(s, '-') != nullptr) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseFaultClass(const std::string& s, FaultClass* out) {
+  if (s == "any") {
+    *out = FaultClass::kAny;
+  } else if (s == "stack-bit-flip") {
+    *out = FaultClass::kStackBitFlip;
+  } else if (s == "shadow-bit-flip") {
+    *out = FaultClass::kShadowBitFlip;
+  } else if (s == "svc-arg") {
+    *out = FaultClass::kSvcArgCorrupt;
+  } else if (s == "icall-forge") {
+    *out = FaultClass::kIcallForge;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+struct Child {
+  pid_t pid = -1;
+  bool alive = false;
+};
+
+// Prints the campaign summary exactly as `campaign` does (bench/
+// campaign_main.cc) — the two CLIs must stay cmp-identical on stdout for the
+// same sweep, modulo the wall-clock line both format from their own timing.
+int ReportCampaign(const CampaignResult& result, const std::string& rv_arg,
+                   const std::string& report_path, bool deterministic) {
+  std::printf("campaign: %zu jobs on %d worker(s), wall %.2f ms (serial %.2f ms, %.2fx)\n",
+              result.results.size(), result.jobs_used, result.wall_ns / 1e6,
+              result.SerialWallNs() / 1e6,
+              result.wall_ns > 0
+                  ? static_cast<double>(result.SerialWallNs()) /
+                        static_cast<double>(result.wall_ns)
+                  : 0.0);
+  for (int o = 0; o <= static_cast<int>(Outcome::kRvViolation); ++o) {
+    size_t n = result.CountOutcome(static_cast<Outcome>(o));
+    if (n > 0) {
+      std::printf("  %-18s %zu\n", opec_campaign::OutcomeName(static_cast<Outcome>(o)), n);
+    }
+  }
+  bool have_faults = false;
+  for (const opec_campaign::JobResult& r : result.results) {
+    if (r.spec.kind == opec_campaign::JobKind::kFault) {
+      have_faults = true;
+    }
+    if (!r.ok) {
+      std::printf("  job %zu [%s %s]: %s — %s\n", r.index, r.spec.app.c_str(),
+                  opec_campaign::JobKindName(r.spec.kind),
+                  opec_campaign::OutcomeName(r.outcome), r.detail.c_str());
+    }
+  }
+  if (have_faults) {
+    std::fputs(result.FaultMatrix().c_str(), stdout);
+  }
+  if (rv_arg == "report") {
+    const std::vector<std::string>& names = opec_rv::StandardMonitorNames();
+    std::vector<unsigned long long> by_automaton(names.size(), 0);
+    unsigned long long rv_jobs = 0, states = 0, violations = 0;
+    for (const opec_campaign::JobResult& r : result.results) {
+      if (!r.spec.rv) {
+        continue;
+      }
+      ++rv_jobs;
+      states += r.rv_states;
+      violations += r.rv_violations;
+      for (size_t a = 0; a < r.rv_by_automaton.size() && a < by_automaton.size(); ++a) {
+        by_automaton[a] += r.rv_by_automaton[a];
+      }
+    }
+    std::printf("RV report (%llu job(s)): states-visited=%llu violations=%llu\n", rv_jobs,
+                states, violations);
+    for (size_t a = 0; a < names.size(); ++a) {
+      std::printf("  %-20s violations=%llu\n", names[a].c_str(), by_automaton[a]);
+    }
+  }
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "campaignd: cannot write %s\n", report_path.c_str());
+      return 2;
+    }
+    out << (deterministic ? result.DeterministicJson() : result.Json());
+    std::printf("wrote %s\n", report_path.c_str());
+  }
+  return result.AllOk() ? 0 : 1;
+}
+
+// Prints the fuzz sweep exactly as the `fuzz` CLI does (no shrink/corpus in
+// distributed mode).
+int ReportFuzz(const std::vector<opec_fuzz::CaseResult>& results, uint64_t count) {
+  size_t diverging_cases = 0;
+  size_t divergences = 0;
+  for (const opec_fuzz::CaseResult& result : results) {
+    std::printf("%s\n", result.digest.c_str());
+    if (result.divergences.empty()) {
+      continue;
+    }
+    ++diverging_cases;
+    divergences += result.divergences.size();
+    std::printf("  program: %s\n", result.summary.c_str());
+    for (const opec_fuzz::Divergence& d : result.divergences) {
+      std::printf("  [%s] %s\n", opec_fuzz::OracleName(d.oracle), d.detail.c_str());
+    }
+  }
+  std::printf("fuzz: %llu cases, %zu diverging, %zu divergences\n",
+              static_cast<unsigned long long>(count), diverging_cases, divergences);
+  return divergences == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int workers = 0;
+  bool serve = false;
+  bool worker = false;
+  int listen_port = 0;
+  std::string connect_addr;
+  std::string cache_dir;
+  int unit_size = 4;
+  int lease_ms = 30000;
+  int chaos_kill_after = 0;
+
+  std::string spec_path;
+  std::string apps_arg = "all";
+  std::string modes_arg = "both";
+  opec_apps::EngineKind engine = opec_apps::EngineKind::kInterp;
+  std::string rv_arg = "on";
+  size_t fault_sweep = 0;
+  FaultClass fault_class = FaultClass::kAny;
+  uint64_t seed = 1;
+  uint64_t timeout_ms = 0;
+  std::string report_path;
+  bool deterministic = false;
+  std::string trace_dir;
+  std::string snapshot_dir;
+  bool cold_boot = false;
+  int fuzz_count = 0;
+  uint64_t fuzz_seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    // Flags accept both `--flag value` and `--flag=value` (the campaign CLI
+    // contract; every numeric flag rejects junk with exit 2 and a message).
+    std::string arg = argv[i];
+    std::string value;
+    size_t eq = arg.find('=');
+    bool has_value = eq != std::string::npos;
+    if (has_value) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
+    auto next = [&]() -> const char* {
+      if (has_value) {
+        return value.c_str();
+      }
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr || !opec_bench::ParseCount(v, 1, 256, &workers)) {
+        std::fprintf(stderr, "invalid --workers '%s'; expected an integer in [1, 256]\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--serve") {
+      serve = true;
+    } else if (arg == "--worker") {
+      worker = true;
+    } else if (arg == "--listen") {
+      const char* v = next();
+      if (v == nullptr || !opec_bench::ParseCount(v, 1, 65535, &listen_port)) {
+        std::fprintf(stderr, "invalid --listen '%s'; expected a port in [1, 65535]\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--connect") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      connect_addr = v;
+    } else if (arg == "--cache-dir") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "invalid --cache-dir: expected a directory path\n");
+        return Usage();
+      }
+      cache_dir = v;
+    } else if (arg == "--unit-size") {
+      const char* v = next();
+      if (v == nullptr || !opec_bench::ParseCount(v, 1, 100000, &unit_size)) {
+        std::fprintf(stderr, "invalid --unit-size '%s'; expected an integer in [1, 100000]\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--lease-ms") {
+      const char* v = next();
+      if (v == nullptr || !opec_bench::ParseCount(v, 1, 3600000, &lease_ms)) {
+        std::fprintf(stderr, "invalid --lease-ms '%s'; expected an integer in [1, 3600000]\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--chaos-kill-after") {
+      const char* v = next();
+      if (v == nullptr || !opec_bench::ParseCount(v, 1, 1000000, &chaos_kill_after)) {
+        std::fprintf(stderr,
+                     "invalid --chaos-kill-after '%s'; expected an integer >= 1\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--fuzz-count") {
+      const char* v = next();
+      if (v == nullptr || !opec_bench::ParseCount(v, 1, 1000000, &fuzz_count)) {
+        std::fprintf(stderr, "invalid --fuzz-count '%s'; expected an integer >= 1\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--fuzz-seed") {
+      const char* v = next();
+      if (v == nullptr || !ParseU64Flag(v, &fuzz_seed)) {
+        std::fprintf(stderr, "invalid --fuzz-seed '%s'; expected an unsigned integer\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--spec") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      spec_path = v;
+    } else if (arg == "--apps") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      apps_arg = v;
+    } else if (arg == "--modes") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      modes_arg = v;
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (v != nullptr && std::strcmp(v, "interp") == 0) {
+        engine = opec_apps::EngineKind::kInterp;
+      } else if (v != nullptr && std::strcmp(v, "bytecode") == 0) {
+        engine = opec_apps::EngineKind::kBytecode;
+      } else {
+        std::fprintf(stderr, "invalid --engine '%s'; valid tiers are: interp bytecode\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--rv") {
+      const char* v = next();
+      if (v == nullptr || (std::strcmp(v, "on") != 0 && std::strcmp(v, "off") != 0 &&
+                           std::strcmp(v, "report") != 0)) {
+        std::fprintf(stderr, "invalid --rv '%s'; valid settings are: on off report\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+      rv_arg = v;
+    } else if (arg == "--fault-sweep") {
+      const char* v = next();
+      int n = 0;
+      if (v == nullptr || !opec_bench::ParseCount(v, 1, 1000000, &n)) {
+        std::fprintf(stderr, "invalid --fault-sweep '%s'; expected an integer >= 1\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+      fault_sweep = static_cast<size_t>(n);
+    } else if (arg == "--fault-class") {
+      const char* v = next();
+      if (v == nullptr || !ParseFaultClass(v, &fault_class)) return Usage();
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr || !ParseU64Flag(v, &seed)) {
+        std::fprintf(stderr, "invalid --seed '%s'; expected an unsigned integer\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--timeout-ms") {
+      const char* v = next();
+      if (v == nullptr || !ParseU64Flag(v, &timeout_ms)) {
+        std::fprintf(stderr, "invalid --timeout-ms '%s'; expected an unsigned integer\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--report-json") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      report_path = v;
+    } else if (arg == "--deterministic") {
+      deterministic = true;
+    } else if (arg == "--trace-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      trace_dir = v;
+    } else if (arg == "--snapshot-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      snapshot_dir = v;
+    } else if (arg == "--cold-boot") {
+      cold_boot = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  // --- TCP worker role: connect and serve jobs until shutdown. -------------
+  if (worker) {
+    if (connect_addr.empty()) {
+      std::fprintf(stderr, "campaignd: --worker requires --connect HOST:PORT\n");
+      return Usage();
+    }
+    std::string err;
+    int fd = opec_dist::TcpConnect(connect_addr, &err);
+    if (fd < 0) {
+      std::fprintf(stderr, "campaignd: %s\n", err.c_str());
+      return 2;
+    }
+    opec_dist::FdTransport transport(fd);
+    opec_dist::WorkerOptions options;
+    options.name = "tcp-worker";
+    options.cache_dir = cache_dir;
+    err = opec_dist::RunWorker(transport, options);
+    if (!err.empty()) {
+      std::fprintf(stderr, "campaignd: worker: %s\n", err.c_str());
+      return 2;
+    }
+    return 0;
+  }
+
+  if (!serve && workers == 0) {
+    std::fprintf(stderr, "campaignd: need --workers N, --serve, or --worker\n");
+    return Usage();
+  }
+  if (serve && listen_port == 0) {
+    std::fprintf(stderr, "campaignd: --serve requires --listen PORT\n");
+    return Usage();
+  }
+
+  // --- Build the sweep (exactly as the `campaign` CLI does). ---------------
+  bool fuzz_sweep = fuzz_count > 0;
+  CampaignSpec spec;
+  if (!fuzz_sweep) {
+    std::vector<std::string> apps;
+    if (apps_arg == "all") {
+      for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
+        apps.push_back(factory.name);
+      }
+    } else {
+      apps = SplitCommas(apps_arg);
+    }
+    std::vector<opec_apps::BuildMode> modes;
+    if (modes_arg == "opec") {
+      modes = {opec_apps::BuildMode::kOpec};
+    } else if (modes_arg == "vanilla") {
+      modes = {opec_apps::BuildMode::kVanilla};
+    } else if (modes_arg == "both") {
+      modes = {opec_apps::BuildMode::kVanilla, opec_apps::BuildMode::kOpec};
+    } else {
+      return Usage();
+    }
+    spec.seed = seed;
+    spec.timeout_ms = timeout_ms;
+    if (!spec_path.empty()) {
+      std::string err = spec.ParseFile(spec_path);
+      if (!err.empty()) {
+        std::fprintf(stderr, "campaignd: %s\n", err.c_str());
+        return 2;
+      }
+    }
+    if (fault_sweep > 0) {
+      spec.AddFaultSweep(apps, fault_sweep, fault_class);
+    }
+    if (spec.jobs.empty()) {
+      spec.AddScenarioMatrix(apps, modes);
+    }
+    for (opec_campaign::JobSpec& job : spec.jobs) {
+      job.engine = engine;
+      job.rv = rv_arg != "off";
+    }
+  }
+
+  CampaignServer::Options options;
+  options.unit_size = static_cast<size_t>(unit_size);
+  options.lease_ms = static_cast<uint64_t>(lease_ms);
+  options.cache_dir = cache_dir;
+  options.cold_boot = cold_boot;
+  options.snapshot_dir = snapshot_dir;
+  options.trace_dir = trace_dir;
+  options.default_timeout_ms = timeout_ms;
+
+  std::unique_ptr<CampaignServer> server;
+  if (fuzz_sweep) {
+    server = std::make_unique<CampaignServer>(fuzz_seed, static_cast<uint64_t>(fuzz_count),
+                                              options);
+  } else {
+    server = std::make_unique<CampaignServer>(spec, options);
+  }
+
+  int listen_fd = -1;
+  if (serve) {
+    std::string err;
+    listen_fd = opec_dist::TcpListen(static_cast<uint16_t>(listen_port), &err);
+    if (listen_fd < 0) {
+      std::fprintf(stderr, "campaignd: %s\n", err.c_str());
+      return 2;
+    }
+    server->set_listen_fd(listen_fd);
+    std::fprintf(stderr, "campaignd: serving %zu jobs on port %d\n", server->total_jobs(),
+                 listen_port);
+  }
+
+  // --- Self-hosted workers: fork before any thread exists (the server is
+  // poll-based and threadless, so the children inherit a clean process).
+  std::vector<Child> children;
+  if (workers > 0) {
+    // All pairs first, then fork: each child closes every fd except its own
+    // worker end, so no child holds another channel open past its death.
+    std::vector<std::pair<std::unique_ptr<opec_dist::Transport>,
+                          std::unique_ptr<opec_dist::Transport>>>
+        pairs;
+    for (int i = 0; i < workers; ++i) {
+      auto pair = opec_dist::LocalPair();
+      if (pair.first == nullptr) {
+        std::fprintf(stderr, "campaignd: socketpair failed\n");
+        return 2;
+      }
+      pairs.push_back(std::move(pair));
+    }
+    std::fflush(stdout);
+    std::fflush(stderr);
+    for (int i = 0; i < workers; ++i) {
+      pid_t pid = ::fork();
+      if (pid < 0) {
+        std::fprintf(stderr, "campaignd: fork: %s\n", std::strerror(errno));
+        return 2;
+      }
+      if (pid == 0) {
+        // Child: keep only our worker end.
+        for (int j = 0; j < workers; ++j) {
+          pairs[static_cast<size_t>(j)].first->Close();
+          if (j != i) {
+            pairs[static_cast<size_t>(j)].second->Close();
+          }
+        }
+        if (listen_fd >= 0) {
+          ::close(listen_fd);
+        }
+        opec_dist::WorkerOptions wopts;
+        wopts.name = "w" + std::to_string(i);
+        wopts.cache_dir = cache_dir;
+        std::string err =
+            opec_dist::RunWorker(*pairs[static_cast<size_t>(i)].second, wopts);
+        if (!err.empty()) {
+          std::fprintf(stderr, "campaignd: %s: %s\n", wopts.name.c_str(), err.c_str());
+          std::fflush(stderr);
+          ::_exit(1);
+        }
+        ::_exit(0);
+      }
+      Child c;
+      c.pid = pid;
+      c.alive = true;
+      children.push_back(c);
+      pairs[static_cast<size_t>(i)].second->Close();  // parent keeps server end
+    }
+    for (int i = 0; i < workers; ++i) {
+      server->AddWorker(std::move(pairs[static_cast<size_t>(i)].first));
+    }
+  }
+
+  bool chaos_fired = false;
+  server->set_on_progress([&](size_t done, size_t total) {
+    if (chaos_kill_after > 0 && !chaos_fired &&
+        done >= static_cast<size_t>(chaos_kill_after)) {
+      for (Child& c : children) {
+        if (c.alive) {
+          std::fprintf(stderr, "campaignd: chaos: killing worker pid %d after %zu/%zu\n",
+                       static_cast<int>(c.pid), done, total);
+          ::kill(c.pid, SIGKILL);
+          chaos_fired = true;
+          break;
+        }
+      }
+    }
+  });
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::string err = server->Serve();
+  auto t1 = std::chrono::steady_clock::now();
+  if (listen_fd >= 0) {
+    ::close(listen_fd);
+  }
+  for (Child& c : children) {
+    if (c.alive) {
+      int status = 0;
+      ::waitpid(c.pid, &status, 0);
+      c.alive = false;
+    }
+  }
+  if (!err.empty()) {
+    std::fprintf(stderr, "campaignd: %s\n", err.c_str());
+    return 2;
+  }
+
+  if (fuzz_sweep) {
+    return ReportFuzz(server->TakeFuzzResults(), static_cast<uint64_t>(fuzz_count));
+  }
+  CampaignResult result = server->TakeCampaignResult();
+  result.wall_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  return ReportCampaign(result, rv_arg, report_path, deterministic);
+}

@@ -1,0 +1,523 @@
+#include "src/dist/server.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/support/check.h"
+#include "src/support/fs.h"
+
+namespace opec_dist {
+
+namespace {
+
+int DeadlineMs(std::chrono::steady_clock::time_point now,
+               std::chrono::steady_clock::time_point deadline) {
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
+  if (ms < 0) {
+    return 0;
+  }
+  if (ms > 60000) {
+    return 60000;
+  }
+  return static_cast<int>(ms);
+}
+
+}  // namespace
+
+CampaignServer::CampaignServer(const opec_campaign::CampaignSpec& spec,
+                               const Options& options)
+    : options_(options),
+      sweep_(SweepKind::kCampaign),
+      campaign_seed_(spec.seed),
+      cache_(options.cache_dir, options.cache_max_bytes) {
+  resolved_.reserve(spec.jobs.size());
+  for (size_t i = 0; i < spec.jobs.size(); ++i) {
+    resolved_.push_back(opec_campaign::ResolveJobSpec(spec.jobs[i], i, spec.seed,
+                                                      spec.timeout_ms,
+                                                      options.default_timeout_ms,
+                                                      options.trace_dir));
+  }
+  BuildUnits(spec.jobs.size());
+  job_results_.resize(total_);
+}
+
+CampaignServer::CampaignServer(uint64_t fuzz_base_seed, uint64_t fuzz_count,
+                               const Options& options)
+    : options_(options),
+      sweep_(SweepKind::kFuzz),
+      fuzz_base_seed_(fuzz_base_seed),
+      cache_(options.cache_dir, options.cache_max_bytes) {
+  BuildUnits(static_cast<size_t>(fuzz_count));
+  case_results_.resize(total_);
+}
+
+CampaignServer::~CampaignServer() = default;
+
+void CampaignServer::BuildUnits(size_t total) {
+  total_ = total;
+  have_.assign(total_, 0);
+  size_t unit_size = options_.unit_size == 0 ? 1 : options_.unit_size;
+  for (size_t start = 0; start < total_; start += unit_size) {
+    Unit u;
+    u.id = units_.size();
+    u.start = start;
+    u.count = std::min(unit_size, total_ - start);
+    units_.push_back(u);
+    pending_.push_back(u.id);
+  }
+  stats_.queue_high_water = pending_.size();
+}
+
+void CampaignServer::AddWorker(std::unique_ptr<Transport> transport) {
+  WorkerState w;
+  w.transport = std::move(transport);
+  workers_.push_back(std::move(w));
+}
+
+size_t CampaignServer::AliveWorkers() const {
+  size_t n = 0;
+  for (const WorkerState& w : workers_) {
+    if (!w.dead) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void CampaignServer::SendOrKill(size_t wi, const Frame& frame) {
+  WorkerState& w = workers_[wi];
+  if (w.dead) {
+    return;
+  }
+  if (w.transport->Send(frame) != Transport::Status::kOk) {
+    KillWorker(wi, w.transport->error().c_str());
+  }
+}
+
+void CampaignServer::KillWorker(size_t wi, const char* why) {
+  WorkerState& w = workers_[wi];
+  if (w.dead) {
+    return;
+  }
+  w.dead = true;
+  w.transport->Close();
+  if (!w.shutdown_sent) {
+    ++stats_.workers_died;
+    std::fprintf(stderr, "campaignd: worker %zu (%s) lost: %s\n", wi,
+                 w.name.empty() ? "?" : w.name.c_str(), why);
+  }
+  RequeueWorkerUnits(wi, /*expired=*/false);
+}
+
+void CampaignServer::RequeueWorkerUnits(size_t wi, bool expired) {
+  std::vector<uint64_t> requeue;
+  for (const auto& [unit_id, lease] : leases_) {
+    if (lease.worker == wi) {
+      requeue.push_back(unit_id);
+    }
+  }
+  // Recovery work goes to the *front* of the queue so the sweep's tail is not
+  // stuck behind untouched units. Sort for a deterministic requeue order.
+  std::sort(requeue.begin(), requeue.end());
+  for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
+    leases_.erase(*it);
+    pending_.insert(pending_.begin(), *it);
+    if (expired) {
+      ++stats_.leases_expired;
+    } else {
+      ++stats_.units_reissued;
+    }
+  }
+  workers_[wi].inflight = 0;
+  stats_.queue_high_water = std::max(stats_.queue_high_water,
+                                     static_cast<uint64_t>(pending_.size()));
+}
+
+void CampaignServer::ExpireLeases(Clock::time_point now) {
+  if (options_.lease_ms == 0) {
+    return;
+  }
+  std::vector<uint64_t> expired;
+  for (const auto& [unit_id, lease] : leases_) {
+    if (lease.deadline <= now) {
+      expired.push_back(unit_id);
+    }
+  }
+  std::sort(expired.begin(), expired.end());
+  for (auto it = expired.rbegin(); it != expired.rend(); ++it) {
+    size_t wi = leases_[*it].worker;
+    leases_.erase(*it);
+    pending_.insert(pending_.begin(), *it);
+    ++stats_.leases_expired;
+    if (workers_[wi].inflight > 0) {
+      --workers_[wi].inflight;
+    }
+  }
+  if (!expired.empty()) {
+    stats_.queue_high_water = std::max(stats_.queue_high_water,
+                                       static_cast<uint64_t>(pending_.size()));
+  }
+}
+
+void CampaignServer::RecordResult(size_t wi, const ResultMsg& msg) {
+  WorkerState& w = workers_[wi];
+  w.cache = msg.cache;  // cumulative sample; latest wins
+  auto lease_it = leases_.find(msg.unit_id);
+  if (lease_it != leases_.end() && lease_it->second.worker == wi) {
+    leases_.erase(lease_it);
+    if (w.inflight > 0) {
+      --w.inflight;
+    }
+  }
+  size_t rows = msg.indexes.size();
+  for (size_t k = 0; k < rows; ++k) {
+    size_t index = static_cast<size_t>(msg.indexes[k]);
+    if (index >= total_) {
+      continue;  // malformed row; drop rather than corrupt the table
+    }
+    if (have_[index]) {
+      continue;  // duplicate delivery of a re-issued unit; first write wins
+    }
+    if (sweep_ == SweepKind::kCampaign) {
+      if (k >= msg.jobs.size()) {
+        continue;
+      }
+      job_results_[index] = msg.jobs[k];
+      job_results_[index].index = index;
+    } else {
+      if (k >= msg.cases.size()) {
+        continue;
+      }
+      case_results_[index] = msg.cases[k];
+    }
+    have_[index] = 1;
+    ++done_count_;
+    if (on_progress_) {
+      on_progress_(done_count_, total_);
+    }
+  }
+}
+
+bool CampaignServer::HandleFrame(size_t wi, const Frame& frame) {
+  WorkerState& w = workers_[wi];
+  opec_hw::StateReader r(frame.payload);
+  switch (frame.type) {
+    case FrameType::kHello: {
+      HelloMsg hello = ReadHello(r);
+      if (hello.version != kProtocolVersion) {
+        KillWorker(wi, "protocol version mismatch");
+        return false;
+      }
+      w.name = hello.worker_name;
+      w.hello_done = true;
+      ++stats_.workers;
+      WelcomeMsg welcome;
+      welcome.sweep = sweep_;
+      welcome.cold_boot = options_.cold_boot;
+      welcome.snapshot_dir = options_.snapshot_dir;
+      SendOrKill(wi, MakeFrame(FrameType::kWelcome,
+                               [&](opec_hw::StateWriter& sw) { WriteWelcome(sw, welcome); }));
+      return true;
+    }
+    case FrameType::kRequestWork: {
+      if (!w.hello_done) {
+        KillWorker(wi, "work request before hello");
+        return false;
+      }
+      // Drop stale queue entries first: a unit whose lease expired while its
+      // worker kept (slowly) executing gets requeued, then delivered anyway —
+      // re-issuing the fully-recorded copy would burn a worker on work that
+      // cannot advance done_count_. When every execution outlives the lease
+      // (tiny --lease-ms, slow host), those copies otherwise recycle at the
+      // queue front forever and the sweep livelocks ahead of untouched units.
+      while (!pending_.empty()) {
+        const Unit& u = units_[pending_.front()];
+        bool all_recorded = true;
+        for (size_t i = u.start; i < u.start + u.count; ++i) {
+          if (!have_[i]) {
+            all_recorded = false;
+            break;
+          }
+        }
+        if (!all_recorded) {
+          break;
+        }
+        pending_.erase(pending_.begin());
+      }
+      if (!pending_.empty()) {
+        uint64_t unit_id = pending_.front();
+        pending_.erase(pending_.begin());
+        const Unit& unit = units_[unit_id];
+        Lease lease;
+        lease.worker = wi;
+        lease.deadline = Clock::now() + std::chrono::milliseconds(
+                                            options_.lease_ms == 0 ? 0 : options_.lease_ms);
+        leases_[unit_id] = lease;
+        ++stats_.units_issued;
+        ++w.inflight;
+        w.max_inflight = std::max(w.max_inflight, w.inflight);
+        AssignMsg assign;
+        assign.unit_id = unit_id;
+        for (size_t i = unit.start; i < unit.start + unit.count; ++i) {
+          assign.indexes.push_back(i);
+          if (sweep_ == SweepKind::kCampaign) {
+            assign.jobs.push_back(resolved_[i]);
+          } else {
+            assign.fuzz_seeds.push_back(fuzz_base_seed_ + i);
+          }
+        }
+        SendOrKill(wi, MakeFrame(FrameType::kAssign, [&](opec_hw::StateWriter& sw) {
+                     WriteAssign(sw, sweep_, assign);
+                   }));
+      } else if (Done()) {
+        w.shutdown_sent = true;
+        SendOrKill(wi, MakeFrame(FrameType::kShutdown));
+      } else {
+        NoWorkMsg nw;
+        nw.retry_ms = options_.retry_ms;
+        SendOrKill(wi, MakeFrame(FrameType::kNoWork,
+                                 [&](opec_hw::StateWriter& sw) { WriteNoWork(sw, nw); }));
+      }
+      return true;
+    }
+    case FrameType::kResult: {
+      ResultMsg msg = ReadResult(r, sweep_);
+      RecordResult(wi, msg);
+      return true;
+    }
+    case FrameType::kArtifactQuery: {
+      ArtifactQueryMsg q = ReadArtifactQuery(r);
+      ArtifactInfoMsg info;
+      info.key = q.key;
+      auto it = artifact_keys_.find(q.key);
+      if (it != artifact_keys_.end()) {
+        info.known = true;
+        info.digest = it->second;
+      }
+      SendOrKill(wi, MakeFrame(FrameType::kArtifactInfo, [&](opec_hw::StateWriter& sw) {
+                   WriteArtifactInfo(sw, info);
+                 }));
+      return true;
+    }
+    case FrameType::kArtifactFetch: {
+      ArtifactFetchMsg f = ReadArtifactFetch(r);
+      ArtifactDataMsg data;
+      data.digest = f.digest;
+      data.found = cache_.Get(f.digest, &data.bytes);
+      SendOrKill(wi, MakeFrame(FrameType::kArtifactData, [&](opec_hw::StateWriter& sw) {
+                   WriteArtifactData(sw, data);
+                 }));
+      return true;
+    }
+    case FrameType::kArtifactAnnounce: {
+      ArtifactAnnounceMsg a = ReadArtifactAnnounce(r);
+      if (a.with_bytes) {
+        uint64_t actual = cache_.Put(a.bytes);
+        if (actual != a.digest) {
+          // Announced digest does not match the content: refuse to register
+          // the key (the bytes are cached under their true digest, harmless).
+          ++stats_.artifact_digest_mismatches;
+          return true;
+        }
+      }
+      // First announcement wins: every worker derives the artifact from the
+      // same deterministic build, so later digests must agree; a disagreement
+      // is recorded and the original mapping kept.
+      auto it = artifact_keys_.find(a.key);
+      if (it == artifact_keys_.end()) {
+        artifact_keys_[a.key] = a.digest;
+      } else if (it->second != a.digest) {
+        ++stats_.artifact_digest_mismatches;
+      }
+      return true;
+    }
+    case FrameType::kWelcome:
+    case FrameType::kAssign:
+    case FrameType::kNoWork:
+    case FrameType::kShutdown:
+    case FrameType::kArtifactInfo:
+    case FrameType::kArtifactData:
+      break;
+  }
+  KillWorker(wi, "unexpected frame from worker");
+  return false;
+}
+
+std::string CampaignServer::Serve() {
+  // On an early bail-out, hang up on every connected worker: self-hosted
+  // children block in Recv waiting for kWelcome, and the parent waitpid()s
+  // them — without the EOF they would deadlock against each other.
+  auto fail = [&](std::string err) {
+    for (WorkerState& w : workers_) {
+      w.dead = true;
+      w.transport->Close();
+    }
+    return err;
+  };
+  for (const std::string& dir : {options_.snapshot_dir, options_.trace_dir}) {
+    if (!dir.empty()) {
+      std::string err = opec_support::EnsureDirs(dir);
+      if (!err.empty()) {
+        return fail("campaign output directory unusable: " + err);
+      }
+    }
+  }
+  if (!cache_.ok()) {
+    return fail(cache_.error());
+  }
+  stats_.active = true;
+
+  while (!Done()) {
+    if (AliveWorkers() == 0 && listen_fd_ < 0) {
+      return "all workers disconnected with " + std::to_string(total_ - done_count_) +
+             " jobs incomplete";
+    }
+    Clock::time_point now = Clock::now();
+    ExpireLeases(now);
+
+    std::vector<pollfd> fds;
+    std::vector<size_t> fd_worker;
+    if (listen_fd_ >= 0) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      fd_worker.push_back(static_cast<size_t>(-1));
+    }
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      if (!workers_[i].dead) {
+        fds.push_back({workers_[i].transport->fd(), POLLIN, 0});
+        fd_worker.push_back(i);
+      }
+    }
+
+    int timeout_ms = 100;
+    if (options_.lease_ms != 0 && !leases_.empty()) {
+      Clock::time_point first = leases_.begin()->second.deadline;
+      for (const auto& [id, lease] : leases_) {
+        first = std::min(first, lease.deadline);
+      }
+      timeout_ms = std::min(timeout_ms, DeadlineMs(now, first) + 1);
+    }
+    int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return fail(std::string("poll: ") + std::strerror(errno));
+    }
+    for (size_t k = 0; k < fds.size(); ++k) {
+      if (fds[k].revents == 0) {
+        continue;
+      }
+      if (fd_worker[k] == static_cast<size_t>(-1)) {
+        std::string err;
+        int cfd = TcpAccept(listen_fd_, &err);
+        if (cfd >= 0) {
+          AddWorker(std::make_unique<FdTransport>(cfd));
+        }
+        continue;
+      }
+      size_t wi = fd_worker[k];
+      if (workers_[wi].dead) {
+        continue;
+      }
+      Frame frame;
+      Transport::Status st = workers_[wi].transport->Recv(&frame);
+      if (st == Transport::Status::kEof) {
+        KillWorker(wi, "disconnected");
+        continue;
+      }
+      if (st == Transport::Status::kError) {
+        KillWorker(wi, workers_[wi].transport->error().c_str());
+        continue;
+      }
+      try {
+        opec_support::ScopedCheckThrow capture;
+        HandleFrame(wi, frame);
+      } catch (const std::exception& e) {
+        KillWorker(wi, e.what());
+      }
+    }
+  }
+
+  // Sweep complete: tell everyone to go home and drain stragglers (workers
+  // mid-duplicate-unit still deliver a kResult + kRequestWork pair).
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (!workers_[i].dead && workers_[i].hello_done) {
+      workers_[i].shutdown_sent = true;
+      SendOrKill(i, MakeFrame(FrameType::kShutdown));
+    }
+  }
+  Clock::time_point drain_deadline = Clock::now() + std::chrono::seconds(10);
+  while (AliveWorkers() > 0 && Clock::now() < drain_deadline) {
+    std::vector<pollfd> fds;
+    std::vector<size_t> fd_worker;
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      if (!workers_[i].dead) {
+        fds.push_back({workers_[i].transport->fd(), POLLIN, 0});
+        fd_worker.push_back(i);
+      }
+    }
+    int rc = ::poll(fds.data(), fds.size(), 100);
+    if (rc < 0 && errno != EINTR) {
+      break;
+    }
+    for (size_t k = 0; k < fds.size(); ++k) {
+      if (fds[k].revents == 0) {
+        continue;
+      }
+      size_t wi = fd_worker[k];
+      Frame frame;
+      Transport::Status st = workers_[wi].transport->Recv(&frame);
+      if (st != Transport::Status::kOk) {
+        workers_[wi].dead = true;  // orderly exit after shutdown
+        workers_[wi].transport->Close();
+        continue;
+      }
+      try {
+        opec_support::ScopedCheckThrow capture;
+        if (frame.type == FrameType::kResult) {
+          opec_hw::StateReader r(frame.payload);
+          ResultMsg msg = ReadResult(r, sweep_);
+          RecordResult(wi, msg);
+        } else if (frame.type == FrameType::kRequestWork) {
+          workers_[wi].shutdown_sent = true;
+          SendOrKill(wi, MakeFrame(FrameType::kShutdown));
+        }
+        // Anything else during drain is ignorable.
+      } catch (const std::exception&) {
+        workers_[wi].dead = true;
+        workers_[wi].transport->Close();
+      }
+    }
+  }
+
+  // Fold worker-side cache counters (cumulative samples) into the stats.
+  for (const WorkerState& w : workers_) {
+    if (!w.hello_done) {
+      continue;
+    }
+    stats_.max_inflight.push_back(w.max_inflight);
+    stats_.artifact_hits += w.cache.hits;
+    stats_.artifact_misses += w.cache.misses;
+    stats_.artifact_evictions += w.cache.evictions;
+    stats_.artifact_digest_mismatches += w.cache.digest_mismatches;
+  }
+  return "";
+}
+
+opec_campaign::CampaignResult CampaignServer::TakeCampaignResult() {
+  opec_campaign::CampaignResult result;
+  result.results = std::move(job_results_);
+  result.jobs_used = static_cast<int>(stats_.workers == 0 ? 1 : stats_.workers);
+  result.dist = stats_;
+  return result;
+}
+
+std::vector<opec_fuzz::CaseResult> CampaignServer::TakeFuzzResults() {
+  return std::move(case_results_);
+}
+
+}  // namespace opec_dist

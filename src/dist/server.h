@@ -1,0 +1,150 @@
+// The campaign server (DESIGN.md §16): owns the sharded job queue, leases
+// work units to connected workers, and reassembles results index-ordered.
+//
+// Single-threaded by construction — one poll() loop multiplexes every worker
+// transport (and, optionally, a TCP accept socket). There is no shared
+// mutable state with any other thread, which keeps the server trivially
+// TSan-clean and makes the aggregation order a non-issue: results land in a
+// pre-sized, index-addressed vector, first write wins.
+//
+// Fault tolerance: each issued unit carries a lease (worker + deadline).
+// A worker that disconnects (EOF/error) or lets a lease expire gets its
+// units requeued at the *front* of the queue, so recovery work is reissued
+// before untouched work. Because every job is a pure function of its
+// resolved spec, a re-executed unit reproduces byte-identical rows and the
+// first-write-wins rule makes duplicate deliveries harmless — the final
+// DeterministicJson is unchanged by worker count, join order, or mid-sweep
+// death (tests/dist_test.cc pins all three).
+
+#ifndef SRC_DIST_SERVER_H_
+#define SRC_DIST_SERVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/campaign/campaign.h"
+#include "src/dist/cache.h"
+#include "src/dist/transport.h"
+#include "src/dist/wire.h"
+#include "src/fuzz/oracles.h"
+
+namespace opec_dist {
+
+class CampaignServer {
+ public:
+  struct Options {
+    size_t unit_size = 4;     // jobs per leased work unit
+    uint64_t lease_ms = 30000;  // lease expiry; 0 = leases never expire
+    uint32_t retry_ms = 20;   // kNoWork retry hint to idle workers
+    std::string cache_dir;    // server-side artifact bytes ("" = in-memory)
+    uint64_t cache_max_bytes = 0;
+    // Job environment shipped in kWelcome / baked into resolved specs.
+    bool cold_boot = false;
+    std::string snapshot_dir;
+    std::string trace_dir;
+    uint64_t default_timeout_ms = 0;
+  };
+
+  // Campaign sweep: jobs are resolved (seed/timeout/trace path) up front, so
+  // workers execute exactly what `campaign --jobs 1` would.
+  CampaignServer(const opec_campaign::CampaignSpec& spec, const Options& options);
+  // Fuzz sweep over seeds base_seed + [0, count).
+  CampaignServer(uint64_t fuzz_base_seed, uint64_t fuzz_count, const Options& options);
+  ~CampaignServer();
+
+  CampaignServer(const CampaignServer&) = delete;
+  CampaignServer& operator=(const CampaignServer&) = delete;
+
+  // Adds a pre-connected worker transport (self-hosted mode, tests).
+  void AddWorker(std::unique_ptr<Transport> transport);
+  // Accept new TCP workers on this listening socket (not owned) during Serve.
+  void set_listen_fd(int fd) { listen_fd_ = fd; }
+  // Called after every recorded result row — progress lines, chaos kills.
+  void set_on_progress(std::function<void(size_t done, size_t total)> cb) {
+    on_progress_ = std::move(cb);
+  }
+
+  size_t total_jobs() const { return total_; }
+
+  // Runs the poll loop until every index has a result, then shuts workers
+  // down. Returns "" on success, else an error (unusable output directory,
+  // every worker gone with work outstanding and no way for more to join).
+  std::string Serve();
+
+  // Valid after a successful Serve(). Campaign sweeps only; wall_ns is left 0
+  // for the caller to stamp.
+  opec_campaign::CampaignResult TakeCampaignResult();
+  // Fuzz sweeps only, in index order.
+  std::vector<opec_fuzz::CaseResult> TakeFuzzResults();
+
+  const opec_campaign::DistStats& dist_stats() const { return stats_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Unit {
+    uint64_t id = 0;
+    size_t start = 0;
+    size_t count = 0;
+  };
+
+  struct Lease {
+    size_t worker = 0;
+    Clock::time_point deadline;
+  };
+
+  struct WorkerState {
+    std::unique_ptr<Transport> transport;
+    std::string name;
+    bool hello_done = false;
+    bool dead = false;
+    bool shutdown_sent = false;
+    uint64_t inflight = 0;
+    uint64_t max_inflight = 0;
+    CacheCounters cache;  // latest cumulative sample
+  };
+
+  void BuildUnits(size_t total);
+  bool HandleFrame(size_t wi, const Frame& frame);
+  void SendOrKill(size_t wi, const Frame& frame);
+  void KillWorker(size_t wi, const char* why);
+  void RequeueWorkerUnits(size_t wi, bool expired);
+  void ExpireLeases(Clock::time_point now);
+  void RecordResult(size_t wi, const ResultMsg& msg);
+  size_t AliveWorkers() const;
+  bool Done() const { return done_count_ == total_; }
+
+  Options options_;
+  SweepKind sweep_;
+  uint64_t campaign_seed_ = 0;
+  std::vector<opec_campaign::JobSpec> resolved_;  // campaign sweeps
+  uint64_t fuzz_base_seed_ = 0;                   // fuzz sweeps
+
+  size_t total_ = 0;
+  std::vector<Unit> units_;
+  std::vector<uint64_t> pending_;  // unit ids; issued from the front
+  std::unordered_map<uint64_t, Lease> leases_;
+
+  std::vector<opec_campaign::JobResult> job_results_;
+  std::vector<opec_fuzz::CaseResult> case_results_;
+  std::vector<uint8_t> have_;  // per index; first write wins
+  size_t done_count_ = 0;
+
+  std::vector<WorkerState> workers_;
+  int listen_fd_ = -1;
+  std::function<void(size_t, size_t)> on_progress_;
+
+  ArtifactCache cache_;
+  std::unordered_map<std::string, uint64_t> artifact_keys_;  // key -> digest
+
+  opec_campaign::DistStats stats_;
+};
+
+}  // namespace opec_dist
+
+#endif  // SRC_DIST_SERVER_H_

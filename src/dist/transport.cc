@@ -1,0 +1,251 @@
+#include "src/dist/transport.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace opec_dist {
+
+FdTransport::FdTransport(int fd, uint32_t max_payload)
+    : fd_(fd), max_payload_(max_payload) {}
+
+FdTransport::~FdTransport() { Close(); }
+
+void FdTransport::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool FdTransport::WriteAll(const uint8_t* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::send(fd_, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      // Pipes from socketpair(AF_UNIX) accept send(); plain fds would need
+      // write() — keep a fallback so FdTransport works on any stream fd.
+      if (errno == ENOTSOCK) {
+        ssize_t pw = ::write(fd_, data + off, n - off);
+        if (pw < 0) {
+          if (errno == EINTR) {
+            continue;
+          }
+          error_ = std::string("write: ") + std::strerror(errno);
+          return false;
+        }
+        off += static_cast<size_t>(pw);
+        continue;
+      }
+      error_ = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+int FdTransport::ReadAll(uint8_t* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t r = ::recv(fd_, data + off, n - off, 0);
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == ENOTSOCK) {
+        ssize_t pr = ::read(fd_, data + off, n - off);
+        if (pr < 0) {
+          if (errno == EINTR) {
+            continue;
+          }
+          error_ = std::string("read: ") + std::strerror(errno);
+          return -1;
+        }
+        if (pr == 0) {
+          if (off == 0) {
+            return 0;
+          }
+          error_ = "truncated frame";
+          return -1;
+        }
+        off += static_cast<size_t>(pr);
+        continue;
+      }
+      error_ = std::string("recv: ") + std::strerror(errno);
+      return -1;
+    }
+    if (r == 0) {
+      if (off == 0) {
+        return 0;  // clean EOF at a frame boundary
+      }
+      error_ = "truncated frame";
+      return -1;
+    }
+    off += static_cast<size_t>(r);
+  }
+  return 1;
+}
+
+Transport::Status FdTransport::Send(const Frame& frame) {
+  if (fd_ < 0) {
+    error_ = "transport closed";
+    return Status::kError;
+  }
+  uint32_t len = static_cast<uint32_t>(frame.payload.size());
+  if (frame.payload.size() > max_payload_) {
+    error_ = "frame payload too large";
+    return Status::kError;
+  }
+  uint8_t header[5];
+  header[0] = static_cast<uint8_t>(len);
+  header[1] = static_cast<uint8_t>(len >> 8);
+  header[2] = static_cast<uint8_t>(len >> 16);
+  header[3] = static_cast<uint8_t>(len >> 24);
+  header[4] = static_cast<uint8_t>(frame.type);
+  if (!WriteAll(header, sizeof(header))) {
+    return Status::kError;
+  }
+  if (len > 0 && !WriteAll(frame.payload.data(), frame.payload.size())) {
+    return Status::kError;
+  }
+  return Status::kOk;
+}
+
+Transport::Status FdTransport::Recv(Frame* frame) {
+  if (fd_ < 0) {
+    error_ = "transport closed";
+    return Status::kError;
+  }
+  uint8_t header[5];
+  int got = ReadAll(header, sizeof(header));
+  if (got == 0) {
+    return Status::kEof;
+  }
+  if (got < 0) {
+    return Status::kError;
+  }
+  uint32_t len = static_cast<uint32_t>(header[0]) | (static_cast<uint32_t>(header[1]) << 8) |
+                 (static_cast<uint32_t>(header[2]) << 16) |
+                 (static_cast<uint32_t>(header[3]) << 24);
+  if (len > max_payload_) {
+    // Reject before allocating: a corrupt length prefix must not drive an
+    // allocation of its own claimed size.
+    error_ = "frame payload too large";
+    return Status::kError;
+  }
+  if (header[4] > static_cast<uint8_t>(FrameType::kArtifactAnnounce)) {
+    error_ = "unknown frame type";
+    return Status::kError;
+  }
+  frame->type = static_cast<FrameType>(header[4]);
+  frame->payload.resize(len);
+  if (len > 0 && ReadAll(frame->payload.data(), len) <= 0) {
+    if (error_.empty()) {
+      error_ = "truncated frame";
+    }
+    return Status::kError;
+  }
+  return Status::kOk;
+}
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> LocalPair() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return {nullptr, nullptr};
+  }
+  return {std::make_unique<FdTransport>(fds[0]), std::make_unique<FdTransport>(fds[1])};
+}
+
+int TcpListen(uint16_t port, std::string* error) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 16) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int TcpAccept(int listen_fd, std::string* error) {
+  for (;;) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    *error = std::string("accept: ") + std::strerror(errno);
+    return -1;
+  }
+}
+
+int TcpConnect(const std::string& host_port, std::string* error) {
+  size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= host_port.size()) {
+    *error = "expected host:port, got '" + host_port + "'";
+    return -1;
+  }
+  std::string host = host_port.substr(0, colon);
+  std::string port = host_port.substr(colon + 1);
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+  if (rc != 0) {
+    *error = std::string("resolve '") + host_port + "': " + ::gai_strerror(rc);
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    *error = "connect '" + host_port + "': " + std::strerror(errno);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace opec_dist

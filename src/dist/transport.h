@@ -1,0 +1,86 @@
+// Blocking frame transports for the dist protocol (src/dist/wire.h).
+//
+// A Transport moves whole frames: Send() writes the 5-byte header plus the
+// payload; Recv() reads exactly one frame or reports a clean error. The only
+// implementation is FdTransport over a stream file descriptor — a socketpair
+// end (self-hosted workers, in-process tests) or a TCP socket (remote
+// workers); the server and worker code are transport-agnostic.
+//
+// Error model: Recv() distinguishes orderly EOF *between* frames (kEof — the
+// peer hung up cleanly) from EOF *inside* a frame or a malformed length
+// prefix (kError, "truncated frame" / "frame payload too large") — a
+// truncated or oversized frame never hangs the reader and never allocates
+// the bogus length.
+
+#ifndef SRC_DIST_TRANSPORT_H_
+#define SRC_DIST_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/dist/wire.h"
+
+namespace opec_dist {
+
+class Transport {
+ public:
+  enum class Status : uint8_t {
+    kOk,
+    kEof,    // peer closed between frames (orderly)
+    kError,  // I/O error, truncated frame, or oversized length prefix
+  };
+
+  virtual ~Transport() = default;
+
+  virtual Status Send(const Frame& frame) = 0;
+  virtual Status Recv(Frame* frame) = 0;
+  virtual void Close() = 0;
+  // Last kError description, for logs.
+  virtual const std::string& error() const = 0;
+  // Underlying fd for poll()-based multiplexing (-1 once closed).
+  virtual int fd() const = 0;
+};
+
+class FdTransport : public Transport {
+ public:
+  // Takes ownership of `fd`. `max_payload` exists so tests can exercise the
+  // oversized-frame rejection without allocating 64 MiB.
+  explicit FdTransport(int fd, uint32_t max_payload = kMaxFramePayload);
+  ~FdTransport() override;
+
+  FdTransport(const FdTransport&) = delete;
+  FdTransport& operator=(const FdTransport&) = delete;
+
+  Status Send(const Frame& frame) override;
+  Status Recv(Frame* frame) override;
+  void Close() override;
+  const std::string& error() const override { return error_; }
+  int fd() const override { return fd_; }
+
+ private:
+  // Full read/write with EINTR retry. ReadAll returns 0 on clean EOF before
+  // any byte, 1 on success, -1 on error/short read.
+  bool WriteAll(const uint8_t* data, size_t n);
+  int ReadAll(uint8_t* data, size_t n);
+
+  int fd_ = -1;
+  uint32_t max_payload_;
+  std::string error_;
+};
+
+// A connected socketpair wrapped as two transports: {server side, worker
+// side}. Either end may move to another thread or survive a fork (each
+// process closes the other end).
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> LocalPair();
+
+// TCP plumbing for --serve / --connect. All return -1 and set `error` on
+// failure. `host_port` is "host:port".
+int TcpListen(uint16_t port, std::string* error);
+int TcpAccept(int listen_fd, std::string* error);
+int TcpConnect(const std::string& host_port, std::string* error);
+
+}  // namespace opec_dist
+
+#endif  // SRC_DIST_TRANSPORT_H_

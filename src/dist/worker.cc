@@ -1,0 +1,416 @@
+#include "src/dist/worker.h"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "src/apps/all_apps.h"
+#include "src/apps/runner.h"
+#include "src/campaign/campaign.h"
+#include "src/dist/cache.h"
+#include "src/fuzz/oracles.h"
+#include "src/rt/bytecode/vm.h"
+#include "src/snapshot/snapshot.h"
+#include "src/support/check.h"
+#include "src/support/fs.h"
+
+namespace opec_dist {
+
+namespace {
+
+const char* ModeKey(opec_apps::BuildMode mode) {
+  return mode == opec_apps::BuildMode::kOpec ? "opec" : "vanilla";
+}
+
+// Synchronous artifact RPC over the worker's transport. The worker drives a
+// strict request/response rhythm, so issuing these between work frames is
+// safe; every failure is swallowed into "not available" — artifact trouble
+// degrades to a cold build, it never fails a job.
+class ServerArtifacts {
+ public:
+  explicit ServerArtifacts(Transport& t) : t_(t) {}
+
+  bool Query(const std::string& key, uint64_t* digest) {
+    if (broken_) {
+      return false;
+    }
+    Frame f = MakeFrame(FrameType::kArtifactQuery, [&](opec_hw::StateWriter& w) {
+      WriteArtifactQuery(w, ArtifactQueryMsg{key});
+    });
+    Frame reply;
+    if (!RoundTrip(f, FrameType::kArtifactInfo, &reply)) {
+      return false;
+    }
+    try {
+      opec_support::ScopedCheckThrow capture;
+      opec_hw::StateReader r(reply.payload);
+      ArtifactInfoMsg info = ReadArtifactInfo(r);
+      if (!info.known) {
+        return false;
+      }
+      *digest = info.digest;
+      return true;
+    } catch (const std::exception&) {
+      broken_ = true;
+      return false;
+    }
+  }
+
+  bool Fetch(uint64_t digest, std::vector<uint8_t>* out) {
+    if (broken_) {
+      return false;
+    }
+    Frame f = MakeFrame(FrameType::kArtifactFetch, [&](opec_hw::StateWriter& w) {
+      WriteArtifactFetch(w, ArtifactFetchMsg{digest});
+    });
+    Frame reply;
+    if (!RoundTrip(f, FrameType::kArtifactData, &reply)) {
+      return false;
+    }
+    try {
+      opec_support::ScopedCheckThrow capture;
+      opec_hw::StateReader r(reply.payload);
+      ArtifactDataMsg data = ReadArtifactData(r);
+      if (!data.found || data.digest != digest) {
+        return false;
+      }
+      *out = std::move(data.bytes);
+      return true;
+    } catch (const std::exception&) {
+      broken_ = true;
+      return false;
+    }
+  }
+
+  void Announce(const std::string& key, uint64_t digest,
+                const std::vector<uint8_t>& bytes) {
+    if (broken_) {
+      return;
+    }
+    ArtifactAnnounceMsg msg;
+    msg.key = key;
+    msg.digest = digest;
+    msg.with_bytes = true;
+    msg.bytes = bytes;
+    Frame f = MakeFrame(FrameType::kArtifactAnnounce, [&](opec_hw::StateWriter& w) {
+      WriteArtifactAnnounce(w, msg);
+    });
+    if (t_.Send(f) != Transport::Status::kOk) {
+      broken_ = true;
+    }
+  }
+
+ private:
+  bool RoundTrip(const Frame& request, FrameType expect, Frame* reply) {
+    if (t_.Send(request) != Transport::Status::kOk) {
+      broken_ = true;
+      return false;
+    }
+    if (t_.Recv(reply) != Transport::Status::kOk || reply->type != expect) {
+      broken_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  Transport& t_;
+  bool broken_ = false;
+};
+
+// The worker's warm-start pool: one booted AppRun per (app, mode, engine),
+// artifact-cache-backed. Mirrors the executor's thread-local WarmRun but
+// resolves the post-boot snapshot and the lowered bytecode module through
+// the local cache / the server before paying for a cold build.
+class DistWarmPool {
+ public:
+  DistWarmPool(ServerArtifacts& server, ArtifactCache& cache)
+      : server_(server), cache_(cache) {}
+
+  opec_apps::AppRun* Get(const opec_apps::AppFactory& factory, opec_apps::BuildMode mode,
+                         opec_apps::EngineKind engine) {
+    auto key = std::make_tuple(factory.name, static_cast<int>(mode),
+                               static_cast<int>(engine));
+    auto it = pool_.find(key);
+    if (it != pool_.end()) {
+      it->second.run->RestoreBoot();
+      ReAdoptBytecode(it->second);
+      return it->second.run.get();
+    }
+
+    Entry e;
+    e.app = factory.make();
+    e.run = std::make_unique<opec_apps::AppRun>(*e.app, mode, engine);
+    ProvideBootSnapshot(e, factory.name, mode);
+    if (engine == opec_apps::EngineKind::kBytecode) {
+      ProvideBytecode(e, factory.name, mode);
+    }
+    it = pool_.emplace(std::move(key), std::move(e)).first;
+    return it->second.run.get();
+  }
+
+  CacheCounters Counters() const {
+    const ArtifactCache::Stats& s = cache_.stats();
+    return CacheCounters{s.hits, s.misses, s.evictions, s.digest_mismatches};
+  }
+
+ private:
+  struct Entry {
+    std::unique_ptr<opec_apps::Application> app;
+    std::unique_ptr<opec_apps::AppRun> run;
+    bool have_bc = false;
+    opec_rt::bytecode::BytecodeModule bc;
+    opec_rt::CostModel bc_costs;
+  };
+
+  // Local cache first, then the server (caching what it returns).
+  bool Obtain(uint64_t digest, std::vector<uint8_t>* bytes) {
+    if (cache_.Get(digest, bytes)) {
+      return true;
+    }
+    if (!server_.Fetch(digest, bytes)) {
+      return false;
+    }
+    if (opec_hw::Fnv1a64(bytes->data(), bytes->size()) != digest) {
+      return false;  // server sent bytes that don't match their address
+    }
+    cache_.Put(*bytes);
+    return true;
+  }
+
+  // Key resolution order: the server's registry (fresh digests announced
+  // this sweep), then the local cache's refs (a warm --cache-dir surviving
+  // from an earlier run, which a fresh server knows nothing about).
+  // `server_knew` lets callers skip the bytes re-upload when the server
+  // already holds the mapping.
+  bool ResolveKey(const std::string& key, uint64_t* digest, bool* server_knew) {
+    if (server_.Query(key, digest)) {
+      *server_knew = true;
+      return true;
+    }
+    *server_knew = false;
+    return cache_.GetRef(key, digest);
+  }
+
+  void ProvideBootSnapshot(Entry& e, const std::string& app_name,
+                           opec_apps::BuildMode mode) {
+    std::string key = "boot/" + app_name + "/" + ModeKey(mode);
+    uint64_t digest = 0;
+    bool server_knew = false;
+    if (ResolveKey(key, &digest, &server_knew)) {
+      std::vector<uint8_t> bytes;
+      if (Obtain(digest, &bytes)) {
+        try {
+          opec_support::ScopedCheckThrow capture;
+          e.run->AdoptBootSnapshot(opec_snapshot::Snapshot::Deserialize(bytes));
+          cache_.PutRef(key, digest);
+          if (!server_knew) {
+            server_.Announce(key, digest, bytes);
+          }
+          return;
+        } catch (const std::exception&) {
+          // Provenance or decode rejection: fall through to the cold capture.
+        }
+      }
+    }
+    e.run->CaptureBoot();
+    std::vector<uint8_t> bytes = e.run->boot_snapshot().Serialize();
+    uint64_t actual = cache_.Put(bytes);
+    cache_.PutRef(key, actual);
+    server_.Announce(key, actual, bytes);
+  }
+
+  void ProvideBytecode(Entry& e, const std::string& app_name, opec_apps::BuildMode mode) {
+    auto* vm = dynamic_cast<opec_rt::bytecode::VM*>(&e.run->engine());
+    if (vm == nullptr) {
+      return;
+    }
+    std::string key = std::string("bcmod/") + app_name + "/" + ModeKey(mode);
+    uint64_t digest = 0;
+    bool server_knew = false;
+    if (ResolveKey(key, &digest, &server_knew)) {
+      std::vector<uint8_t> bytes;
+      if (Obtain(digest, &bytes)) {
+        try {
+          opec_support::ScopedCheckThrow capture;
+          opec_hw::StateReader r(bytes);
+          opec_rt::bytecode::BytecodeModule bc;
+          opec_rt::CostModel costs;
+          if (ReadBytecodeArtifact(r, &bc, &costs) &&
+              vm->AdoptBytecode(bc, costs)) {
+            e.have_bc = true;
+            e.bc = std::move(bc);
+            e.bc_costs = costs;
+            cache_.PutRef(key, digest);
+            if (!server_knew) {
+              server_.Announce(key, digest, bytes);
+            }
+            return;
+          }
+        } catch (const std::exception&) {
+          // Corrupt artifact; lower locally below.
+        }
+      }
+    }
+    // Lower locally (Bytecode() forces it) and publish the result.
+    try {
+      opec_support::ScopedCheckThrow capture;
+      e.bc = vm->Bytecode();
+      e.bc_costs = e.run->engine().cost_model();
+      e.have_bc = true;
+    } catch (const std::exception&) {
+      return;  // lowering failure surfaces when the job runs; don't publish
+    }
+    opec_hw::StateWriter w;
+    WriteBytecodeArtifact(w, e.bc, e.bc_costs);
+    std::vector<uint8_t> bytes = w.Take();
+    uint64_t actual = cache_.Put(bytes);
+    cache_.PutRef(key, actual);
+    server_.Announce(key, actual, bytes);
+  }
+
+  // RestoreBoot rebuilds the engine, dropping its lowered code; hand the
+  // retained module back so warm jobs never re-lower.
+  void ReAdoptBytecode(Entry& e) {
+    if (!e.have_bc) {
+      return;
+    }
+    auto* vm = dynamic_cast<opec_rt::bytecode::VM*>(&e.run->engine());
+    if (vm != nullptr) {
+      vm->AdoptBytecode(e.bc, e.bc_costs);
+    }
+  }
+
+  ServerArtifacts& server_;
+  ArtifactCache& cache_;
+  std::map<std::tuple<std::string, int, int>, Entry> pool_;
+};
+
+}  // namespace
+
+std::string RunWorker(Transport& transport, const WorkerOptions& options) {
+  // Close on every exit path: the server's drain phase waits for worker EOF,
+  // and embeddings (threads, tests) may keep the transport object alive well
+  // past the worker loop.
+  struct Closer {
+    Transport& t;
+    ~Closer() { t.Close(); }
+  } closer{transport};
+  HelloMsg hello;
+  hello.worker_name = options.name;
+  if (transport.Send(MakeFrame(FrameType::kHello, [&](opec_hw::StateWriter& w) {
+        WriteHello(w, hello);
+      })) != Transport::Status::kOk) {
+    return "hello failed: " + transport.error();
+  }
+  Frame frame;
+  if (transport.Recv(&frame) != Transport::Status::kOk ||
+      frame.type != FrameType::kWelcome) {
+    return "no welcome from server: " + transport.error();
+  }
+  WelcomeMsg welcome;
+  try {
+    opec_support::ScopedCheckThrow capture;
+    opec_hw::StateReader r(frame.payload);
+    welcome = ReadWelcome(r);
+  } catch (const std::exception& e) {
+    return std::string("bad welcome frame: ") + e.what();
+  }
+  if (welcome.version != kProtocolVersion) {
+    return "protocol version mismatch";
+  }
+  if (!welcome.snapshot_dir.empty()) {
+    std::string err = opec_support::EnsureDirs(welcome.snapshot_dir);
+    if (!err.empty()) {
+      return "campaign output directory unusable: " + err;
+    }
+  }
+
+  ArtifactCache cache(options.cache_dir, options.cache_max_bytes);
+  if (!cache.ok()) {
+    return cache.error();
+  }
+  ServerArtifacts server(transport);
+  DistWarmPool pool(server, cache);
+
+  opec_campaign::JobRunner runner;
+  opec_campaign::JobEnv env;
+  env.cold_boot = welcome.cold_boot;
+  env.snapshot_dir = welcome.snapshot_dir;
+  if (!env.cold_boot) {
+    env.warm_provider = [&pool](const opec_apps::AppFactory& factory,
+                                opec_apps::BuildMode mode, opec_apps::EngineKind engine) {
+      return pool.Get(factory, mode, engine);
+    };
+  }
+
+  uint64_t jobs_done = 0;
+  for (;;) {
+    if (transport.Send(MakeFrame(FrameType::kRequestWork)) != Transport::Status::kOk) {
+      return "request failed: " + transport.error();
+    }
+    Transport::Status st = transport.Recv(&frame);
+    if (st == Transport::Status::kEof) {
+      return "server disconnected";
+    }
+    if (st == Transport::Status::kError) {
+      return "recv failed: " + transport.error();
+    }
+    switch (frame.type) {
+      case FrameType::kShutdown:
+        return "";
+      case FrameType::kNoWork: {
+        uint32_t retry_ms = 20;
+        try {
+          opec_support::ScopedCheckThrow capture;
+          opec_hw::StateReader r(frame.payload);
+          retry_ms = ReadNoWork(r).retry_ms;
+        } catch (const std::exception&) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(retry_ms));
+        break;
+      }
+      case FrameType::kAssign: {
+        AssignMsg assign;
+        try {
+          opec_support::ScopedCheckThrow capture;
+          opec_hw::StateReader r(frame.payload);
+          assign = ReadAssign(r, welcome.sweep);
+        } catch (const std::exception& e) {
+          return std::string("bad assign frame: ") + e.what();
+        }
+        ResultMsg result;
+        result.unit_id = assign.unit_id;
+        result.indexes = assign.indexes;
+        for (size_t k = 0; k < assign.indexes.size(); ++k) {
+          size_t index = static_cast<size_t>(assign.indexes[k]);
+          if (welcome.sweep == SweepKind::kCampaign) {
+            result.jobs.push_back(runner.Run(assign.jobs[k], index, env));
+          } else {
+            result.cases.push_back(opec_fuzz::RunCase(assign.fuzz_seeds[k]));
+          }
+          ++jobs_done;
+          if (options.die_after_jobs != 0 && jobs_done >= options.die_after_jobs) {
+            // Test hook: vanish mid-unit without delivering — the server must
+            // detect the EOF and re-issue this unit elsewhere.
+            transport.Close();
+            return "";
+          }
+        }
+        result.cache = pool.Counters();
+        if (transport.Send(MakeFrame(FrameType::kResult, [&](opec_hw::StateWriter& w) {
+              WriteResult(w, welcome.sweep, result);
+            })) != Transport::Status::kOk) {
+          return "result send failed: " + transport.error();
+        }
+        break;
+      }
+      default:
+        return std::string("unexpected frame: ") + FrameTypeName(frame.type);
+    }
+  }
+}
+
+}  // namespace opec_dist

@@ -1,0 +1,43 @@
+// The campaign worker (DESIGN.md §16): connects to a campaignd server over
+// any Transport, executes leased work units through the exact per-job path
+// the in-process executor uses (opec_campaign::JobRunner), and streams
+// results back. Single-threaded; self-hosted mode forks one process per
+// worker, remote mode runs one per `campaignd --worker` invocation.
+//
+// Warm starts ride the content-addressed artifact cache: the worker's warm
+// pool resolves `boot/<app>/<mode>` (post-boot machine snapshot) and
+// `bcmod/<app>/<mode>` (lowered bytecode module + cost model) through the
+// local cache first, then the server; on a miss it builds cold, captures the
+// artifact, and announces it so every later worker skips the work. Adopted
+// artifacts are verified by digest and by the adoption preconditions
+// (snapshot provenance checks, VM::AdoptBytecode's module/cost-model match);
+// any rejection falls back to the cold path — wrong bytes can slow a worker
+// down, never change its results.
+
+#ifndef SRC_DIST_WORKER_H_
+#define SRC_DIST_WORKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/dist/transport.h"
+#include "src/dist/wire.h"
+
+namespace opec_dist {
+
+struct WorkerOptions {
+  std::string name;       // for server logs
+  std::string cache_dir;  // local artifact cache ("" = in-memory, per-process)
+  uint64_t cache_max_bytes = 0;
+  // Test hook: exit the work loop (cleanly, without sending the pending
+  // result) after this many completed jobs. 0 = run to shutdown.
+  uint64_t die_after_jobs = 0;
+};
+
+// Runs the worker loop until the server sends kShutdown (returns "") or the
+// connection/protocol fails (returns the error). Blocking; owns no threads.
+std::string RunWorker(Transport& transport, const WorkerOptions& options);
+
+}  // namespace opec_dist
+
+#endif  // SRC_DIST_WORKER_H_

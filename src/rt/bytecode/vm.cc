@@ -103,6 +103,26 @@ void VM::EnsureLowered() {
   lowered_costs_ = costs_;
 }
 
+bool VM::AdoptBytecode(BytecodeModule bc, const CostModel& costs) {
+  if (!(costs == costs_) || bc.funcs.size() != module_.functions().size() ||
+      bc.acct.size() != bc.code.size()) {
+    return false;
+  }
+  for (const BytecodeFunction& fn : bc.funcs) {
+    if (fn.entry >= bc.code.size()) {
+      return false;
+    }
+  }
+  bc_ = std::move(bc);
+  vcache_.assign(bc_.code.size(), VCache{});
+  size_t window = std::max<size_t>(bc_.max_regs, 1);
+  regs_.assign(static_cast<size_t>(kMaxDepth + 1) * window + 16, 0);
+  frames_.reserve(kMaxDepth + 1);
+  lowered_ = true;
+  lowered_costs_ = costs_;
+  return true;
+}
+
 void VM::PushFrame(const Function* fn, size_t nargs, uint32_t return_pc,
                    uint16_t ret_dst, int op_id, bool is_op, bool via_call,
                    int caller_operation) {

@@ -41,6 +41,14 @@ class VM : public Engine {
   // whenever the cost model changed). For tests and disassembly.
   const BytecodeModule& Bytecode();
 
+  // Adopts a pre-lowered module — the distributed artifact cache (DESIGN.md
+  // §16) ships these between workers so a warm worker never re-lowers.
+  // Refused (returns false) unless `costs` equals this engine's current cost
+  // model and the function table matches this module; lowering is
+  // deterministic, so an accepted adoption executes bit-identically to
+  // EnsureLowered()'s own output.
+  bool AdoptBytecode(BytecodeModule bc, const CostModel& costs);
+
  private:
   // One active call frame. Registers live in one preallocated file; each
   // frame's window starts where its caller's ends, so pointers stay stable

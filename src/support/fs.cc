@@ -1,0 +1,95 @@
+#include "src/support/fs.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "src/support/text.h"
+
+namespace opec_support {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return StrPrintf("%s '%s': %s", what.c_str(), path.c_str(), std::strerror(errno));
+}
+
+}  // namespace
+
+std::string EnsureDirs(const std::string& path) {
+  if (path.empty()) {
+    return "cannot create directory: empty path";
+  }
+  // Walk the components left to right, creating each missing prefix. EEXIST
+  // from a concurrent creator is success; EEXIST over a non-directory is the
+  // error the final stat() below reports precisely.
+  for (size_t i = 1; i <= path.size(); ++i) {
+    if (i != path.size() && path[i] != '/') {
+      continue;
+    }
+    std::string prefix = path.substr(0, i);
+    if (prefix.empty() || prefix == "/" || prefix == ".") {
+      continue;
+    }
+    if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+      return ErrnoMessage("cannot create directory", prefix);
+    }
+  }
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return ErrnoMessage("cannot create directory", path);
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    return StrPrintf("cannot create directory '%s': path exists and is not a directory",
+                     path.c_str());
+  }
+  return "";
+}
+
+std::string WriteFileAtomic(const std::string& path, const std::vector<uint8_t>& bytes) {
+  // The temp name carries the pid so two processes racing to publish the same
+  // content-addressed artifact never clobber each other's partial writes; the
+  // final rename is atomic either way.
+  std::string tmp = StrPrintf("%s.tmp.%d", path.c_str(), static_cast<int>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return ErrnoMessage("cannot open for writing", tmp);
+  }
+  size_t written = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  int close_err = std::fclose(f);
+  if (written != bytes.size() || close_err != 0) {
+    std::remove(tmp.c_str());
+    return StrPrintf("short write to '%s'", tmp.c_str());
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::string err = ErrnoMessage("cannot rename into place", path);
+    std::remove(tmp.c_str());
+    return err;
+  }
+  return "";
+}
+
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  out->clear();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  uint8_t buf[65536];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    out->insert(out->end(), buf, buf + n);
+  }
+  bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    out->clear();
+  }
+  return ok;
+}
+
+}  // namespace opec_support

@@ -1,0 +1,764 @@
+// Tests of the distributed campaign service (src/dist, DESIGN.md §16):
+// wire framing and struct round-trips, transport truncation/oversize error
+// handling, the content-addressed artifact cache, and — the load-bearing
+// property — byte-identity of the distributed executor's DeterministicJson
+// against the in-process serial executor across worker counts, worker death
+// mid-sweep, and lease expiry.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/campaign/campaign.h"
+#include "src/dist/cache.h"
+#include "src/dist/server.h"
+#include "src/dist/transport.h"
+#include "src/dist/wire.h"
+#include "src/dist/worker.h"
+#include "src/fuzz/oracles.h"
+#include "src/hw/state_io.h"
+#include "src/rt/bytecode/bytecode.h"
+#include "src/rt/engine.h"
+#include "src/support/check.h"
+#include "src/support/fs.h"
+
+namespace {
+
+using opec_dist::ArtifactCache;
+using opec_dist::CampaignServer;
+using opec_dist::FdTransport;
+using opec_dist::Frame;
+using opec_dist::FrameType;
+using opec_dist::LocalPair;
+using opec_dist::MakeFrame;
+using opec_dist::RunWorker;
+using opec_dist::SweepKind;
+using opec_dist::Transport;
+using opec_dist::WorkerOptions;
+using opec_hw::StateReader;
+using opec_hw::StateWriter;
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/opec_dist_test_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir != nullptr ? dir : "";
+}
+
+std::vector<uint8_t> Bytes(std::initializer_list<int> values) {
+  std::vector<uint8_t> out;
+  for (int v : values) {
+    out.push_back(static_cast<uint8_t>(v));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Framing and transport error model.
+
+TEST(DistTransport, FrameRoundTrip) {
+  auto [a, b] = LocalPair();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  Frame f;
+  f.type = FrameType::kResult;
+  f.payload = Bytes({1, 2, 3, 0xFF, 0});
+  ASSERT_EQ(a->Send(f), Transport::Status::kOk);
+
+  Frame got;
+  ASSERT_EQ(b->Recv(&got), Transport::Status::kOk);
+  EXPECT_EQ(got.type, FrameType::kResult);
+  EXPECT_EQ(got.payload, f.payload);
+
+  // Empty payload is a legal frame.
+  ASSERT_EQ(b->Send(MakeFrame(FrameType::kRequestWork)), Transport::Status::kOk);
+  ASSERT_EQ(a->Recv(&got), Transport::Status::kOk);
+  EXPECT_EQ(got.type, FrameType::kRequestWork);
+  EXPECT_TRUE(got.payload.empty());
+
+  // Closing one end is an orderly EOF at the frame boundary, not an error.
+  a->Close();
+  EXPECT_EQ(b->Recv(&got), Transport::Status::kEof);
+}
+
+TEST(DistTransport, MaxSizePayloadAcceptedOversizedRejected) {
+  // Small test-only cap so the boundary is exercised without 64 MiB frames.
+  constexpr uint32_t kCap = 256;
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FdTransport sender(fds[0]);  // default cap: large payloads leave fine
+  FdTransport receiver(fds[1], kCap);
+
+  Frame f;
+  f.type = FrameType::kArtifactData;
+  f.payload.assign(kCap, 0xAB);  // exactly at the cap: accepted
+  ASSERT_EQ(sender.Send(f), Transport::Status::kOk);
+  Frame got;
+  ASSERT_EQ(receiver.Recv(&got), Transport::Status::kOk);
+  EXPECT_EQ(got.payload.size(), kCap);
+
+  f.payload.assign(kCap + 1, 0xAB);  // one past: rejected before allocation
+  ASSERT_EQ(sender.Send(f), Transport::Status::kOk);
+  EXPECT_EQ(receiver.Recv(&got), Transport::Status::kError);
+  EXPECT_EQ(receiver.error(), "frame payload too large");
+}
+
+TEST(DistTransport, SenderRefusesOversizedPayload) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FdTransport sender(fds[0], 16);
+  FdTransport receiver(fds[1]);
+  Frame f;
+  f.type = FrameType::kResult;
+  f.payload.assign(17, 0);
+  EXPECT_EQ(sender.Send(f), Transport::Status::kError);
+  EXPECT_EQ(sender.error(), "frame payload too large");
+}
+
+TEST(DistTransport, TruncatedHeaderIsCleanError) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FdTransport receiver(fds[1]);
+  // Three header bytes, then hang up: EOF inside a frame.
+  uint8_t partial[3] = {5, 0, 0};
+  ASSERT_EQ(::send(fds[0], partial, sizeof(partial), 0), 3);
+  ::close(fds[0]);
+  Frame got;
+  EXPECT_EQ(receiver.Recv(&got), Transport::Status::kError);
+  EXPECT_EQ(receiver.error(), "truncated frame");
+}
+
+TEST(DistTransport, TruncatedPayloadIsCleanError) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FdTransport receiver(fds[1]);
+  // Full header claiming 10 payload bytes, only 4 delivered.
+  uint8_t header[5] = {10, 0, 0, 0, static_cast<uint8_t>(FrameType::kResult)};
+  uint8_t body[4] = {1, 2, 3, 4};
+  ASSERT_EQ(::send(fds[0], header, sizeof(header), 0), 5);
+  ASSERT_EQ(::send(fds[0], body, sizeof(body), 0), 4);
+  ::close(fds[0]);
+  Frame got;
+  EXPECT_EQ(receiver.Recv(&got), Transport::Status::kError);
+  EXPECT_EQ(receiver.error(), "truncated frame");
+}
+
+TEST(DistTransport, UnknownFrameTypeRejected) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FdTransport receiver(fds[1]);
+  uint8_t header[5] = {0, 0, 0, 0, 0xEE};
+  ASSERT_EQ(::send(fds[0], header, sizeof(header), 0), 5);
+  ::close(fds[0]);
+  Frame got;
+  EXPECT_EQ(receiver.Recv(&got), Transport::Status::kError);
+  EXPECT_EQ(receiver.error(), "unknown frame type");
+}
+
+// ---------------------------------------------------------------------------
+// Message round-trips.
+
+TEST(DistWire, HandshakeMessagesRoundTrip) {
+  opec_dist::HelloMsg hello;
+  hello.worker_name = "w-test";
+  StateWriter hw;
+  opec_dist::WriteHello(hw, hello);
+  std::vector<uint8_t> hb = hw.Take();
+  StateReader hr(hb);
+  opec_dist::HelloMsg hello2 = opec_dist::ReadHello(hr);
+  EXPECT_EQ(hello2.version, opec_dist::kProtocolVersion);
+  EXPECT_EQ(hello2.worker_name, "w-test");
+
+  opec_dist::WelcomeMsg welcome;
+  welcome.sweep = SweepKind::kFuzz;
+  welcome.cold_boot = true;
+  welcome.snapshot_dir = "/tmp/snaps";
+  StateWriter ww;
+  opec_dist::WriteWelcome(ww, welcome);
+  std::vector<uint8_t> wb = ww.Take();
+  StateReader wr(wb);
+  opec_dist::WelcomeMsg welcome2 = opec_dist::ReadWelcome(wr);
+  EXPECT_EQ(welcome2.sweep, SweepKind::kFuzz);
+  EXPECT_TRUE(welcome2.cold_boot);
+  EXPECT_EQ(welcome2.snapshot_dir, "/tmp/snaps");
+}
+
+TEST(DistWire, JobSpecRoundTrip) {
+  opec_campaign::JobSpec spec;
+  spec.kind = opec_campaign::JobKind::kFault;
+  spec.app = "PinLock";
+  spec.mode = opec_apps::BuildMode::kVanilla;
+  spec.engine = opec_apps::EngineKind::kBytecode;
+  spec.seed = 0xDEADBEEFCAFEull;
+  spec.fault = opec_campaign::FaultClass::kIcallForge;
+  spec.timeout_ms = 1234;
+  spec.trace_path = "/tmp/t.json";
+  spec.attach_counting_sink = true;
+  spec.rv = false;
+
+  StateWriter w;
+  opec_dist::WriteJobSpec(w, spec);
+  std::vector<uint8_t> bytes = w.Take();
+  StateReader r(bytes);
+  opec_campaign::JobSpec got = opec_dist::ReadJobSpec(r);
+  EXPECT_EQ(got.kind, spec.kind);
+  EXPECT_EQ(got.app, spec.app);
+  EXPECT_EQ(got.mode, spec.mode);
+  EXPECT_EQ(got.engine, spec.engine);
+  EXPECT_EQ(got.seed, spec.seed);
+  EXPECT_EQ(got.fault, spec.fault);
+  EXPECT_EQ(got.timeout_ms, spec.timeout_ms);
+  EXPECT_EQ(got.trace_path, spec.trace_path);
+  EXPECT_EQ(got.attach_counting_sink, spec.attach_counting_sink);
+  EXPECT_EQ(got.rv, spec.rv);
+}
+
+TEST(DistWire, JobResultRoundTrip) {
+  opec_campaign::JobResult jr;
+  jr.index = 17;
+  jr.spec.app = "PinLock";
+  jr.ok = true;
+  jr.outcome = opec_campaign::Outcome::kDeniedMpu;
+  jr.detail = "mpu denied write";
+  jr.cycles = 123456;
+  jr.statements = 789;
+  jr.return_value = 42;
+  jr.attack_fired = true;
+  jr.attack_blocked = true;
+  jr.events = 99;
+  jr.rv_states = 7;
+  jr.rv_violations = 1;
+  jr.rv_by_automaton = {0, 1, 0};
+  jr.snapshot_digest = 0x1122334455667788ull;
+  jr.wall_ns = 555;
+
+  StateWriter w;
+  opec_dist::WriteJobResult(w, jr);
+  std::vector<uint8_t> bytes = w.Take();
+  StateReader r(bytes);
+  opec_campaign::JobResult got = opec_dist::ReadJobResult(r);
+  EXPECT_EQ(got.index, jr.index);
+  EXPECT_EQ(got.spec.app, "PinLock");
+  EXPECT_EQ(got.ok, jr.ok);
+  EXPECT_EQ(got.outcome, jr.outcome);
+  EXPECT_EQ(got.detail, jr.detail);
+  EXPECT_EQ(got.cycles, jr.cycles);
+  EXPECT_EQ(got.statements, jr.statements);
+  EXPECT_EQ(got.return_value, jr.return_value);
+  EXPECT_EQ(got.attack_fired, jr.attack_fired);
+  EXPECT_EQ(got.attack_blocked, jr.attack_blocked);
+  EXPECT_EQ(got.events, jr.events);
+  EXPECT_EQ(got.rv_states, jr.rv_states);
+  EXPECT_EQ(got.rv_violations, jr.rv_violations);
+  EXPECT_EQ(got.rv_by_automaton, jr.rv_by_automaton);
+  EXPECT_EQ(got.snapshot_digest, jr.snapshot_digest);
+  EXPECT_EQ(got.wall_ns, jr.wall_ns);
+}
+
+TEST(DistWire, CaseResultRoundTrip) {
+  opec_fuzz::CaseResult cr;
+  cr.seed = 31337;
+  cr.summary = "3 sections, 2 ops";
+  cr.digest = "abc123";
+  opec_fuzz::Divergence d;
+  d.oracle = opec_fuzz::Oracle::kExecDiff;
+  d.detail = "cycles differ";
+  cr.divergences.push_back(d);
+
+  StateWriter w;
+  opec_dist::WriteCaseResult(w, cr);
+  std::vector<uint8_t> bytes = w.Take();
+  StateReader r(bytes);
+  opec_fuzz::CaseResult got = opec_dist::ReadCaseResult(r);
+  EXPECT_EQ(got.seed, cr.seed);
+  EXPECT_EQ(got.summary, cr.summary);
+  EXPECT_EQ(got.digest, cr.digest);
+  ASSERT_EQ(got.divergences.size(), 1u);
+  EXPECT_EQ(got.divergences[0].oracle, opec_fuzz::Oracle::kExecDiff);
+  EXPECT_EQ(got.divergences[0].detail, "cycles differ");
+}
+
+TEST(DistWire, TruncatedPayloadDecodeIsCheckErrorNotHang) {
+  opec_campaign::JobResult jr;
+  jr.detail = "some detail text that makes the payload non-trivial";
+  StateWriter w;
+  opec_dist::WriteJobResult(w, jr);
+  std::vector<uint8_t> bytes = w.Take();
+  bytes.resize(bytes.size() / 2);  // chop mid-struct
+
+  opec_support::ScopedCheckThrow capture;
+  StateReader r(bytes);
+  EXPECT_THROW(opec_dist::ReadJobResult(r), opec_support::CheckError);
+}
+
+TEST(DistWire, BytecodeArtifactRoundTrip) {
+  opec_rt::bytecode::BytecodeModule bc;
+  opec_rt::bytecode::Insn i0;
+  i0.op = opec_rt::bytecode::Op::kConst;
+  i0.a = 1;
+  i0.imm = 42;
+  opec_rt::bytecode::Insn i1;
+  i1.op = opec_rt::bytecode::Op::kMove;
+  i1.sub = 3;
+  i1.a = 2;
+  i1.b = 1;
+  i1.stmt = 5;
+  i1.imm2 = 0x99;
+  i1.charge = 777;
+  bc.code = {i0, i1};
+  opec_rt::bytecode::BytecodeFunction fn;
+  fn.entry = 0;
+  fn.nregs = 3;
+  bc.funcs = {fn};
+  bc.arg_pool = {1, 2, 3};
+  bc.messages = {"assert failed", "oob"};
+  bc.acct = {{0, 2}, {2, 0}};
+  bc.acct_pool = {10, -3};
+  bc.max_regs = 3;
+  opec_rt::CostModel costs;
+  costs.op = 3;
+  costs.svc = 50;
+
+  StateWriter w;
+  opec_dist::WriteBytecodeArtifact(w, bc, costs);
+  std::vector<uint8_t> bytes = w.Take();
+  StateReader r(bytes);
+  opec_rt::bytecode::BytecodeModule got;
+  opec_rt::CostModel got_costs;
+  ASSERT_TRUE(opec_dist::ReadBytecodeArtifact(r, &got, &got_costs));
+  EXPECT_TRUE(got_costs == costs);
+  ASSERT_EQ(got.code.size(), 2u);
+  EXPECT_EQ(got.code[0].op, opec_rt::bytecode::Op::kConst);
+  EXPECT_EQ(got.code[0].imm, 42u);
+  EXPECT_EQ(got.code[1].op, opec_rt::bytecode::Op::kMove);
+  EXPECT_EQ(got.code[1].sub, 3);
+  EXPECT_EQ(got.code[1].a, 2);
+  EXPECT_EQ(got.code[1].b, 1);
+  EXPECT_EQ(got.code[1].stmt, 5);
+  EXPECT_EQ(got.code[1].imm2, 0x99u);
+  EXPECT_EQ(got.code[1].charge, 777u);
+  ASSERT_EQ(got.funcs.size(), 1u);
+  EXPECT_EQ(got.funcs[0].entry, 0u);
+  EXPECT_EQ(got.funcs[0].nregs, 3);
+  EXPECT_EQ(got.arg_pool, bc.arg_pool);
+  EXPECT_EQ(got.messages, bc.messages);
+  EXPECT_EQ(got.acct, bc.acct);
+  EXPECT_EQ(got.acct_pool, bc.acct_pool);
+  EXPECT_EQ(got.max_regs, 3);
+}
+
+TEST(DistWire, BytecodeArtifactWithBogusOpcodeRejected) {
+  opec_rt::bytecode::BytecodeModule bc;
+  opec_rt::bytecode::Insn bad;
+  bad.op = static_cast<opec_rt::bytecode::Op>(0xEF);
+  bc.code = {bad};
+  opec_rt::CostModel costs;
+  StateWriter w;
+  opec_dist::WriteBytecodeArtifact(w, bc, costs);
+  std::vector<uint8_t> bytes = w.Take();
+  StateReader r(bytes);
+  opec_rt::bytecode::BytecodeModule got;
+  opec_rt::CostModel got_costs;
+  EXPECT_FALSE(opec_dist::ReadBytecodeArtifact(r, &got, &got_costs));
+}
+
+// ---------------------------------------------------------------------------
+// Content-addressed artifact cache.
+
+TEST(DistCache, MemoryHitMissAndIdempotentPut) {
+  ArtifactCache cache("");
+  ASSERT_TRUE(cache.ok());
+  std::vector<uint8_t> a = Bytes({1, 2, 3});
+  uint64_t da = cache.Put(a);
+  EXPECT_EQ(cache.Put(a), da);  // idempotent
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(cache.Get(da, &out));
+  EXPECT_EQ(out, a);
+  EXPECT_FALSE(cache.Get(da ^ 1, &out));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_TRUE(cache.Contains(da));
+  EXPECT_FALSE(cache.Contains(da ^ 1));
+}
+
+TEST(DistCache, LruEvictionByBytes) {
+  ArtifactCache cache("", /*max_bytes=*/150);
+  std::vector<uint8_t> a(100, 0xAA);
+  std::vector<uint8_t> b(100, 0xBB);
+  uint64_t da = cache.Put(a);
+  uint64_t db = cache.Put(b);  // 200 resident > 150: evict LRU (a)
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(cache.Get(da, &out));
+  EXPECT_TRUE(cache.Get(db, &out));
+  EXPECT_LE(cache.resident_bytes(), 150u);
+}
+
+TEST(DistCache, DirBackedRoundTripAndSharedVisibility) {
+  std::string dir = MakeTempDir();
+  std::vector<uint8_t> a = Bytes({9, 8, 7, 6});
+  uint64_t da = 0;
+  {
+    ArtifactCache cache(dir);
+    ASSERT_TRUE(cache.ok());
+    da = cache.Put(a);
+  }
+  // A *fresh* cache over the same directory sees the artifact (shared
+  // --cache-dir across processes / runs).
+  ArtifactCache cache2(dir);
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(cache2.Get(da, &out));
+  EXPECT_EQ(out, a);
+  EXPECT_EQ(cache2.stats().hits, 1u);
+}
+
+TEST(DistCache, DigestMismatchExpungedAndCounted) {
+  std::string dir = MakeTempDir();
+  ArtifactCache cache(dir);
+  std::vector<uint8_t> a = Bytes({1, 1, 2, 3, 5, 8});
+  uint64_t da = cache.Put(a);
+  // Corrupt the artifact file on disk behind the cache's back.
+  std::string path = dir + "/" + ArtifactCache::DigestFileName(da);
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << "corrupted";
+  }
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(cache.Get(da, &out));  // miss, never the wrong bytes
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(cache.stats().digest_mismatches, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  // The corrupt file was expunged so a re-Put can repopulate.
+  std::ifstream gone(path);
+  EXPECT_FALSE(gone.good());
+  cache.Put(a);
+  EXPECT_TRUE(cache.Get(da, &out));
+  EXPECT_EQ(out, a);
+}
+
+TEST(DistCache, NamedRefsSurviveProcessRestart) {
+  std::string dir = MakeTempDir();
+  std::vector<uint8_t> a = Bytes({42, 43, 44});
+  uint64_t da = 0;
+  {
+    ArtifactCache cache(dir);
+    da = cache.Put(a);
+    cache.PutRef("boot/PinLock/opec", da);
+  }
+  // Fresh cache, same dir: the key still resolves (warm-start across runs).
+  ArtifactCache cache2(dir);
+  uint64_t got = 0;
+  ASSERT_TRUE(cache2.GetRef("boot/PinLock/opec", &got));
+  EXPECT_EQ(got, da);
+  EXPECT_FALSE(cache2.GetRef("boot/Other/opec", &got));
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(cache2.Get(da, &out));
+  EXPECT_EQ(out, a);
+}
+
+TEST(DistCache, UnusableDirDegradesToMemoryWithError) {
+  std::string dir = MakeTempDir();
+  std::string file = dir + "/plainfile";
+  {
+    std::ofstream f(file);
+    f << "x";
+  }
+  // A path *under a regular file* can never become a directory.
+  ArtifactCache cache(file + "/sub");
+  EXPECT_FALSE(cache.ok());
+  EXPECT_NE(cache.error().find("artifact cache directory unusable"), std::string::npos);
+  // Degrades to memory backing: still usable, never aborts.
+  std::vector<uint8_t> a = Bytes({1});
+  uint64_t da = cache.Put(a);
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(cache.Get(da, &out));
+}
+
+// ---------------------------------------------------------------------------
+// Unwritable output directories fail fast with a clear message (never an
+// OPEC_CHECK abort). Regression: Executor::Run used to OPEC_CHECK-abort mid-
+// campaign when snapshot_dir could not be created.
+
+TEST(DistOutputs, ExecutorSnapshotDirUnwritableThrowsRuntimeError) {
+  std::string dir = MakeTempDir();
+  std::string file = dir + "/blocker";
+  {
+    std::ofstream f(file);
+    f << "x";
+  }
+  opec_campaign::CampaignSpec spec;
+  spec.seed = 3;
+  spec.AddFaultSweep({"PinLock"}, 1);
+  opec_campaign::Executor::Options options;
+  options.jobs = 1;
+  options.snapshot_dir = file + "/snaps";
+  EXPECT_THROW(opec_campaign::Executor::Run(spec, options), std::runtime_error);
+}
+
+TEST(DistOutputs, ServerSnapshotDirUnwritableFailsServe) {
+  std::string dir = MakeTempDir();
+  std::string file = dir + "/blocker";
+  {
+    std::ofstream f(file);
+    f << "x";
+  }
+  opec_campaign::CampaignSpec spec;
+  spec.seed = 3;
+  spec.AddFaultSweep({"PinLock"}, 1);
+  CampaignServer::Options options;
+  options.snapshot_dir = file + "/snaps";
+  CampaignServer server(spec, options);
+  // Regression: a connected worker must be hung up on when Serve bails early,
+  // or self-hosted children deadlock against the parent's waitpid.
+  auto [server_end, worker_end] = LocalPair();
+  server.AddWorker(std::move(server_end));
+  std::string worker_error;
+  std::thread worker_thread([&, transport = worker_end.get()] {
+    worker_error = RunWorker(*transport, WorkerOptions{});
+  });
+  std::string err = server.Serve();
+  worker_thread.join();
+  EXPECT_NE(err.find("campaign output directory unusable"), std::string::npos);
+  EXPECT_NE(worker_error, "");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end distributed sweeps. Workers run in-process threads over
+// socketpairs — the same Transport/RunWorker code the forked and TCP modes
+// use, minus the process boundary.
+
+opec_campaign::CampaignSpec SmallFaultSweep(size_t count) {
+  opec_campaign::CampaignSpec spec;
+  spec.seed = 7;
+  spec.AddFaultSweep({"PinLock"}, count);
+  return spec;
+}
+
+struct DistRun {
+  opec_campaign::CampaignResult result;
+  std::string serve_error;
+  std::vector<std::string> worker_errors;
+};
+
+DistRun RunDistCampaign(const opec_campaign::CampaignSpec& spec, size_t n_workers,
+                        CampaignServer::Options options,
+                        std::vector<WorkerOptions> worker_options = {}) {
+  DistRun run;
+  CampaignServer server(spec, options);
+  std::vector<std::unique_ptr<Transport>> worker_ends;
+  for (size_t i = 0; i < n_workers; ++i) {
+    auto [server_end, worker_end] = LocalPair();
+    server.AddWorker(std::move(server_end));
+    worker_ends.push_back(std::move(worker_end));
+  }
+  run.worker_errors.resize(n_workers);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < n_workers; ++i) {
+    WorkerOptions wo = i < worker_options.size() ? worker_options[i] : WorkerOptions{};
+    if (wo.name.empty()) {
+      wo.name = "w" + std::to_string(i);
+    }
+    threads.emplace_back([&run, i, transport = worker_ends[i].get(), wo] {
+      run.worker_errors[i] = RunWorker(*transport, wo);
+    });
+  }
+  run.serve_error = server.Serve();
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  run.result = server.TakeCampaignResult();
+  return run;
+}
+
+TEST(DistSweep, MatchesInProcessExecutorAcrossWorkerCounts) {
+  opec_campaign::CampaignSpec spec = SmallFaultSweep(10);
+  opec_campaign::Executor::Options serial_options;
+  serial_options.jobs = 1;
+  std::string serial = opec_campaign::Executor::Run(spec, serial_options).DeterministicJson();
+
+  for (size_t n : {1u, 2u, 4u}) {
+    CampaignServer::Options options;
+    options.unit_size = 2;
+    DistRun run = RunDistCampaign(spec, n, options);
+    ASSERT_EQ(run.serve_error, "") << "workers=" << n;
+    for (const std::string& we : run.worker_errors) {
+      EXPECT_EQ(we, "");
+    }
+    EXPECT_EQ(run.result.DeterministicJson(), serial) << "workers=" << n;
+    EXPECT_TRUE(run.result.dist.active);
+    EXPECT_EQ(run.result.dist.workers, n);
+  }
+}
+
+TEST(DistSweep, DistBlockInJsonButNotDeterministicJson) {
+  opec_campaign::CampaignSpec spec = SmallFaultSweep(4);
+  CampaignServer::Options options;
+  options.unit_size = 2;
+  DistRun run = RunDistCampaign(spec, 2, options);
+  ASSERT_EQ(run.serve_error, "");
+  EXPECT_NE(run.result.Json().find("\"dist\""), std::string::npos);
+  EXPECT_EQ(run.result.DeterministicJson().find("\"dist\""), std::string::npos);
+}
+
+TEST(DistSweep, WorkerDeathMidSweepReissuesAndReportUnchanged) {
+  opec_campaign::CampaignSpec spec = SmallFaultSweep(10);
+  opec_campaign::Executor::Options serial_options;
+  serial_options.jobs = 1;
+  std::string serial = opec_campaign::Executor::Run(spec, serial_options).DeterministicJson();
+
+  CampaignServer::Options options;
+  options.unit_size = 2;
+  std::vector<WorkerOptions> worker_options(2);
+  worker_options[0].die_after_jobs = 1;  // dies mid-unit, result never sent
+  DistRun run = RunDistCampaign(spec, 2, options, worker_options);
+  ASSERT_EQ(run.serve_error, "");
+  EXPECT_EQ(run.result.DeterministicJson(), serial);
+  EXPECT_GE(run.result.dist.workers_died, 1u);
+  EXPECT_GE(run.result.dist.units_reissued, 1u);
+}
+
+TEST(DistSweep, LeaseExpiryReissuesToLiveWorker) {
+  opec_campaign::CampaignSpec spec = SmallFaultSweep(8);
+  opec_campaign::Executor::Options serial_options;
+  serial_options.jobs = 1;
+  std::string serial = opec_campaign::Executor::Run(spec, serial_options).DeterministicJson();
+
+  CampaignServer::Options options;
+  options.unit_size = 2;
+  options.lease_ms = 50;
+  CampaignServer server(spec, options);
+
+  // Stub worker: takes one unit, then stalls (connected but silent) until
+  // shutdown. Its lease must expire and the unit reissue to the real worker.
+  auto [stub_server_end, stub_end] = LocalPair();
+  server.AddWorker(std::move(stub_server_end));
+  auto [real_server_end, real_end] = LocalPair();
+  server.AddWorker(std::move(real_server_end));
+
+  // Pre-queue the stub's hello + work request so the server grants it a unit
+  // before the real worker has even said hello (stub is poll index 0).
+  opec_dist::HelloMsg hello;
+  hello.worker_name = "staller";
+  ASSERT_EQ(stub_end->Send(MakeFrame(FrameType::kHello,
+                                     [&](StateWriter& w) { opec_dist::WriteHello(w, hello); })),
+            Transport::Status::kOk);
+  ASSERT_EQ(stub_end->Send(MakeFrame(FrameType::kRequestWork)), Transport::Status::kOk);
+
+  bool stub_got_assign = false;
+  std::thread stub([&, transport = stub_end.get()] {
+    Frame f;
+    while (transport->Recv(&f) == Transport::Status::kOk) {
+      if (f.type == FrameType::kAssign) {
+        stub_got_assign = true;  // stall: never report the result
+      }
+      if (f.type == FrameType::kShutdown) {
+        break;
+      }
+    }
+    transport->Close();  // let the server's drain phase see EOF promptly
+  });
+  std::string real_error;
+  std::thread real([&, transport = real_end.get()] {
+    WorkerOptions wo;
+    wo.name = "real";
+    real_error = RunWorker(*transport, wo);
+  });
+
+  std::string err = server.Serve();
+  stub.join();
+  real.join();
+  ASSERT_EQ(err, "");
+  EXPECT_EQ(real_error, "");
+  EXPECT_TRUE(stub_got_assign);
+  EXPECT_GE(server.dist_stats().leases_expired, 1u);
+  EXPECT_EQ(server.TakeCampaignResult().DeterministicJson(), serial);
+}
+
+TEST(DistSweep, FuzzSweepMatchesSerialRunCase) {
+  constexpr uint64_t kBase = 1000;
+  constexpr uint64_t kCount = 6;
+  CampaignServer::Options options;
+  options.unit_size = 2;
+  CampaignServer server(kBase, kCount, options);
+
+  std::vector<std::unique_ptr<Transport>> ends;
+  for (int i = 0; i < 2; ++i) {
+    auto [server_end, worker_end] = LocalPair();
+    server.AddWorker(std::move(server_end));
+    ends.push_back(std::move(worker_end));
+  }
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([transport = ends[static_cast<size_t>(i)].get()] {
+      WorkerOptions wo;
+      RunWorker(*transport, wo);
+    });
+  }
+  std::string err = server.Serve();
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  ASSERT_EQ(err, "");
+
+  std::vector<opec_fuzz::CaseResult> dist_results = server.TakeFuzzResults();
+  ASSERT_EQ(dist_results.size(), kCount);
+  for (uint64_t i = 0; i < kCount; ++i) {
+    opec_fuzz::CaseResult serial = opec_fuzz::RunCase(kBase + i);
+    EXPECT_EQ(dist_results[i].seed, serial.seed);
+    EXPECT_EQ(dist_results[i].digest, serial.digest);
+    EXPECT_EQ(dist_results[i].summary, serial.summary);
+    EXPECT_EQ(dist_results[i].divergences.size(), serial.divergences.size());
+  }
+}
+
+TEST(DistSweep, SharedCacheDirGivesArtifactHitsOnSecondRunSameReport) {
+  std::string cache_dir = MakeTempDir();
+  // Scenario jobs on both engines so boot snapshots *and* bytecode modules
+  // flow through the cache.
+  opec_campaign::CampaignSpec spec;
+  spec.seed = 11;
+  for (int engine = 0; engine < 2; ++engine) {
+    for (int i = 0; i < 2; ++i) {
+      opec_campaign::JobSpec job;
+      job.kind = opec_campaign::JobKind::kScenario;
+      job.app = "PinLock";
+      job.mode = opec_apps::BuildMode::kOpec;
+      job.engine = engine == 0 ? opec_apps::EngineKind::kInterp
+                               : opec_apps::EngineKind::kBytecode;
+      spec.jobs.push_back(job);
+    }
+  }
+
+  CampaignServer::Options options;
+  options.unit_size = 1;
+  std::vector<WorkerOptions> worker_options(1);
+  worker_options[0].cache_dir = cache_dir;
+
+  DistRun cold = RunDistCampaign(spec, 1, options, worker_options);
+  ASSERT_EQ(cold.serve_error, "");
+  // Fresh server + fresh worker over the same cache dir: the worker resolves
+  // boot/bcmod artifacts from named refs and adopts instead of rebuilding.
+  DistRun warm = RunDistCampaign(spec, 1, options, worker_options);
+  ASSERT_EQ(warm.serve_error, "");
+  EXPECT_GT(warm.result.dist.artifact_hits, 0u);
+  EXPECT_EQ(warm.result.DeterministicJson(), cold.result.DeterministicJson());
+
+  // And both match the in-process executor (warm pool, cold boot — all the
+  // same modeled outputs).
+  opec_campaign::Executor::Options serial_options;
+  serial_options.jobs = 1;
+  EXPECT_EQ(cold.result.DeterministicJson(),
+            opec_campaign::Executor::Run(spec, serial_options).DeterministicJson());
+}
+
+}  // namespace
