@@ -53,6 +53,7 @@
 #include "src/apps/all_apps.h"
 #include "src/campaign/campaign.h"
 #include "src/rv/monitors.h"
+#include "src/traffic/traffic.h"
 
 namespace {
 
@@ -70,7 +71,8 @@ int Usage() {
       "                [--fault-sweep N] [--fault-class CLASS] [--figures]\n"
       "                [--jobs N] [--seed S] [--timeout-ms T]\n"
       "                [--report-json FILE] [--deterministic] [--trace-dir DIR]\n"
-      "                [--snapshot-dir DIR] [--cold-boot]\n");
+      "                [--snapshot-dir DIR] [--cold-boot]\n"
+      "                [--traffic rate=N,conns=M,seed=S[,requests=R,...]]\n");
   return 2;
 }
 
@@ -243,6 +245,17 @@ int main(int argc, char** argv) {
       snapshot_dir = v;
     } else if (arg == "--cold-boot") {
       cold_boot = true;
+    } else if (arg == "--traffic") {
+      const char* v = next();
+      opec_traffic::TrafficSpec traffic_spec;
+      std::string error;
+      if (v == nullptr || !opec_traffic::ParseTrafficSpec(v, &traffic_spec, &error)) {
+        std::fprintf(stderr, "invalid --traffic '%s': %s\n", v == nullptr ? "" : v,
+                     error.c_str());
+        return Usage();
+      }
+      // Set before any worker spawns: the traffic app factories read it.
+      opec_traffic::SetDefaultLoadSpec(traffic_spec);
     } else {
       return Usage();
     }

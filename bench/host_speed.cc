@@ -58,6 +58,7 @@
 #include "src/campaign/campaign.h"
 #include "src/obs/export.h"
 #include "src/obs/recorder.h"
+#include "src/traffic/traffic.h"
 #include "src/support/check.h"
 
 namespace {
@@ -176,10 +177,19 @@ constexpr Config kConfigs[] = {{"vanilla", opec_apps::BuildMode::kVanilla},
 // The printed lines carry no engine name on purpose: CI diffs the interp and
 // bytecode outputs byte for byte, which doubles as the cross-tier
 // modeled-output check.
+// AllApps() ∪ TrafficApps(): the wanted-name filter picks the measured set.
+std::vector<opec_apps::AppFactory> BenchRegistry() {
+  std::vector<opec_apps::AppFactory> apps = opec_apps::AllApps();
+  for (opec_apps::AppFactory& factory : opec_apps::TrafficApps()) {
+    apps.push_back(std::move(factory));
+  }
+  return apps;
+}
+
 int SelfCheckObs(const std::vector<std::string>& wanted, opec_apps::EngineKind engine) {
   bool drift = false;
   bool lost = false;
-  for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
+  for (const opec_apps::AppFactory& factory : BenchRegistry()) {
     if (std::find(wanted.begin(), wanted.end(), factory.name) == wanted.end()) {
       continue;
     }
@@ -242,6 +252,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string rv_arg = "off";
   bool self_check_obs = false;
+  bool measure_traffic = false;
   for (int i = 1; i < argc; ++i) {
     // Flags accept both `--flag value` and `--flag=value`.
     std::string arg = argv[i];
@@ -308,18 +319,35 @@ int main(int argc, char** argv) {
       self_check_obs = true;
     } else if (arg == "--smoke") {
       iters = 1;
+    } else if (arg == "--traffic") {
+      const char* v = take();
+      opec_traffic::TrafficSpec traffic_spec;
+      std::string error;
+      if (v == nullptr || !opec_traffic::ParseTrafficSpec(v, &traffic_spec, &error)) {
+        std::fprintf(stderr, "invalid --traffic '%s': %s\n", v == nullptr ? "" : v,
+                     error.c_str());
+        return 2;
+      }
+      opec_traffic::SetDefaultLoadSpec(traffic_spec);
+      measure_traffic = true;
     } else {
       std::fprintf(stderr,
                    "usage: host_speed [--engine interp|bytecode] [--iters N] [--jobs N] "
                    "[--out FILE] [--baseline FILE] [--trace-out FILE] [--self-check-obs] "
-                   "[--rv on|off|report]\n");
+                   "[--rv on|off|report] [--traffic rate=N,conns=M,seed=S[,...]]\n");
       return 2;
     }
   }
   OPEC_CHECK_MSG(iters >= 1, "--iters must be >= 1");
   OPEC_CHECK_MSG(jobs >= 1, "--jobs must be >= 1");
 
-  const std::vector<std::string> wanted = {"CoreMark", "FatFs-uSD", "TCP-Echo"};
+  std::vector<std::string> wanted = {"CoreMark", "FatFs-uSD", "TCP-Echo"};
+  if (measure_traffic) {
+    // --traffic adds the long-running load variants to the measured set; the
+    // paper-line-up units and their metric keys stay untouched.
+    wanted.push_back("TCP-Echo-Load");
+    wanted.push_back("TCP-Echo-DMA");
+  }
   if (self_check_obs) {
     return SelfCheckObs(wanted, engine);
   }
@@ -347,7 +375,7 @@ int main(int argc, char** argv) {
     Sample best_rv;
     std::string rv_report;
   };
-  const std::vector<opec_apps::AppFactory> all_apps = opec_apps::AllApps();
+  const std::vector<opec_apps::AppFactory> all_apps = BenchRegistry();
   std::vector<Unit> units;
   for (const opec_apps::AppFactory& factory : all_apps) {
     if (std::find(wanted.begin(), wanted.end(), factory.name) == wanted.end()) {

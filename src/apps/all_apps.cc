@@ -1,5 +1,7 @@
 #include "src/apps/all_apps.h"
 
+#include <cctype>
+
 #include "src/apps/animation.h"
 #include "src/apps/camera.h"
 #include "src/apps/coremark.h"
@@ -20,6 +22,47 @@ std::vector<AppFactory> AllApps() {
       {"Camera", [] { return std::unique_ptr<Application>(new CameraApp()); }, false},
       {"CoreMark", [] { return std::unique_ptr<Application>(new CoreMarkApp()); }, false},
   };
+}
+
+std::vector<AppFactory> TrafficApps() {
+  return {
+      {"TCP-Echo-Load",
+       [] {
+         return std::unique_ptr<Application>(new TcpEchoApp(
+             opec_traffic::DefaultLoadSpec(), TcpEchoApp::EthVariant::kPio));
+       },
+       false},
+      {"TCP-Echo-DMA",
+       [] {
+         return std::unique_ptr<Application>(new TcpEchoApp(
+             opec_traffic::DefaultLoadSpec(), TcpEchoApp::EthVariant::kDma));
+       },
+       false},
+  };
+}
+
+namespace {
+// "TCP-Echo-Load", "tcp_echo_load" and "tcp-echo-load" all name the same app
+// (same folding the runner and campaign CLIs apply).
+std::string FoldName(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out.push_back(c == '-' ? '_' : static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+}  // namespace
+
+std::optional<AppFactory> FindAppFactory(const std::string& name) {
+  const std::string folded = FoldName(name);
+  for (const std::vector<AppFactory>& registry : {AllApps(), TrafficApps()}) {
+    for (const AppFactory& app : registry) {
+      if (app.name == name || FoldName(app.name) == folded) {
+        return app;
+      }
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace opec_apps

@@ -5,6 +5,8 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "src/apps/app.h"
@@ -22,6 +24,16 @@ struct AppFactory {
 // All seven workloads, in the paper's order: PinLock, Animation, FatFs-uSD,
 // LCD-uSD, TCP-Echo, Camera, CoreMark.
 std::vector<AppFactory> AllApps();
+
+// Traffic-mode variants of the net apps (TCP-Echo-Load over the PIO device,
+// TCP-Echo-DMA over the descriptor-ring device). Kept out of AllApps() so
+// figure/table output over the paper line-up stays stable; the specs come
+// from opec_traffic::DefaultLoadSpec() at make() time.
+std::vector<AppFactory> TrafficApps();
+
+// Looks up `name` (exact or case/sep-folded, as the CLIs accept) across
+// AllApps() ∪ TrafficApps(). Returns nullopt if unknown.
+std::optional<AppFactory> FindAppFactory(const std::string& name);
 
 }  // namespace opec_apps
 

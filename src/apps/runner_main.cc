@@ -19,6 +19,7 @@
 #include "src/apps/runner.h"
 #include "src/obs/export.h"
 #include "src/obs/profile.h"
+#include "src/traffic/traffic.h"
 
 namespace {
 
@@ -35,6 +36,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: runner [--app NAME] [--mode opec|vanilla] [--engine interp|bytecode]\n"
                "              [--rv on|off|report] [--trace-out FILE] [--jsonl-out FILE]\n"
+               "              [--traffic rate=N,conns=M,seed=S[,requests=R,...]]\n"
                "              [--profile] [--list]\n");
   return 2;
 }
@@ -77,10 +79,21 @@ int main(int argc, char** argv) {
       jsonl_out = take();
     } else if (arg == "--rv") {
       rv_name = take();
+    } else if (arg == "--traffic") {
+      opec_traffic::TrafficSpec spec;
+      std::string error;
+      if (!opec_traffic::ParseTrafficSpec(take(), &spec, &error)) {
+        std::fprintf(stderr, "bad --traffic: %s\n", error.c_str());
+        return 2;
+      }
+      opec_traffic::SetDefaultLoadSpec(spec);
     } else if (arg == "--profile") {
       profile = true;
     } else if (arg == "--list") {
       for (const opec_apps::AppFactory& f : opec_apps::AllApps()) {
+        std::printf("%s\n", KeyName(f.name).c_str());
+      }
+      for (const opec_apps::AppFactory& f : opec_apps::TrafficApps()) {
         std::printf("%s\n", KeyName(f.name).c_str());
       }
       return 0;
@@ -112,15 +125,15 @@ int main(int argc, char** argv) {
   }
 
   std::unique_ptr<opec_apps::Application> app;
-  for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
-    if (KeyName(factory.name) == KeyName(app_name)) {
-      app = factory.make();
-      break;
-    }
+  if (std::optional<opec_apps::AppFactory> factory = opec_apps::FindAppFactory(app_name)) {
+    app = factory->make();
   }
   if (app == nullptr) {
     std::fprintf(stderr, "unknown --app '%s'; valid apps are:", app_name.c_str());
     for (const opec_apps::AppFactory& factory : opec_apps::AllApps()) {
+      std::fprintf(stderr, " %s", KeyName(factory.name).c_str());
+    }
+    for (const opec_apps::AppFactory& factory : opec_apps::TrafficApps()) {
       std::fprintf(stderr, " %s", KeyName(factory.name).c_str());
     }
     std::fprintf(stderr, "\n");

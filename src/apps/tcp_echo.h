@@ -7,22 +7,35 @@
 // TCP-Echo's large packet buffers and memory pools are shared among several
 // operations.
 //
-// Scenario: a TCP handshake, then 5 valid payload segments interleaved with
-// 45 invalid frames (bad ethertype / protocol / IP checksum / port); the
-// server must emit a SYN-ACK plus 5 exact echoes.
+// Default scenario: a TCP handshake, then 5 valid payload segments
+// interleaved with 45 invalid frames (bad ethertype / protocol / IP checksum
+// / port); the server must emit a SYN-ACK plus 5 exact echoes.
+//
+// Traffic mode (ROADMAP item 2): constructed with a TrafficSpec, the app
+// becomes a long-running server — one firmware boot services the spec's whole
+// seeded many-connection workload, and the scenario check compares echo
+// count, committed-tx digest and UART stats against the generator's
+// guest-replica expectations. The EthVariant picks the device model: the PIO
+// Ethernet with its per-frame arrival gaps, or EthernetDma with descriptor
+// rings, interrupt coalescing and a load-dependent arrival schedule. Both
+// variants keep the same nine-operation partition; only the driver internals
+// (eth_poll / eth_send) differ.
 
 #ifndef SRC_APPS_TCP_ECHO_H_
 #define SRC_APPS_TCP_ECHO_H_
 
 #include "src/apps/app.h"
 #include "src/hw/devices/ethernet.h"
+#include "src/hw/devices/ethernet_dma.h"
 #include "src/hw/devices/rcc.h"
 #include "src/hw/devices/uart.h"
+#include "src/traffic/traffic.h"
 
 namespace opec_apps {
 
 struct TcpEchoDevices : AppDevices {
-  opec_hw::Ethernet* eth = nullptr;
+  opec_hw::Ethernet* eth = nullptr;          // PIO variant
+  opec_hw::EthernetDma* eth_dma = nullptr;   // DMA variant
   opec_hw::Uart* uart = nullptr;
   opec_hw::Rcc* rcc = nullptr;
   std::vector<std::unique_ptr<opec_hw::MmioDevice>> owned;
@@ -33,7 +46,14 @@ class TcpEchoApp : public Application {
   static constexpr int kValidPayloads = 5;
   static constexpr int kInvalidFrames = 45;
 
-  std::string name() const override { return "TCP-Echo"; }
+  enum class EthVariant { kPio, kDma };
+
+  // The paper's scripted 50-frame scenario over the PIO device.
+  TcpEchoApp() = default;
+  // Generated traffic; the name distinguishes the registry variants.
+  TcpEchoApp(opec_traffic::TrafficSpec spec, EthVariant variant);
+
+  std::string name() const override { return name_; }
   opec_hw::Board board() const override { return opec_hw::Board::kStm32479iEval; }
   std::unique_ptr<opec_ir::Module> BuildModule() const override;
   opec_compiler::PartitionConfig Partition() const override;
@@ -44,6 +64,12 @@ class TcpEchoApp : public Application {
                             const opec_rt::RunResult& result) const override;
 
   static std::vector<uint8_t> PayloadFor(int index);
+
+ private:
+  bool traffic_mode_ = false;
+  opec_traffic::TrafficSpec spec_;
+  EthVariant variant_ = EthVariant::kPio;
+  std::string name_ = "TCP-Echo";
 };
 
 }  // namespace opec_apps

@@ -40,8 +40,16 @@ std::string AppKey(const std::string& name) {
 }
 
 const opec_apps::AppFactory* FindApp(const std::string& name) {
-  static const std::vector<opec_apps::AppFactory> kApps = opec_apps::AllApps();
-  for (const opec_apps::AppFactory& factory : kApps) {
+  // One stable registry per process; covers AllApps() ∪ TrafficApps() so
+  // campaign jobs can target the load-mode app variants.
+  static const std::vector<opec_apps::AppFactory>* kApps = [] {
+    auto* apps = new std::vector<opec_apps::AppFactory>(opec_apps::AllApps());
+    for (opec_apps::AppFactory& factory : opec_apps::TrafficApps()) {
+      apps->push_back(std::move(factory));
+    }
+    return apps;
+  }();
+  for (const opec_apps::AppFactory& factory : *kApps) {
     if (factory.name == name || AppKey(factory.name) == AppKey(name)) {
       return &factory;
     }

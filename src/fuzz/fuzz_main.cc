@@ -22,6 +22,7 @@
 #include "src/fuzz/oracles.h"
 #include "src/fuzz/program.h"
 #include "src/fuzz/shrink.h"
+#include "src/fuzz/traffic_fuzz.h"
 #include "src/ir/printer.h"
 
 namespace {
@@ -30,11 +31,15 @@ int Usage() {
   std::fprintf(stderr,
                "usage: fuzz [--seed S] [--count N] [--jobs N] [--shrink] "
                "[--corpus-dir DIR]\n"
-               "  --seed S        base program seed (default 1)\n"
-               "  --count N       number of programs (default 100)\n"
-               "  --jobs N        worker threads (default 1; serial == parallel)\n"
-               "  --shrink        minimize each diverging program\n"
-               "  --corpus-dir D  write diverging recipes (IR + oracle report) to D\n");
+               "            [--traffic-count N] [--traffic-seed S]\n"
+               "  --seed S           base program seed (default 1)\n"
+               "  --count N          number of programs (default 100; 0 = skip)\n"
+               "  --jobs N           worker threads (default 1; serial == parallel)\n"
+               "  --shrink           minimize each diverging program\n"
+               "  --corpus-dir D     write diverging recipes (IR + oracle report) to D\n"
+               "  --traffic-count N  traffic cases over the net apps + ethernet\n"
+               "                     device models (default 0)\n"
+               "  --traffic-seed S   base traffic-case seed (default 1)\n");
   return 2;
 }
 
@@ -86,6 +91,8 @@ int main(int argc, char** argv) {
   uint64_t seed = 1;
   uint64_t count = 100;
   uint64_t jobs = 1;
+  uint64_t traffic_count = 0;
+  uint64_t traffic_seed = 1;
   bool shrink = false;
   std::string corpus_dir;
 
@@ -107,8 +114,22 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--count") {
       const char* v = value("--count");
-      if (v == nullptr || !ParseU64(v, &count) || count < 1) {
-        std::fprintf(stderr, "invalid --count '%s'; expected an integer >= 1\n",
+      if (v == nullptr || !ParseU64(v, &count)) {
+        std::fprintf(stderr, "invalid --count '%s'; expected an integer >= 0\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--traffic-count") {
+      const char* v = value("--traffic-count");
+      if (v == nullptr || !ParseU64(v, &traffic_count)) {
+        std::fprintf(stderr, "invalid --traffic-count '%s'; expected an integer >= 0\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--traffic-seed") {
+      const char* v = value("--traffic-seed");
+      if (v == nullptr || !ParseU64(v, &traffic_seed)) {
+        std::fprintf(stderr, "invalid --traffic-seed '%s'; expected an unsigned integer\n",
                      v == nullptr ? "" : v);
         return Usage();
       }
@@ -170,5 +191,25 @@ int main(int argc, char** argv) {
 
   std::printf("fuzz: %llu cases, %zu diverging, %zu divergences\n",
               static_cast<unsigned long long>(count), diverging_cases, divergences);
+
+  size_t traffic_diverging = 0;
+  if (traffic_count > 0) {
+    std::vector<opec_fuzz::TrafficCaseResult> traffic_results = opec_campaign::ParallelMap(
+        static_cast<int>(jobs), static_cast<size_t>(traffic_count),
+        [traffic_seed](size_t i) { return opec_fuzz::RunTrafficCase(traffic_seed + i); });
+    for (const opec_fuzz::TrafficCaseResult& result : traffic_results) {
+      std::printf("%s\n", result.digest.c_str());
+      if (result.divergences.empty()) {
+        continue;
+      }
+      ++traffic_diverging;
+      divergences += result.divergences.size();
+      for (const std::string& d : result.divergences) {
+        std::printf("  %s\n", d.c_str());
+      }
+    }
+    std::printf("traffic fuzz: %llu cases, %zu diverging\n",
+                static_cast<unsigned long long>(traffic_count), traffic_diverging);
+  }
   return divergences == 0 ? 0 : 1;
 }

@@ -1,0 +1,46 @@
+// Traffic fuzzing (DESIGN.md Section 12, extended by the traffic layer): one
+// case derives a random TrafficSpec from its seed, runs the long-running
+// TCP-Echo server (PIO or DMA device, seed-picked) under vanilla and OPEC
+// builds on both execution tiers with the RV monitors attached, and checks
+//
+//  - the scenario check (echo count, committed-tx digest, UART stats against
+//    the generator's guest-replica expectations) passes in every
+//    configuration,
+//  - modeled cycles / statement counts are bit-identical between the
+//    interpreter and bytecode tiers per build mode,
+//  - vanilla and OPEC agree on the echo count,
+//  - clean runs carry zero RV violations,
+//
+// then micro-fuzzes the two ethernet device models directly with a seeded
+// random register/op sequence (RXDATA on an empty queue, oversize TXLEN,
+// bogus ring configs, partial tx commits, mid-stream snapshot round trips)
+// and folds every observation into the case digest, so serial and parallel
+// sweeps can be compared byte-for-byte like the recipe fuzzer's.
+
+#ifndef SRC_FUZZ_TRAFFIC_FUZZ_H_
+#define SRC_FUZZ_TRAFFIC_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/traffic/traffic.h"
+
+namespace opec_fuzz {
+
+struct TrafficCaseResult {
+  uint64_t seed = 0;
+  opec_traffic::TrafficSpec spec;
+  std::vector<std::string> divergences;
+  std::string digest;  // deterministic one-line fingerprint
+};
+
+TrafficCaseResult RunTrafficCase(uint64_t seed);
+
+// The device-model micro-fuzz alone (also exercised inside RunTrafficCase);
+// returns the op-sequence digest and appends any invariant violations.
+uint64_t MicroFuzzEthernetDevices(uint64_t seed, std::vector<std::string>* divergences);
+
+}  // namespace opec_fuzz
+
+#endif  // SRC_FUZZ_TRAFFIC_FUZZ_H_

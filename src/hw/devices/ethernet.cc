@@ -8,21 +8,25 @@ bool Ethernet::Read(uint32_t offset, uint32_t* value, uint64_t* extra_cycles) {
       *value = rx_queue_.empty() ? 0u : 1u;
       return true;
     case 0x04:
-      *value = rx_queue_.empty() ? 0u : static_cast<uint32_t>(rx_queue_.front().size());
+      *value = rx_queue_.empty() ? 0u : static_cast<uint32_t>(rx_queue_.front().bytes.size());
       return true;
     case 0x08: {
       uint32_t v = 0;
       if (!rx_queue_.empty()) {
         if (rx_cursor_ == 0) {
-          *extra_cycles += kInterFrameGapCycles;  // the frame "arrived" now
+          *extra_cycles += rx_queue_.front().gap_cycles;  // the frame "arrived" now
         }
-        const std::vector<uint8_t>& frame = rx_queue_.front();
+        const std::vector<uint8_t>& frame = rx_queue_.front().bytes;
+        uint32_t consumed = 0;
         for (int i = 0; i < 4; ++i) {
           if (rx_cursor_ < frame.size()) {
             v |= static_cast<uint32_t>(frame[rx_cursor_++]) << (8 * i);
+            ++consumed;
           }
         }
-        *extra_cycles += 4 * kCyclesPerByte;
+        // Wire time for the bytes actually present; a tail word with fewer
+        // than 4 bytes left used to be over-charged as a full word.
+        *extra_cycles += consumed * kCyclesPerByte;
       }
       *value = v;
       return true;
@@ -35,6 +39,9 @@ bool Ethernet::Read(uint32_t offset, uint32_t* value, uint64_t* extra_cycles) {
 bool Ethernet::Write(uint32_t offset, uint32_t value, uint64_t* extra_cycles) {
   switch (offset) {
     case 0x0C:
+      if (value > kMaxFrameBytes) {
+        return false;  // device fault: guest-controlled length beyond the MTU
+      }
       tx_len_ = value;
       tx_cursor_ = 0;
       tx_buffer_.assign(tx_len_, 0);
@@ -52,7 +59,7 @@ bool Ethernet::Write(uint32_t offset, uint32_t value, uint64_t* extra_cycles) {
         rx_queue_.pop_front();
         rx_cursor_ = 0;
       } else if (value == 2) {
-        tx_frames_.push_back(tx_buffer_);
+        tx_log_.Commit(tx_buffer_);
         tx_buffer_.clear();
         tx_len_ = 0;
         tx_cursor_ = 0;
@@ -63,8 +70,8 @@ bool Ethernet::Write(uint32_t offset, uint32_t value, uint64_t* extra_cycles) {
   }
 }
 
-void Ethernet::QueueRxFrame(std::vector<uint8_t> frame) {
-  rx_queue_.push_back(std::move(frame));
+void Ethernet::QueueRxFrame(std::vector<uint8_t> frame, uint64_t gap_cycles) {
+  rx_queue_.push_back(RxFrame{std::move(frame), gap_cycles});
 }
 
 }  // namespace opec_hw

@@ -1,0 +1,97 @@
+// DMA-capable Ethernet MAC model: descriptor rings in guest SRAM, interrupt
+// coalescing, and a load-dependent arrival model. Where the PIO model charges
+// a fixed gap per frame, this device keeps an absolute arrival schedule (in
+// modeled cycles, accumulated from per-frame gaps at queue time): a poll only
+// waits if the head frame has not arrived yet, so wait time shrinks as load
+// rises — the device saturates instead of idling.
+//
+// Register map (all word accesses):
+//   +0x00 STATUS    (RO) bit0 rx work pending (frame queued or a filled,
+//                        unconsumed descriptor), bit1 ring configured
+//   +0x04 RXRING    (W)  descriptor ring base address in guest SRAM
+//   +0x08 RXCNT     (W)  descriptor count, 1..kMaxDescriptors (else fault)
+//   +0x0C COALESCE  (W)  max frames delivered per rx poll, 1..kMaxDescriptors
+//   +0x10 TXADDR    (W)  tx frame address in guest memory
+//   +0x14 TXLEN     (W)  tx frame length (≤ kMaxFrameBytes, else fault)
+//   +0x18 CMD       (W)  1 = rx poll (wait for + DMA-deliver a batch),
+//                        2 = tx (DMA-read TXLEN bytes from TXADDR, commit)
+//   +0x1C DELIVERED (RO) total frames DMA'd into descriptors
+//   +0x20 TXDONE    (RO) total tx frames committed
+//
+// A descriptor is two words: word0 = buffer address, word1 = OWN|len. The
+// guest hands a descriptor to the device by setting bit31 (OWN) in word1; the
+// device fills the buffer over DMA, writes word1 = length (OWN cleared), and
+// the guest returns it with word1 = OWN after consuming. DMA moves through
+// the bus debug interface: it bypasses the MPU (a bus master, not the core)
+// and keeps snapshot dirty-page tracking exact.
+
+#ifndef SRC_HW_DEVICES_ETHERNET_DMA_H_
+#define SRC_HW_DEVICES_ETHERNET_DMA_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/hw/devices/ethernet.h"
+#include "src/hw/machine.h"
+
+namespace opec_hw {
+
+class EthernetDma : public MmioDevice {
+ public:
+  static constexpr uint64_t kCyclesPerByte = Ethernet::kCyclesPerByte;  // wire rate
+  static constexpr uint64_t kDescriptorCycles = 32;  // per-frame DMA setup
+  static constexpr uint32_t kMaxFrameBytes = Ethernet::kMaxFrameBytes;
+  static constexpr uint32_t kMaxDescriptors = 16;
+  static constexpr uint32_t kBufBytes = 256;  // per-descriptor buffer size
+
+  EthernetDma(std::string name, uint32_t base, Machine* machine)
+      : MmioDevice(std::move(name), base, 0x400), machine_(machine) {}
+
+  bool Read(uint32_t offset, uint32_t* value, uint64_t* extra_cycles) override;
+  bool Write(uint32_t offset, uint32_t value, uint64_t* extra_cycles) override;
+
+  // --- Host/testbench interface (mirrors Ethernet's) ---
+  void QueueRxFrame(std::vector<uint8_t> frame,
+                    uint64_t gap_cycles = Ethernet::kInterFrameGapCycles);
+  const std::deque<std::vector<uint8_t>>& tx_frames() const { return tx_log_.retained; }
+  uint64_t tx_committed() const { return tx_log_.committed; }
+  uint64_t tx_digest() const { return tx_log_.digest; }
+  void set_tx_retention_cap(uint64_t cap) { tx_log_.retention_cap = cap; }
+  std::deque<std::vector<uint8_t>> DrainTxFrames() { return tx_log_.Drain(); }
+  size_t rx_pending() const { return rx_queue_.size(); }
+  uint64_t delivered() const { return delivered_; }
+
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
+
+ private:
+  struct RxFrame {
+    std::vector<uint8_t> bytes;
+    uint64_t arrival_cycle = 0;  // absolute, in modeled cycles
+  };
+
+  bool RingConfigured() const { return ring_base_ != 0 && ring_count_ != 0; }
+  bool AnyFilledDescriptor();
+  bool RxPoll(uint64_t* extra_cycles);
+
+  Machine* machine_ = nullptr;  // cycle clock + bus for DMA; not serialized
+
+  std::deque<RxFrame> rx_queue_;
+  uint64_t last_arrival_ = 0;  // schedule accumulator for queued gaps
+
+  uint32_t ring_base_ = 0;
+  uint32_t ring_count_ = 0;
+  uint32_t coalesce_ = 4;
+  uint32_t fill_cursor_ = 0;  // next descriptor the device tries to fill
+
+  uint32_t tx_addr_ = 0;
+  uint32_t tx_len_ = 0;
+
+  uint64_t delivered_ = 0;
+  TxLog tx_log_;
+};
+
+}  // namespace opec_hw
+
+#endif  // SRC_HW_DEVICES_ETHERNET_DMA_H_

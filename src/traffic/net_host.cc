@@ -1,6 +1,6 @@
-#include "src/apps/guest/net_host.h"
+#include "src/traffic/net_host.h"
 
-namespace opec_apps {
+namespace opec_traffic {
 
 namespace {
 
@@ -109,4 +109,4 @@ bool ParseTcpFrame(const std::vector<uint8_t>& frame, TcpSegment* out) {
   return true;
 }
 
-}  // namespace opec_apps
+}  // namespace opec_traffic

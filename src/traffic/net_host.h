@@ -3,14 +3,14 @@
 // netstack-lite's wire format (standard layouts, IP header checksum checked,
 // TCP checksum unused).
 
-#ifndef SRC_APPS_GUEST_NET_HOST_H_
-#define SRC_APPS_GUEST_NET_HOST_H_
+#ifndef SRC_TRAFFIC_NET_HOST_H_
+#define SRC_TRAFFIC_NET_HOST_H_
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
-namespace opec_apps {
+namespace opec_traffic {
 
 inline constexpr uint16_t kTcpFlagFin = 0x01;
 inline constexpr uint16_t kTcpFlagSyn = 0x02;
@@ -45,6 +45,6 @@ std::vector<uint8_t> BuildTcpFrame(const TcpSegment& segment,
 // frame is not a valid TCP/IP frame.
 bool ParseTcpFrame(const std::vector<uint8_t>& frame, TcpSegment* out);
 
-}  // namespace opec_apps
+}  // namespace opec_traffic
 
-#endif  // SRC_APPS_GUEST_NET_HOST_H_
+#endif  // SRC_TRAFFIC_NET_HOST_H_

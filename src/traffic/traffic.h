@@ -1,0 +1,82 @@
+// Host-side traffic layer (ROADMAP item 2): deterministic, seeded
+// many-connection workloads for the networked apps.
+//
+// A TrafficSpec describes a load profile (request rate, connection count,
+// seed, malformed/split/reconnect mix). Generate() expands it into a concrete
+// frame schedule — every frame paired with an inter-arrival gap in modeled
+// cycles — together with the *expected* guest behaviour, computed by a
+// host-side replica of the guest netstack-lite's single-PCB state machine:
+// expected echo count, expected reply frames, the expected committed-tx
+// digest and the expected UART stats line. Scenario checks compare the run
+// against these expectations, so a generated workload is as strictly checked
+// as the scripted one.
+//
+// Determinism: generation is a pure function of the spec (SplitMix64 PRNG,
+// no wall clock, no host state), and the expectations are modeled data, so
+// load scenarios stay byte-identical across engines, serial/parallel
+// campaigns and warm/cold boots. The generator never emits a frame whose IP
+// total-length field claims more payload than the frame carries; such frames
+// would make the guest echo stale buffer residue, which is well-defined but
+// couples the expectation model to device copy granularity (the PIO model
+// zero-pads the tail word, the DMA model leaves descriptor-slot residue).
+// Truncated frames below the 54-byte minimum exercise the partial-read drop
+// path instead.
+
+#ifndef SRC_TRAFFIC_TRAFFIC_H_
+#define SRC_TRAFFIC_TRAFFIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace opec_traffic {
+
+struct TrafficSpec {
+  uint32_t rate_rps = 20000;  // client request rate; sets the mean arrival gap
+  uint32_t conns = 4;         // interleaved logical client connections
+  uint32_t requests = 256;    // payload requests attempted across all conns
+  uint64_t seed = 1;
+  // Mix knobs, per-mille of request slots.
+  uint32_t malformed_permille = 150;  // corrupt/truncated junk frames
+  uint32_t split_permille = 200;      // payload split across two segments
+  uint32_t reconnect_permille = 30;   // connection re-handshakes mid-run
+
+  bool operator==(const TrafficSpec&) const = default;
+};
+
+// Parses "rate=N,conns=M,seed=S[,requests=R][,malformed=P][,split=P]
+// [,reconnect=P]" (any subset, any order) over the defaults above. Returns
+// false and sets *error on junk keys, junk numbers or out-of-range values.
+bool ParseTrafficSpec(const std::string& text, TrafficSpec* spec, std::string* error);
+std::string TrafficSpecToString(const TrafficSpec& spec);
+
+// Mean inter-arrival gap in modeled cycles for a request rate (168 MHz core).
+uint64_t GapCyclesForRate(uint32_t rate_rps);
+
+struct TrafficFrame {
+  std::vector<uint8_t> bytes;
+  uint64_t gap_cycles = 0;  // arrival gap after the previous frame
+};
+
+struct GeneratedTraffic {
+  std::vector<TrafficFrame> frames;
+  // Expectations from the guest-replica state machine.
+  uint32_t expected_echoes = 0;
+  std::vector<std::vector<uint8_t>> expected_tx;  // every reply, in order
+  uint64_t expected_tx_frames = 0;
+  uint64_t expected_tx_digest = 0;  // chained FNV-1a, matches TxLog::digest
+  std::string expected_uart;
+};
+
+GeneratedTraffic Generate(const TrafficSpec& spec);
+
+// Process-wide default spec used by the registry-made traffic apps
+// (TCP-Echo-Load / TCP-Echo-DMA) when no explicit spec is given. Set it from
+// CLI `--traffic` flags *before* spawning campaign workers; reads during a
+// parallel run are lock-free.
+const TrafficSpec& DefaultLoadSpec();
+void SetDefaultLoadSpec(const TrafficSpec& spec);
+
+}  // namespace opec_traffic
+
+#endif  // SRC_TRAFFIC_TRAFFIC_H_

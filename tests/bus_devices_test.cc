@@ -7,6 +7,7 @@
 #include "src/hw/devices/block_device.h"
 #include "src/hw/devices/camera.h"
 #include "src/hw/devices/ethernet.h"
+#include "src/hw/devices/ethernet_dma.h"
 #include "src/hw/devices/gpio.h"
 #include "src/hw/devices/lcd.h"
 #include "src/hw/devices/rcc.h"
@@ -171,6 +172,269 @@ TEST(Ethernet, FrameQueueRoundTrip) {
   machine.bus().Write(kEthBase + 0x14, 4, 2, true);  // commit
   ASSERT_EQ(eth.tx_frames().size(), 1u);
   EXPECT_EQ(eth.tx_frames()[0], (std::vector<uint8_t>{0xDD, 0xCC, 0xBB, 0xAA}));
+}
+
+// Regression (TXLEN bugfix): a guest-controlled TXLEN beyond the MTU used to
+// be handed straight to tx_buffer_.assign(), letting one register write make
+// the host allocate 4 GiB. It must be a device fault instead. This test fails
+// on the pre-fix device model.
+TEST(Ethernet, OversizeTxLenIsADeviceFault) {
+  Ethernet eth("ETH", kEthBase);
+  uint64_t cycles = 0;
+  EXPECT_FALSE(eth.Write(0x0C, 0xFFFFFFFFu, &cycles));
+  EXPECT_FALSE(eth.Write(0x0C, Ethernet::kMaxFrameBytes + 1, &cycles));
+  // The MTU itself is fine, and the fault left no stale oversize state.
+  EXPECT_TRUE(eth.Write(0x0C, Ethernet::kMaxFrameBytes, &cycles));
+  EXPECT_TRUE(eth.Write(0x14, 2, &cycles));
+  ASSERT_EQ(eth.tx_frames().size(), 1u);
+  EXPECT_EQ(eth.tx_frames()[0].size(), Ethernet::kMaxFrameBytes);
+}
+
+// Regression (RXDATA tail-word bugfix): a frame whose length is not a
+// multiple of 4 used to be charged a full word of wire time on the tail read;
+// the charge must cover only the bytes actually present.
+TEST(Ethernet, RxTailWordChargesOnlyActualBytes) {
+  Ethernet eth("ETH", kEthBase);
+  eth.QueueRxFrame({1, 2, 3, 4, 5, 6}, /*gap_cycles=*/0);
+  uint32_t value = 0;
+  uint64_t cycles = 0;
+  EXPECT_TRUE(eth.Read(0x08, &value, &cycles));
+  EXPECT_EQ(value, 0x04030201u);
+  EXPECT_EQ(cycles, 4 * Ethernet::kCyclesPerByte);
+  cycles = 0;
+  EXPECT_TRUE(eth.Read(0x08, &value, &cycles));
+  EXPECT_EQ(value, 0x00000605u);
+  EXPECT_EQ(cycles, 2 * Ethernet::kCyclesPerByte);  // 2 bytes left, not 4
+}
+
+TEST(Ethernet, RxDataOnEmptyQueueIsInert) {
+  Ethernet eth("ETH", kEthBase);
+  uint32_t value = 0xFFFFFFFFu;
+  uint64_t cycles = 0;
+  EXPECT_TRUE(eth.Read(0x08, &value, &cycles));
+  EXPECT_EQ(value, 0u);
+  EXPECT_EQ(cycles, 0u);  // no arrival gap, no wire time for a phantom frame
+}
+
+TEST(Ethernet, CommitWithPartialTxFillKeepsDeclaredLength) {
+  Ethernet eth("ETH", kEthBase);
+  uint64_t cycles = 0;
+  EXPECT_TRUE(eth.Write(0x0C, 8, &cycles));
+  EXPECT_TRUE(eth.Write(0x10, 0xAABBCCDDu, &cycles));  // only 4 of 8 bytes
+  EXPECT_TRUE(eth.Write(0x14, 2, &cycles));
+  ASSERT_EQ(eth.tx_frames().size(), 1u);
+  EXPECT_EQ(eth.tx_frames()[0],
+            (std::vector<uint8_t>{0xDD, 0xCC, 0xBB, 0xAA, 0, 0, 0, 0}));
+}
+
+TEST(Ethernet, AdvanceWithNoRxFrameIsANoOp) {
+  Ethernet eth("ETH", kEthBase);
+  uint64_t cycles = 0;
+  EXPECT_TRUE(eth.Write(0x14, 1, &cycles));
+  uint32_t value = 0;
+  EXPECT_TRUE(eth.Read(0x00, &value, &cycles));
+  EXPECT_EQ(value, 0u);
+  EXPECT_EQ(eth.rx_pending(), 0u);
+}
+
+TEST(Ethernet, SaveRestoreMidFrameResumesExactly) {
+  Ethernet eth("ETH", kEthBase);
+  eth.QueueRxFrame({1, 2, 3, 4, 5, 6, 7, 8}, /*gap_cycles=*/7);
+  eth.QueueRxFrame({9, 10}, /*gap_cycles=*/11);
+  uint32_t value = 0;
+  uint64_t cycles = 0;
+  EXPECT_TRUE(eth.Read(0x08, &value, &cycles));  // half-consumed rx frame
+  EXPECT_TRUE(eth.Write(0x0C, 6, &cycles));      // plus a tx frame mid-build
+  EXPECT_TRUE(eth.Write(0x10, 0x11223344u, &cycles));
+
+  StateWriter w;
+  eth.SaveState(w);
+  Ethernet restored("ETH", kEthBase);
+  StateReader r(w.data());
+  restored.LoadState(r);
+  EXPECT_TRUE(r.AtEnd());
+
+  // Both devices continue identically: rest of frame 1, advance, frame 2.
+  for (Ethernet* dev : {&eth, &restored}) {
+    cycles = 0;
+    EXPECT_TRUE(dev->Read(0x08, &value, &cycles));
+    EXPECT_EQ(value, 0x08070605u);
+    EXPECT_EQ(cycles, 4 * Ethernet::kCyclesPerByte);  // no re-charged gap
+    EXPECT_TRUE(dev->Write(0x14, 1, &cycles));
+    EXPECT_TRUE(dev->Read(0x04, &value, &cycles));
+    EXPECT_EQ(value, 2u);
+    EXPECT_TRUE(dev->Write(0x14, 2, &cycles));  // commit the half-built tx
+  }
+  ASSERT_EQ(restored.tx_frames().size(), 1u);
+  EXPECT_EQ(restored.tx_frames()[0],
+            (std::vector<uint8_t>{0x44, 0x33, 0x22, 0x11, 0, 0}));
+  EXPECT_EQ(restored.tx_digest(), eth.tx_digest());
+}
+
+TEST(Ethernet, TxRetentionCapBoundsFramesButNotTheDigest) {
+  Ethernet capped("ETH", kEthBase);
+  Ethernet uncapped("ETH", kEthBase);
+  capped.set_tx_retention_cap(2);
+  uint64_t cycles = 0;
+  for (uint32_t i = 0; i < 5; ++i) {
+    for (Ethernet* dev : {&capped, &uncapped}) {
+      EXPECT_TRUE(dev->Write(0x0C, 4, &cycles));
+      EXPECT_TRUE(dev->Write(0x10, 0x1000 + i, &cycles));
+      EXPECT_TRUE(dev->Write(0x14, 2, &cycles));
+    }
+  }
+  EXPECT_EQ(capped.tx_frames().size(), 2u);
+  EXPECT_EQ(uncapped.tx_frames().size(), 5u);
+  EXPECT_EQ(capped.tx_committed(), 5u);
+  // The digest covers every committed frame, retained or not.
+  EXPECT_EQ(capped.tx_digest(), uncapped.tx_digest());
+  // Draining hands over the window and keeps the running totals.
+  std::deque<std::vector<uint8_t>> drained = capped.DrainTxFrames();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_EQ(capped.tx_frames().size(), 0u);
+  EXPECT_EQ(capped.tx_committed(), 5u);
+}
+
+// --- EthernetDma: descriptor rings, coalescing, load-dependent arrivals ---
+
+class EthernetDmaTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kRing = kSramBase + 0x1000;
+  static constexpr uint32_t kBufs = kSramBase + 0x2000;
+
+  EthernetDmaTest() : machine_(Board::kStm32479iEval), dma_("ETH", kEthBase, &machine_) {
+    machine_.bus().AttachDevice(&dma_);
+  }
+
+  // Builds an n-descriptor ring in guest SRAM, every descriptor device-owned.
+  void ConfigureRing(uint32_t n) {
+    uint64_t cycles = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(machine_.bus().DebugWrite(kRing + i * 8, 4, kBufs + i * 256));
+      ASSERT_TRUE(machine_.bus().DebugWrite(kRing + i * 8 + 4, 4, 0x80000000u));
+    }
+    ASSERT_TRUE(dma_.Write(0x04, kRing, &cycles));
+    ASSERT_TRUE(dma_.Write(0x08, n, &cycles));
+  }
+
+  uint32_t DescLen(uint32_t i) {
+    uint32_t w1 = 0;
+    EXPECT_TRUE(machine_.bus().DebugRead(kRing + i * 8 + 4, 4, &w1));
+    return w1;
+  }
+
+  Machine machine_;
+  EthernetDma dma_;
+};
+
+TEST_F(EthernetDmaTest, BogusRingConfigurationFaults) {
+  uint64_t cycles = 0;
+  EXPECT_FALSE(dma_.Write(0x08, 0, &cycles));
+  EXPECT_FALSE(dma_.Write(0x08, EthernetDma::kMaxDescriptors + 1, &cycles));
+  EXPECT_FALSE(dma_.Write(0x0C, 0, &cycles));
+  EXPECT_FALSE(dma_.Write(0x14, EthernetDma::kMaxFrameBytes + 1, &cycles));
+}
+
+TEST_F(EthernetDmaTest, CoalescedDeliveryFillsDescriptorsInOrder) {
+  ConfigureRing(4);
+  dma_.QueueRxFrame({1, 2, 3}, /*gap_cycles=*/0);
+  dma_.QueueRxFrame({4, 5, 6, 7}, /*gap_cycles=*/0);
+  dma_.QueueRxFrame({8}, /*gap_cycles=*/0);
+  uint64_t cycles = 0;
+  ASSERT_TRUE(dma_.Write(0x18, 1, &cycles));  // one poll, coalesce default 4
+  EXPECT_EQ(dma_.delivered(), 3u);
+  EXPECT_EQ(DescLen(0), 3u);  // OWN cleared, length latched
+  EXPECT_EQ(DescLen(1), 4u);
+  EXPECT_EQ(DescLen(2), 1u);
+  EXPECT_EQ(DescLen(3), 0x80000000u);  // still device-owned, untouched
+  uint32_t byte = 0;
+  EXPECT_TRUE(machine_.bus().DebugRead(kBufs + 0, 1, &byte));
+  EXPECT_EQ(byte, 1u);
+  EXPECT_TRUE(machine_.bus().DebugRead(kBufs + 256 + 3, 1, &byte));
+  EXPECT_EQ(byte, 7u);
+  // Wire + descriptor setup time for the 8 delivered bytes.
+  EXPECT_EQ(cycles, 3 * EthernetDma::kDescriptorCycles + 8 * EthernetDma::kCyclesPerByte);
+}
+
+TEST_F(EthernetDmaTest, CoalesceBudgetAndOwnershipGateDelivery) {
+  ConfigureRing(4);
+  uint64_t cycles = 0;
+  ASSERT_TRUE(dma_.Write(0x0C, 2, &cycles));  // coalesce = 2
+  for (int i = 0; i < 4; ++i) {
+    dma_.QueueRxFrame({static_cast<uint8_t>(i)}, /*gap_cycles=*/0);
+  }
+  ASSERT_TRUE(dma_.Write(0x18, 1, &cycles));
+  EXPECT_EQ(dma_.delivered(), 2u);  // batch capped by COALESCE
+  ASSERT_TRUE(dma_.Write(0x18, 1, &cycles));
+  EXPECT_EQ(dma_.delivered(), 4u);
+  // All descriptors now guest-owned: another poll cannot deliver.
+  dma_.QueueRxFrame({9}, /*gap_cycles=*/0);
+  ASSERT_TRUE(dma_.Write(0x18, 1, &cycles));
+  EXPECT_EQ(dma_.delivered(), 4u);
+  EXPECT_EQ(dma_.rx_pending(), 1u);
+  uint32_t status = 0;
+  EXPECT_TRUE(dma_.Read(0x00, &status, &cycles));
+  EXPECT_EQ(status & 1u, 1u);  // work still pending
+}
+
+TEST_F(EthernetDmaTest, ArrivalScheduleChargesWaitOnlyUnderLightLoad) {
+  ConfigureRing(4);
+  dma_.QueueRxFrame({1}, /*gap_cycles=*/5'000);
+  uint64_t cycles = 0;
+  ASSERT_TRUE(dma_.Write(0x18, 1, &cycles));
+  // Idle poll at cycle 0: waits out the full arrival gap plus transfer time.
+  EXPECT_EQ(cycles,
+            5'000 + EthernetDma::kDescriptorCycles + 1 * EthernetDma::kCyclesPerByte);
+  // Saturation: the core clock has moved past the next arrival, so the wait
+  // collapses and only transfer time is charged.
+  machine_.AddCycles(1'000'000);
+  dma_.QueueRxFrame({2}, /*gap_cycles=*/5'000);
+  cycles = 0;
+  ASSERT_TRUE(dma_.Write(0x18, 1, &cycles));
+  EXPECT_EQ(cycles, EthernetDma::kDescriptorCycles + 1 * EthernetDma::kCyclesPerByte);
+}
+
+TEST_F(EthernetDmaTest, TxDmaReadsGuestMemoryAndFaultsOnBadAddress) {
+  uint64_t cycles = 0;
+  for (uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(machine_.bus().DebugWrite(kBufs + 0x800 + i, 1, 0xA0 + i));
+  }
+  ASSERT_TRUE(dma_.Write(0x10, kBufs + 0x800, &cycles));
+  ASSERT_TRUE(dma_.Write(0x14, 4, &cycles));
+  ASSERT_TRUE(dma_.Write(0x18, 2, &cycles));
+  ASSERT_EQ(dma_.tx_frames().size(), 1u);
+  EXPECT_EQ(dma_.tx_frames()[0], (std::vector<uint8_t>{0xA0, 0xA1, 0xA2, 0xA3}));
+  // TXADDR outside RAM/flash: a device fault, never a host abort.
+  ASSERT_TRUE(dma_.Write(0x10, 0x70000000u, &cycles));
+  ASSERT_TRUE(dma_.Write(0x14, 4, &cycles));
+  EXPECT_FALSE(dma_.Write(0x18, 2, &cycles));
+  EXPECT_EQ(dma_.tx_committed(), 1u);
+}
+
+TEST_F(EthernetDmaTest, SaveRestoreRoundTripsQueueRingAndTxLog) {
+  ConfigureRing(2);
+  dma_.QueueRxFrame({1, 2, 3}, /*gap_cycles=*/100);
+  dma_.QueueRxFrame({4, 5}, /*gap_cycles=*/0);  // same arrival: one coalesced batch
+  uint64_t cycles = 0;
+  ASSERT_TRUE(dma_.Write(0x18, 1, &cycles));  // deliver both, move the cursor
+  ASSERT_TRUE(dma_.Write(0x10, kBufs, &cycles));
+  ASSERT_TRUE(dma_.Write(0x14, 2, &cycles));
+  ASSERT_TRUE(dma_.Write(0x18, 2, &cycles));
+  dma_.QueueRxFrame({6}, /*gap_cycles=*/300);  // still queued at save time
+
+  StateWriter w;
+  dma_.SaveState(w);
+  EthernetDma restored("ETH", kEthBase + 0x400, &machine_);
+  StateReader r(w.data());
+  restored.LoadState(r);
+  EXPECT_TRUE(r.AtEnd());
+  StateWriter w2;
+  restored.SaveState(w2);
+  EXPECT_EQ(w.data(), w2.data());
+  EXPECT_EQ(restored.delivered(), 2u);
+  EXPECT_EQ(restored.rx_pending(), 1u);
+  EXPECT_EQ(restored.tx_committed(), 1u);
+  EXPECT_EQ(restored.tx_digest(), dma_.tx_digest());
 }
 
 TEST(Camera, CaptureProvidesFrameWords) {

@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include "src/apps/guest/fat16_host.h"
-#include "src/apps/guest/net_host.h"
 #include "src/hw/devices/block_device.h"
+#include "src/traffic/net_host.h"
 
 namespace opec_apps {
 namespace {
+
+using namespace opec_traffic;  // NOLINT: the net framing helpers under test
 
 TEST(Fat16Host, FormatMountRoundTrip) {
   opec_hw::BlockDevice disk("SD", 0x40012C00, 64);

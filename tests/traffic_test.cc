@@ -1,0 +1,197 @@
+// Traffic layer tests: spec parsing, generator determinism, the guest-replica
+// expectation model, and the long-running TCP-Echo server over both ethernet
+// device models (PIO and DMA) in both build modes and both execution tiers.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/all_apps.h"
+#include "src/apps/runner.h"
+#include "src/apps/tcp_echo.h"
+#include "src/hw/state_io.h"
+#include "src/traffic/traffic.h"
+
+namespace opec_traffic {
+namespace {
+
+TEST(TrafficSpec, ParseAcceptsAnySubsetInAnyOrder) {
+  TrafficSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseTrafficSpec("rate=5000,conns=2,seed=9", &spec, &error)) << error;
+  EXPECT_EQ(spec.rate_rps, 5000u);
+  EXPECT_EQ(spec.conns, 2u);
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.requests, TrafficSpec().requests);  // untouched default
+
+  TrafficSpec spec2;
+  ASSERT_TRUE(
+      ParseTrafficSpec("split=0,requests=40,malformed=0,reconnect=0,rate=100", &spec2, &error))
+      << error;
+  EXPECT_EQ(spec2.requests, 40u);
+  EXPECT_EQ(spec2.malformed_permille, 0u);
+  EXPECT_EQ(spec2.rate_rps, 100u);
+}
+
+TEST(TrafficSpec, ParseRejectsJunk) {
+  TrafficSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseTrafficSpec("rate=0", &spec, &error));          // below range
+  EXPECT_FALSE(ParseTrafficSpec("conns=17", &spec, &error));        // above range
+  EXPECT_FALSE(ParseTrafficSpec("rate=12x", &spec, &error));        // trailing junk
+  EXPECT_FALSE(ParseTrafficSpec("bogus=1", &spec, &error));         // unknown key
+  EXPECT_FALSE(ParseTrafficSpec("rate", &spec, &error));            // missing value
+  EXPECT_FALSE(ParseTrafficSpec("malformed=1001", &spec, &error));  // permille > 1000
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TrafficSpec, ToStringRoundTrips) {
+  TrafficSpec spec;
+  spec.rate_rps = 777;
+  spec.conns = 3;
+  spec.requests = 55;
+  spec.seed = 42;
+  TrafficSpec parsed;
+  std::string error;
+  ASSERT_TRUE(ParseTrafficSpec(TrafficSpecToString(spec), &parsed, &error)) << error;
+  EXPECT_EQ(parsed, spec);
+}
+
+TEST(TrafficGenerator, DeterministicPerSpecAndSensitiveToSeed) {
+  TrafficSpec spec;
+  spec.requests = 60;
+  spec.seed = 7;
+  GeneratedTraffic a = Generate(spec);
+  GeneratedTraffic b = Generate(spec);
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  for (size_t i = 0; i < a.frames.size(); ++i) {
+    EXPECT_EQ(a.frames[i].bytes, b.frames[i].bytes);
+    EXPECT_EQ(a.frames[i].gap_cycles, b.frames[i].gap_cycles);
+  }
+  EXPECT_EQ(a.expected_tx_digest, b.expected_tx_digest);
+  EXPECT_EQ(a.expected_echoes, b.expected_echoes);
+
+  spec.seed = 8;
+  GeneratedTraffic c = Generate(spec);
+  EXPECT_NE(a.expected_tx_digest, c.expected_tx_digest);
+}
+
+TEST(TrafficGenerator, ExpectationsAreInternallyConsistent) {
+  TrafficSpec spec;
+  spec.requests = 80;
+  spec.seed = 3;
+  GeneratedTraffic gen = Generate(spec);
+  EXPECT_GT(gen.expected_echoes, 0u);
+  EXPECT_EQ(gen.expected_tx_frames, gen.expected_tx.size());
+  // The digest is the chained FNV over exactly the expected reply frames.
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (const std::vector<uint8_t>& f : gen.expected_tx) {
+    uint8_t len_le[4];
+    for (int i = 0; i < 4; ++i) {
+      len_le[i] = static_cast<uint8_t>(f.size() >> (8 * i));
+    }
+    h = opec_hw::Fnv1a64(len_le, 4, h);
+    h = opec_hw::Fnv1a64(f.data(), f.size(), h);
+  }
+  EXPECT_EQ(h, gen.expected_tx_digest);
+  // Higher rates mean tighter arrival gaps.
+  TrafficSpec fast = spec;
+  fast.rate_rps = 500'000;
+  spec.rate_rps = 200;
+  EXPECT_GT(GapCyclesForRate(spec.rate_rps), GapCyclesForRate(fast.rate_rps));
+}
+
+// --- The long-running server app against the generated workloads ---
+
+opec_traffic::TrafficSpec SmallSpec() {
+  TrafficSpec spec;
+  spec.rate_rps = 50'000;
+  spec.conns = 3;
+  spec.requests = 40;
+  spec.seed = 11;
+  return spec;
+}
+
+void ExpectLoadScenarioPasses(const TrafficSpec& spec,
+                              opec_apps::TcpEchoApp::EthVariant variant,
+                              opec_apps::BuildMode mode, opec_apps::EngineKind engine,
+                              uint64_t* cycles_out = nullptr) {
+  opec_apps::TcpEchoApp app(spec, variant);
+  opec_apps::AppRun run(app, mode, engine);
+  opec_rt::RunResult result = run.Execute();
+  ASSERT_TRUE(result.ok) << app.name() << ": " << result.violation;
+  EXPECT_EQ(run.Check(), "") << app.name();
+  if (cycles_out != nullptr) {
+    *cycles_out = result.cycles;
+  }
+}
+
+TEST(TrafficLoad, PioServerPassesInAllConfigurations) {
+  for (opec_apps::BuildMode mode :
+       {opec_apps::BuildMode::kVanilla, opec_apps::BuildMode::kOpec}) {
+    uint64_t interp = 0, bytecode = 0;
+    ExpectLoadScenarioPasses(SmallSpec(), opec_apps::TcpEchoApp::EthVariant::kPio, mode,
+                             opec_apps::EngineKind::kInterp, &interp);
+    ExpectLoadScenarioPasses(SmallSpec(), opec_apps::TcpEchoApp::EthVariant::kPio, mode,
+                             opec_apps::EngineKind::kBytecode, &bytecode);
+    EXPECT_EQ(interp, bytecode);  // modeled cycles are tier-invariant
+  }
+}
+
+TEST(TrafficLoad, DmaServerPassesInAllConfigurations) {
+  for (opec_apps::BuildMode mode :
+       {opec_apps::BuildMode::kVanilla, opec_apps::BuildMode::kOpec}) {
+    uint64_t interp = 0, bytecode = 0;
+    ExpectLoadScenarioPasses(SmallSpec(), opec_apps::TcpEchoApp::EthVariant::kDma, mode,
+                             opec_apps::EngineKind::kInterp, &interp);
+    ExpectLoadScenarioPasses(SmallSpec(), opec_apps::TcpEchoApp::EthVariant::kDma, mode,
+                             opec_apps::EngineKind::kBytecode, &bytecode);
+    EXPECT_EQ(interp, bytecode);
+  }
+}
+
+TEST(TrafficLoad, DmaVariantKeepsTheNineOperationPartition) {
+  opec_apps::TcpEchoApp app(SmallSpec(), opec_apps::TcpEchoApp::EthVariant::kDma);
+  opec_apps::AppRun run(app, opec_apps::BuildMode::kOpec);
+  // 8 entries + default main = 9, matching the PIO app and Table 1.
+  EXPECT_EQ(run.compile()->policy.operations.size(), 9u);
+}
+
+TEST(TrafficLoad, LongRunServicesThousandsOfRequestsWithBoundedRetention) {
+  TrafficSpec spec;
+  spec.rate_rps = 200'000;  // near saturation: gaps collapse, server stays busy
+  spec.conns = 6;
+  spec.requests = 2000;
+  spec.seed = 5;
+  spec.reconnect_permille = 20;
+  opec_apps::TcpEchoApp app(spec, opec_apps::TcpEchoApp::EthVariant::kPio);
+  opec_apps::AppRun run(app, opec_apps::BuildMode::kOpec);
+  opec_rt::RunResult result = run.Execute();
+  ASSERT_TRUE(result.ok) << result.violation;
+  EXPECT_EQ(run.Check(), "");
+  // One boot served the whole workload…
+  GeneratedTraffic gen = Generate(spec);
+  EXPECT_GT(gen.expected_echoes, 1000u);
+  EXPECT_EQ(result.return_value, gen.expected_echoes);
+  // …and the retention cap kept the host-side frame window bounded while the
+  // digest still covered every committed frame (Check() verified it).
+  const auto& d = static_cast<const opec_apps::TcpEchoDevices&>(run.devices());
+  EXPECT_LE(d.eth->tx_frames().size(), 64u);
+  EXPECT_EQ(d.eth->tx_committed(), gen.expected_tx_frames);
+  EXPECT_GT(d.eth->tx_committed(), 64u);
+}
+
+TEST(TrafficLoad, RegistryExposesTheTrafficVariants) {
+  SetDefaultLoadSpec(SmallSpec());
+  auto load = opec_apps::FindAppFactory("tcp_echo_load");
+  auto dma = opec_apps::FindAppFactory("TCP-Echo-DMA");
+  ASSERT_TRUE(load.has_value());
+  ASSERT_TRUE(dma.has_value());
+  EXPECT_EQ(load->make()->name(), "TCP-Echo-Load");
+  EXPECT_EQ(dma->make()->name(), "TCP-Echo-DMA");
+  // The paper line-up is untouched: figure/table output must not change.
+  EXPECT_EQ(opec_apps::AllApps().size(), 7u);
+  EXPECT_FALSE(opec_apps::FindAppFactory("no-such-app").has_value());
+  SetDefaultLoadSpec(TrafficSpec());
+}
+
+}  // namespace
+}  // namespace opec_traffic
