@@ -206,16 +206,25 @@ const char* OutcomeName(Outcome outcome);
 // DeterministicJson(): byte-identity across worker counts is preserved.
 struct DistStats {
   bool active = false;          // a distributed executor produced this result
-  uint64_t workers = 0;         // workers that ever joined
-  uint64_t workers_died = 0;    // connections lost before shutdown
+  uint64_t workers = 0;         // distinct workers that ever joined
+  uint64_t workers_died = 0;    // connections lost before shutdown (no resume)
   uint64_t units_issued = 0;    // work-unit leases handed out (incl. re-issues)
   uint64_t units_reissued = 0;  // units re-queued after worker death
   uint64_t leases_expired = 0;  // units re-queued after lease timeout
-  uint64_t queue_high_water = 0;  // max pending units observed
+  uint64_t queue_high_water = 0;  // max pending jobs observed
   uint64_t artifact_hits = 0;     // worker cache hits (snapshots + modules)
   uint64_t artifact_misses = 0;
   uint64_t artifact_evictions = 0;
   uint64_t artifact_digest_mismatches = 0;  // corrupt/mismatched artifacts rejected
+  // Fleet hardening (protocol v2).
+  uint64_t links_lost = 0;      // resumable links dropped (leases parked)
+  uint64_t reconnects = 0;      // worker ids that rejoined after a drop
+  uint64_t peers_rejected = 0;  // auth / allow-list / version refusals
+  uint64_t late_results = 0;    // result frames landing without a live lease
+  uint64_t chunks_sent = 0;     // artifact chunk frames streamed
+  bool adaptive_units = false;  // EWMA-driven unit sizing was active
+  uint64_t unit_size_min = 0;   // smallest/largest unit carved (0 = none)
+  uint64_t unit_size_max = 0;
   std::vector<uint64_t> max_inflight;       // per worker, peak leased units
 };
 

@@ -67,8 +67,11 @@ int Usage() {
       "          [--timeout-ms T] [--report-json FILE] [--deterministic]\n"
       "          [--trace-dir DIR] [--snapshot-dir DIR] [--cold-boot]\n"
       "          | --fuzz-count N [--fuzz-seed S]\n"
-      "  dist:   [--unit-size N] [--lease-ms T] [--cache-dir DIR]\n"
-      "          [--chaos-kill-after R]\n");
+      "  dist:   [--unit-size N|auto] [--target-unit-ms T] [--lease-ms T]\n"
+      "          [--cache-dir DIR] [--auth-token TOK] [--allow CIDR,...]\n"
+      "          [--chaos-kill-after R] [--chaos-stop-after R]\n"
+      "  worker: [--worker-id ID] [--reconnect N] [--reconnect-delay-ms T]\n"
+      "          [--auth-token TOK] [--chaos-drop-after J]\n");
   return 2;
 }
 
@@ -222,8 +225,17 @@ int main(int argc, char** argv) {
   std::string connect_addr;
   std::string cache_dir;
   int unit_size = 4;
+  bool unit_auto = false;
+  int target_unit_ms = 250;
   int lease_ms = 30000;
   int chaos_kill_after = 0;
+  int chaos_stop_after = 0;
+  std::string auth_token;
+  std::string allow_arg;
+  std::string worker_id;
+  int reconnect = 0;
+  int reconnect_delay_ms = 100;
+  int chaos_drop_after = 0;
 
   std::string spec_path;
   std::string apps_arg = "all";
@@ -290,8 +302,68 @@ int main(int argc, char** argv) {
       cache_dir = v;
     } else if (arg == "--unit-size") {
       const char* v = next();
-      if (v == nullptr || !opec_bench::ParseCount(v, 1, 100000, &unit_size)) {
-        std::fprintf(stderr, "invalid --unit-size '%s'; expected an integer in [1, 100000]\n",
+      if (v != nullptr && std::strcmp(v, "auto") == 0) {
+        unit_auto = true;
+      } else if (v == nullptr || !opec_bench::ParseCount(v, 1, 100000, &unit_size)) {
+        std::fprintf(stderr,
+                     "invalid --unit-size '%s'; expected an integer in [1, 100000] or auto\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--target-unit-ms") {
+      const char* v = next();
+      if (v == nullptr || !opec_bench::ParseCount(v, 1, 600000, &target_unit_ms)) {
+        std::fprintf(stderr,
+                     "invalid --target-unit-ms '%s'; expected an integer in [1, 600000]\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--auth-token") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "invalid --auth-token: expected a non-empty token\n");
+        return Usage();
+      }
+      auth_token = v;
+    } else if (arg == "--allow") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "invalid --allow: expected a comma-separated CIDR list\n");
+        return Usage();
+      }
+      allow_arg = v;
+    } else if (arg == "--worker-id") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "invalid --worker-id: expected a non-empty id\n");
+        return Usage();
+      }
+      worker_id = v;
+    } else if (arg == "--reconnect") {
+      const char* v = next();
+      if (v == nullptr || !opec_bench::ParseCount(v, 0, 1000000, &reconnect)) {
+        std::fprintf(stderr, "invalid --reconnect '%s'; expected an integer >= 0\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--reconnect-delay-ms") {
+      const char* v = next();
+      if (v == nullptr || !opec_bench::ParseCount(v, 0, 3600000, &reconnect_delay_ms)) {
+        std::fprintf(stderr, "invalid --reconnect-delay-ms '%s'; expected an integer >= 0\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--chaos-drop-after") {
+      const char* v = next();
+      if (v == nullptr || !opec_bench::ParseCount(v, 1, 1000000, &chaos_drop_after)) {
+        std::fprintf(stderr, "invalid --chaos-drop-after '%s'; expected an integer >= 1\n",
+                     v == nullptr ? "" : v);
+        return Usage();
+      }
+    } else if (arg == "--chaos-stop-after") {
+      const char* v = next();
+      if (v == nullptr || !opec_bench::ParseCount(v, 1, 1000000, &chaos_stop_after)) {
+        std::fprintf(stderr, "invalid --chaos-stop-after '%s'; expected an integer >= 1\n",
                      v == nullptr ? "" : v);
         return Usage();
       }
@@ -410,17 +482,24 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "campaignd: --worker requires --connect HOST:PORT\n");
       return Usage();
     }
-    std::string err;
-    int fd = opec_dist::TcpConnect(connect_addr, &err);
-    if (fd < 0) {
-      std::fprintf(stderr, "campaignd: %s\n", err.c_str());
-      return 2;
-    }
-    opec_dist::FdTransport transport(fd);
     opec_dist::WorkerOptions options;
-    options.name = "tcp-worker";
+    options.name = worker_id.empty() ? "tcp-worker" : worker_id;
     options.cache_dir = cache_dir;
-    err = opec_dist::RunWorker(transport, options);
+    options.token = auth_token;
+    options.worker_id = worker_id;
+    options.reconnect_max = static_cast<uint32_t>(reconnect);
+    options.reconnect_delay_ms = static_cast<uint32_t>(reconnect_delay_ms);
+    options.chaos_drop_after = static_cast<uint64_t>(chaos_drop_after);
+    auto connect = [&]() -> std::unique_ptr<opec_dist::Transport> {
+      std::string cerr_msg;
+      int fd = opec_dist::TcpConnect(connect_addr, &cerr_msg);
+      if (fd < 0) {
+        std::fprintf(stderr, "campaignd: %s\n", cerr_msg.c_str());
+        return nullptr;
+      }
+      return std::make_unique<opec_dist::FdTransport>(fd);
+    };
+    std::string err = opec_dist::RunWorkerLoop(connect, options);
     if (!err.empty()) {
       std::fprintf(stderr, "campaignd: worker: %s\n", err.c_str());
       return 2;
@@ -482,12 +561,22 @@ int main(int argc, char** argv) {
 
   CampaignServer::Options options;
   options.unit_size = static_cast<size_t>(unit_size);
+  options.adaptive_units = unit_auto;
+  options.target_unit_ms = static_cast<uint64_t>(target_unit_ms);
   options.lease_ms = static_cast<uint64_t>(lease_ms);
   options.cache_dir = cache_dir;
+  options.auth_token = auth_token;
   options.cold_boot = cold_boot;
   options.snapshot_dir = snapshot_dir;
   options.trace_dir = trace_dir;
   options.default_timeout_ms = timeout_ms;
+  if (!allow_arg.empty()) {
+    std::string cidr_err;
+    if (!opec_dist::ParseCidrList(allow_arg, &options.allow, &cidr_err)) {
+      std::fprintf(stderr, "campaignd: --allow: %s\n", cidr_err.c_str());
+      return Usage();
+    }
+  }
 
   std::unique_ptr<CampaignServer> server;
   if (fuzz_sweep) {
@@ -570,6 +659,7 @@ int main(int argc, char** argv) {
   }
 
   bool chaos_fired = false;
+  pid_t stopped_pid = -1;
   server->set_on_progress([&](size_t done, size_t total) {
     if (chaos_kill_after > 0 && !chaos_fired &&
         done >= static_cast<size_t>(chaos_kill_after)) {
@@ -583,6 +673,28 @@ int main(int argc, char** argv) {
         }
       }
     }
+    if (chaos_stop_after > 0 && !chaos_fired &&
+        done >= static_cast<size_t>(chaos_stop_after)) {
+      for (Child& c : children) {
+        if (c.alive) {
+          std::fprintf(stderr, "campaignd: chaos: stopping worker pid %d after %zu/%zu\n",
+                       static_cast<int>(c.pid), done, total);
+          ::kill(c.pid, SIGSTOP);
+          stopped_pid = c.pid;
+          chaos_fired = true;
+          break;
+        }
+      }
+    }
+    // Resume the stalled worker once the sweep is done: it delivers its stale
+    // unit (a late, duplicate result — first write wins) and exits on the
+    // shutdown frame, so the drain phase and waitpid() stay clean.
+    if (stopped_pid >= 0 && done == total) {
+      std::fprintf(stderr, "campaignd: chaos: resuming worker pid %d\n",
+                   static_cast<int>(stopped_pid));
+      ::kill(stopped_pid, SIGCONT);
+      stopped_pid = -1;
+    }
   });
 
   auto t0 = std::chrono::steady_clock::now();
@@ -590,6 +702,12 @@ int main(int argc, char** argv) {
   auto t1 = std::chrono::steady_clock::now();
   if (listen_fd >= 0) {
     ::close(listen_fd);
+  }
+  if (stopped_pid >= 0) {
+    // Belt and braces: never leave a child frozen if the sweep errored out
+    // before the resume fired.
+    ::kill(stopped_pid, SIGCONT);
+    stopped_pid = -1;
   }
   for (Child& c : children) {
     if (c.alive) {

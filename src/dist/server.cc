@@ -14,6 +14,8 @@ namespace opec_dist {
 
 namespace {
 
+constexpr double kEwmaAlpha = 0.3;
+
 int DeadlineMs(std::chrono::steady_clock::time_point now,
                std::chrono::steady_clock::time_point deadline) {
   auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
@@ -24,6 +26,17 @@ int DeadlineMs(std::chrono::steady_clock::time_point now,
     return 60000;
   }
   return static_cast<int>(ms);
+}
+
+// Equality without an early exit on content, so a byte-by-byte probe of the
+// shared token learns nothing from response timing.
+bool TokenEq(const std::string& a, const std::string& b) {
+  unsigned char diff = a.size() == b.size() ? 0 : 1;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    diff = static_cast<unsigned char>(diff | (a[i] ^ b[i]));
+  }
+  return diff == 0;
 }
 
 }  // namespace
@@ -41,7 +54,7 @@ CampaignServer::CampaignServer(const opec_campaign::CampaignSpec& spec,
                                                       options.default_timeout_ms,
                                                       options.trace_dir));
   }
-  BuildUnits(spec.jobs.size());
+  BuildQueue(spec.jobs.size());
   job_results_.resize(total_);
 }
 
@@ -51,25 +64,20 @@ CampaignServer::CampaignServer(uint64_t fuzz_base_seed, uint64_t fuzz_count,
       sweep_(SweepKind::kFuzz),
       fuzz_base_seed_(fuzz_base_seed),
       cache_(options.cache_dir, options.cache_max_bytes) {
-  BuildUnits(static_cast<size_t>(fuzz_count));
+  BuildQueue(static_cast<size_t>(fuzz_count));
   case_results_.resize(total_);
 }
 
 CampaignServer::~CampaignServer() = default;
 
-void CampaignServer::BuildUnits(size_t total) {
+void CampaignServer::BuildQueue(size_t total) {
   total_ = total;
   have_.assign(total_, 0);
-  size_t unit_size = options_.unit_size == 0 ? 1 : options_.unit_size;
-  for (size_t start = 0; start < total_; start += unit_size) {
-    Unit u;
-    u.id = units_.size();
-    u.start = start;
-    u.count = std::min(unit_size, total_ - start);
-    units_.push_back(u);
-    pending_.push_back(u.id);
+  if (total_ > 0) {
+    pending_.push_back(Span{0, total_});
   }
-  stats_.queue_high_water = pending_.size();
+  stats_.queue_high_water = total_;
+  stats_.adaptive_units = options_.adaptive_units;
 }
 
 void CampaignServer::AddWorker(std::unique_ptr<Transport> transport) {
@@ -88,13 +96,105 @@ size_t CampaignServer::AliveWorkers() const {
   return n;
 }
 
-void CampaignServer::SendOrKill(size_t wi, const Frame& frame) {
+size_t CampaignServer::PendingJobs() const {
+  size_t n = 0;
+  for (const Span& s : pending_) {
+    n += s.count;
+  }
+  return n;
+}
+
+bool CampaignServer::UnitFullyRecorded(const Span& s) const {
+  for (size_t i = s.start; i < s.start + s.count; ++i) {
+    if (!have_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CampaignServer::SizeKey(size_t index) const {
+  if (sweep_ == SweepKind::kFuzz) {
+    return "fuzz";
+  }
+  const opec_campaign::JobSpec& spec = resolved_[index];
+  return spec.app + "|" + std::to_string(static_cast<int>(spec.mode)) + "|" +
+         std::to_string(static_cast<int>(spec.engine));
+}
+
+size_t CampaignServer::CarveCount(const Span& s) const {
+  size_t fixed = options_.unit_size == 0 ? 1 : options_.unit_size;
+  if (!options_.adaptive_units) {
+    return std::min(fixed, s.count);
+  }
+  size_t cap = std::min(options_.max_unit_size == 0 ? size_t{1} : options_.max_unit_size,
+                        s.count);
+  double target_ns = static_cast<double>(options_.target_unit_ms) * 1e6;
+  double acc = 0.0;
+  size_t n = 0;
+  while (n < cap) {
+    auto it = ewma_ns_.find(SizeKey(s.start + n));
+    if (it == ewma_ns_.end() || it->second <= 0.0) {
+      // No sample for this job class yet: bootstrap with the fixed size so
+      // the first units still parallelize.
+      if (n == 0) {
+        return std::min(fixed, cap);
+      }
+      break;
+    }
+    if (n > 0 && acc + it->second > target_ns) {
+      break;
+    }
+    acc += it->second;
+    ++n;
+  }
+  return std::max<size_t>(1, n);
+}
+
+void CampaignServer::NoteUnitSize(size_t carved) {
+  uint64_t c = static_cast<uint64_t>(carved);
+  if (stats_.unit_size_min == 0 || c < stats_.unit_size_min) {
+    stats_.unit_size_min = c;
+  }
+  stats_.unit_size_max = std::max(stats_.unit_size_max, c);
+}
+
+void CampaignServer::EnqueueFrame(size_t wi, const Frame& frame) {
   WorkerState& w = workers_[wi];
   if (w.dead) {
     return;
   }
-  if (w.transport->Send(frame) != Transport::Status::kOk) {
-    KillWorker(wi, w.transport->error().c_str());
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+  w.outbox_bytes += bytes.size();
+  w.outbox.push_back(std::move(bytes));
+  if (w.outbox_bytes > options_.outbox_max_bytes) {
+    KillWorker(wi, "outbox overflow (peer not draining)");
+    return;
+  }
+  DrainOutbox(wi);
+}
+
+void CampaignServer::DrainOutbox(size_t wi) {
+  WorkerState& w = workers_[wi];
+  if (w.dead) {
+    return;
+  }
+  while (!w.outbox.empty()) {
+    const std::vector<uint8_t>& buf = w.outbox.front();
+    int n = w.transport->SendSome(buf.data() + w.outbox_off, buf.size() - w.outbox_off);
+    if (n < 0) {
+      KillWorker(wi, w.transport->error().c_str());
+      return;
+    }
+    if (n == 0) {
+      return;  // peer's pipe is full; POLLOUT will resume the drain
+    }
+    w.outbox_off += static_cast<size_t>(n);
+    w.outbox_bytes -= static_cast<uint64_t>(n);
+    if (w.outbox_off == w.outbox.front().size()) {
+      w.outbox.pop_front();
+      w.outbox_off = 0;
+    }
   }
 }
 
@@ -105,36 +205,132 @@ void CampaignServer::KillWorker(size_t wi, const char* why) {
   }
   w.dead = true;
   w.transport->Close();
+  w.outbox.clear();
+  w.outbox_off = 0;
+  w.outbox_bytes = 0;
   if (!w.shutdown_sent) {
     ++stats_.workers_died;
     std::fprintf(stderr, "campaignd: worker %zu (%s) lost: %s\n", wi,
                  w.name.empty() ? "?" : w.name.c_str(), why);
   }
-  RequeueWorkerUnits(wi, /*expired=*/false);
+  RequeueWorkerUnits(wi);
 }
 
-void CampaignServer::RequeueWorkerUnits(size_t wi, bool expired) {
+void CampaignServer::DropConnection(size_t wi, const char* why) {
+  WorkerState& w = workers_[wi];
+  if (w.dead) {
+    return;
+  }
+  if (!w.resumable || !w.hello_done || w.shutdown_sent) {
+    KillWorker(wi, why);
+    return;
+  }
+  // A resumable worker's link dropped: park its leases under its worker id.
+  // If it reconnects before the lease clock runs out it resumes in place;
+  // otherwise ExpireLeases falls back to the plain requeue path.
+  w.dead = true;
+  w.transport->Close();
+  w.outbox.clear();
+  w.outbox_off = 0;
+  w.outbox_bytes = 0;
+  ++stats_.links_lost;
+  std::fprintf(stderr, "campaignd: worker %zu (%s) link lost: %s; leases parked\n", wi,
+               w.name.empty() ? "?" : w.name.c_str(), why);
+  ParkWorkerUnits(wi);
+}
+
+void CampaignServer::RequeueUnit(uint64_t unit_id, bool expired) {
+  auto issued_it = issued_.find(unit_id);
+  auto lease_it = leases_.find(unit_id);
+  if (lease_it != leases_.end()) {
+    const Lease& lease = lease_it->second;
+    if (!lease.parked && lease.worker != kNoWorker && lease.worker < workers_.size()) {
+      WorkerState& holder = workers_[lease.worker];
+      if (holder.inflight > 0) {
+        --holder.inflight;
+      }
+    }
+    leases_.erase(lease_it);
+  }
+  if (issued_it == issued_.end()) {
+    return;
+  }
+  Span s = issued_it->second;
+  issued_.erase(issued_it);
+  if (UnitFullyRecorded(s)) {
+    // A late/duplicate delivery already recorded every row: the unit is done,
+    // not lost — erase it silently so the stats never double-count it.
+    return;
+  }
+  pending_.push_front(s);
+  if (expired) {
+    ++stats_.leases_expired;
+  } else {
+    ++stats_.units_reissued;
+  }
+  stats_.queue_high_water =
+      std::max(stats_.queue_high_water, static_cast<uint64_t>(PendingJobs()));
+}
+
+void CampaignServer::RequeueWorkerUnits(size_t wi) {
   std::vector<uint64_t> requeue;
   for (const auto& [unit_id, lease] : leases_) {
-    if (lease.worker == wi) {
+    if (!lease.parked && lease.worker == wi) {
       requeue.push_back(unit_id);
     }
   }
   // Recovery work goes to the *front* of the queue so the sweep's tail is not
-  // stuck behind untouched units. Sort for a deterministic requeue order.
-  std::sort(requeue.begin(), requeue.end());
-  for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
-    leases_.erase(*it);
-    pending_.insert(pending_.begin(), *it);
-    if (expired) {
-      ++stats_.leases_expired;
-    } else {
-      ++stats_.units_reissued;
-    }
+  // stuck behind untouched units. Requeue in descending span order so the
+  // front ends up sorted ascending — a deterministic reissue order.
+  std::sort(requeue.begin(), requeue.end(), [&](uint64_t a, uint64_t b) {
+    return issued_[a].start > issued_[b].start;
+  });
+  for (uint64_t unit_id : requeue) {
+    RequeueUnit(unit_id, /*expired=*/false);
   }
   workers_[wi].inflight = 0;
-  stats_.queue_high_water = std::max(stats_.queue_high_water,
-                                     static_cast<uint64_t>(pending_.size()));
+}
+
+void CampaignServer::ParkWorkerUnits(size_t wi) {
+  WorkerState& w = workers_[wi];
+  std::vector<uint64_t> held;
+  for (const auto& [unit_id, lease] : leases_) {
+    if (!lease.parked && lease.worker == wi) {
+      held.push_back(unit_id);
+    }
+  }
+  for (uint64_t unit_id : held) {
+    auto issued_it = issued_.find(unit_id);
+    if (issued_it == issued_.end() || UnitFullyRecorded(issued_it->second)) {
+      if (issued_it != issued_.end()) {
+        issued_.erase(issued_it);
+      }
+      leases_.erase(unit_id);
+      continue;
+    }
+    Lease& lease = leases_[unit_id];
+    lease.parked = true;
+    lease.worker = kNoWorker;
+    lease.worker_id = w.worker_id;
+  }
+  w.inflight = 0;
+}
+
+void CampaignServer::AdoptParkedLeases(size_t wi) {
+  WorkerState& w = workers_[wi];
+  Clock::time_point now = Clock::now();
+  for (auto& [unit_id, lease] : leases_) {
+    if (!lease.parked || lease.worker_id != w.worker_id) {
+      continue;
+    }
+    lease.parked = false;
+    lease.worker = wi;
+    lease.needs_resend = true;
+    if (options_.lease_ms != 0) {
+      lease.deadline = now + std::chrono::milliseconds(options_.lease_ms);
+    }
+    ++w.inflight;
+  }
 }
 
 void CampaignServer::ExpireLeases(Clock::time_point now) {
@@ -147,37 +343,57 @@ void CampaignServer::ExpireLeases(Clock::time_point now) {
       expired.push_back(unit_id);
     }
   }
-  std::sort(expired.begin(), expired.end());
-  for (auto it = expired.rbegin(); it != expired.rend(); ++it) {
-    size_t wi = leases_[*it].worker;
-    leases_.erase(*it);
-    pending_.insert(pending_.begin(), *it);
-    ++stats_.leases_expired;
-    if (workers_[wi].inflight > 0) {
-      --workers_[wi].inflight;
-    }
-  }
-  if (!expired.empty()) {
-    stats_.queue_high_water = std::max(stats_.queue_high_water,
-                                       static_cast<uint64_t>(pending_.size()));
+  std::sort(expired.begin(), expired.end(), [&](uint64_t a, uint64_t b) {
+    return issued_[a].start > issued_[b].start;
+  });
+  for (uint64_t unit_id : expired) {
+    RequeueUnit(unit_id, /*expired=*/true);
   }
 }
 
 void CampaignServer::RecordResult(size_t wi, const ResultMsg& msg) {
   WorkerState& w = workers_[wi];
-  w.cache = msg.cache;  // cumulative sample; latest wins
-  auto lease_it = leases_.find(msg.unit_id);
-  if (lease_it != leases_.end() && lease_it->second.worker == wi) {
-    leases_.erase(lease_it);
-    if (w.inflight > 0) {
-      --w.inflight;
-    }
+  if (!w.hello_done) {
+    return;
   }
+  Session& session = sessions_[w.session_key];
+  session.cache = msg.cache;  // cumulative sample; latest wins
+
+  auto lease_it = leases_.find(msg.unit_id);
+  bool own_lease = lease_it != leases_.end() && !lease_it->second.parked &&
+                   lease_it->second.worker == wi;
+  if (!own_lease) {
+    // The lease expired (and was requeued/re-carved) or belongs to a prior
+    // incarnation: the rows still count via first-write-wins below, but the
+    // delivery itself is late.
+    ++stats_.late_results;
+  }
+
+  Clock::time_point now = Clock::now();
+  if (own_lease && sweep_ == SweepKind::kFuzz && lease_it->second.rows > 0) {
+    double elapsed_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - lease_it->second.issued_at)
+            .count());
+    double per_row = elapsed_ns / static_cast<double>(lease_it->second.rows);
+    double& e = ewma_ns_["fuzz"];
+    e = e <= 0.0 ? per_row : (1.0 - kEwmaAlpha) * e + kEwmaAlpha * per_row;
+  }
+
   size_t rows = msg.indexes.size();
   for (size_t k = 0; k < rows; ++k) {
     size_t index = static_cast<size_t>(msg.indexes[k]);
     if (index >= total_) {
       continue;  // malformed row; drop rather than corrupt the table
+    }
+    if (sweep_ == SweepKind::kCampaign && k < msg.jobs.size() && msg.jobs[k].wall_ns > 0) {
+      // Feed the sizing model from every executed row, duplicates included —
+      // they are real observations of this job class's wall time.
+      const opec_campaign::JobSpec& spec = msg.jobs[k].spec;
+      std::string key = spec.app + "|" + std::to_string(static_cast<int>(spec.mode)) +
+                        "|" + std::to_string(static_cast<int>(spec.engine));
+      double x = static_cast<double>(msg.jobs[k].wall_ns);
+      double& e = ewma_ns_[key];
+      e = e <= 0.0 ? x : (1.0 - kEwmaAlpha) * e + kEwmaAlpha * x;
     }
     if (have_[index]) {
       continue;  // duplicate delivery of a re-issued unit; first write wins
@@ -200,6 +416,132 @@ void CampaignServer::RecordResult(size_t wi, const ResultMsg& msg) {
       on_progress_(done_count_, total_);
     }
   }
+
+  auto issued_it = issued_.find(msg.unit_id);
+  bool complete = issued_it == issued_.end() || UnitFullyRecorded(issued_it->second);
+  if (own_lease) {
+    if (complete) {
+      leases_.erase(msg.unit_id);
+      if (issued_it != issued_.end()) {
+        issued_.erase(issued_it);
+      }
+      if (w.inflight > 0) {
+        --w.inflight;
+      }
+    } else {
+      // Partial delivery (resume flow): the worker still owns the remainder;
+      // give it a fresh lease clock.
+      if (options_.lease_ms != 0) {
+        lease_it->second.deadline = now + std::chrono::milliseconds(options_.lease_ms);
+      }
+    }
+  } else if (complete && issued_it != issued_.end()) {
+    // A late delivery finished a unit someone else still holds: cancel the
+    // surviving lease silently — the unit is done, nothing was lost.
+    auto live = leases_.find(msg.unit_id);
+    if (live != leases_.end()) {
+      if (!live->second.parked && live->second.worker != kNoWorker &&
+          live->second.worker < workers_.size()) {
+        WorkerState& holder = workers_[live->second.worker];
+        if (holder.inflight > 0) {
+          --holder.inflight;
+        }
+      }
+      leases_.erase(live);
+    }
+    issued_.erase(issued_it);
+  }
+}
+
+bool CampaignServer::SendAssign(size_t wi, uint64_t unit_id, const Span& span) {
+  AssignMsg assign;
+  assign.unit_id = unit_id;
+  for (size_t i = span.start; i < span.start + span.count; ++i) {
+    if (have_[i]) {
+      continue;
+    }
+    assign.indexes.push_back(i);
+    if (sweep_ == SweepKind::kCampaign) {
+      assign.jobs.push_back(resolved_[i]);
+    } else {
+      assign.fuzz_seeds.push_back(fuzz_base_seed_ + i);
+    }
+  }
+  if (assign.indexes.empty()) {
+    return false;
+  }
+  EnqueueFrame(wi, MakeFrame(FrameType::kAssign, [&](opec_hw::StateWriter& sw) {
+                 WriteAssign(sw, sweep_, assign);
+               }));
+  return true;
+}
+
+bool CampaignServer::HandleHello(size_t wi, const HelloMsg& hello) {
+  WorkerState& w = workers_[wi];
+  auto reject = [&](const char* why) {
+    // Refuse before a single byte flows back: no welcome, no error frame —
+    // just the hangup. (A frame would leak that a campaignd is listening.)
+    ++stats_.peers_rejected;
+    std::fprintf(stderr, "campaignd: peer '%s' rejected: %s\n",
+                 hello.worker_name.empty() ? "?" : hello.worker_name.c_str(), why);
+    w.dead = true;
+    w.transport->Close();
+    w.outbox.clear();
+    w.outbox_off = 0;
+    w.outbox_bytes = 0;
+    return false;
+  };
+  if (w.hello_done) {
+    KillWorker(wi, "duplicate hello");
+    return false;
+  }
+  uint32_t negotiated = NegotiateVersion(hello);
+  if (negotiated == 0) {
+    return reject("no common protocol version");
+  }
+  if (!options_.auth_token.empty() && !TokenEq(hello.token, options_.auth_token)) {
+    return reject("bad auth token");
+  }
+  w.name = hello.worker_name;
+  w.version = negotiated;
+  w.worker_id = hello.worker_id;
+  w.resumable = hello.resumable && !hello.worker_id.empty() && negotiated >= 2;
+  w.hello_done = true;
+  if (!w.worker_id.empty()) {
+    // A live connection claiming the same id is stale (the worker gave up on
+    // it and redialed): park it and let the new connection adopt.
+    for (size_t j = 0; j < workers_.size(); ++j) {
+      if (j != wi && !workers_[j].dead && workers_[j].hello_done &&
+          workers_[j].worker_id == w.worker_id) {
+        DropConnection(j, "superseded by reconnect");
+      }
+    }
+    w.session_key = w.worker_id;
+    if (seen_ids_.insert(w.worker_id).second) {
+      ++stats_.workers;
+      session_order_.push_back(w.session_key);
+      sessions_[w.session_key];
+    } else {
+      ++stats_.reconnects;
+    }
+  } else {
+    w.session_key = "conn#" + std::to_string(wi);
+    ++stats_.workers;
+    session_order_.push_back(w.session_key);
+    sessions_[w.session_key];
+  }
+  if (w.resumable) {
+    AdoptParkedLeases(wi);
+  }
+  WelcomeMsg welcome;
+  welcome.version = negotiated;
+  welcome.sweep = sweep_;
+  welcome.cold_boot = options_.cold_boot;
+  welcome.snapshot_dir = options_.snapshot_dir;
+  welcome.chunk_threshold = options_.chunk_threshold;
+  EnqueueFrame(wi, MakeFrame(FrameType::kWelcome,
+                             [&](opec_hw::StateWriter& sw) { WriteWelcome(sw, welcome); }));
+  return !workers_[wi].dead;
 }
 
 bool CampaignServer::HandleFrame(size_t wi, const Frame& frame) {
@@ -207,84 +549,117 @@ bool CampaignServer::HandleFrame(size_t wi, const Frame& frame) {
   opec_hw::StateReader r(frame.payload);
   switch (frame.type) {
     case FrameType::kHello: {
-      HelloMsg hello = ReadHello(r);
-      if (hello.version != kProtocolVersion) {
-        KillWorker(wi, "protocol version mismatch");
-        return false;
-      }
-      w.name = hello.worker_name;
-      w.hello_done = true;
-      ++stats_.workers;
-      WelcomeMsg welcome;
-      welcome.sweep = sweep_;
-      welcome.cold_boot = options_.cold_boot;
-      welcome.snapshot_dir = options_.snapshot_dir;
-      SendOrKill(wi, MakeFrame(FrameType::kWelcome,
-                               [&](opec_hw::StateWriter& sw) { WriteWelcome(sw, welcome); }));
-      return true;
+      return HandleHello(wi, ReadHello(r));
     }
     case FrameType::kRequestWork: {
       if (!w.hello_done) {
         KillWorker(wi, "work request before hello");
         return false;
       }
-      // Drop stale queue entries first: a unit whose lease expired while its
-      // worker kept (slowly) executing gets requeued, then delivered anyway —
-      // re-issuing the fully-recorded copy would burn a worker on work that
-      // cannot advance done_count_. When every execution outlives the lease
-      // (tiny --lease-ms, slow host), those copies otherwise recycle at the
-      // queue front forever and the sweep livelocks ahead of untouched units.
-      while (!pending_.empty()) {
-        const Unit& u = units_[pending_.front()];
-        bool all_recorded = true;
-        for (size_t i = u.start; i < u.start + u.count; ++i) {
-          if (!have_[i]) {
-            all_recorded = false;
-            break;
+      Clock::time_point now = Clock::now();
+      // Adopted leases first: re-assign the remainder of a unit that survived
+      // a link drop, under its original unit id.
+      for (;;) {
+        uint64_t resume_id = 0;
+        bool have_resume = false;
+        for (const auto& [unit_id, lease] : leases_) {
+          if (!lease.parked && lease.worker == wi && lease.needs_resend &&
+              (!have_resume || unit_id < resume_id)) {
+            resume_id = unit_id;
+            have_resume = true;
           }
         }
-        if (!all_recorded) {
+        if (!have_resume) {
           break;
         }
-        pending_.erase(pending_.begin());
+        Lease& lease = leases_[resume_id];
+        lease.needs_resend = false;
+        auto issued_it = issued_.find(resume_id);
+        if (issued_it == issued_.end() || UnitFullyRecorded(issued_it->second)) {
+          // Everything in it was recorded while the link was down.
+          if (issued_it != issued_.end()) {
+            issued_.erase(issued_it);
+          }
+          leases_.erase(resume_id);
+          if (w.inflight > 0) {
+            --w.inflight;
+          }
+          continue;
+        }
+        if (options_.lease_ms != 0) {
+          lease.deadline = now + std::chrono::milliseconds(options_.lease_ms);
+        }
+        lease.rows = 0;
+        for (size_t i = issued_it->second.start;
+             i < issued_it->second.start + issued_it->second.count; ++i) {
+          if (!have_[i]) {
+            ++lease.rows;
+          }
+        }
+        SendAssign(wi, resume_id, issued_it->second);
+        return true;
+      }
+      // Advance the front span past rows recorded by late/duplicate
+      // deliveries — re-issuing them would burn a worker on jobs that cannot
+      // advance done_count_ (with a tiny --lease-ms that livelocks the sweep).
+      while (!pending_.empty()) {
+        Span& front = pending_.front();
+        while (front.count > 0 && have_[front.start]) {
+          ++front.start;
+          --front.count;
+        }
+        if (front.count == 0) {
+          pending_.pop_front();
+        } else {
+          break;
+        }
       }
       if (!pending_.empty()) {
-        uint64_t unit_id = pending_.front();
-        pending_.erase(pending_.begin());
-        const Unit& unit = units_[unit_id];
+        Span& front = pending_.front();
+        size_t take = CarveCount(front);
+        Span unit{front.start, take};
+        front.start += take;
+        front.count -= take;
+        if (front.count == 0) {
+          pending_.pop_front();
+        }
+        uint64_t unit_id = next_unit_id_++;
+        issued_[unit_id] = unit;
         Lease lease;
         lease.worker = wi;
-        lease.deadline = Clock::now() + std::chrono::milliseconds(
-                                            options_.lease_ms == 0 ? 0 : options_.lease_ms);
+        lease.worker_id = w.worker_id;
+        lease.issued_at = now;
+        lease.deadline = now + std::chrono::milliseconds(
+                                   options_.lease_ms == 0 ? 0 : options_.lease_ms);
+        lease.rows = 0;
+        for (size_t i = unit.start; i < unit.start + unit.count; ++i) {
+          if (!have_[i]) {
+            ++lease.rows;
+          }
+        }
         leases_[unit_id] = lease;
         ++stats_.units_issued;
         ++w.inflight;
-        w.max_inflight = std::max(w.max_inflight, w.inflight);
-        AssignMsg assign;
-        assign.unit_id = unit_id;
-        for (size_t i = unit.start; i < unit.start + unit.count; ++i) {
-          assign.indexes.push_back(i);
-          if (sweep_ == SweepKind::kCampaign) {
-            assign.jobs.push_back(resolved_[i]);
-          } else {
-            assign.fuzz_seeds.push_back(fuzz_base_seed_ + i);
-          }
-        }
-        SendOrKill(wi, MakeFrame(FrameType::kAssign, [&](opec_hw::StateWriter& sw) {
-                     WriteAssign(sw, sweep_, assign);
-                   }));
+        Session& session = sessions_[w.session_key];
+        session.max_inflight = std::max(session.max_inflight, w.inflight);
+        NoteUnitSize(take);
+        SendAssign(wi, unit_id, unit);
       } else if (Done()) {
         w.shutdown_sent = true;
-        SendOrKill(wi, MakeFrame(FrameType::kShutdown));
+        EnqueueFrame(wi, MakeFrame(FrameType::kShutdown));
       } else {
         NoWorkMsg nw;
         nw.retry_ms = options_.retry_ms;
-        SendOrKill(wi, MakeFrame(FrameType::kNoWork,
-                                 [&](opec_hw::StateWriter& sw) { WriteNoWork(sw, nw); }));
+        EnqueueFrame(wi, MakeFrame(FrameType::kNoWork,
+                                   [&](opec_hw::StateWriter& sw) { WriteNoWork(sw, nw); }));
       }
-      return true;
+      return !workers_[wi].dead;
     }
     case FrameType::kResult: {
+      if (!w.hello_done) {
+        KillWorker(wi, "result before hello");
+        return false;
+      }
       ResultMsg msg = ReadResult(r, sweep_);
       RecordResult(wi, msg);
       return true;
@@ -298,20 +673,45 @@ bool CampaignServer::HandleFrame(size_t wi, const Frame& frame) {
         info.known = true;
         info.digest = it->second;
       }
-      SendOrKill(wi, MakeFrame(FrameType::kArtifactInfo, [&](opec_hw::StateWriter& sw) {
-                   WriteArtifactInfo(sw, info);
-                 }));
-      return true;
+      EnqueueFrame(wi, MakeFrame(FrameType::kArtifactInfo, [&](opec_hw::StateWriter& sw) {
+                     WriteArtifactInfo(sw, info);
+                   }));
+      return !workers_[wi].dead;
     }
     case FrameType::kArtifactFetch: {
       ArtifactFetchMsg f = ReadArtifactFetch(r);
-      ArtifactDataMsg data;
-      data.digest = f.digest;
-      data.found = cache_.Get(f.digest, &data.bytes);
-      SendOrKill(wi, MakeFrame(FrameType::kArtifactData, [&](opec_hw::StateWriter& sw) {
-                   WriteArtifactData(sw, data);
-                 }));
-      return true;
+      std::vector<uint8_t> bytes;
+      bool found = cache_.Get(f.digest, &bytes);
+      uint32_t threshold =
+          options_.chunk_threshold == 0 ? kDefaultChunkThreshold : options_.chunk_threshold;
+      if (w.version >= 2 && found && bytes.size() > threshold) {
+        // Stream in bounded slices: the outbox interleaves fairness at frame
+        // granularity, so one snapshot-sized reply never monopolizes a link.
+        uint64_t total = bytes.size();
+        for (uint64_t off = 0; off < total && !workers_[wi].dead; off += threshold) {
+          ArtifactChunkMsg chunk;
+          chunk.digest = f.digest;
+          chunk.total = total;
+          chunk.offset = off;
+          uint64_t end = std::min<uint64_t>(off + threshold, total);
+          chunk.bytes.assign(bytes.begin() + static_cast<ptrdiff_t>(off),
+                             bytes.begin() + static_cast<ptrdiff_t>(end));
+          EnqueueFrame(wi, MakeFrame(FrameType::kArtifactChunk,
+                                     [&](opec_hw::StateWriter& sw) {
+                                       WriteArtifactChunk(sw, chunk);
+                                     }));
+          ++stats_.chunks_sent;
+        }
+      } else {
+        ArtifactDataMsg data;
+        data.digest = f.digest;
+        data.found = found;
+        data.bytes = std::move(bytes);
+        EnqueueFrame(wi, MakeFrame(FrameType::kArtifactData, [&](opec_hw::StateWriter& sw) {
+                       WriteArtifactData(sw, data);
+                     }));
+      }
+      return !workers_[wi].dead;
     }
     case FrameType::kArtifactAnnounce: {
       ArtifactAnnounceMsg a = ReadArtifactAnnounce(r);
@@ -341,6 +741,7 @@ bool CampaignServer::HandleFrame(size_t wi, const Frame& frame) {
     case FrameType::kShutdown:
     case FrameType::kArtifactInfo:
     case FrameType::kArtifactData:
+    case FrameType::kArtifactChunk:
       break;
   }
   KillWorker(wi, "unexpected frame from worker");
@@ -371,6 +772,39 @@ std::string CampaignServer::Serve() {
   }
   stats_.active = true;
 
+  // Pumps every complete frame out of one connection's receive buffer.
+  // Returns false when the connection died (EOF, I/O error, protocol kill).
+  auto pump = [&](size_t wi) {
+    for (;;) {
+      if (workers_[wi].dead) {
+        return false;
+      }
+      Frame frame;
+      bool got = false;
+      Transport::Status st = workers_[wi].transport->RecvAsync(&frame, &got);
+      if (st == Transport::Status::kEof) {
+        DropConnection(wi, "disconnected");
+        return false;
+      }
+      if (st == Transport::Status::kError) {
+        DropConnection(wi, workers_[wi].transport->error().c_str());
+        return false;
+      }
+      if (!got) {
+        return true;
+      }
+      try {
+        opec_support::ScopedCheckThrow capture;
+        if (!HandleFrame(wi, frame)) {
+          return false;
+        }
+      } catch (const std::exception& e) {
+        KillWorker(wi, e.what());
+        return false;
+      }
+    }
+  };
+
   while (!Done()) {
     if (AliveWorkers() == 0 && listen_fd_ < 0) {
       return "all workers disconnected with " + std::to_string(total_ - done_count_) +
@@ -387,7 +821,11 @@ std::string CampaignServer::Serve() {
     }
     for (size_t i = 0; i < workers_.size(); ++i) {
       if (!workers_[i].dead) {
-        fds.push_back({workers_[i].transport->fd(), POLLIN, 0});
+        short events = POLLIN;
+        if (!workers_[i].outbox.empty()) {
+          events = static_cast<short>(events | POLLOUT);
+        }
+        fds.push_back({workers_[i].transport->fd(), events, 0});
         fd_worker.push_back(i);
       }
     }
@@ -413,9 +851,19 @@ std::string CampaignServer::Serve() {
       }
       if (fd_worker[k] == static_cast<size_t>(-1)) {
         std::string err;
-        int cfd = TcpAccept(listen_fd_, &err);
+        uint32_t peer_ip = 0;
+        int cfd = TcpAccept(listen_fd_, &err, &peer_ip);
         if (cfd >= 0) {
-          AddWorker(std::make_unique<FdTransport>(cfd));
+          if (!CidrMatch(options_.allow, peer_ip)) {
+            // Refused before a single frame is read or written.
+            ++stats_.peers_rejected;
+            std::fprintf(stderr, "campaignd: peer %u.%u.%u.%u rejected: not allow-listed\n",
+                         (peer_ip >> 24) & 0xff, (peer_ip >> 16) & 0xff,
+                         (peer_ip >> 8) & 0xff, peer_ip & 0xff);
+            ::close(cfd);
+          } else {
+            AddWorker(std::make_unique<FdTransport>(cfd));
+          }
         }
         continue;
       }
@@ -423,40 +871,43 @@ std::string CampaignServer::Serve() {
       if (workers_[wi].dead) {
         continue;
       }
-      Frame frame;
-      Transport::Status st = workers_[wi].transport->Recv(&frame);
-      if (st == Transport::Status::kEof) {
-        KillWorker(wi, "disconnected");
+      if ((fds[k].revents & POLLOUT) != 0) {
+        DrainOutbox(wi);
+      }
+      if (workers_[wi].dead) {
         continue;
       }
-      if (st == Transport::Status::kError) {
-        KillWorker(wi, workers_[wi].transport->error().c_str());
-        continue;
-      }
-      try {
-        opec_support::ScopedCheckThrow capture;
-        HandleFrame(wi, frame);
-      } catch (const std::exception& e) {
-        KillWorker(wi, e.what());
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        pump(wi);
       }
     }
   }
 
   // Sweep complete: tell everyone to go home and drain stragglers (workers
-  // mid-duplicate-unit still deliver a kResult + kRequestWork pair).
+  // mid-duplicate-unit still deliver a kResult + kRequestWork pair). The
+  // outboxes must keep draining here too — the shutdown frames ride them.
   for (size_t i = 0; i < workers_.size(); ++i) {
     if (!workers_[i].dead && workers_[i].hello_done) {
       workers_[i].shutdown_sent = true;
-      SendOrKill(i, MakeFrame(FrameType::kShutdown));
+      EnqueueFrame(i, MakeFrame(FrameType::kShutdown));
+    } else if (!workers_[i].dead) {
+      // Connected but never said hello; nothing to drain.
+      workers_[i].dead = true;
+      workers_[i].transport->Close();
     }
   }
-  Clock::time_point drain_deadline = Clock::now() + std::chrono::seconds(10);
+  Clock::time_point drain_deadline =
+      Clock::now() + std::chrono::milliseconds(options_.drain_ms);
   while (AliveWorkers() > 0 && Clock::now() < drain_deadline) {
     std::vector<pollfd> fds;
     std::vector<size_t> fd_worker;
     for (size_t i = 0; i < workers_.size(); ++i) {
       if (!workers_[i].dead) {
-        fds.push_back({workers_[i].transport->fd(), POLLIN, 0});
+        short events = POLLIN;
+        if (!workers_[i].outbox.empty()) {
+          events = static_cast<short>(events | POLLOUT);
+        }
+        fds.push_back({workers_[i].transport->fd(), events, 0});
         fd_worker.push_back(i);
       }
     }
@@ -469,41 +920,59 @@ std::string CampaignServer::Serve() {
         continue;
       }
       size_t wi = fd_worker[k];
-      Frame frame;
-      Transport::Status st = workers_[wi].transport->Recv(&frame);
-      if (st != Transport::Status::kOk) {
-        workers_[wi].dead = true;  // orderly exit after shutdown
-        workers_[wi].transport->Close();
+      if (workers_[wi].dead) {
         continue;
       }
-      try {
-        opec_support::ScopedCheckThrow capture;
-        if (frame.type == FrameType::kResult) {
-          opec_hw::StateReader r(frame.payload);
-          ResultMsg msg = ReadResult(r, sweep_);
-          RecordResult(wi, msg);
-        } else if (frame.type == FrameType::kRequestWork) {
-          workers_[wi].shutdown_sent = true;
-          SendOrKill(wi, MakeFrame(FrameType::kShutdown));
+      if ((fds[k].revents & POLLOUT) != 0) {
+        DrainOutbox(wi);
+      }
+      if (workers_[wi].dead || (fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      for (;;) {
+        Frame frame;
+        bool got = false;
+        Transport::Status st = workers_[wi].transport->RecvAsync(&frame, &got);
+        if (st != Transport::Status::kOk) {
+          workers_[wi].dead = true;  // orderly exit after shutdown
+          workers_[wi].transport->Close();
+          break;
         }
-        // Anything else during drain is ignorable.
-      } catch (const std::exception&) {
-        workers_[wi].dead = true;
-        workers_[wi].transport->Close();
+        if (!got) {
+          break;
+        }
+        try {
+          opec_support::ScopedCheckThrow capture;
+          if (frame.type == FrameType::kResult) {
+            opec_hw::StateReader r(frame.payload);
+            ResultMsg msg = ReadResult(r, sweep_);
+            RecordResult(wi, msg);
+          } else if (frame.type == FrameType::kRequestWork) {
+            workers_[wi].shutdown_sent = true;
+            EnqueueFrame(wi, MakeFrame(FrameType::kShutdown));
+          }
+          // Anything else during drain is ignorable.
+        } catch (const std::exception&) {
+          workers_[wi].dead = true;
+          workers_[wi].transport->Close();
+          break;
+        }
+        if (workers_[wi].dead) {
+          break;
+        }
       }
     }
   }
 
-  // Fold worker-side cache counters (cumulative samples) into the stats.
-  for (const WorkerState& w : workers_) {
-    if (!w.hello_done) {
-      continue;
-    }
-    stats_.max_inflight.push_back(w.max_inflight);
-    stats_.artifact_hits += w.cache.hits;
-    stats_.artifact_misses += w.cache.misses;
-    stats_.artifact_evictions += w.cache.evictions;
-    stats_.artifact_digest_mismatches += w.cache.digest_mismatches;
+  // Fold per-session counters (they survive reconnects: one entry per worker
+  // id, or per connection for anonymous workers) into the stats.
+  for (const std::string& key : session_order_) {
+    const Session& s = sessions_[key];
+    stats_.max_inflight.push_back(s.max_inflight);
+    stats_.artifact_hits += s.cache.hits;
+    stats_.artifact_misses += s.cache.misses;
+    stats_.artifact_evictions += s.cache.evictions;
+    stats_.artifact_digest_mismatches += s.cache.digest_mismatches;
   }
   return "";
 }

@@ -1,7 +1,9 @@
 #include "src/dist/transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <netdb.h>
 #include <netinet/in.h>
@@ -11,6 +13,32 @@
 #include <unistd.h>
 
 namespace opec_dist {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+// Runs read()/write() with O_NONBLOCK temporarily set — the fallback for
+// stream fds that reject send()/recv() with ENOTSOCK (plain pipes).
+ssize_t NonBlockingFdIo(int fd, void* buf, size_t n, bool is_read) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return -1;
+  }
+  bool toggle = (flags & O_NONBLOCK) == 0;
+  if (toggle) {
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  ssize_t rc = is_read ? ::read(fd, buf, n) : ::write(fd, buf, n);
+  int saved_errno = errno;
+  if (toggle) {
+    ::fcntl(fd, F_SETFL, flags);
+  }
+  errno = saved_errno;
+  return rc;
+}
+
+}  // namespace
 
 FdTransport::FdTransport(int fd, uint32_t max_payload)
     : fd_(fd), max_payload_(max_payload) {}
@@ -54,45 +82,114 @@ bool FdTransport::WriteAll(const uint8_t* data, size_t n) {
   return true;
 }
 
-int FdTransport::ReadAll(uint8_t* data, size_t n) {
-  size_t off = 0;
-  while (off < n) {
-    ssize_t r = ::recv(fd_, data + off, n - off, 0);
+int FdTransport::SendSome(const uint8_t* data, size_t n) {
+  if (fd_ < 0) {
+    error_ = "transport closed";
+    return -1;
+  }
+  if (n == 0) {
+    return 0;
+  }
+  for (;;) {
+    ssize_t w = ::send(fd_, data, n, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (w >= 0) {
+      return static_cast<int>(w);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return 0;
+    }
+    if (errno == ENOTSOCK) {
+      ssize_t pw = NonBlockingFdIo(fd_, const_cast<uint8_t*>(data), n, /*is_read=*/false);
+      if (pw >= 0) {
+        return static_cast<int>(pw);
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return 0;
+      }
+      error_ = std::string("write: ") + std::strerror(errno);
+      return -1;
+    }
+    error_ = std::string("send: ") + std::strerror(errno);
+    return -1;
+  }
+}
+
+int FdTransport::FillBuffer(bool blocking) {
+  // Compact the consumed prefix before growing the buffer.
+  if (rpos_ > 0 && (rpos_ == rbuf_.size() || rpos_ >= kReadChunk)) {
+    rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<ptrdiff_t>(rpos_));
+    rpos_ = 0;
+  }
+  uint8_t tmp[kReadChunk];
+  for (;;) {
+    ssize_t r = ::recv(fd_, tmp, sizeof(tmp), blocking ? 0 : MSG_DONTWAIT);
     if (r < 0) {
       if (errno == EINTR) {
         continue;
       }
+      if (!blocking && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return -2;
+      }
       if (errno == ENOTSOCK) {
-        ssize_t pr = ::read(fd_, data + off, n - off);
+        ssize_t pr = blocking ? ::read(fd_, tmp, sizeof(tmp))
+                              : NonBlockingFdIo(fd_, tmp, sizeof(tmp), /*is_read=*/true);
         if (pr < 0) {
           if (errno == EINTR) {
             continue;
+          }
+          if (!blocking && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            return -2;
           }
           error_ = std::string("read: ") + std::strerror(errno);
           return -1;
         }
         if (pr == 0) {
-          if (off == 0) {
-            return 0;
-          }
-          error_ = "truncated frame";
-          return -1;
+          return 0;
         }
-        off += static_cast<size_t>(pr);
-        continue;
+        rbuf_.insert(rbuf_.end(), tmp, tmp + pr);
+        return 1;
       }
       error_ = std::string("recv: ") + std::strerror(errno);
       return -1;
     }
     if (r == 0) {
-      if (off == 0) {
-        return 0;  // clean EOF at a frame boundary
-      }
-      error_ = "truncated frame";
-      return -1;
+      return 0;
     }
-    off += static_cast<size_t>(r);
+    rbuf_.insert(rbuf_.end(), tmp, tmp + r);
+    return 1;
   }
+}
+
+int FdTransport::TryExtract(Frame* frame) {
+  size_t avail = rbuf_.size() - rpos_;
+  if (avail < 5) {
+    return 0;
+  }
+  const uint8_t* h = rbuf_.data() + rpos_;
+  uint32_t len = static_cast<uint32_t>(h[0]) | (static_cast<uint32_t>(h[1]) << 8) |
+                 (static_cast<uint32_t>(h[2]) << 16) | (static_cast<uint32_t>(h[3]) << 24);
+  if (len > max_payload_) {
+    // Reject before allocating: a corrupt length prefix must not drive an
+    // allocation of its own claimed size.
+    error_ = "frame payload too large";
+    return -1;
+  }
+  if (h[4] > static_cast<uint8_t>(FrameType::kArtifactChunk)) {
+    error_ = "unknown frame type";
+    return -1;
+  }
+  if (avail < 5 + static_cast<size_t>(len)) {
+    return 0;
+  }
+  frame->type = static_cast<FrameType>(h[4]);
+  frame->payload.assign(h + 5, h + 5 + len);
+  rpos_ += 5 + static_cast<size_t>(len);
   return 1;
 }
 
@@ -101,11 +198,11 @@ Transport::Status FdTransport::Send(const Frame& frame) {
     error_ = "transport closed";
     return Status::kError;
   }
-  uint32_t len = static_cast<uint32_t>(frame.payload.size());
   if (frame.payload.size() > max_payload_) {
     error_ = "frame payload too large";
     return Status::kError;
   }
+  uint32_t len = static_cast<uint32_t>(frame.payload.size());
   uint8_t header[5];
   header[0] = static_cast<uint8_t>(len);
   header[1] = static_cast<uint8_t>(len >> 8);
@@ -126,36 +223,58 @@ Transport::Status FdTransport::Recv(Frame* frame) {
     error_ = "transport closed";
     return Status::kError;
   }
-  uint8_t header[5];
-  int got = ReadAll(header, sizeof(header));
-  if (got == 0) {
-    return Status::kEof;
-  }
-  if (got < 0) {
-    return Status::kError;
-  }
-  uint32_t len = static_cast<uint32_t>(header[0]) | (static_cast<uint32_t>(header[1]) << 8) |
-                 (static_cast<uint32_t>(header[2]) << 16) |
-                 (static_cast<uint32_t>(header[3]) << 24);
-  if (len > max_payload_) {
-    // Reject before allocating: a corrupt length prefix must not drive an
-    // allocation of its own claimed size.
-    error_ = "frame payload too large";
-    return Status::kError;
-  }
-  if (header[4] > static_cast<uint8_t>(FrameType::kArtifactAnnounce)) {
-    error_ = "unknown frame type";
-    return Status::kError;
-  }
-  frame->type = static_cast<FrameType>(header[4]);
-  frame->payload.resize(len);
-  if (len > 0 && ReadAll(frame->payload.data(), len) <= 0) {
-    if (error_.empty()) {
-      error_ = "truncated frame";
+  for (;;) {
+    int te = TryExtract(frame);
+    if (te == 1) {
+      return Status::kOk;
     }
+    if (te < 0) {
+      return Status::kError;
+    }
+    int fill = FillBuffer(/*blocking=*/true);
+    if (fill == 0) {
+      if (rbuf_.size() == rpos_) {
+        return Status::kEof;  // clean EOF at a frame boundary
+      }
+      error_ = "truncated frame";
+      return Status::kError;
+    }
+    if (fill < 0) {
+      return Status::kError;
+    }
+  }
+}
+
+Transport::Status FdTransport::RecvAsync(Frame* frame, bool* got) {
+  *got = false;
+  if (fd_ < 0) {
+    error_ = "transport closed";
     return Status::kError;
   }
-  return Status::kOk;
+  for (;;) {
+    int te = TryExtract(frame);
+    if (te == 1) {
+      *got = true;
+      return Status::kOk;
+    }
+    if (te < 0) {
+      return Status::kError;
+    }
+    int fill = FillBuffer(/*blocking=*/false);
+    if (fill == -2) {
+      return Status::kOk;  // no complete frame yet
+    }
+    if (fill == 0) {
+      if (rbuf_.size() == rpos_) {
+        return Status::kEof;
+      }
+      error_ = "truncated frame";
+      return Status::kError;
+    }
+    if (fill < 0) {
+      return Status::kError;
+    }
+  }
 }
 
 std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> LocalPair() {
@@ -164,6 +283,64 @@ std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> LocalPair() {
     return {nullptr, nullptr};
   }
   return {std::make_unique<FdTransport>(fds[0]), std::make_unique<FdTransport>(fds[1])};
+}
+
+bool ParseCidrList(const std::string& list, std::vector<Cidr>* out, std::string* error) {
+  out->clear();
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    std::string entry = comma == std::string::npos ? list.substr(start)
+                                                   : list.substr(start, comma - start);
+    if (entry.empty()) {
+      *error = "empty CIDR entry in '" + list + "'";
+      return false;
+    }
+    std::string addr = entry;
+    int bits = 32;
+    size_t slash = entry.find('/');
+    if (slash != std::string::npos) {
+      addr = entry.substr(0, slash);
+      std::string bits_str = entry.substr(slash + 1);
+      if (bits_str.empty() || bits_str.size() > 2 ||
+          bits_str.find_first_not_of("0123456789") != std::string::npos) {
+        *error = "bad prefix length in '" + entry + "'";
+        return false;
+      }
+      bits = std::atoi(bits_str.c_str());
+      if (bits < 0 || bits > 32) {
+        *error = "bad prefix length in '" + entry + "'";
+        return false;
+      }
+    }
+    in_addr parsed;
+    if (::inet_pton(AF_INET, addr.c_str(), &parsed) != 1) {
+      *error = "bad IPv4 address in '" + entry + "'";
+      return false;
+    }
+    Cidr c;
+    c.addr = ntohl(parsed.s_addr);
+    c.bits = bits;
+    out->push_back(c);
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return true;
+}
+
+bool CidrMatch(const std::vector<Cidr>& allow, uint32_t ip) {
+  if (allow.empty()) {
+    return true;
+  }
+  for (const Cidr& c : allow) {
+    uint32_t mask = c.bits == 0 ? 0 : ~uint32_t{0} << (32 - c.bits);
+    if ((ip & mask) == (c.addr & mask)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 int TcpListen(uint16_t port, std::string* error) {
@@ -192,12 +369,28 @@ int TcpListen(uint16_t port, std::string* error) {
   return fd;
 }
 
-int TcpAccept(int listen_fd, std::string* error) {
+uint16_t TcpBoundPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0 ||
+      addr.sin_family != AF_INET) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+int TcpAccept(int listen_fd, std::string* error, uint32_t* peer_ip) {
   for (;;) {
-    int fd = ::accept(listen_fd, nullptr, nullptr);
+    sockaddr_in addr;
+    socklen_t len = sizeof(addr);
+    std::memset(&addr, 0, sizeof(addr));
+    int fd = ::accept(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
     if (fd >= 0) {
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      if (peer_ip != nullptr) {
+        *peer_ip = addr.sin_family == AF_INET ? ntohl(addr.sin_addr.s_addr) : 0;
+      }
       return fd;
     }
     if (errno == EINTR) {

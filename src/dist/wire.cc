@@ -54,19 +54,69 @@ const char* FrameTypeName(FrameType type) {
       return "artifact-data";
     case FrameType::kArtifactAnnounce:
       return "artifact-announce";
+    case FrameType::kArtifactChunk:
+      return "artifact-chunk";
   }
   return "?";
 }
 
+std::vector<uint8_t> EncodeFrame(const Frame& frame) {
+  uint32_t len = static_cast<uint32_t>(frame.payload.size());
+  std::vector<uint8_t> out;
+  out.reserve(5 + frame.payload.size());
+  out.push_back(static_cast<uint8_t>(len));
+  out.push_back(static_cast<uint8_t>(len >> 8));
+  out.push_back(static_cast<uint8_t>(len >> 16));
+  out.push_back(static_cast<uint8_t>(len >> 24));
+  out.push_back(static_cast<uint8_t>(frame.type));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+uint32_t NegotiateVersion(const HelloMsg& hello) {
+  uint32_t effective = hello.version < kProtocolVersion ? hello.version : kProtocolVersion;
+  if (effective < kMinProtocolVersion || effective < hello.min_version) {
+    return 0;
+  }
+  return effective;
+}
+
 void WriteHello(StateWriter& w, const HelloMsg& m) {
   w.U32(m.version);
+  if (m.version == 1) {
+    w.Str(m.worker_name);
+    return;
+  }
+  w.U32(m.min_version);
   w.Str(m.worker_name);
+  w.Str(m.token);
+  w.Str(m.worker_id);
+  w.Bool(m.resumable);
+  w.U64(m.resume_unit);
+  w.U64(m.resume_done);
 }
 
 HelloMsg ReadHello(StateReader& r) {
   HelloMsg m;
   m.version = r.U32();
+  if (m.version == 1) {
+    // v1 layout: version + name. No token, no resume state.
+    m.min_version = 1;
+    m.worker_name = r.Str();
+    m.token.clear();
+    m.worker_id.clear();
+    m.resumable = false;
+    m.resume_unit = kNoResumeUnit;
+    m.resume_done = 0;
+    return m;
+  }
+  m.min_version = r.U32();
   m.worker_name = r.Str();
+  m.token = r.Str();
+  m.worker_id = r.Str();
+  m.resumable = r.Bool();
+  m.resume_unit = r.U64();
+  m.resume_done = r.U64();
   return m;
 }
 
@@ -75,6 +125,9 @@ void WriteWelcome(StateWriter& w, const WelcomeMsg& m) {
   w.U8(static_cast<uint8_t>(m.sweep));
   w.Bool(m.cold_boot);
   w.Str(m.snapshot_dir);
+  if (m.version >= 2) {
+    w.U32(m.chunk_threshold);
+  }
 }
 
 WelcomeMsg ReadWelcome(StateReader& r) {
@@ -85,6 +138,11 @@ WelcomeMsg ReadWelcome(StateReader& r) {
   m.sweep = static_cast<SweepKind>(sweep);
   m.cold_boot = r.Bool();
   m.snapshot_dir = r.Str();
+  if (m.version >= 2) {
+    m.chunk_threshold = r.U32();
+  } else {
+    m.chunk_threshold = 0;  // v1 servers never chunk
+  }
   return m;
 }
 
@@ -321,6 +379,22 @@ ArtifactDataMsg ReadArtifactData(StateReader& r) {
   ArtifactDataMsg m;
   m.digest = r.U64();
   m.found = r.Bool();
+  m.bytes = r.Blob();
+  return m;
+}
+
+void WriteArtifactChunk(StateWriter& w, const ArtifactChunkMsg& m) {
+  w.U64(m.digest);
+  w.U64(m.total);
+  w.U64(m.offset);
+  w.Blob(m.bytes);
+}
+
+ArtifactChunkMsg ReadArtifactChunk(StateReader& r) {
+  ArtifactChunkMsg m;
+  m.digest = r.U64();
+  m.total = r.U64();
+  m.offset = r.U64();
   m.bytes = r.Blob();
   return m;
 }

@@ -16,6 +16,17 @@
 // Artifact messages implement the content-addressed cache handshake — keys
 // map to Fnv1a64 digests server-side, bytes live in per-host cache
 // directories and can be streamed through the server for cache-cold hosts.
+//
+// Versioning: the hello frame leads with `u32 version` so the layout of the
+// rest of the handshake can evolve. Version 1 is the original loopback
+// protocol (version + worker name). Version 2 adds fleet hardening: a shared
+// auth token (checked before the server sends a single byte), a stable
+// worker id plus resume cursor for reconnect-and-resume, and chunked
+// artifact streaming (kArtifactChunk) bounded by the threshold the server
+// advertises in its welcome. A server negotiates
+// `min(kProtocolVersion, hello.version)` and refuses peers whose
+// `min_version` it cannot meet; v1 hellos keep working (with empty token —
+// refused when the server requires one).
 
 #ifndef SRC_DIST_WIRE_H_
 #define SRC_DIST_WIRE_H_
@@ -32,17 +43,25 @@
 
 namespace opec_dist {
 
-inline constexpr uint32_t kProtocolVersion = 1;
+inline constexpr uint32_t kProtocolVersion = 2;
+inline constexpr uint32_t kMinProtocolVersion = 1;
+
+// "No unit" sentinel for HelloMsg::resume_unit.
+inline constexpr uint64_t kNoResumeUnit = ~0ull;
 
 // Frame size cap. The largest real payloads are boot-snapshot artifacts
 // (machine memory images, single-digit MiB); the cap is a defense against
 // corrupt length prefixes, not a tuning knob.
 inline constexpr uint32_t kMaxFramePayload = 64u << 20;
 
+// Artifact payloads above this stream as kArtifactChunk frames on v2
+// connections, so one snapshot-sized reply never monopolizes a link.
+inline constexpr uint32_t kDefaultChunkThreshold = 1u << 20;
+
 enum class FrameType : uint8_t {
   // Handshake.
-  kHello,    // worker -> server: protocol version, worker name
-  kWelcome,  // server -> worker: version echo, sweep kind, job environment
+  kHello,    // worker -> server: protocol version, auth token, worker id
+  kWelcome,  // server -> worker: negotiated version, sweep kind, environment
   // Work loop.
   kRequestWork,  // worker -> server
   kAssign,       // server -> worker: one leased unit of resolved jobs
@@ -55,6 +74,7 @@ enum class FrameType : uint8_t {
   kArtifactFetch,     // worker -> server: digest -> bytes?
   kArtifactData,      // server -> worker: digest, found?, bytes
   kArtifactAnnounce,  // worker -> server: key, digest, optional bytes upload
+  kArtifactChunk,     // server -> worker: one bounded slice of a big artifact
 };
 
 const char* FrameTypeName(FrameType type);
@@ -63,6 +83,11 @@ struct Frame {
   FrameType type = FrameType::kHello;
   std::vector<uint8_t> payload;
 };
+
+// The exact byte sequence Transport::Send puts on the wire for `frame`
+// (5-byte header + payload). Shared by the server's outbox and by tests that
+// need to truncate frames at arbitrary byte offsets.
+std::vector<uint8_t> EncodeFrame(const Frame& frame);
 
 // What a campaignd instance is sweeping: a campaign job matrix or a
 // differential-fuzz seed range. The unit/lease machinery is shared.
@@ -78,15 +103,31 @@ enum class SweepKind : uint8_t {
 
 struct HelloMsg {
   uint32_t version = kProtocolVersion;
+  // v2+ fields (v1 hellos carry only version + worker_name).
+  uint32_t min_version = kMinProtocolVersion;  // oldest dialect peer speaks
   std::string worker_name;
+  std::string token;      // shared secret; must match the server's --auth-token
+  std::string worker_id;  // stable across reconnects ("" = not resumable)
+  bool resumable = false;
+  // Resume cursor: the unit this worker was executing when its link dropped
+  // and how many of its jobs it had finished. Informational — the server
+  // derives the authoritative remainder from its own recorded rows.
+  uint64_t resume_unit = kNoResumeUnit;
+  uint64_t resume_done = 0;
 };
 
 struct WelcomeMsg {
-  uint32_t version = kProtocolVersion;
+  uint32_t version = kProtocolVersion;  // negotiated: min(server, hello)
   SweepKind sweep = SweepKind::kCampaign;
   bool cold_boot = false;
   std::string snapshot_dir;
+  // v2+: artifact replies larger than this arrive as kArtifactChunk frames.
+  uint32_t chunk_threshold = kDefaultChunkThreshold;
 };
+
+// Returns the version the server should speak with a peer that sent `hello`,
+// or 0 if no common dialect exists.
+uint32_t NegotiateVersion(const HelloMsg& hello);
 
 struct NoWorkMsg {
   uint32_t retry_ms = 20;
@@ -94,7 +135,8 @@ struct NoWorkMsg {
 
 // One leased work unit: job indexes with their payloads, fully resolved
 // server-side (seeds, timeouts, trace paths) so every worker executes exactly
-// what `campaign --jobs 1` would.
+// what `campaign --jobs 1` would. A resume assign re-uses the original
+// unit_id with only the still-unrecorded indexes.
 struct AssignMsg {
   uint64_t unit_id = 0;
   std::vector<uint64_t> indexes;
@@ -102,8 +144,9 @@ struct AssignMsg {
   std::vector<uint64_t> fuzz_seeds;          // fuzz sweeps
 };
 
-// Worker-side artifact-cache counters, cumulative for the connection; the
-// server keeps the latest sample per worker and sums them into DistStats.
+// Worker-side artifact-cache counters, cumulative for the worker session
+// (they survive reconnects); the server keeps the latest sample per worker id
+// and sums them into DistStats.
 struct CacheCounters {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -140,6 +183,16 @@ struct ArtifactDataMsg {
   std::vector<uint8_t> bytes;
 };
 
+// One slice of an oversized artifact reply. Slices arrive in order; the
+// reply is complete when offset + bytes.size() == total. total == 0 with
+// offset == 0 signals "not found" (the chunked analogue of found=false).
+struct ArtifactChunkMsg {
+  uint64_t digest = 0;
+  uint64_t total = 0;
+  uint64_t offset = 0;
+  std::vector<uint8_t> bytes;
+};
+
 struct ArtifactAnnounceMsg {
   std::string key;
   uint64_t digest = 0;
@@ -165,6 +218,8 @@ void WriteArtifactFetch(opec_hw::StateWriter& w, const ArtifactFetchMsg& m);
 ArtifactFetchMsg ReadArtifactFetch(opec_hw::StateReader& r);
 void WriteArtifactData(opec_hw::StateWriter& w, const ArtifactDataMsg& m);
 ArtifactDataMsg ReadArtifactData(opec_hw::StateReader& r);
+void WriteArtifactChunk(opec_hw::StateWriter& w, const ArtifactChunkMsg& m);
+ArtifactChunkMsg ReadArtifactChunk(opec_hw::StateReader& r);
 void WriteArtifactAnnounce(opec_hw::StateWriter& w, const ArtifactAnnounceMsg& m);
 ArtifactAnnounceMsg ReadArtifactAnnounce(opec_hw::StateReader& r);
 

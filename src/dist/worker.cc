@@ -28,13 +28,20 @@ const char* ModeKey(opec_apps::BuildMode mode) {
 // Synchronous artifact RPC over the worker's transport. The worker drives a
 // strict request/response rhythm, so issuing these between work frames is
 // safe; every failure is swallowed into "not available" — artifact trouble
-// degrades to a cold build, it never fails a job.
+// degrades to a cold build, it never fails a job. The transport is rebound
+// per connection (Bind), so the cache/warm-pool state it feeds survives
+// reconnects.
 class ServerArtifacts {
  public:
-  explicit ServerArtifacts(Transport& t) : t_(t) {}
+  ServerArtifacts() = default;
+
+  void Bind(Transport* t) {
+    t_ = t;
+    broken_ = false;
+  }
 
   bool Query(const std::string& key, uint64_t* digest) {
-    if (broken_) {
+    if (broken_ || t_ == nullptr) {
       return false;
     }
     Frame f = MakeFrame(FrameType::kArtifactQuery, [&](opec_hw::StateWriter& w) {
@@ -59,25 +66,62 @@ class ServerArtifacts {
     }
   }
 
+  // Handles both reply shapes: one kArtifactData frame (small artifacts, v1
+  // servers) or an in-order kArtifactChunk stream (v2 servers, big replies).
   bool Fetch(uint64_t digest, std::vector<uint8_t>* out) {
-    if (broken_) {
+    if (broken_ || t_ == nullptr) {
       return false;
     }
     Frame f = MakeFrame(FrameType::kArtifactFetch, [&](opec_hw::StateWriter& w) {
       WriteArtifactFetch(w, ArtifactFetchMsg{digest});
     });
+    if (t_->Send(f) != Transport::Status::kOk) {
+      broken_ = true;
+      return false;
+    }
     Frame reply;
-    if (!RoundTrip(f, FrameType::kArtifactData, &reply)) {
+    if (t_->Recv(&reply) != Transport::Status::kOk) {
+      broken_ = true;
       return false;
     }
     try {
       opec_support::ScopedCheckThrow capture;
-      opec_hw::StateReader r(reply.payload);
-      ArtifactDataMsg data = ReadArtifactData(r);
-      if (!data.found || data.digest != digest) {
+      if (reply.type == FrameType::kArtifactData) {
+        opec_hw::StateReader r(reply.payload);
+        ArtifactDataMsg data = ReadArtifactData(r);
+        if (!data.found || data.digest != digest) {
+          return false;
+        }
+        *out = std::move(data.bytes);
+        return true;
+      }
+      if (reply.type != FrameType::kArtifactChunk) {
+        broken_ = true;
         return false;
       }
-      *out = std::move(data.bytes);
+      std::vector<uint8_t> buf;
+      for (;;) {
+        opec_hw::StateReader r(reply.payload);
+        ArtifactChunkMsg chunk = ReadArtifactChunk(r);
+        if (chunk.total == 0 && chunk.offset == 0) {
+          return false;  // chunked analogue of found=false
+        }
+        if (chunk.digest != digest || chunk.offset != buf.size() ||
+            chunk.offset + chunk.bytes.size() > chunk.total) {
+          broken_ = true;  // out-of-order or oversized slice: protocol breach
+          return false;
+        }
+        buf.insert(buf.end(), chunk.bytes.begin(), chunk.bytes.end());
+        if (buf.size() == chunk.total) {
+          break;
+        }
+        if (t_->Recv(&reply) != Transport::Status::kOk ||
+            reply.type != FrameType::kArtifactChunk) {
+          broken_ = true;
+          return false;
+        }
+      }
+      *out = std::move(buf);
       return true;
     } catch (const std::exception&) {
       broken_ = true;
@@ -87,7 +131,7 @@ class ServerArtifacts {
 
   void Announce(const std::string& key, uint64_t digest,
                 const std::vector<uint8_t>& bytes) {
-    if (broken_) {
+    if (broken_ || t_ == nullptr) {
       return;
     }
     ArtifactAnnounceMsg msg;
@@ -98,25 +142,25 @@ class ServerArtifacts {
     Frame f = MakeFrame(FrameType::kArtifactAnnounce, [&](opec_hw::StateWriter& w) {
       WriteArtifactAnnounce(w, msg);
     });
-    if (t_.Send(f) != Transport::Status::kOk) {
+    if (t_->Send(f) != Transport::Status::kOk) {
       broken_ = true;
     }
   }
 
  private:
   bool RoundTrip(const Frame& request, FrameType expect, Frame* reply) {
-    if (t_.Send(request) != Transport::Status::kOk) {
+    if (t_->Send(request) != Transport::Status::kOk) {
       broken_ = true;
       return false;
     }
-    if (t_.Recv(reply) != Transport::Status::kOk || reply->type != expect) {
+    if (t_->Recv(reply) != Transport::Status::kOk || reply->type != expect) {
       broken_ = true;
       return false;
     }
     return true;
   }
 
-  Transport& t_;
+  Transport* t_ = nullptr;
   bool broken_ = false;
 };
 
@@ -288,9 +332,33 @@ class DistWarmPool {
   std::map<std::tuple<std::string, int, int>, Entry> pool_;
 };
 
-}  // namespace
+// Everything that must survive a dropped link: the artifact cache, the warm
+// pool, the job runner, and — the resume cursor — the finished rows of the
+// unit that was in flight when the connection died.
+struct WorkerSession {
+  explicit WorkerSession(const WorkerOptions& options)
+      : cache(options.cache_dir, options.cache_max_bytes),
+        pool(arts, cache),
+        chaos_drop_after(options.chaos_drop_after) {}
 
-std::string RunWorker(Transport& transport, const WorkerOptions& options) {
+  ArtifactCache cache;
+  ServerArtifacts arts;
+  DistWarmPool pool;
+  opec_campaign::JobRunner runner;
+  uint64_t jobs_done = 0;
+  uint64_t chaos_drop_after;  // zeroed once fired
+  bool have_partial = false;
+  ResultMsg partial;  // rows finished of the in-flight unit
+};
+
+enum class ConnStatus {
+  kDone,      // server sent kShutdown (or die_after_jobs fired): clean exit
+  kLinkLost,  // connection-level failure; redialing may recover
+  kFatal,     // config/protocol failure; redialing cannot help
+};
+
+ConnStatus RunConnection(Transport& transport, const WorkerOptions& options,
+                         WorkerSession& s, std::string* error) {
   // Close on every exit path: the server's drain phase waits for worker EOF,
   // and embeddings (threads, tests) may keep the transport object alive well
   // past the worker loop.
@@ -300,15 +368,27 @@ std::string RunWorker(Transport& transport, const WorkerOptions& options) {
   } closer{transport};
   HelloMsg hello;
   hello.worker_name = options.name;
+  hello.token = options.token;
+  hello.worker_id = options.worker_id;
+  hello.resumable = !options.worker_id.empty();
+  if (s.have_partial) {
+    hello.resume_unit = s.partial.unit_id;
+    hello.resume_done = s.partial.indexes.size();
+  }
   if (transport.Send(MakeFrame(FrameType::kHello, [&](opec_hw::StateWriter& w) {
         WriteHello(w, hello);
       })) != Transport::Status::kOk) {
-    return "hello failed: " + transport.error();
+    *error = "hello failed: " + transport.error();
+    return ConnStatus::kLinkLost;
   }
   Frame frame;
   if (transport.Recv(&frame) != Transport::Status::kOk ||
       frame.type != FrameType::kWelcome) {
-    return "no welcome from server: " + transport.error();
+    // An auth/allow-list refusal is a silent hangup right here —
+    // indistinguishable from a crashed server, so the reconnect budget bounds
+    // both.
+    *error = "no welcome from server: " + transport.error();
+    return ConnStatus::kLinkLost;
   }
   WelcomeMsg welcome;
   try {
@@ -316,51 +396,64 @@ std::string RunWorker(Transport& transport, const WorkerOptions& options) {
     opec_hw::StateReader r(frame.payload);
     welcome = ReadWelcome(r);
   } catch (const std::exception& e) {
-    return std::string("bad welcome frame: ") + e.what();
+    *error = std::string("bad welcome frame: ") + e.what();
+    return ConnStatus::kFatal;
   }
-  if (welcome.version != kProtocolVersion) {
-    return "protocol version mismatch";
+  if (welcome.version < kMinProtocolVersion || welcome.version > kProtocolVersion) {
+    *error = "protocol version mismatch";
+    return ConnStatus::kFatal;
   }
   if (!welcome.snapshot_dir.empty()) {
     std::string err = opec_support::EnsureDirs(welcome.snapshot_dir);
     if (!err.empty()) {
-      return "campaign output directory unusable: " + err;
+      *error = "campaign output directory unusable: " + err;
+      return ConnStatus::kFatal;
     }
   }
 
-  ArtifactCache cache(options.cache_dir, options.cache_max_bytes);
-  if (!cache.ok()) {
-    return cache.error();
-  }
-  ServerArtifacts server(transport);
-  DistWarmPool pool(server, cache);
+  s.arts.Bind(&transport);
 
-  opec_campaign::JobRunner runner;
   opec_campaign::JobEnv env;
   env.cold_boot = welcome.cold_boot;
   env.snapshot_dir = welcome.snapshot_dir;
   if (!env.cold_boot) {
-    env.warm_provider = [&pool](const opec_apps::AppFactory& factory,
-                                opec_apps::BuildMode mode, opec_apps::EngineKind engine) {
-      return pool.Get(factory, mode, engine);
+    env.warm_provider = [&s](const opec_apps::AppFactory& factory,
+                             opec_apps::BuildMode mode, opec_apps::EngineKind engine) {
+      return s.pool.Get(factory, mode, engine);
     };
   }
 
-  uint64_t jobs_done = 0;
+  if (s.have_partial) {
+    // Deliver what we finished before the drop; the server records the rows
+    // (first write wins) and answers the next request with the remainder of
+    // the same unit.
+    s.partial.cache = s.pool.Counters();
+    if (transport.Send(MakeFrame(FrameType::kResult, [&](opec_hw::StateWriter& w) {
+          WriteResult(w, welcome.sweep, s.partial);
+        })) != Transport::Status::kOk) {
+      *error = "partial result send failed: " + transport.error();
+      return ConnStatus::kLinkLost;
+    }
+    s.have_partial = false;
+  }
+
   for (;;) {
     if (transport.Send(MakeFrame(FrameType::kRequestWork)) != Transport::Status::kOk) {
-      return "request failed: " + transport.error();
+      *error = "request failed: " + transport.error();
+      return ConnStatus::kLinkLost;
     }
     Transport::Status st = transport.Recv(&frame);
     if (st == Transport::Status::kEof) {
-      return "server disconnected";
+      *error = "server disconnected";
+      return ConnStatus::kLinkLost;
     }
     if (st == Transport::Status::kError) {
-      return "recv failed: " + transport.error();
+      *error = "recv failed: " + transport.error();
+      return ConnStatus::kLinkLost;
     }
     switch (frame.type) {
       case FrameType::kShutdown:
-        return "";
+        return ConnStatus::kDone;
       case FrameType::kNoWork: {
         uint32_t retry_ms = 20;
         try {
@@ -379,37 +472,94 @@ std::string RunWorker(Transport& transport, const WorkerOptions& options) {
           opec_hw::StateReader r(frame.payload);
           assign = ReadAssign(r, welcome.sweep);
         } catch (const std::exception& e) {
-          return std::string("bad assign frame: ") + e.what();
+          *error = std::string("bad assign frame: ") + e.what();
+          return ConnStatus::kFatal;
         }
-        ResultMsg result;
-        result.unit_id = assign.unit_id;
-        result.indexes = assign.indexes;
+        // Accumulate rows into the session's partial result as they finish,
+        // so a dropped link mid-unit loses the connection, not the work.
+        s.partial = ResultMsg{};
+        s.partial.unit_id = assign.unit_id;
+        s.have_partial = true;
         for (size_t k = 0; k < assign.indexes.size(); ++k) {
           size_t index = static_cast<size_t>(assign.indexes[k]);
+          s.partial.indexes.push_back(assign.indexes[k]);
           if (welcome.sweep == SweepKind::kCampaign) {
-            result.jobs.push_back(runner.Run(assign.jobs[k], index, env));
+            s.partial.jobs.push_back(s.runner.Run(assign.jobs[k], index, env));
           } else {
-            result.cases.push_back(opec_fuzz::RunCase(assign.fuzz_seeds[k]));
+            s.partial.cases.push_back(opec_fuzz::RunCase(assign.fuzz_seeds[k]));
           }
-          ++jobs_done;
-          if (options.die_after_jobs != 0 && jobs_done >= options.die_after_jobs) {
+          ++s.jobs_done;
+          if (options.die_after_jobs != 0 && s.jobs_done >= options.die_after_jobs) {
             // Test hook: vanish mid-unit without delivering — the server must
             // detect the EOF and re-issue this unit elsewhere.
             transport.Close();
-            return "";
+            return ConnStatus::kDone;
+          }
+          if (s.chaos_drop_after != 0 && s.jobs_done >= s.chaos_drop_after) {
+            // Chaos hook: sever the link mid-unit but keep the session —
+            // exercises reconnect-and-resume with a real partial unit.
+            s.chaos_drop_after = 0;
+            transport.Close();
+            *error = "chaos: link dropped mid-unit";
+            return ConnStatus::kLinkLost;
           }
         }
-        result.cache = pool.Counters();
+        s.partial.cache = s.pool.Counters();
         if (transport.Send(MakeFrame(FrameType::kResult, [&](opec_hw::StateWriter& w) {
-              WriteResult(w, welcome.sweep, result);
+              WriteResult(w, welcome.sweep, s.partial);
             })) != Transport::Status::kOk) {
-          return "result send failed: " + transport.error();
+          *error = "result send failed: " + transport.error();
+          return ConnStatus::kLinkLost;
         }
+        s.have_partial = false;
         break;
       }
       default:
-        return std::string("unexpected frame: ") + FrameTypeName(frame.type);
+        *error = std::string("unexpected frame: ") + FrameTypeName(frame.type);
+        return ConnStatus::kFatal;
     }
+  }
+}
+
+}  // namespace
+
+std::string RunWorker(Transport& transport, const WorkerOptions& options) {
+  WorkerSession session(options);
+  if (!session.cache.ok()) {
+    transport.Close();
+    return session.cache.error();
+  }
+  std::string error;
+  ConnStatus st = RunConnection(transport, options, session, &error);
+  return st == ConnStatus::kDone ? "" : error;
+}
+
+std::string RunWorkerLoop(const std::function<std::unique_ptr<Transport>()>& connect,
+                          const WorkerOptions& options) {
+  WorkerSession session(options);
+  if (!session.cache.ok()) {
+    return session.cache.error();
+  }
+  uint32_t attempts = 0;
+  std::string error = "never connected";
+  for (;;) {
+    std::unique_ptr<Transport> transport = connect();
+    if (transport == nullptr) {
+      error = "connect failed";
+    } else {
+      ConnStatus st = RunConnection(*transport, options, session, &error);
+      if (st == ConnStatus::kDone) {
+        return "";
+      }
+      if (st == ConnStatus::kFatal) {
+        return error;
+      }
+    }
+    if (attempts >= options.reconnect_max) {
+      return error;
+    }
+    ++attempts;
+    std::this_thread::sleep_for(std::chrono::milliseconds(options.reconnect_delay_ms));
   }
 }
 

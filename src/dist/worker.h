@@ -13,11 +13,20 @@
 // (snapshot provenance checks, VM::AdoptBytecode's module/cost-model match);
 // any rejection falls back to the cold path — wrong bytes can slow a worker
 // down, never change its results.
+//
+// Reconnect-and-resume (protocol v2): a worker with a stable `worker_id`
+// that loses the link mid-unit keeps its session state — warm pool, cache,
+// and the rows of the current unit it already finished — redials through
+// RunWorkerLoop, presents its resume cursor in the hello, delivers the
+// partial result, and the server re-assigns only the remainder under the
+// original unit id.
 
 #ifndef SRC_DIST_WORKER_H_
 #define SRC_DIST_WORKER_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "src/dist/transport.h"
@@ -29,14 +38,33 @@ struct WorkerOptions {
   std::string name;       // for server logs
   std::string cache_dir;  // local artifact cache ("" = in-memory, per-process)
   uint64_t cache_max_bytes = 0;
+  // Fleet hardening (protocol v2).
+  std::string token;      // shared secret; must match the server's --auth-token
+  std::string worker_id;  // stable across reconnects; "" = not resumable
+  // Reconnect policy for RunWorkerLoop: how many times to redial after a
+  // lost link, and how long to back off between attempts.
+  uint32_t reconnect_max = 0;
+  uint32_t reconnect_delay_ms = 100;
+  // Test/chaos hook: drop the connection (keeping session state, so the
+  // reconnect path resumes the unit) after this many completed jobs. Fires
+  // once. 0 = never.
+  uint64_t chaos_drop_after = 0;
   // Test hook: exit the work loop (cleanly, without sending the pending
   // result) after this many completed jobs. 0 = run to shutdown.
   uint64_t die_after_jobs = 0;
 };
 
-// Runs the worker loop until the server sends kShutdown (returns "") or the
-// connection/protocol fails (returns the error). Blocking; owns no threads.
+// Runs the worker loop on one connection until the server sends kShutdown
+// (returns "") or the connection/protocol fails (returns the error). No
+// reconnects. Blocking; owns no threads.
 std::string RunWorker(Transport& transport, const WorkerOptions& options);
+
+// Runs the worker loop with reconnect-and-resume: `connect` dials the server
+// (returns nullptr on failure). Session state — artifact cache, warm pool,
+// partially-executed unit — survives across connections. Returns "" after a
+// server shutdown, else the last error once `reconnect_max` is exhausted.
+std::string RunWorkerLoop(const std::function<std::unique_ptr<Transport>()>& connect,
+                          const WorkerOptions& options);
 
 }  // namespace opec_dist
 

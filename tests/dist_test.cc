@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -41,6 +42,7 @@ using opec_dist::FrameType;
 using opec_dist::LocalPair;
 using opec_dist::MakeFrame;
 using opec_dist::RunWorker;
+using opec_dist::RunWorkerLoop;
 using opec_dist::SweepKind;
 using opec_dist::Transport;
 using opec_dist::WorkerOptions;
@@ -759,6 +761,698 @@ TEST(DistSweep, SharedCacheDirGivesArtifactHitsOnSecondRunSameReport) {
   serial_options.jobs = 1;
   EXPECT_EQ(cold.result.DeterministicJson(),
             opec_campaign::Executor::Run(spec, serial_options).DeterministicJson());
+}
+
+// ---------------------------------------------------------------------------
+// Fleet hardening (protocol v2): version negotiation, auth, CIDR
+// allow-listing, truncation hygiene, streaming backpressure,
+// reconnect-and-resume, adaptive unit sizing, chunked artifact replies.
+
+std::string SerialJson(const opec_campaign::CampaignSpec& spec) {
+  opec_campaign::Executor::Options serial_options;
+  serial_options.jobs = 1;
+  return opec_campaign::Executor::Run(spec, serial_options).DeterministicJson();
+}
+
+TEST(DistWire, VersionNegotiation) {
+  opec_dist::HelloMsg hello;  // defaults: a current-dialect peer
+  EXPECT_EQ(opec_dist::NegotiateVersion(hello), opec_dist::kProtocolVersion);
+  hello.version = 1;
+  hello.min_version = 1;
+  EXPECT_EQ(opec_dist::NegotiateVersion(hello), 1u);
+  // A future peer that can still fall back to our dialect.
+  hello.version = 99;
+  hello.min_version = 1;
+  EXPECT_EQ(opec_dist::NegotiateVersion(hello), opec_dist::kProtocolVersion);
+  // A peer that demands a dialect newer than ours: no common version.
+  hello.min_version = opec_dist::kProtocolVersion + 1;
+  EXPECT_EQ(opec_dist::NegotiateVersion(hello), 0u);
+}
+
+TEST(DistWire, V1HelloCarriesOnlyVersionAndName) {
+  opec_dist::HelloMsg hello;
+  hello.version = 1;
+  hello.worker_name = "legacy";
+  hello.token = "never-sent-on-v1";
+  hello.worker_id = "never-sent-on-v1";
+  StateWriter w;
+  opec_dist::WriteHello(w, hello);
+  std::vector<uint8_t> bytes = w.Take();
+  StateReader r(bytes);
+  opec_dist::HelloMsg got = opec_dist::ReadHello(r);
+  EXPECT_EQ(got.version, 1u);
+  EXPECT_EQ(got.worker_name, "legacy");
+  EXPECT_EQ(got.token, "");
+  EXPECT_EQ(got.worker_id, "");
+  EXPECT_FALSE(got.resumable);
+  EXPECT_EQ(got.resume_unit, opec_dist::kNoResumeUnit);
+}
+
+TEST(DistWire, V2HelloRoundTripsResumeCursor) {
+  opec_dist::HelloMsg hello;
+  hello.worker_name = "w7";
+  hello.token = "sesame";
+  hello.worker_id = "host7#3";
+  hello.resumable = true;
+  hello.resume_unit = 42;
+  hello.resume_done = 3;
+  StateWriter w;
+  opec_dist::WriteHello(w, hello);
+  std::vector<uint8_t> bytes = w.Take();
+  StateReader r(bytes);
+  opec_dist::HelloMsg got = opec_dist::ReadHello(r);
+  EXPECT_EQ(got.version, opec_dist::kProtocolVersion);
+  EXPECT_EQ(got.token, "sesame");
+  EXPECT_EQ(got.worker_id, "host7#3");
+  EXPECT_TRUE(got.resumable);
+  EXPECT_EQ(got.resume_unit, 42u);
+  EXPECT_EQ(got.resume_done, 3u);
+}
+
+TEST(DistTransport, CidrParseAndMatch) {
+  std::vector<opec_dist::Cidr> allow;
+  std::string error;
+  ASSERT_TRUE(opec_dist::ParseCidrList("127.0.0.1,10.0.0.0/8", &allow, &error)) << error;
+  ASSERT_EQ(allow.size(), 2u);
+  EXPECT_TRUE(opec_dist::CidrMatch(allow, 0x7F000001));   // 127.0.0.1
+  EXPECT_FALSE(opec_dist::CidrMatch(allow, 0x7F000002));  // 127.0.0.2
+  EXPECT_TRUE(opec_dist::CidrMatch(allow, 0x0A123456));   // inside 10/8
+  EXPECT_FALSE(opec_dist::CidrMatch(allow, 0x0B000001));  // outside
+
+  // An empty list means "no restriction configured".
+  std::vector<opec_dist::Cidr> none;
+  EXPECT_TRUE(opec_dist::CidrMatch(none, 0x01020304));
+  // /0 matches everything.
+  std::vector<opec_dist::Cidr> any;
+  ASSERT_TRUE(opec_dist::ParseCidrList("0.0.0.0/0", &any, &error));
+  EXPECT_TRUE(opec_dist::CidrMatch(any, 0xDEADBEEF));
+
+  std::vector<opec_dist::Cidr> bad;
+  EXPECT_FALSE(opec_dist::ParseCidrList("10.0.0.0/33", &bad, &error));
+  EXPECT_FALSE(opec_dist::ParseCidrList("not-an-ip", &bad, &error));
+  EXPECT_FALSE(opec_dist::ParseCidrList("10.0.0.0/x", &bad, &error));
+  EXPECT_FALSE(opec_dist::ParseCidrList("", &bad, &error));
+}
+
+TEST(DistTransport, TruncationAtEveryOffsetIsCleanAndFreshLinkRecovers) {
+  // Sweep a v2 hello and a campaign result frame: EOF at any byte offset
+  // inside the frame must surface as a clean "truncated frame", and a fresh
+  // transport (what a reconnect from the same worker id gets — the receive
+  // buffer is per connection) must decode the full frame untainted.
+  opec_dist::HelloMsg hello;
+  hello.worker_name = "w-trunc";
+  hello.token = "sesame";
+  hello.worker_id = "alpha";
+  hello.resumable = true;
+  hello.resume_unit = 3;
+  hello.resume_done = 1;
+  Frame hello_frame = MakeFrame(FrameType::kHello,
+                                [&](StateWriter& w) { opec_dist::WriteHello(w, hello); });
+
+  opec_dist::ResultMsg rm;
+  rm.unit_id = 3;
+  rm.indexes = {4};
+  opec_campaign::JobResult jr;
+  jr.spec.app = "PinLock";
+  jr.detail = "a detail string that pads the result payload a bit";
+  rm.jobs = {jr};
+  Frame result_frame = MakeFrame(FrameType::kResult, [&](StateWriter& w) {
+    opec_dist::WriteResult(w, SweepKind::kCampaign, rm);
+  });
+
+  for (const Frame& frame : {hello_frame, result_frame}) {
+    std::vector<uint8_t> encoded = opec_dist::EncodeFrame(frame);
+    ASSERT_GT(encoded.size(), 5u);
+    for (size_t cut = 0; cut < encoded.size(); ++cut) {
+      int fds[2] = {-1, -1};
+      ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+      FdTransport receiver(fds[1]);
+      if (cut > 0) {
+        ASSERT_EQ(::send(fds[0], encoded.data(), cut, 0), static_cast<ssize_t>(cut));
+      }
+      ::close(fds[0]);
+      Frame got;
+      Transport::Status status = receiver.Recv(&got);
+      if (cut == 0) {
+        EXPECT_EQ(status, Transport::Status::kEof);
+      } else {
+        ASSERT_EQ(status, Transport::Status::kError) << "cut=" << cut;
+        EXPECT_EQ(receiver.error(), "truncated frame") << "cut=" << cut;
+      }
+    }
+    // The successor connection starts with a clean buffer by construction.
+    auto [a, b] = LocalPair();
+    ASSERT_EQ(a->Send(frame), Transport::Status::kOk);
+    Frame got;
+    ASSERT_EQ(b->Recv(&got), Transport::Status::kOk);
+    EXPECT_EQ(got.type, frame.type);
+    EXPECT_EQ(got.payload, frame.payload);
+  }
+}
+
+TEST(DistAuth, BadTokenHungUpOnBeforeAnyBytes) {
+  opec_campaign::CampaignSpec spec = SmallFaultSweep(4);
+  std::string serial = SerialJson(spec);
+
+  CampaignServer::Options options;
+  options.unit_size = 2;
+  options.auth_token = "sesame";
+  CampaignServer server(spec, options);
+
+  auto [bad_server_end, bad_end] = LocalPair();
+  server.AddWorker(std::move(bad_server_end));
+  auto [good_server_end, good_end] = LocalPair();
+  server.AddWorker(std::move(good_server_end));
+
+  opec_dist::HelloMsg hello;
+  hello.worker_name = "intruder";
+  hello.token = "wrong";
+  ASSERT_EQ(bad_end->Send(MakeFrame(FrameType::kHello,
+                                    [&](StateWriter& w) { opec_dist::WriteHello(w, hello); })),
+            Transport::Status::kOk);
+
+  // kEof (not a frame, not a mid-frame error) proves the server hung up
+  // without sending a single byte back.
+  Transport::Status bad_status = Transport::Status::kOk;
+  std::thread intruder([&, transport = bad_end.get()] {
+    Frame f;
+    bad_status = transport->Recv(&f);
+  });
+  std::string good_error;
+  std::thread good([&, transport = good_end.get()] {
+    WorkerOptions wo;
+    wo.name = "legit";
+    wo.token = "sesame";
+    good_error = RunWorker(*transport, wo);
+  });
+  std::string err = server.Serve();
+  intruder.join();
+  good.join();
+  ASSERT_EQ(err, "");
+  EXPECT_EQ(good_error, "");
+  EXPECT_EQ(bad_status, Transport::Status::kEof);
+  EXPECT_EQ(server.dist_stats().peers_rejected, 1u);
+  EXPECT_EQ(server.dist_stats().workers, 1u);  // the intruder never joined
+  EXPECT_EQ(server.TakeCampaignResult().DeterministicJson(), serial);
+}
+
+TEST(DistAuth, TcpPeerOutsideAllowListRefusedAtAccept) {
+  opec_campaign::CampaignSpec spec = SmallFaultSweep(4);
+  std::string serial = SerialJson(spec);
+
+  CampaignServer::Options options;
+  options.unit_size = 2;
+  std::string cidr_error;
+  ASSERT_TRUE(opec_dist::ParseCidrList("10.0.0.0/8", &options.allow, &cidr_error));
+  CampaignServer server(spec, options);
+
+  std::string listen_error;
+  int listen_fd = opec_dist::TcpListen(0, &listen_error);
+  ASSERT_GE(listen_fd, 0) << listen_error;
+  uint16_t port = opec_dist::TcpBoundPort(listen_fd);
+  ASSERT_NE(port, 0);
+  server.set_listen_fd(listen_fd);
+
+  auto [server_end, worker_end] = LocalPair();
+  server.AddWorker(std::move(server_end));
+
+  std::string serve_error;
+  std::thread serve_thread([&] { serve_error = server.Serve(); });
+
+  // 127.0.0.1 is outside 10.0.0.0/8: the connection is closed at accept
+  // time, before the server reads or writes a single frame.
+  std::string connect_error;
+  int cfd = opec_dist::TcpConnect("127.0.0.1:" + std::to_string(port), &connect_error);
+  ASSERT_GE(cfd, 0) << connect_error;
+  FdTransport refused(cfd);
+  Frame f;
+  EXPECT_EQ(refused.Recv(&f), Transport::Status::kEof);
+
+  // Only now let the pre-connected (socketpair) worker run the sweep down.
+  std::string worker_error;
+  std::thread worker_thread([&, transport = worker_end.get()] {
+    WorkerOptions wo;
+    wo.name = "local";
+    worker_error = RunWorker(*transport, wo);
+  });
+  serve_thread.join();
+  worker_thread.join();
+  ::close(listen_fd);
+  ASSERT_EQ(serve_error, "");
+  EXPECT_EQ(worker_error, "");
+  EXPECT_GE(server.dist_stats().peers_rejected, 1u);
+  EXPECT_EQ(server.TakeCampaignResult().DeterministicJson(), serial);
+}
+
+TEST(DistSweep, V1HelloPeerStillWelcomed) {
+  opec_campaign::CampaignSpec spec = SmallFaultSweep(2);
+  std::string serial = SerialJson(spec);
+
+  CampaignServer::Options options;
+  options.unit_size = 1;
+  CampaignServer server(spec, options);
+  auto [stub_server_end, stub_end] = LocalPair();
+  server.AddWorker(std::move(stub_server_end));
+  auto [real_server_end, real_end] = LocalPair();
+  server.AddWorker(std::move(real_server_end));
+
+  // A v1 peer completes the handshake and gets a v1 welcome; the v2 worker
+  // runs the sweep alongside it.
+  opec_dist::HelloMsg hello;
+  hello.version = 1;
+  hello.worker_name = "legacy";
+  ASSERT_EQ(stub_end->Send(MakeFrame(FrameType::kHello,
+                                     [&](StateWriter& w) { opec_dist::WriteHello(w, hello); })),
+            Transport::Status::kOk);
+
+  uint32_t welcomed_version = 0;
+  std::thread legacy([&, transport = stub_end.get()] {
+    Frame f;
+    while (transport->Recv(&f) == Transport::Status::kOk) {
+      if (f.type == FrameType::kWelcome) {
+        StateReader r(f.payload);
+        welcomed_version = opec_dist::ReadWelcome(r).version;
+      }
+      if (f.type == FrameType::kShutdown) {
+        break;
+      }
+    }
+    transport->Close();
+  });
+  std::string real_error;
+  std::thread real([&, transport = real_end.get()] {
+    WorkerOptions wo;
+    wo.name = "real";
+    real_error = RunWorker(*transport, wo);
+  });
+  std::string err = server.Serve();
+  legacy.join();
+  real.join();
+  ASSERT_EQ(err, "");
+  EXPECT_EQ(real_error, "");
+  EXPECT_EQ(welcomed_version, 1u);
+  EXPECT_EQ(server.dist_stats().peers_rejected, 0u);
+  EXPECT_EQ(server.TakeCampaignResult().DeterministicJson(), serial);
+}
+
+// Regression (head-of-line blocking): a peer that stops reading used to
+// freeze the whole fleet — the server sat in a blocking WriteAll to the
+// stalled peer's socket and no other worker was served (this test timed out
+// pre-fix). Post-fix the replies queue in the staller's per-peer outbox and
+// everyone else proceeds.
+TEST(DistSweep, StalledPeerDoesNotBlockTheFleet) {
+  opec_campaign::CampaignSpec spec = SmallFaultSweep(6);
+  std::string serial = SerialJson(spec);
+
+  CampaignServer::Options options;
+  options.unit_size = 2;
+  options.drain_ms = 200;  // the staller never drains; don't wait on it long
+  CampaignServer server(spec, options);
+
+  auto [stall_server_end, stall_end] = LocalPair();
+  server.AddWorker(std::move(stall_server_end));
+  auto [real_server_end, real_end] = LocalPair();
+  server.AddWorker(std::move(real_server_end));
+
+  // The staller uploads a 256 KiB artifact, then floods fetches for it
+  // without ever reading a reply: the kernel pipe back to it fills after the
+  // first couple of replies and everything else lands in its outbox.
+  std::vector<uint8_t> blob(256 * 1024, 0xCD);
+  ArtifactCache scratch("");
+  uint64_t digest = scratch.Put(blob);
+  std::thread staller([&, transport = stall_end.get()] {
+    opec_dist::HelloMsg hello;
+    hello.worker_name = "staller";
+    transport->Send(MakeFrame(FrameType::kHello,
+                              [&](StateWriter& w) { opec_dist::WriteHello(w, hello); }));
+    opec_dist::ArtifactAnnounceMsg ann;
+    ann.key = "blob/stall";
+    ann.digest = digest;
+    ann.with_bytes = true;
+    ann.bytes = blob;
+    transport->Send(MakeFrame(FrameType::kArtifactAnnounce, [&](StateWriter& w) {
+      opec_dist::WriteArtifactAnnounce(w, ann);
+    }));
+    opec_dist::ArtifactFetchMsg fetch;
+    fetch.digest = digest;
+    for (int i = 0; i < 64; ++i) {
+      transport->Send(MakeFrame(FrameType::kArtifactFetch, [&](StateWriter& w) {
+        opec_dist::WriteArtifactFetch(w, fetch);
+      }));
+    }
+    // Keep the fd open (never read): the outbox must absorb ~16 MiB.
+  });
+
+  std::string real_error;
+  std::thread real([&, transport = real_end.get()] {
+    WorkerOptions wo;
+    wo.name = "real";
+    real_error = RunWorker(*transport, wo);
+  });
+  std::string err = server.Serve();
+  staller.join();
+  real.join();
+  ASSERT_EQ(err, "");
+  EXPECT_EQ(real_error, "");
+  EXPECT_EQ(server.TakeCampaignResult().DeterministicJson(), serial);
+}
+
+// Regression (lease/reconnect stats race): a full result that lands *after*
+// its lease expired completes the unit; the copy some other worker still
+// holds must be cancelled silently. Pre-fix the holder's EOF re-queued the
+// already-complete unit and units_reissued double-counted the recovery.
+TEST(DistSweep, LateResultAfterLeaseExpiryCountedOnce) {
+  opec_campaign::CampaignSpec spec = SmallFaultSweep(2);
+  opec_campaign::Executor::Options serial_options;
+  serial_options.jobs = 1;
+  opec_campaign::CampaignResult serial_result = opec_campaign::Executor::Run(spec, serial_options);
+  std::string serial = serial_result.DeterministicJson();
+
+  CampaignServer::Options options;
+  options.unit_size = 2;  // one unit covers the whole sweep
+  options.lease_ms = 100;
+  CampaignServer server(spec, options);
+
+  auto [slow_server_end, slow_end] = LocalPair();
+  server.AddWorker(std::move(slow_server_end));
+  auto [holder_server_end, holder_end] = LocalPair();
+  server.AddWorker(std::move(holder_server_end));
+
+  // Slow worker: takes the only unit, stalls past the lease, then delivers
+  // the full (byte-identical) result late.
+  std::thread slow([&, transport = slow_end.get()] {
+    opec_dist::HelloMsg hello;
+    hello.worker_name = "slow";
+    transport->Send(MakeFrame(FrameType::kHello,
+                              [&](StateWriter& w) { opec_dist::WriteHello(w, hello); }));
+    Frame f;
+    if (transport->Recv(&f) != Transport::Status::kOk) {  // welcome
+      return;
+    }
+    transport->Send(MakeFrame(FrameType::kRequestWork));
+    if (transport->Recv(&f) != Transport::Status::kOk || f.type != FrameType::kAssign) {
+      return;
+    }
+    StateReader r(f.payload);
+    opec_dist::AssignMsg assign = opec_dist::ReadAssign(r, SweepKind::kCampaign);
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    opec_dist::ResultMsg rm;
+    rm.unit_id = assign.unit_id;
+    rm.indexes = assign.indexes;
+    for (uint64_t index : assign.indexes) {
+      rm.jobs.push_back(serial_result.results[index]);
+    }
+    transport->Send(MakeFrame(FrameType::kResult, [&](StateWriter& w) {
+      opec_dist::WriteResult(w, SweepKind::kCampaign, rm);
+    }));
+    while (transport->Recv(&f) == Transport::Status::kOk) {
+      if (f.type == FrameType::kShutdown) {
+        break;
+      }
+    }
+    transport->Close();
+  });
+  // Holder: waits out the expiry, grabs the re-issued copy, and sits on it
+  // until shutdown — its EOF after the late completion must not re-queue.
+  std::thread holder([&, transport = holder_end.get()] {
+    opec_dist::HelloMsg hello;
+    hello.worker_name = "holder";
+    transport->Send(MakeFrame(FrameType::kHello,
+                              [&](StateWriter& w) { opec_dist::WriteHello(w, hello); }));
+    Frame f;
+    if (transport->Recv(&f) != Transport::Status::kOk) {  // welcome
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    transport->Send(MakeFrame(FrameType::kRequestWork));
+    while (transport->Recv(&f) == Transport::Status::kOk) {
+      if (f.type == FrameType::kShutdown) {
+        break;
+      }
+    }
+    transport->Close();
+  });
+
+  std::string err = server.Serve();
+  slow.join();
+  holder.join();
+  ASSERT_EQ(err, "");
+  // The slow worker's expiry is the only legitimate bump (a heavily loaded
+  // host can expire the holder's copy too, hence >=); the holder's EOF on the
+  // already-complete unit must not count as a reissue — that double-count is
+  // the regression.
+  EXPECT_GE(server.dist_stats().leases_expired, 1u);
+  EXPECT_EQ(server.dist_stats().units_reissued, 0u);
+  EXPECT_GE(server.dist_stats().late_results, 1u);
+  EXPECT_EQ(server.TakeCampaignResult().DeterministicJson(), serial);
+}
+
+// Tentpole end-to-end: real TCP on 127.0.0.1, two authenticated workers, one
+// of which drops its link mid-unit and redials. The server parks the lease,
+// adopts it on reconnect, re-assigns only the remainder under the original
+// unit id — nothing is re-queued, and the report is byte-identical to
+// `campaign --jobs 1`.
+TEST(DistSweep, TcpReconnectResumesSameUnitByteIdentical) {
+  opec_campaign::CampaignSpec spec = SmallFaultSweep(12);
+  std::string serial = SerialJson(spec);
+
+  CampaignServer::Options options;
+  options.unit_size = 4;
+  options.auth_token = "sesame";
+  CampaignServer server(spec, options);
+
+  std::string listen_error;
+  int listen_fd = opec_dist::TcpListen(0, &listen_error);
+  ASSERT_GE(listen_fd, 0) << listen_error;
+  uint16_t port = opec_dist::TcpBoundPort(listen_fd);
+  ASSERT_NE(port, 0);
+  server.set_listen_fd(listen_fd);
+
+  std::string serve_error;
+  std::thread serve_thread([&] { serve_error = server.Serve(); });
+
+  auto connect = [port]() -> std::unique_ptr<Transport> {
+    std::string error;
+    int fd = opec_dist::TcpConnect("127.0.0.1:" + std::to_string(port), &error);
+    if (fd < 0) {
+      return nullptr;
+    }
+    return std::make_unique<FdTransport>(fd);
+  };
+  std::string alpha_error;
+  std::thread alpha([&] {
+    WorkerOptions wo;
+    wo.name = "alpha";
+    wo.token = "sesame";
+    wo.worker_id = "alpha";
+    wo.reconnect_max = 5;
+    wo.reconnect_delay_ms = 20;
+    wo.chaos_drop_after = 1;  // drop mid-unit, once; resume on redial
+    alpha_error = RunWorkerLoop(connect, wo);
+  });
+  std::string beta_error;
+  std::thread beta([&] {
+    WorkerOptions wo;
+    wo.name = "beta";
+    wo.token = "sesame";
+    wo.worker_id = "beta";
+    wo.reconnect_max = 5;
+    wo.reconnect_delay_ms = 20;
+    beta_error = RunWorkerLoop(connect, wo);
+  });
+  serve_thread.join();
+  alpha.join();
+  beta.join();
+  ::close(listen_fd);
+
+  ASSERT_EQ(serve_error, "");
+  EXPECT_EQ(alpha_error, "");
+  EXPECT_EQ(beta_error, "");
+  const opec_campaign::DistStats& d = server.dist_stats();
+  EXPECT_EQ(d.workers, 2u);  // distinct ids, not connections
+  EXPECT_GE(d.links_lost, 1u);
+  EXPECT_GE(d.reconnects, 1u);
+  EXPECT_EQ(d.units_reissued, 0u);  // resumed in place, never re-queued
+  EXPECT_EQ(d.leases_expired, 0u);
+  EXPECT_EQ(server.TakeCampaignResult().DeterministicJson(), serial);
+}
+
+TEST(DistSweep, AdaptiveUnitSizingKeepsReportByteIdentical) {
+  opec_campaign::CampaignSpec spec = SmallFaultSweep(10);
+  std::string serial = SerialJson(spec);
+
+  CampaignServer::Options options;
+  options.adaptive_units = true;
+  options.target_unit_ms = 2;  // tiny target: forces per-lease re-sizing
+  options.max_unit_size = 4;
+  for (size_t n : {1u, 2u}) {
+    DistRun run = RunDistCampaign(spec, n, options);
+    ASSERT_EQ(run.serve_error, "") << "workers=" << n;
+    for (const std::string& we : run.worker_errors) {
+      EXPECT_EQ(we, "");
+    }
+    EXPECT_EQ(run.result.DeterministicJson(), serial) << "workers=" << n;
+    const opec_campaign::DistStats& d = run.result.dist;
+    EXPECT_TRUE(d.adaptive_units);
+    EXPECT_GE(d.unit_size_min, 1u);
+    EXPECT_GE(d.unit_size_max, d.unit_size_min);
+    EXPECT_LE(d.unit_size_max, 4u);
+    // Sizing is observability, not part of the deterministic report.
+    EXPECT_NE(run.result.Json().find("\"adaptive_units\": true"), std::string::npos);
+    EXPECT_EQ(run.result.DeterministicJson().find("adaptive_units"), std::string::npos);
+  }
+}
+
+TEST(DistSweep, OversizedArtifactRepliesStreamAsChunks) {
+  opec_campaign::CampaignSpec spec = SmallFaultSweep(2);
+  std::string serial = SerialJson(spec);
+
+  CampaignServer::Options options;
+  options.unit_size = 1;
+  options.chunk_threshold = 256;
+  CampaignServer server(spec, options);
+  auto [stub_server_end, stub_end] = LocalPair();
+  server.AddWorker(std::move(stub_server_end));
+  auto [real_server_end, real_end] = LocalPair();
+  server.AddWorker(std::move(real_server_end));
+
+  std::string serve_error;
+  std::thread serve_thread([&] { serve_error = server.Serve(); });
+
+  // v2 stub: upload a 1000-byte artifact, fetch it back, and require the
+  // reply to arrive as in-order kArtifactChunk slices bounded by the
+  // advertised threshold.
+  Transport* stub = stub_end.get();
+  opec_dist::HelloMsg hello;
+  hello.worker_name = "chunky";
+  ASSERT_EQ(stub->Send(MakeFrame(FrameType::kHello,
+                                 [&](StateWriter& w) { opec_dist::WriteHello(w, hello); })),
+            Transport::Status::kOk);
+  Frame f;
+  ASSERT_EQ(stub->Recv(&f), Transport::Status::kOk);
+  ASSERT_EQ(f.type, FrameType::kWelcome);
+  {
+    StateReader r(f.payload);
+    opec_dist::WelcomeMsg welcome = opec_dist::ReadWelcome(r);
+    EXPECT_EQ(welcome.version, opec_dist::kProtocolVersion);
+    EXPECT_EQ(welcome.chunk_threshold, 256u);
+  }
+
+  std::vector<uint8_t> blob(1000);
+  for (size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<uint8_t>(i * 7);
+  }
+  ArtifactCache scratch("");
+  uint64_t digest = scratch.Put(blob);
+  opec_dist::ArtifactAnnounceMsg ann;
+  ann.key = "blob/chunky";
+  ann.digest = digest;
+  ann.with_bytes = true;
+  ann.bytes = blob;
+  ASSERT_EQ(stub->Send(MakeFrame(FrameType::kArtifactAnnounce, [&](StateWriter& w) {
+              opec_dist::WriteArtifactAnnounce(w, ann);
+            })),
+            Transport::Status::kOk);
+  opec_dist::ArtifactFetchMsg fetch;
+  fetch.digest = digest;
+  ASSERT_EQ(stub->Send(MakeFrame(FrameType::kArtifactFetch, [&](StateWriter& w) {
+              opec_dist::WriteArtifactFetch(w, fetch);
+            })),
+            Transport::Status::kOk);
+
+  std::vector<uint8_t> assembled;
+  size_t chunks = 0;
+  for (;;) {
+    ASSERT_EQ(stub->Recv(&f), Transport::Status::kOk);
+    ASSERT_EQ(f.type, FrameType::kArtifactChunk);
+    StateReader r(f.payload);
+    opec_dist::ArtifactChunkMsg chunk = opec_dist::ReadArtifactChunk(r);
+    ASSERT_EQ(chunk.total, blob.size());
+    ASSERT_EQ(chunk.offset, assembled.size());  // strictly in order
+    ASSERT_LE(chunk.bytes.size(), 256u);
+    assembled.insert(assembled.end(), chunk.bytes.begin(), chunk.bytes.end());
+    ++chunks;
+    if (assembled.size() == chunk.total) {
+      break;
+    }
+  }
+  EXPECT_EQ(assembled, blob);
+  EXPECT_EQ(chunks, 4u);  // ceil(1000 / 256)
+
+  // Run the sweep down and exit cleanly.
+  std::string real_error;
+  std::thread real([&, transport = real_end.get()] {
+    WorkerOptions wo;
+    wo.name = "real";
+    real_error = RunWorker(*transport, wo);
+  });
+  while (stub->Recv(&f) == Transport::Status::kOk) {
+    if (f.type == FrameType::kShutdown) {
+      break;
+    }
+  }
+  stub_end->Close();
+  serve_thread.join();
+  real.join();
+  ASSERT_EQ(serve_error, "");
+  EXPECT_EQ(real_error, "");
+  EXPECT_GE(server.dist_stats().chunks_sent, 4u);
+  EXPECT_EQ(server.TakeCampaignResult().DeterministicJson(), serial);
+}
+
+TEST(DistSweep, WorkerReassemblesChunkedArtifactEndToEnd) {
+  // One scenario job. Worker X builds the boot snapshot cold, announces it
+  // (bytes included), then exits before delivering its result; the job is
+  // re-queued. Worker Y — whose local cache evicts everything — resolves the
+  // key from the server, fetches the snapshot back as a chunk stream
+  // (threshold far below snapshot size), reassembles and adopts it, and the
+  // report still matches the in-process executor byte for byte.
+  opec_campaign::CampaignSpec spec;
+  spec.seed = 11;
+  opec_campaign::JobSpec job;
+  job.kind = opec_campaign::JobKind::kScenario;
+  job.app = "PinLock";
+  job.mode = opec_apps::BuildMode::kOpec;
+  job.engine = opec_apps::EngineKind::kInterp;
+  spec.jobs.push_back(job);
+  std::string serial = SerialJson(spec);
+
+  CampaignServer::Options options;
+  options.unit_size = 1;
+  options.chunk_threshold = 64;
+  CampaignServer server(spec, options);
+
+  auto [x_server_end, x_end] = LocalPair();
+  server.AddWorker(std::move(x_server_end));
+  auto [y_server_end, y_end] = LocalPair();
+  server.AddWorker(std::move(y_server_end));
+
+  std::string serve_error;
+  std::thread serve_thread([&] { serve_error = server.Serve(); });
+
+  std::string x_error;
+  {
+    WorkerOptions wo;
+    wo.name = "builder";
+    wo.die_after_jobs = 1;  // announce, then vanish without delivering
+    x_error = RunWorker(*x_end, wo);
+  }
+  // X is gone and its unit re-queued; only now does Y join, so Y *must* go
+  // through the server fetch path.
+  std::string y_error;
+  {
+    WorkerOptions wo;
+    wo.name = "fetcher";
+    wo.cache_max_bytes = 1;  // evict everything: no local artifact survives
+    y_error = RunWorker(*y_end, wo);
+  }
+  serve_thread.join();
+  ASSERT_EQ(serve_error, "");
+  EXPECT_EQ(x_error, "");
+  EXPECT_EQ(y_error, "");
+  EXPECT_GE(server.dist_stats().chunks_sent, 2u);
+  EXPECT_GE(server.dist_stats().units_reissued, 1u);
+  EXPECT_EQ(server.TakeCampaignResult().DeterministicJson(), serial);
 }
 
 }  // namespace
